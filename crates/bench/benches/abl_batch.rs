@@ -1,0 +1,45 @@
+//! Ablation: batch-size scaling on the host.
+//!
+//! Question (DESIGN.md): the paper measures batch-1 streaming throughput;
+//! how much of the per-image overhead can batching amortise on a real CPU?
+//!
+//! Run with `cargo bench -p fluid-bench --bench abl_batch`.
+
+use fluid_models::{Arch, FluidModel};
+use fluid_tensor::{Prng, Tensor};
+use std::time::Instant;
+
+fn main() {
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let spec = model.spec("combined100").expect("spec").clone();
+    let mut rng = Prng::new(1);
+
+    println!("Batch-size scaling of combined100 on this host\n");
+    println!("{:>7} {:>14} {:>14} {:>10}", "batch", "ms/batch", "img/s", "speedup");
+    let mut base_rate = 0.0f64;
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let x = Tensor::from_fn(&[batch, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+        // Warm up.
+        for _ in 0..3 {
+            let _ = model.net_mut().forward_subnet(&x, &spec, false);
+        }
+        let reps = (256 / batch).max(8);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = model.net_mut().forward_subnet(&x, &spec, false);
+        }
+        let per_batch = t0.elapsed().as_secs_f64() / reps as f64;
+        let rate = batch as f64 / per_batch;
+        if batch == 1 {
+            base_rate = rate;
+        }
+        println!(
+            "{batch:>7} {:>14.3} {:>14.0} {:>9.2}x",
+            per_batch * 1e3,
+            rate,
+            rate / base_rate
+        );
+    }
+    println!("\ntakeaway: batching amortises im2col and dispatch overhead; the");
+    println!("paper's batch-1 numbers are the conservative streaming case.");
+}

@@ -1,0 +1,76 @@
+//! Ablation: communication-cost sweep.
+//!
+//! Question (DESIGN.md): where does collective (HA) execution stop paying
+//! off versus running a single device, as the link gets slower? The paper
+//! attributes the Static DNN's 11.1 img/s ceiling to "inevitable
+//! communication overhead" — this sweep shows how each deployment degrades
+//! with that overhead.
+//!
+//! Run with `cargo bench -p fluid-bench --bench abl_comm_sweep`.
+
+use fluid_perf::{CommModel, DeviceAvailability, ModelFamily, SystemModel};
+
+fn main() {
+    println!("Communication-cost sweep (per-message setup scaled 0x..16x of the");
+    println!("calibrated 4.16 ms; bandwidth fixed at 10 MB/s)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14}",
+        "scale", "static", "dynamic HA", "fluid HA", "fluid HT"
+    );
+
+    // HA latency is bounded below by the slower device even over an ideal
+    // link, so the interesting crossover is where HA drops below the
+    // *slower* device's standalone rate: past that point, cooperating is
+    // strictly worse than letting the surviving worker run alone.
+    let worker_alone = SystemModel::paper_testbed()
+        .evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyWorker, false)
+        .throughput_ips;
+    let mut crossover: Option<f64> = None;
+    let scales = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+    for &scale in &scales {
+        let comm = if scale == 0.0 {
+            CommModel::ideal()
+        } else {
+            CommModel::jetson_tcp().scaled(scale)
+        };
+        let sys = SystemModel::paper_testbed().with_comm(comm);
+        let st = sys
+            .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let dy = sys
+            .evaluate(ModelFamily::Dynamic, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let fha = sys
+            .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let fht = sys
+            .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, true)
+            .throughput_ips;
+        if crossover.is_none() && fha < worker_alone {
+            crossover = Some(scale);
+        }
+        println!("{scale:>6.2} {st:>12.2} {dy:>12.2} {fha:>12.2} {fht:>14.2}");
+    }
+
+    match crossover {
+        Some(s) => println!(
+            "\ncrossover: fluid HA drops below the slower device's standalone rate\n({worker_alone:.1} img/s) at ~{s}x comm cost — past that, cooperating costs\nthroughput AND the link; before it, HA buys full-model accuracy nearly free."
+        ),
+        None => println!("\nfluid HA stayed above the slower device across the sweep."),
+    }
+
+    // Invariant: fluid HT never depends on the link (independent streams).
+    let slow = SystemModel::paper_testbed().with_comm(CommModel::jetson_tcp().scaled(16.0));
+    let fast = SystemModel::paper_testbed().with_comm(CommModel::ideal());
+    let ht_slow = slow
+        .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, true)
+        .throughput_ips;
+    let ht_fast = fast
+        .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, true)
+        .throughput_ips;
+    assert!(
+        (ht_slow - ht_fast).abs() < 1e-9,
+        "HT throughput must be link-independent"
+    );
+    println!("abl_comm_sweep: HT link-independence OK");
+}

@@ -1,0 +1,59 @@
+//! Ablation: sub-network ladder granularity.
+//!
+//! Question (DESIGN.md): the paper uses a 4-level [25,50,75,100]% ladder —
+//! what do coarser/finer ladders trade? More levels give the runtime more
+//! operating points but shrink the narrowest deployable unit.
+//!
+//! Run with `cargo bench -p fluid-bench --bench abl_ladder`.
+
+use fluid_models::{branch_cost, Arch, BranchSpec, WidthLadder};
+use fluid_nn::ChannelRange;
+use fluid_perf::DeviceModel;
+
+fn main() {
+    println!("Ladder granularity ablation (16-channel budget, paper device model)\n");
+    let device = DeviceModel::jetson_master();
+
+    for levels in [2usize, 4, 8] {
+        let ladder = WidthLadder::even(16, levels);
+        let arch = Arch {
+            ladder: ladder.clone(),
+            ..Arch::paper()
+        };
+        println!("--- {levels}-level ladder {:?} ---", ladder.widths());
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            "width", "MACs", "params", "img/s"
+        );
+        for &w in ladder.widths() {
+            let b = BranchSpec::uniform("b", ChannelRange::prefix(w), arch.conv_stages, true);
+            let cost = branch_cost(&arch, &b);
+            println!(
+                "{w:>8} {:>12} {:>12} {:>12.1}",
+                cost.macs,
+                cost.params,
+                device.throughput(cost.macs)
+            );
+        }
+        // Operating-point spread: the ratio between the fastest and the
+        // slowest deployable configuration.
+        let narrow = branch_cost(
+            &arch,
+            &BranchSpec::uniform("n", ChannelRange::prefix(ladder.widths()[0]), arch.conv_stages, true),
+        )
+        .macs;
+        let wide = branch_cost(
+            &arch,
+            &BranchSpec::uniform("w", ChannelRange::prefix(ladder.max()), arch.conv_stages, true),
+        )
+        .macs;
+        println!(
+            "spread: fastest/slowest = {:.2}x throughput, {} operating points\n",
+            device.throughput(narrow) / device.throughput(wide),
+            ladder.levels()
+        );
+    }
+
+    println!("takeaway: finer ladders buy more operating points but the per-image");
+    println!("overhead of the embedded CPU compresses the achievable speed spread.");
+}

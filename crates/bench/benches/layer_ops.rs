@@ -1,0 +1,55 @@
+//! Microbenchmarks of the numerical kernels (criterion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fluid_nn::{ChannelRange, RangedConv2d};
+use fluid_tensor::{im2col, Conv2dGeometry, Prng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Prng::new(0);
+    let a = Tensor::from_fn(&[16, 144], |_| rng.uniform(-1.0, 1.0));
+    let b = Tensor::from_fn(&[144, 784], |_| rng.uniform(-1.0, 1.0));
+    c.bench_function("matmul 16x144 x 144x784 (conv as GEMM)", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = Prng::new(1);
+    let x = Tensor::from_fn(&[1, 16, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let geo = Conv2dGeometry::new(28, 28, 3, 1, 1);
+    c.bench_function("im2col 16ch 28x28 k3", |bench| {
+        bench.iter(|| black_box(im2col(&x, &geo)))
+    });
+}
+
+fn bench_conv_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranged conv2d forward");
+    for width in [4usize, 8, 12, 16] {
+        let mut rng = Prng::new(2);
+        let mut conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let x = Tensor::from_fn(&[1, width, 14, 14], |_| rng.uniform(0.0, 1.0));
+        group.bench_function(format!("width {width}"), |bench| {
+            bench.iter_batched(
+                || x.clone(),
+                |x| {
+                    black_box(conv.forward(
+                        &x,
+                        ChannelRange::prefix(width),
+                        ChannelRange::prefix(width),
+                        false,
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_im2col, bench_conv_widths
+}
+criterion_main!(benches);

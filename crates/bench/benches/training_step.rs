@@ -1,0 +1,41 @@
+//! Training-step cost per sub-network (criterion): one forward + backward +
+//! masked SGD step, the unit of Algorithm 1's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluid_models::{Arch, FluidModel};
+use fluid_nn::{softmax_cross_entropy, Optimizer, Sgd};
+use fluid_tensor::{Prng, Tensor};
+use std::hint::black_box;
+
+fn bench_training_steps(c: &mut Criterion) {
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut rng = Prng::new(1);
+    let x = Tensor::from_fn(&[16, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+
+    let mut group = c.benchmark_group("training step (batch 16)");
+    for name in ["lower25", "lower50", "upper50", "combined100"] {
+        let spec = model.spec(name).expect("spec").clone();
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let net = model.net_mut();
+                net.zero_grad();
+                let logits = net.forward_subnet(&x, &spec, true);
+                let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                net.backward_subnet(&grad, &spec);
+                let mut params = net.param_set();
+                opt.step(&mut params);
+                black_box(());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_steps
+}
+criterion_main!(benches);

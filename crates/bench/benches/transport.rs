@@ -1,0 +1,95 @@
+//! Transport microbenchmarks (criterion): message codec and in-process /
+//! TCP round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluid_dist::{InProcTransport, Message, TcpTransport, Transport};
+use fluid_tensor::{Prng, Tensor};
+use std::hint::black_box;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = Prng::new(0);
+    let msg = Message::Infer {
+        request_id: 1,
+        input: Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0)),
+    };
+    c.bench_function("encode Infer (1x28x28)", |bench| {
+        bench.iter(|| black_box(msg.encode()))
+    });
+    let payload = msg.encode();
+    c.bench_function("decode Infer (1x28x28)", |bench| {
+        bench.iter(|| black_box(Message::decode(payload.clone()).expect("decode")))
+    });
+}
+
+fn bench_inproc_roundtrip(c: &mut Criterion) {
+    let (mut a, mut b) = InProcTransport::pair();
+    let mut rng = Prng::new(1);
+    let msg = Message::Infer {
+        request_id: 2,
+        input: Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0)),
+    };
+    c.bench_function("inproc round-trip (echo)", |bench| {
+        bench.iter(|| {
+            a.send(&msg).expect("send");
+            let got = b
+                .recv_timeout(Duration::from_secs(1))
+                .expect("recv")
+                .expect("msg");
+            b.send(&got).expect("echo");
+            black_box(
+                a.recv_timeout(Duration::from_secs(1))
+                    .expect("recv")
+                    .expect("echo"),
+            );
+        })
+    });
+}
+
+fn bench_tcp_roundtrip(c: &mut Criterion) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let echo_thread = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut t = TcpTransport::new(stream).expect("transport");
+        loop {
+            match t.recv_timeout(Duration::from_secs(5)) {
+                Ok(Some(Message::Shutdown)) | Err(_) => break,
+                Ok(Some(msg)) => {
+                    if t.send(&msg).is_err() {
+                        break;
+                    }
+                }
+                Ok(None) => {}
+            }
+        }
+    });
+    let mut client =
+        TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("transport");
+    let mut rng = Prng::new(2);
+    let msg = Message::Infer {
+        request_id: 3,
+        input: Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0)),
+    };
+    c.bench_function("tcp localhost round-trip (echo)", |bench| {
+        bench.iter(|| {
+            client.send(&msg).expect("send");
+            black_box(
+                client
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("recv")
+                    .expect("echo"),
+            );
+        })
+    });
+    client.send(&Message::Shutdown).expect("shutdown");
+    echo_thread.join().expect("echo thread");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_codec, bench_inproc_roundtrip, bench_tcp_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags (plus bare `--switch` flags stored as `"true"`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgMap {
+    values: BTreeMap<String, String>,
+}
+
+/// Error produced for malformed or ill-typed arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "argument error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl ArgMap {
+    /// Parses a flag list. A token starting with `--` introduces a key; if
+    /// the next token is absent or is another flag, the key is a boolean
+    /// switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a bare value with no preceding flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseArgsError> {
+        let mut values = BTreeMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ParseArgsError(format!("unexpected value {tok:?}")))?;
+            if key.is_empty() {
+                return Err(ParseArgsError("empty flag name".into()));
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                _ => "true".to_owned(),
+            };
+            values.insert(key.to_owned(), value);
+        }
+        Ok(Self { values })
+    }
+
+    /// String value for `key`, or `default`.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the flag is missing.
+    pub fn required(&self, key: &str) -> Result<&str, ParseArgsError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ParseArgsError(format!("missing required flag --{key}")))
+    }
+
+    /// `usize` value for `key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, ParseArgsError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{key} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// `u64` value for `key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ParseArgsError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{key} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// `f32` value for `key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn f32_or(&self, key: &str, default: f32) -> Result<f32, ParseArgsError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).map(String::as_str) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ArgMap, ParseArgsError> {
+        ArgMap::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--epochs", "3", "--out", "m.fldn"]).expect("parse");
+        assert_eq!(a.usize_or("epochs", 0).expect("int"), 3);
+        assert_eq!(a.str_or("out", ""), "m.fldn");
+    }
+
+    #[test]
+    fn boolean_switches() {
+        let a = parse(&["--quick", "--seed", "7"]).expect("parse");
+        assert!(a.flag("quick"));
+        assert_eq!(a.u64_or("seed", 0).expect("int"), 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]).expect("parse");
+        assert_eq!(a.usize_or("epochs", 5).expect("int"), 5);
+        assert_eq!(a.str_or("model", "fluid"), "fluid");
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn missing_required_errors() {
+        let a = parse(&[]).expect("parse");
+        assert!(a.required("out").is_err());
+    }
+
+    #[test]
+    fn bad_integer_errors() {
+        let a = parse(&["--epochs", "three"]).expect("parse");
+        assert!(a.usize_or("epochs", 0).is_err());
+    }
+
+    #[test]
+    fn bare_value_rejected() {
+        assert!(parse(&["oops"]).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse(&["--seed", "1", "--verbose"]).expect("parse");
+        assert!(a.flag("verbose"));
+    }
+}

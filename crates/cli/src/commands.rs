@@ -1,0 +1,324 @@
+//! The `fluidctl` sub-commands.
+//!
+//! | command | action |
+//! |---|---|
+//! | `train`  | train a model family and write a checkpoint |
+//! | `eval`   | evaluate a checkpoint's sub-network on fresh test data |
+//! | `worker` | serve branches over TCP until shut down |
+//! | `master` | connect to a worker, deploy, and run HA/HT inference |
+//! | `fig2`   | regenerate the paper's Fig. 2 (both panels) |
+//! | `help`   | usage |
+
+use crate::args::{ArgMap, ParseArgsError};
+use fluid_core::training::{
+    train_incremental, train_nested, train_plain, NestedSchedule, TrainConfig,
+};
+use fluid_core::{format_accuracy_table, format_throughput_table, Experiment, Fig2Accuracy};
+use fluid_data::SynthDigits;
+use fluid_dist::{
+    extract_branch_weights, Master, MasterConfig, TcpTransport, ThroughputMeter, Worker,
+};
+use fluid_models::{
+    load_net_from_path, save_net_to_path, Arch, DynamicModel, FluidModel, StaticModel,
+};
+use fluid_nn::accuracy;
+use fluid_perf::SystemModel;
+use fluid_tensor::Prng;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+
+/// Error from a command: argument problems or runtime failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing arguments.
+    Args(ParseArgsError),
+    /// Anything that failed while running.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fluidctl — Fluid Dynamic DNNs from the command line
+
+USAGE:
+  fluidctl train  [--model fluid|dynamic|static] [--out PATH] [--train-n N]
+                  [--epochs N] [--iters N] [--seed N] [--lr F]
+  fluidctl eval   --model-file PATH [--subnet NAME] [--test-n N] [--seed N]
+  fluidctl worker [--listen ADDR] (default 127.0.0.1:7700)
+  fluidctl master --connect ADDR --model-file PATH [--mode ha|ht] [--images N]
+  fluidctl fig2   [--quick]
+  fluidctl help
+";
+
+/// Dispatches a command line (without the binary name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, bad flags, or runtime failure.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = argv
+        .split_first()
+        .map(|(c, r)| (c.as_str(), r))
+        .unwrap_or(("help", &[]));
+    let args = ArgMap::parse(rest.iter().cloned())?;
+    match cmd {
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "worker" => cmd_worker(&args),
+        "master" => cmd_master(&args),
+        "fig2" => cmd_fig2(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Run(format!(
+            "unknown command {other:?}; try `fluidctl help`"
+        ))),
+    }
+}
+
+fn cmd_train(args: &ArgMap) -> Result<(), CliError> {
+    let family = args.str_or("model", "fluid").to_owned();
+    let out = args.str_or("out", "model.fldn").to_owned();
+    let train_n = args.usize_or("train-n", 2000)?;
+    let epochs = args.usize_or("epochs", 1)?;
+    let iters = args.usize_or("iters", 2)?;
+    let seed = args.u64_or("seed", 42)?;
+    let lr = args.f32_or("lr", 0.05)?;
+
+    let mut gen = SynthDigits::new(seed);
+    let train = gen.generate(train_n);
+    let cfg = TrainConfig {
+        epochs_per_phase: epochs,
+        seed,
+        lr,
+        ..TrainConfig::default()
+    };
+    println!("training {family} model on {train_n} SynthDigits images (seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let net = match family.as_str() {
+        "fluid" => {
+            let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(seed));
+            let schedule = NestedSchedule {
+                iterations: iters,
+                ..NestedSchedule::default()
+            };
+            let stats = train_nested(&mut model, &train, &cfg, &schedule);
+            println!("final loss {:.4}", stats.final_loss().unwrap_or(f32::NAN));
+            model.net().clone()
+        }
+        "dynamic" => {
+            let mut model = DynamicModel::new(Arch::paper(), &mut Prng::new(seed));
+            let stats = train_incremental(&mut model, &train, &cfg);
+            println!("final loss {:.4}", stats.final_loss().unwrap_or(f32::NAN));
+            model.net().clone()
+        }
+        "static" => {
+            let mut model = StaticModel::new(Arch::paper(), &mut Prng::new(seed));
+            let mut cfg = cfg;
+            cfg.epochs_per_phase = epochs * 6 * iters; // budget parity
+            let stats = train_plain(&mut model, &train, &cfg);
+            println!("final loss {:.4}", stats.final_loss().unwrap_or(f32::NAN));
+            model.net().clone()
+        }
+        other => {
+            return Err(CliError::Run(format!(
+                "unknown --model {other:?} (fluid|dynamic|static)"
+            )))
+        }
+    };
+    save_net_to_path(&net, Path::new(&out)).map_err(|e| CliError::Run(e.to_string()))?;
+    println!(
+        "trained in {:.1}s, checkpoint written to {out}",
+        t0.elapsed().as_secs_f32()
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &ArgMap) -> Result<(), CliError> {
+    let path = args.required("model-file")?.to_owned();
+    let subnet = args.str_or("subnet", "combined100").to_owned();
+    let test_n = args.usize_or("test-n", 500)?;
+    let seed = args.u64_or("seed", 999)?;
+
+    let mut net =
+        load_net_from_path(Path::new(&path)).map_err(|e| CliError::Run(e.to_string()))?;
+    let arch = net.arch().clone();
+    // Rebuild the fluid registry over the loaded weights to resolve names.
+    let registry = FluidModel::new(arch, &mut Prng::new(0));
+    let spec = registry
+        .spec(&subnet)
+        .ok_or_else(|| {
+            CliError::Run(format!(
+                "unknown sub-network {subnet:?}; known: lower25, lower50, upper25, upper50, combined75, combined100"
+            ))
+        })?
+        .clone();
+    let test = SynthDigits::new(seed).generate(test_n);
+    let acc = Experiment::evaluate_subnet(&mut net, &spec, &test);
+    println!("{subnet} accuracy on {test_n} fresh images: {:.1}%", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_worker(args: &ArgMap) -> Result<(), CliError> {
+    let listen = args.str_or("listen", "127.0.0.1:7700").to_owned();
+    let listener = TcpListener::bind(&listen).map_err(|e| CliError::Run(e.to_string()))?;
+    println!("worker listening on {listen} (ctrl-c to stop)");
+    let (stream, peer) = listener.accept().map_err(|e| CliError::Run(e.to_string()))?;
+    println!("master connected from {peer}");
+    let transport = TcpTransport::new(stream).map_err(|e| CliError::Run(e.to_string()))?;
+    let (exit, engine) = Worker::new(transport, Arch::paper(), &listen).run();
+    println!("worker exited ({exit:?}) after {} inferences", engine.inferences());
+    Ok(())
+}
+
+fn cmd_master(args: &ArgMap) -> Result<(), CliError> {
+    let addr = args.required("connect")?.to_owned();
+    let path = args.required("model-file")?.to_owned();
+    let mode = args.str_or("mode", "ha").to_owned();
+    let images = args.usize_or("images", 100)?;
+
+    let net = load_net_from_path(Path::new(&path)).map_err(|e| CliError::Run(e.to_string()))?;
+    let arch = net.arch().clone();
+    let registry = FluidModel::new(arch, &mut Prng::new(0));
+
+    let stream = TcpStream::connect(&addr).map_err(|e| CliError::Run(e.to_string()))?;
+    let transport = TcpTransport::new(stream).map_err(|e| CliError::Run(e.to_string()))?;
+    let mut master = Master::new(transport, net, MasterConfig::default());
+    let device = master.await_hello().map_err(|e| CliError::Run(e.to_string()))?;
+    println!("connected to worker {device:?} at {addr}");
+
+    let lower = registry.spec("lower50").expect("registry").branches[0].clone();
+    let upper = match mode.as_str() {
+        "ha" => registry.spec("combined100").expect("registry").branches[1].clone(),
+        "ht" => registry.spec("upper50").expect("registry").branches[0].clone(),
+        other => return Err(CliError::Run(format!("unknown --mode {other:?} (ha|ht)"))),
+    };
+    let windows = {
+        let net = master.engine_mut().net().clone();
+        extract_branch_weights(&net, &upper)
+    };
+    master.deploy_local(lower);
+    master
+        .deploy_remote(upper, windows)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let test = SynthDigits::new(7).generate(images.max(2));
+    let mut meter = ThroughputMeter::new();
+    let mut correct = 0.0f32;
+    match mode.as_str() {
+        "ha" => {
+            for i in 0..images {
+                let (x, labels) = test.gather(&[i % test.len()]);
+                let logits = master.infer_ha(&x).map_err(|e| CliError::Run(e.to_string()))?;
+                correct += accuracy(&logits, &labels);
+                meter.add(1);
+            }
+        }
+        _ => {
+            let mut i = 0;
+            while i + 1 < images {
+                let (xa, la) = test.gather(&[i % test.len()]);
+                let (xb, lb) = test.gather(&[(i + 1) % test.len()]);
+                let (a, b) = master
+                    .infer_ht(&xa, &xb)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                correct += accuracy(&a, &la) + accuracy(&b, &lb);
+                meter.add(2);
+                i += 2;
+            }
+        }
+    }
+    println!(
+        "{} mode: {:.1} img/s, accuracy {:.1}% over {} images",
+        mode.to_uppercase(),
+        meter.rate(),
+        correct / meter.items() as f32 * 100.0,
+        meter.items()
+    );
+    master.shutdown_worker();
+    Ok(())
+}
+
+fn cmd_fig2(args: &ArgMap) -> Result<(), CliError> {
+    let system = SystemModel::paper_testbed();
+    println!("{}", format_throughput_table(&system.fig2_table()));
+    let (train_n, test_n) = if args.flag("quick") { (800, 300) } else { (3000, 1000) };
+    let mut fig = Fig2Accuracy::train(Arch::paper(), train_n, test_n, 1, 2024);
+    println!("{}", format_accuracy_table(&fig.table()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&argv(&["help"])).expect("help");
+        run(&[]).expect("no args = help");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn eval_requires_model_file() {
+        let err = run(&argv(&["eval"])).expect_err("missing flag");
+        assert!(err.to_string().contains("model-file"), "{err}");
+    }
+
+    #[test]
+    fn master_requires_connect() {
+        let err = run(&argv(&["master", "--model-file", "x.fldn"])).expect_err("missing flag");
+        assert!(err.to_string().contains("connect"), "{err}");
+    }
+
+    #[test]
+    fn train_rejects_unknown_family() {
+        let err = run(&argv(&["train", "--model", "quantum", "--train-n", "10"]))
+            .expect_err("bad family");
+        assert!(err.to_string().contains("unknown --model"), "{err}");
+    }
+
+    #[test]
+    fn train_eval_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("fluidctl_test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let out = dir.join("tiny.fldn");
+        let out_s = out.to_string_lossy().to_string();
+        run(&argv(&[
+            "train", "--model", "fluid", "--train-n", "200", "--epochs", "1", "--iters", "1",
+            "--seed", "3", "--out", &out_s,
+        ]))
+        .expect("train");
+        run(&argv(&[
+            "eval", "--model-file", &out_s, "--subnet", "lower50", "--test-n", "50",
+        ]))
+        .expect("eval");
+        let _ = std::fs::remove_file(&out);
+    }
+}

@@ -1,0 +1,15 @@
+//! # fluid-cli
+//!
+//! The `fluidctl` command-line tool: train, evaluate, checkpoint and serve
+//! Fluid DyDNNs, and regenerate the paper's figures, without writing any
+//! Rust. See `fluidctl help` or the [`commands`] module docs.
+//!
+//! The argument parser is a deliberately small hand-rolled one (the
+//! workspace's dependency budget has no CLI framework); [`args::ArgMap`]
+//! covers `--key value` flags with defaults and typed accessors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,10 @@
+//! `fluidctl` entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = fluid_cli::commands::run(&argv) {
+        eprintln!("fluidctl: {e}");
+        eprintln!("{}", fluid_cli::commands::USAGE);
+        std::process::exit(2);
+    }
+}

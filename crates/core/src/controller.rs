@@ -1,0 +1,180 @@
+//! The runtime controller: chooses mode and deployment to meet a goal.
+
+use crate::reliability::{can_operate, surviving_subnet};
+use fluid_dist::Mode;
+use fluid_perf::{DeviceAvailability, ModelFamily, SystemModel};
+
+/// What the application currently wants from the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Goal {
+    /// Peak accuracy: prefer collective execution of the widest model.
+    MaxAccuracy,
+    /// Peak throughput: prefer independent parallel sub-networks.
+    MaxThroughput,
+    /// Meet a throughput floor (img/s) with the most accurate deployment
+    /// that satisfies it.
+    ThroughputFloor(f64),
+}
+
+/// A concrete deployment decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    /// Sub-network (registry name) on the Master, if the Master is alive.
+    pub master_subnet: Option<String>,
+    /// Sub-network on the Worker, if the Worker is alive.
+    pub worker_subnet: Option<String>,
+    /// Execution mode (meaningful only when both devices are alive).
+    pub mode: Mode,
+    /// Modelled throughput of this plan (img/s).
+    pub expected_ips: f64,
+}
+
+/// Decides deployments for a model family from goals and availability,
+/// using the performance model to rank options — the paper's "seamlessly
+/// transition between two modes to meet varying performance demands".
+#[derive(Debug, Clone)]
+pub struct RuntimeController {
+    family: ModelFamily,
+    system: SystemModel,
+}
+
+impl RuntimeController {
+    /// Creates a controller for `family` over the given system model.
+    pub fn new(family: ModelFamily, system: SystemModel) -> Self {
+        Self { family, system }
+    }
+
+    /// The model family being controlled.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// Chooses a deployment for the goal under the given availability.
+    /// Returns `None` when the family cannot operate at all (the paper's
+    /// zero bars).
+    pub fn plan(&self, goal: Goal, availability: DeviceAvailability) -> Option<DeploymentPlan> {
+        if !can_operate(self.family, availability) {
+            return None;
+        }
+        if availability != DeviceAvailability::Both {
+            // Degraded: the only choice is the surviving sub-network.
+            let name = surviving_subnet(self.family, availability)?;
+            let ips = self
+                .system
+                .evaluate(self.family, availability, false)
+                .throughput_ips;
+            let (master, worker) = match availability {
+                DeviceAvailability::OnlyMaster => (Some(name.to_owned()), None),
+                DeviceAvailability::OnlyWorker => (None, Some(name.to_owned())),
+                DeviceAvailability::Both => unreachable!(),
+            };
+            return Some(DeploymentPlan {
+                master_subnet: master,
+                worker_subnet: worker,
+                mode: Mode::HighThroughput,
+                expected_ips: ips,
+            });
+        }
+
+        let ha = self.both_plan(false);
+        let ht = self.both_plan(true);
+        match goal {
+            Goal::MaxAccuracy => Some(ha),
+            Goal::MaxThroughput => Some(if ht.expected_ips >= ha.expected_ips { ht } else { ha }),
+            Goal::ThroughputFloor(floor) => {
+                // Prefer the accurate plan when it meets the floor.
+                if ha.expected_ips >= floor {
+                    Some(ha)
+                } else {
+                    Some(ht)
+                }
+            }
+        }
+    }
+
+    fn both_plan(&self, ht: bool) -> DeploymentPlan {
+        let ips = self
+            .system
+            .evaluate(self.family, DeviceAvailability::Both, ht)
+            .throughput_ips;
+        let (master, worker, mode) = match (self.family, ht) {
+            (ModelFamily::Static, _) => ("full", Some("full"), Mode::HighAccuracy),
+            (ModelFamily::Dynamic, false) => ("width16", Some("width16"), Mode::HighAccuracy),
+            (ModelFamily::Dynamic, true) => ("width8", None, Mode::HighThroughput),
+            (ModelFamily::Fluid, false) => ("lower50", Some("upper50"), Mode::HighAccuracy),
+            (ModelFamily::Fluid, true) => ("lower50", Some("upper50"), Mode::HighThroughput),
+        };
+        DeploymentPlan {
+            master_subnet: Some(master.to_owned()),
+            worker_subnet: worker.map(str::to_owned),
+            mode,
+            expected_ips: ips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(family: ModelFamily) -> RuntimeController {
+        RuntimeController::new(family, SystemModel::paper_testbed())
+    }
+
+    #[test]
+    fn fluid_accuracy_goal_selects_ha() {
+        let plan = controller(ModelFamily::Fluid)
+            .plan(Goal::MaxAccuracy, DeviceAvailability::Both)
+            .expect("plan");
+        assert_eq!(plan.mode, Mode::HighAccuracy);
+        assert_eq!(plan.master_subnet.as_deref(), Some("lower50"));
+        assert_eq!(plan.worker_subnet.as_deref(), Some("upper50"));
+    }
+
+    #[test]
+    fn fluid_throughput_goal_selects_ht() {
+        let plan = controller(ModelFamily::Fluid)
+            .plan(Goal::MaxThroughput, DeviceAvailability::Both)
+            .expect("plan");
+        assert_eq!(plan.mode, Mode::HighThroughput);
+        assert!(plan.expected_ips > 25.0, "{}", plan.expected_ips);
+    }
+
+    #[test]
+    fn throughput_floor_picks_accurate_when_feasible() {
+        let c = controller(ModelFamily::Fluid);
+        let easy = c
+            .plan(Goal::ThroughputFloor(5.0), DeviceAvailability::Both)
+            .expect("plan");
+        assert_eq!(easy.mode, Mode::HighAccuracy);
+        let hard = c
+            .plan(Goal::ThroughputFloor(20.0), DeviceAvailability::Both)
+            .expect("plan");
+        assert_eq!(hard.mode, Mode::HighThroughput);
+    }
+
+    #[test]
+    fn static_has_no_degraded_plan() {
+        let c = controller(ModelFamily::Static);
+        assert!(c.plan(Goal::MaxThroughput, DeviceAvailability::OnlyMaster).is_none());
+        assert!(c.plan(Goal::MaxThroughput, DeviceAvailability::OnlyWorker).is_none());
+    }
+
+    #[test]
+    fn dynamic_degrades_to_master_prefix() {
+        let plan = controller(ModelFamily::Dynamic)
+            .plan(Goal::MaxAccuracy, DeviceAvailability::OnlyMaster)
+            .expect("plan");
+        assert_eq!(plan.master_subnet.as_deref(), Some("width8"));
+        assert_eq!(plan.worker_subnet, None);
+    }
+
+    #[test]
+    fn fluid_survives_master_loss_on_worker() {
+        let plan = controller(ModelFamily::Fluid)
+            .plan(Goal::MaxAccuracy, DeviceAvailability::OnlyWorker)
+            .expect("plan");
+        assert_eq!(plan.worker_subnet.as_deref(), Some("upper50"));
+        assert!(plan.expected_ips > 10.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Workspace-level error type.
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A sub-network name was not found in the model's registry.
+    UnknownSubnet(String),
+    /// The distributed runtime failed (worker down, timeout, …).
+    Runtime(String),
+    /// A configuration was internally inconsistent.
+    Config(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownSubnet(name) => write!(f, "unknown sub-network {name:?}"),
+            CoreError::Runtime(why) => write!(f, "runtime failure: {why}"),
+            CoreError::Config(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<fluid_dist::DistError> for CoreError {
+    fn from(e: fluid_dist::DistError) -> Self {
+        CoreError::Runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::UnknownSubnet("x".into()).to_string().contains("x"));
+        assert!(CoreError::Runtime("down".into()).to_string().contains("down"));
+        assert!(CoreError::Config("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Reliability: what survives a device failure, per model family.
+
+use fluid_perf::{DeviceAvailability, ModelFamily};
+
+/// Whether a model family can keep inferring under the given availability.
+///
+/// This is the paper's Fig. 1(b,c) capability matrix, derived from the
+/// connectivity classes:
+///
+/// * **Static** (dense): weights are split; neither half is a function.
+/// * **Dynamic** (triangular): the Master's prefix is a function, the
+///   Worker's upper groups are not.
+/// * **Fluid** (block): both blocks are functions.
+///
+/// # Example
+///
+/// ```
+/// use fluid_core::can_operate;
+/// use fluid_perf::{DeviceAvailability, ModelFamily};
+/// assert!(!can_operate(ModelFamily::Static, DeviceAvailability::OnlyMaster));
+/// assert!(can_operate(ModelFamily::Fluid, DeviceAvailability::OnlyWorker));
+/// ```
+pub fn can_operate(family: ModelFamily, availability: DeviceAvailability) -> bool {
+    match (family, availability) {
+        (_, DeviceAvailability::Both) => true,
+        (ModelFamily::Static, _) => false,
+        (ModelFamily::Dynamic, DeviceAvailability::OnlyMaster) => true,
+        (ModelFamily::Dynamic, DeviceAvailability::OnlyWorker) => false,
+        (ModelFamily::Fluid, _) => true,
+    }
+}
+
+/// The sub-network (by registry name) that keeps running on the surviving
+/// device, or `None` when the system fails.
+pub fn surviving_subnet(
+    family: ModelFamily,
+    availability: DeviceAvailability,
+) -> Option<&'static str> {
+    match (family, availability) {
+        (ModelFamily::Static, DeviceAvailability::Both) => Some("full"),
+        (ModelFamily::Dynamic, DeviceAvailability::Both) => Some("width16"),
+        (ModelFamily::Fluid, DeviceAvailability::Both) => Some("combined100"),
+        (ModelFamily::Dynamic, DeviceAvailability::OnlyMaster) => Some("width8"),
+        (ModelFamily::Fluid, DeviceAvailability::OnlyMaster) => Some("lower50"),
+        (ModelFamily::Fluid, DeviceAvailability::OnlyWorker) => Some("upper50"),
+        _ => None,
+    }
+}
+
+/// Tracks device liveness events and answers "what should run now".
+#[derive(Debug, Clone)]
+pub struct ReliabilityManager {
+    family: ModelFamily,
+    master_alive: bool,
+    worker_alive: bool,
+    reconfigurations: u64,
+}
+
+impl ReliabilityManager {
+    /// Creates a manager with both devices alive.
+    pub fn new(family: ModelFamily) -> Self {
+        Self {
+            family,
+            master_alive: true,
+            worker_alive: true,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Records a master failure.
+    pub fn master_failed(&mut self) {
+        if self.master_alive {
+            self.master_alive = false;
+            self.reconfigurations += 1;
+        }
+    }
+
+    /// Records a worker failure.
+    pub fn worker_failed(&mut self) {
+        if self.worker_alive {
+            self.worker_alive = false;
+            self.reconfigurations += 1;
+        }
+    }
+
+    /// Records a device coming back (paper: losses are "recoverable
+    /// whenever the system can re-deploy larger sub-networks").
+    pub fn master_recovered(&mut self) {
+        if !self.master_alive {
+            self.master_alive = true;
+            self.reconfigurations += 1;
+        }
+    }
+
+    /// Records the worker coming back.
+    pub fn worker_recovered(&mut self) {
+        if !self.worker_alive {
+            self.worker_alive = true;
+            self.reconfigurations += 1;
+        }
+    }
+
+    /// Current availability.
+    pub fn availability(&self) -> Option<DeviceAvailability> {
+        match (self.master_alive, self.worker_alive) {
+            (true, true) => Some(DeviceAvailability::Both),
+            (true, false) => Some(DeviceAvailability::OnlyMaster),
+            (false, true) => Some(DeviceAvailability::OnlyWorker),
+            (false, false) => None,
+        }
+    }
+
+    /// Whether inference can continue right now.
+    pub fn operational(&self) -> bool {
+        self.availability()
+            .map(|a| can_operate(self.family, a))
+            .unwrap_or(false)
+    }
+
+    /// The sub-network to deploy now, if any.
+    pub fn active_subnet(&self) -> Option<&'static str> {
+        self.availability()
+            .and_then(|a| surviving_subnet(self.family, a))
+    }
+
+    /// Number of reconfiguration events handled.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_paper_fig1() {
+        use DeviceAvailability::*;
+        use ModelFamily::*;
+        let matrix = [
+            (Static, Both, true),
+            (Static, OnlyMaster, false),
+            (Static, OnlyWorker, false),
+            (Dynamic, Both, true),
+            (Dynamic, OnlyMaster, true),
+            (Dynamic, OnlyWorker, false),
+            (Fluid, Both, true),
+            (Fluid, OnlyMaster, true),
+            (Fluid, OnlyWorker, true),
+        ];
+        for (family, avail, expected) in matrix {
+            assert_eq!(can_operate(family, avail), expected, "{family} {avail}");
+        }
+    }
+
+    #[test]
+    fn fluid_failover_sequence() {
+        let mut mgr = ReliabilityManager::new(ModelFamily::Fluid);
+        assert_eq!(mgr.active_subnet(), Some("combined100"));
+        mgr.worker_failed();
+        assert_eq!(mgr.active_subnet(), Some("lower50"));
+        assert!(mgr.operational());
+        mgr.worker_recovered();
+        assert_eq!(mgr.active_subnet(), Some("combined100"));
+        mgr.master_failed();
+        assert_eq!(mgr.active_subnet(), Some("upper50"));
+        assert_eq!(mgr.reconfigurations(), 3);
+    }
+
+    #[test]
+    fn dynamic_dies_with_master() {
+        let mut mgr = ReliabilityManager::new(ModelFamily::Dynamic);
+        mgr.master_failed();
+        assert!(!mgr.operational());
+        assert_eq!(mgr.active_subnet(), None);
+    }
+
+    #[test]
+    fn static_dies_with_either() {
+        let mut mgr = ReliabilityManager::new(ModelFamily::Static);
+        mgr.worker_failed();
+        assert!(!mgr.operational());
+    }
+
+    #[test]
+    fn duplicate_events_do_not_double_count() {
+        let mut mgr = ReliabilityManager::new(ModelFamily::Fluid);
+        mgr.worker_failed();
+        mgr.worker_failed();
+        assert_eq!(mgr.reconfigurations(), 1);
+    }
+
+    #[test]
+    fn both_dead_is_inoperable_even_for_fluid() {
+        let mut mgr = ReliabilityManager::new(ModelFamily::Fluid);
+        mgr.master_failed();
+        mgr.worker_failed();
+        assert!(!mgr.operational());
+        assert_eq!(mgr.availability(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain-text tables for examples and the bench harness.
+
+use crate::reliability::can_operate;
+use crate::scenarios::AccuracyRow;
+use fluid_perf::{DeviceAvailability, Fig2Row, ModelFamily};
+
+/// Formats the Fig. 2 throughput panel as an aligned text table.
+pub fn format_throughput_table(rows: &[Fig2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 2 (throughput, image/s) — modelled vs paper\n");
+    out.push_str(&format!(
+        "{:<8} {:<4} {:<16} {:>9} {:>9}\n",
+        "model", "mode", "devices", "modelled", "paper"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<4} {:<16} {:>9.1} {:>9.1}\n",
+            r.family.to_string(),
+            r.mode,
+            r.availability.to_string(),
+            r.throughput_ips,
+            r.paper_ips
+        ));
+    }
+    out
+}
+
+/// Formats the Fig. 2 accuracy panel as an aligned text table.
+pub fn format_accuracy_table(rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 2 (accuracy, %) — measured on SynthDigits vs paper (MNIST)\n");
+    out.push_str(&format!(
+        "{:<8} {:<4} {:<16} {:>9} {:>9}\n",
+        "model", "mode", "devices", "measured", "paper"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<4} {:<16} {:>9.1} {:>9.1}\n",
+            r.family.to_string(),
+            r.mode,
+            r.availability.to_string(),
+            r.accuracy * 100.0,
+            r.paper_pct
+        ));
+    }
+    out
+}
+
+/// Formats the Fig. 1(b,c) capability matrix.
+pub fn format_capability_matrix() -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 1(b,c) capability matrix (can the system keep inferring?)\n");
+    out.push_str(&format!(
+        "{:<8} {:<16} {:<10}\n",
+        "model", "devices", "operates"
+    ));
+    for family in [ModelFamily::Static, ModelFamily::Dynamic, ModelFamily::Fluid] {
+        for avail in [
+            DeviceAvailability::Both,
+            DeviceAvailability::OnlyMaster,
+            DeviceAvailability::OnlyWorker,
+        ] {
+            out.push_str(&format!(
+                "{:<8} {:<16} {:<10}\n",
+                family.to_string(),
+                avail.to_string(),
+                if can_operate(family, avail) { "yes" } else { "NO" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_perf::SystemModel;
+
+    #[test]
+    fn throughput_table_contains_all_families() {
+        let rows = SystemModel::paper_testbed().fig2_table();
+        let s = format_throughput_table(&rows);
+        for needle in ["Static", "Dynamic", "Fluid", "28.3", "modelled"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn capability_matrix_has_nine_rows() {
+        let s = format_capability_matrix();
+        let data_lines = s.lines().filter(|l| l.contains("yes") || l.contains("NO")).count();
+        assert_eq!(data_lines, 9);
+    }
+
+    #[test]
+    fn accuracy_table_formats_percentages() {
+        let rows = vec![AccuracyRow {
+            family: ModelFamily::Fluid,
+            mode: "HA",
+            availability: DeviceAvailability::Both,
+            accuracy: 0.987,
+            paper_pct: 99.2,
+        }];
+        let s = format_accuracy_table(&rows);
+        assert!(s.contains("98.7"), "{s}");
+        assert!(s.contains("99.2"), "{s}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Lightweight train-time augmentation.
+
+use fluid_tensor::{Prng, Tensor};
+
+/// Integer-pixel random shift augmentation applied to image batches.
+///
+/// The synthetic generator already randomizes rendering; this augmenter adds
+/// cheap per-epoch variety during training without re-rendering.
+#[derive(Debug, Clone)]
+pub struct Augment {
+    max_shift: usize,
+    rng: Prng,
+}
+
+impl Augment {
+    /// Creates an augmenter shifting up to `max_shift` pixels in x and y.
+    pub fn new(max_shift: usize, seed: u64) -> Self {
+        Self {
+            max_shift,
+            rng: Prng::new(seed),
+        }
+    }
+
+    /// Applies an independent random shift to each image in a `[N, C, H, W]`
+    /// batch. Vacated pixels are zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is not rank 4.
+    pub fn apply(&mut self, batch: &Tensor) -> Tensor {
+        let d = batch.dims();
+        assert_eq!(d.len(), 4, "augment input rank {}", d.len());
+        if self.max_shift == 0 {
+            return batch.clone();
+        }
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let mut out = Tensor::zeros(d);
+        let span = 2 * self.max_shift + 1;
+        for ni in 0..n {
+            let dx = self.rng.below(span) as isize - self.max_shift as isize;
+            let dy = self.rng.below(span) as isize - self.max_shift as isize;
+            for ci in 0..c {
+                for y in 0..h as isize {
+                    let sy = y - dy;
+                    if sy < 0 || sy >= h as isize {
+                        continue;
+                    }
+                    for x in 0..w as isize {
+                        let sx = x - dx;
+                        if sx < 0 || sx >= w as isize {
+                            continue;
+                        }
+                        let v = batch.at4(ni, ci, sy as usize, sx as usize);
+                        out.set4(ni, ci, y as usize, x as usize, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let mut aug = Augment::new(0, 0);
+        let x = Tensor::from_fn(&[2, 1, 4, 4], |i| i as f32);
+        assert_eq!(aug.apply(&x), x);
+    }
+
+    #[test]
+    fn preserves_total_ink_up_to_cropping() {
+        let mut aug = Augment::new(1, 1);
+        // Single bright pixel in the centre cannot be cropped out by a
+        // 1-pixel shift.
+        let mut x = Tensor::zeros(&[1, 1, 5, 5]);
+        x.set4(0, 0, 2, 2, 1.0);
+        let y = aug.apply(&x);
+        assert!((y.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let mut aug = Augment::new(2, 7);
+        let x = Tensor::from_fn(&[4, 1, 6, 6], |i| (i % 7) as f32);
+        let y = aug.apply(&x);
+        // With 4 images and ±2 shifts, at least one image moves.
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = Tensor::from_fn(&[3, 1, 6, 6], |i| (i % 5) as f32);
+        let a = Augment::new(2, 9).apply(&x);
+        let b = Augment::new(2, 9).apply(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! In-memory labelled image datasets.
+
+use fluid_tensor::Tensor;
+
+/// An in-memory dataset of `[N, 1, H, W]` images with class labels.
+///
+/// # Example
+///
+/// ```
+/// use fluid_data::Dataset;
+/// use fluid_tensor::Tensor;
+/// let ds = Dataset::new(Tensor::zeros(&[2, 1, 28, 28]), vec![3, 7]);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.label(1), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Wraps images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank 4 or `labels.len() != N`.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.dims().len(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
+        Self { images, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All images as one `[N, C, H, W]` tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Label of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Copies the examples at `indices` into a `([B, C, H, W], labels)` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let d = self.images.dims();
+        let (c, h, w) = (d[1], d[2], d[3]);
+        let stride = c * h * w;
+        let mut out = Tensor::zeros(&[indices.len(), c, h, w]);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (b, &i) in indices.iter().enumerate() {
+            assert!(i < self.len(), "index {i} out of {}", self.len());
+            out.data_mut()[b * stride..(b + 1) * stride]
+                .copy_from_slice(&self.images.data()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        (out, labels)
+    }
+
+    /// Splits into `(first, rest)` at example `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point {n} beyond {}", self.len());
+        let head: Vec<usize> = (0..n).collect();
+        let tail: Vec<usize> = (n..self.len()).collect();
+        let (hi, hl) = self.gather(&head);
+        let (ti, tl) = self.gather(&tail);
+        (Dataset::new(hi, hl), Dataset::new(ti, tl))
+    }
+
+    /// Per-class example counts (length 10 for the digit task, or
+    /// `max_label + 1` generally).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let k = self.labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut hist = vec![0usize; k];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(&[4, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 0, 2])
+    }
+
+    #[test]
+    fn gather_preserves_content() {
+        let ds = tiny();
+        let (batch, labels) = ds.gather(&[2, 0]);
+        assert_eq!(labels, vec![0, 0]);
+        assert_eq!(batch.dims(), &[2, 1, 2, 2]);
+        assert_eq!(&batch.data()[0..4], &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(&batch.data()[4..8], &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = tiny();
+        let (a, b) = ds.split_at(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.label(0), 2);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(tiny().class_histogram(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "image/label count mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn gather_bad_index_panics() {
+        let _ = tiny().gather(&[9]);
+    }
+}

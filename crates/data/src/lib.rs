@@ -1,0 +1,42 @@
+//! # fluid-data
+//!
+//! Datasets and loaders for the Fluid DyDNN reproduction.
+//!
+//! The paper evaluates on MNIST. Dataset files are not available in this
+//! offline environment, so this crate provides **SynthDigits**: a
+//! procedurally generated, MNIST-shaped task (28×28 grayscale, 10 classes).
+//! Each digit class is rendered from a stroke skeleton with randomized
+//! affine jitter, stroke thickness and pixel noise, giving a learnable,
+//! fully deterministic (seeded) classification problem with the same tensor
+//! shapes and a comparable difficulty ordering across model widths.
+//! The substitution is documented in the workspace `DESIGN.md`.
+//!
+//! ## Example
+//!
+//! ```
+//! use fluid_data::{SynthDigits, DataLoader};
+//!
+//! let ds = SynthDigits::new(42).generate(100);
+//! assert_eq!(ds.len(), 100);
+//! let mut loader = DataLoader::new(&ds, 32, true, 7);
+//! let (images, labels) = loader.next_batch().expect("one batch");
+//! assert_eq!(images.dims(), &[32, 1, 28, 28]);
+//! assert_eq!(labels.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod augment;
+mod dataset;
+mod loader;
+mod pgm;
+mod strokes;
+mod synth;
+
+pub use augment::Augment;
+pub use dataset::Dataset;
+pub use loader::DataLoader;
+pub use pgm::{contact_sheet, to_pgm};
+pub use strokes::{digit_skeleton, render_digit, RenderParams, IMAGE_SIDE};
+pub use synth::SynthDigits;

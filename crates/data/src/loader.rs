@@ -1,0 +1,128 @@
+//! Mini-batch iteration with optional shuffling.
+
+use crate::dataset::Dataset;
+use fluid_tensor::{Prng, Tensor};
+
+/// Iterates a [`Dataset`] in mini-batches, reshuffling each epoch.
+///
+/// The final partial batch of an epoch is dropped when smaller than the
+/// batch size, matching common training-loop practice (`drop_last = true`).
+#[derive(Debug)]
+pub struct DataLoader<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    shuffle: bool,
+    rng: Prng,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl<'a> DataLoader<'a> {
+    /// Creates a loader over `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: &'a Dataset, batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut loader = Self {
+            dataset,
+            batch_size,
+            shuffle,
+            rng: Prng::new(seed),
+            order: (0..dataset.len()).collect(),
+            cursor: 0,
+        };
+        loader.reset();
+        loader
+    }
+
+    /// Batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.dataset.len() / self.batch_size
+    }
+
+    /// Starts a new epoch (reshuffles when enabled).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        if self.shuffle {
+            self.rng.shuffle(&mut self.order);
+        }
+    }
+
+    /// Returns the next `([B, C, H, W], labels)` batch, or `None` at epoch end.
+    pub fn next_batch(&mut self) -> Option<(Tensor, Vec<usize>)> {
+        if self.cursor + self.batch_size > self.dataset.len() {
+            return None;
+        }
+        let idx = &self.order[self.cursor..self.cursor + self.batch_size];
+        self.cursor += self.batch_size;
+        Some(self.dataset.gather(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| (i / 4) as f32);
+        Dataset::new(images, (0..n).map(|i| i % 10).collect())
+    }
+
+    #[test]
+    fn batches_cover_epoch() {
+        let ds = dataset(10);
+        let mut loader = DataLoader::new(&ds, 3, false, 0);
+        assert_eq!(loader.batches_per_epoch(), 3);
+        let mut count = 0;
+        while let Some((images, labels)) = loader.next_batch() {
+            assert_eq!(images.dims(), &[3, 1, 2, 2]);
+            assert_eq!(labels.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 3, "partial batch must be dropped");
+    }
+
+    #[test]
+    fn unshuffled_is_sequential() {
+        let ds = dataset(6);
+        let mut loader = DataLoader::new(&ds, 2, false, 0);
+        let (first, labels) = loader.next_batch().expect("batch");
+        assert_eq!(labels, vec![0, 1]);
+        assert_eq!(first.data()[0], 0.0);
+    }
+
+    #[test]
+    fn shuffled_covers_all_examples() {
+        let ds = dataset(8);
+        let mut loader = DataLoader::new(&ds, 2, true, 3);
+        let mut seen = Vec::new();
+        while let Some((images, _)) = loader.next_batch() {
+            seen.push(images.data()[0] as usize);
+            seen.push(images.data()[4] as usize);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reshuffle_changes_order() {
+        let ds = dataset(64);
+        let mut loader = DataLoader::new(&ds, 64, true, 5);
+        let (a, _) = loader.next_batch().expect("epoch 1");
+        loader.reset();
+        let (b, _) = loader.next_batch().expect("epoch 2");
+        assert_ne!(a.data(), b.data(), "two epochs with identical order is wildly unlikely");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(16);
+        let mut l1 = DataLoader::new(&ds, 4, true, 11);
+        let mut l2 = DataLoader::new(&ds, 4, true, 11);
+        let (a, _) = l1.next_batch().expect("a");
+        let (b, _) = l2.next_batch().expect("b");
+        assert_eq!(a, b);
+    }
+}

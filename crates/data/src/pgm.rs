@@ -1,0 +1,88 @@
+//! PGM (portable graymap) export for visual dataset inspection.
+
+use fluid_tensor::Tensor;
+
+/// Encodes one grayscale image (`[H, W]`, `[1, H, W]` or `[1, 1, H, W]`,
+/// values in `[0, 1]`) as a binary PGM (P5) file body.
+///
+/// # Panics
+///
+/// Panics if the tensor is not a single-channel image.
+pub fn to_pgm(image: &Tensor) -> Vec<u8> {
+    let d = image.dims();
+    let (h, w) = match d.len() {
+        2 => (d[0], d[1]),
+        3 if d[0] == 1 => (d[1], d[2]),
+        4 if d[0] == 1 && d[1] == 1 => (d[2], d[3]),
+        _ => panic!("to_pgm expects a single grayscale image, got shape {d:?}"),
+    };
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.extend(
+        image
+            .data()
+            .iter()
+            .map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
+    out
+}
+
+/// Lays a batch `[N, 1, H, W]` out as one `cols`-wide contact sheet and
+/// encodes it as PGM.
+///
+/// # Panics
+///
+/// Panics if the batch is not rank 4 with one channel, or `cols == 0`.
+pub fn contact_sheet(batch: &Tensor, cols: usize) -> Vec<u8> {
+    let d = batch.dims();
+    assert_eq!(d.len(), 4, "contact_sheet expects [N, 1, H, W]");
+    assert_eq!(d[1], 1, "contact_sheet expects one channel");
+    assert!(cols > 0, "zero columns");
+    let (n, h, w) = (d[0], d[2], d[3]);
+    let rows = n.div_ceil(cols);
+    let mut sheet = Tensor::zeros(&[rows * h, cols * w]);
+    for i in 0..n {
+        let (r, c) = (i / cols, i % cols);
+        for y in 0..h {
+            for x in 0..w {
+                let v = batch.at4(i, 0, y, x);
+                sheet.set2(r * h + y, c * w + x, v);
+            }
+        }
+    }
+    to_pgm(&sheet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_size() {
+        let img = Tensor::zeros(&[1, 1, 28, 28]);
+        let pgm = to_pgm(&img);
+        assert!(pgm.starts_with(b"P5\n28 28\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n28 28\n255\n".len() + 28 * 28);
+    }
+
+    #[test]
+    fn values_scale_to_bytes() {
+        let img = Tensor::from_vec(vec![0.0, 0.5, 1.0, 2.0], &[2, 2]);
+        let pgm = to_pgm(&img);
+        let body = &pgm[pgm.len() - 4..];
+        assert_eq!(body, &[0, 128, 255, 255], "clamping and scaling");
+    }
+
+    #[test]
+    fn contact_sheet_dimensions() {
+        let batch = Tensor::zeros(&[5, 1, 4, 4]);
+        let pgm = contact_sheet(&batch, 3);
+        // 5 images in 3 columns -> 2 rows: 8 x 12 pixels.
+        assert!(pgm.starts_with(b"P5\n12 8\n255\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "single grayscale image")]
+    fn multichannel_rejected() {
+        let _ = to_pgm(&Tensor::zeros(&[3, 4, 4]));
+    }
+}

@@ -1,0 +1,216 @@
+//! Architecture description: the paper's 3-conv + 1-FC CNN and width ladders.
+
+/// A ladder of channel widths, one per sub-network level.
+///
+/// The paper's model uses `[4, 8, 12, 16]` kernels for the
+/// `[25%, 50%, 75%, 100%]` sub-networks.
+///
+/// # Example
+///
+/// ```
+/// use fluid_models::WidthLadder;
+/// let ladder = WidthLadder::quarters(16);
+/// assert_eq!(ladder.widths(), &[4, 8, 12, 16]);
+/// assert_eq!(ladder.half(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthLadder {
+    widths: Vec<usize>,
+}
+
+impl WidthLadder {
+    /// Builds a ladder from explicit widths (ascending, last = maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty, not strictly ascending, or starts at 0.
+    pub fn new(widths: Vec<usize>) -> Self {
+        assert!(!widths.is_empty(), "empty width ladder");
+        assert!(widths[0] > 0, "zero-width sub-network");
+        assert!(
+            widths.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly ascending: {widths:?}"
+        );
+        Self { widths }
+    }
+
+    /// The paper's quarter ladder `[max/4, max/2, 3·max/4, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is not divisible by 4.
+    pub fn quarters(max: usize) -> Self {
+        assert!(max % 4 == 0 && max > 0, "max {max} not divisible by 4");
+        Self::new(vec![max / 4, max / 2, 3 * max / 4, max])
+    }
+
+    /// An even ladder with `levels` steps up to `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `max` is not divisible by `levels`.
+    pub fn even(max: usize, levels: usize) -> Self {
+        assert!(levels > 0, "zero levels");
+        assert!(max % levels == 0, "max {max} not divisible by {levels}");
+        Self::new((1..=levels).map(|i| i * max / levels).collect())
+    }
+
+    /// The widths, ascending.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Number of ladder levels.
+    pub fn levels(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// The maximum (100%) width.
+    pub fn max(&self) -> usize {
+        *self.widths.last().expect("non-empty ladder")
+    }
+
+    /// The 50% split point that separates the fluid lower and upper blocks.
+    ///
+    /// For the paper's ladder this is the second level (8 of 16); in general
+    /// it is the middle level's width.
+    pub fn half(&self) -> usize {
+        self.widths[self.levels() / 2 - if self.levels() % 2 == 0 { 1 } else { 0 }]
+    }
+
+    /// Width as a fraction of the maximum, for reporting.
+    pub fn fraction(&self, level: usize) -> f64 {
+        self.widths[level] as f64 / self.max() as f64
+    }
+}
+
+/// The full architecture of the paper's model: three 3×3 conv stages (each
+/// followed by ReLU and 2×2 max-pool) and one FC classifier head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arch {
+    /// Channel width ladder shared by all conv layers.
+    pub ladder: WidthLadder,
+    /// Number of conv stages.
+    pub conv_stages: usize,
+    /// Conv kernel extent.
+    pub kernel: usize,
+    /// Input image side (28 for MNIST-shaped data).
+    pub image_side: usize,
+    /// Input image channels.
+    pub image_channels: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Arch {
+    /// The paper's configuration: 3 conv stages, 3×3 kernels,
+    /// `[4, 8, 12, 16]` channel ladder, 28×28 input, 10 classes.
+    pub fn paper() -> Self {
+        Self {
+            ladder: WidthLadder::quarters(16),
+            conv_stages: 3,
+            kernel: 3,
+            image_side: 28,
+            image_channels: 1,
+            classes: 10,
+        }
+    }
+
+    /// A reduced architecture for fast tests (2 stages, 8 max channels,
+    /// 14×14 input).
+    pub fn tiny() -> Self {
+        Self {
+            ladder: WidthLadder::quarters(8),
+            conv_stages: 2,
+            kernel: 3,
+            image_side: 14,
+            image_channels: 1,
+            classes: 10,
+        }
+    }
+
+    /// A reduced architecture that still consumes 28×28 images (fast tests
+    /// over the real synthetic dataset).
+    pub fn tiny_28() -> Self {
+        Self {
+            ladder: WidthLadder::quarters(8),
+            conv_stages: 2,
+            kernel: 3,
+            image_side: 28,
+            image_channels: 1,
+            classes: 10,
+        }
+    }
+
+    /// Spatial side length after `stage` pool operations (2×2, stride 2,
+    /// truncating).
+    pub fn side_after(&self, stage: usize) -> usize {
+        let mut side = self.image_side;
+        for _ in 0..stage {
+            side /= 2;
+        }
+        side
+    }
+
+    /// Side length of the final feature map entering the FC layer.
+    pub fn final_side(&self) -> usize {
+        self.side_after(self.conv_stages)
+    }
+
+    /// Features per channel after flattening (`final_side²`).
+    pub fn features_per_channel(&self) -> usize {
+        self.final_side() * self.final_side()
+    }
+
+    /// Maximum FC input features (`max_channels × final_side²`).
+    pub fn fc_in_max(&self) -> usize {
+        self.ladder.max() * self.features_per_channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladder_matches_paper() {
+        let a = Arch::paper();
+        assert_eq!(a.ladder.widths(), &[4, 8, 12, 16]);
+        assert_eq!(a.conv_stages, 3);
+        assert_eq!(a.kernel, 3);
+    }
+
+    #[test]
+    fn paper_feature_geometry() {
+        // 28 -> 14 -> 7 -> 3 through three 2x2 pools.
+        let a = Arch::paper();
+        assert_eq!(a.side_after(1), 14);
+        assert_eq!(a.side_after(2), 7);
+        assert_eq!(a.final_side(), 3);
+        assert_eq!(a.fc_in_max(), 16 * 9);
+    }
+
+    #[test]
+    fn half_is_fifty_percent_level() {
+        assert_eq!(WidthLadder::quarters(16).half(), 8);
+        assert_eq!(WidthLadder::even(8, 2).half(), 4);
+    }
+
+    #[test]
+    fn even_ladder() {
+        assert_eq!(WidthLadder::even(16, 8).widths(), &[2, 4, 6, 8, 10, 12, 14, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn non_ascending_panics() {
+        let _ = WidthLadder::new(vec![4, 4, 8]);
+    }
+
+    #[test]
+    fn fraction_reporting() {
+        let l = WidthLadder::quarters(16);
+        assert!((l.fraction(0) - 0.25).abs() < 1e-9);
+        assert!((l.fraction(3) - 1.0).abs() < 1e-9);
+    }
+}

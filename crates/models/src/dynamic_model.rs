@@ -1,0 +1,156 @@
+//! The Dynamic (slimmable) DNN baseline, paper reference [3].
+
+use crate::arch::Arch;
+use crate::network::ConvNet;
+use crate::spec::{BranchSpec, SubnetSpec};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+
+/// A width-slimmable CNN trained with incremental training.
+///
+/// Sub-network at level `l` uses the channel **prefix** `0..widths[l]` of
+/// every layer. Containment is triangular: the channels a wider sub-network
+/// adds read *all* lower channels, so the upper weight groups are useless
+/// without the lower activations. Consequence (paper Fig. 1c): the device
+/// holding the upper groups cannot infer on its own — only prefix
+/// sub-networks are deployable units.
+#[derive(Debug, Clone)]
+pub struct DynamicModel {
+    net: ConvNet,
+    specs: Vec<SubnetSpec>,
+}
+
+impl DynamicModel {
+    /// Creates a dynamic model with one prefix sub-network per ladder level.
+    pub fn new(arch: Arch, rng: &mut Prng) -> Self {
+        let specs = arch
+            .ladder
+            .widths()
+            .iter()
+            .map(|&w| {
+                let name = format!("width{w}");
+                SubnetSpec::single(BranchSpec::uniform(
+                    &name,
+                    ChannelRange::prefix(w),
+                    arch.conv_stages,
+                    true,
+                ))
+            })
+            .collect();
+        Self {
+            net: ConvNet::new(arch, rng),
+            specs,
+        }
+    }
+
+    /// All sub-network specs, narrowest first.
+    pub fn specs(&self) -> &[SubnetSpec] {
+        &self.specs
+    }
+
+    /// The sub-network spec at ladder level `l` (0 = narrowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn level(&self, l: usize) -> &SubnetSpec {
+        &self.specs[l]
+    }
+
+    /// The full-width (100%) spec.
+    pub fn full(&self) -> &SubnetSpec {
+        self.specs.last().expect("non-empty ladder")
+    }
+
+    /// The 50% spec (the widest sub-network the Master alone can run in the
+    /// paper's deployment).
+    pub fn half(&self) -> &SubnetSpec {
+        let half_w = self.net.arch().ladder.half();
+        self.specs
+            .iter()
+            .find(|s| s.branches[0].channels[0].hi == half_w)
+            .expect("ladder contains the half width")
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &ConvNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (training).
+    pub fn net_mut(&mut self) -> &mut ConvNet {
+        &mut self.net
+    }
+
+    /// Runs inference with the sub-network at ladder level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn infer_level(&mut self, l: usize, x: &Tensor) -> Tensor {
+        let spec = self.specs[l].clone();
+        self.net.forward_subnet(x, &spec, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_specs_are_prefixes() {
+        let m = DynamicModel::new(Arch::paper(), &mut Prng::new(0));
+        assert_eq!(m.specs().len(), 4);
+        for (i, w) in [4usize, 8, 12, 16].iter().enumerate() {
+            let r = m.level(i).branches[0].channels[0];
+            assert_eq!((r.lo, r.hi), (0, *w));
+        }
+    }
+
+    #[test]
+    fn half_is_width8() {
+        let m = DynamicModel::new(Arch::paper(), &mut Prng::new(0));
+        assert_eq!(m.half().name, "width8");
+    }
+
+    #[test]
+    fn containment_smaller_inside_larger() {
+        // The 25% sub-network's output must not change when evaluated via a
+        // model that also has wider weights — prefix slicing guarantees it
+        // reads only channels 0..4.
+        let mut m = DynamicModel::new(Arch::paper(), &mut Prng::new(1));
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 29) as f32) / 29.0);
+        let y4_before = m.infer_level(0, &x);
+        // Scramble channels 4..16 of all conv weights.
+        for conv in m.net_mut().convs_mut() {
+            let ci_max = conv.c_in_max();
+            let kk = conv.kernel() * conv.kernel();
+            for co in 4..16 {
+                for ci in 0..ci_max {
+                    for t in 0..kk {
+                        conv.weight_mut().data_mut()[(co * ci_max + ci) * kk + t] += 50.0;
+                    }
+                }
+            }
+        }
+        let y4_after = m.infer_level(0, &x);
+        assert!(y4_before.allclose(&y4_after, 0.0), "25% subnet reads beyond its prefix");
+    }
+
+    #[test]
+    fn all_levels_produce_logits() {
+        let mut m = DynamicModel::new(Arch::paper(), &mut Prng::new(2));
+        let x = Tensor::zeros(&[2, 1, 28, 28]);
+        for l in 0..4 {
+            assert_eq!(m.infer_level(l, &x).dims(), &[2, 10]);
+        }
+    }
+
+    #[test]
+    fn specs_validate() {
+        let m = DynamicModel::new(Arch::paper(), &mut Prng::new(3));
+        for s in m.specs() {
+            assert!(s.validate(m.net().arch()).is_ok(), "{}", s.name);
+        }
+    }
+}

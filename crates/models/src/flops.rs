@@ -1,0 +1,148 @@
+//! Compute and communication cost accounting.
+//!
+//! The paper's throughput figure is driven by two quantities: per-device
+//! compute (MACs through the deployed sub-network) and inter-device
+//! communication volume. This module derives both *from the specs*, so the
+//! performance model in `fluid-perf` reproduces the figure mechanically
+//! rather than by hard-coding outcomes.
+
+use crate::arch::Arch;
+use crate::spec::{BranchSpec, SubnetSpec};
+
+/// Per-branch / per-subnet compute-and-traffic summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostReport {
+    /// Multiply-accumulate operations per image.
+    pub macs: u64,
+    /// Parameters touched (weights + biases actually used).
+    pub params: usize,
+    /// Activation bytes crossing a device boundary per image, assuming the
+    /// branch runs entirely on one device (0 for standalone branches —
+    /// only logits move, counted separately by the runtime).
+    pub comm_bytes: u64,
+}
+
+impl CostReport {
+    /// Element-wise sum of two reports.
+    pub fn merge(self, other: CostReport) -> CostReport {
+        CostReport {
+            macs: self.macs + other.macs,
+            params: self.params + other.params,
+            comm_bytes: self.comm_bytes + other.comm_bytes,
+        }
+    }
+}
+
+/// Compute cost of one branch per image (conv stages + FC partial).
+pub fn branch_cost(arch: &Arch, branch: &BranchSpec) -> CostReport {
+    let kk = (arch.kernel * arch.kernel) as u64;
+    let mut macs = 0u64;
+    let mut params = 0usize;
+    for stage in 0..arch.conv_stages {
+        let in_w = branch.in_range(stage, arch.image_channels).width() as u64;
+        let out_w = branch.channels[stage].width() as u64;
+        let side = arch.side_after(stage) as u64; // conv is same-padded
+        macs += out_w * in_w * kk * side * side;
+        params += (out_w * in_w * kk + out_w) as usize;
+    }
+    let fc_cols = branch.fc_range(arch).width() as u64;
+    macs += fc_cols * arch.classes as u64;
+    params += fc_cols as usize * arch.classes
+        + if branch.fc_bias { arch.classes } else { 0 };
+    CostReport {
+        macs,
+        params,
+        comm_bytes: 0,
+    }
+}
+
+/// Compute cost of a full sub-network per image.
+pub fn subnet_cost(arch: &Arch, subnet: &SubnetSpec) -> CostReport {
+    subnet
+        .branches
+        .iter()
+        .map(|b| branch_cost(arch, b))
+        .fold(CostReport::default(), CostReport::merge)
+}
+
+/// Activation traffic per image for a **static dense** model split across
+/// two devices by output channels.
+///
+/// Dense connectivity means every conv stage needs the other device's half
+/// of the previous stage's activations: each device must receive the peer's
+/// half-feature-map before computing the next stage, i.e. per stage
+/// boundary `half_channels × side² × 4` bytes flow in **each** direction
+/// (we report the per-device receive volume, which is what serialises the
+/// pipeline). The final FC partials add one logits vector.
+pub fn static_partition_comm_bytes(arch: &Arch) -> u64 {
+    let half = (arch.ladder.max() / 2) as u64;
+    let mut bytes = 0u64;
+    // After stages 1..conv_stages-1 the halves must be exchanged before the
+    // next conv; after the last stage the FC can be computed as column
+    // partials, so only logits move.
+    for stage in 1..arch.conv_stages {
+        let side = arch.side_after(stage) as u64; // activations entering next conv
+        bytes += half * side * side * 4;
+    }
+    bytes += (arch.classes * 4) as u64; // partial logits merge
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_nn::ChannelRange;
+
+    fn branch(r: ChannelRange) -> BranchSpec {
+        BranchSpec::uniform("b", r, 3, true)
+    }
+
+    #[test]
+    fn full_width_macs_match_manual_count() {
+        let arch = Arch::paper();
+        let b = branch(ChannelRange::prefix(16));
+        let c = branch_cost(&arch, &b);
+        // conv1: 16*1*9*28*28, conv2: 16*16*9*14*14, conv3: 16*16*9*7*7, fc: 144*10
+        let expected = 16 * 9 * 28 * 28 + 16 * 16 * 9 * 14 * 14 + 16 * 16 * 9 * 7 * 7 + 144 * 10;
+        assert_eq!(c.macs, expected as u64);
+    }
+
+    #[test]
+    fn half_width_macs_are_quarterish() {
+        // Conv MACs scale ~quadratically with width (in × out), so the 50%
+        // branch should cost roughly a quarter of the dense conv work.
+        let arch = Arch::paper();
+        let full = branch_cost(&arch, &branch(ChannelRange::prefix(16))).macs as f64;
+        let half = branch_cost(&arch, &branch(ChannelRange::prefix(8))).macs as f64;
+        let ratio = half / full;
+        assert!(ratio > 0.2 && ratio < 0.45, "ratio {ratio}");
+    }
+
+    #[test]
+    fn upper_block_costs_same_as_lower_block() {
+        let arch = Arch::paper();
+        let lo = branch_cost(&arch, &branch(ChannelRange::new(0, 8)));
+        let hi = branch_cost(&arch, &branch(ChannelRange::new(8, 16)));
+        assert_eq!(lo.macs, hi.macs);
+    }
+
+    #[test]
+    fn collective_cost_is_sum_of_branches() {
+        let arch = Arch::paper();
+        let lo = BranchSpec::uniform("lo", ChannelRange::new(0, 8), 3, true);
+        let mut hi = BranchSpec::uniform("hi", ChannelRange::new(8, 16), 3, false);
+        hi.fc_bias = false;
+        let s = SubnetSpec::collective("c", vec![lo.clone(), hi.clone()]);
+        let sum = branch_cost(&arch, &lo).macs + branch_cost(&arch, &hi).macs;
+        assert_eq!(subnet_cost(&arch, &s).macs, sum);
+    }
+
+    #[test]
+    fn static_split_traffic_dominates_logit_traffic() {
+        let arch = Arch::paper();
+        let bytes = static_partition_comm_bytes(&arch);
+        // Halves of 14x14 and 7x7 maps: 8*(196+49)*4 + 40 logits bytes.
+        assert_eq!(bytes, 8 * (196 + 49) * 4 + 40);
+        assert!(bytes > 1000);
+    }
+}

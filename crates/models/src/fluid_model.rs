@@ -1,0 +1,182 @@
+//! The Fluid Dynamic DNN — the paper's contribution.
+
+use crate::arch::Arch;
+use crate::network::ConvNet;
+use crate::spec::{BranchSpec, SubnetSpec};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+
+/// A Fluid DyDNN: block-structured channel connectivity that makes the
+/// upper sub-networks independently executable.
+///
+/// With the paper's `[4, 8, 12, 16]` ladder the channel space of every conv
+/// layer splits at 8 into a *lower* and an *upper* block:
+///
+/// | sub-network   | conv channels | standalone? |
+/// |---------------|---------------|-------------|
+/// | `lower25`     | `0..4`        | yes         |
+/// | `lower50`     | `0..8`        | yes         |
+/// | `upper25`     | `8..12`       | yes         |
+/// | `upper50`     | `8..16`       | yes         |
+/// | `combined75`  | `lower50` + `upper25` | collective |
+/// | `combined100` | `lower50` + `upper50` | collective |
+///
+/// Upper-block conv channels read only upper-block activations of the
+/// previous layer (block-diagonal connectivity); the only cross-block
+/// operation is the final FC, whose logits decompose into a sum of partial
+/// products. That is what enables both execution modes of the paper:
+///
+/// * **High-Throughput**: `lower50` on the Master and `upper50` on the
+///   Worker process *different* inputs concurrently.
+/// * **High-Accuracy**: both devices run their branch on the *same* input
+///   and the Master sums the partial logits — one tiny message per batch
+///   instead of per-layer activation exchange.
+#[derive(Debug, Clone)]
+pub struct FluidModel {
+    net: ConvNet,
+    specs: Vec<SubnetSpec>,
+}
+
+/// Names of the standalone fluid sub-networks, narrow to wide.
+pub const STANDALONE_SUBNETS: [&str; 4] = ["lower25", "lower50", "upper25", "upper50"];
+
+impl FluidModel {
+    /// Creates a fluid model with fresh weights and the standard sub-network
+    /// registry listed in the type docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture's ladder has fewer than 4 levels (the
+    /// quarter structure needs 25/50/75/100 points).
+    pub fn new(arch: Arch, rng: &mut Prng) -> Self {
+        let w = arch.ladder.widths();
+        assert!(w.len() >= 4, "fluid quarter structure needs a 4-level ladder");
+        let (c25, c50, c75, c100) = (w[0], w[1], w[2], w[3]);
+        let stages = arch.conv_stages;
+
+        let lower25 = BranchSpec::uniform("lower25", ChannelRange::new(0, c25), stages, true);
+        let lower50 = BranchSpec::uniform("lower50", ChannelRange::new(0, c50), stages, true);
+        let upper25 = BranchSpec::uniform("upper25", ChannelRange::new(c50, c75), stages, true);
+        let upper50 = BranchSpec::uniform("upper50", ChannelRange::new(c50, c100), stages, true);
+
+        let mut upper25_partial = upper25.clone();
+        upper25_partial.fc_bias = false;
+        let mut upper50_partial = upper50.clone();
+        upper50_partial.fc_bias = false;
+
+        let specs = vec![
+            SubnetSpec::single(lower25),
+            SubnetSpec::single(lower50.clone()),
+            SubnetSpec::single(upper25),
+            SubnetSpec::single(upper50),
+            SubnetSpec::collective("combined75", vec![lower50.clone(), upper25_partial]),
+            SubnetSpec::collective("combined100", vec![lower50, upper50_partial]),
+        ];
+        Self {
+            net: ConvNet::new(arch, rng),
+            specs,
+        }
+    }
+
+    /// All sub-network specs.
+    pub fn specs(&self) -> &[SubnetSpec] {
+        &self.specs
+    }
+
+    /// Looks up a sub-network by name (`"lower50"`, `"combined100"`, …).
+    pub fn spec(&self, name: &str) -> Option<&SubnetSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &ConvNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (training).
+    pub fn net_mut(&mut self) -> &mut ConvNet {
+        &mut self.net
+    }
+
+    /// Runs inference with the named sub-network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a registered sub-network.
+    pub fn infer(&mut self, name: &str, x: &Tensor) -> Tensor {
+        let spec = self
+            .spec(name)
+            .unwrap_or_else(|| panic!("unknown sub-network {name:?}"))
+            .clone();
+        self.net.forward_subnet(x, &spec, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_six_subnets() {
+        let m = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+        let names: Vec<&str> = m.specs().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"]
+        );
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        let m = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+        for s in m.specs() {
+            assert!(s.validate(m.net().arch()).is_ok(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn upper_ranges_are_blocks() {
+        let m = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+        let u25 = &m.spec("upper25").expect("upper25").branches[0];
+        assert_eq!((u25.channels[0].lo, u25.channels[0].hi), (8, 12));
+        let u50 = &m.spec("upper50").expect("upper50").branches[0];
+        assert_eq!((u50.channels[0].lo, u50.channels[0].hi), (8, 16));
+    }
+
+    #[test]
+    fn combined100_decomposes_into_halves() {
+        let mut m = FluidModel::new(Arch::paper(), &mut Prng::new(4));
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| ((i * 13 % 53) as f32) / 53.0);
+        let joint = m.infer("combined100", &x);
+
+        // lower50 standalone includes the bias; upper50 standalone also
+        // includes the bias, so subtract it once.
+        let p_lo = m.infer("lower50", &x);
+        let p_hi = m.infer("upper50", &x);
+        let mut bias_row = Tensor::zeros(&[2, 10]);
+        for r in 0..2 {
+            for c in 0..10 {
+                bias_row.set2(r, c, m.net().fc().bias().data()[c]);
+            }
+        }
+        let merged = p_lo.add(&p_hi).sub(&bias_row);
+        assert!(joint.allclose(&merged, 1e-5), "diff {}", joint.max_abs_diff(&merged));
+    }
+
+    #[test]
+    fn every_standalone_subnet_runs_alone() {
+        let mut m = FluidModel::new(Arch::paper(), &mut Prng::new(5));
+        let x = Tensor::zeros(&[1, 1, 28, 28]);
+        for name in STANDALONE_SUBNETS {
+            let y = m.infer(name, &x);
+            assert_eq!(y.dims(), &[1, 10], "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sub-network")]
+    fn unknown_name_panics() {
+        let mut m = FluidModel::new(Arch::paper(), &mut Prng::new(6));
+        let _ = m.infer("nope", &Tensor::zeros(&[1, 1, 28, 28]));
+    }
+}

@@ -1,0 +1,242 @@
+//! N-block Fluid DyDNNs — the paper's "applicable to any number of
+//! sub-networks" generalisation.
+//!
+//! [`FluidModel`](crate::FluidModel) implements the paper's evaluated
+//! 2-block (lower/upper) structure; this module generalises to `N`
+//! disjoint channel blocks so an `N`-device system gets one standalone
+//! branch per device plus combined models over any prefix of blocks.
+//!
+//! Everything else — block-diagonal conv connectivity, FC partial-logit
+//! merging, masked training — carries over unchanged because the layer
+//! primitives are range-based.
+
+use crate::arch::Arch;
+use crate::network::ConvNet;
+use crate::spec::{BranchSpec, SubnetSpec};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+
+/// A Fluid DyDNN whose channel space splits into `N` equal blocks.
+///
+/// Registered sub-networks:
+/// * `block0` … `block{N-1}` — standalone, one per device;
+/// * `combined2` … `combined{N}` — blocks `0..k` merged at the FC layer.
+///
+/// # Example
+///
+/// ```
+/// use fluid_models::{Arch, MultiBlockFluid};
+/// use fluid_tensor::{Prng, Tensor};
+/// let mut m = MultiBlockFluid::new(Arch::paper(), 4, &mut Prng::new(0));
+/// let x = Tensor::zeros(&[1, 1, 28, 28]);
+/// assert_eq!(m.infer("block3", &x).dims(), &[1, 10]);
+/// assert_eq!(m.infer("combined4", &x).dims(), &[1, 10]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiBlockFluid {
+    net: ConvNet,
+    blocks: Vec<ChannelRange>,
+    specs: Vec<SubnetSpec>,
+}
+
+impl MultiBlockFluid {
+    /// Creates an `n_blocks`-way fluid model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_blocks == 0` or the architecture's maximum width is not
+    /// divisible by `n_blocks`.
+    pub fn new(arch: Arch, n_blocks: usize, rng: &mut Prng) -> Self {
+        assert!(n_blocks > 0, "zero blocks");
+        let max = arch.ladder.max();
+        assert!(
+            max % n_blocks == 0,
+            "{max} channels not divisible into {n_blocks} blocks"
+        );
+        let bw = max / n_blocks;
+        let blocks: Vec<ChannelRange> = (0..n_blocks)
+            .map(|i| ChannelRange::new(i * bw, (i + 1) * bw))
+            .collect();
+        let stages = arch.conv_stages;
+
+        let mut specs = Vec::new();
+        for (i, &range) in blocks.iter().enumerate() {
+            specs.push(SubnetSpec::single(BranchSpec::uniform(
+                &format!("block{i}"),
+                range,
+                stages,
+                true,
+            )));
+        }
+        for k in 2..=n_blocks {
+            let mut branches = Vec::with_capacity(k);
+            for (i, &range) in blocks.iter().take(k).enumerate() {
+                branches.push(BranchSpec::uniform(
+                    &format!("block{i}"),
+                    range,
+                    stages,
+                    i == 0, // block0 owns the bias in combined models
+                ));
+            }
+            specs.push(SubnetSpec::collective(&format!("combined{k}"), branches));
+        }
+
+        Self {
+            net: ConvNet::new(arch, rng),
+            blocks,
+            specs,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block channel ranges.
+    pub fn blocks(&self) -> &[ChannelRange] {
+        &self.blocks
+    }
+
+    /// All registered sub-network specs.
+    pub fn specs(&self) -> &[SubnetSpec] {
+        &self.specs
+    }
+
+    /// Looks up a sub-network by name.
+    pub fn spec(&self, name: &str) -> Option<&SubnetSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &ConvNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut ConvNet {
+        &mut self.net
+    }
+
+    /// Runs inference with the named sub-network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not registered.
+    pub fn infer(&mut self, name: &str, x: &Tensor) -> Tensor {
+        let spec = self
+            .spec(name)
+            .unwrap_or_else(|| panic!("unknown sub-network {name:?}"))
+            .clone();
+        self.net.forward_subnet(x, &spec, false)
+    }
+
+    /// The training ladder for the generalised Algorithm 1: combined
+    /// prefixes narrow→wide (`block0`, `combined2`, …, `combinedN`)
+    /// followed by the standalone blocks (`block1` … `block{N-1}`).
+    pub fn training_ladder(&self) -> (Vec<String>, Vec<String>) {
+        let n = self.n_blocks();
+        let mut base = vec!["block0".to_owned()];
+        for k in 2..=n {
+            base.push(format!("combined{k}"));
+        }
+        let nested = (1..n).map(|i| format!("block{i}")).collect();
+        (base, nested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_blocks_register_seven_specs() {
+        let m = MultiBlockFluid::new(Arch::paper(), 4, &mut Prng::new(0));
+        let names: Vec<&str> = m.specs().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["block0", "block1", "block2", "block3", "combined2", "combined3", "combined4"]
+        );
+        assert_eq!(m.blocks().len(), 4);
+        assert_eq!(m.blocks()[2], ChannelRange::new(8, 12));
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for n in [1usize, 2, 4, 8] {
+            let m = MultiBlockFluid::new(Arch::paper(), n, &mut Prng::new(1));
+            for s in m.specs() {
+                assert!(s.validate(m.net().arch()).is_ok(), "{n} blocks: {}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_n_decomposes_into_blocks() {
+        let mut m = MultiBlockFluid::new(Arch::paper(), 4, &mut Prng::new(2));
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| ((i * 7 % 61) as f32) / 61.0);
+        let joint = m.infer("combined4", &x);
+
+        // Sum the standalone block partials, subtracting the (N-1) extra
+        // bias copies the standalone branches add.
+        let mut merged = m.infer("block0", &x);
+        for i in 1..4 {
+            let partial = m.infer(&format!("block{i}"), &x);
+            merged = merged.add(&partial);
+        }
+        let mut bias3 = Tensor::zeros(&[2, 10]);
+        for r in 0..2 {
+            for c in 0..10 {
+                bias3.set2(r, c, 3.0 * m.net().fc().bias().data()[c]);
+            }
+        }
+        let merged = merged.sub(&bias3);
+        assert!(joint.allclose(&merged, 1e-4), "diff {}", joint.max_abs_diff(&merged));
+    }
+
+    #[test]
+    fn blocks_are_mutually_isolated() {
+        let mut m = MultiBlockFluid::new(Arch::paper(), 4, &mut Prng::new(3));
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i * 5 % 37) as f32) / 37.0);
+        let before = m.infer("block2", &x);
+        // Scramble every other block's conv weights.
+        let block2 = m.blocks()[2];
+        for conv in m.net_mut().convs_mut() {
+            let ci_max = conv.c_in_max();
+            let kk = conv.kernel() * conv.kernel();
+            for co in 0..16 {
+                if block2.contains(co) {
+                    continue;
+                }
+                for ci in 0..ci_max {
+                    for t in 0..kk {
+                        conv.weight_mut().data_mut()[(co * ci_max + ci) * kk + t] += 9.0;
+                    }
+                }
+            }
+        }
+        let after = m.infer("block2", &x);
+        assert!(before.allclose(&after, 0.0), "block2 depends on other blocks");
+    }
+
+    #[test]
+    fn training_ladder_shape() {
+        let m = MultiBlockFluid::new(Arch::paper(), 4, &mut Prng::new(4));
+        let (base, nested) = m.training_ladder();
+        assert_eq!(base, vec!["block0", "combined2", "combined3", "combined4"]);
+        assert_eq!(nested, vec!["block1", "block2", "block3"]);
+    }
+
+    #[test]
+    fn single_block_degenerates_to_static() {
+        let m = MultiBlockFluid::new(Arch::paper(), 1, &mut Prng::new(5));
+        assert_eq!(m.specs().len(), 1);
+        assert_eq!(m.specs()[0].name, "block0");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_blocks_panic() {
+        let _ = MultiBlockFluid::new(Arch::paper(), 5, &mut Prng::new(6));
+    }
+}

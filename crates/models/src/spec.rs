@@ -1,0 +1,237 @@
+//! Sub-network descriptors.
+
+use crate::arch::Arch;
+use fluid_nn::ChannelRange;
+
+/// One *branch*: a chain through every conv stage using a fixed output
+/// channel range per stage, ending in an FC partial product.
+///
+/// A branch is the unit that runs on a single device: its conv windows only
+/// ever read the activations the branch itself produced (plus the input
+/// image), so a device holding the branch's weight windows can execute it
+/// with no communication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchSpec {
+    /// Human-readable branch name (e.g. `"lower50"`, `"upper25"`).
+    pub name: String,
+    /// Output channel range of each conv stage, in order.
+    pub channels: Vec<ChannelRange>,
+    /// Whether this branch's FC partial product adds the bias. Exactly one
+    /// branch per sub-network must set this.
+    pub fc_bias: bool,
+}
+
+impl BranchSpec {
+    /// Creates a branch with the same channel range at every stage.
+    pub fn uniform(name: &str, range: ChannelRange, stages: usize, fc_bias: bool) -> Self {
+        Self {
+            name: name.to_owned(),
+            channels: vec![range; stages],
+            fc_bias,
+        }
+    }
+
+    /// Input channel range of stage `i` (stage 0 reads the image).
+    pub fn in_range(&self, stage: usize, image_channels: usize) -> ChannelRange {
+        if stage == 0 {
+            ChannelRange::prefix(image_channels)
+        } else {
+            self.channels[stage - 1]
+        }
+    }
+
+    /// The FC column range this branch's flattened output occupies.
+    pub fn fc_range(&self, arch: &Arch) -> ChannelRange {
+        self.channels
+            .last()
+            .expect("branch with no stages")
+            .to_feature_range(arch.features_per_channel())
+    }
+
+    /// Output channels of the final conv stage.
+    pub fn final_channels(&self) -> ChannelRange {
+        *self.channels.last().expect("branch with no stages")
+    }
+}
+
+/// A deployable sub-network: one or more branches whose FC partial products
+/// are summed into the final logits.
+///
+/// Single-branch specs run standalone on one device. Multi-branch specs
+/// (the fluid 75%/100% models) can run collectively: each device evaluates
+/// one branch and the Master sums the partial logits (High-Accuracy mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubnetSpec {
+    /// Sub-network name (e.g. `"lower50"`, `"combined100"`).
+    pub name: String,
+    /// The branches; their FC partials sum to the logits.
+    pub branches: Vec<BranchSpec>,
+}
+
+impl SubnetSpec {
+    /// Creates a single-branch sub-network.
+    pub fn single(branch: BranchSpec) -> Self {
+        Self {
+            name: branch.name.clone(),
+            branches: vec![branch],
+        }
+    }
+
+    /// Creates a multi-branch (collective) sub-network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty, more than one branch claims the FC
+    /// bias, or none does.
+    pub fn collective(name: &str, branches: Vec<BranchSpec>) -> Self {
+        assert!(!branches.is_empty(), "sub-network with no branches");
+        let bias_count = branches.iter().filter(|b| b.fc_bias).count();
+        assert_eq!(bias_count, 1, "exactly one branch must own the FC bias, got {bias_count}");
+        Self {
+            name: name.to_owned(),
+            branches,
+        }
+    }
+
+    /// Whether this sub-network runs on a single device.
+    pub fn is_standalone(&self) -> bool {
+        self.branches.len() == 1
+    }
+
+    /// Verifies the structural invariants of the spec against an
+    /// architecture: stage counts match, ranges fit the ladder maximum, and
+    /// branches are channel-disjoint at every stage.
+    ///
+    /// Returns a human-readable error on violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` describing the first violated invariant.
+    pub fn validate(&self, arch: &Arch) -> Result<(), String> {
+        let max = arch.ladder.max();
+        let bias_count = self.branches.iter().filter(|b| b.fc_bias).count();
+        if bias_count != 1 {
+            return Err(format!("{}: {bias_count} branches own the FC bias", self.name));
+        }
+        for b in &self.branches {
+            if b.channels.len() != arch.conv_stages {
+                return Err(format!(
+                    "{}/{}: {} stages, arch has {}",
+                    self.name,
+                    b.name,
+                    b.channels.len(),
+                    arch.conv_stages
+                ));
+            }
+            for (s, r) in b.channels.iter().enumerate() {
+                if !r.fits(max) {
+                    return Err(format!("{}/{} stage {s}: range {r} exceeds {max}", self.name, b.name));
+                }
+                if r.width() == 0 {
+                    return Err(format!("{}/{} stage {s}: empty range", self.name, b.name));
+                }
+            }
+        }
+        for s in 0..arch.conv_stages {
+            for i in 0..self.branches.len() {
+                for j in (i + 1)..self.branches.len() {
+                    let (a, b) = (&self.branches[i].channels[s], &self.branches[j].channels[s]);
+                    if a.overlaps(b) {
+                        return Err(format!(
+                            "{}: branches {} and {} overlap at stage {s} ({a} vs {b})",
+                            self.name, self.branches[i].name, self.branches[j].name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total active channels at the final stage across branches.
+    pub fn total_final_channels(&self) -> usize {
+        self.branches.iter().map(|b| b.final_channels().width()).sum()
+    }
+}
+
+impl std::fmt::Display for SubnetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", b.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower50(stages: usize) -> BranchSpec {
+        BranchSpec::uniform("lower50", ChannelRange::new(0, 8), stages, true)
+    }
+
+    fn upper50(stages: usize, bias: bool) -> BranchSpec {
+        BranchSpec::uniform("upper50", ChannelRange::new(8, 16), stages, bias)
+    }
+
+    #[test]
+    fn stage_zero_reads_image() {
+        let b = lower50(3);
+        assert_eq!(b.in_range(0, 1), ChannelRange::new(0, 1));
+        assert_eq!(b.in_range(1, 1), ChannelRange::new(0, 8));
+    }
+
+    #[test]
+    fn fc_range_is_channel_major() {
+        let arch = Arch::paper();
+        let b = upper50(3, false);
+        let r = b.fc_range(&arch);
+        assert_eq!((r.lo, r.hi), (8 * 9, 16 * 9));
+    }
+
+    #[test]
+    fn collective_validates_against_paper_arch() {
+        let arch = Arch::paper();
+        let s = SubnetSpec::collective("combined100", vec![lower50(3), upper50(3, false)]);
+        assert!(s.validate(&arch).is_ok());
+        assert_eq!(s.total_final_channels(), 16);
+        assert!(!s.is_standalone());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one branch must own the FC bias")]
+    fn double_bias_panics() {
+        let _ = SubnetSpec::collective("bad", vec![lower50(3), upper50(3, true)]);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let arch = Arch::paper();
+        let a = BranchSpec::uniform("a", ChannelRange::new(0, 10), 3, true);
+        let b = BranchSpec::uniform("b", ChannelRange::new(8, 16), 3, false);
+        let s = SubnetSpec {
+            name: "overlapping".into(),
+            branches: vec![a, b],
+        };
+        let err = s.validate(&arch).expect_err("must detect overlap");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn wrong_stage_count_detected() {
+        let arch = Arch::paper();
+        let s = SubnetSpec::single(lower50(2));
+        assert!(s.validate(&arch).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = SubnetSpec::collective("combined100", vec![lower50(3), upper50(3, false)]);
+        assert_eq!(s.to_string(), "combined100(lower50+upper50)");
+    }
+}

@@ -1,0 +1,79 @@
+//! The Static DNN baseline.
+
+use crate::arch::Arch;
+use crate::network::ConvNet;
+use crate::spec::{BranchSpec, SubnetSpec};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+
+/// A plain dense CNN: only the full 100% network exists.
+///
+/// Every output channel of every conv layer reads every input channel, so
+/// no proper subset of the weights computes a valid function. When the
+/// model is partitioned across two devices (channel split), the devices
+/// must exchange activations after **every layer** — and if either device
+/// fails, inference is impossible. This is the reliability baseline the
+/// paper's Fig. 1(b,c) illustrates.
+#[derive(Debug, Clone)]
+pub struct StaticModel {
+    net: ConvNet,
+    spec: SubnetSpec,
+}
+
+impl StaticModel {
+    /// Creates a static model with fresh weights.
+    pub fn new(arch: Arch, rng: &mut Prng) -> Self {
+        let full = ChannelRange::prefix(arch.ladder.max());
+        let spec = SubnetSpec::single(BranchSpec::uniform("full", full, arch.conv_stages, true));
+        Self {
+            net: ConvNet::new(arch, rng),
+            spec,
+        }
+    }
+
+    /// The single full-width sub-network spec.
+    pub fn spec(&self) -> &SubnetSpec {
+        &self.spec
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &ConvNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (training).
+    pub fn net_mut(&mut self) -> &mut ConvNet {
+        &mut self.net
+    }
+
+    /// Runs inference on a batch, returning logits.
+    pub fn infer(&mut self, x: &Tensor) -> Tensor {
+        let spec = self.spec.clone();
+        self.net.forward_subnet(x, &spec, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_full_subnet() {
+        let m = StaticModel::new(Arch::paper(), &mut Prng::new(0));
+        assert_eq!(m.spec().branches.len(), 1);
+        assert_eq!(m.spec().branches[0].channels[0], ChannelRange::prefix(16));
+    }
+
+    #[test]
+    fn inference_shape() {
+        let mut m = StaticModel::new(Arch::paper(), &mut Prng::new(1));
+        let y = m.infer(&Tensor::zeros(&[4, 1, 28, 28]));
+        assert_eq!(y.dims(), &[4, 10]);
+    }
+
+    #[test]
+    fn spec_valid() {
+        let m = StaticModel::new(Arch::paper(), &mut Prng::new(2));
+        assert!(m.spec().validate(m.net().arch()).is_ok());
+    }
+}

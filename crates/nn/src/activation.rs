@@ -1,0 +1,90 @@
+//! Activation layers.
+
+use fluid_tensor::Tensor;
+
+/// Rectified linear unit with cached mask for backprop.
+///
+/// # Example
+///
+/// ```
+/// use fluid_nn::Relu;
+/// use fluid_tensor::Tensor;
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]), false);
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self { mask: Vec::new() }
+    }
+
+    /// Applies `max(x, 0)` elementwise; caches the pass-through mask when
+    /// `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask.push(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.relu()
+    }
+
+    /// Backpropagates using the cached mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass is cached or the element count
+    /// differs.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.pop().expect("backward without cached forward");
+        assert_eq!(mask.len(), grad_out.numel(), "relu mask length mismatch");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![-3.0, 0.0, 5.0], &[3]), false);
+        assert_eq!(y.data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -0.5, 3.0], &[4]);
+        let _ = r.forward(&x, true);
+        let g = r.backward(&Tensor::ones(&[4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // ReLU'(0) is defined as 0 here (subgradient choice).
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::zeros(&[2]), true);
+        let g = r.backward(&Tensor::ones(&[2]));
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without cached forward")]
+    fn backward_without_forward_panics() {
+        let mut r = Relu::new();
+        let _ = r.backward(&Tensor::ones(&[1]));
+    }
+}

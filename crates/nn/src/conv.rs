@@ -1,0 +1,468 @@
+//! Range-sliceable 2-D convolution with hand-written backprop.
+
+use crate::range::ChannelRange;
+use fluid_tensor::{col2im, im2col, kaiming_normal, Conv2dGeometry, Prng, Tensor};
+
+/// A 2-D convolution whose weight tensor `[C_out_max, C_in_max, K, K]` can be
+/// executed on any `(in_range, out_range)` channel window.
+///
+/// - **Static** models use the full ranges.
+/// - **Dynamic** (slimmable) models use prefix ranges `0..w`.
+/// - **Fluid** branches use block ranges (e.g. `8..16 × 8..16` for the
+///   upper-50% branch), which keeps the upper weights free of any
+///   dependency on lower-channel activations.
+///
+/// Gradients accumulate into internal `wgrad`/`bgrad` tensors that are zero
+/// outside the trained window, so optimizers can masked-update safely.
+#[derive(Debug, Clone)]
+pub struct RangedConv2d {
+    weight: Tensor,
+    bias: Tensor,
+    wgrad: Tensor,
+    bgrad: Tensor,
+    c_out_max: usize,
+    c_in_max: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Vec<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Tensor,
+    in_range: ChannelRange,
+    out_range: ChannelRange,
+    geo: Conv2dGeometry,
+    batch: usize,
+}
+
+impl RangedConv2d {
+    /// Creates a conv layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(
+        c_out_max: usize,
+        c_in_max: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(c_out_max > 0 && c_in_max > 0 && kernel > 0 && stride > 0);
+        let fan_in = c_in_max * kernel * kernel;
+        Self {
+            weight: kaiming_normal(&[c_out_max, c_in_max, kernel, kernel], fan_in, rng),
+            bias: Tensor::zeros(&[c_out_max]),
+            wgrad: Tensor::zeros(&[c_out_max, c_in_max, kernel, kernel]),
+            bgrad: Tensor::zeros(&[c_out_max]),
+            c_out_max,
+            c_in_max,
+            kernel,
+            stride,
+            pad,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Maximum output channels.
+    pub fn c_out_max(&self) -> usize {
+        self.c_out_max
+    }
+
+    /// Maximum input channels.
+    pub fn c_in_max(&self) -> usize {
+        self.c_in_max
+    }
+
+    /// Kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The full weight tensor (for serialization / inspection).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight tensor (for loading checkpoints / partial deploys).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Extracts the weight window `[out_range × in_range]` as a
+    /// `[out_w, in_w·K·K]` matrix.
+    fn weight_window(&self, in_range: ChannelRange, out_range: ChannelRange) -> Tensor {
+        let kk = self.kernel * self.kernel;
+        let in_w = in_range.width();
+        let out_w = out_range.width();
+        let mut out = Tensor::zeros(&[out_w, in_w * kk]);
+        let row_stride = self.c_in_max * kk;
+        for (r, co) in (out_range.lo..out_range.hi).enumerate() {
+            let src = co * row_stride + in_range.lo * kk;
+            out.data_mut()[r * in_w * kk..(r + 1) * in_w * kk]
+                .copy_from_slice(&self.weight.data()[src..src + in_w * kk]);
+        }
+        out
+    }
+
+    /// Accumulates a `[out_w, in_w·K·K]` gradient into the full `wgrad`.
+    fn scatter_wgrad(&mut self, g: &Tensor, in_range: ChannelRange, out_range: ChannelRange) {
+        let kk = self.kernel * self.kernel;
+        let in_w = in_range.width();
+        let row_stride = self.c_in_max * kk;
+        for (r, co) in (out_range.lo..out_range.hi).enumerate() {
+            let dst = co * row_stride + in_range.lo * kk;
+            let src_row = &g.data()[r * in_w * kk..(r + 1) * in_w * kk];
+            for (d, s) in self.wgrad.data_mut()[dst..dst + in_w * kk]
+                .iter_mut()
+                .zip(src_row)
+            {
+                *d += s;
+            }
+        }
+    }
+
+    /// Runs the convolution on the channel window.
+    ///
+    /// `x` must already be sliced to `in_range.width()` channels — the layer
+    /// addresses its *weights* by the absolute range but reads the input as
+    /// given (the caller controls which activations exist on this device).
+    ///
+    /// Set `train` to cache activations for a following [`backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges exceed the layer's maxima, the input channel
+    /// count differs from `in_range.width()`, or `x` is not rank 4.
+    ///
+    /// [`backward`]: RangedConv2d::backward
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        in_range: ChannelRange,
+        out_range: ChannelRange,
+        train: bool,
+    ) -> Tensor {
+        assert!(in_range.fits(self.c_in_max), "in_range {in_range} exceeds {}", self.c_in_max);
+        assert!(out_range.fits(self.c_out_max), "out_range {out_range} exceeds {}", self.c_out_max);
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "conv input rank {}", d.len());
+        assert_eq!(
+            d[1],
+            in_range.width(),
+            "input has {} channels but in_range is {in_range}",
+            d[1]
+        );
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let geo = Conv2dGeometry::new(h, w, self.kernel, self.stride, self.pad);
+        let cols = im2col(x, &geo);
+        let wmat = self.weight_window(in_range, out_range);
+        let out_mat = wmat.matmul(&cols); // [out_w, N*P]
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut out = cnp_to_nchw(&out_mat, n, out_range.width(), oh, ow);
+        // Bias for the active output channels.
+        let bias_slice = Tensor::from_vec(
+            self.bias.data()[out_range.lo..out_range.hi].to_vec(),
+            &[out_range.width()],
+        );
+        out = out.add_channel_bias(&bias_slice);
+        if train {
+            self.cache.push(ConvCache {
+                cols,
+                in_range,
+                out_range,
+                geo,
+                batch: n,
+            });
+        }
+        out
+    }
+
+    /// Backpropagates through the last `forward(.., train = true)` call.
+    ///
+    /// Accumulates weight/bias gradients (within the active window only) and
+    /// returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass has been cached or `grad_out` has
+    /// the wrong shape.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.pop().expect("backward without cached forward");
+        let ConvCache {
+            cols,
+            in_range,
+            out_range,
+            geo,
+            batch,
+        } = cache;
+        let d = grad_out.dims();
+        assert_eq!(
+            d,
+            [batch, out_range.width(), geo.out_h(), geo.out_w()],
+            "grad_out shape {:?} mismatch",
+            d
+        );
+        let g_mat = nchw_to_cnp(grad_out); // [out_w, N*P]
+        // dW = g · colsᵀ
+        let wg = g_mat.matmul_bt(&cols);
+        self.scatter_wgrad(&wg, in_range, out_range);
+        // db = per-channel sum
+        let bg = grad_out.sum_per_channel();
+        for (i, co) in (out_range.lo..out_range.hi).enumerate() {
+            self.bgrad.data_mut()[co] += bg.data()[i];
+        }
+        // dX = Wᵀ · g, folded back to image space.
+        let wmat = self.weight_window(in_range, out_range);
+        let g_cols = wmat.matmul_at(&g_mat); // [in_w*K*K, N*P]
+        col2im(&g_cols, &geo, in_range.width(), batch)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.wgrad.fill(0.0);
+        self.bgrad.fill(0.0);
+    }
+
+    /// Visits `(param, grad)` pairs for the optimizer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.wgrad);
+        f(&mut self.bias, &self.bgrad);
+    }
+
+    /// Splits into `[(weight, weight-grad), (bias, bias-grad)]` reference
+    /// pairs for an optimizer step.
+    pub fn params_and_grads_mut(&mut self) -> [(&mut Tensor, &Tensor); 2] {
+        [(&mut self.weight, &self.wgrad), (&mut self.bias, &self.bgrad)]
+    }
+
+    /// Squared L2 norm of the accumulated weight gradient (diagnostics).
+    pub fn wgrad_sq_norm(&self) -> f32 {
+        self.wgrad.sq_norm()
+    }
+
+    /// Mutable access to the accumulated weight gradient (used by freezing
+    /// strategies that clear gradients before the optimizer step).
+    pub fn wgrad_mut(&mut self) -> &mut Tensor {
+        &mut self.wgrad
+    }
+
+    /// Mutable access to the accumulated bias gradient.
+    pub fn bgrad_mut(&mut self) -> &mut Tensor {
+        &mut self.bgrad
+    }
+
+    /// Number of parameters in a `(in_range, out_range)` window, bias included.
+    pub fn window_param_count(&self, in_range: ChannelRange, out_range: ChannelRange) -> usize {
+        out_range.width() * in_range.width() * self.kernel * self.kernel + out_range.width()
+    }
+
+    /// Multiply-accumulate count for one image of `h`×`w` input through the
+    /// given window.
+    pub fn window_macs(&self, in_range: ChannelRange, out_range: ChannelRange, h: usize, w: usize) -> u64 {
+        let geo = Conv2dGeometry::new(h, w, self.kernel, self.stride, self.pad);
+        (out_range.width() * in_range.width() * self.kernel * self.kernel) as u64
+            * geo.out_positions() as u64
+    }
+}
+
+/// Reorders a `[C, N·P]` matrix into `[N, C, OH, OW]`.
+fn cnp_to_nchw(m: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let p = oh * ow;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for ci in 0..c {
+        for ni in 0..n {
+            let src = ci * (n * p) + ni * p;
+            let dst = (ni * c + ci) * p;
+            out.data_mut()[dst..dst + p].copy_from_slice(&m.data()[src..src + p]);
+        }
+    }
+    out
+}
+
+/// Reorders `[N, C, OH, OW]` into `[C, N·P]`.
+fn nchw_to_cnp(t: &Tensor) -> Tensor {
+    let d = t.dims();
+    let (n, c, oh, ow) = (d[0], d[1], d[2], d[3]);
+    let p = oh * ow;
+    let mut out = Tensor::zeros(&[c, n * p]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let src = (ni * c + ci) * p;
+            let dst = ci * (n * p) + ni * p;
+            out.data_mut()[dst..dst + p].copy_from_slice(&t.data()[src..src + p]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::max_relative_error;
+
+    fn full(c: usize) -> ChannelRange {
+        ChannelRange::prefix(c)
+    }
+
+    #[test]
+    fn forward_shape_full_width() {
+        let mut rng = Prng::new(0);
+        let mut conv = RangedConv2d::new(8, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 10, 10]);
+        let y = conv.forward(&x, full(3), full(8), false);
+        assert_eq!(y.dims(), &[2, 8, 10, 10]);
+    }
+
+    #[test]
+    fn forward_shape_block_range() {
+        let mut rng = Prng::new(0);
+        let mut conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 8, 6, 6]);
+        let y = conv.forward(&x, ChannelRange::new(8, 16), ChannelRange::new(8, 16), false);
+        assert_eq!(y.dims(), &[1, 8, 6, 6]);
+    }
+
+    #[test]
+    fn prefix_window_matches_manual_slice() {
+        // Running the 0..4 window must equal a dense conv built from the
+        // corresponding weight sub-tensor.
+        let mut rng = Prng::new(1);
+        let mut conv = RangedConv2d::new(8, 6, 3, 1, 1, &mut rng);
+        let x = Tensor::from_fn(&[2, 3, 5, 5], |i| (i as f32 * 0.1).sin());
+        let y = conv.forward(&x, full(3), full(4), false);
+
+        // Manual: small conv with weights copied from the window.
+        let mut small = RangedConv2d::new(4, 3, 3, 1, 1, &mut Prng::new(99));
+        let kk = 9;
+        for co in 0..4 {
+            for ci in 0..3 {
+                let src = (co * 6 + ci) * kk;
+                let dst = (co * 3 + ci) * kk;
+                let w = conv.weight().data()[src..src + kk].to_vec();
+                small.weight_mut().data_mut()[dst..dst + kk].copy_from_slice(&w);
+            }
+            small.bias_mut().data_mut()[co] = conv.bias().data()[co];
+        }
+        let y2 = small.forward(&x, full(3), full(4), false);
+        assert!(y.allclose(&y2, 1e-5));
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let mut rng = Prng::new(2);
+        let mut conv = RangedConv2d::new(2, 1, 1, 1, 0, &mut rng);
+        conv.weight_mut().fill(0.0);
+        conv.bias_mut().data_mut()[0] = 1.5;
+        conv.bias_mut().data_mut()[1] = -2.5;
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, full(1), full(2), false);
+        assert!(y.slice_channels(0, 1).data().iter().all(|&v| v == 1.5));
+        assert!(y.slice_channels(1, 2).data().iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn gradcheck_weights_full_window() {
+        let mut rng = Prng::new(3);
+        let mut conv = RangedConv2d::new(3, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::from_fn(&[2, 2, 4, 4], |i| (i as f32 * 0.23).sin());
+
+        // Loss = sum(forward(x)^2) / 2, analytic grad vs finite differences.
+        let y = conv.forward(&x, full(2), full(3), true);
+        let _ = conv.backward(&y);
+        let mut analytic = Tensor::zeros(conv.wgrad.dims());
+        analytic.data_mut().copy_from_slice(conv.wgrad.data());
+
+        let eps = 1e-2;
+        let mut max_err: f32 = 0.0;
+        for i in 0..conv.weight.numel() {
+            let orig = conv.weight.data()[i];
+            conv.weight.data_mut()[i] = orig + eps;
+            let lp = conv.forward(&x, full(2), full(3), false).sq_norm() / 2.0;
+            conv.weight.data_mut()[i] = orig - eps;
+            let lm = conv.forward(&x, full(2), full(3), false).sq_norm() / 2.0;
+            conv.weight.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            max_err = max_err.max(max_relative_error(analytic.data()[i], num));
+        }
+        assert!(max_err < 2e-2, "max weight grad error {max_err}");
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut rng = Prng::new(4);
+        let mut conv = RangedConv2d::new(3, 2, 3, 1, 1, &mut rng);
+        let mut x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.31).cos());
+
+        let y = conv.forward(&x, full(2), full(3), true);
+        let gin = conv.backward(&y);
+
+        let eps = 1e-2;
+        let mut max_err: f32 = 0.0;
+        for i in 0..x.numel() {
+            let orig = x.data()[i];
+            x.data_mut()[i] = orig + eps;
+            let lp = conv.forward(&x, full(2), full(3), false).sq_norm() / 2.0;
+            x.data_mut()[i] = orig - eps;
+            let lm = conv.forward(&x, full(2), full(3), false).sq_norm() / 2.0;
+            x.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            max_err = max_err.max(max_relative_error(gin.data()[i], num));
+        }
+        assert!(max_err < 2e-2, "max input grad error {max_err}");
+    }
+
+    #[test]
+    fn training_window_leaves_other_weights_untouched() {
+        let mut rng = Prng::new(5);
+        let mut conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let x = Tensor::from_fn(&[1, 8, 4, 4], |i| (i as f32 * 0.2).sin());
+        let lo = ChannelRange::new(0, 8);
+        conv.zero_grad();
+        let y = conv.forward(&x, lo, lo, true);
+        let _ = conv.backward(&y);
+        // All gradient mass must lie in the [0..8, 0..8] window.
+        let kk = 9;
+        for co in 0..16 {
+            for ci in 0..16 {
+                let base = (co * 16 + ci) * kk;
+                let nonzero = conv.wgrad.data()[base..base + kk].iter().any(|&g| g != 0.0);
+                let inside = co < 8 && ci < 8;
+                assert_eq!(nonzero, inside, "window leak at co={co}, ci={ci}");
+            }
+        }
+        for co in 8..16 {
+            assert_eq!(conv.bgrad.data()[co], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without cached forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = Prng::new(6);
+        let mut conv = RangedConv2d::new(2, 1, 3, 1, 1, &mut rng);
+        let _ = conv.backward(&Tensor::zeros(&[1, 2, 3, 3]));
+    }
+
+    #[test]
+    fn macs_scale_with_window() {
+        let mut rng = Prng::new(7);
+        let conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let half = conv.window_macs(ChannelRange::prefix(8), ChannelRange::prefix(8), 28, 28);
+        let fullm = conv.window_macs(ChannelRange::prefix(16), ChannelRange::prefix(16), 28, 28);
+        assert_eq!(fullm, 4 * half);
+    }
+}

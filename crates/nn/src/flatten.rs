@@ -1,0 +1,69 @@
+//! Flatten `[N, C, H, W]` activations into `[N, C·H·W]` feature rows.
+
+use fluid_tensor::Tensor;
+
+/// Reshapes conv activations into FC inputs and back.
+///
+/// Because the layout is channel-major, a conv channel range `[lo, hi)`
+/// flattens to the contiguous feature range `[lo·HW, hi·HW)` — which is how
+/// the models crate maps fluid branches onto FC column ranges.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_dims: Vec<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self { in_dims: Vec::new() }
+    }
+
+    /// Flattens an `[N, C, H, W]` tensor to `[N, C·H·W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "flatten input rank {}", d.len());
+        if train {
+            self.in_dims.push(d.to_vec());
+        }
+        x.reshape(&[d[0], d[1] * d[2] * d[3]])
+    }
+
+    /// Restores the cached input shape on the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass is cached.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.in_dims.pop().expect("backward without cached forward");
+        grad_out.reshape(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn channel_major_feature_layout() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let y = f.forward(&x, false);
+        // Channel 0 occupies features 0..4, channel 1 features 4..8.
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+}

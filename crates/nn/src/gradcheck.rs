@@ -1,0 +1,70 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Every layer's backward pass is validated against central differences in
+//! its unit tests; these helpers keep those tests short.
+
+use fluid_tensor::Tensor;
+
+/// Numerically estimates `dL/dparam` by central differences.
+///
+/// `loss` is re-evaluated with each element of `param` perturbed by `±eps`;
+/// the closure must be a pure function of the tensor contents.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`.
+pub fn finite_diff_gradient(
+    param: &mut Tensor,
+    eps: f32,
+    mut loss: impl FnMut(&Tensor) -> f32,
+) -> Tensor {
+    assert!(eps > 0.0, "eps must be positive");
+    let mut grad = Tensor::zeros(param.dims());
+    for i in 0..param.numel() {
+        let orig = param.data()[i];
+        param.data_mut()[i] = orig + eps;
+        let lp = loss(param);
+        param.data_mut()[i] = orig - eps;
+        let lm = loss(param);
+        param.data_mut()[i] = orig;
+        grad.data_mut()[i] = (lp - lm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Relative error between an analytic and a numeric derivative, robust to
+/// small magnitudes.
+pub fn max_relative_error(analytic: f32, numeric: f32) -> f32 {
+    let denom = analytic.abs().max(numeric.abs()).max(1e-2);
+    (analytic - numeric).abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        // L = sum(x^2), dL/dx = 2x.
+        let mut x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let g = finite_diff_gradient(&mut x, 1e-3, |t| t.sq_norm());
+        let expected = [2.0, -4.0, 1.0];
+        for (a, e) in g.data().iter().zip(expected) {
+            assert!((a - e).abs() < 1e-2, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_scale_free() {
+        assert!(max_relative_error(100.0, 100.1) < 0.01);
+        assert!(max_relative_error(1.0, 2.0) > 0.4);
+    }
+
+    #[test]
+    fn perturbation_restores_param() {
+        let mut x = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let before = x.clone();
+        let _ = finite_diff_gradient(&mut x, 1e-3, |t| t.sum());
+        assert_eq!(x, before);
+    }
+}

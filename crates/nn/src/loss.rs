@@ -1,0 +1,118 @@
+//! Classification loss and metrics.
+
+use fluid_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// Returns `(loss, grad)` where `grad` is the gradient with respect to the
+/// logits, already divided by the batch size (`(softmax − onehot) / N`).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len() != N`, or any label is
+/// out of range.
+///
+/// # Example
+///
+/// ```
+/// use fluid_nn::softmax_cross_entropy;
+/// use fluid_tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-3);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let d = logits.dims();
+    assert_eq!(d.len(), 2, "logits rank {}", d.len());
+    let (n, k) = (d[0], d[1]);
+    assert_eq!(labels.len(), n, "label count {} != batch {n}", labels.len());
+    assert!(labels.iter().all(|&l| l < k), "label out of range 0..{k}");
+    assert!(n > 0, "empty batch");
+
+    let probs = logits.softmax_rows();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        let p = probs.at2(r, label).max(1e-12);
+        loss -= p.ln();
+        let g = grad.at2(r, label) - 1.0;
+        grad.set2(r, label, g);
+    }
+    grad.scale_in_place(1.0 / n as f32);
+    (loss / n as f32, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len()` differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let pred = logits.argmax_rows();
+    assert_eq!(pred.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_ln_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_fn(&[3, 5], |i| (i as f32 * 0.61).sin());
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 4, 0]);
+        for r in 0..3 {
+            let s: f32 = (0..5).map(|c| grad.at2(r, c)).sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut logits = Tensor::from_fn(&[2, 4], |i| (i as f32 * 0.47).cos());
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.numel() {
+            let orig = logits.data()[i];
+            logits.data_mut()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((grad.data()[i] - num).abs() < 1e-3, "elem {i}: {} vs {num}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

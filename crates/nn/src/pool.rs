@@ -1,0 +1,156 @@
+//! Max pooling.
+
+use fluid_tensor::Tensor;
+
+/// 2-D max pooling over square windows.
+///
+/// Caches the argmax positions during a training forward pass so the
+/// backward pass routes each output gradient to the winning input element.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    cache: Vec<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    argmax: Vec<usize>,
+    in_dims: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window size and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `stride == 0`.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "pool size/stride must be positive");
+        Self {
+            size,
+            stride,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Output spatial extent for an input extent.
+    pub fn out_extent(&self, in_extent: usize) -> usize {
+        if in_extent < self.size {
+            0
+        } else {
+            (in_extent - self.size) / self.stride + 1
+        }
+    }
+
+    /// Applies max pooling to an `[N, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or smaller than the window.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "pool input rank {}", d.len());
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = (self.out_extent(h), self.out_extent(w));
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool window {}", self.size);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let in_base = (ni * c + ci) * h * w;
+                let out_base = (ni * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = in_base + iy * w + ix;
+                                let v = x.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data_mut()[out_base + oy * ow + ox] = best;
+                        argmax[out_base + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache.push(PoolCache {
+                argmax,
+                in_dims: d.to_vec(),
+            });
+        }
+        out
+    }
+
+    /// Routes gradients to the argmax winners of the cached forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass is cached or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.pop().expect("backward without cached forward");
+        assert_eq!(cache.argmax.len(), grad_out.numel(), "pool grad length mismatch");
+        let mut gin = Tensor::zeros(&cache.in_dims);
+        for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
+            gin.data_mut()[idx] += g;
+        }
+        gin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maximum() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_winner() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn odd_extent_truncates() {
+        let p = MaxPool2d::new(2, 2);
+        assert_eq!(p.out_extent(7), 3);
+        assert_eq!(p.out_extent(1), 0);
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![-5.0, -2.0, -9.0, -4.0], &[1, 1, 2, 2]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[-2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without cached forward")]
+    fn backward_without_forward_panics() {
+        let mut p = MaxPool2d::new(2, 2);
+        let _ = p.backward(&Tensor::zeros(&[1, 1, 1, 1]));
+    }
+}

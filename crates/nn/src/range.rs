@@ -1,0 +1,117 @@
+//! Channel and feature ranges for sliced layer execution.
+
+/// A half-open index range `[lo, hi)` over channels or features.
+///
+/// Dynamic (slimmable) sub-networks use prefix ranges `0..w`; Fluid
+/// sub-networks also use *block* ranges such as `8..16` (the "upper 50%"),
+/// which is what lets them run on a device that holds only the upper
+/// weights.
+///
+/// # Example
+///
+/// ```
+/// use fluid_nn::ChannelRange;
+/// let r = ChannelRange::new(8, 16);
+/// assert_eq!(r.width(), 8);
+/// assert!(r.contains(9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound.
+    pub hi: usize,
+}
+
+impl ChannelRange {
+    /// Creates the range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "inverted channel range {lo}..{hi}");
+        Self { lo, hi }
+    }
+
+    /// The prefix range `[0, w)`.
+    pub fn prefix(w: usize) -> Self {
+        Self { lo: 0, hi: w }
+    }
+
+    /// Number of channels in the range.
+    pub fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether `i` falls inside the range.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.lo..self.hi).contains(&i)
+    }
+
+    /// Whether this range is fully inside `[0, max)`.
+    pub fn fits(&self, max: usize) -> bool {
+        self.hi <= max
+    }
+
+    /// Whether the two ranges share any index.
+    pub fn overlaps(&self, other: &ChannelRange) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Scales the channel range to a feature range given `features_per_channel`
+    /// (used when flattening `[N, C, H, W]` to `[N, C·H·W]`: channel `c`
+    /// occupies features `c·HW .. (c+1)·HW`).
+    pub fn to_feature_range(&self, features_per_channel: usize) -> ChannelRange {
+        ChannelRange {
+            lo: self.lo * features_per_channel,
+            hi: self.hi * features_per_channel,
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_width() {
+        let r = ChannelRange::prefix(4);
+        assert_eq!((r.lo, r.hi, r.width()), (0, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted channel range")]
+    fn inverted_panics() {
+        let _ = ChannelRange::new(3, 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ChannelRange::new(0, 8);
+        let b = ChannelRange::new(8, 16);
+        let c = ChannelRange::new(4, 12);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn feature_range_scaling() {
+        let r = ChannelRange::new(8, 16).to_feature_range(9);
+        assert_eq!((r.lo, r.hi), (72, 144));
+    }
+
+    #[test]
+    fn empty_range_is_valid() {
+        let r = ChannelRange::new(5, 5);
+        assert_eq!(r.width(), 0);
+        assert!(!r.contains(5));
+    }
+}

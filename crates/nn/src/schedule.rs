@@ -1,0 +1,117 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(
+    /// The rate returned for every epoch.
+    pub f32,
+);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: multiply by `gamma` every `step` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Epochs between decays.
+    pub step: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl StepLr {
+    /// Creates a step schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn new(base: f32, step: usize, gamma: f32) -> Self {
+        assert!(step > 0, "step must be positive");
+        Self { base, step, gamma }
+    }
+}
+
+impl LrSchedule for StepLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        self.base * self.gamma.powi((epoch / self.step) as i32)
+    }
+}
+
+/// Cosine annealing from `base` to `min` over `total` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineLr {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Final learning rate.
+    pub min: f32,
+    /// Total schedule length in epochs.
+    pub total: usize,
+}
+
+impl CosineLr {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(base: f32, min: f32, total: usize) -> Self {
+        assert!(total > 0, "total must be positive");
+        Self { base, min, total }
+    }
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total) as f32) / self.total as f32;
+        self.min + 0.5 * (self.base - self.min) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.05);
+        assert_eq!(s.lr_at(0), 0.05);
+        assert_eq!(s.lr_at(100), 0.05);
+    }
+
+    #[test]
+    fn step_decays() {
+        let s = StepLr::new(1.0, 10, 0.1);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineLr::new(0.1, 0.001, 20);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(20) - 0.001).abs() < 1e-6);
+        // Past the end it clamps.
+        assert!((s.lr_at(100) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_monotone_decreasing() {
+        let s = CosineLr::new(0.1, 0.0, 10);
+        for e in 0..10 {
+            assert!(s.lr_at(e + 1) <= s.lr_at(e) + 1e-7);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-layer integration tests, including the multi-branch shared-weight
+//! case that Algorithm 1's combined phases rely on.
+
+use fluid_nn::{
+    finite_diff_gradient, max_relative_error, Adam, ChannelRange, Optimizer, ParamSet,
+    RangedConv2d, RangedLinear, Relu, Sgd,
+};
+use fluid_tensor::{Prng, Tensor};
+
+/// A miniature two-branch network: one shared RangedConv2d executed on two
+/// disjoint channel blocks, partial FC products summed — the exact shape of
+/// a fluid combined model. (No pooling: max-pool argmax switching breaks
+/// finite differences, and pooling is covered by its own unit tests.)
+struct TwoBranch {
+    conv: RangedConv2d,
+    relu: Relu,
+    fc: RangedLinear,
+}
+
+const SIDE: usize = 4;
+const FPC: usize = SIDE * SIDE; // features per channel after flatten
+
+impl TwoBranch {
+    fn new(seed: u64) -> Self {
+        let mut rng = Prng::new(seed);
+        Self {
+            conv: RangedConv2d::new(4, 1, 3, 1, 1, &mut rng),
+            relu: Relu::new(),
+            fc: RangedLinear::new(3, 4 * FPC, &mut rng),
+        }
+    }
+
+    fn clone_weights_from(&mut self, other: &TwoBranch) {
+        self.conv
+            .weight_mut()
+            .data_mut()
+            .copy_from_slice(other.conv.weight().data());
+        self.conv
+            .bias_mut()
+            .data_mut()
+            .copy_from_slice(other.conv.bias().data());
+        self.fc
+            .weight_mut()
+            .data_mut()
+            .copy_from_slice(other.fc.weight().data());
+        self.fc
+            .bias_mut()
+            .data_mut()
+            .copy_from_slice(other.fc.bias().data());
+    }
+
+    fn forward_branch(&mut self, x: &Tensor, block: ChannelRange, bias: bool, train: bool) -> Tensor {
+        let h = self.conv.forward(x, ChannelRange::new(0, 1), block, train);
+        let h = self.relu.forward(&h, train);
+        let n = h.dim(0);
+        let flat = h.reshape(&[n, h.numel() / n]);
+        let cols = block.to_feature_range(FPC);
+        self.fc.forward(&flat, cols, bias, train)
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let lo = self.forward_branch(x, ChannelRange::new(0, 2), true, train);
+        let hi = self.forward_branch(x, ChannelRange::new(2, 4), false, train);
+        lo.add(&hi)
+    }
+
+    /// Unwinds both branches (LIFO); both receive the same logits gradient
+    /// because `logits = p_lo + p_hi`.
+    fn backward(&mut self, grad: &Tensor, batch: usize) {
+        for _ in 0..2 {
+            let g = self.fc.backward(grad);
+            let g = g.reshape(&[batch, 2, SIDE, SIDE]);
+            let g = self.relu.backward(&g);
+            let _ = self.conv.backward(&g);
+        }
+    }
+
+    fn loss(&mut self, x: &Tensor) -> f32 {
+        self.forward(x, false).sq_norm() / 2.0
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv.zero_grad();
+        self.fc.zero_grad();
+    }
+
+    fn param_set(&mut self) -> ParamSet<'_> {
+        let mut params = ParamSet::new();
+        for (p, g) in self.conv.params_and_grads_mut() {
+            params.push(p, g);
+        }
+        for (p, g) in self.fc.params_and_grads_mut() {
+            params.push(p, g);
+        }
+        params
+    }
+}
+
+#[test]
+fn two_branch_shared_conv_gradients_match_finite_differences() {
+    let mut net = TwoBranch::new(3);
+    let x = Tensor::from_fn(&[2, 1, SIDE, SIDE], |i| ((i * 13 % 37) as f32) / 37.0 - 0.3);
+
+    net.zero_grad();
+    let y = net.forward(&x, true);
+    let y2 = y.clone();
+    net.backward(&y2, 2);
+
+    let analytic: Vec<f32> = {
+        let mut v = Vec::new();
+        net.conv.visit_params(&mut |_, g| {
+            if v.is_empty() {
+                v = g.data().to_vec();
+            }
+        });
+        v
+    };
+    let mut weight_snapshot = net.conv.weight().clone();
+    let numeric = finite_diff_gradient(&mut weight_snapshot, 1e-3, |w| {
+        let mut probe = TwoBranch::new(999);
+        probe.clone_weights_from(&net);
+        probe.conv.weight_mut().data_mut().copy_from_slice(w.data());
+        probe.loss(&x)
+    });
+    let mut worst = 0.0f32;
+    for (a, n) in analytic.iter().zip(numeric.data()) {
+        worst = worst.max(max_relative_error(*a, *n));
+    }
+    assert!(worst < 3e-2, "two-branch conv gradient error {worst}");
+}
+
+#[test]
+fn two_branch_fc_gradients_match_finite_differences() {
+    let mut net = TwoBranch::new(6);
+    let x = Tensor::from_fn(&[2, 1, SIDE, SIDE], |i| ((i * 11 % 31) as f32) / 31.0 - 0.2);
+    net.zero_grad();
+    let y = net.forward(&x, true);
+    net.backward(&y.clone(), 2);
+
+    let analytic: Vec<f32> = {
+        let mut v = Vec::new();
+        net.fc.visit_params(&mut |_, g| {
+            if v.is_empty() {
+                v = g.data().to_vec();
+            }
+        });
+        v
+    };
+    let mut weight_snapshot = net.fc.weight().clone();
+    let numeric = finite_diff_gradient(&mut weight_snapshot, 1e-3, |w| {
+        let mut probe = TwoBranch::new(999);
+        probe.clone_weights_from(&net);
+        probe.fc.weight_mut().data_mut().copy_from_slice(w.data());
+        probe.loss(&x)
+    });
+    let mut worst = 0.0f32;
+    for (a, n) in analytic.iter().zip(numeric.data()) {
+        worst = worst.max(max_relative_error(*a, *n));
+    }
+    assert!(worst < 3e-2, "two-branch fc gradient error {worst}");
+}
+
+#[test]
+fn adam_trains_the_two_branch_network() {
+    let mut net = TwoBranch::new(4);
+    let x = Tensor::from_fn(&[4, 1, SIDE, SIDE], |i| ((i * 7 % 29) as f32) / 29.0);
+    let mut opt = Adam::new(0.01, 0.0);
+    let loss0 = net.loss(&x);
+    for _ in 0..80 {
+        net.zero_grad();
+        let y = net.forward(&x, true);
+        // dL/dy for L = sum(y^2)/2 is y itself.
+        net.backward(&y.clone(), 4);
+        let mut params = net.param_set();
+        opt.step(&mut params);
+    }
+    let loss1 = net.loss(&x);
+    assert!(loss1 < loss0 * 0.2, "Adam failed to shrink the output: {loss0} -> {loss1}");
+}
+
+#[test]
+fn sgd_and_adam_respect_masking_identically() {
+    // Train only the lower block with both optimizers; the upper block's
+    // conv weights must be bit-identical to their initial values.
+    for use_adam in [false, true] {
+        let mut net = TwoBranch::new(5);
+        let upper_rows = |net: &TwoBranch| -> Vec<f32> {
+            let kk = 9;
+            let w = net.conv.weight().data();
+            (2..4).flat_map(|co| w[co * kk..(co + 1) * kk].to_vec()).collect()
+        };
+        let upper_before = upper_rows(&net);
+        let x = Tensor::from_fn(&[2, 1, SIDE, SIDE], |i| (i as f32 * 0.1).sin());
+        let mut sgd = Sgd::new(0.05, 0.9, 1e-3);
+        let mut adam = Adam::new(0.01, 1e-3);
+        for _ in 0..10 {
+            net.zero_grad();
+            let y = net.forward_branch(&x, ChannelRange::new(0, 2), true, true);
+            let g = net.fc.backward(&y.clone());
+            let g = g.reshape(&[2, 2, SIDE, SIDE]);
+            let g = net.relu.backward(&g);
+            let _ = net.conv.backward(&g);
+            let mut params = net.param_set();
+            if use_adam {
+                adam.step(&mut params);
+            } else {
+                sgd.step(&mut params);
+            }
+        }
+        assert_eq!(upper_before, upper_rows(&net), "masking leak (adam={use_adam})");
+    }
+}
+
+#[test]
+fn lifo_cache_depth_three() {
+    // Three stacked training forwards through one ReLU unwind correctly.
+    let mut relu = Relu::new();
+    let a = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+    let b = Tensor::from_vec(vec![-1.0, 1.0], &[2]);
+    let c = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+    let _ = relu.forward(&a, true);
+    let _ = relu.forward(&b, true);
+    let _ = relu.forward(&c, true);
+    let ones = Tensor::ones(&[2]);
+    assert_eq!(relu.backward(&ones).data(), &[1.0, 1.0]); // c's mask
+    assert_eq!(relu.backward(&ones).data(), &[0.0, 1.0]); // b's mask
+    assert_eq!(relu.backward(&ones).data(), &[1.0, 0.0]); // a's mask
+}

@@ -1,0 +1,96 @@
+//! Communication latency model.
+
+use std::time::Duration;
+
+/// TCP-link model: `latency = messages × setup + bytes / bandwidth`.
+///
+/// The paper measures communication latency offline and adds it to compute
+/// latency; this model plays that offline measurement's role. The preset is
+/// calibrated so the distributed Static DNN lands at the paper's
+/// 11.1 img/s given the device presets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    per_message: Duration,
+    bytes_per_sec: f64,
+}
+
+impl CommModel {
+    /// Creates a communication model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive.
+    pub fn new(per_message: Duration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "non-positive bandwidth");
+        Self {
+            per_message,
+            bytes_per_sec,
+        }
+    }
+
+    /// Calibrated embedded-Ethernet preset: ≈ 4.2 ms per message setup,
+    /// 10 MB/s effective bandwidth.
+    pub fn jetson_tcp() -> Self {
+        Self::new(Duration::from_micros(4_160), 10.0e6)
+    }
+
+    /// An ideal zero-cost link (ablation baseline).
+    pub fn ideal() -> Self {
+        Self::new(Duration::ZERO, f64::MAX)
+    }
+
+    /// Per-message setup latency.
+    pub fn per_message(&self) -> Duration {
+        self.per_message
+    }
+
+    /// Effective bandwidth.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Latency of `messages` transfers moving `bytes` in total.
+    pub fn latency(&self, messages: u64, bytes: u64) -> Duration {
+        self.per_message * messages as u32
+            + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Returns a model with the setup latency scaled by `factor`
+    /// (communication-cost sweeps).
+    pub fn scaled(&self, factor: f64) -> CommModel {
+        CommModel {
+            per_message: Duration::from_secs_f64(self.per_message.as_secs_f64() * factor),
+            bytes_per_sec: self.bytes_per_sec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_composition() {
+        let c = CommModel::new(Duration::from_millis(2), 1.0e6);
+        let l = c.latency(3, 500_000);
+        assert_eq!(l, Duration::from_millis(6) + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn ideal_link_is_free() {
+        let c = CommModel::ideal();
+        assert_eq!(c.latency(100, u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaling_multiplies_setup() {
+        let c = CommModel::jetson_tcp().scaled(2.0);
+        assert!((c.per_message().as_secs_f64() - 2.0 * 0.00416).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = CommModel::new(Duration::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-device compute latency model.
+
+use std::time::Duration;
+
+/// A device's inference-latency model: `latency = overhead + macs / rate`.
+///
+/// `overhead` captures the per-image framework cost (interpreter dispatch,
+/// tensor allocation, cache behaviour) that dominates tiny models on
+/// embedded CPUs — which is why the paper's 50% model is nowhere near 2×
+/// faster than the 100% model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    name: String,
+    macs_per_sec: f64,
+    overhead: Duration,
+}
+
+impl DeviceModel {
+    /// Creates a device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs_per_sec` is not positive.
+    pub fn new(name: &str, macs_per_sec: f64, overhead: Duration) -> Self {
+        assert!(macs_per_sec > 0.0, "non-positive MAC rate");
+        Self {
+            name: name.to_owned(),
+            macs_per_sec,
+            overhead,
+        }
+    }
+
+    /// Calibrated Master preset (Jetson Xavier NX class CPU).
+    ///
+    /// Anchor: the 50% sub-network (198 288 MACs) runs at ≈ 69.4 ms/image
+    /// (14.4 img/s), the paper's "Only Master" fluid measurement.
+    pub fn jetson_master() -> Self {
+        Self::new("jetson-master", 30.0e6, Duration::from_micros(62_834))
+    }
+
+    /// Calibrated Worker preset: the paper's Worker measures ≈ 4% slower
+    /// (13.9 img/s on the upper-50% sub-network).
+    pub fn jetson_worker() -> Self {
+        Self::new("jetson-worker", 29.0e6, Duration::from_micros(65_105))
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Effective MAC rate.
+    pub fn macs_per_sec(&self) -> f64 {
+        self.macs_per_sec
+    }
+
+    /// Per-image overhead.
+    pub fn overhead(&self) -> Duration {
+        self.overhead
+    }
+
+    /// Latency for one image requiring `macs` multiply-accumulates.
+    pub fn latency(&self, macs: u64) -> Duration {
+        self.overhead + Duration::from_secs_f64(macs as f64 / self.macs_per_sec)
+    }
+
+    /// Images per second for a per-image MAC count.
+    pub fn throughput(&self, macs: u64) -> f64 {
+        1.0 / self.latency(macs).as_secs_f64()
+    }
+
+    /// Scales the MAC rate by `factor` (used by heterogeneity sweeps).
+    pub fn scaled(&self, factor: f64) -> DeviceModel {
+        DeviceModel {
+            name: format!("{}x{factor:.2}", self.name),
+            macs_per_sec: self.macs_per_sec * factor,
+            overhead: self.overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// MACs of the paper's 50% sub-network (see `fluid_models::branch_cost`).
+    const LOWER50_MACS: u64 = 198_288;
+
+    #[test]
+    fn master_anchor_matches_paper() {
+        let d = DeviceModel::jetson_master();
+        let ips = d.throughput(LOWER50_MACS);
+        assert!((ips - 14.4).abs() < 0.2, "master 50% throughput {ips}");
+    }
+
+    #[test]
+    fn worker_anchor_matches_paper() {
+        let d = DeviceModel::jetson_worker();
+        let ips = d.throughput(LOWER50_MACS);
+        assert!((ips - 13.9).abs() < 0.2, "worker 50% throughput {ips}");
+    }
+
+    #[test]
+    fn latency_monotone_in_macs() {
+        let d = DeviceModel::jetson_master();
+        assert!(d.latency(1_000_000) > d.latency(100_000));
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_models() {
+        // The paper's observation: width scaling yields sub-linear speedup.
+        let d = DeviceModel::jetson_master();
+        let t25 = d.throughput(63_864);
+        let t100 = d.throughput(678_816);
+        assert!(t25 / t100 < 2.0, "25% vs 100% speedup {}", t25 / t100);
+    }
+
+    #[test]
+    fn scaled_changes_rate_only() {
+        let d = DeviceModel::jetson_master();
+        let s = d.scaled(2.0);
+        assert_eq!(s.overhead(), d.overhead());
+        assert!((s.macs_per_sec() - 2.0 * d.macs_per_sec()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive MAC rate")]
+    fn zero_rate_panics() {
+        let _ = DeviceModel::new("bad", 0.0, Duration::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Energy accounting — a standard DATE-audience extension.
+//!
+//! The paper reports throughput and accuracy; deployments on battery-backed
+//! edge nodes also care about energy per inference. This module extends the
+//! latency models with a two-state (active/idle) power model per device and
+//! derives energy-per-image for every Fig. 2 scenario.
+
+use crate::device::DeviceModel;
+use crate::scenario::{DeviceAvailability, ModelFamily, SystemModel};
+use std::time::Duration;
+
+/// Two-state power model: the device draws `active_w` while computing or
+/// communicating and `idle_w` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Active power draw (watts).
+    pub active_w: f64,
+    /// Idle power draw (watts).
+    pub idle_w: f64,
+}
+
+impl PowerModel {
+    /// Jetson Xavier NX CPU-mode preset (≈10 W active, ≈3 W idle).
+    pub fn jetson_cpu() -> Self {
+        Self {
+            active_w: 10.0,
+            idle_w: 3.0,
+        }
+    }
+
+    /// Energy for `active` seconds of work within a `window` of wall time
+    /// (the remainder idles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active > window`.
+    pub fn energy_j(&self, active: Duration, window: Duration) -> f64 {
+        assert!(active <= window, "active time exceeds the window");
+        self.active_w * active.as_secs_f64() + self.idle_w * (window - active).as_secs_f64()
+    }
+}
+
+/// Energy report for one deployment scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Joules consumed per inferred image, summed over both devices
+    /// (including idle burn of a powered-but-unused device).
+    pub joules_per_image: f64,
+    /// Images inferred per joule (0 when the system cannot operate).
+    pub images_per_joule: f64,
+}
+
+/// Evaluates energy per image for a scenario, given the system model and a
+/// power model shared by both devices.
+///
+/// Accounting: within one system inference period, each *online* device is
+/// active for its own compute share and idles for the rest. In HT mode both
+/// devices are continuously active (independent streams, no idle gaps) —
+/// which is why HT is also the energy-efficiency winner per image.
+pub fn scenario_energy(
+    system: &SystemModel,
+    power: PowerModel,
+    family: ModelFamily,
+    availability: DeviceAvailability,
+    ht: bool,
+) -> EnergyReport {
+    let result = system.evaluate(family, availability, ht);
+    if result.throughput_ips == 0.0 {
+        return EnergyReport {
+            joules_per_image: 0.0,
+            images_per_joule: 0.0,
+        };
+    }
+    let devices_online = match availability {
+        DeviceAvailability::Both => 2.0,
+        _ => 1.0,
+    };
+    let joules_per_image = match result.latency {
+        // Latency-defined scenarios: per image, each online device burns
+        // (conservatively) active power for the whole period — compute and
+        // communication keep both sides busy in collective execution —
+        // except single-device scenarios where only the survivor is on.
+        Some(lat) => power.active_w * devices_online * lat.as_secs_f64(),
+        // HT: both devices fully active; throughput is the sum of streams.
+        None => power.active_w * devices_online / result.throughput_ips,
+    };
+    EnergyReport {
+        joules_per_image,
+        images_per_joule: 1.0 / joules_per_image,
+    }
+}
+
+/// Energy of a single standalone device running continuously at its own
+/// rate (the failure-survivor case), for comparison tables.
+pub fn standalone_energy(device: &DeviceModel, macs: u64, power: PowerModel) -> EnergyReport {
+    let lat = device.latency(macs);
+    let joules = power.active_w * lat.as_secs_f64();
+    EnergyReport {
+        joules_per_image: joules,
+        images_per_joule: 1.0 / joules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemModel {
+        SystemModel::paper_testbed()
+    }
+
+    #[test]
+    fn power_model_mixes_active_and_idle() {
+        let p = PowerModel {
+            active_w: 10.0,
+            idle_w: 2.0,
+        };
+        let e = p.energy_j(Duration::from_secs(1), Duration::from_secs(3));
+        assert!((e - (10.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "active time exceeds")]
+    fn active_beyond_window_panics() {
+        let p = PowerModel::jetson_cpu();
+        let _ = p.energy_j(Duration::from_secs(2), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn dead_scenarios_report_zero() {
+        let r = scenario_energy(
+            &sys(),
+            PowerModel::jetson_cpu(),
+            ModelFamily::Static,
+            DeviceAvailability::OnlyMaster,
+            false,
+        );
+        assert_eq!(r.images_per_joule, 0.0);
+    }
+
+    #[test]
+    fn ht_is_most_energy_efficient_two_device_mode() {
+        let p = PowerModel::jetson_cpu();
+        let ht = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, true);
+        let ha = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, false);
+        let st = scenario_energy(&sys(), p, ModelFamily::Static, DeviceAvailability::Both, false);
+        assert!(ht.images_per_joule > ha.images_per_joule, "{ht:?} vs {ha:?}");
+        assert!(ht.images_per_joule > st.images_per_joule);
+    }
+
+    #[test]
+    fn single_device_burns_half_the_power() {
+        let p = PowerModel::jetson_cpu();
+        let both = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, false);
+        let solo = scenario_energy(
+            &sys(),
+            p,
+            ModelFamily::Fluid,
+            DeviceAvailability::OnlyMaster,
+            false,
+        );
+        // The survivor is slower per image, but only one device draws power.
+        assert!(solo.joules_per_image < both.joules_per_image);
+    }
+}

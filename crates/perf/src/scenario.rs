@@ -1,0 +1,417 @@
+//! Scenario evaluation: the paper's Fig. 2 throughput bars, derived from
+//! connectivity classes.
+
+use crate::comm::CommModel;
+use crate::device::DeviceModel;
+use fluid_models::{branch_cost, static_partition_comm_bytes, Arch, BranchSpec};
+use fluid_nn::ChannelRange;
+use std::time::Duration;
+
+/// The three model families the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Dense CNN (distribution requires per-layer activation exchange).
+    Static,
+    /// Slimmable CNN with triangular containment (ref [3]).
+    Dynamic,
+    /// Fluid DyDNN with block structure (this paper).
+    Fluid,
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFamily::Static => write!(f, "Static"),
+            ModelFamily::Dynamic => write!(f, "Dynamic"),
+            ModelFamily::Fluid => write!(f, "Fluid"),
+        }
+    }
+}
+
+/// Which devices are online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceAvailability {
+    /// Both devices operational.
+    Both,
+    /// The Worker has failed.
+    OnlyMaster,
+    /// The Master has failed.
+    OnlyWorker,
+}
+
+impl std::fmt::Display for DeviceAvailability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceAvailability::Both => write!(f, "Master & Worker"),
+            DeviceAvailability::OnlyMaster => write!(f, "Only Master"),
+            DeviceAvailability::OnlyWorker => write!(f, "Only Worker"),
+        }
+    }
+}
+
+/// Result of evaluating one deployment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario label (e.g. `"Fluid HT, Master & Worker"`).
+    pub label: String,
+    /// System throughput in images/s (0 when the system cannot operate).
+    pub throughput_ips: f64,
+    /// Per-image latency, `None` when the system cannot operate.
+    pub latency: Option<Duration>,
+}
+
+impl ScenarioResult {
+    fn dead(label: String) -> Self {
+        Self {
+            label,
+            throughput_ips: 0.0,
+            latency: None,
+        }
+    }
+
+    fn from_latency(label: String, lat: Duration) -> Self {
+        Self {
+            label,
+            throughput_ips: 1.0 / lat.as_secs_f64(),
+            latency: Some(lat),
+        }
+    }
+}
+
+/// One row of the Fig. 2 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Execution-mode label (`"HA"`, `"HT"`, or `"-"` for Static).
+    pub mode: &'static str,
+    /// Device availability.
+    pub availability: DeviceAvailability,
+    /// Modelled throughput.
+    pub throughput_ips: f64,
+    /// Paper-reported throughput for comparison (img/s).
+    pub paper_ips: f64,
+}
+
+/// The two-device system: Master + Worker devices, a link, and the model
+/// architecture whose sub-network MAC counts drive everything.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    master: DeviceModel,
+    worker: DeviceModel,
+    comm: CommModel,
+    arch: Arch,
+}
+
+impl SystemModel {
+    /// Creates a system model.
+    pub fn new(master: DeviceModel, worker: DeviceModel, comm: CommModel, arch: Arch) -> Self {
+        Self {
+            master,
+            worker,
+            comm,
+            arch,
+        }
+    }
+
+    /// The calibrated paper testbed: two Jetson-class CPUs over TCP running
+    /// the paper architecture.
+    pub fn paper_testbed() -> Self {
+        Self::new(
+            DeviceModel::jetson_master(),
+            DeviceModel::jetson_worker(),
+            CommModel::jetson_tcp(),
+            Arch::paper(),
+        )
+    }
+
+    /// The architecture in use.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// Replaces the link model (communication sweeps).
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// MACs of a block branch covering `range` at every stage.
+    fn block_macs(&self, range: ChannelRange) -> u64 {
+        let b = BranchSpec::uniform("b", range, self.arch.conv_stages, true);
+        branch_cost(&self.arch, &b).macs
+    }
+
+    /// MACs per device for the dense model split by output channels: each
+    /// device computes half the outputs but reads *all* inputs.
+    fn dense_half_macs(&self) -> u64 {
+        let kk = (self.arch.kernel * self.arch.kernel) as u64;
+        let max = self.arch.ladder.max() as u64;
+        let half = max / 2;
+        let mut macs = 0u64;
+        for stage in 0..self.arch.conv_stages {
+            let in_full = if stage == 0 {
+                self.arch.image_channels as u64
+            } else {
+                max
+            };
+            let side = self.arch.side_after(stage) as u64;
+            macs += half * in_full * kk * side * side;
+        }
+        // FC as column partials over the device's half of the features.
+        macs += (self.arch.fc_in_max() as u64 / 2) * self.arch.classes as u64;
+        macs
+    }
+
+    fn lower50(&self) -> ChannelRange {
+        ChannelRange::new(0, self.arch.ladder.half())
+    }
+
+    fn upper50(&self) -> ChannelRange {
+        ChannelRange::new(self.arch.ladder.half(), self.arch.ladder.max())
+    }
+
+    /// Latency of the dense model distributed across both devices:
+    /// parallel halves + per-layer activation exchange.
+    fn dense_distributed_latency(&self) -> Duration {
+        let macs = self.dense_half_macs();
+        let compute = self.master.latency(macs).max(self.worker.latency(macs));
+        let messages = self.arch.conv_stages as u64; // (stages-1) exchanges + logit merge
+        let bytes = static_partition_comm_bytes(&self.arch);
+        compute + self.comm.latency(messages, bytes)
+    }
+
+    /// Fluid High-Accuracy latency: ship the input, run both branches in
+    /// parallel, return the partial logits.
+    fn fluid_ha_latency(&self) -> Duration {
+        let m = self.master.latency(self.block_macs(self.lower50()));
+        let w = self.worker.latency(self.block_macs(self.upper50()));
+        let input_bytes = (self.arch.image_channels
+            * self.arch.image_side
+            * self.arch.image_side
+            * 4) as u64;
+        let logits_bytes = (self.arch.classes * 4) as u64;
+        self.comm.latency(2, input_bytes + logits_bytes) + m.max(w)
+    }
+
+    /// Evaluates one (family, availability, mode) cell. `ht` selects
+    /// High-Throughput for the adaptive families; Static has no modes.
+    pub fn evaluate(
+        &self,
+        family: ModelFamily,
+        availability: DeviceAvailability,
+        ht: bool,
+    ) -> ScenarioResult {
+        let mode = if matches!(family, ModelFamily::Static) {
+            "-"
+        } else if ht {
+            "HT"
+        } else {
+            "HA"
+        };
+        let label = format!("{family} {mode}, {availability}");
+        match (family, availability) {
+            // --- Static: dense split; any failure is fatal. -------------
+            (ModelFamily::Static, DeviceAvailability::Both) => {
+                ScenarioResult::from_latency(label, self.dense_distributed_latency())
+            }
+            (ModelFamily::Static, _) => ScenarioResult::dead(label),
+
+            // --- Dynamic: prefix sub-networks on the Master only. -------
+            (ModelFamily::Dynamic, DeviceAvailability::Both) => {
+                if ht {
+                    // 50% model on the Master; the Worker's triangular
+                    // upper weights cannot run independently, so it idles.
+                    let lat = self.master.latency(self.block_macs(self.lower50()));
+                    ScenarioResult::from_latency(label, lat)
+                } else {
+                    // Full model distributed; same exchange pattern as the
+                    // dense split (upper groups read all lower channels).
+                    ScenarioResult::from_latency(label, self.dense_distributed_latency())
+                }
+            }
+            (ModelFamily::Dynamic, DeviceAvailability::OnlyMaster) => {
+                let lat = self.master.latency(self.block_macs(self.lower50()));
+                ScenarioResult::from_latency(label, lat)
+            }
+            (ModelFamily::Dynamic, DeviceAvailability::OnlyWorker) => ScenarioResult::dead(label),
+
+            // --- Fluid: every block is standalone. ----------------------
+            (ModelFamily::Fluid, DeviceAvailability::Both) => {
+                if ht {
+                    let m = self.master.throughput(self.block_macs(self.lower50()));
+                    let w = self.worker.throughput(self.block_macs(self.upper50()));
+                    ScenarioResult {
+                        label,
+                        throughput_ips: m + w,
+                        latency: None, // two independent streams
+                    }
+                } else {
+                    ScenarioResult::from_latency(label, self.fluid_ha_latency())
+                }
+            }
+            (ModelFamily::Fluid, DeviceAvailability::OnlyMaster) => {
+                let lat = self.master.latency(self.block_macs(self.lower50()));
+                ScenarioResult::from_latency(label, lat)
+            }
+            (ModelFamily::Fluid, DeviceAvailability::OnlyWorker) => {
+                let lat = self.worker.latency(self.block_macs(self.upper50()));
+                ScenarioResult::from_latency(label, lat)
+            }
+        }
+    }
+
+    /// Produces every bar of the paper's Fig. 2 throughput panel, with the
+    /// paper's reported values attached for comparison.
+    pub fn fig2_table(&self) -> Vec<Fig2Row> {
+        use DeviceAvailability::*;
+        use ModelFamily::*;
+        let cells: [(ModelFamily, &'static str, bool, DeviceAvailability, f64); 10] = [
+            (Static, "-", false, Both, 11.1),
+            (Static, "-", false, OnlyMaster, 0.0),
+            (Static, "-", false, OnlyWorker, 0.0),
+            (Dynamic, "HA", false, Both, 11.1),
+            (Dynamic, "HT", true, Both, 14.4),
+            (Dynamic, "-", false, OnlyMaster, 14.4),
+            (Dynamic, "-", false, OnlyWorker, 0.0),
+            (Fluid, "HA", false, Both, 11.1),
+            (Fluid, "HT", true, Both, 28.3),
+            (Fluid, "-", false, OnlyMaster, 14.4),
+        ];
+        let mut rows: Vec<Fig2Row> = cells
+            .iter()
+            .map(|&(family, mode, ht, availability, paper_ips)| Fig2Row {
+                family,
+                mode,
+                availability,
+                throughput_ips: self.evaluate(family, availability, ht).throughput_ips,
+                paper_ips,
+            })
+            .collect();
+        rows.push(Fig2Row {
+            family: Fluid,
+            mode: "-",
+            availability: OnlyWorker,
+            throughput_ips: self
+                .evaluate(Fluid, OnlyWorker, false)
+                .throughput_ips,
+            paper_ips: 13.9,
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemModel {
+        SystemModel::paper_testbed()
+    }
+
+    #[test]
+    fn static_both_near_paper() {
+        let r = sys().evaluate(ModelFamily::Static, DeviceAvailability::Both, false);
+        assert!((r.throughput_ips - 11.1).abs() < 1.0, "{}", r.throughput_ips);
+    }
+
+    #[test]
+    fn static_fails_on_any_device_loss() {
+        for avail in [DeviceAvailability::OnlyMaster, DeviceAvailability::OnlyWorker] {
+            let r = sys().evaluate(ModelFamily::Static, avail, false);
+            assert_eq!(r.throughput_ips, 0.0);
+            assert!(r.latency.is_none());
+        }
+    }
+
+    #[test]
+    fn dynamic_survives_only_master() {
+        let s = sys();
+        let m = s.evaluate(ModelFamily::Dynamic, DeviceAvailability::OnlyMaster, false);
+        assert!((m.throughput_ips - 14.4).abs() < 0.3, "{}", m.throughput_ips);
+        let w = s.evaluate(ModelFamily::Dynamic, DeviceAvailability::OnlyWorker, false);
+        assert_eq!(w.throughput_ips, 0.0);
+    }
+
+    #[test]
+    fn fluid_survives_both_single_failures() {
+        let s = sys();
+        let m = s.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyMaster, false);
+        let w = s.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyWorker, false);
+        assert!((m.throughput_ips - 14.4).abs() < 0.3, "{}", m.throughput_ips);
+        assert!((w.throughput_ips - 13.9).abs() < 0.3, "{}", w.throughput_ips);
+    }
+
+    #[test]
+    fn fluid_ht_hits_headline_ratios() {
+        let s = sys();
+        let fluid_ht = s
+            .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, true)
+            .throughput_ips;
+        let static_both = s
+            .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let dynamic_ht = s
+            .evaluate(ModelFamily::Dynamic, DeviceAvailability::Both, true)
+            .throughput_ips;
+        assert!((fluid_ht - 28.3).abs() < 0.5, "fluid HT {fluid_ht}");
+        let vs_static = fluid_ht / static_both;
+        let vs_dynamic = fluid_ht / dynamic_ht;
+        assert!((2.2..=2.8).contains(&vs_static), "vs static {vs_static}");
+        assert!((1.8..=2.2).contains(&vs_dynamic), "vs dynamic {vs_dynamic}");
+    }
+
+    #[test]
+    fn fluid_ha_between_static_and_single_device() {
+        let s = sys();
+        let ha = s
+            .evaluate(ModelFamily::Fluid, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let static_both = s
+            .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+            .throughput_ips;
+        // HA avoids per-layer exchange, so it must beat static slightly and
+        // stay below the single-device 50% rate.
+        assert!(ha >= static_both, "ha {ha} vs static {static_both}");
+        assert!(ha <= 14.4);
+    }
+
+    #[test]
+    fn fig2_table_shape_matches_paper() {
+        let rows = sys().fig2_table();
+        assert_eq!(rows.len(), 11);
+        for row in &rows {
+            let dead_in_paper = row.paper_ips == 0.0;
+            let dead_here = row.throughput_ips == 0.0;
+            assert_eq!(
+                dead_in_paper, dead_here,
+                "capability mismatch for {} {} {}",
+                row.family, row.mode, row.availability
+            );
+            if !dead_in_paper {
+                let rel = (row.throughput_ips - row.paper_ips).abs() / row.paper_ips;
+                assert!(
+                    rel < 0.15,
+                    "{} {} {}: {} vs paper {}",
+                    row.family,
+                    row.mode,
+                    row.availability,
+                    row.throughput_ips,
+                    row.paper_ips
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_link_collapses_distribution_penalty() {
+        let s = sys().with_comm(CommModel::ideal());
+        let static_ideal = s
+            .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+            .throughput_ips;
+        let static_real = sys()
+            .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+            .throughput_ips;
+        assert!(static_ideal > static_real);
+    }
+}

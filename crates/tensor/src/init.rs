@@ -1,0 +1,95 @@
+//! Weight initialisers.
+//!
+//! All initialisers draw from the deterministic [`Prng`], so an experiment
+//! seed fully determines every weight in the workspace.
+
+use crate::rng::Prng;
+use crate::tensor::Tensor;
+
+/// Kaiming (He) normal initialisation: `N(0, sqrt(2 / fan_in))`.
+///
+/// Appropriate for layers followed by ReLU, which is every hidden layer of
+/// the paper's model.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fluid_tensor::{kaiming_normal, Prng};
+/// let mut rng = Prng::new(0);
+/// let w = kaiming_normal(&[8, 4, 3, 3], 4 * 3 * 3, &mut rng);
+/// assert_eq!(w.dims(), &[8, 4, 3, 3]);
+/// ```
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut Prng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.normal_with(0.0, std))
+}
+
+/// Kaiming (He) uniform initialisation: `U(-b, b)` with
+/// `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut Prng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.uniform(-bound, bound))
+}
+
+/// Xavier (Glorot) uniform initialisation: `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Prng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sum must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.uniform(-bound, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_normal_std_close() {
+        let mut rng = Prng::new(1);
+        let fan_in = 36;
+        let w = kaiming_normal(&[64, 36], fan_in, &mut rng);
+        let mean = w.mean();
+        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / w.numel() as f32;
+        let expected = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - expected).abs() < 0.3 * expected, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn kaiming_uniform_within_bound() {
+        let mut rng = Prng::new(2);
+        let b = (6.0f32 / 9.0).sqrt();
+        let w = kaiming_uniform(&[4, 9], 9, &mut rng);
+        assert!(w.data().iter().all(|x| x.abs() <= b));
+    }
+
+    #[test]
+    fn xavier_uniform_within_bound() {
+        let mut rng = Prng::new(3);
+        let b = (6.0f32 / 20.0).sqrt();
+        let w = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        assert!(w.data().iter().all(|x| x.abs() <= b));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kaiming_normal(&[5, 5], 5, &mut Prng::new(42));
+        let b = kaiming_normal(&[5, 5], 5, &mut Prng::new(42));
+        assert_eq!(a, b);
+    }
+}

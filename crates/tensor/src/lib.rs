@@ -1,0 +1,42 @@
+//! # fluid-tensor
+//!
+//! Dense, row-major `f32` tensors and the numerical kernels needed by the
+//! Fluid Dynamic DNN reproduction: matrix multiplication (plus transposed
+//! variants for backpropagation), `im2col`/`col2im` for convolutions,
+//! elementwise maps, reductions, and weight initialisers.
+//!
+//! The crate deliberately mirrors the small subset of a full tensor library
+//! that the paper's 3-conv + 1-FC model needs, with exact, deterministic
+//! semantics so higher layers can be property-tested.
+//!
+//! ## Example
+//!
+//! ```
+//! use fluid_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+//!
+//! Shape errors panic with a descriptive message (as in `ndarray`); all
+//! panicking functions document this in a *Panics* section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod im2col;
+mod init;
+mod matmul;
+mod ops;
+mod reduce;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
+pub use rng::Prng;
+pub use shape::{numel, Shape};
+pub use tensor::Tensor;

@@ -1,0 +1,162 @@
+//! Matrix multiplication kernels, including the transposed variants used by
+//! backpropagation.
+//!
+//! All kernels are cache-friendly ikj loops over contiguous rows; fast enough
+//! for the paper's ≤16-channel model while staying dependency-free.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · other` for `[M, K] × [K, N] → [M, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (a, b) = (self.dims(), other.dims());
+        assert_eq!(a.len(), 2, "matmul lhs rank {}", a.len());
+        assert_eq!(b.len(), 2, "matmul rhs rank {}", b.len());
+        assert_eq!(a[1], b[0], "matmul inner dims {} vs {}", a[1], b[0]);
+        let (m, k, n) = (a[0], a[1], b[1]);
+        let mut out = vec![0.0f32; m * n];
+        let lhs = self.data();
+        let rhs = other.data();
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = lhs[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs[p * n..(p + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += av * r;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ · other` for `[K, M] × [K, N] → [M, N]` without materialising
+    /// the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
+        let (a, b) = (self.dims(), other.dims());
+        assert_eq!(a.len(), 2, "matmul_at lhs rank {}", a.len());
+        assert_eq!(b.len(), 2, "matmul_at rhs rank {}", b.len());
+        assert_eq!(a[0], b[0], "matmul_at shared dims {} vs {}", a[0], b[0]);
+        let (k, m, n) = (a[0], a[1], b[1]);
+        let mut out = vec![0.0f32; m * n];
+        let lhs = self.data();
+        let rhs = other.data();
+        for p in 0..k {
+            let lhs_row = &lhs[p * m..(p + 1) * m];
+            let rhs_row = &rhs[p * n..(p + 1) * n];
+            for i in 0..m {
+                let av = lhs_row[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += av * r;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` for `[M, K] × [N, K] → [M, N]` without materialising
+    /// the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let (a, b) = (self.dims(), other.dims());
+        assert_eq!(a.len(), 2, "matmul_bt lhs rank {}", a.len());
+        assert_eq!(b.len(), 2, "matmul_bt rhs rank {}", b.len());
+        assert_eq!(a[1], b[1], "matmul_bt shared dims {} vs {}", a[1], b[1]);
+        let (m, k, n) = (a[0], a[1], b[0]);
+        let mut out = vec![0.0f32; m * n];
+        let lhs = self.data();
+        let rhs = other.data();
+        for i in 0..m {
+            let lhs_row = &lhs[i * k..(i + 1) * k];
+            for j in 0..n {
+                let rhs_row = &rhs[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (l, r) in lhs_row.iter().zip(rhs_row) {
+                    acc += l * r;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at2(i, p) * b.at2(p, j);
+                }
+                out.set2(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn(&[3, 3], |i| i as f32);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_fn(&[4, 5], |i| (i as f32 * 0.7).sin());
+        let b = Tensor::from_fn(&[5, 3], |i| (i as f32 * 1.3).cos());
+        assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = Tensor::from_fn(&[6, 4], |i| (i as f32).sqrt());
+        let b = Tensor::from_fn(&[6, 3], |i| i as f32 * 0.1);
+        assert!(a.matmul_at(&b).allclose(&a.transpose().matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = Tensor::from_fn(&[3, 4], |i| (i as f32).sqrt());
+        let b = Tensor::from_fn(&[5, 4], |i| i as f32 * 0.1 - 1.0);
+        assert!(a.matmul_bt(&b).allclose(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Elementwise operations and in-place arithmetic on [`Tensor`].
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum with another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.dims(), other.dims(), "elementwise shape mismatch");
+        Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.dims(),
+        )
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += k * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, k: f32, other: &Tensor) {
+        assert_eq!(self.dims(), other.dims(), "axpy shape mismatch");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += k * b;
+        }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_in_place(&mut self, k: f32) {
+        self.data_mut().iter_mut().for_each(|x| *x *= k);
+    }
+
+    /// Rectified linear unit, elementwise `max(x, 0)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Adds a bias vector to each row of an `[N, F]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `bias.numel() != F`.
+    pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
+        let d = self.dims();
+        assert_eq!(d.len(), 2, "add_row_bias on rank-{} tensor", d.len());
+        assert_eq!(bias.numel(), d[1], "bias length {} != {}", bias.numel(), d[1]);
+        let mut out = self.clone();
+        let f = d[1];
+        for r in 0..d[0] {
+            for c in 0..f {
+                out.data_mut()[r * f + c] += bias.data()[c];
+            }
+        }
+        out
+    }
+
+    /// Adds a per-channel bias to an `[N, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `bias.numel() != C`.
+    pub fn add_channel_bias(&self, bias: &Tensor) -> Tensor {
+        let d = self.dims();
+        assert_eq!(d.len(), 4, "add_channel_bias on rank-{} tensor", d.len());
+        assert_eq!(bias.numel(), d[1], "bias length {} != {}", bias.numel(), d[1]);
+        let mut out = self.clone();
+        let plane = d[2] * d[3];
+        for n in 0..d[0] {
+            for c in 0..d[1] {
+                let b = bias.data()[c];
+                let base = (n * d[1] + c) * plane;
+                for x in &mut out.data_mut()[base..base + plane] {
+                    *x += b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()])
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "elementwise shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let _ = t(&[1.0]).add(&t(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        a.axpy(2.0, &t(&[3.0, 4.0]));
+        assert_eq!(a.data(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let a = t(&[-1.0, 0.0, 2.0]);
+        assert_eq!(a.relu().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn row_bias_broadcasts() {
+        let x = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let b = t(&[10.0, 20.0, 30.0]);
+        let y = x.add_row_bias(&b);
+        assert_eq!(y.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn channel_bias_broadcasts() {
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = t(&[1.0, 2.0]);
+        let y = x.add_channel_bias(&b);
+        assert_eq!(y.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sq_norm_matches_manual() {
+        let a = t(&[3.0, 4.0]);
+        assert_eq!(a.sq_norm(), 25.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = t(&[1.0, -2.0]);
+        a.scale_in_place(-3.0);
+        assert_eq!(a.data(), &[-3.0, 6.0]);
+    }
+}

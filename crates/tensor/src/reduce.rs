@@ -1,0 +1,175 @@
+//! Reductions, softmax and argmax.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(self.numel() > 0, "mean of empty tensor");
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(self.numel() > 0, "max of empty tensor");
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Column-wise sum of an `[N, F]` tensor → `[F]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        let d = self.dims();
+        assert_eq!(d.len(), 2, "sum_rows on rank-{} tensor", d.len());
+        let (n, f) = (d[0], d[1]);
+        let mut out = Tensor::zeros(&[f]);
+        for r in 0..n {
+            for c in 0..f {
+                out.data_mut()[c] += self.data()[r * f + c];
+            }
+        }
+        out
+    }
+
+    /// Per-channel sum of an `[N, C, H, W]` tensor → `[C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn sum_per_channel(&self) -> Tensor {
+        let d = self.dims();
+        assert_eq!(d.len(), 4, "sum_per_channel on rank-{} tensor", d.len());
+        let plane = d[2] * d[3];
+        let mut out = Tensor::zeros(&[d[1]]);
+        for n in 0..d[0] {
+            for c in 0..d[1] {
+                let base = (n * d[1] + c) * plane;
+                out.data_mut()[c] += self.data()[base..base + plane].iter().sum::<f32>();
+            }
+        }
+        out
+    }
+
+    /// Row-wise numerically-stable softmax of an `[N, F]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn softmax_rows(&self) -> Tensor {
+        let d = self.dims();
+        assert_eq!(d.len(), 2, "softmax_rows on rank-{} tensor", d.len());
+        assert!(d[1] > 0, "softmax over zero classes");
+        let (n, f) = (d[0], d[1]);
+        let mut out = self.clone();
+        for r in 0..n {
+            let row = &mut out.data_mut()[r * f..(r + 1) * f];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        out
+    }
+
+    /// Row-wise argmax of an `[N, F]` tensor (first max wins on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let d = self.dims();
+        assert_eq!(d.len(), 2, "argmax_rows on rank-{} tensor", d.len());
+        assert!(d[1] > 0, "argmax over zero classes");
+        let (n, f) = (d[0], d[1]);
+        (0..n)
+            .map(|r| {
+                let row = &self.data()[r * f..(r + 1) * f];
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_max() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -4.0], &[4]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+    }
+
+    #[test]
+    fn sum_rows_columnwise() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum_rows().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_per_channel_basic() {
+        let t = Tensor::from_fn(&[2, 2, 1, 2], |i| i as f32);
+        // channel 0: images (0,1) and (4,5) -> 10; channel 1: (2,3)+(6,7) -> 18
+        assert_eq!(t.sum_per_channel().data(), &[10.0, 18.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Huge logits must not overflow (numerical stability).
+        assert!((s.at2(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_order_preserved() {
+        let t = Tensor::from_vec(vec![0.1, 2.0, -1.0], &[1, 3]);
+        let s = t.softmax_rows();
+        assert!(s.at2(0, 1) > s.at2(0, 0));
+        assert!(s.at2(0, 0) > s.at2(0, 2));
+    }
+
+    #[test]
+    fn argmax_rows_first_tie_wins() {
+        let t = Tensor::from_vec(vec![5.0, 5.0, 1.0, 0.0, 2.0, 2.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty tensor")]
+    fn mean_empty_panics() {
+        let _ = Tensor::zeros(&[0]).mean();
+    }
+}

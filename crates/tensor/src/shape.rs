@@ -1,0 +1,139 @@
+//! Shape utilities for row-major tensors.
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// Row-major (C order): the last dimension is contiguous in memory.
+///
+/// # Example
+///
+/// ```
+/// use fluid_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Total element count of a dims slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fluid_tensor::numel(&[2, 3]), 6);
+/// ```
+pub fn numel(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn one_dim() {
+        let s = Shape::new(&[7]);
+        assert_eq!(s.numel(), 7);
+        assert_eq!(s.strides(), vec![1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn from_vec() {
+        let s: Shape = vec![4, 5].into();
+        assert_eq!(s.dims(), &[4, 5]);
+    }
+
+    #[test]
+    fn zero_extent_dim_gives_zero_numel() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.numel(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Renders a contact sheet of SynthDigits examples so the synthetic
+//! dataset substitution can be inspected visually.
+//!
+//! Run with `cargo run --release -p fluid-examples --bin dataset_gallery`.
+//! Writes `target/synth_digits.pgm` (viewable with any image tool).
+
+use fluid_data::{contact_sheet, SynthDigits};
+
+fn main() {
+    let mut gen = SynthDigits::new(12345);
+    let ds = gen.generate(100);
+    println!("generated {} SynthDigits examples", ds.len());
+    println!("class histogram: {:?}", ds.class_histogram());
+
+    // Ten examples per class, sorted by label for a tidy sheet.
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    order.sort_by_key(|&i| ds.label(i));
+    let (batch, labels) = ds.gather(&order);
+    let pgm = contact_sheet(&batch, 10);
+
+    let out = std::path::Path::new("target/synth_digits.pgm");
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(out, &pgm) {
+        Ok(()) => println!("wrote {} ({} bytes) — rows are classes 0-9", out.display(), pgm.len()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+    println!("first row labels: {:?}", &labels[..10]);
+
+    // Also print a coarse ASCII preview of one digit per class.
+    println!("\nASCII preview (one example per class):");
+    for class in 0..10 {
+        let idx = (0..ds.len()).find(|&i| ds.label(i) == class).expect("class present");
+        let (img, _) = ds.gather(&[idx]);
+        println!("--- digit {class} ---");
+        for y in (0..28).step_by(2) {
+            let mut line = String::with_capacity(28);
+            for x in 0..28 {
+                let v = img.at4(0, 0, y, x);
+                line.push(match v {
+                    v if v > 0.7 => '#',
+                    v if v > 0.35 => '+',
+                    v if v > 0.15 => '.',
+                    _ => ' ',
+                });
+            }
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Distributed inference over real TCP on localhost: deploy the fluid
+//! branches to a Master/Worker pair and exercise both execution modes.
+//!
+//! Run with `cargo run --release -p fluid-examples --bin distributed_inference`.
+
+use fluid_core::training::{train_nested, NestedSchedule, TrainConfig};
+use fluid_data::SynthDigits;
+use fluid_dist::{
+    extract_branch_weights, Master, MasterConfig, Mode, TcpTransport, ThroughputMeter, Worker,
+};
+use fluid_models::{Arch, FluidModel};
+use fluid_nn::accuracy;
+use fluid_tensor::Prng;
+use std::net::{TcpListener, TcpStream};
+
+fn main() {
+    println!("=== Distributed Fluid DyDNN inference (TCP, localhost) ===\n");
+
+    // Train a small fluid model first (fast schedule for the demo).
+    let arch = Arch::paper();
+    let (train, test) = SynthDigits::new(7).train_test(1500, 400);
+    let mut model = FluidModel::new(arch.clone(), &mut Prng::new(1));
+    let mut cfg = TrainConfig::default();
+    cfg.epochs_per_phase = 1;
+    println!("training fluid model...");
+    let _ = train_nested(&mut model, &train, &cfg, &NestedSchedule::default());
+
+    // Spin up the Worker on a localhost socket.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker port");
+    let addr = listener.local_addr().expect("worker addr");
+    let worker_arch = arch.clone();
+    let worker_thread = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept master");
+        let transport = TcpTransport::new(stream).expect("worker transport");
+        Worker::new(transport, worker_arch, "worker-jetson").run()
+    });
+
+    // Master connects, owns the trained model.
+    let stream = TcpStream::connect(addr).expect("connect to worker");
+    let transport = TcpTransport::new(stream).expect("master transport");
+    let mut master = Master::new(transport, model.net().clone(), MasterConfig::default());
+    let device = master.await_hello().expect("worker hello");
+    println!("worker {device:?} connected at {addr}\n");
+
+    // Deploy: lower50 stays on the Master; upper50 (logit-partial form)
+    // goes to the Worker.
+    let lower = model.spec("lower50").expect("spec").branches[0].clone();
+    let upper_partial = model.spec("combined100").expect("spec").branches[1].clone();
+    let windows = extract_branch_weights(model.net(), &upper_partial);
+    let shipped: usize = windows.iter().map(|w| w.tensor.numel()).sum();
+    master.deploy_local(lower);
+    master.deploy_remote(upper_partial, windows).expect("deploy upper50");
+    println!("deployed upper50 to the worker ({shipped} weights shipped)\n");
+
+    // High-Accuracy mode: same input on both devices, partial logits summed.
+    master.switch_mode(Mode::HighAccuracy).expect("mode switch");
+    let mut meter = ThroughputMeter::new();
+    let mut correct = 0.0f32;
+    let n_eval = 200.min(test.len());
+    for i in 0..n_eval {
+        let (x, labels) = test.gather(&[i]);
+        let logits = master.infer_ha(&x).expect("HA inference");
+        correct += accuracy(&logits, &labels);
+        meter.add(1);
+    }
+    println!(
+        "HA mode: {:>6.1} img/s on localhost, accuracy {:.1}% over {n_eval} images",
+        meter.rate(),
+        correct / n_eval as f32 * 100.0
+    );
+
+    // High-Throughput mode: different inputs per device. The remote branch
+    // needs its own bias for standalone logits, so redeploy it standalone.
+    let upper_standalone = model.spec("upper50").expect("spec").branches[0].clone();
+    let windows = extract_branch_weights(model.net(), &upper_standalone);
+    master.deploy_remote(upper_standalone, windows).expect("redeploy");
+    master.switch_mode(Mode::HighThroughput).expect("mode switch");
+    let mut meter = ThroughputMeter::new();
+    let mut correct = 0.0f32;
+    let mut i = 0;
+    while i + 1 < n_eval {
+        let (xa, la) = test.gather(&[i]);
+        let (xb, lb) = test.gather(&[i + 1]);
+        let (out_a, out_b) = master.infer_ht(&xa, &xb).expect("HT inference");
+        correct += accuracy(&out_a, &la) + accuracy(&out_b, &lb);
+        meter.add(2);
+        i += 2;
+    }
+    println!(
+        "HT mode: {:>6.1} img/s on localhost, accuracy {:.1}% over {} images",
+        meter.rate(),
+        correct / meter.items() as f32 * 100.0,
+        meter.items()
+    );
+    println!("\n(localhost rates reflect this machine, not the Jetson testbed —");
+    println!(" run `paper_fig2` for the calibrated device-model reproduction)");
+
+    master.shutdown_worker();
+    let _ = worker_thread.join();
+}

@@ -1,0 +1,3 @@
+//! This package hosts the runnable example binaries (`quickstart`,
+//! `distributed_inference`, `failure_scenarios`, `mode_adaptation`,
+//! `paper_fig2`). See each binary's module docs.

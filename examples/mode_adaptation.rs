@@ -1,0 +1,60 @@
+//! Mode adaptation: the runtime controller switching between High-Accuracy
+//! and High-Throughput deployments as demand and availability change.
+//!
+//! Run with `cargo run --release -p fluid-examples --bin mode_adaptation`.
+
+use fluid_core::{Goal, ReliabilityManager, RuntimeController};
+use fluid_perf::{DeviceAvailability, ModelFamily, SystemModel};
+
+fn show(plan_label: &str, controller: &RuntimeController, goal: Goal, avail: DeviceAvailability) {
+    match controller.plan(goal, avail) {
+        Some(plan) => println!(
+            "{plan_label:<34} -> mode {}, master={:?}, worker={:?}, ~{:.1} img/s",
+            plan.mode,
+            plan.master_subnet.as_deref().unwrap_or("-"),
+            plan.worker_subnet.as_deref().unwrap_or("-"),
+            plan.expected_ips
+        ),
+        None => println!("{plan_label:<34} -> CANNOT OPERATE"),
+    }
+}
+
+fn main() {
+    println!("=== Runtime mode adaptation ===\n");
+    let system = SystemModel::paper_testbed();
+    let fluid = RuntimeController::new(ModelFamily::Fluid, system.clone());
+
+    println!("-- demand changes (both devices up) --");
+    show("accuracy-critical phase", &fluid, Goal::MaxAccuracy, DeviceAvailability::Both);
+    show("burst arrives: need max rate", &fluid, Goal::MaxThroughput, DeviceAvailability::Both);
+    show("SLA floor 5 img/s", &fluid, Goal::ThroughputFloor(5.0), DeviceAvailability::Both);
+    show("SLA floor 20 img/s", &fluid, Goal::ThroughputFloor(20.0), DeviceAvailability::Both);
+
+    println!("\n-- availability changes (accuracy goal) --");
+    show("worker fails", &fluid, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
+    show("master fails", &fluid, Goal::MaxAccuracy, DeviceAvailability::OnlyWorker);
+
+    println!("\n-- the baselines under the same events --");
+    let dynamic = RuntimeController::new(ModelFamily::Dynamic, system.clone());
+    let static_c = RuntimeController::new(ModelFamily::Static, system);
+    show("dynamic: worker fails", &dynamic, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
+    show("dynamic: master fails", &dynamic, Goal::MaxAccuracy, DeviceAvailability::OnlyWorker);
+    show("static: worker fails", &static_c, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
+
+    println!("\n-- a day in the life (events stream) --");
+    let mut manager = ReliabilityManager::new(ModelFamily::Fluid);
+    let events: [(&str, fn(&mut ReliabilityManager)); 4] = [
+        ("worker power outage", |m| m.worker_failed()),
+        ("worker restored", |m| m.worker_recovered()),
+        ("master crash", |m| m.master_failed()),
+        ("master restored", |m| m.master_recovered()),
+    ];
+    for (label, apply) in events {
+        apply(&mut manager);
+        println!(
+            "event: {label:<22} active sub-network: {}",
+            manager.active_subnet().unwrap_or("NONE")
+        );
+    }
+    println!("\nreconfigurations handled: {}", manager.reconfigurations());
+}

@@ -1,0 +1,46 @@
+//! Full Fig. 2 reproduction: the throughput panel from the calibrated
+//! performance model and the accuracy panel from actually training all
+//! three model families.
+//!
+//! Run with `cargo run --release -p fluid-examples --bin paper_fig2`.
+//! Pass `--quick` for a reduced training budget.
+
+use fluid_core::{format_accuracy_table, format_capability_matrix, format_throughput_table, Fig2Accuracy};
+use fluid_models::Arch;
+use fluid_perf::SystemModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    println!("=== Reproducing Fig. 2 of 'Fluid Dynamic DNNs' (DATE 2024) ===\n");
+
+    // Throughput panel: calibrated Jetson-class device + TCP comm model.
+    let system = SystemModel::paper_testbed();
+    println!("{}", format_throughput_table(&system.fig2_table()));
+
+    let fluid_ht = system.fig2_table()[8].throughput_ips;
+    let static_both = system.fig2_table()[0].throughput_ips;
+    let dynamic_ht = system.fig2_table()[4].throughput_ips;
+    println!(
+        "headline ratios: Fluid HT = {:.2}x Static, {:.2}x Dynamic (paper: 2.5x, 2x)\n",
+        fluid_ht / static_both,
+        fluid_ht / dynamic_ht
+    );
+
+    // Accuracy panel: train Static (plain), Dynamic (incremental [3]) and
+    // Fluid (Algorithm 1) on the synthetic dataset, then evaluate each
+    // deployable sub-network.
+    let (train_n, test_n, epochs) = if quick { (800, 300, 1) } else { (3000, 1000, 1) };
+    println!(
+        "training all three model families ({train_n} train / {test_n} test, {epochs} epoch(s) per phase)...\n"
+    );
+    let t0 = std::time::Instant::now();
+    let mut fig = Fig2Accuracy::train(Arch::paper(), train_n, test_n, epochs, 2024);
+    println!("trained in {:.1}s\n", t0.elapsed().as_secs_f32());
+    println!("{}", format_accuracy_table(&fig.table()));
+
+    println!("{}", format_capability_matrix());
+    println!("Notes: absolute accuracy is on SynthDigits, not MNIST (see DESIGN.md);");
+    println!("the comparison of interest is the *shape*: zeros exactly where the paper");
+    println!("has zeros, and the same ordering between model families and modes.");
+}

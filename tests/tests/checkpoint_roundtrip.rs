@@ -1,0 +1,66 @@
+//! Checkpoint round-trips across the full stack: train → save → load →
+//! deploy → distributed inference.
+
+use fluid_dist::{extract_branch_weights, InProcTransport, Master, MasterConfig, Worker};
+use fluid_integration_tests::quick_trained_fluid;
+use fluid_models::{load_net, save_net};
+use fluid_tensor::Tensor;
+
+#[test]
+fn trained_model_survives_checkpoint() {
+    let (model, test) = quick_trained_fluid(71);
+    let mut buf = Vec::new();
+    save_net(model.net(), &mut buf).expect("save");
+    let mut restored = load_net(&mut buf.as_slice()).expect("load");
+
+    let spec = model.spec("combined100").expect("spec").clone();
+    let (x, _) = test.gather(&[0, 1, 2, 3]);
+    let mut original = model.net().clone();
+    let a = original.forward_subnet(&x, &spec, false);
+    let b = restored.forward_subnet(&x, &spec, false);
+    assert!(a.allclose(&b, 0.0), "checkpoint altered the trained function");
+}
+
+#[test]
+fn restored_model_deploys_to_worker() {
+    // The redeploy-after-recovery story: a master restarts from the
+    // checkpoint and re-ships a branch; the worker's function matches.
+    let (model, _) = quick_trained_fluid(72);
+    let arch = model.net().arch().clone();
+    let mut buf = Vec::new();
+    save_net(model.net(), &mut buf).expect("save");
+    let restored = load_net(&mut buf.as_slice()).expect("load");
+
+    let (master_side, worker_side) = InProcTransport::pair();
+    let worker_arch = arch.clone();
+    let handle = std::thread::spawn(move || {
+        let _ = Worker::new(worker_side, worker_arch, "w").run();
+    });
+    let mut master = Master::new(master_side, restored, MasterConfig::default());
+    master.await_hello().expect("hello");
+    let upper = model.spec("upper50").expect("spec").branches[0].clone();
+    let windows = {
+        let net = master.engine_mut().net().clone();
+        extract_branch_weights(&net, &upper)
+    };
+    master.deploy_remote(upper.clone(), windows).expect("deploy");
+    master.deploy_local(model.spec("lower50").expect("spec").branches[0].clone());
+
+    let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 23) as f32) / 23.0);
+    let (_, remote) = master.infer_ht(&x, &x).expect("HT");
+    let mut reference = model.net().clone();
+    let expected = reference.forward_branch(&x, &upper, false);
+    assert!(remote.allclose(&expected, 1e-6));
+    master.shutdown_worker();
+    handle.join().expect("worker");
+}
+
+#[test]
+fn checkpoint_is_deterministic_bytes() {
+    let (model, _) = quick_trained_fluid(73);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    save_net(model.net(), &mut a).expect("save a");
+    save_net(model.net(), &mut b).expect("save b");
+    assert_eq!(a, b, "serialisation must be deterministic");
+}

@@ -1,0 +1,147 @@
+//! Distributed inference over real TCP sockets on localhost.
+
+use fluid_dist::{
+    extract_branch_weights, Master, MasterConfig, Mode, TcpTransport, Worker,
+};
+use fluid_integration_tests::quick_trained_fluid;
+use fluid_models::SubnetSpec;
+use fluid_tensor::Tensor;
+use std::net::{TcpListener, TcpStream};
+
+#[test]
+fn tcp_ha_matches_single_device_combined_model() {
+    let (model, test) = quick_trained_fluid(51);
+    let arch = model.net().arch().clone();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let worker_arch = arch.clone();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let t = TcpTransport::new(stream).expect("transport");
+        let _ = Worker::new(t, worker_arch, "tcp-worker").run();
+    });
+
+    let t = TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("transport");
+    let mut master = Master::new(t, model.net().clone(), MasterConfig::default());
+    let device = master.await_hello().expect("hello");
+    assert_eq!(device, "tcp-worker");
+
+    let lower = model.spec("lower50").expect("spec").branches[0].clone();
+    let upper = model.spec("combined100").expect("spec").branches[1].clone();
+    let windows = extract_branch_weights(model.net(), &upper);
+    master.deploy_local(lower.clone());
+    master.deploy_remote(upper.clone(), windows).expect("deploy");
+    master.switch_mode(Mode::HighAccuracy).expect("mode");
+
+    let (x, _) = test.gather(&[0, 1, 2]);
+    let distributed = master.infer_ha(&x).expect("HA over TCP");
+
+    let mut reference = model.net().clone();
+    let combined = SubnetSpec::collective("combined100", vec![lower, upper]);
+    let expected = reference.forward_subnet(&x, &combined, false);
+    assert!(
+        distributed.allclose(&expected, 1e-5),
+        "TCP HA diverges by {}",
+        distributed.max_abs_diff(&expected)
+    );
+    master.shutdown_worker();
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn tcp_ht_serves_two_streams() {
+    let (model, test) = quick_trained_fluid(52);
+    let arch = model.net().arch().clone();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let worker_arch = arch.clone();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let t = TcpTransport::new(stream).expect("transport");
+        let _ = Worker::new(t, worker_arch, "tcp-worker").run();
+    });
+
+    let t = TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("transport");
+    let mut master = Master::new(t, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+
+    let lower = model.spec("lower50").expect("spec").branches[0].clone();
+    let upper_standalone = model.spec("upper50").expect("spec").branches[0].clone();
+    let windows = extract_branch_weights(model.net(), &upper_standalone);
+    master.deploy_local(lower);
+    master.deploy_remote(upper_standalone.clone(), windows).expect("deploy");
+    master.switch_mode(Mode::HighThroughput).expect("mode");
+
+    let (xa, _) = test.gather(&[0]);
+    let (xb, _) = test.gather(&[1]);
+    let (la, lb) = master.infer_ht(&xa, &xb).expect("HT over TCP");
+    assert_eq!(la.dims(), &[1, 10]);
+    assert_eq!(lb.dims(), &[1, 10]);
+
+    // The remote result equals local standalone execution of upper50.
+    let mut reference = model.net().clone();
+    let expected_b = reference.forward_branch(&xb, &upper_standalone, false);
+    assert!(lb.allclose(&expected_b, 1e-5));
+    master.shutdown_worker();
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn tcp_large_batch_roundtrip() {
+    // Frames of a few hundred KB must survive TCP framing.
+    let (model, test) = quick_trained_fluid(53);
+    let arch = model.net().arch().clone();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let t = TcpTransport::new(stream).expect("transport");
+        let _ = Worker::new(t, arch, "w").run();
+    });
+    let t = TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("transport");
+    let mut master = Master::new(t, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+    let upper = model.spec("upper50").expect("spec").branches[0].clone();
+    let windows = extract_branch_weights(model.net(), &upper);
+    master.deploy_local(model.spec("lower50").expect("spec").branches[0].clone());
+    master.deploy_remote(upper, windows).expect("deploy");
+
+    let idx: Vec<usize> = (0..64.min(test.len())).collect();
+    let (x, _) = test.gather(&idx);
+    let (a, b) = master.infer_ht(&x, &x).expect("batch HT");
+    assert_eq!(a.dim(0), idx.len());
+    assert_eq!(b.dim(0), idx.len());
+    master.shutdown_worker();
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn tcp_worker_survives_master_disconnect() {
+    // When the master's socket drops, the worker exits with LinkLost —
+    // from the worker's perspective that *is* master failure, and its
+    // engine (with a fluid branch) remains usable by a new master.
+    let (model, _) = quick_trained_fluid(54);
+    let arch = model.net().arch().clone();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let t = TcpTransport::new(stream).expect("transport");
+        Worker::new(t, arch, "w").run()
+    });
+    let t = TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("transport");
+    let mut master = Master::new(t, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+    let upper = model.spec("upper50").expect("spec").branches[0].clone();
+    let windows = extract_branch_weights(model.net(), &upper);
+    master.deploy_remote(upper, windows).expect("deploy");
+    drop(master); // master process dies
+
+    let (exit, mut engine) = handle.join().expect("worker thread");
+    assert!(matches!(exit, fluid_dist::WorkerExit::LinkLost(_)));
+    // The surviving engine still serves its standalone branch.
+    let y = engine.infer(&Tensor::zeros(&[1, 1, 28, 28])).expect("survivor");
+    assert_eq!(y.dims(), &[1, 10]);
+}

@@ -1,0 +1,136 @@
+//! Live failure-matrix test: run a real master/worker pair per model
+//! family, inject failures, and verify the survivors — the executable
+//! version of the paper's Fig. 1(b,c).
+
+use fluid_dist::{
+    extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
+};
+use fluid_integration_tests::quick_trained_fluid;
+use fluid_models::{Arch, BranchSpec, DynamicModel, StaticModel};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+
+fn x() -> Tensor {
+    Tensor::from_fn(&[1, 1, 28, 28], |i| ((i * 11 % 59) as f32) / 59.0)
+}
+
+/// Spins up a worker thread on an in-process transport pair.
+fn spawn_worker(arch: Arch) -> (InProcTransport, fluid_dist::FailureSwitch, std::thread::JoinHandle<()>) {
+    let (master_side, worker_side) = InProcTransport::pair();
+    let switch = master_side.failure_switch();
+    let handle = std::thread::spawn(move || {
+        let _ = Worker::new(worker_side, arch, "w").run();
+    });
+    (master_side, switch, handle)
+}
+
+#[test]
+fn fluid_worker_failure_master_keeps_serving() {
+    let (model, _) = quick_trained_fluid(41);
+    let arch = model.net().arch().clone();
+    let (transport, kill, handle) = spawn_worker(arch);
+    let mut master = Master::new(transport, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+
+    let lower = model.spec("lower50").expect("spec").branches[0].clone();
+    let upper = model.spec("combined100").expect("spec").branches[1].clone();
+    let windows = extract_branch_weights(model.net(), &upper);
+    master.deploy_local(lower);
+    master.deploy_remote(upper, windows).expect("deploy");
+    assert!(master.infer_ha(&x()).is_ok());
+
+    kill.kill();
+    assert!(master.infer_ha(&x()).is_err(), "HA must fail after worker death");
+    assert!(master.worker_dead());
+    // The paper's claim: the Master's fluid branch is standalone.
+    assert!(master.infer_local(&x()).is_ok());
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn fluid_master_failure_worker_branch_is_standalone() {
+    // Master failure means the worker keeps only its own windows; verify
+    // that the shipped upper50 windows alone compute the exact standalone
+    // function (no dependency on anything the master held).
+    let (model, _) = quick_trained_fluid(42);
+    let arch = model.net().arch().clone();
+    let half = arch.ladder.half();
+    let max = arch.ladder.max();
+    let upper = BranchSpec::uniform("upper50", ChannelRange::new(half, max), arch.conv_stages, true);
+
+    let mut reference = model.net().clone();
+    let expected = reference.forward_branch(&x(), &upper, false);
+
+    let windows = extract_branch_weights(model.net(), &upper);
+    let mut survivor = fluid_dist::WorkerEngine::new(arch);
+    survivor.deploy(upper, &windows).expect("deploy");
+    let got = survivor.infer(&x()).expect("standalone inference");
+    assert!(expected.allclose(&got, 0.0), "worker-side function differs");
+}
+
+#[test]
+fn dynamic_worker_failure_master_prefix_survives() {
+    let arch = Arch::tiny_28();
+    let model = DynamicModel::new(arch.clone(), &mut Prng::new(5));
+    let (transport, kill, handle) = spawn_worker(arch);
+    let mut master = Master::new(transport, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+    // Master holds the 50% prefix (a valid standalone function).
+    master.deploy_local(model.half().branches[0].clone());
+    kill.kill();
+    assert!(master.infer_local(&x()).is_ok(), "dynamic prefix must survive on master");
+    handle.join().expect("worker thread");
+}
+
+#[test]
+fn dynamic_master_failure_worker_groups_are_not_a_function() {
+    // The worker of a Dynamic DNN holds the *upper triangular* channel
+    // groups, whose conv inputs include lower channels it does not have.
+    // Structurally there is no BranchSpec that reads only the upper block
+    // but equals the trained upper groups — deploying the upper block as a
+    // branch changes the function. We verify that concretely.
+    let arch = Arch::tiny_28();
+    let mut model = DynamicModel::new(arch.clone(), &mut Prng::new(6));
+    let half = arch.ladder.half();
+    let max = arch.ladder.max();
+
+    // The full dynamic model's output...
+    let full_spec = model.full().clone();
+    let full_out = model.net_mut().forward_subnet(&x(), &full_spec, false);
+
+    // ...cannot be recovered from upper-block-only execution: the block
+    // branch ignores the (upper ← lower) weights entirely.
+    let upper_block =
+        BranchSpec::uniform("upper_block", ChannelRange::new(half, max), arch.conv_stages, true);
+    let windows = extract_branch_weights(model.net(), &upper_block);
+    let mut survivor = fluid_dist::WorkerEngine::new(arch);
+    survivor.deploy(upper_block, &windows).expect("deploy");
+    let degraded = survivor.infer(&x()).expect("runs but computes a different function");
+    // The degraded output is NOT the trained model's function (the
+    // dynamic upper groups were never trained to work this way).
+    assert!(
+        full_out.max_abs_diff(&degraded) > 1e-3,
+        "dynamic upper block unexpectedly reproduced the model"
+    );
+}
+
+#[test]
+fn static_split_halves_are_not_functions() {
+    // A static model split by output channels: each half's conv layers
+    // need the *other* half's activations at every layer. Running a half
+    // as a block branch produces a different function than the model.
+    let arch = Arch::tiny_28();
+    let mut model = StaticModel::new(arch.clone(), &mut Prng::new(7));
+    let full_out = model.infer(&x());
+    let half = arch.ladder.max() / 2;
+    let lower_block =
+        BranchSpec::uniform("lower_half", ChannelRange::new(0, half), arch.conv_stages, true);
+    let windows = extract_branch_weights(model.net(), &lower_block);
+    let mut survivor = fluid_dist::WorkerEngine::new(arch);
+    survivor.deploy(lower_block, &windows).expect("deploy");
+    let degraded = survivor.infer(&x()).expect("runs but computes a different function");
+    assert!(
+        full_out.max_abs_diff(&degraded) > 1e-3,
+        "static half unexpectedly equals the full model"
+    );
+}

@@ -1,0 +1,89 @@
+//! The paper's headline claims, asserted end-to-end.
+
+use fluid_core::can_operate;
+use fluid_perf::{CommModel, DeviceAvailability, ModelFamily, SystemModel};
+
+#[test]
+fn claim_fluid_ht_is_2_5x_static_and_2x_dynamic() {
+    let s = SystemModel::paper_testbed();
+    let t = s.fig2_table();
+    let find = |family: ModelFamily, mode: &str, avail: DeviceAvailability| {
+        t.iter()
+            .find(|r| r.family == family && r.mode == mode && r.availability == avail)
+            .map(|r| r.throughput_ips)
+            .expect("row present")
+    };
+    let fluid_ht = find(ModelFamily::Fluid, "HT", DeviceAvailability::Both);
+    let static_both = find(ModelFamily::Static, "-", DeviceAvailability::Both);
+    let dynamic_ht = find(ModelFamily::Dynamic, "HT", DeviceAvailability::Both);
+    let vs_static = fluid_ht / static_both;
+    let vs_dynamic = fluid_ht / dynamic_ht;
+    assert!((2.2..2.9).contains(&vs_static), "Fluid/Static = {vs_static}");
+    assert!((1.8..2.2).contains(&vs_dynamic), "Fluid/Dynamic = {vs_dynamic}");
+}
+
+#[test]
+fn claim_fluid_survives_any_single_failure_baselines_do_not() {
+    use DeviceAvailability::*;
+    use ModelFamily::*;
+    assert!(can_operate(Fluid, OnlyMaster));
+    assert!(can_operate(Fluid, OnlyWorker));
+    assert!(can_operate(Dynamic, OnlyMaster));
+    assert!(!can_operate(Dynamic, OnlyWorker));
+    assert!(!can_operate(Static, OnlyMaster));
+    assert!(!can_operate(Static, OnlyWorker));
+}
+
+#[test]
+fn claim_throughput_zeros_match_capability_matrix() {
+    let t = SystemModel::paper_testbed().fig2_table();
+    for row in &t {
+        let expected_alive = if row.availability == DeviceAvailability::Both {
+            true
+        } else {
+            can_operate(row.family, row.availability)
+        };
+        assert_eq!(
+            row.throughput_ips > 0.0,
+            expected_alive,
+            "{} {} {}",
+            row.family,
+            row.mode,
+            row.availability
+        );
+    }
+}
+
+#[test]
+fn claim_static_throughput_limited_by_communication() {
+    // Paper: "Static DNNs are limited to a throughput of 11.1 image/s due
+    // to inevitable communication overhead". Removing the overhead must
+    // recover substantial throughput.
+    let real = SystemModel::paper_testbed();
+    let ideal = SystemModel::paper_testbed().with_comm(CommModel::ideal());
+    let r = real
+        .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+        .throughput_ips;
+    let i = ideal
+        .evaluate(ModelFamily::Static, DeviceAvailability::Both, false)
+        .throughput_ips;
+    assert!(i > r * 1.1, "ideal {i} vs real {r}");
+}
+
+#[test]
+fn claim_modelled_bars_within_15_percent_of_paper() {
+    for row in SystemModel::paper_testbed().fig2_table() {
+        if row.paper_ips > 0.0 {
+            let rel = (row.throughput_ips - row.paper_ips).abs() / row.paper_ips;
+            assert!(
+                rel < 0.15,
+                "{} {} {}: modelled {} vs paper {}",
+                row.family,
+                row.mode,
+                row.availability,
+                row.throughput_ips,
+                row.paper_ips
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end pipeline: data → training → evaluation across crates.
+
+use fluid_core::training::{
+    train_incremental, train_nested, train_plain, NestedSchedule, TrainConfig,
+};
+use fluid_core::Experiment;
+use fluid_data::SynthDigits;
+use fluid_integration_tests::quick_trained_fluid;
+use fluid_models::{Arch, DynamicModel, StaticModel};
+use fluid_tensor::Prng;
+
+#[test]
+fn static_pipeline_learns() {
+    let (train, test) = SynthDigits::new(21).train_test(400, 120);
+    let mut model = StaticModel::new(Arch::tiny_28(), &mut Prng::new(0));
+    let mut cfg = TrainConfig::fast_test();
+    cfg.epochs_per_phase = 3;
+    let stats = train_plain(&mut model, &train, &cfg);
+    assert_eq!(stats.phases.len(), 1);
+    let spec = model.spec().clone();
+    let acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
+    assert!(acc > 0.5, "static accuracy {acc}");
+}
+
+#[test]
+fn dynamic_pipeline_learns_all_levels() {
+    let (train, test) = SynthDigits::new(22).train_test(400, 120);
+    let mut model = DynamicModel::new(Arch::tiny_28(), &mut Prng::new(0));
+    let mut cfg = TrainConfig::fast_test();
+    cfg.epochs_per_phase = 2;
+    let stats = train_incremental(&mut model, &train, &cfg);
+    assert_eq!(stats.phases.len(), model.specs().len());
+    for level in 0..model.specs().len() {
+        let spec = model.level(level).clone();
+        let acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
+        assert!(acc > 0.3, "level {level} accuracy {acc}");
+    }
+}
+
+#[test]
+fn fluid_pipeline_learns_all_subnets() {
+    let (mut model, test) = quick_trained_fluid(23);
+    for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+        let spec = model.spec(name).expect("spec").clone();
+        let acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
+        assert!(acc > 0.25, "{name} accuracy {acc}");
+    }
+}
+
+#[test]
+fn nested_training_improves_over_iterations() {
+    // More Algorithm-1 iterations should not make the combined model worse
+    // (loss trend over phases is broadly downward).
+    let (train, _) = SynthDigits::new(24).train_test(300, 50);
+    let mut model = fluid_integration_tests::fresh_paper_fluid(3);
+    // Use the tiny arch instead for speed.
+    let mut tiny = fluid_models::FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+    let cfg = TrainConfig::fast_test();
+    let schedule = NestedSchedule {
+        iterations: 2,
+        ..NestedSchedule::default()
+    };
+    let stats = train_nested(&mut tiny, &train, &cfg, &schedule);
+    let first = stats.phases.first().expect("phases").epoch_losses[0];
+    let last = stats.final_loss().expect("final");
+    assert!(last < first, "loss did not improve: {first} -> {last}");
+    let _ = &mut model;
+}
+
+#[test]
+fn deterministic_training_given_seeds() {
+    let (m1, test1) = quick_trained_fluid(31);
+    let (m2, test2) = quick_trained_fluid(31);
+    assert_eq!(test1, test2);
+    // Same seeds ⇒ bit-identical weights.
+    assert_eq!(
+        m1.net().fc().weight().data(),
+        m2.net().fc().weight().data()
+    );
+}

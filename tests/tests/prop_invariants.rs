@@ -1,0 +1,130 @@
+//! Property tests on the workspace's core invariants (DESIGN.md §6).
+
+use fluid_models::{Arch, BranchSpec, ConvNet, SubnetSpec};
+use fluid_nn::ChannelRange;
+use fluid_tensor::{Prng, Tensor};
+use proptest::prelude::*;
+
+fn random_image(seed: u64, n: usize, side: usize) -> Tensor {
+    let mut rng = Prng::new(seed);
+    Tensor::from_fn(&[n, 1, side, side], |_| rng.uniform(0.0, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant 1: the combined model's logits equal the sum of its
+    /// branch partials, for arbitrary block splits and random weights.
+    #[test]
+    fn decomposition_holds_for_any_split(seed in 0u64..500, split in 1usize..16) {
+        let arch = Arch::paper();
+        let split = split.max(1).min(15);
+        let mut net = ConvNet::new(arch.clone(), &mut Prng::new(seed));
+        let lo = BranchSpec::uniform("lo", ChannelRange::new(0, split), 3, true);
+        let hi = BranchSpec::uniform("hi", ChannelRange::new(split, 16), 3, false);
+        let combined = SubnetSpec::collective("c", vec![lo.clone(), hi.clone()]);
+        let x = random_image(seed ^ 1, 2, 28);
+        let joint = net.forward_subnet(&x, &combined, false);
+        let merged = net.forward_branch(&x, &lo, false).add(&net.forward_branch(&x, &hi, false));
+        prop_assert!(joint.allclose(&merged, 1e-5), "diff {}", joint.max_abs_diff(&merged));
+    }
+
+    /// Invariant 2 (containment): a branch never reads weights outside its
+    /// block — scrambling the complement leaves its output bit-identical.
+    #[test]
+    fn branch_isolation_for_any_block(seed in 0u64..500, lo in 0usize..12) {
+        let arch = Arch::paper();
+        let hi = (lo + 4).min(16);
+        let branch = BranchSpec::uniform("b", ChannelRange::new(lo, hi), 3, true);
+        let mut net = ConvNet::new(arch.clone(), &mut Prng::new(seed));
+        let x = random_image(seed ^ 2, 1, 28);
+        let before = net.forward_branch(&x, &branch, false);
+
+        // Scramble all conv weights whose output channel is outside the
+        // block, and all FC columns outside the block's features.
+        for conv in net.convs_mut() {
+            let ci_max = conv.c_in_max();
+            let kk = conv.kernel() * conv.kernel();
+            for co in 0..conv.c_out_max() {
+                if (lo..hi).contains(&co) {
+                    // Also scramble this row's out-of-block input columns
+                    // (stage > 0 reads only the block's channels).
+                    if ci_max > 1 {
+                        for ci in 0..ci_max {
+                            if !(lo..hi).contains(&ci) {
+                                for t in 0..kk {
+                                    conv.weight_mut().data_mut()[(co * ci_max + ci) * kk + t] += 77.0;
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                for ci in 0..ci_max {
+                    for t in 0..kk {
+                        conv.weight_mut().data_mut()[(co * ci_max + ci) * kk + t] += 77.0;
+                    }
+                }
+            }
+        }
+        let fpc = arch.features_per_channel();
+        let cols = ChannelRange::new(lo, hi).to_feature_range(fpc);
+        let in_max = net.fc().in_features_max();
+        for r in 0..arch.classes {
+            for c in 0..in_max {
+                if !(cols.lo..cols.hi).contains(&c) {
+                    net.fc_mut().weight_mut().data_mut()[r * in_max + c] += 77.0;
+                }
+            }
+        }
+        let after = net.forward_branch(&x, &branch, false);
+        prop_assert!(before.allclose(&after, 0.0));
+    }
+
+    /// Invariant 7: HT throughput of two independent devices is the sum of
+    /// the device throughputs (by construction, checked through the public
+    /// scenario API against the device models).
+    #[test]
+    fn ht_throughput_is_additive(rate_scale in 0.5f64..2.0) {
+        use fluid_perf::{CommModel, DeviceAvailability, DeviceModel, ModelFamily, SystemModel};
+        let master = DeviceModel::jetson_master().scaled(rate_scale);
+        let worker = DeviceModel::jetson_worker();
+        let sys = SystemModel::new(master.clone(), worker.clone(), CommModel::jetson_tcp(), Arch::paper());
+        let ht = sys.evaluate(ModelFamily::Fluid, DeviceAvailability::Both, true).throughput_ips;
+        let m = sys.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyMaster, false).throughput_ips;
+        let w = sys.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyWorker, false).throughput_ips;
+        prop_assert!((ht - (m + w)).abs() < 1e-9, "{ht} vs {m}+{w}");
+    }
+
+    /// Weight deployment is exact for arbitrary branches: extract → load
+    /// into a fresh net reproduces the function bit-for-bit.
+    #[test]
+    fn deployment_is_exact_for_any_branch(seed in 0u64..500, lo in 0usize..12, width in 1usize..8) {
+        use fluid_dist::{extract_branch_weights, load_branch_weights};
+        let arch = Arch::paper();
+        let hi = (lo + width).min(16);
+        let branch = BranchSpec::uniform("b", ChannelRange::new(lo, hi), 3, true);
+        let mut source = ConvNet::new(arch.clone(), &mut Prng::new(seed));
+        let x = random_image(seed ^ 3, 1, 28);
+        let expected = source.forward_branch(&x, &branch, false);
+        let windows = extract_branch_weights(&source, &branch);
+        let mut target = ConvNet::new(arch, &mut Prng::new(seed ^ 0xFFFF));
+        load_branch_weights(&mut target, &branch, &windows).expect("load");
+        let got = target.forward_branch(&x, &branch, false);
+        prop_assert!(expected.allclose(&got, 0.0));
+    }
+
+    /// Spec validation accepts exactly the disjoint, in-bounds multi-branch
+    /// specs.
+    #[test]
+    fn validation_rejects_overlap_accepts_disjoint(a_lo in 0usize..8, a_w in 1usize..8, b_lo in 0usize..8, b_w in 1usize..8) {
+        let arch = Arch::paper();
+        let a_hi = (a_lo + a_w).min(16);
+        let b_hi = (b_lo + b_w).min(16);
+        let a = BranchSpec::uniform("a", ChannelRange::new(a_lo, a_hi), 3, true);
+        let b = BranchSpec::uniform("b", ChannelRange::new(b_lo, b_hi), 3, false);
+        let overlaps = a_lo < b_hi && b_lo < a_hi;
+        let spec = SubnetSpec { name: "s".into(), branches: vec![a, b] };
+        prop_assert_eq!(spec.validate(&arch).is_err(), overlaps);
+    }
+}

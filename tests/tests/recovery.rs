@@ -1,0 +1,103 @@
+//! Recovery: after a device failure, a replacement worker rejoins and the
+//! collective model is re-deployed — the paper's "recoverable whenever the
+//! system can re-deploy larger sub-networks".
+
+use fluid_dist::{
+    extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
+};
+use fluid_integration_tests::quick_trained_fluid;
+use fluid_models::SubnetSpec;
+use fluid_perf::ModelFamily;
+use fluid_tensor::Tensor;
+
+#[test]
+fn worker_replacement_restores_full_model() {
+    let (model, test) = quick_trained_fluid(91);
+    let arch = model.net().arch().clone();
+    let lower = model.spec("lower50").expect("spec").branches[0].clone();
+    let upper = model.spec("combined100").expect("spec").branches[1].clone();
+    let windows = extract_branch_weights(model.net(), &upper);
+
+    // Phase 1: both devices up.
+    let (master_side, worker_side) = InProcTransport::pair();
+    let kill = master_side.failure_switch();
+    let w_arch = arch.clone();
+    let worker1 = std::thread::spawn(move || {
+        let _ = Worker::new(worker_side, w_arch, "w1").run();
+    });
+    let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello 1");
+    master.deploy_local(lower.clone());
+    master.deploy_remote(upper.clone(), windows.clone()).expect("deploy 1");
+
+    let (x, _) = test.gather(&[0, 1]);
+    let full_before = master.infer_ha(&x).expect("HA before failure");
+
+    // Phase 2: worker dies; the master degrades to lower50.
+    kill.kill();
+    assert!(master.infer_ha(&x).is_err());
+    assert!(master.worker_dead());
+    let degraded = master.infer_local(&x).expect("degraded service");
+    assert_eq!(degraded.dims(), &[2, 10]);
+    worker1.join().expect("worker 1");
+
+    // Phase 3: a replacement worker boots; the master reattaches and
+    // re-deploys; full-model service resumes with identical outputs.
+    let (new_master_side, new_worker_side) = InProcTransport::pair();
+    let w_arch = arch.clone();
+    let worker2 = std::thread::spawn(move || {
+        let _ = Worker::new(new_worker_side, w_arch, "w2").run();
+    });
+    master.reattach(new_master_side);
+    assert!(!master.worker_dead());
+    let device = master.await_hello().expect("hello 2");
+    assert_eq!(device, "w2");
+    master.deploy_remote(upper.clone(), windows).expect("deploy 2");
+    let full_after = master.infer_ha(&x).expect("HA after recovery");
+    assert!(
+        full_before.allclose(&full_after, 1e-6),
+        "recovered model differs by {}",
+        full_before.max_abs_diff(&full_after)
+    );
+
+    // Sanity: the recovered collective output equals local combined100.
+    let combined = SubnetSpec::collective("combined100", vec![lower, upper]);
+    let mut reference = model.net().clone();
+    let expected = reference.forward_subnet(&x, &combined, false);
+    assert!(full_after.allclose(&expected, 1e-5));
+
+    master.shutdown_worker();
+    worker2.join().expect("worker 2");
+}
+
+#[test]
+fn reliability_manager_tracks_recovery_cycle() {
+    use fluid_core::ReliabilityManager;
+    let mut mgr = ReliabilityManager::new(ModelFamily::Fluid);
+    assert_eq!(mgr.active_subnet(), Some("combined100"));
+    mgr.worker_failed();
+    assert_eq!(mgr.active_subnet(), Some("lower50"));
+    mgr.worker_recovered();
+    assert_eq!(mgr.active_subnet(), Some("combined100"));
+    assert_eq!(mgr.reconfigurations(), 2);
+}
+
+#[test]
+fn degraded_accuracy_recovers_with_redeploy() {
+    // Accuracy view of the same story: lower50 alone is (slightly) less
+    // accurate than combined100; re-deployment restores the peak.
+    let (mut model, test) = quick_trained_fluid(92);
+    let lower = model.spec("lower50").expect("spec").clone();
+    let combined = model.spec("combined100").expect("spec").clone();
+    let idx: Vec<usize> = (0..test.len()).collect();
+    let (x, labels) = test.gather(&idx);
+    let acc = |logits: &Tensor, labels: &[usize]| fluid_nn::accuracy(logits, labels);
+    let degraded_logits = model.net_mut().forward_subnet(&x, &lower, false);
+    let full_logits = model.net_mut().forward_subnet(&x, &combined, false);
+    let degraded_acc = acc(&degraded_logits, &labels);
+    let full_acc = acc(&full_logits, &labels);
+    // "Temporary accuracy loss" must be small and recoverable (the
+    // combined model is intact in storage the whole time).
+    assert!(full_acc + 0.15 >= degraded_acc, "degraded way above full?");
+    assert!(degraded_acc > 0.25, "degraded service must still classify");
+}

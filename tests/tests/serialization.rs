@@ -1,0 +1,105 @@
+//! Wire-format properties: every message round-trips, frames survive
+//! fragmentation, corrupt input never panics.
+
+use fluid_dist::{read_frame, write_frame, Message, Mode, NamedTensor};
+use fluid_models::BranchSpec;
+use fluid_nn::ChannelRange;
+use fluid_tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0e3f32..1.0e3, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]))
+    })
+}
+
+fn arb_branch() -> impl Strategy<Value = BranchSpec> {
+    ("[a-z]{1,12}", 1usize..5, 0usize..8, 1usize..9, any::<bool>()).prop_map(
+        |(name, stages, lo, width, fc_bias)| BranchSpec {
+            name,
+            channels: vec![ChannelRange::new(lo, lo + width); stages],
+            fc_bias,
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        "[ -~]{0,32}".prop_map(|device| Message::Hello { device }),
+        (arb_branch(), proptest::collection::vec(("[a-z.0-9]{1,16}", arb_tensor()), 0..4)).prop_map(
+            |(branch, weights)| Message::DeployBranch {
+                branch,
+                weights: weights
+                    .into_iter()
+                    .map(|(name, tensor)| NamedTensor { name, tensor })
+                    .collect(),
+            }
+        ),
+        "[a-z]{1,12}".prop_map(|branch_name| Message::DeployAck { branch_name }),
+        (any::<u64>(), arb_tensor()).prop_map(|(request_id, input)| Message::Infer {
+            request_id,
+            input
+        }),
+        (any::<u64>(), arb_tensor()).prop_map(|(request_id, logits)| Message::Logits {
+            request_id,
+            logits
+        }),
+        any::<u64>().prop_map(|seq| Message::Heartbeat { seq }),
+        any::<u64>().prop_map(|seq| Message::HeartbeatAck { seq }),
+        any::<bool>().prop_map(|ht| Message::SwitchMode {
+            mode: if ht { Mode::HighThroughput } else { Mode::HighAccuracy }
+        }),
+        Just(Message::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_roundtrips(msg in arb_message()) {
+        let decoded = Message::decode(msg.encode()).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn corrupt_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup must either decode to a valid message or error.
+        let _ = Message::decode(bytes);
+    }
+
+    #[test]
+    fn truncated_valid_messages_error(msg in arb_message(), cut in 0usize..64) {
+        let mut payload = msg.encode();
+        if cut > 0 && cut < payload.len() {
+            payload.truncate(payload.len() - cut);
+            prop_assert!(Message::decode(payload).is_err());
+        }
+    }
+
+    #[test]
+    fn frames_survive_byte_wise_reads(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..128), 1..5)) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).expect("write");
+        }
+        // A reader that delivers one byte at a time (worst-case TCP
+        // fragmentation).
+        struct OneByte<'a>(&'a [u8], usize);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let mut reader = OneByte(&buf, 0);
+        for p in &payloads {
+            let frame = read_frame(&mut reader).expect("frame");
+            prop_assert_eq!(&frame, p);
+        }
+    }
+}
