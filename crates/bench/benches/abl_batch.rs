@@ -15,7 +15,10 @@ fn main() {
     let mut rng = Prng::new(1);
 
     println!("Batch-size scaling of combined100 on this host\n");
-    println!("{:>7} {:>14} {:>14} {:>10}", "batch", "ms/batch", "img/s", "speedup");
+    println!(
+        "{:>7} {:>14} {:>14} {:>10}",
+        "batch", "ms/batch", "img/s", "speedup"
+    );
     let mut base_rate = 0.0f64;
     for batch in [1usize, 2, 4, 8, 16, 32] {
         let x = Tensor::from_fn(&[batch, 1, 28, 28], |_| rng.uniform(0.0, 1.0));

@@ -10,7 +10,10 @@ use fluid_perf::{scenario_energy, DeviceAvailability, ModelFamily, PowerModel, S
 fn main() {
     let system = SystemModel::paper_testbed();
     let power = PowerModel::jetson_cpu();
-    println!("Energy ablation (Jetson CPU preset: {}W active / {}W idle)\n", power.active_w, power.idle_w);
+    println!(
+        "Energy ablation (Jetson CPU preset: {}W active / {}W idle)\n",
+        power.active_w, power.idle_w
+    );
     println!(
         "{:<8} {:<4} {:<16} {:>12} {:>14}",
         "model", "mode", "devices", "J/image", "images/J"

@@ -39,12 +39,22 @@ fn main() {
         // slowest deployable configuration.
         let narrow = branch_cost(
             &arch,
-            &BranchSpec::uniform("n", ChannelRange::prefix(ladder.widths()[0]), arch.conv_stages, true),
+            &BranchSpec::uniform(
+                "n",
+                ChannelRange::prefix(ladder.widths()[0]),
+                arch.conv_stages,
+                true,
+            ),
         )
         .macs;
         let wide = branch_cost(
             &arch,
-            &BranchSpec::uniform("w", ChannelRange::prefix(ladder.max()), arch.conv_stages, true),
+            &BranchSpec::uniform(
+                "w",
+                ChannelRange::prefix(ladder.max()),
+                arch.conv_stages,
+                true,
+            ),
         )
         .macs;
         println!(

@@ -50,7 +50,11 @@ fn main() {
             acc_sum += Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
         }
         let block_acc = acc_sum / n as f32;
-        let combined_name = if n == 1 { "block0".to_owned() } else { format!("combined{n}") };
+        let combined_name = if n == 1 {
+            "block0".to_owned()
+        } else {
+            format!("combined{n}")
+        };
         let spec = model.spec(&combined_name).expect("spec").clone();
         let combined_acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
 

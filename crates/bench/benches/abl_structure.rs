@@ -63,8 +63,8 @@ fn main() {
         "{:<22} {:>9.1}% {:>16} {:>20}",
         "triangular (dynamic)",
         dyn_acc * 100.0,
-        4, // the four prefixes
-        static_partition_comm_bytes(&arch) // same exchange pattern when distributed
+        4,                                  // the four prefixes
+        static_partition_comm_bytes(&arch)  // same exchange pattern when distributed
     );
     println!(
         "{:<22} {:>9.1}% {:>16} {:>20}",
@@ -75,8 +75,11 @@ fn main() {
     );
 
     println!("\ntakeaway: the block structure trades the dense cross-connections for");
-    println!("6 independently deployable units and ~{}x less distribution traffic;",
-        static_partition_comm_bytes(&arch) / ((arch.classes * 4 + arch.image_side * arch.image_side * 4) as u64).max(1));
+    println!(
+        "6 independently deployable units and ~{}x less distribution traffic;",
+        static_partition_comm_bytes(&arch)
+            / ((arch.classes * 4 + arch.image_side * arch.image_side * 4) as u64).max(1)
+    );
     println!("with nested training the accuracy stays in the same band (paper: Fluid");
     println!("even peaks highest, attributed to the extra sub-network regularization).");
 }

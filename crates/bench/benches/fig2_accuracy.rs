@@ -9,7 +9,11 @@ use fluid_models::Arch;
 
 fn main() {
     let quick = std::env::var_os("FLUID_BENCH_QUICK").is_some();
-    let (train_n, test_n, epochs) = if quick { (800, 300, 1) } else { (3000, 1000, 1) };
+    let (train_n, test_n, epochs) = if quick {
+        (800, 300, 1)
+    } else {
+        (3000, 1000, 1)
+    };
     eprintln!("training Static / Dynamic / Fluid ({train_n} train, {test_n} test, {epochs} epoch/phase)...");
     let t0 = std::time::Instant::now();
     let mut fig = Fig2Accuracy::train(Arch::paper(), train_n, test_n, epochs, 2024);
@@ -22,7 +26,11 @@ fn main() {
     // operating configuration well above chance.
     for r in &rows {
         if r.paper_pct == 0.0 {
-            assert_eq!(r.accuracy, 0.0, "{} {} must be dead", r.family, r.availability);
+            assert_eq!(
+                r.accuracy, 0.0,
+                "{} {} must be dead",
+                r.family, r.availability
+            );
         } else {
             assert!(
                 r.accuracy > 0.5,

@@ -13,7 +13,14 @@ fn bench_subnets(c: &mut Criterion) {
     let mut rng = Prng::new(1);
     let x = Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
     let mut group = c.benchmark_group("fluid subnet inference (batch 1)");
-    for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+    for name in [
+        "lower25",
+        "lower50",
+        "upper25",
+        "upper50",
+        "combined75",
+        "combined100",
+    ] {
         let spec = model.spec(name).expect("spec").clone();
         group.bench_function(name, |bench| {
             bench.iter(|| black_box(model.net_mut().forward_subnet(&x, &spec, false)))

@@ -46,8 +46,7 @@ fn measure_ha_latency(sim_latency: Option<Duration>, images: usize) -> Duration 
             e
         }
         None => {
-            let mut master =
-                Master::new(master_side, model.net().clone(), MasterConfig::default());
+            let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
             master.await_hello().expect("hello");
             master.deploy_local(lower);
             master.deploy_remote(upper, windows).expect("deploy");
@@ -68,7 +67,10 @@ fn main() {
     let images = 60;
     println!("Latency-composition validation ({images} HA inferences per point)\n");
     let base = measure_ha_latency(None, images);
-    println!("{:>14} {:>14} {:>14} {:>12}", "injected/msg", "measured", "expected", "error");
+    println!(
+        "{:>14} {:>14} {:>14} {:>12}",
+        "injected/msg", "measured", "expected", "error"
+    );
     let mut worst = 0.0f64;
     for ms in [2u64, 5, 10] {
         let injected = Duration::from_millis(ms);
@@ -76,8 +78,7 @@ fn main() {
         // HA sends one Infer per image through the SimTransport (the reply
         // path is the worker's un-simulated side), so expected ≈ base + 1×lat.
         let expected = base + injected;
-        let err = (measured.as_secs_f64() - expected.as_secs_f64()).abs()
-            / expected.as_secs_f64();
+        let err = (measured.as_secs_f64() - expected.as_secs_f64()).abs() / expected.as_secs_f64();
         worst = worst.max(err);
         println!(
             "{:>12}ms {:>11.2}ms {:>11.2}ms {:>11.1}%",
@@ -91,5 +92,8 @@ fn main() {
         worst < 0.35,
         "latency composition error {worst:.2} exceeds tolerance"
     );
-    println!("\nvalidate_runtime: compute+comm additivity holds (worst error {:.0}%)", worst * 100.0);
+    println!(
+        "\nvalidate_runtime: compute+comm additivity holds (worst error {:.0}%)",
+        worst * 100.0
+    );
 }

@@ -158,8 +158,7 @@ fn cmd_eval(args: &ArgMap) -> Result<(), CliError> {
     let test_n = args.usize_or("test-n", 500)?;
     let seed = args.u64_or("seed", 999)?;
 
-    let mut net =
-        load_net_from_path(Path::new(&path)).map_err(|e| CliError::Run(e.to_string()))?;
+    let mut net = load_net_from_path(Path::new(&path)).map_err(|e| CliError::Run(e.to_string()))?;
     let arch = net.arch().clone();
     // Rebuild the fluid registry over the loaded weights to resolve names.
     let registry = FluidModel::new(arch, &mut Prng::new(0));
@@ -173,7 +172,10 @@ fn cmd_eval(args: &ArgMap) -> Result<(), CliError> {
         .clone();
     let test = SynthDigits::new(seed).generate(test_n);
     let acc = Experiment::evaluate_subnet(&mut net, &spec, &test);
-    println!("{subnet} accuracy on {test_n} fresh images: {:.1}%", acc * 100.0);
+    println!(
+        "{subnet} accuracy on {test_n} fresh images: {:.1}%",
+        acc * 100.0
+    );
     Ok(())
 }
 
@@ -181,11 +183,16 @@ fn cmd_worker(args: &ArgMap) -> Result<(), CliError> {
     let listen = args.str_or("listen", "127.0.0.1:7700").to_owned();
     let listener = TcpListener::bind(&listen).map_err(|e| CliError::Run(e.to_string()))?;
     println!("worker listening on {listen} (ctrl-c to stop)");
-    let (stream, peer) = listener.accept().map_err(|e| CliError::Run(e.to_string()))?;
+    let (stream, peer) = listener
+        .accept()
+        .map_err(|e| CliError::Run(e.to_string()))?;
     println!("master connected from {peer}");
     let transport = TcpTransport::new(stream).map_err(|e| CliError::Run(e.to_string()))?;
     let (exit, engine) = Worker::new(transport, Arch::paper(), &listen).run();
-    println!("worker exited ({exit:?}) after {} inferences", engine.inferences());
+    println!(
+        "worker exited ({exit:?}) after {} inferences",
+        engine.inferences()
+    );
     Ok(())
 }
 
@@ -202,7 +209,9 @@ fn cmd_master(args: &ArgMap) -> Result<(), CliError> {
     let stream = TcpStream::connect(&addr).map_err(|e| CliError::Run(e.to_string()))?;
     let transport = TcpTransport::new(stream).map_err(|e| CliError::Run(e.to_string()))?;
     let mut master = Master::new(transport, net, MasterConfig::default());
-    let device = master.await_hello().map_err(|e| CliError::Run(e.to_string()))?;
+    let device = master
+        .await_hello()
+        .map_err(|e| CliError::Run(e.to_string()))?;
     println!("connected to worker {device:?} at {addr}");
 
     let lower = registry.spec("lower50").expect("registry").branches[0].clone();
@@ -227,7 +236,9 @@ fn cmd_master(args: &ArgMap) -> Result<(), CliError> {
         "ha" => {
             for i in 0..images {
                 let (x, labels) = test.gather(&[i % test.len()]);
-                let logits = master.infer_ha(&x).map_err(|e| CliError::Run(e.to_string()))?;
+                let logits = master
+                    .infer_ha(&x)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
                 correct += accuracy(&logits, &labels);
                 meter.add(1);
             }
@@ -260,7 +271,11 @@ fn cmd_master(args: &ArgMap) -> Result<(), CliError> {
 fn cmd_fig2(args: &ArgMap) -> Result<(), CliError> {
     let system = SystemModel::paper_testbed();
     println!("{}", format_throughput_table(&system.fig2_table()));
-    let (train_n, test_n) = if args.flag("quick") { (800, 300) } else { (3000, 1000) };
+    let (train_n, test_n) = if args.flag("quick") {
+        (800, 300)
+    } else {
+        (3000, 1000)
+    };
     let mut fig = Fig2Accuracy::train(Arch::paper(), train_n, test_n, 1, 2024);
     println!("{}", format_accuracy_table(&fig.table()));
     Ok(())
@@ -311,12 +326,29 @@ mod tests {
         let out = dir.join("tiny.fldn");
         let out_s = out.to_string_lossy().to_string();
         run(&argv(&[
-            "train", "--model", "fluid", "--train-n", "200", "--epochs", "1", "--iters", "1",
-            "--seed", "3", "--out", &out_s,
+            "train",
+            "--model",
+            "fluid",
+            "--train-n",
+            "200",
+            "--epochs",
+            "1",
+            "--iters",
+            "1",
+            "--seed",
+            "3",
+            "--out",
+            &out_s,
         ]))
         .expect("train");
         run(&argv(&[
-            "eval", "--model-file", &out_s, "--subnet", "lower50", "--test-n", "50",
+            "eval",
+            "--model-file",
+            &out_s,
+            "--subnet",
+            "lower50",
+            "--test-n",
+            "50",
         ]))
         .expect("eval");
         let _ = std::fs::remove_file(&out);

@@ -1,0 +1,278 @@
+//! A minimal, offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds with no network access and no registry cache, so
+//! the real crate cannot be fetched. This shim implements exactly the
+//! subset the `fluid-bench` targets use — `Criterion`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros — with warm-up, wall-clock sampling and a
+//! median/mean report. Timings are comparable across runs on the same
+//! machine; statistical niceties (outlier analysis, HTML reports) are out
+//! of scope.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Controls how a batch of iterations is set up in
+/// [`Bencher::iter_batched`]. The shim times each batch identically; the
+/// variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Benchmark configuration and entry point, mirroring criterion's builder.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for measurement.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark under the current configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            cfg: self.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            _name: name,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.parent.bench_function(format!("  {}", id.into()), f);
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    cfg: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, amortising per-call overhead over growing batches.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up, and calibrate how many calls fit in one sample.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut calls_per_sample = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_sample {
+                let _ = routine();
+            }
+            let elapsed = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            let per_sample = self.cfg.measurement_time / (self.cfg.sample_size.max(1) as u32);
+            if elapsed < per_sample / 2 {
+                calls_per_sample = calls_per_sample.saturating_mul(2);
+            }
+        }
+        // Measurement.
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        while self.samples.len() < self.cfg.sample_size && Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..calls_per_sample {
+                let _ = routine();
+            }
+            self.samples.push(t0.elapsed() / calls_per_sample as u32);
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            let _ = routine();
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            let _ = routine(input);
+        }
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        while self.samples.len() < self.cfg.sample_size && Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = routine(input);
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            let _ = routine(input);
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id}: median {} mean {} ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut count = 0u64;
+        quick().bench_function("counter", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut setups = 0u64;
+        quick().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -80,7 +80,11 @@ impl RuntimeController {
         let ht = self.both_plan(true);
         match goal {
             Goal::MaxAccuracy => Some(ha),
-            Goal::MaxThroughput => Some(if ht.expected_ips >= ha.expected_ips { ht } else { ha }),
+            Goal::MaxThroughput => Some(if ht.expected_ips >= ha.expected_ips {
+                ht
+            } else {
+                ha
+            }),
             Goal::ThroughputFloor(floor) => {
                 // Prefer the accurate plan when it meets the floor.
                 if ha.expected_ips >= floor {
@@ -156,8 +160,12 @@ mod tests {
     #[test]
     fn static_has_no_degraded_plan() {
         let c = controller(ModelFamily::Static);
-        assert!(c.plan(Goal::MaxThroughput, DeviceAvailability::OnlyMaster).is_none());
-        assert!(c.plan(Goal::MaxThroughput, DeviceAvailability::OnlyWorker).is_none());
+        assert!(c
+            .plan(Goal::MaxThroughput, DeviceAvailability::OnlyMaster)
+            .is_none());
+        assert!(c
+            .plan(Goal::MaxThroughput, DeviceAvailability::OnlyWorker)
+            .is_none());
     }
 
     #[test]

@@ -35,8 +35,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::UnknownSubnet("x".into()).to_string().contains("x"));
-        assert!(CoreError::Runtime("down".into()).to_string().contains("down"));
+        assert!(CoreError::UnknownSubnet("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CoreError::Runtime("down".into())
+            .to_string()
+            .contains("down"));
         assert!(CoreError::Config("bad".into()).to_string().contains("bad"));
     }
 }

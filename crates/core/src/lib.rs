@@ -12,7 +12,7 @@
 //!   (the Static baseline).
 //! * [`training::train_incremental`] — incremental training of a width
 //!   ladder with previous levels frozen (the Dynamic baseline, paper
-//!   ref [3]).
+//!   ref \[3\]).
 //! * [`training::train_nested`] — **Algorithm 1**, nested incremental
 //!   training: iterate (base ladder → nested upper ladder) over shared
 //!   weights so every standalone *and* combined sub-network works.

@@ -37,7 +37,12 @@ pub fn enumerate_assignments(
     devices: &[DeviceModel],
 ) -> Vec<Assignment> {
     let n = subnet.branches.len();
-    assert_eq!(n, devices.len(), "{n} branches for {} devices", devices.len());
+    assert_eq!(
+        n,
+        devices.len(),
+        "{n} branches for {} devices",
+        devices.len()
+    );
     assert!(n <= 8, "assignment enumeration capped at 8 branches");
 
     let macs: Vec<u64> = subnet
@@ -62,7 +67,7 @@ pub fn enumerate_assignments(
             ht_throughput_ips: ht,
         });
     });
-    result.sort_by(|a, b| a.ha_latency.cmp(&b.ha_latency));
+    result.sort_by_key(|a| a.ha_latency);
     result
 }
 
@@ -71,11 +76,7 @@ pub fn enumerate_assignments(
 /// # Panics
 ///
 /// Panics under the same conditions as [`enumerate_assignments`].
-pub fn best_ha_assignment(
-    arch: &Arch,
-    subnet: &SubnetSpec,
-    devices: &[DeviceModel],
-) -> Assignment {
+pub fn best_ha_assignment(arch: &Arch, subnet: &SubnetSpec, devices: &[DeviceModel]) -> Assignment {
     enumerate_assignments(arch, subnet, devices)
         .into_iter()
         .next()
@@ -87,11 +88,7 @@ pub fn best_ha_assignment(
 /// # Panics
 ///
 /// Panics under the same conditions as [`enumerate_assignments`].
-pub fn best_ht_assignment(
-    arch: &Arch,
-    subnet: &SubnetSpec,
-    devices: &[DeviceModel],
-) -> Assignment {
+pub fn best_ht_assignment(arch: &Arch, subnet: &SubnetSpec, devices: &[DeviceModel]) -> Assignment {
     enumerate_assignments(arch, subnet, devices)
         .into_iter()
         .max_by(|a, b| {
@@ -123,7 +120,10 @@ mod tests {
     fn combined75() -> (Arch, SubnetSpec) {
         let arch = Arch::paper();
         let model = FluidModel::new(arch.clone(), &mut Prng::new(0));
-        (arch.clone(), model.spec("combined75").expect("spec").clone())
+        (
+            arch.clone(),
+            model.spec("combined75").expect("spec").clone(),
+        )
     }
 
     #[test]
@@ -176,7 +176,11 @@ mod tests {
         let best = best_ht_assignment(&arch, &subnet, &[fast.clone(), slow.clone()]);
         let worst = enumerate_assignments(&arch, &subnet, &[fast, slow])
             .into_iter()
-            .min_by(|a, b| a.ht_throughput_ips.partial_cmp(&b.ht_throughput_ips).expect("finite"))
+            .min_by(|a, b| {
+                a.ht_throughput_ips
+                    .partial_cmp(&b.ht_throughput_ips)
+                    .expect("finite")
+            })
             .expect("assignment");
         assert!(best.ht_throughput_ips >= worst.ht_throughput_ips);
     }

@@ -54,7 +54,11 @@ pub fn format_capability_matrix() -> String {
         "{:<8} {:<16} {:<10}\n",
         "model", "devices", "operates"
     ));
-    for family in [ModelFamily::Static, ModelFamily::Dynamic, ModelFamily::Fluid] {
+    for family in [
+        ModelFamily::Static,
+        ModelFamily::Dynamic,
+        ModelFamily::Fluid,
+    ] {
         for avail in [
             DeviceAvailability::Both,
             DeviceAvailability::OnlyMaster,
@@ -64,7 +68,11 @@ pub fn format_capability_matrix() -> String {
                 "{:<8} {:<16} {:<10}\n",
                 family.to_string(),
                 avail.to_string(),
-                if can_operate(family, avail) { "yes" } else { "NO" }
+                if can_operate(family, avail) {
+                    "yes"
+                } else {
+                    "NO"
+                }
             ));
         }
     }
@@ -88,7 +96,10 @@ mod tests {
     #[test]
     fn capability_matrix_has_nine_rows() {
         let s = format_capability_matrix();
-        let data_lines = s.lines().filter(|l| l.contains("yes") || l.contains("NO")).count();
+        let data_lines = s
+            .lines()
+            .filter(|l| l.contains("yes") || l.contains("NO"))
+            .count();
         assert_eq!(data_lines, 9);
     }
 

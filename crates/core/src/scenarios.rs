@@ -119,17 +119,83 @@ impl Fig2Accuracy {
         let fl_lo = self.fluid_accuracy("lower50");
         let fl_hi = self.fluid_accuracy("upper50");
         vec![
-            AccuracyRow { family: Static, mode: "-", availability: Both, accuracy: st, paper_pct: 98.9 },
-            AccuracyRow { family: Static, mode: "-", availability: OnlyMaster, accuracy: 0.0, paper_pct: 0.0 },
-            AccuracyRow { family: Static, mode: "-", availability: OnlyWorker, accuracy: 0.0, paper_pct: 0.0 },
-            AccuracyRow { family: Dynamic, mode: "HA", availability: Both, accuracy: dyn_full, paper_pct: 98.8 },
-            AccuracyRow { family: Dynamic, mode: "HT", availability: Both, accuracy: dyn_half, paper_pct: 97.6 },
-            AccuracyRow { family: Dynamic, mode: "-", availability: OnlyMaster, accuracy: dyn_half, paper_pct: 97.6 },
-            AccuracyRow { family: Dynamic, mode: "-", availability: OnlyWorker, accuracy: 0.0, paper_pct: 0.0 },
-            AccuracyRow { family: Fluid, mode: "HA", availability: Both, accuracy: fl_comb, paper_pct: 99.2 },
-            AccuracyRow { family: Fluid, mode: "HT", availability: Both, accuracy: (fl_lo + fl_hi) / 2.0, paper_pct: 98.85 },
-            AccuracyRow { family: Fluid, mode: "-", availability: OnlyMaster, accuracy: fl_lo, paper_pct: 98.8 },
-            AccuracyRow { family: Fluid, mode: "-", availability: OnlyWorker, accuracy: fl_hi, paper_pct: 98.9 },
+            AccuracyRow {
+                family: Static,
+                mode: "-",
+                availability: Both,
+                accuracy: st,
+                paper_pct: 98.9,
+            },
+            AccuracyRow {
+                family: Static,
+                mode: "-",
+                availability: OnlyMaster,
+                accuracy: 0.0,
+                paper_pct: 0.0,
+            },
+            AccuracyRow {
+                family: Static,
+                mode: "-",
+                availability: OnlyWorker,
+                accuracy: 0.0,
+                paper_pct: 0.0,
+            },
+            AccuracyRow {
+                family: Dynamic,
+                mode: "HA",
+                availability: Both,
+                accuracy: dyn_full,
+                paper_pct: 98.8,
+            },
+            AccuracyRow {
+                family: Dynamic,
+                mode: "HT",
+                availability: Both,
+                accuracy: dyn_half,
+                paper_pct: 97.6,
+            },
+            AccuracyRow {
+                family: Dynamic,
+                mode: "-",
+                availability: OnlyMaster,
+                accuracy: dyn_half,
+                paper_pct: 97.6,
+            },
+            AccuracyRow {
+                family: Dynamic,
+                mode: "-",
+                availability: OnlyWorker,
+                accuracy: 0.0,
+                paper_pct: 0.0,
+            },
+            AccuracyRow {
+                family: Fluid,
+                mode: "HA",
+                availability: Both,
+                accuracy: fl_comb,
+                paper_pct: 99.2,
+            },
+            AccuracyRow {
+                family: Fluid,
+                mode: "HT",
+                availability: Both,
+                accuracy: (fl_lo + fl_hi) / 2.0,
+                paper_pct: 98.85,
+            },
+            AccuracyRow {
+                family: Fluid,
+                mode: "-",
+                availability: OnlyMaster,
+                accuracy: fl_lo,
+                paper_pct: 98.8,
+            },
+            AccuracyRow {
+                family: Fluid,
+                mode: "-",
+                availability: OnlyWorker,
+                accuracy: fl_hi,
+                paper_pct: 98.9,
+            },
         ]
     }
 }
@@ -160,7 +226,11 @@ mod tests {
         assert_eq!(rows.len(), 11);
         for row in &rows {
             if row.paper_pct == 0.0 {
-                assert_eq!(row.accuracy, 0.0, "{} {} must be dead", row.family, row.availability);
+                assert_eq!(
+                    row.accuracy, 0.0,
+                    "{} {} must be dead",
+                    row.family, row.availability
+                );
             } else {
                 assert!(
                     row.accuracy > 0.25,

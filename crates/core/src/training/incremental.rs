@@ -1,4 +1,4 @@
-//! Incremental training of the Dynamic DNN ladder (paper reference [3]).
+//! Incremental training of the Dynamic DNN ladder (paper reference \[3\]).
 
 use super::{freeze_prefix, plain::train_subnet_epochs, TrainConfig, TrainStats};
 use fluid_data::{DataLoader, Dataset};
@@ -11,7 +11,7 @@ use fluid_nn::{softmax_cross_entropy, Optimizer, Sgd};
 /// deployed sub-network keeps working as wider ones are added.
 ///
 /// This reproduces the incremental-training baseline the paper compares
-/// against ([3]): smaller sub-networks are *contained* in larger ones, and
+/// against (\[3\]): smaller sub-networks are *contained* in larger ones, and
 /// the added channel groups read all lower channels — which is exactly why
 /// the upper weights end up useless on their own.
 pub fn train_incremental(
@@ -21,21 +21,20 @@ pub fn train_incremental(
 ) -> TrainStats {
     let mut stats = TrainStats::default();
     let specs: Vec<_> = model.specs().to_vec();
-    let widths: Vec<usize> = model
-        .net()
-        .arch()
-        .ladder
-        .widths()
-        .to_vec();
+    let widths: Vec<usize> = model.net().arch().ladder.widths().to_vec();
     let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
 
     for (level, spec) in specs.iter().enumerate() {
         let frozen = if level == 0 { 0 } else { widths[level - 1] };
         if frozen == 0 {
             // No freezing needed: reuse the shared primitive.
-            stats
-                .phases
-                .push(train_subnet_epochs(model.net_mut(), spec, train, cfg, &mut opt));
+            stats.phases.push(train_subnet_epochs(
+                model.net_mut(),
+                spec,
+                train,
+                cfg,
+                &mut opt,
+            ));
             continue;
         }
         // Freezing variant of the epoch loop.
@@ -57,7 +56,11 @@ pub fn train_incremental(
                 total += loss;
                 batches += 1;
             }
-            epoch_losses.push(if batches > 0 { total / batches as f32 } else { f32::NAN });
+            epoch_losses.push(if batches > 0 {
+                total / batches as f32
+            } else {
+                f32::NAN
+            });
         }
         stats.phases.push(super::PhaseStats {
             subnet: spec.name.clone(),

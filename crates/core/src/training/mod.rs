@@ -1,4 +1,4 @@
-//! Training algorithms: plain, incremental ([3]) and nested incremental
+//! Training algorithms: plain, incremental (\[3\]) and nested incremental
 //! (Algorithm 1 of the paper).
 
 mod incremental;
@@ -88,7 +88,7 @@ impl TrainStats {
 
 /// Zeroes the gradients lying inside a previously-trained prefix window so
 /// the optimizer cannot disturb it (the freezing step of incremental
-/// training [3]).
+/// training \[3\]).
 ///
 /// `frozen_width` is the channel prefix to protect; the FC columns covering
 /// those channels and all biases up to the prefix are protected too.
@@ -126,4 +126,3 @@ pub(crate) fn freeze_prefix(net: &mut ConvNet, frozen_width: usize) {
     // level's logits drift.
     fc.bgrad_mut().fill(0.0);
 }
-

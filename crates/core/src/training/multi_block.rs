@@ -28,9 +28,13 @@ pub fn train_multi_block(
                 .spec(name)
                 .unwrap_or_else(|| panic!("ladder names unknown sub-network {name:?}"))
                 .clone();
-            stats
-                .phases
-                .push(train_subnet_epochs(model.net_mut(), &spec, train, cfg, &mut opt));
+            stats.phases.push(train_subnet_epochs(
+                model.net_mut(),
+                &spec,
+                train,
+                cfg,
+                &mut opt,
+            ));
         }
     }
     stats
@@ -75,7 +79,14 @@ mod tests {
         };
         let stats = train_multi_block(&mut model, &train, &cfg, 2);
         assert_eq!(stats.phases.len(), 2 * 7);
-        for name in ["block0", "block1", "block2", "block3", "combined2", "combined4"] {
+        for name in [
+            "block0",
+            "block1",
+            "block2",
+            "block3",
+            "combined2",
+            "combined4",
+        ] {
             let spec = model.spec(name).expect("spec").clone();
             let acc = evaluate_subnet(model.net_mut(), &spec, &test);
             assert!(acc > 0.2, "{name} accuracy {acc}");

@@ -76,9 +76,13 @@ pub fn train_nested(
                 .spec(name)
                 .unwrap_or_else(|| panic!("schedule names unknown sub-network {name:?}"))
                 .clone();
-            stats
-                .phases
-                .push(train_subnet_epochs(model.net_mut(), &spec, train, cfg, &mut opt));
+            stats.phases.push(train_subnet_epochs(
+                model.net_mut(),
+                &spec,
+                train,
+                cfg,
+                &mut opt,
+            ));
         }
         // Line 6-10: nested upper ladder, trained for standalone use.
         for name in &schedule.upper_ladder {
@@ -86,9 +90,13 @@ pub fn train_nested(
                 .spec(name)
                 .unwrap_or_else(|| panic!("schedule names unknown sub-network {name:?}"))
                 .clone();
-            stats
-                .phases
-                .push(train_subnet_epochs(model.net_mut(), &spec, train, cfg, &mut opt));
+            stats.phases.push(train_subnet_epochs(
+                model.net_mut(),
+                &spec,
+                train,
+                cfg,
+                &mut opt,
+            ));
         }
     }
     stats
@@ -115,7 +123,14 @@ mod tests {
         let visited: Vec<&str> = stats.phases.iter().map(|p| p.subnet.as_str()).collect();
         assert_eq!(
             visited,
-            vec!["lower25", "lower50", "combined75", "combined100", "upper25", "upper50"]
+            vec![
+                "lower25",
+                "lower50",
+                "combined75",
+                "combined100",
+                "upper25",
+                "upper50"
+            ]
         );
     }
 
@@ -132,7 +147,14 @@ mod tests {
             ..NestedSchedule::default()
         };
         let _ = train_nested(&mut model, &train, &cfg, &schedule);
-        for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+        for name in [
+            "lower25",
+            "lower50",
+            "upper25",
+            "upper50",
+            "combined75",
+            "combined100",
+        ] {
             let spec = model.spec(name).expect("spec").clone();
             let acc = evaluate_subnet(model.net_mut(), &spec, &test);
             assert!(acc > 0.4, "{name} accuracy {acc} barely above chance");

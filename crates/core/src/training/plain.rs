@@ -34,7 +34,11 @@ pub fn train_subnet_epochs(
             total += loss;
             batches += 1;
         }
-        epoch_losses.push(if batches > 0 { total / batches as f32 } else { f32::NAN });
+        epoch_losses.push(if batches > 0 {
+            total / batches as f32
+        } else {
+            f32::NAN
+        });
     }
     PhaseStats {
         subnet: spec.name.clone(),
@@ -88,7 +92,10 @@ mod tests {
         cfg.epochs_per_phase = 3;
         let stats = train_plain(&mut model, &train, &cfg);
         let losses = &stats.phases[0].epoch_losses;
-        assert!(losses.last().expect("loss") < &losses[0], "loss must drop: {losses:?}");
+        assert!(
+            losses.last().expect("loss") < &losses[0],
+            "loss must drop: {losses:?}"
+        );
         let spec = model.spec().clone();
         let acc = evaluate_subnet(model.net_mut(), &spec, &test);
         assert!(acc > 0.5, "accuracy {acc} too low for the synthetic task");

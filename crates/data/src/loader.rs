@@ -113,7 +113,11 @@ mod tests {
         let (a, _) = loader.next_batch().expect("epoch 1");
         loader.reset();
         let (b, _) = loader.next_batch().expect("epoch 2");
-        assert_ne!(a.data(), b.data(), "two epochs with identical order is wildly unlikely");
+        assert_ne!(
+            a.data(),
+            b.data(),
+            "two epochs with identical order is wildly unlikely"
+        );
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Weight-window extraction and loading: the bridge between a trained
+//! [`ConvNet`] and the wire.
+//!
+//! A branch only ever reads the weights inside its channel block (branch
+//! isolation, DESIGN invariant 2), so deploying a branch means shipping
+//! exactly those windows: per conv stage the `[out × in]` weight block and
+//! the output-channel bias slice, plus the FC column block and — for the
+//! bias-owning branch — the FC bias. Extraction and loading are exact
+//! inverses: a fresh net loaded with a branch's windows computes the same
+//! function on that branch bit for bit.
+
+use crate::error::DistError;
+use crate::wire::NamedTensor;
+use fluid_models::{BranchSpec, ConvNet};
+use fluid_nn::ChannelRange;
+use fluid_tensor::Tensor;
+
+/// Extracts the weight windows a device needs to run `branch`.
+///
+/// Window names are `conv{stage}.weight` (`[out_w, in_w, K, K]`),
+/// `conv{stage}.bias` (`[out_w]`), `fc.weight` (`[classes, cols]`), and —
+/// only when `branch.fc_bias` — `fc.bias` (`[classes]`).
+///
+/// # Panics
+///
+/// Panics if the branch's stage count or channel ranges do not fit `net`'s
+/// architecture (deploy-time validation of untrusted branches lives in
+/// [`WorkerEngine::deploy`](crate::WorkerEngine::deploy)).
+pub fn extract_branch_weights(net: &ConvNet, branch: &BranchSpec) -> Vec<NamedTensor> {
+    let arch = net.arch();
+    assert_eq!(
+        branch.channels.len(),
+        arch.conv_stages,
+        "branch {} has {} stages, arch has {}",
+        branch.name,
+        branch.channels.len(),
+        arch.conv_stages
+    );
+    let mut windows = Vec::with_capacity(2 * arch.conv_stages + 2);
+    for (stage, conv) in net.convs().iter().enumerate() {
+        let out_r = branch.channels[stage];
+        let in_r = branch.in_range(stage, arch.image_channels);
+        assert!(
+            out_r.fits(conv.c_out_max()) && in_r.fits(conv.c_in_max()),
+            "branch {} stage {stage}: window {in_r}×{out_r} exceeds layer",
+            branch.name
+        );
+        let k = conv.kernel();
+        let kk = k * k;
+        let (in_w, out_w) = (in_r.width(), out_r.width());
+        let row_stride = conv.c_in_max() * kk;
+        let mut w = Vec::with_capacity(out_w * in_w * kk);
+        for co in out_r.lo..out_r.hi {
+            let src = co * row_stride + in_r.lo * kk;
+            w.extend_from_slice(&conv.weight().data()[src..src + in_w * kk]);
+        }
+        windows.push(NamedTensor {
+            name: format!("conv{stage}.weight"),
+            tensor: Tensor::from_vec(w, &[out_w, in_w, k, k]),
+        });
+        windows.push(NamedTensor {
+            name: format!("conv{stage}.bias"),
+            tensor: Tensor::from_vec(conv.bias().data()[out_r.lo..out_r.hi].to_vec(), &[out_w]),
+        });
+    }
+    let cols = branch.fc_range(arch);
+    let fc = net.fc();
+    let in_max = fc.in_features_max();
+    assert!(
+        cols.fits(in_max),
+        "branch {} fc columns {cols} exceed {in_max}",
+        branch.name
+    );
+    let mut w = Vec::with_capacity(fc.out_features() * cols.width());
+    for r in 0..fc.out_features() {
+        let src = r * in_max + cols.lo;
+        w.extend_from_slice(&fc.weight().data()[src..src + cols.width()]);
+    }
+    windows.push(NamedTensor {
+        name: "fc.weight".into(),
+        tensor: Tensor::from_vec(w, &[fc.out_features(), cols.width()]),
+    });
+    if branch.fc_bias {
+        windows.push(NamedTensor {
+            name: "fc.bias".into(),
+            tensor: fc.bias().clone(),
+        });
+    }
+    windows
+}
+
+fn find<'a>(windows: &'a [NamedTensor], name: &str) -> Result<&'a Tensor, DistError> {
+    windows
+        .iter()
+        .find(|w| w.name == name)
+        .map(|w| &w.tensor)
+        .ok_or_else(|| DistError::Protocol(format!("deployment is missing window {name:?}")))
+}
+
+fn expect_dims(name: &str, t: &Tensor, dims: &[usize]) -> Result<(), DistError> {
+    if t.dims() != dims {
+        return Err(DistError::Protocol(format!(
+            "window {name:?} has shape {:?}, expected {dims:?}",
+            t.dims()
+        )));
+    }
+    Ok(())
+}
+
+/// Loads windows produced by [`extract_branch_weights`] into `net`,
+/// overwriting exactly the branch's weight block and leaving every other
+/// parameter untouched.
+///
+/// Validation is all-or-nothing: every window is checked for presence and
+/// shape *before* anything is written, so a rejected deployment never
+/// leaves the net partially overwritten (a serving engine keeps its
+/// previous, intact function).
+///
+/// # Errors
+///
+/// Returns [`DistError::Protocol`] when the branch does not fit `net`'s
+/// architecture, a window is missing, or a window has the wrong shape.
+pub fn load_branch_weights(
+    net: &mut ConvNet,
+    branch: &BranchSpec,
+    windows: &[NamedTensor],
+) -> Result<(), DistError> {
+    let arch = net.arch().clone();
+    if branch.channels.len() != arch.conv_stages {
+        return Err(DistError::Protocol(format!(
+            "branch {} has {} stages, arch has {}",
+            branch.name,
+            branch.channels.len(),
+            arch.conv_stages
+        )));
+    }
+
+    // Pass 1: validate every window before touching any weight.
+    let mut conv_windows = Vec::with_capacity(arch.conv_stages);
+    for stage in 0..arch.conv_stages {
+        let out_r = branch.channels[stage];
+        let in_r = branch.in_range(stage, arch.image_channels);
+        let conv = &net.convs()[stage];
+        if !out_r.fits(conv.c_out_max()) || !in_r.fits(conv.c_in_max()) || out_r.width() == 0 {
+            return Err(DistError::Protocol(format!(
+                "branch {} stage {stage}: window {in_r}×{out_r} exceeds layer",
+                branch.name
+            )));
+        }
+        let k = conv.kernel();
+        let w = find(windows, &format!("conv{stage}.weight"))?;
+        expect_dims(
+            &format!("conv{stage}.weight"),
+            w,
+            &[out_r.width(), in_r.width(), k, k],
+        )?;
+        let b = find(windows, &format!("conv{stage}.bias"))?;
+        expect_dims(&format!("conv{stage}.bias"), b, &[out_r.width()])?;
+        conv_windows.push((w, b));
+    }
+    let cols: ChannelRange = branch.fc_range(&arch);
+    let (out_features, in_max) = (net.fc().out_features(), net.fc().in_features_max());
+    if !cols.fits(in_max) {
+        return Err(DistError::Protocol(format!(
+            "branch {} fc columns {cols} exceed {in_max}",
+            branch.name
+        )));
+    }
+    let fc_w = find(windows, "fc.weight")?;
+    expect_dims("fc.weight", fc_w, &[out_features, cols.width()])?;
+    let fc_b = if branch.fc_bias {
+        let b = find(windows, "fc.bias")?;
+        expect_dims("fc.bias", b, &[out_features])?;
+        Some(b)
+    } else {
+        None
+    };
+
+    // Pass 2: everything checked out — write.
+    for (stage, (w, b)) in conv_windows.into_iter().enumerate() {
+        let out_r = branch.channels[stage];
+        let in_r = branch.in_range(stage, arch.image_channels);
+        let conv = &mut net.convs_mut()[stage];
+        let kk = conv.kernel() * conv.kernel();
+        let in_w = in_r.width();
+        let row_stride = conv.c_in_max() * kk;
+        for (row, co) in (out_r.lo..out_r.hi).enumerate() {
+            let dst = co * row_stride + in_r.lo * kk;
+            conv.weight_mut().data_mut()[dst..dst + in_w * kk]
+                .copy_from_slice(&w.data()[row * in_w * kk..(row + 1) * in_w * kk]);
+        }
+        conv.bias_mut().data_mut()[out_r.lo..out_r.hi].copy_from_slice(b.data());
+    }
+    for r in 0..out_features {
+        let dst = r * in_max + cols.lo;
+        net.fc_mut().weight_mut().data_mut()[dst..dst + cols.width()]
+            .copy_from_slice(&fc_w.data()[r * cols.width()..(r + 1) * cols.width()]);
+    }
+    if let Some(b) = fc_b {
+        net.fc_mut().bias_mut().data_mut().copy_from_slice(b.data());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::Arch;
+    use fluid_tensor::Prng;
+
+    fn branch(lo: usize, hi: usize, bias: bool) -> BranchSpec {
+        BranchSpec::uniform("b", ChannelRange::new(lo, hi), 3, bias)
+    }
+
+    #[test]
+    fn extract_load_is_exact() {
+        let arch = Arch::paper();
+        let mut source = ConvNet::new(arch.clone(), &mut Prng::new(1));
+        let b = branch(8, 16, true);
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| ((i % 37) as f32) / 37.0);
+        let expected = source.forward_branch(&x, &b, false);
+
+        let windows = extract_branch_weights(&source, &b);
+        let mut target = ConvNet::new(arch, &mut Prng::new(999));
+        load_branch_weights(&mut target, &b, &windows).expect("load");
+        let got = target.forward_branch(&x, &b, false);
+        assert!(
+            expected.allclose(&got, 0.0),
+            "deployment changed the function"
+        );
+    }
+
+    #[test]
+    fn load_leaves_other_block_untouched() {
+        let arch = Arch::paper();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(2));
+        let mut target = ConvNet::new(arch, &mut Prng::new(3));
+        let before_lower: Vec<f32> = target.convs()[0].weight().data()[..9].to_vec();
+        let b = branch(8, 16, false);
+        let windows = extract_branch_weights(&source, &b);
+        load_branch_weights(&mut target, &b, &windows).expect("load");
+        // Channel 0 (lower block) weights were not overwritten.
+        assert_eq!(&target.convs()[0].weight().data()[..9], &before_lower[..]);
+    }
+
+    #[test]
+    fn missing_window_is_an_error() {
+        let arch = Arch::paper();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(4));
+        let mut target = ConvNet::new(arch, &mut Prng::new(5));
+        let b = branch(0, 8, true);
+        let mut windows = extract_branch_weights(&source, &b);
+        windows.retain(|w| w.name != "fc.bias");
+        assert!(load_branch_weights(&mut target, &b, &windows).is_err());
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        let arch = Arch::paper();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(6));
+        let mut target = ConvNet::new(arch, &mut Prng::new(7));
+        let b = branch(0, 8, true);
+        let mut windows = extract_branch_weights(&source, &b);
+        windows[0].tensor = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(load_branch_weights(&mut target, &b, &windows).is_err());
+    }
+
+    #[test]
+    fn rejected_deploy_writes_nothing() {
+        // A later stage's window being bad must not let earlier stages'
+        // writes through: validation is all-or-nothing.
+        let arch = Arch::paper();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(9));
+        let mut target = ConvNet::new(arch, &mut Prng::new(10));
+        let before: Vec<f32> = target.convs()[0].weight().data().to_vec();
+        let b = branch(8, 16, true);
+        let mut windows = extract_branch_weights(&source, &b);
+        let idx = windows
+            .iter()
+            .position(|w| w.name == "conv1.weight")
+            .expect("conv1 window");
+        windows[idx].tensor = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(load_branch_weights(&mut target, &b, &windows).is_err());
+        assert_eq!(
+            target.convs()[0].weight().data(),
+            &before[..],
+            "failed deploy must leave the net untouched"
+        );
+    }
+
+    #[test]
+    fn stage_mismatch_is_an_error() {
+        let arch = Arch::paper();
+        let mut target = ConvNet::new(arch, &mut Prng::new(8));
+        let short = BranchSpec::uniform("short", ChannelRange::new(0, 8), 2, true);
+        assert!(load_branch_weights(&mut target, &short, &[]).is_err());
+    }
+}

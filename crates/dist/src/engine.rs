@@ -1,0 +1,193 @@
+//! The per-device execution engine shared by Masters and Workers.
+
+use crate::deploy::load_branch_weights;
+use crate::error::DistError;
+use crate::wire::{Mode, NamedTensor};
+use fluid_models::{Arch, BranchSpec, ConvNet};
+use fluid_tensor::{Prng, Tensor};
+
+/// One device's slice of the model: a full-width [`ConvNet`] weight store
+/// plus the single active [`BranchSpec`] this device serves.
+///
+/// A Worker's engine starts with placeholder weights and receives its
+/// branch windows over the wire; a Master's engine wraps the trained net
+/// directly (see [`WorkerEngine::from_net`]). Either way, inference only
+/// reads the active branch's weight block, so a deployed engine keeps
+/// serving its standalone branch even after every peer has died — the
+/// paper's failure-resilience claim, executed.
+#[derive(Debug, Clone)]
+pub struct WorkerEngine {
+    net: ConvNet,
+    branch: Option<BranchSpec>,
+    mode: Mode,
+    inferences: usize,
+}
+
+impl WorkerEngine {
+    /// Creates an engine with placeholder weights for `arch`; meaningful
+    /// weights arrive with [`deploy`](WorkerEngine::deploy).
+    pub fn new(arch: Arch) -> Self {
+        Self::from_net(ConvNet::new(arch, &mut Prng::new(0)))
+    }
+
+    /// Wraps an existing (typically trained) network — the Master-side
+    /// constructor, where all weights are already local.
+    pub fn from_net(net: ConvNet) -> Self {
+        Self {
+            net,
+            branch: None,
+            mode: Mode::HighAccuracy,
+            inferences: 0,
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &ConvNet {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut ConvNet {
+        &mut self.net
+    }
+
+    /// The active branch, if one is deployed.
+    pub fn branch(&self) -> Option<&BranchSpec> {
+        self.branch.as_ref()
+    }
+
+    /// The engine's current execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Records a mode switch (execution is identical either way on a single
+    /// device; the mode governs how the Master routes inputs).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Activates a branch whose weights are already present in the local
+    /// net (the Master's own deployment path).
+    pub fn activate(&mut self, branch: BranchSpec) {
+        self.branch = Some(branch);
+    }
+
+    /// Validates `branch` against the architecture, loads its weight
+    /// windows, and activates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Protocol`] when the branch does not fit the
+    /// architecture or the windows are missing/mis-shaped. The previously
+    /// active branch stays deployed on error.
+    pub fn deploy(&mut self, branch: BranchSpec, windows: &[NamedTensor]) -> Result<(), DistError> {
+        load_branch_weights(&mut self.net, &branch, windows)?;
+        self.branch = Some(branch);
+        Ok(())
+    }
+
+    /// Runs the active branch on `x`, returning its (partial) logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Protocol`] if no branch has been deployed or
+    /// `x` is not an `[N, image_channels, side, side]` batch for this
+    /// architecture — a wire-delivered input is peer-controlled, so a bad
+    /// shape must be an error, never a panic.
+    pub fn infer(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        let branch = self.branch.clone().ok_or_else(|| {
+            DistError::Protocol("inference before any branch was deployed".into())
+        })?;
+        check_input_shape(self.net.arch(), x)?;
+        let logits = self.net.forward_branch(x, &branch, false);
+        self.inferences += 1;
+        Ok(logits)
+    }
+
+    /// How many inferences this engine has served.
+    pub fn inferences(&self) -> usize {
+        self.inferences
+    }
+}
+
+/// Checks that `x` is an `[N, image_channels, side, side]` batch for
+/// `arch`. Inputs can arrive over the wire, so a bad shape must surface as
+/// an error, never as a layer-level panic.
+pub(crate) fn check_input_shape(arch: &Arch, x: &Tensor) -> Result<(), DistError> {
+    let want = [arch.image_channels, arch.image_side, arch.image_side];
+    if x.dims().len() != 4 || x.dims()[1..] != want {
+        return Err(DistError::Protocol(format!(
+            "input shape {:?} does not fit the architecture (expected [N, {}, {}, {}])",
+            x.dims(),
+            want[0],
+            want[1],
+            want[2]
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::extract_branch_weights;
+    use fluid_nn::ChannelRange;
+
+    #[test]
+    fn infer_before_deploy_errors() {
+        let mut engine = WorkerEngine::new(Arch::tiny_28());
+        assert!(engine.infer(&Tensor::zeros(&[1, 1, 28, 28])).is_err());
+    }
+
+    #[test]
+    fn deployed_engine_matches_source_function() {
+        let arch = Arch::tiny_28();
+        let mut source = ConvNet::new(arch.clone(), &mut Prng::new(21));
+        let upper = BranchSpec::uniform(
+            "upper",
+            ChannelRange::new(arch.ladder.half(), arch.ladder.max()),
+            arch.conv_stages,
+            true,
+        );
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 13) as f32) / 13.0);
+        let expected = source.forward_branch(&x, &upper, false);
+        let windows = extract_branch_weights(&source, &upper);
+
+        let mut engine = WorkerEngine::new(arch);
+        engine.deploy(upper, &windows).expect("deploy");
+        let got = engine.infer(&x).expect("infer");
+        assert!(expected.allclose(&got, 0.0));
+        assert_eq!(engine.inferences(), 1);
+    }
+
+    #[test]
+    fn mis_shaped_input_is_an_error_not_a_panic() {
+        let arch = Arch::tiny_28();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(23));
+        let b = BranchSpec::uniform("b", ChannelRange::new(0, 4), arch.conv_stages, true);
+        let windows = extract_branch_weights(&source, &b);
+        let mut engine = WorkerEngine::new(arch);
+        engine.deploy(b, &windows).expect("deploy");
+        // Wrong channel count, wrong spatial size, wrong rank: all errors.
+        assert!(engine.infer(&Tensor::zeros(&[1, 3, 28, 28])).is_err());
+        assert!(engine.infer(&Tensor::zeros(&[1, 1, 14, 14])).is_err());
+        assert!(engine.infer(&Tensor::zeros(&[28, 28])).is_err());
+        assert_eq!(engine.inferences(), 0);
+    }
+
+    #[test]
+    fn bad_deploy_keeps_previous_branch() {
+        let arch = Arch::tiny_28();
+        let source = ConvNet::new(arch.clone(), &mut Prng::new(22));
+        let good = BranchSpec::uniform("good", ChannelRange::new(0, 4), arch.conv_stages, true);
+        let windows = extract_branch_weights(&source, &good);
+        let mut engine = WorkerEngine::new(arch.clone());
+        engine.deploy(good.clone(), &windows).expect("deploy");
+
+        let bad = BranchSpec::uniform("bad", ChannelRange::new(0, 999), arch.conv_stages, true);
+        assert!(engine.deploy(bad, &[]).is_err());
+        assert_eq!(engine.branch().map(|b| b.name.as_str()), Some("good"));
+        assert!(engine.infer(&Tensor::zeros(&[1, 1, 28, 28])).is_ok());
+    }
+}

@@ -1,0 +1,406 @@
+//! The Master: owns the trained model, deploys branches, and drives
+//! High-Accuracy / High-Throughput inference over a [`Transport`].
+
+use crate::engine::WorkerEngine;
+use crate::error::DistError;
+use crate::transport::Transport;
+use crate::wire::{Message, Mode, NamedTensor};
+use fluid_models::{BranchSpec, ConvNet};
+use fluid_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Timeouts governing a [`Master`]'s conversations with its worker.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// How long to wait for the worker's `Hello`.
+    pub hello_timeout: Duration,
+    /// How long to wait for a `DeployAck`.
+    pub deploy_timeout: Duration,
+    /// How long to wait for the logits of one inference request.
+    pub request_timeout: Duration,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        Self {
+            hello_timeout: Duration::from_secs(10),
+            deploy_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Waits until `want` accepts a message, skipping unrelated traffic
+/// (stray heartbeat acks, late replies to older requests).
+pub(crate) fn recv_matching<T: Transport, R>(
+    transport: &mut T,
+    deadline: Instant,
+    what: &str,
+    mut want: impl FnMut(Message) -> Option<R>,
+) -> Result<R, DistError> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(DistError::Timeout(what.to_owned()));
+        }
+        if let Some(msg) = transport.recv_timeout(deadline - now)? {
+            if let Some(r) = want(msg) {
+                return Ok(r);
+            }
+        }
+    }
+}
+
+/// The coordinating device of a two-device deployment.
+///
+/// The Master holds the full trained [`ConvNet`], keeps one branch for
+/// itself ([`deploy_local`](Master::deploy_local)), ships another to the
+/// worker ([`deploy_remote`](Master::deploy_remote)), and then serves
+/// traffic in either execution [`Mode`]. Transport failures mark the worker
+/// dead ([`worker_dead`](Master::worker_dead)) without poisoning the
+/// Master's own branch — [`infer_local`](Master::infer_local) keeps working,
+/// and [`reattach`](Master::reattach) accepts a replacement worker.
+#[derive(Debug)]
+pub struct Master<T: Transport> {
+    transport: T,
+    engine: WorkerEngine,
+    cfg: MasterConfig,
+    remote_branch: Option<BranchSpec>,
+    next_request_id: u64,
+    worker_dead: bool,
+    mode: Mode,
+}
+
+impl<T: Transport> Master<T> {
+    /// Creates a Master over `transport`, owning the trained `net`.
+    pub fn new(transport: T, net: ConvNet, cfg: MasterConfig) -> Self {
+        Self {
+            transport,
+            engine: WorkerEngine::from_net(net),
+            cfg,
+            remote_branch: None,
+            next_request_id: 1,
+            worker_dead: false,
+            mode: Mode::HighAccuracy,
+        }
+    }
+
+    /// The Master's local execution engine (e.g. to reach the owned net).
+    pub fn engine_mut(&mut self) -> &mut WorkerEngine {
+        &mut self.engine
+    }
+
+    /// The currently requested execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Whether the link to the worker has failed since the last
+    /// [`reattach`](Master::reattach).
+    pub fn worker_dead(&self) -> bool {
+        self.worker_dead
+    }
+
+    /// The branch currently deployed on the worker, if any.
+    pub fn remote_branch(&self) -> Option<&BranchSpec> {
+        self.remote_branch.as_ref()
+    }
+
+    fn mark_dead<R>(&mut self, e: DistError) -> Result<R, DistError> {
+        self.worker_dead = true;
+        Err(e)
+    }
+
+    /// Rejects requests the worker would silently drop (there is no NACK in
+    /// the protocol): an inference before any remote deploy, or an input
+    /// that does not fit the architecture. Catching these locally avoids a
+    /// request-timeout stall and a false worker-death verdict.
+    fn check_remote_request(&self, x: &Tensor) -> Result<(), DistError> {
+        if self.remote_branch.is_none() {
+            return Err(DistError::Protocol(
+                "remote inference before any branch was deployed to the worker".into(),
+            ));
+        }
+        crate::engine::check_input_shape(self.engine.net().arch(), x)
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Waits for the worker's `Hello` and returns its device name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Timeout`] if no `Hello` arrives in
+    /// [`MasterConfig::hello_timeout`], or the transport's error if the
+    /// link fails (which also marks the worker dead).
+    pub fn await_hello(&mut self) -> Result<String, DistError> {
+        let deadline = Instant::now() + self.cfg.hello_timeout;
+        let r = recv_matching(
+            &mut self.transport,
+            deadline,
+            "worker hello",
+            |msg| match msg {
+                Message::Hello { device } => Some(device),
+                _ => None,
+            },
+        );
+        match r {
+            Ok(device) => Ok(device),
+            Err(e) => self.mark_dead(e),
+        }
+    }
+
+    /// Activates `branch` on the Master itself; the weights are already in
+    /// the owned net, so this is purely a routing decision.
+    pub fn deploy_local(&mut self, branch: BranchSpec) {
+        self.engine.activate(branch);
+    }
+
+    /// Ships `branch` and its weight `windows` to the worker and waits for
+    /// the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error or [`DistError::Timeout`] if the worker
+    /// does not acknowledge; either marks the worker dead.
+    pub fn deploy_remote(
+        &mut self,
+        branch: BranchSpec,
+        windows: Vec<NamedTensor>,
+    ) -> Result<(), DistError> {
+        if self.worker_dead {
+            return Err(DistError::WorkerDown);
+        }
+        let name = branch.name.clone();
+        let msg = Message::DeployBranch {
+            branch: branch.clone(),
+            weights: windows,
+        };
+        if let Err(e) = self.transport.send(&msg) {
+            return self.mark_dead(e);
+        }
+        let deadline = Instant::now() + self.cfg.deploy_timeout;
+        let r = recv_matching(
+            &mut self.transport,
+            deadline,
+            "deploy ack",
+            |msg| match msg {
+                Message::DeployAck { branch_name } if branch_name == name => Some(()),
+                _ => None,
+            },
+        );
+        match r {
+            Ok(()) => {
+                self.remote_branch = Some(branch);
+                Ok(())
+            }
+            Err(e) => self.mark_dead(e),
+        }
+    }
+
+    /// Tells the worker to switch execution mode and records it locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport error (marking the worker dead) if the
+    /// notification cannot be sent.
+    pub fn switch_mode(&mut self, mode: Mode) -> Result<(), DistError> {
+        if self.worker_dead {
+            return Err(DistError::WorkerDown);
+        }
+        if let Err(e) = self.transport.send(&Message::SwitchMode { mode }) {
+            return self.mark_dead(e);
+        }
+        self.mode = mode;
+        self.engine.set_mode(mode);
+        Ok(())
+    }
+
+    /// High-Accuracy inference: both devices evaluate their branch on the
+    /// *same* input and the Master sums the partial logits — exactly the
+    /// combined model's output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::WorkerDown`] when the worker is already marked
+    /// dead, [`DistError::Protocol`] (without marking the worker dead) when
+    /// no remote branch is deployed or the input does not fit the
+    /// architecture, the transport's error when the link fails mid-request,
+    /// or [`DistError::Timeout`] when the partial logits do not arrive in
+    /// time.
+    pub fn infer_ha(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        if self.worker_dead {
+            return Err(DistError::WorkerDown);
+        }
+        self.check_remote_request(x)?;
+        let id = self.next_id();
+        // Ship the remote half first so both devices compute concurrently.
+        if let Err(e) = self.transport.send(&Message::Infer {
+            request_id: id,
+            input: x.clone(),
+        }) {
+            return self.mark_dead(e);
+        }
+        let local = self.engine.infer(x)?;
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let r = recv_matching(
+            &mut self.transport,
+            deadline,
+            "partial logits",
+            |msg| match msg {
+                Message::Logits { request_id, logits } if request_id == id => Some(logits),
+                _ => None,
+            },
+        );
+        match r {
+            // The reply is peer-controlled: a mis-shaped partial is a
+            // protocol violation (and marks the worker dead), not a panic.
+            Ok(remote) if remote.dims() == local.dims() => Ok(local.add(&remote)),
+            Ok(remote) => {
+                let e = DistError::Protocol(format!(
+                    "worker returned logits {:?}, expected {:?}",
+                    remote.dims(),
+                    local.dims()
+                ));
+                self.mark_dead(e)
+            }
+            Err(e) => self.mark_dead(e),
+        }
+    }
+
+    /// High-Throughput inference: the Master's branch serves `local_x`
+    /// while the worker's standalone branch serves `remote_x`, in parallel.
+    /// Returns `(local logits, remote logits)`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`infer_ha`](Master::infer_ha).
+    pub fn infer_ht(
+        &mut self,
+        local_x: &Tensor,
+        remote_x: &Tensor,
+    ) -> Result<(Tensor, Tensor), DistError> {
+        if self.worker_dead {
+            return Err(DistError::WorkerDown);
+        }
+        self.check_remote_request(remote_x)?;
+        let id = self.next_id();
+        if let Err(e) = self.transport.send(&Message::Infer {
+            request_id: id,
+            input: remote_x.clone(),
+        }) {
+            return self.mark_dead(e);
+        }
+        let local = self.engine.infer(local_x)?;
+        let deadline = Instant::now() + self.cfg.request_timeout;
+        let r = recv_matching(
+            &mut self.transport,
+            deadline,
+            "remote logits",
+            |msg| match msg {
+                Message::Logits { request_id, logits } if request_id == id => Some(logits),
+                _ => None,
+            },
+        );
+        match r {
+            Ok(remote) => Ok((local, remote)),
+            Err(e) => self.mark_dead(e),
+        }
+    }
+
+    /// Runs only the Master's own branch — the degraded service that keeps
+    /// answering after the worker dies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Protocol`] if no local branch was deployed.
+    pub fn infer_local(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        self.engine.infer(x)
+    }
+
+    /// Replaces the transport with a link to a replacement worker and
+    /// clears the dead flag; follow with [`await_hello`](Master::await_hello)
+    /// and a re-deploy.
+    pub fn reattach(&mut self, transport: T) {
+        self.transport = transport;
+        self.remote_branch = None;
+        self.worker_dead = false;
+    }
+
+    /// Sends a best-effort `Shutdown` to the worker and marks it dead.
+    pub fn shutdown_worker(&mut self) {
+        let _ = self.transport.send(&Message::Shutdown);
+        self.worker_dead = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use fluid_models::Arch;
+    use fluid_nn::ChannelRange;
+    use fluid_tensor::Prng;
+
+    #[test]
+    fn mis_shaped_logits_reply_is_an_error_not_a_panic() {
+        let arch = Arch::tiny_28();
+        let net = ConvNet::new(arch.clone(), &mut Prng::new(0));
+        let (master_side, mut peer) = InProcTransport::pair();
+        let mut master = Master::new(master_side, net, MasterConfig::default());
+        master.deploy_local(BranchSpec::uniform(
+            "lo",
+            ChannelRange::new(0, 4),
+            arch.conv_stages,
+            true,
+        ));
+        // A pre-deploy remote inference is rejected locally, without a
+        // request-timeout stall and without declaring the worker dead.
+        let err = master
+            .infer_ha(&Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("no remote branch yet");
+        assert!(matches!(err, DistError::Protocol(_)), "{err}");
+        assert!(!master.worker_dead());
+
+        // A misbehaving worker: acks the deployment, then answers the infer
+        // request with logits of the wrong shape.
+        let peer_thread = std::thread::spawn(move || loop {
+            match peer.recv_timeout(Duration::from_secs(5)) {
+                Ok(Some(Message::DeployBranch { branch, .. })) => {
+                    peer.send(&Message::DeployAck {
+                        branch_name: branch.name,
+                    })
+                    .expect("ack");
+                }
+                Ok(Some(Message::Infer { request_id, .. })) => {
+                    peer.send(&Message::Logits {
+                        request_id,
+                        logits: Tensor::zeros(&[1, 5]),
+                    })
+                    .expect("reply");
+                    break;
+                }
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        });
+        let upper = BranchSpec::uniform("hi", ChannelRange::new(4, 8), arch.conv_stages, false);
+        let windows = {
+            let net = master.engine_mut().net().clone();
+            crate::deploy::extract_branch_weights(&net, &upper)
+        };
+        master.deploy_remote(upper, windows).expect("deploy");
+        let err = master
+            .infer_ha(&Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("shape mismatch must be an error");
+        assert!(matches!(err, DistError::Protocol(_)), "{err}");
+        assert!(master.worker_dead());
+        // The master's own branch is unharmed.
+        assert!(master.infer_local(&Tensor::zeros(&[1, 1, 28, 28])).is_ok());
+        peer_thread.join().expect("peer");
+    }
+}

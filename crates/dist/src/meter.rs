@@ -1,0 +1,62 @@
+//! A tiny wall-clock throughput meter for demos and the CLI.
+
+use std::time::{Duration, Instant};
+
+/// Counts served items against wall-clock time.
+///
+/// # Example
+///
+/// ```
+/// use fluid_dist::ThroughputMeter;
+/// let mut meter = ThroughputMeter::new();
+/// meter.add(2);
+/// meter.add(1);
+/// assert_eq!(meter.items(), 3);
+/// assert!(meter.rate() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    start: Instant,
+    items: usize,
+}
+
+impl ThroughputMeter {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            items: 0,
+        }
+    }
+
+    /// Records `n` more served items.
+    pub fn add(&mut self, n: usize) {
+        self.items += n;
+    }
+
+    /// Total items recorded.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Items per second since the meter started.
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / secs
+        }
+    }
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,317 @@
+//! N-device scale-out: one coordinator fanning a multi-block model out to
+//! any number of workers.
+
+use crate::engine::WorkerEngine;
+use crate::error::DistError;
+use crate::master::recv_matching;
+use crate::transport::Transport;
+use crate::wire::{Message, NamedTensor};
+use fluid_models::{BranchSpec, ConvNet};
+use fluid_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+struct Link<T: Transport> {
+    transport: T,
+    alive: bool,
+    device: String,
+}
+
+/// A Master generalised to `N` workers: each worker serves one block of an
+/// N-block fluid model (the paper's "applicable to any number of devices").
+///
+/// In High-Accuracy mode every device evaluates its block on the same input
+/// and the coordinator folds the partial logits. In High-Throughput mode
+/// each device serves its own input stream; dead workers degrade their
+/// stream to `None` instead of failing the round.
+pub struct MultiMaster<T: Transport> {
+    links: Vec<Link<T>>,
+    engine: WorkerEngine,
+    timeout: Duration,
+    next_request_id: u64,
+}
+
+impl<T: Transport> MultiMaster<T> {
+    /// Creates a coordinator over one transport per worker, owning the
+    /// trained `net`. `timeout` bounds every per-worker wait.
+    pub fn new(transports: Vec<T>, net: ConvNet, timeout: Duration) -> Self {
+        Self {
+            links: transports
+                .into_iter()
+                .map(|transport| Link {
+                    transport,
+                    alive: true,
+                    device: String::new(),
+                })
+                .collect(),
+            engine: WorkerEngine::from_net(net),
+            timeout,
+            next_request_id: 1,
+        }
+    }
+
+    /// The coordinator's local execution engine.
+    pub fn engine_mut(&mut self) -> &mut WorkerEngine {
+        &mut self.engine
+    }
+
+    /// Number of attached workers (alive or dead).
+    pub fn workers(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of workers whose links are still healthy.
+    pub fn alive_workers(&self) -> usize {
+        self.links.iter().filter(|l| l.alive).count()
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Collects every worker's `Hello`, in worker order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first link's error or [`DistError::Timeout`]; the
+    /// offending worker is marked dead.
+    pub fn await_hellos(&mut self) -> Result<Vec<String>, DistError> {
+        let timeout = self.timeout;
+        let mut names = Vec::with_capacity(self.links.len());
+        for link in &mut self.links {
+            let deadline = Instant::now() + timeout;
+            match recv_matching(
+                &mut link.transport,
+                deadline,
+                "worker hello",
+                |msg| match msg {
+                    Message::Hello { device } => Some(device),
+                    _ => None,
+                },
+            ) {
+                Ok(device) => {
+                    link.device = device.clone();
+                    names.push(device);
+                }
+                Err(e) => {
+                    link.alive = false;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Activates `branch` on the coordinator itself.
+    pub fn deploy_local(&mut self, branch: BranchSpec) {
+        self.engine.activate(branch);
+    }
+
+    /// Ships `branch` and its windows to worker `worker` (0-based) and
+    /// waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Protocol`] for an out-of-range index,
+    /// [`DistError::WorkerDown`] for a dead worker, or the link's error /
+    /// [`DistError::Timeout`] (marking the worker dead).
+    pub fn deploy_to(
+        &mut self,
+        worker: usize,
+        branch: BranchSpec,
+        windows: Vec<NamedTensor>,
+    ) -> Result<(), DistError> {
+        let timeout = self.timeout;
+        let link = self
+            .links
+            .get_mut(worker)
+            .ok_or_else(|| DistError::Protocol(format!("no worker {worker}")))?;
+        if !link.alive {
+            return Err(DistError::WorkerDown);
+        }
+        let name = branch.name.clone();
+        let r = link
+            .transport
+            .send(&Message::DeployBranch {
+                branch,
+                weights: windows,
+            })
+            .and_then(|()| {
+                recv_matching(
+                    &mut link.transport,
+                    Instant::now() + timeout,
+                    "deploy ack",
+                    |msg| match msg {
+                        Message::DeployAck { branch_name } if branch_name == name => Some(()),
+                        _ => None,
+                    },
+                )
+            });
+        if r.is_err() {
+            link.alive = false;
+        }
+        r
+    }
+
+    /// High-Accuracy inference across all devices: broadcasts `x`, runs the
+    /// local block, and sums every partial — the exact N-block combined
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// HA needs *all* blocks: any dead worker ([`DistError::WorkerDown`]),
+    /// link failure, or timeout fails the round (and marks that worker
+    /// dead).
+    pub fn infer_ha(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        if self.links.iter().any(|l| !l.alive) {
+            return Err(DistError::WorkerDown);
+        }
+        let id = self.next_id();
+        // Fan the input out first so all devices compute concurrently; one
+        // message serves every link (send borrows it).
+        let msg = Message::Infer {
+            request_id: id,
+            input: x.clone(),
+        };
+        for link in &mut self.links {
+            if let Err(e) = link.transport.send(&msg) {
+                link.alive = false;
+                return Err(e);
+            }
+        }
+        let mut logits = self.engine.infer(x)?;
+        let timeout = self.timeout;
+        for link in &mut self.links {
+            let deadline = Instant::now() + timeout;
+            match recv_matching(
+                &mut link.transport,
+                deadline,
+                "partial logits",
+                |msg| match msg {
+                    Message::Logits { request_id, logits } if request_id == id => Some(logits),
+                    _ => None,
+                },
+            ) {
+                // Peer-controlled reply: a mis-shaped partial is a protocol
+                // violation by that worker, not a panic in the coordinator.
+                Ok(partial) if partial.dims() == logits.dims() => {
+                    logits = logits.add(&partial);
+                }
+                Ok(partial) => {
+                    link.alive = false;
+                    return Err(DistError::Protocol(format!(
+                        "worker {} returned logits {:?}, expected {:?}",
+                        link.device,
+                        partial.dims(),
+                        logits.dims()
+                    )));
+                }
+                Err(e) => {
+                    link.alive = false;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(logits)
+    }
+
+    /// High-Throughput inference: `inputs[0]` runs on the coordinator,
+    /// `inputs[1 + i]` on worker `i`. Returns one entry per input; a dead
+    /// or failing device yields `None` for its stream instead of failing
+    /// the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Protocol`] when more inputs than devices are
+    /// supplied.
+    pub fn infer_ht(&mut self, inputs: &[Tensor]) -> Result<Vec<Option<Tensor>>, DistError> {
+        if inputs.len() > self.links.len() + 1 {
+            return Err(DistError::Protocol(format!(
+                "{} input streams for {} devices",
+                inputs.len(),
+                self.links.len() + 1
+            )));
+        }
+        let id = self.next_id();
+        // Fan out all remote streams before computing locally.
+        let mut sent = vec![false; self.links.len()];
+        for (i, x) in inputs.iter().skip(1).enumerate() {
+            let link = &mut self.links[i];
+            if !link.alive {
+                continue;
+            }
+            match link.transport.send(&Message::Infer {
+                request_id: id,
+                input: x.clone(),
+            }) {
+                Ok(()) => sent[i] = true,
+                Err(_) => link.alive = false,
+            }
+        }
+        let mut results = Vec::with_capacity(inputs.len());
+        if let Some(x) = inputs.first() {
+            results.push(self.engine.infer(x).ok());
+        }
+        let timeout = self.timeout;
+        for (i, _) in inputs.iter().skip(1).enumerate() {
+            let link = &mut self.links[i];
+            if !sent[i] {
+                results.push(None);
+                continue;
+            }
+            let deadline = Instant::now() + timeout;
+            match recv_matching(
+                &mut link.transport,
+                deadline,
+                "stream logits",
+                |msg| match msg {
+                    Message::Logits { request_id, logits } if request_id == id => Some(logits),
+                    _ => None,
+                },
+            ) {
+                Ok(logits) => results.push(Some(logits)),
+                Err(_) => {
+                    link.alive = false;
+                    results.push(None);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Sends a best-effort `Shutdown` to every worker and marks them dead.
+    pub fn shutdown_all(&mut self) {
+        for link in &mut self.links {
+            let _ = link.transport.send(&Message::Shutdown);
+            link.alive = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use fluid_models::Arch;
+    use fluid_tensor::Prng;
+
+    #[test]
+    fn infer_ht_returns_one_entry_per_input() {
+        let net = ConvNet::new(Arch::tiny_28(), &mut Prng::new(0));
+        let mut mm = MultiMaster::new(
+            Vec::<InProcTransport>::new(),
+            net,
+            Duration::from_millis(50),
+        );
+        assert_eq!(mm.infer_ht(&[]).expect("empty"), vec![]);
+        // One local stream, no workers deployed: the local engine has no
+        // branch, so its stream degrades to None — but the length contract
+        // holds.
+        let x = Tensor::zeros(&[1, 1, 28, 28]);
+        let results = mm.infer_ht(std::slice::from_ref(&x)).expect("one stream");
+        assert_eq!(results.len(), 1);
+        // Too many streams for the device count is a protocol error.
+        assert!(mm.infer_ht(&[x.clone(), x]).is_err());
+    }
+}

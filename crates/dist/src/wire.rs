@@ -1,0 +1,469 @@
+//! Wire types: the execution [`Mode`], weight windows ([`NamedTensor`]) and
+//! the [`Message`] codec.
+//!
+//! The codec is a small hand-rolled little-endian format (this workspace
+//! carries no serde): one tag byte, then the variant's fields. Decoding is
+//! total — arbitrary byte soup either yields a message or a
+//! [`DistError::Decode`], never a panic or an unbounded allocation.
+
+use crate::error::DistError;
+use fluid_models::BranchSpec;
+use fluid_nn::ChannelRange;
+use fluid_tensor::Tensor;
+
+/// The runtime's two execution modes (paper §III).
+///
+/// * **High-Accuracy**: every device evaluates its branch on the *same*
+///   input; the Master sums the partial logits into the combined model's
+///   exact output.
+/// * **High-Throughput**: each device serves an *independent* input stream
+///   with its standalone sub-network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Collective execution: one input, summed partial logits.
+    HighAccuracy,
+    /// Independent execution: one input stream per device.
+    HighThroughput,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::HighAccuracy => write!(f, "HA"),
+            Mode::HighThroughput => write!(f, "HT"),
+        }
+    }
+}
+
+/// A named weight window shipped to a worker during deployment, e.g.
+/// `conv0.weight` restricted to a branch's channel block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTensor {
+    /// Window name (`conv{stage}.weight`, `conv{stage}.bias`, `fc.weight`,
+    /// `fc.bias`).
+    pub name: String,
+    /// The window's values, shaped as the window (not the full layer).
+    pub tensor: Tensor,
+}
+
+/// Everything that travels between a Master and a Worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → Master greeting, sent once when the worker boots.
+    Hello {
+        /// The worker's self-reported device name.
+        device: String,
+    },
+    /// Master → Worker: install this branch and its weight windows.
+    DeployBranch {
+        /// The branch to install.
+        branch: BranchSpec,
+        /// Weight windows produced by [`extract_branch_weights`].
+        ///
+        /// [`extract_branch_weights`]: crate::extract_branch_weights
+        weights: Vec<NamedTensor>,
+    },
+    /// Worker → Master: the named branch is installed and serving.
+    DeployAck {
+        /// Name of the branch that was installed.
+        branch_name: String,
+    },
+    /// Master → Worker: run the deployed branch on `input`.
+    Infer {
+        /// Correlates the reply with the request.
+        request_id: u64,
+        /// Input batch `[N, C, H, W]`.
+        input: Tensor,
+    },
+    /// Worker → Master: the (partial) logits for a request.
+    Logits {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// Logits `[N, classes]` — partial in HA mode, standalone in HT.
+        logits: Tensor,
+    },
+    /// Master → Worker liveness probe.
+    Heartbeat {
+        /// Monotonic sequence number.
+        seq: u64,
+    },
+    /// Worker → Master heartbeat echo.
+    HeartbeatAck {
+        /// Echo of the probe's sequence number.
+        seq: u64,
+    },
+    /// Master → Worker: switch the execution mode.
+    SwitchMode {
+        /// The mode to switch to.
+        mode: Mode,
+    },
+    /// Master → Worker: exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_DEPLOY: u8 = 2;
+const TAG_DEPLOY_ACK: u8 = 3;
+const TAG_INFER: u8 = 4;
+const TAG_LOGITS: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
+const TAG_HEARTBEAT_ACK: u8 = 7;
+const TAG_SWITCH_MODE: u8 = 8;
+const TAG_SHUTDOWN: u8 = 9;
+
+const MAX_TENSOR_RANK: usize = 8;
+const MAX_BRANCH_STAGES: usize = 1024;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u32(out, t.dims().len() as u32);
+    for &d in t.dims() {
+        put_u32(out, d as u32);
+    }
+    for &x in t.data() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_branch(out: &mut Vec<u8>, b: &BranchSpec) {
+    put_str(out, &b.name);
+    put_u32(out, b.channels.len() as u32);
+    for r in &b.channels {
+        put_u32(out, r.lo as u32);
+        put_u32(out, r.hi as u32);
+    }
+    out.push(b.fc_bias as u8);
+}
+
+/// Bounds-checked reader over a decode buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DistError> {
+        if self.remaining() < n {
+            return Err(DistError::Decode(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DistError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DistError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DistError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, DistError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| DistError::Decode(format!("bad utf-8: {e}")))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, DistError> {
+        let rank = self.u32()? as usize;
+        if rank > MAX_TENSOR_RANK {
+            return Err(DistError::Decode(format!("tensor rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.u32()? as usize);
+        }
+        let numel = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| DistError::Decode("tensor element count overflows".into()))?;
+        // Element data must already be present — this bounds the allocation
+        // by the actual payload size before reserving anything.
+        if self.remaining() < numel.saturating_mul(4) {
+            return Err(DistError::Decode(format!(
+                "tensor claims {numel} elements but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        let raw = self.bytes(numel * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok(Tensor::from_vec(data, &dims))
+    }
+
+    fn range(&mut self) -> Result<ChannelRange, DistError> {
+        let lo = self.u32()? as usize;
+        let hi = self.u32()? as usize;
+        if lo > hi {
+            return Err(DistError::Decode(format!(
+                "inverted channel range {lo}..{hi}"
+            )));
+        }
+        Ok(ChannelRange::new(lo, hi))
+    }
+
+    fn branch(&mut self) -> Result<BranchSpec, DistError> {
+        let name = self.string()?;
+        let stages = self.u32()? as usize;
+        if stages > MAX_BRANCH_STAGES {
+            return Err(DistError::Decode(format!("branch with {stages} stages")));
+        }
+        let mut channels = Vec::with_capacity(stages);
+        for _ in 0..stages {
+            channels.push(self.range()?);
+        }
+        let fc_bias = self.u8()? != 0;
+        Ok(BranchSpec {
+            name,
+            channels,
+            fc_bias,
+        })
+    }
+
+    fn finish(self) -> Result<(), DistError> {
+        if self.pos != self.buf.len() {
+            return Err(DistError::Decode(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    /// Serialises the message into a frame payload.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fluid_dist::Message;
+    /// let msg = Message::Heartbeat { seq: 42 };
+    /// let decoded = Message::decode(msg.encode()).unwrap();
+    /// assert_eq!(decoded, msg);
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { device } => {
+                out.push(TAG_HELLO);
+                put_str(&mut out, device);
+            }
+            Message::DeployBranch { branch, weights } => {
+                out.push(TAG_DEPLOY);
+                put_branch(&mut out, branch);
+                put_u32(&mut out, weights.len() as u32);
+                for w in weights {
+                    put_str(&mut out, &w.name);
+                    put_tensor(&mut out, &w.tensor);
+                }
+            }
+            Message::DeployAck { branch_name } => {
+                out.push(TAG_DEPLOY_ACK);
+                put_str(&mut out, branch_name);
+            }
+            Message::Infer { request_id, input } => {
+                out.push(TAG_INFER);
+                put_u64(&mut out, *request_id);
+                put_tensor(&mut out, input);
+            }
+            Message::Logits { request_id, logits } => {
+                out.push(TAG_LOGITS);
+                put_u64(&mut out, *request_id);
+                put_tensor(&mut out, logits);
+            }
+            Message::Heartbeat { seq } => {
+                out.push(TAG_HEARTBEAT);
+                put_u64(&mut out, *seq);
+            }
+            Message::HeartbeatAck { seq } => {
+                out.push(TAG_HEARTBEAT_ACK);
+                put_u64(&mut out, *seq);
+            }
+            Message::SwitchMode { mode } => {
+                out.push(TAG_SWITCH_MODE);
+                out.push(match mode {
+                    Mode::HighAccuracy => 0,
+                    Mode::HighThroughput => 1,
+                });
+            }
+            Message::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parses a frame payload produced by [`Message::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Decode`] on truncated, corrupt or trailing
+    /// bytes. Never panics and never allocates more than the payload's own
+    /// size.
+    pub fn decode(bytes: impl AsRef<[u8]>) -> Result<Message, DistError> {
+        let bytes = bytes.as_ref();
+        let mut c = Cursor::new(bytes);
+        let tag = c.u8()?;
+        let msg = match tag {
+            TAG_HELLO => Message::Hello {
+                device: c.string()?,
+            },
+            TAG_DEPLOY => {
+                let branch = c.branch()?;
+                let count = c.u32()? as usize;
+                let mut weights = Vec::new();
+                for _ in 0..count {
+                    let name = c.string()?;
+                    let tensor = c.tensor()?;
+                    weights.push(NamedTensor { name, tensor });
+                }
+                Message::DeployBranch { branch, weights }
+            }
+            TAG_DEPLOY_ACK => Message::DeployAck {
+                branch_name: c.string()?,
+            },
+            TAG_INFER => Message::Infer {
+                request_id: c.u64()?,
+                input: c.tensor()?,
+            },
+            TAG_LOGITS => Message::Logits {
+                request_id: c.u64()?,
+                logits: c.tensor()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat { seq: c.u64()? },
+            TAG_HEARTBEAT_ACK => Message::HeartbeatAck { seq: c.u64()? },
+            TAG_SWITCH_MODE => Message::SwitchMode {
+                mode: match c.u8()? {
+                    0 => Mode::HighAccuracy,
+                    1 => Mode::HighThroughput,
+                    other => return Err(DistError::Decode(format!("unknown mode {other}"))),
+                },
+            },
+            TAG_SHUTDOWN => Message::Shutdown,
+            other => return Err(DistError::Decode(format!("unknown message tag {other}"))),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let branch = BranchSpec::uniform("upper50", ChannelRange::new(8, 16), 3, false);
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[2, 2]);
+        let msgs = vec![
+            Message::Hello {
+                device: "jetson-0".into(),
+            },
+            Message::DeployBranch {
+                branch,
+                weights: vec![NamedTensor {
+                    name: "conv0.weight".into(),
+                    tensor: t.clone(),
+                }],
+            },
+            Message::DeployAck {
+                branch_name: "upper50".into(),
+            },
+            Message::Infer {
+                request_id: 9,
+                input: t.clone(),
+            },
+            Message::Logits {
+                request_id: 9,
+                logits: t,
+            },
+            Message::Heartbeat { seq: 1 },
+            Message::HeartbeatAck { seq: 1 },
+            Message::SwitchMode {
+                mode: Mode::HighAccuracy,
+            },
+            Message::SwitchMode {
+                mode: Mode::HighThroughput,
+            },
+            Message::Shutdown,
+        ];
+        for msg in msgs {
+            assert_eq!(Message::decode(msg.encode()).expect("decode"), msg);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Message::Shutdown.encode();
+        payload.push(0);
+        assert!(Message::decode(payload).is_err());
+    }
+
+    #[test]
+    fn huge_tensor_claim_rejected_cheaply() {
+        // Infer message whose tensor header claims 2^32-ish elements with no
+        // data behind it: must error, not allocate.
+        let mut payload = vec![TAG_INFER];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(payload).is_err());
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let branch = BranchSpec::uniform("b", ChannelRange::new(2, 4), 1, true);
+        let mut payload = Message::DeployBranch {
+            branch,
+            weights: vec![],
+        }
+        .encode();
+        // The branch's single range sits right before the fc_bias byte and
+        // the u32 weight count: flip lo/hi (offsets: tag 1 + name(4+1) + 4).
+        let lo_at = 1 + 4 + 1 + 4;
+        payload[lo_at..lo_at + 4].copy_from_slice(&9u32.to_le_bytes());
+        payload[lo_at + 4..lo_at + 8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(Message::decode(payload).is_err());
+    }
+
+    #[test]
+    fn mode_displays_shortly() {
+        assert_eq!(Mode::HighAccuracy.to_string(), "HA");
+        assert_eq!(Mode::HighThroughput.to_string(), "HT");
+    }
+}

@@ -1,0 +1,105 @@
+//! The Worker: serves one deployed branch until told to stop or the link
+//! to its Master is lost.
+
+use crate::engine::WorkerEngine;
+use crate::error::DistError;
+use crate::transport::Transport;
+use crate::wire::Message;
+use fluid_models::Arch;
+use std::time::Duration;
+
+/// How often the serving loop wakes to poll the transport.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Why a [`Worker`]'s serving loop ended.
+#[derive(Debug)]
+pub enum WorkerExit {
+    /// The master sent a clean `Shutdown`.
+    Shutdown,
+    /// The link to the master failed — from the worker's perspective this
+    /// *is* master failure. The engine survives and keeps its branch.
+    LinkLost(DistError),
+}
+
+/// A serving device: it greets its Master, installs whatever branch it is
+/// given, and answers inference requests until shutdown or link loss.
+///
+/// [`run`](Worker::run) consumes the Worker and returns the engine
+/// alongside the exit reason, so a branch that outlives its Master remains
+/// usable — the paper's master-failure scenario.
+#[derive(Debug)]
+pub struct Worker<T: Transport> {
+    transport: T,
+    engine: WorkerEngine,
+    device: String,
+}
+
+impl<T: Transport> Worker<T> {
+    /// Creates a worker named `device` for the given architecture.
+    pub fn new(transport: T, arch: Arch, device: &str) -> Self {
+        Self {
+            transport,
+            engine: WorkerEngine::new(arch),
+            device: device.to_owned(),
+        }
+    }
+
+    /// Runs the serving loop to completion.
+    ///
+    /// Protocol: send `Hello`, then answer `DeployBranch` with `DeployAck`,
+    /// `Infer` with `Logits`, and `Heartbeat` with `HeartbeatAck` until a
+    /// `Shutdown` arrives (→ [`WorkerExit::Shutdown`]) or the transport
+    /// errors (→ [`WorkerExit::LinkLost`]).
+    pub fn run(mut self) -> (WorkerExit, WorkerEngine) {
+        if let Err(e) = self.transport.send(&Message::Hello {
+            device: self.device.clone(),
+        }) {
+            return (WorkerExit::LinkLost(e), self.engine);
+        }
+        loop {
+            match self.transport.recv_timeout(POLL_INTERVAL) {
+                Ok(Some(Message::DeployBranch { branch, weights })) => {
+                    let name = branch.name.clone();
+                    // On a bad deployment there is no NACK in the protocol:
+                    // stay on the previous branch and let the master's
+                    // deploy timeout surface the problem.
+                    if self.engine.deploy(branch, &weights).is_ok() {
+                        if let Err(e) = self
+                            .transport
+                            .send(&Message::DeployAck { branch_name: name })
+                        {
+                            return (WorkerExit::LinkLost(e), self.engine);
+                        }
+                    }
+                }
+                Ok(Some(Message::Infer { request_id, input })) => {
+                    // An inference before any deployment cannot be answered;
+                    // the master's request timeout reports it.
+                    if let Ok(logits) = self.engine.infer(&input) {
+                        if let Err(e) = self.transport.send(&Message::Logits { request_id, logits })
+                        {
+                            return (WorkerExit::LinkLost(e), self.engine);
+                        }
+                    }
+                }
+                Ok(Some(Message::Heartbeat { seq })) => {
+                    if let Err(e) = self.transport.send(&Message::HeartbeatAck { seq }) {
+                        return (WorkerExit::LinkLost(e), self.engine);
+                    }
+                }
+                Ok(Some(Message::SwitchMode { mode })) => self.engine.set_mode(mode),
+                Ok(Some(Message::Shutdown)) => return (WorkerExit::Shutdown, self.engine),
+                // Messages a worker never consumes (its own side of the
+                // protocol, or another worker's): ignore.
+                Ok(Some(
+                    Message::Hello { .. }
+                    | Message::DeployAck { .. }
+                    | Message::Logits { .. }
+                    | Message::HeartbeatAck { .. },
+                )) => {}
+                Ok(None) => {}
+                Err(e) => return (WorkerExit::LinkLost(e), self.engine),
+            }
+        }
+    }
+}

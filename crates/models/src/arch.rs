@@ -40,7 +40,10 @@ impl WidthLadder {
     ///
     /// Panics if `max` is not divisible by 4.
     pub fn quarters(max: usize) -> Self {
-        assert!(max % 4 == 0 && max > 0, "max {max} not divisible by 4");
+        assert!(
+            max.is_multiple_of(4) && max > 0,
+            "max {max} not divisible by 4"
+        );
         Self::new(vec![max / 4, max / 2, 3 * max / 4, max])
     }
 
@@ -51,7 +54,10 @@ impl WidthLadder {
     /// Panics if `levels == 0` or `max` is not divisible by `levels`.
     pub fn even(max: usize, levels: usize) -> Self {
         assert!(levels > 0, "zero levels");
-        assert!(max % levels == 0, "max {max} not divisible by {levels}");
+        assert!(
+            max.is_multiple_of(levels),
+            "max {max} not divisible by {levels}"
+        );
         Self::new((1..=levels).map(|i| i * max / levels).collect())
     }
 
@@ -75,7 +81,12 @@ impl WidthLadder {
     /// For the paper's ladder this is the second level (8 of 16); in general
     /// it is the middle level's width.
     pub fn half(&self) -> usize {
-        self.widths[self.levels() / 2 - if self.levels() % 2 == 0 { 1 } else { 0 }]
+        self.widths[self.levels() / 2
+            - if self.levels().is_multiple_of(2) {
+                1
+            } else {
+                0
+            }]
     }
 
     /// Width as a fraction of the maximum, for reporting.
@@ -198,7 +209,10 @@ mod tests {
 
     #[test]
     fn even_ladder() {
-        assert_eq!(WidthLadder::even(16, 8).widths(), &[2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(
+            WidthLadder::even(16, 8).widths(),
+            &[2, 4, 6, 8, 10, 12, 14, 16]
+        );
     }
 
     #[test]

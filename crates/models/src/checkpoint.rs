@@ -123,7 +123,9 @@ pub fn load_net<R: Read>(r: &mut R) -> Result<ConvNet, CheckpointError> {
     }
     let version = get_u32(r)?;
     if version != VERSION {
-        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let levels = get_u32(r)? as usize;
     if levels == 0 || levels > 64 {
@@ -167,7 +169,10 @@ pub fn load_net<R: Read>(r: &mut R) -> Result<ConvNet, CheckpointError> {
     if w.dims() != net.fc().weight().dims() || b.dims() != net.fc().bias().dims() {
         return Err(CheckpointError::Format("fc tensor shape mismatch".into()));
     }
-    net.fc_mut().weight_mut().data_mut().copy_from_slice(w.data());
+    net.fc_mut()
+        .weight_mut()
+        .data_mut()
+        .copy_from_slice(w.data());
     net.fc_mut().bias_mut().data_mut().copy_from_slice(b.data());
     Ok(net)
 }

@@ -1,4 +1,4 @@
-//! The Dynamic (slimmable) DNN baseline, paper reference [3].
+//! The Dynamic (slimmable) DNN baseline, paper reference \[3\].
 
 use crate::arch::Arch;
 use crate::network::ConvNet;
@@ -134,7 +134,10 @@ mod tests {
             }
         }
         let y4_after = m.infer_level(0, &x);
-        assert!(y4_before.allclose(&y4_after, 0.0), "25% subnet reads beyond its prefix");
+        assert!(
+            y4_before.allclose(&y4_after, 0.0),
+            "25% subnet reads beyond its prefix"
+        );
     }
 
     #[test]

@@ -47,8 +47,7 @@ pub fn branch_cost(arch: &Arch, branch: &BranchSpec) -> CostReport {
     }
     let fc_cols = branch.fc_range(arch).width() as u64;
     macs += fc_cols * arch.classes as u64;
-    params += fc_cols as usize * arch.classes
-        + if branch.fc_bias { arch.classes } else { 0 };
+    params += fc_cols as usize * arch.classes + if branch.fc_bias { arch.classes } else { 0 };
     CostReport {
         macs,
         params,

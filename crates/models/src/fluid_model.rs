@@ -50,7 +50,10 @@ impl FluidModel {
     /// quarter structure needs 25/50/75/100 points).
     pub fn new(arch: Arch, rng: &mut Prng) -> Self {
         let w = arch.ladder.widths();
-        assert!(w.len() >= 4, "fluid quarter structure needs a 4-level ladder");
+        assert!(
+            w.len() >= 4,
+            "fluid quarter structure needs a 4-level ladder"
+        );
         let (c25, c50, c75, c100) = (w[0], w[1], w[2], w[3]);
         let stages = arch.conv_stages;
 
@@ -122,7 +125,14 @@ mod tests {
         let names: Vec<&str> = m.specs().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"]
+            vec![
+                "lower25",
+                "lower50",
+                "upper25",
+                "upper50",
+                "combined75",
+                "combined100"
+            ]
         );
     }
 
@@ -160,7 +170,11 @@ mod tests {
             }
         }
         let merged = p_lo.add(&p_hi).sub(&bias_row);
-        assert!(joint.allclose(&merged, 1e-5), "diff {}", joint.max_abs_diff(&merged));
+        assert!(
+            joint.allclose(&merged, 1e-5),
+            "diff {}",
+            joint.max_abs_diff(&merged)
+        );
     }
 
     #[test]

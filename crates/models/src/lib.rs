@@ -5,7 +5,7 @@
 //!
 //! * [`StaticModel`] — a plain dense CNN; only the full 100% network exists.
 //! * [`DynamicModel`] — a width-slimmable CNN (incremental training, paper
-//!   ref [3]): sub-network `w` uses channel prefix `0..w` of every layer,
+//!   ref \[3\]): sub-network `w` uses channel prefix `0..w` of every layer,
 //!   so larger sub-networks *contain* smaller ones and upper channel groups
 //!   read lower activations (triangular connectivity).
 //! * [`FluidModel`] — the paper's contribution: the channel space is split
@@ -35,10 +35,10 @@
 
 mod arch;
 mod checkpoint;
-mod multi_block;
 mod dynamic_model;
 mod flops;
 mod fluid_model;
+mod multi_block;
 mod network;
 mod spec;
 mod static_model;

@@ -50,7 +50,7 @@ impl MultiBlockFluid {
         assert!(n_blocks > 0, "zero blocks");
         let max = arch.ladder.max();
         assert!(
-            max % n_blocks == 0,
+            max.is_multiple_of(n_blocks),
             "{max} channels not divisible into {n_blocks} blocks"
         );
         let bw = max / n_blocks;
@@ -155,7 +155,15 @@ mod tests {
         let names: Vec<&str> = m.specs().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["block0", "block1", "block2", "block3", "combined2", "combined3", "combined4"]
+            vec![
+                "block0",
+                "block1",
+                "block2",
+                "block3",
+                "combined2",
+                "combined3",
+                "combined4"
+            ]
         );
         assert_eq!(m.blocks().len(), 4);
         assert_eq!(m.blocks()[2], ChannelRange::new(8, 12));
@@ -191,7 +199,11 @@ mod tests {
             }
         }
         let merged = merged.sub(&bias3);
-        assert!(joint.allclose(&merged, 1e-4), "diff {}", joint.max_abs_diff(&merged));
+        assert!(
+            joint.allclose(&merged, 1e-4),
+            "diff {}",
+            joint.max_abs_diff(&merged)
+        );
     }
 
     #[test]
@@ -216,7 +228,10 @@ mod tests {
             }
         }
         let after = m.infer("block2", &x);
-        assert!(before.allclose(&after, 0.0), "block2 depends on other blocks");
+        assert!(
+            before.allclose(&after, 0.0),
+            "block2 depends on other blocks"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl ConvNet {
             ));
         }
         let relus = (0..arch.conv_stages).map(|_| Relu::new()).collect();
-        let pools = (0..arch.conv_stages).map(|_| MaxPool2d::new(2, 2)).collect();
+        let pools = (0..arch.conv_stages)
+            .map(|_| MaxPool2d::new(2, 2))
+            .collect();
         let fc = RangedLinear::new(arch.classes, arch.fc_in_max(), &mut rng.fork(100));
         Self {
             arch,
@@ -100,7 +102,8 @@ impl ConvNet {
             h = self.pools[stage].forward(&h, train);
         }
         let h = self.flatten.forward(&h, train);
-        self.fc.forward(&h, branch.fc_range(&self.arch), branch.fc_bias, train)
+        self.fc
+            .forward(&h, branch.fc_range(&self.arch), branch.fc_bias, train)
     }
 
     /// Backpropagates one branch given `dL/d(partial logits)`.
@@ -209,7 +212,11 @@ mod tests {
         let p_lo = net.forward_branch(&x, &lo, false);
         let p_hi = net.forward_branch(&x, &hi, false);
         let merged = p_lo.add(&p_hi);
-        assert!(joint.allclose(&merged, 1e-6), "diff {}", joint.max_abs_diff(&merged));
+        assert!(
+            joint.allclose(&merged, 1e-6),
+            "diff {}",
+            joint.max_abs_diff(&merged)
+        );
     }
 
     #[test]
@@ -244,7 +251,10 @@ mod tests {
             }
         }
         let after = net.forward_branch(&x, &hi, false);
-        assert!(before.allclose(&after, 0.0), "upper branch depends on lower weights");
+        assert!(
+            before.allclose(&after, 0.0),
+            "upper branch depends on lower weights"
+        );
     }
 
     #[test]

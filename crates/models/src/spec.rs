@@ -86,7 +86,10 @@ impl SubnetSpec {
     pub fn collective(name: &str, branches: Vec<BranchSpec>) -> Self {
         assert!(!branches.is_empty(), "sub-network with no branches");
         let bias_count = branches.iter().filter(|b| b.fc_bias).count();
-        assert_eq!(bias_count, 1, "exactly one branch must own the FC bias, got {bias_count}");
+        assert_eq!(
+            bias_count, 1,
+            "exactly one branch must own the FC bias, got {bias_count}"
+        );
         Self {
             name: name.to_owned(),
             branches,
@@ -111,7 +114,10 @@ impl SubnetSpec {
         let max = arch.ladder.max();
         let bias_count = self.branches.iter().filter(|b| b.fc_bias).count();
         if bias_count != 1 {
-            return Err(format!("{}: {bias_count} branches own the FC bias", self.name));
+            return Err(format!(
+                "{}: {bias_count} branches own the FC bias",
+                self.name
+            ));
         }
         for b in &self.branches {
             if b.channels.len() != arch.conv_stages {
@@ -125,7 +131,10 @@ impl SubnetSpec {
             }
             for (s, r) in b.channels.iter().enumerate() {
                 if !r.fits(max) {
-                    return Err(format!("{}/{} stage {s}: range {r} exceeds {max}", self.name, b.name));
+                    return Err(format!(
+                        "{}/{} stage {s}: range {r} exceeds {max}",
+                        self.name, b.name
+                    ));
                 }
                 if r.width() == 0 {
                     return Err(format!("{}/{} stage {s}: empty range", self.name, b.name));
@@ -150,7 +159,10 @@ impl SubnetSpec {
 
     /// Total active channels at the final stage across branches.
     pub fn total_final_channels(&self) -> usize {
-        self.branches.iter().map(|b| b.final_channels().width()).sum()
+        self.branches
+            .iter()
+            .map(|b| b.final_channels().width())
+            .sum()
     }
 }
 

@@ -156,8 +156,16 @@ impl RangedConv2d {
         out_range: ChannelRange,
         train: bool,
     ) -> Tensor {
-        assert!(in_range.fits(self.c_in_max), "in_range {in_range} exceeds {}", self.c_in_max);
-        assert!(out_range.fits(self.c_out_max), "out_range {out_range} exceeds {}", self.c_out_max);
+        assert!(
+            in_range.fits(self.c_in_max),
+            "in_range {in_range} exceeds {}",
+            self.c_in_max
+        );
+        assert!(
+            out_range.fits(self.c_out_max),
+            "out_range {out_range} exceeds {}",
+            self.c_out_max
+        );
         let d = x.dims();
         assert_eq!(d.len(), 4, "conv input rank {}", d.len());
         assert_eq!(
@@ -217,7 +225,7 @@ impl RangedConv2d {
             d
         );
         let g_mat = nchw_to_cnp(grad_out); // [out_w, N*P]
-        // dW = g · colsᵀ
+                                           // dW = g · colsᵀ
         let wg = g_mat.matmul_bt(&cols);
         self.scatter_wgrad(&wg, in_range, out_range);
         // db = per-channel sum
@@ -246,7 +254,10 @@ impl RangedConv2d {
     /// Splits into `[(weight, weight-grad), (bias, bias-grad)]` reference
     /// pairs for an optimizer step.
     pub fn params_and_grads_mut(&mut self) -> [(&mut Tensor, &Tensor); 2] {
-        [(&mut self.weight, &self.wgrad), (&mut self.bias, &self.bgrad)]
+        [
+            (&mut self.weight, &self.wgrad),
+            (&mut self.bias, &self.bgrad),
+        ]
     }
 
     /// Squared L2 norm of the accumulated weight gradient (diagnostics).
@@ -272,7 +283,13 @@ impl RangedConv2d {
 
     /// Multiply-accumulate count for one image of `h`×`w` input through the
     /// given window.
-    pub fn window_macs(&self, in_range: ChannelRange, out_range: ChannelRange, h: usize, w: usize) -> u64 {
+    pub fn window_macs(
+        &self,
+        in_range: ChannelRange,
+        out_range: ChannelRange,
+        h: usize,
+        w: usize,
+    ) -> u64 {
         let geo = Conv2dGeometry::new(h, w, self.kernel, self.stride, self.pad);
         (out_range.width() * in_range.width() * self.kernel * self.kernel) as u64
             * geo.out_positions() as u64
@@ -332,7 +349,12 @@ mod tests {
         let mut rng = Prng::new(0);
         let mut conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
         let x = Tensor::zeros(&[1, 8, 6, 6]);
-        let y = conv.forward(&x, ChannelRange::new(8, 16), ChannelRange::new(8, 16), false);
+        let y = conv.forward(
+            &x,
+            ChannelRange::new(8, 16),
+            ChannelRange::new(8, 16),
+            false,
+        );
         assert_eq!(y.dims(), &[1, 8, 6, 6]);
     }
 

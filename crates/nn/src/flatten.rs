@@ -15,7 +15,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Self { in_dims: Vec::new() }
+        Self {
+            in_dims: Vec::new(),
+        }
     }
 
     /// Flattens an `[N, C, H, W]` tensor to `[N, C·H·W]`.

@@ -104,11 +104,26 @@ impl RangedLinear {
     ///
     /// Panics if `x` is not rank 2, the range exceeds the layer's maximum,
     /// or `x.dim(1) != in_range.width()`.
-    pub fn forward(&mut self, x: &Tensor, in_range: ChannelRange, with_bias: bool, train: bool) -> Tensor {
-        assert!(in_range.fits(self.in_features_max), "in_range {in_range} exceeds {}", self.in_features_max);
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        in_range: ChannelRange,
+        with_bias: bool,
+        train: bool,
+    ) -> Tensor {
+        assert!(
+            in_range.fits(self.in_features_max),
+            "in_range {in_range} exceeds {}",
+            self.in_features_max
+        );
         let d = x.dims();
         assert_eq!(d.len(), 2, "linear input rank {}", d.len());
-        assert_eq!(d[1], in_range.width(), "input has {} features but in_range is {in_range}", d[1]);
+        assert_eq!(
+            d[1],
+            in_range.width(),
+            "input has {} features but in_range is {in_range}",
+            d[1]
+        );
         let wmat = self.weight_window(in_range);
         let mut y = x.matmul_bt(&wmat); // [N, out]
         if with_bias {
@@ -136,7 +151,11 @@ impl RangedLinear {
             in_range,
             with_bias,
         } = cache;
-        assert_eq!(grad_out.dims(), [x.dim(0), self.out_features], "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.dims(),
+            [x.dim(0), self.out_features],
+            "grad_out shape mismatch"
+        );
         // dW[:, range] += goutᵀ · x
         let wg = grad_out.matmul_at(&x); // [out, in_w]
         let in_w = in_range.width();
@@ -172,7 +191,10 @@ impl RangedLinear {
     /// Splits into `[(weight, weight-grad), (bias, bias-grad)]` reference
     /// pairs for an optimizer step.
     pub fn params_and_grads_mut(&mut self) -> [(&mut Tensor, &Tensor); 2] {
-        [(&mut self.weight, &self.wgrad), (&mut self.bias, &self.bgrad)]
+        [
+            (&mut self.weight, &self.wgrad),
+            (&mut self.bias, &self.bgrad),
+        ]
     }
 
     /// Mutable access to the accumulated weight gradient (used by freezing
@@ -225,7 +247,11 @@ mod tests {
         let p_lo = fc.forward(&x_lo, ChannelRange::new(0, 4), true, false);
         let p_hi = fc.forward(&x_hi, ChannelRange::new(4, 8), false, false);
         let merged = p_lo.add(&p_hi);
-        assert!(full.allclose(&merged, 1e-5), "diff {}", full.max_abs_diff(&merged));
+        assert!(
+            full.allclose(&merged, 1e-5),
+            "diff {}",
+            full.max_abs_diff(&merged)
+        );
     }
 
     #[test]
@@ -260,7 +286,10 @@ mod tests {
             fc.weight.data_mut()[i] = orig - eps;
             let lm = fc.forward(&x, r, true, false).sq_norm() / 2.0;
             fc.weight.data_mut()[i] = orig;
-            max_err = max_err.max(max_relative_error(fc.wgrad.data()[i], (lp - lm) / (2.0 * eps)));
+            max_err = max_err.max(max_relative_error(
+                fc.wgrad.data()[i],
+                (lp - lm) / (2.0 * eps),
+            ));
         }
         for i in 0..x.numel() {
             let orig = x.data()[i];
@@ -290,7 +319,10 @@ mod tests {
                 }
             }
         }
-        assert!(fc.bgrad.data().iter().all(|&g| g == 0.0), "bias grad without bias use");
+        assert!(
+            fc.bgrad.data().iter().all(|&g| g == 0.0),
+            "bias grad without bias use"
+        );
     }
 
     #[test]

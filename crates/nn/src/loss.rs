@@ -100,7 +100,11 @@ mod tests {
             let (lm, _) = softmax_cross_entropy(&logits, &labels);
             logits.data_mut()[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((grad.data()[i] - num).abs() < 1e-3, "elem {i}: {} vs {num}", grad.data()[i]);
+            assert!(
+                (grad.data()[i] - num).abs() < 1e-3,
+                "elem {i}: {} vs {num}",
+                grad.data()[i]
+            );
         }
     }
 

@@ -245,7 +245,10 @@ mod tests {
             s2.push(&mut fast, &g);
             opt_momentum.step(&mut s2);
         }
-        assert!(fast.data()[0] < plain.data()[0], "momentum should move farther");
+        assert!(
+            fast.data()[0] < plain.data()[0],
+            "momentum should move farther"
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl MaxPool2d {
         assert_eq!(d.len(), 4, "pool input rank {}", d.len());
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let (oh, ow) = (self.out_extent(h), self.out_extent(w));
-        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool window {}", self.size);
+        assert!(
+            oh > 0 && ow > 0,
+            "input {h}x{w} smaller than pool window {}",
+            self.size
+        );
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];
         for ni in 0..n {
@@ -98,7 +102,11 @@ impl MaxPool2d {
     /// Panics if no training forward pass is cached or shapes mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.pop().expect("backward without cached forward");
-        assert_eq!(cache.argmax.len(), grad_out.numel(), "pool grad length mismatch");
+        assert_eq!(
+            cache.argmax.len(),
+            grad_out.numel(),
+            "pool grad length mismatch"
+        );
         let mut gin = Tensor::zeros(&cache.in_dims);
         for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
             gin.data_mut()[idx] += g;
@@ -115,7 +123,10 @@ mod tests {
     fn pools_maximum() {
         let mut p = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let y = p.forward(&x, false);

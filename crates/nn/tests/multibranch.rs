@@ -49,7 +49,13 @@ impl TwoBranch {
             .copy_from_slice(other.fc.bias().data());
     }
 
-    fn forward_branch(&mut self, x: &Tensor, block: ChannelRange, bias: bool, train: bool) -> Tensor {
+    fn forward_branch(
+        &mut self,
+        x: &Tensor,
+        block: ChannelRange,
+        bias: bool,
+        train: bool,
+    ) -> Tensor {
         let h = self.conv.forward(x, ChannelRange::new(0, 1), block, train);
         let h = self.relu.forward(&h, train);
         let n = h.dim(0);
@@ -175,7 +181,10 @@ fn adam_trains_the_two_branch_network() {
         opt.step(&mut params);
     }
     let loss1 = net.loss(&x);
-    assert!(loss1 < loss0 * 0.2, "Adam failed to shrink the output: {loss0} -> {loss1}");
+    assert!(
+        loss1 < loss0 * 0.2,
+        "Adam failed to shrink the output: {loss0} -> {loss1}"
+    );
 }
 
 #[test]
@@ -187,7 +196,9 @@ fn sgd_and_adam_respect_masking_identically() {
         let upper_rows = |net: &TwoBranch| -> Vec<f32> {
             let kk = 9;
             let w = net.conv.weight().data();
-            (2..4).flat_map(|co| w[co * kk..(co + 1) * kk].to_vec()).collect()
+            (2..4)
+                .flat_map(|co| w[co * kk..(co + 1) * kk].to_vec())
+                .collect()
         };
         let upper_before = upper_rows(&net);
         let x = Tensor::from_fn(&[2, 1, SIDE, SIDE], |i| (i as f32 * 0.1).sin());
@@ -207,7 +218,11 @@ fn sgd_and_adam_respect_masking_identically() {
                 sgd.step(&mut params);
             }
         }
-        assert_eq!(upper_before, upper_rows(&net), "masking leak (adam={use_adam})");
+        assert_eq!(
+            upper_before,
+            upper_rows(&net),
+            "masking leak (adam={use_adam})"
+        );
     }
 }
 

@@ -141,17 +141,44 @@ mod tests {
     #[test]
     fn ht_is_most_energy_efficient_two_device_mode() {
         let p = PowerModel::jetson_cpu();
-        let ht = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, true);
-        let ha = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, false);
-        let st = scenario_energy(&sys(), p, ModelFamily::Static, DeviceAvailability::Both, false);
-        assert!(ht.images_per_joule > ha.images_per_joule, "{ht:?} vs {ha:?}");
+        let ht = scenario_energy(
+            &sys(),
+            p,
+            ModelFamily::Fluid,
+            DeviceAvailability::Both,
+            true,
+        );
+        let ha = scenario_energy(
+            &sys(),
+            p,
+            ModelFamily::Fluid,
+            DeviceAvailability::Both,
+            false,
+        );
+        let st = scenario_energy(
+            &sys(),
+            p,
+            ModelFamily::Static,
+            DeviceAvailability::Both,
+            false,
+        );
+        assert!(
+            ht.images_per_joule > ha.images_per_joule,
+            "{ht:?} vs {ha:?}"
+        );
         assert!(ht.images_per_joule > st.images_per_joule);
     }
 
     #[test]
     fn single_device_burns_half_the_power() {
         let p = PowerModel::jetson_cpu();
-        let both = scenario_energy(&sys(), p, ModelFamily::Fluid, DeviceAvailability::Both, false);
+        let both = scenario_energy(
+            &sys(),
+            p,
+            ModelFamily::Fluid,
+            DeviceAvailability::Both,
+            false,
+        );
         let solo = scenario_energy(
             &sys(),
             p,

@@ -29,13 +29,13 @@
 #![warn(missing_docs)]
 
 mod comm;
-mod energy;
 mod device;
+mod energy;
 mod queueing;
 mod scenario;
 
 pub use comm::CommModel;
+pub use device::DeviceModel;
 pub use energy::{scenario_energy, standalone_energy, EnergyReport, PowerModel};
 pub use queueing::{simulate, Policy, SimReport};
-pub use device::DeviceModel;
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};

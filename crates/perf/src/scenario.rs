@@ -12,7 +12,7 @@ use std::time::Duration;
 pub enum ModelFamily {
     /// Dense CNN (distribution requires per-layer activation exchange).
     Static,
-    /// Slimmable CNN with triangular containment (ref [3]).
+    /// Slimmable CNN with triangular containment (ref \[3\]).
     Dynamic,
     /// Fluid DyDNN with block structure (this paper).
     Fluid,
@@ -186,10 +186,8 @@ impl SystemModel {
     fn fluid_ha_latency(&self) -> Duration {
         let m = self.master.latency(self.block_macs(self.lower50()));
         let w = self.worker.latency(self.block_macs(self.upper50()));
-        let input_bytes = (self.arch.image_channels
-            * self.arch.image_side
-            * self.arch.image_side
-            * 4) as u64;
+        let input_bytes =
+            (self.arch.image_channels * self.arch.image_side * self.arch.image_side * 4) as u64;
         let logits_bytes = (self.arch.classes * 4) as u64;
         self.comm.latency(2, input_bytes + logits_bytes) + m.max(w)
     }
@@ -292,9 +290,7 @@ impl SystemModel {
             family: Fluid,
             mode: "-",
             availability: OnlyWorker,
-            throughput_ips: self
-                .evaluate(Fluid, OnlyWorker, false)
-                .throughput_ips,
+            throughput_ips: self.evaluate(Fluid, OnlyWorker, false).throughput_ips,
             paper_ips: 13.9,
         });
         rows
@@ -312,12 +308,19 @@ mod tests {
     #[test]
     fn static_both_near_paper() {
         let r = sys().evaluate(ModelFamily::Static, DeviceAvailability::Both, false);
-        assert!((r.throughput_ips - 11.1).abs() < 1.0, "{}", r.throughput_ips);
+        assert!(
+            (r.throughput_ips - 11.1).abs() < 1.0,
+            "{}",
+            r.throughput_ips
+        );
     }
 
     #[test]
     fn static_fails_on_any_device_loss() {
-        for avail in [DeviceAvailability::OnlyMaster, DeviceAvailability::OnlyWorker] {
+        for avail in [
+            DeviceAvailability::OnlyMaster,
+            DeviceAvailability::OnlyWorker,
+        ] {
             let r = sys().evaluate(ModelFamily::Static, avail, false);
             assert_eq!(r.throughput_ips, 0.0);
             assert!(r.latency.is_none());
@@ -328,7 +331,11 @@ mod tests {
     fn dynamic_survives_only_master() {
         let s = sys();
         let m = s.evaluate(ModelFamily::Dynamic, DeviceAvailability::OnlyMaster, false);
-        assert!((m.throughput_ips - 14.4).abs() < 0.3, "{}", m.throughput_ips);
+        assert!(
+            (m.throughput_ips - 14.4).abs() < 0.3,
+            "{}",
+            m.throughput_ips
+        );
         let w = s.evaluate(ModelFamily::Dynamic, DeviceAvailability::OnlyWorker, false);
         assert_eq!(w.throughput_ips, 0.0);
     }
@@ -338,8 +345,16 @@ mod tests {
         let s = sys();
         let m = s.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyMaster, false);
         let w = s.evaluate(ModelFamily::Fluid, DeviceAvailability::OnlyWorker, false);
-        assert!((m.throughput_ips - 14.4).abs() < 0.3, "{}", m.throughput_ips);
-        assert!((w.throughput_ips - 13.9).abs() < 0.3, "{}", w.throughput_ips);
+        assert!(
+            (m.throughput_ips - 14.4).abs() < 0.3,
+            "{}",
+            m.throughput_ips
+        );
+        assert!(
+            (w.throughput_ips - 13.9).abs() < 0.3,
+            "{}",
+            w.throughput_ips
+        );
     }
 
     #[test]

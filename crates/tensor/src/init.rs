@@ -63,11 +63,18 @@ mod tests {
         let fan_in = 36;
         let w = kaiming_normal(&[64, 36], fan_in, &mut rng);
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / w.numel() as f32;
         let expected = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
-        assert!((var - expected).abs() < 0.3 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.3 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -99,7 +99,13 @@ impl Tensor {
     pub fn add_row_bias(&self, bias: &Tensor) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "add_row_bias on rank-{} tensor", d.len());
-        assert_eq!(bias.numel(), d[1], "bias length {} != {}", bias.numel(), d[1]);
+        assert_eq!(
+            bias.numel(),
+            d[1],
+            "bias length {} != {}",
+            bias.numel(),
+            d[1]
+        );
         let mut out = self.clone();
         let f = d[1];
         for r in 0..d[0] {
@@ -118,7 +124,13 @@ impl Tensor {
     pub fn add_channel_bias(&self, bias: &Tensor) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 4, "add_channel_bias on rank-{} tensor", d.len());
-        assert_eq!(bias.numel(), d[1], "bias length {} != {}", bias.numel(), d[1]);
+        assert_eq!(
+            bias.numel(),
+            d[1],
+            "bias length {} != {}",
+            bias.numel(),
+            d[1]
+        );
         let mut out = self.clone();
         let plane = d[2] * d[3];
         for n in 0..d[0] {

@@ -25,7 +25,10 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn max(&self) -> f32 {
         assert!(self.numel() > 0, "max of empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Column-wise sum of an `[N, F]` tensor → `[F]`.

@@ -159,7 +159,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or the index is out of bounds.
     pub fn at2(&self, r: usize, c: usize) -> f32 {
-        assert_eq!(self.shape.rank(), 2, "at2 on rank-{} tensor", self.shape.rank());
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "at2 on rank-{} tensor",
+            self.shape.rank()
+        );
         let (rows, cols) = (self.dim(0), self.dim(1));
         assert!(r < rows && c < cols, "index ({r},{c}) out of {rows}x{cols}");
         self.data[r * cols + c]
@@ -171,7 +176,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or the index is out of bounds.
     pub fn set2(&mut self, r: usize, c: usize, v: f32) {
-        assert_eq!(self.shape.rank(), 2, "set2 on rank-{} tensor", self.shape.rank());
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "set2 on rank-{} tensor",
+            self.shape.rank()
+        );
         let (rows, cols) = (self.dim(0), self.dim(1));
         assert!(r < rows && c < cols, "index ({r},{c}) out of {rows}x{cols}");
         self.data[r * cols + c] = v;
@@ -220,7 +230,11 @@ impl Tensor {
     pub fn slice_channels(&self, lo: usize, hi: usize) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 4, "slice_channels on rank-{} tensor", d.len());
-        assert!(lo <= hi && hi <= d[1], "channel range {lo}..{hi} out of 0..{}", d[1]);
+        assert!(
+            lo <= hi && hi <= d[1],
+            "channel range {lo}..{hi} out of 0..{}",
+            d[1]
+        );
         let (n, _c, h, w) = (d[0], d[1], d[2], d[3]);
         let cw = hi - lo;
         let mut out = Tensor::zeros(&[n, cw, h, w]);
@@ -242,7 +256,11 @@ impl Tensor {
     pub fn slice_cols(&self, lo: usize, hi: usize) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "slice_cols on rank-{} tensor", d.len());
-        assert!(lo <= hi && hi <= d[1], "column range {lo}..{hi} out of 0..{}", d[1]);
+        assert!(
+            lo <= hi && hi <= d[1],
+            "column range {lo}..{hi} out of 0..{}",
+            d[1]
+        );
         let (n, f) = (d[0], d[1]);
         let w = hi - lo;
         let mut out = Tensor::zeros(&[n, w]);
@@ -260,7 +278,11 @@ impl Tensor {
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "slice_rows on rank-{} tensor", d.len());
-        assert!(lo <= hi && hi <= d[0], "row range {lo}..{hi} out of 0..{}", d[0]);
+        assert!(
+            lo <= hi && hi <= d[0],
+            "row range {lo}..{hi} out of 0..{}",
+            d[0]
+        );
         let f = d[1];
         Tensor::from_vec(self.data[lo * f..hi * f].to_vec(), &[hi - lo, f])
     }

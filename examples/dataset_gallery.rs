@@ -23,7 +23,11 @@ fn main() {
         let _ = std::fs::create_dir_all(parent);
     }
     match std::fs::write(out, &pgm) {
-        Ok(()) => println!("wrote {} ({} bytes) — rows are classes 0-9", out.display(), pgm.len()),
+        Ok(()) => println!(
+            "wrote {} ({} bytes) — rows are classes 0-9",
+            out.display(),
+            pgm.len()
+        ),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
     }
     println!("first row labels: {:?}", &labels[..10]);
@@ -31,7 +35,9 @@ fn main() {
     // Also print a coarse ASCII preview of one digit per class.
     println!("\nASCII preview (one example per class):");
     for class in 0..10 {
-        let idx = (0..ds.len()).find(|&i| ds.label(i) == class).expect("class present");
+        let idx = (0..ds.len())
+            .find(|&i| ds.label(i) == class)
+            .expect("class present");
         let (img, _) = ds.gather(&[idx]);
         println!("--- digit {class} ---");
         for y in (0..28).step_by(2) {

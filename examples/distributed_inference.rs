@@ -20,8 +20,10 @@ fn main() {
     let arch = Arch::paper();
     let (train, test) = SynthDigits::new(7).train_test(1500, 400);
     let mut model = FluidModel::new(arch.clone(), &mut Prng::new(1));
-    let mut cfg = TrainConfig::default();
-    cfg.epochs_per_phase = 1;
+    let cfg = TrainConfig {
+        epochs_per_phase: 1,
+        ..TrainConfig::default()
+    };
     println!("training fluid model...");
     let _ = train_nested(&mut model, &train, &cfg, &NestedSchedule::default());
 
@@ -49,7 +51,9 @@ fn main() {
     let windows = extract_branch_weights(model.net(), &upper_partial);
     let shipped: usize = windows.iter().map(|w| w.tensor.numel()).sum();
     master.deploy_local(lower);
-    master.deploy_remote(upper_partial, windows).expect("deploy upper50");
+    master
+        .deploy_remote(upper_partial, windows)
+        .expect("deploy upper50");
     println!("deployed upper50 to the worker ({shipped} weights shipped)\n");
 
     // High-Accuracy mode: same input on both devices, partial logits summed.
@@ -73,8 +77,12 @@ fn main() {
     // needs its own bias for standalone logits, so redeploy it standalone.
     let upper_standalone = model.spec("upper50").expect("spec").branches[0].clone();
     let windows = extract_branch_weights(model.net(), &upper_standalone);
-    master.deploy_remote(upper_standalone, windows).expect("redeploy");
-    master.switch_mode(Mode::HighThroughput).expect("mode switch");
+    master
+        .deploy_remote(upper_standalone, windows)
+        .expect("redeploy");
+    master
+        .switch_mode(Mode::HighThroughput)
+        .expect("mode switch");
     let mut meter = ThroughputMeter::new();
     let mut correct = 0.0f32;
     let mut i = 0;

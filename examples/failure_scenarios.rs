@@ -4,9 +4,7 @@
 //! Run with `cargo run --release -p fluid-examples --bin failure_scenarios`.
 
 use fluid_core::{can_operate, format_capability_matrix, ReliabilityManager};
-use fluid_dist::{
-    extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
-};
+use fluid_dist::{extract_branch_weights, InProcTransport, Master, MasterConfig, Worker};
 use fluid_models::{Arch, FluidModel};
 use fluid_perf::{DeviceAvailability, ModelFamily};
 use fluid_tensor::{Prng, Tensor};
@@ -36,31 +34,50 @@ fn main() {
 
     let x = Tensor::zeros(&[1, 1, 28, 28]);
     let mut manager = ReliabilityManager::new(ModelFamily::Fluid);
-    println!("both devices up:   HA inference ok = {}", master.infer_ha(&x).is_ok());
+    println!(
+        "both devices up:   HA inference ok = {}",
+        master.infer_ha(&x).is_ok()
+    );
     println!("active sub-network: {:?}", manager.active_subnet());
 
     kill.kill(); // power outage on the link/worker
     let ha_after = master.infer_ha(&x);
-    println!("\nworker killed:     HA inference ok = {}", ha_after.is_ok());
+    println!(
+        "\nworker killed:     HA inference ok = {}",
+        ha_after.is_ok()
+    );
     manager.worker_failed();
     println!("reconfigured to:   {:?}", manager.active_subnet());
     let local = master.infer_local(&x);
-    println!("local fallback ok = {} (fluid lower50 keeps serving)", local.is_ok());
+    println!(
+        "local fallback ok = {} (fluid lower50 keeps serving)",
+        local.is_ok()
+    );
     let _ = worker_thread.join();
 
     // --- Scenario 2: Master fails; the Worker's branch is standalone. ---
     println!("\nmaster killed instead:");
     let mut manager = ReliabilityManager::new(ModelFamily::Fluid);
     manager.master_failed();
-    println!("reconfigured to:   {:?} (runs on the worker alone)", manager.active_subnet());
+    println!(
+        "reconfigured to:   {:?} (runs on the worker alone)",
+        manager.active_subnet()
+    );
 
     // --- The baselines under the same events. ---------------------------
     println!("\nsame events for the baselines:");
     for family in [ModelFamily::Static, ModelFamily::Dynamic] {
-        for avail in [DeviceAvailability::OnlyMaster, DeviceAvailability::OnlyWorker] {
+        for avail in [
+            DeviceAvailability::OnlyMaster,
+            DeviceAvailability::OnlyWorker,
+        ] {
             println!(
                 "  {family:<8} {avail:<14} -> {}",
-                if can_operate(family, avail) { "keeps inferring" } else { "SYSTEM FAILURE" }
+                if can_operate(family, avail) {
+                    "keeps inferring"
+                } else {
+                    "SYSTEM FAILURE"
+                }
             );
         }
     }

@@ -25,25 +25,71 @@ fn main() {
     let fluid = RuntimeController::new(ModelFamily::Fluid, system.clone());
 
     println!("-- demand changes (both devices up) --");
-    show("accuracy-critical phase", &fluid, Goal::MaxAccuracy, DeviceAvailability::Both);
-    show("burst arrives: need max rate", &fluid, Goal::MaxThroughput, DeviceAvailability::Both);
-    show("SLA floor 5 img/s", &fluid, Goal::ThroughputFloor(5.0), DeviceAvailability::Both);
-    show("SLA floor 20 img/s", &fluid, Goal::ThroughputFloor(20.0), DeviceAvailability::Both);
+    show(
+        "accuracy-critical phase",
+        &fluid,
+        Goal::MaxAccuracy,
+        DeviceAvailability::Both,
+    );
+    show(
+        "burst arrives: need max rate",
+        &fluid,
+        Goal::MaxThroughput,
+        DeviceAvailability::Both,
+    );
+    show(
+        "SLA floor 5 img/s",
+        &fluid,
+        Goal::ThroughputFloor(5.0),
+        DeviceAvailability::Both,
+    );
+    show(
+        "SLA floor 20 img/s",
+        &fluid,
+        Goal::ThroughputFloor(20.0),
+        DeviceAvailability::Both,
+    );
 
     println!("\n-- availability changes (accuracy goal) --");
-    show("worker fails", &fluid, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
-    show("master fails", &fluid, Goal::MaxAccuracy, DeviceAvailability::OnlyWorker);
+    show(
+        "worker fails",
+        &fluid,
+        Goal::MaxAccuracy,
+        DeviceAvailability::OnlyMaster,
+    );
+    show(
+        "master fails",
+        &fluid,
+        Goal::MaxAccuracy,
+        DeviceAvailability::OnlyWorker,
+    );
 
     println!("\n-- the baselines under the same events --");
     let dynamic = RuntimeController::new(ModelFamily::Dynamic, system.clone());
     let static_c = RuntimeController::new(ModelFamily::Static, system);
-    show("dynamic: worker fails", &dynamic, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
-    show("dynamic: master fails", &dynamic, Goal::MaxAccuracy, DeviceAvailability::OnlyWorker);
-    show("static: worker fails", &static_c, Goal::MaxAccuracy, DeviceAvailability::OnlyMaster);
+    show(
+        "dynamic: worker fails",
+        &dynamic,
+        Goal::MaxAccuracy,
+        DeviceAvailability::OnlyMaster,
+    );
+    show(
+        "dynamic: master fails",
+        &dynamic,
+        Goal::MaxAccuracy,
+        DeviceAvailability::OnlyWorker,
+    );
+    show(
+        "static: worker fails",
+        &static_c,
+        Goal::MaxAccuracy,
+        DeviceAvailability::OnlyMaster,
+    );
 
     println!("\n-- a day in the life (events stream) --");
     let mut manager = ReliabilityManager::new(ModelFamily::Fluid);
-    let events: [(&str, fn(&mut ReliabilityManager)); 4] = [
+    type Event = (&'static str, fn(&mut ReliabilityManager));
+    let events: [Event; 4] = [
         ("worker power outage", |m| m.worker_failed()),
         ("worker restored", |m| m.worker_recovered()),
         ("master crash", |m| m.master_failed()),

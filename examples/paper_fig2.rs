@@ -5,7 +5,9 @@
 //! Run with `cargo run --release -p fluid-examples --bin paper_fig2`.
 //! Pass `--quick` for a reduced training budget.
 
-use fluid_core::{format_accuracy_table, format_capability_matrix, format_throughput_table, Fig2Accuracy};
+use fluid_core::{
+    format_accuracy_table, format_capability_matrix, format_throughput_table, Fig2Accuracy,
+};
 use fluid_models::Arch;
 use fluid_perf::SystemModel;
 
@@ -30,7 +32,11 @@ fn main() {
     // Accuracy panel: train Static (plain), Dynamic (incremental [3]) and
     // Fluid (Algorithm 1) on the synthetic dataset, then evaluate each
     // deployable sub-network.
-    let (train_n, test_n, epochs) = if quick { (800, 300, 1) } else { (3000, 1000, 1) };
+    let (train_n, test_n, epochs) = if quick {
+        (800, 300, 1)
+    } else {
+        (3000, 1000, 1)
+    };
     println!(
         "training all three model families ({train_n} train / {test_n} test, {epochs} epoch(s) per phase)...\n"
     );

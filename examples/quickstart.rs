@@ -15,26 +15,50 @@ fn main() {
     // 1. Data: the synthetic MNIST-shaped task (see DESIGN.md for the
     //    substitution rationale).
     let (train, test) = SynthDigits::new(42).train_test(2000, 500);
-    println!("dataset: {} train / {} test images (28x28, 10 classes)", train.len(), test.len());
+    println!(
+        "dataset: {} train / {} test images (28x28, 10 classes)",
+        train.len(),
+        test.len()
+    );
 
     // 2. Model: the paper's 3-conv + 1-FC CNN with the [4, 8, 12, 16]
     //    channel ladder.
     let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
-    println!("model: {} parameters, {} sub-networks\n", model.net().total_params(), model.specs().len());
+    println!(
+        "model: {} parameters, {} sub-networks\n",
+        model.net().total_params(),
+        model.specs().len()
+    );
 
     // 3. Train with Algorithm 1 (nested incremental training).
     let cfg = TrainConfig::default();
     let schedule = NestedSchedule::default();
-    println!("training: {} iterations x ({} base + {} upper phases) x {} epoch(s)...",
-        schedule.iterations, schedule.base_ladder.len(), schedule.upper_ladder.len(), cfg.epochs_per_phase);
+    println!(
+        "training: {} iterations x ({} base + {} upper phases) x {} epoch(s)...",
+        schedule.iterations,
+        schedule.base_ladder.len(),
+        schedule.upper_ladder.len(),
+        cfg.epochs_per_phase
+    );
     let t0 = std::time::Instant::now();
     let stats = train_nested(&mut model, &train, &cfg, &schedule);
-    println!("trained in {:.1}s, final loss {:.4}\n", t0.elapsed().as_secs_f32(), stats.final_loss().unwrap_or(f32::NAN));
+    println!(
+        "trained in {:.1}s, final loss {:.4}\n",
+        t0.elapsed().as_secs_f32(),
+        stats.final_loss().unwrap_or(f32::NAN)
+    );
 
     // 4. Every sub-network — standalone halves and combined models — now
     //    classifies on its own.
     println!("{:<14} {:>9}", "sub-network", "accuracy");
-    for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+    for name in [
+        "lower25",
+        "lower50",
+        "upper25",
+        "upper50",
+        "combined75",
+        "combined100",
+    ] {
         let spec = model.spec(name).expect("registered sub-network").clone();
         let acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
         println!("{name:<14} {:>8.1}%", acc * 100.0);

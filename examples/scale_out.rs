@@ -61,14 +61,22 @@ fn main() {
         let logits = mm.infer_ha(&x).expect("HA across 4 devices");
         correct += accuracy(&logits, &labels);
     }
-    println!("HA (combined4) accuracy over {n_eval} images: {:.1}%", correct / n_eval as f32 * 100.0);
+    println!(
+        "HA (combined4) accuracy over {n_eval} images: {:.1}%",
+        correct / n_eval as f32 * 100.0
+    );
 
     // HT: four independent streams (blocks run standalone — redeploy with
     // their own bias).
     for i in 0..3 {
-        let branch = model.spec(&format!("block{}", i + 1)).expect("spec").branches[0].clone();
+        let branch = model
+            .spec(&format!("block{}", i + 1))
+            .expect("spec")
+            .branches[0]
+            .clone();
         let windows = extract_branch_weights(model.net(), &branch);
-        mm.deploy_to(i, branch, windows).expect("redeploy standalone");
+        mm.deploy_to(i, branch, windows)
+            .expect("redeploy standalone");
     }
     let xs: Vec<Tensor> = (0..4).map(|k| test.gather(&[k]).0).collect();
     let results = mm.infer_ht(&xs).expect("HT across 4 devices");

@@ -18,7 +18,10 @@ fn trained_model_survives_checkpoint() {
     let mut original = model.net().clone();
     let a = original.forward_subnet(&x, &spec, false);
     let b = restored.forward_subnet(&x, &spec, false);
-    assert!(a.allclose(&b, 0.0), "checkpoint altered the trained function");
+    assert!(
+        a.allclose(&b, 0.0),
+        "checkpoint altered the trained function"
+    );
 }
 
 #[test]
@@ -43,7 +46,9 @@ fn restored_model_deploys_to_worker() {
         let net = master.engine_mut().net().clone();
         extract_branch_weights(&net, &upper)
     };
-    master.deploy_remote(upper.clone(), windows).expect("deploy");
+    master
+        .deploy_remote(upper.clone(), windows)
+        .expect("deploy");
     master.deploy_local(model.spec("lower50").expect("spec").branches[0].clone());
 
     let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 23) as f32) / 23.0);

@@ -1,8 +1,6 @@
 //! Distributed inference over real TCP sockets on localhost.
 
-use fluid_dist::{
-    extract_branch_weights, Master, MasterConfig, Mode, TcpTransport, Worker,
-};
+use fluid_dist::{extract_branch_weights, Master, MasterConfig, Mode, TcpTransport, Worker};
 use fluid_integration_tests::quick_trained_fluid;
 use fluid_models::SubnetSpec;
 use fluid_tensor::Tensor;
@@ -31,7 +29,9 @@ fn tcp_ha_matches_single_device_combined_model() {
     let upper = model.spec("combined100").expect("spec").branches[1].clone();
     let windows = extract_branch_weights(model.net(), &upper);
     master.deploy_local(lower.clone());
-    master.deploy_remote(upper.clone(), windows).expect("deploy");
+    master
+        .deploy_remote(upper.clone(), windows)
+        .expect("deploy");
     master.switch_mode(Mode::HighAccuracy).expect("mode");
 
     let (x, _) = test.gather(&[0, 1, 2]);
@@ -71,7 +71,9 @@ fn tcp_ht_serves_two_streams() {
     let upper_standalone = model.spec("upper50").expect("spec").branches[0].clone();
     let windows = extract_branch_weights(model.net(), &upper_standalone);
     master.deploy_local(lower);
-    master.deploy_remote(upper_standalone.clone(), windows).expect("deploy");
+    master
+        .deploy_remote(upper_standalone.clone(), windows)
+        .expect("deploy");
     master.switch_mode(Mode::HighThroughput).expect("mode");
 
     let (xa, _) = test.gather(&[0]);
@@ -142,6 +144,8 @@ fn tcp_worker_survives_master_disconnect() {
     let (exit, mut engine) = handle.join().expect("worker thread");
     assert!(matches!(exit, fluid_dist::WorkerExit::LinkLost(_)));
     // The surviving engine still serves its standalone branch.
-    let y = engine.infer(&Tensor::zeros(&[1, 1, 28, 28])).expect("survivor");
+    let y = engine
+        .infer(&Tensor::zeros(&[1, 1, 28, 28]))
+        .expect("survivor");
     assert_eq!(y.dims(), &[1, 10]);
 }

@@ -2,9 +2,7 @@
 //! family, inject failures, and verify the survivors — the executable
 //! version of the paper's Fig. 1(b,c).
 
-use fluid_dist::{
-    extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
-};
+use fluid_dist::{extract_branch_weights, InProcTransport, Master, MasterConfig, Worker};
 use fluid_integration_tests::quick_trained_fluid;
 use fluid_models::{Arch, BranchSpec, DynamicModel, StaticModel};
 use fluid_nn::ChannelRange;
@@ -15,7 +13,13 @@ fn x() -> Tensor {
 }
 
 /// Spins up a worker thread on an in-process transport pair.
-fn spawn_worker(arch: Arch) -> (InProcTransport, fluid_dist::FailureSwitch, std::thread::JoinHandle<()>) {
+fn spawn_worker(
+    arch: Arch,
+) -> (
+    InProcTransport,
+    fluid_dist::FailureSwitch,
+    std::thread::JoinHandle<()>,
+) {
     let (master_side, worker_side) = InProcTransport::pair();
     let switch = master_side.failure_switch();
     let handle = std::thread::spawn(move || {
@@ -40,7 +44,10 @@ fn fluid_worker_failure_master_keeps_serving() {
     assert!(master.infer_ha(&x()).is_ok());
 
     kill.kill();
-    assert!(master.infer_ha(&x()).is_err(), "HA must fail after worker death");
+    assert!(
+        master.infer_ha(&x()).is_err(),
+        "HA must fail after worker death"
+    );
     assert!(master.worker_dead());
     // The paper's claim: the Master's fluid branch is standalone.
     assert!(master.infer_local(&x()).is_ok());
@@ -56,7 +63,12 @@ fn fluid_master_failure_worker_branch_is_standalone() {
     let arch = model.net().arch().clone();
     let half = arch.ladder.half();
     let max = arch.ladder.max();
-    let upper = BranchSpec::uniform("upper50", ChannelRange::new(half, max), arch.conv_stages, true);
+    let upper = BranchSpec::uniform(
+        "upper50",
+        ChannelRange::new(half, max),
+        arch.conv_stages,
+        true,
+    );
 
     let mut reference = model.net().clone();
     let expected = reference.forward_branch(&x(), &upper, false);
@@ -78,7 +90,10 @@ fn dynamic_worker_failure_master_prefix_survives() {
     // Master holds the 50% prefix (a valid standalone function).
     master.deploy_local(model.half().branches[0].clone());
     kill.kill();
-    assert!(master.infer_local(&x()).is_ok(), "dynamic prefix must survive on master");
+    assert!(
+        master.infer_local(&x()).is_ok(),
+        "dynamic prefix must survive on master"
+    );
     handle.join().expect("worker thread");
 }
 
@@ -100,12 +115,18 @@ fn dynamic_master_failure_worker_groups_are_not_a_function() {
 
     // ...cannot be recovered from upper-block-only execution: the block
     // branch ignores the (upper ← lower) weights entirely.
-    let upper_block =
-        BranchSpec::uniform("upper_block", ChannelRange::new(half, max), arch.conv_stages, true);
+    let upper_block = BranchSpec::uniform(
+        "upper_block",
+        ChannelRange::new(half, max),
+        arch.conv_stages,
+        true,
+    );
     let windows = extract_branch_weights(model.net(), &upper_block);
     let mut survivor = fluid_dist::WorkerEngine::new(arch);
     survivor.deploy(upper_block, &windows).expect("deploy");
-    let degraded = survivor.infer(&x()).expect("runs but computes a different function");
+    let degraded = survivor
+        .infer(&x())
+        .expect("runs but computes a different function");
     // The degraded output is NOT the trained model's function (the
     // dynamic upper groups were never trained to work this way).
     assert!(
@@ -123,12 +144,18 @@ fn static_split_halves_are_not_functions() {
     let mut model = StaticModel::new(arch.clone(), &mut Prng::new(7));
     let full_out = model.infer(&x());
     let half = arch.ladder.max() / 2;
-    let lower_block =
-        BranchSpec::uniform("lower_half", ChannelRange::new(0, half), arch.conv_stages, true);
+    let lower_block = BranchSpec::uniform(
+        "lower_half",
+        ChannelRange::new(0, half),
+        arch.conv_stages,
+        true,
+    );
     let windows = extract_branch_weights(model.net(), &lower_block);
     let mut survivor = fluid_dist::WorkerEngine::new(arch);
     survivor.deploy(lower_block, &windows).expect("deploy");
-    let degraded = survivor.infer(&x()).expect("runs but computes a different function");
+    let degraded = survivor
+        .infer(&x())
+        .expect("runs but computes a different function");
     assert!(
         full_out.max_abs_diff(&degraded) > 1e-3,
         "static half unexpectedly equals the full model"

@@ -38,8 +38,7 @@ fn four_device_tcp_ha_matches_local_combined() {
             let t = TcpTransport::new(stream).expect("transport");
             let _ = Worker::new(t, worker_arch, &format!("w{i}")).run();
         }));
-        transports
-            .push(TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("t"));
+        transports.push(TcpTransport::new(TcpStream::connect(addr).expect("connect")).expect("t"));
     }
 
     let mut mm = MultiMaster::new(transports, model.net().clone(), Duration::from_secs(5));

@@ -18,8 +18,14 @@ fn claim_fluid_ht_is_2_5x_static_and_2x_dynamic() {
     let dynamic_ht = find(ModelFamily::Dynamic, "HT", DeviceAvailability::Both);
     let vs_static = fluid_ht / static_both;
     let vs_dynamic = fluid_ht / dynamic_ht;
-    assert!((2.2..2.9).contains(&vs_static), "Fluid/Static = {vs_static}");
-    assert!((1.8..2.2).contains(&vs_dynamic), "Fluid/Dynamic = {vs_dynamic}");
+    assert!(
+        (2.2..2.9).contains(&vs_static),
+        "Fluid/Static = {vs_static}"
+    );
+    assert!(
+        (1.8..2.2).contains(&vs_dynamic),
+        "Fluid/Dynamic = {vs_dynamic}"
+    );
 }
 
 #[test]

@@ -40,7 +40,14 @@ fn dynamic_pipeline_learns_all_levels() {
 #[test]
 fn fluid_pipeline_learns_all_subnets() {
     let (mut model, test) = quick_trained_fluid(23);
-    for name in ["lower25", "lower50", "upper25", "upper50", "combined75", "combined100"] {
+    for name in [
+        "lower25",
+        "lower50",
+        "upper25",
+        "upper50",
+        "combined75",
+        "combined100",
+    ] {
         let spec = model.spec(name).expect("spec").clone();
         let acc = Experiment::evaluate_subnet(model.net_mut(), &spec, &test);
         assert!(acc > 0.25, "{name} accuracy {acc}");
@@ -73,8 +80,5 @@ fn deterministic_training_given_seeds() {
     let (m2, test2) = quick_trained_fluid(31);
     assert_eq!(test1, test2);
     // Same seeds ⇒ bit-identical weights.
-    assert_eq!(
-        m1.net().fc().weight().data(),
-        m2.net().fc().weight().data()
-    );
+    assert_eq!(m1.net().fc().weight().data(), m2.net().fc().weight().data());
 }

@@ -18,7 +18,7 @@ proptest! {
     #[test]
     fn decomposition_holds_for_any_split(seed in 0u64..500, split in 1usize..16) {
         let arch = Arch::paper();
-        let split = split.max(1).min(15);
+        let split = split.clamp(1, 15);
         let mut net = ConvNet::new(arch.clone(), &mut Prng::new(seed));
         let lo = BranchSpec::uniform("lo", ChannelRange::new(0, split), 3, true);
         let hi = BranchSpec::uniform("hi", ChannelRange::new(split, 16), 3, false);

@@ -2,9 +2,7 @@
 //! collective model is re-deployed — the paper's "recoverable whenever the
 //! system can re-deploy larger sub-networks".
 
-use fluid_dist::{
-    extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
-};
+use fluid_dist::{extract_branch_weights, InProcTransport, Master, MasterConfig, Worker};
 use fluid_integration_tests::quick_trained_fluid;
 use fluid_models::SubnetSpec;
 use fluid_perf::ModelFamily;
@@ -28,7 +26,9 @@ fn worker_replacement_restores_full_model() {
     let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
     master.await_hello().expect("hello 1");
     master.deploy_local(lower.clone());
-    master.deploy_remote(upper.clone(), windows.clone()).expect("deploy 1");
+    master
+        .deploy_remote(upper.clone(), windows.clone())
+        .expect("deploy 1");
 
     let (x, _) = test.gather(&[0, 1]);
     let full_before = master.infer_ha(&x).expect("HA before failure");
@@ -52,7 +52,9 @@ fn worker_replacement_restores_full_model() {
     assert!(!master.worker_dead());
     let device = master.await_hello().expect("hello 2");
     assert_eq!(device, "w2");
-    master.deploy_remote(upper.clone(), windows).expect("deploy 2");
+    master
+        .deploy_remote(upper.clone(), windows)
+        .expect("deploy 2");
     let full_after = master.infer_ha(&x).expect("HA after recovery");
     assert!(
         full_before.allclose(&full_after, 1e-6),

@@ -15,40 +15,47 @@ fn arb_tensor() -> impl Strategy<Value = Tensor> {
 }
 
 fn arb_branch() -> impl Strategy<Value = BranchSpec> {
-    ("[a-z]{1,12}", 1usize..5, 0usize..8, 1usize..9, any::<bool>()).prop_map(
-        |(name, stages, lo, width, fc_bias)| BranchSpec {
+    (
+        "[a-z]{1,12}",
+        1usize..5,
+        0usize..8,
+        1usize..9,
+        any::<bool>(),
+    )
+        .prop_map(|(name, stages, lo, width, fc_bias)| BranchSpec {
             name,
             channels: vec![ChannelRange::new(lo, lo + width); stages],
             fc_bias,
-        },
-    )
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         "[ -~]{0,32}".prop_map(|device| Message::Hello { device }),
-        (arb_branch(), proptest::collection::vec(("[a-z.0-9]{1,16}", arb_tensor()), 0..4)).prop_map(
-            |(branch, weights)| Message::DeployBranch {
+        (
+            arb_branch(),
+            proptest::collection::vec(("[a-z.0-9]{1,16}", arb_tensor()), 0..4)
+        )
+            .prop_map(|(branch, weights)| Message::DeployBranch {
                 branch,
                 weights: weights
                     .into_iter()
                     .map(|(name, tensor)| NamedTensor { name, tensor })
                     .collect(),
-            }
-        ),
+            }),
         "[a-z]{1,12}".prop_map(|branch_name| Message::DeployAck { branch_name }),
-        (any::<u64>(), arb_tensor()).prop_map(|(request_id, input)| Message::Infer {
-            request_id,
-            input
-        }),
-        (any::<u64>(), arb_tensor()).prop_map(|(request_id, logits)| Message::Logits {
-            request_id,
-            logits
-        }),
+        (any::<u64>(), arb_tensor())
+            .prop_map(|(request_id, input)| Message::Infer { request_id, input }),
+        (any::<u64>(), arb_tensor())
+            .prop_map(|(request_id, logits)| Message::Logits { request_id, logits }),
         any::<u64>().prop_map(|seq| Message::Heartbeat { seq }),
         any::<u64>().prop_map(|seq| Message::HeartbeatAck { seq }),
         any::<bool>().prop_map(|ht| Message::SwitchMode {
-            mode: if ht { Mode::HighThroughput } else { Mode::HighAccuracy }
+            mode: if ht {
+                Mode::HighThroughput
+            } else {
+                Mode::HighAccuracy
+            }
         }),
         Just(Message::Shutdown),
     ]
