@@ -13,6 +13,23 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
+echo "==> docs link check (every docs/*.md referenced from the guides exists)"
+missing=0
+for doc in $(grep -hoE 'docs/[A-Za-z0-9_.-]+\.md' README.md docs/*.md | sort -u); do
+    if [ ! -f "$doc" ]; then
+        echo "BROKEN LINK: $doc is referenced but does not exist"
+        missing=1
+    fi
+done
+# ...and the guides that exist are actually referenced from README.
+for doc in docs/*.md; do
+    if ! grep -q "$doc" README.md; then
+        echo "ORPHAN DOC: $doc is not referenced from README.md"
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

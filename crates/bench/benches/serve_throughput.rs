@@ -1,0 +1,103 @@
+//! Serving-layer throughput (criterion): what micro-batching and
+//! multi-worker dispatch buy over request-at-a-time serving.
+//!
+//! Each benchmark pushes one 16-request burst through a live server and
+//! waits for every answer, so the measured time is the burst's makespan:
+//!
+//! * `max_batch` sweep — identical hardware, batching on vs. off;
+//! * worker sweep — 1 vs. 2 engine replicas behind the dispatcher;
+//! * direct engine — the no-scheduler floor for the same 16 inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluid_models::{Arch, FluidModel};
+use fluid_serve::{Backend, EngineBackend, ServeConfig, Server};
+use fluid_tensor::{Prng, Tensor};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BURST: usize = 16;
+
+fn backends(workers: usize) -> Vec<Box<dyn Backend>> {
+    let model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    (0..workers)
+        .map(|i| {
+            Box::new(EngineBackend::new(
+                &format!("engine{i}"),
+                model.net().clone(),
+                model.spec("combined100").expect("spec").clone(),
+            )) as Box<dyn Backend>
+        })
+        .collect()
+}
+
+fn inputs() -> Vec<Tensor> {
+    let mut rng = Prng::new(7);
+    (0..BURST)
+        .map(|_| Tensor::from_fn(&[1, 1, 28, 28], |_| rng.uniform(0.0, 1.0)))
+        .collect()
+}
+
+fn burst(server: &Server, xs: &[Tensor]) {
+    let handle = server.handle();
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| handle.submit(x.clone()).expect("submit"))
+        .collect();
+    for t in tickets {
+        black_box(t.wait().expect("served"));
+    }
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let xs = inputs();
+    let mut group = c.benchmark_group("serve: 16-request burst, 1 worker");
+    for max_batch in [1usize, 4, 16] {
+        let cfg = ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        };
+        let server = Server::start(cfg, backends(1)).expect("start");
+        group.bench_function(format!("max_batch={max_batch}"), |bench| {
+            bench.iter(|| burst(&server, &xs))
+        });
+        drop(server);
+    }
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let xs = inputs();
+    let mut group = c.benchmark_group("serve: 16-request burst, max_batch=4");
+    for workers in [1usize, 2] {
+        let cfg = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        };
+        let server = Server::start(cfg, backends(workers)).expect("start");
+        group.bench_function(format!("workers={workers}"), |bench| {
+            bench.iter(|| burst(&server, &xs))
+        });
+        drop(server);
+    }
+    group.finish();
+}
+
+fn bench_direct_engine(c: &mut Criterion) {
+    // The no-scheduler floor: one [16, ...] forward pass on a bare engine.
+    let model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut backend = EngineBackend::new(
+        "bare",
+        model.net().clone(),
+        model.spec("combined100").expect("spec").clone(),
+    );
+    let mut rng = Prng::new(7);
+    let batch = Tensor::from_fn(&[BURST, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    c.bench_function("direct engine: one [16,1,28,28] forward", |bench| {
+        bench.iter(|| black_box(backend.infer_batch(&batch).expect("infer")))
+    });
+}
+
+criterion_group!(benches, bench_batching, bench_dispatch, bench_direct_engine);
+criterion_main!(benches);

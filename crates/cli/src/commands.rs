@@ -2,12 +2,14 @@
 //!
 //! | command | action |
 //! |---|---|
-//! | `train`  | train a model family and write a checkpoint |
-//! | `eval`   | evaluate a checkpoint's sub-network on fresh test data |
-//! | `worker` | serve branches over TCP until shut down |
-//! | `master` | connect to a worker, deploy, and run HA/HT inference |
-//! | `fig2`   | regenerate the paper's Fig. 2 (both panels) |
-//! | `help`   | usage |
+//! | `train`   | train a model family and write a checkpoint |
+//! | `eval`    | evaluate a checkpoint's sub-network on fresh test data |
+//! | `worker`  | serve branches over TCP until shut down |
+//! | `master`  | connect to a worker, deploy, and run HA/HT inference |
+//! | `serve`   | batched multi-worker serving over TCP (see `docs/SERVING.md`) |
+//! | `loadgen` | drive a serving instance (in-proc or TCP) and report metrics |
+//! | `fig2`    | regenerate the paper's Fig. 2 (both panels) |
+//! | `help`    | usage |
 
 use crate::args::{ArgMap, ParseArgsError};
 use fluid_core::training::{
@@ -19,13 +21,18 @@ use fluid_dist::{
     extract_branch_weights, Master, MasterConfig, TcpTransport, ThroughputMeter, Worker,
 };
 use fluid_models::{
-    load_net_from_path, save_net_to_path, Arch, DynamicModel, FluidModel, StaticModel,
+    load_net_from_path, save_net_to_path, standard_specs, Arch, DynamicModel, FluidModel,
+    StaticModel, SubnetSpec,
 };
 use fluid_nn::accuracy;
 use fluid_perf::SystemModel;
-use fluid_tensor::Prng;
+use fluid_serve::{loadgen, EngineBackend, ServeConfig, Server, TcpClient};
+use fluid_tensor::{Prng, Tensor};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Error from a command: argument problems or runtime failures.
 #[derive(Debug)]
@@ -63,6 +70,13 @@ USAGE:
   fluidctl eval   --model-file PATH [--subnet NAME] [--test-n N] [--seed N]
   fluidctl worker [--listen ADDR] (default 127.0.0.1:7700)
   fluidctl master --connect ADDR --model-file PATH [--mode ha|ht] [--images N]
+  fluidctl serve  [--listen ADDR] [--model-file PATH] [--workers N]
+                  [--max-batch N] [--max-wait-ms N] [--queue-cap N]
+                  [--duration-s N] (0 = run until killed)
+  fluidctl loadgen [--connect ADDR] [--requests N] [--clients N]
+                  [--open-loop] [--lambda F] [--seed N] [--model-file PATH]
+                  [--workers N] [--max-batch N] [--max-wait-ms N]
+                  [--queue-cap N] (without --connect: in-proc server)
   fluidctl fig2   [--quick]
   fluidctl help
 ";
@@ -83,6 +97,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "eval" => cmd_eval(&args),
         "worker" => cmd_worker(&args),
         "master" => cmd_master(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
         "fig2" => cmd_fig2(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -268,6 +284,125 @@ fn cmd_master(args: &ArgMap) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Loads the serving net from `--model-file` (or builds fresh
+/// paper-architecture weights — fine for load testing; answers are
+/// untrained) along with its combined sub-network spec. Specs are pure
+/// structure ([`standard_specs`]), so no throwaway weights are built.
+fn serving_model(args: &ArgMap) -> Result<(fluid_models::ConvNet, SubnetSpec), CliError> {
+    let net = match args.str_or("model-file", "") {
+        "" => {
+            println!("no --model-file: serving fresh (untrained) paper-architecture weights");
+            FluidModel::new(Arch::paper(), &mut Prng::new(0))
+                .net()
+                .clone()
+        }
+        path => load_net_from_path(Path::new(path)).map_err(|e| CliError::Run(e.to_string()))?,
+    };
+    let spec = standard_specs(net.arch())
+        .into_iter()
+        .find(|s| s.name == "combined100")
+        .expect("standard registry has combined100");
+    Ok((net, spec))
+}
+
+/// Builds the scheduler config from the shared `--max-batch` /
+/// `--max-wait-ms` / `--queue-cap` flags.
+fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
+    Ok(ServeConfig {
+        max_batch: args.usize_or("max-batch", 8)?,
+        max_wait: Duration::from_millis(args.u64_or("max-wait-ms", 2)?),
+        queue_cap: args.usize_or("queue-cap", 256)?,
+    })
+}
+
+/// Boots an in-proc batching server: `workers` engine replicas of the
+/// net's combined model.
+fn boot_server(args: &ArgMap) -> Result<Server, CliError> {
+    let (net, spec) = serving_model(args)?;
+    let workers = args.usize_or("workers", 2)?;
+    let backends = (0..workers.max(1))
+        .map(|i| {
+            Box::new(EngineBackend::new(
+                &format!("engine{i}"),
+                net.clone(),
+                spec.clone(),
+            )) as Box<dyn fluid_serve::Backend>
+        })
+        .collect();
+    Server::start(serve_config(args)?, backends).map_err(|e| CliError::Run(e.to_string()))
+}
+
+fn cmd_serve(args: &ArgMap) -> Result<(), CliError> {
+    let listen = args.str_or("listen", "127.0.0.1:7800").to_owned();
+    let duration_s = args.u64_or("duration-s", 0)?;
+    let server = boot_server(args)?;
+    let listener = TcpListener::bind(&listen).map_err(|e| CliError::Run(e.to_string()))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    if duration_s > 0 {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(duration_s));
+            shutdown.store(true, Ordering::SeqCst);
+        });
+        println!("serving on {listen} for {duration_s}s...");
+    } else {
+        println!("serving on {listen} until killed (ctrl-c)...");
+    }
+    fluid_serve::serve_tcp(listener, server.handle(), shutdown)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("{}", server.shutdown());
+    Ok(())
+}
+
+fn cmd_loadgen(args: &ArgMap) -> Result<(), CliError> {
+    let requests = args.usize_or("requests", 200)?;
+    let clients = args.usize_or("clients", 8)?.max(1);
+    let seed = args.u64_or("seed", 42)?;
+    let open_loop = args.flag("open-loop");
+    let lambda = args.f32_or("lambda", 500.0)? as f64;
+    // NaN must also be refused here, not left to panic in the loadgen's
+    // assert — hence the is_finite check alongside the sign check.
+    if open_loop && !(lambda.is_finite() && lambda > 0.0) {
+        return Err(CliError::Run(format!(
+            "--lambda must be a positive arrival rate, got {lambda}"
+        )));
+    }
+    let inputs: Vec<Tensor> = {
+        let data = SynthDigits::new(seed).generate(64);
+        (0..data.len()).map(|i| data.gather(&[i]).0).collect()
+    };
+
+    match args.str_or("connect", "") {
+        "" => {
+            let server = boot_server(args)?;
+            let report = if open_loop {
+                println!("open loop: Poisson arrivals at λ = {lambda:.0} req/s...");
+                loadgen::run_open_loop(&server.handle(), lambda, requests, &inputs, seed)
+            } else {
+                println!("closed loop: {clients} concurrent clients...");
+                let handle = server.handle();
+                loadgen::run_closed_loop(|_| Ok(handle.clone()), clients, requests, &inputs)
+                    .map_err(|e| CliError::Run(e.to_string()))?
+            };
+            println!("{report}");
+            println!("{}", server.shutdown());
+        }
+        addr => {
+            if open_loop {
+                return Err(CliError::Run(
+                    "--open-loop is in-proc only (drop --connect)".into(),
+                ));
+            }
+            println!("closed loop over TCP: {clients} connections to {addr}...");
+            let report =
+                loadgen::run_closed_loop(|_| TcpClient::connect(addr), clients, requests, &inputs)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+            println!("{report}");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_fig2(args: &ArgMap) -> Result<(), CliError> {
     let system = SystemModel::paper_testbed();
     println!("{}", format_throughput_table(&system.fig2_table()));
@@ -317,6 +452,55 @@ mod tests {
         let err = run(&argv(&["train", "--model", "quantum", "--train-n", "10"]))
             .expect_err("bad family");
         assert!(err.to_string().contains("unknown --model"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_rejects_open_loop_over_tcp() {
+        let err = run(&argv(&[
+            "loadgen",
+            "--connect",
+            "127.0.0.1:1",
+            "--open-loop",
+        ]))
+        .expect_err("open loop needs in-proc");
+        assert!(err.to_string().contains("in-proc"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_closed_loop_inproc_serves_and_batches() {
+        run(&argv(&[
+            "loadgen",
+            "--requests",
+            "12",
+            "--clients",
+            "4",
+            "--workers",
+            "1",
+            "--max-batch",
+            "8",
+            "--seed",
+            "5",
+        ]))
+        .expect("in-proc loadgen");
+    }
+
+    #[test]
+    fn serve_rejects_bad_knobs() {
+        let err = run(&argv(&["serve", "--max-batch", "zero"])).expect_err("bad integer");
+        assert!(err.to_string().contains("max-batch"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_rejects_non_positive_lambda() {
+        let err = run(&argv(&["loadgen", "--open-loop", "--lambda", "0"]))
+            .expect_err("lambda must be positive");
+        assert!(err.to_string().contains("lambda"), "{err}");
+        let err = run(&argv(&["loadgen", "--open-loop", "--lambda", "-3"]))
+            .expect_err("lambda must be positive");
+        assert!(err.to_string().contains("lambda"), "{err}");
+        let err = run(&argv(&["loadgen", "--open-loop", "--lambda", "NaN"]))
+            .expect_err("NaN is not a rate");
+        assert!(err.to_string().contains("lambda"), "{err}");
     }
 
     #[test]

@@ -99,6 +99,19 @@ pub enum Message {
     },
     /// Master → Worker: exit cleanly.
     Shutdown,
+    /// Server → client: an inference request was refused without being run
+    /// (queue overload, malformed input, serving layer shutting down).
+    ///
+    /// The Master/Worker pair never sends this — deployment-era failures
+    /// stay silent and surface as the peer's timeout. The batched serving
+    /// front-end (`fluid-serve`) does send it, making backpressure explicit
+    /// to remote clients instead of burning their request timeout.
+    Reject {
+        /// Echo of the refused request's id.
+        request_id: u64,
+        /// Human-readable refusal reason.
+        reason: String,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -110,6 +123,7 @@ const TAG_HEARTBEAT: u8 = 6;
 const TAG_HEARTBEAT_ACK: u8 = 7;
 const TAG_SWITCH_MODE: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
+const TAG_REJECT: u8 = 10;
 
 const MAX_TENSOR_RANK: usize = 8;
 const MAX_BRANCH_STAGES: usize = 1024;
@@ -323,6 +337,11 @@ impl Message {
                 });
             }
             Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::Reject { request_id, reason } => {
+                out.push(TAG_REJECT);
+                put_u64(&mut out, *request_id);
+                put_str(&mut out, reason);
+            }
         }
         out
     }
@@ -374,6 +393,10 @@ impl Message {
                 },
             },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_REJECT => Message::Reject {
+                request_id: c.u64()?,
+                reason: c.string()?,
+            },
             other => return Err(DistError::Decode(format!("unknown message tag {other}"))),
         };
         c.finish()?;
@@ -420,6 +443,10 @@ mod tests {
                 mode: Mode::HighThroughput,
             },
             Message::Shutdown,
+            Message::Reject {
+                request_id: 9,
+                reason: "queue full (cap 64)".into(),
+            },
         ];
         for msg in msgs {
             assert_eq!(Message::decode(msg.encode()).expect("decode"), msg);

@@ -95,7 +95,8 @@ impl<T: Transport> Worker<T> {
                     Message::Hello { .. }
                     | Message::DeployAck { .. }
                     | Message::Logits { .. }
-                    | Message::HeartbeatAck { .. },
+                    | Message::HeartbeatAck { .. }
+                    | Message::Reject { .. },
                 )) => {}
                 Ok(None) => {}
                 Err(e) => return (WorkerExit::LinkLost(e), self.engine),

@@ -40,6 +40,53 @@ pub struct FluidModel {
 /// Names of the standalone fluid sub-networks, narrow to wide.
 pub const STANDALONE_SUBNETS: [&str; 4] = ["lower25", "lower50", "upper25", "upper50"];
 
+/// The standard fluid sub-network registry for `arch` (the table in
+/// [`FluidModel`]'s docs). Specs are pure structure — derived from the
+/// ladder and stage count alone — so callers that only need a spec (e.g.
+/// the serving layer looking up `combined100` for a loaded checkpoint)
+/// can build them without initializing any weights.
+///
+/// # Panics
+///
+/// Panics if the architecture's ladder has fewer than 4 levels (the
+/// quarter structure needs 25/50/75/100 points).
+///
+/// # Example
+///
+/// ```
+/// use fluid_models::{standard_specs, Arch};
+/// let specs = standard_specs(&Arch::paper());
+/// assert!(specs.iter().any(|s| s.name == "combined100"));
+/// ```
+pub fn standard_specs(arch: &Arch) -> Vec<SubnetSpec> {
+    let w = arch.ladder.widths();
+    assert!(
+        w.len() >= 4,
+        "fluid quarter structure needs a 4-level ladder"
+    );
+    let (c25, c50, c75, c100) = (w[0], w[1], w[2], w[3]);
+    let stages = arch.conv_stages;
+
+    let lower25 = BranchSpec::uniform("lower25", ChannelRange::new(0, c25), stages, true);
+    let lower50 = BranchSpec::uniform("lower50", ChannelRange::new(0, c50), stages, true);
+    let upper25 = BranchSpec::uniform("upper25", ChannelRange::new(c50, c75), stages, true);
+    let upper50 = BranchSpec::uniform("upper50", ChannelRange::new(c50, c100), stages, true);
+
+    let mut upper25_partial = upper25.clone();
+    upper25_partial.fc_bias = false;
+    let mut upper50_partial = upper50.clone();
+    upper50_partial.fc_bias = false;
+
+    vec![
+        SubnetSpec::single(lower25),
+        SubnetSpec::single(lower50.clone()),
+        SubnetSpec::single(upper25),
+        SubnetSpec::single(upper50),
+        SubnetSpec::collective("combined75", vec![lower50.clone(), upper25_partial]),
+        SubnetSpec::collective("combined100", vec![lower50, upper50_partial]),
+    ]
+}
+
 impl FluidModel {
     /// Creates a fluid model with fresh weights and the standard sub-network
     /// registry listed in the type docs.
@@ -49,32 +96,7 @@ impl FluidModel {
     /// Panics if the architecture's ladder has fewer than 4 levels (the
     /// quarter structure needs 25/50/75/100 points).
     pub fn new(arch: Arch, rng: &mut Prng) -> Self {
-        let w = arch.ladder.widths();
-        assert!(
-            w.len() >= 4,
-            "fluid quarter structure needs a 4-level ladder"
-        );
-        let (c25, c50, c75, c100) = (w[0], w[1], w[2], w[3]);
-        let stages = arch.conv_stages;
-
-        let lower25 = BranchSpec::uniform("lower25", ChannelRange::new(0, c25), stages, true);
-        let lower50 = BranchSpec::uniform("lower50", ChannelRange::new(0, c50), stages, true);
-        let upper25 = BranchSpec::uniform("upper25", ChannelRange::new(c50, c75), stages, true);
-        let upper50 = BranchSpec::uniform("upper50", ChannelRange::new(c50, c100), stages, true);
-
-        let mut upper25_partial = upper25.clone();
-        upper25_partial.fc_bias = false;
-        let mut upper50_partial = upper50.clone();
-        upper50_partial.fc_bias = false;
-
-        let specs = vec![
-            SubnetSpec::single(lower25),
-            SubnetSpec::single(lower50.clone()),
-            SubnetSpec::single(upper25),
-            SubnetSpec::single(upper50),
-            SubnetSpec::collective("combined75", vec![lower50.clone(), upper25_partial]),
-            SubnetSpec::collective("combined100", vec![lower50, upper50_partial]),
-        ];
+        let specs = standard_specs(&arch);
         Self {
             net: ConvNet::new(arch, rng),
             specs,

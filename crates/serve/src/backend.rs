@@ -1,0 +1,265 @@
+//! Inference backends: where a dispatched batch actually runs.
+//!
+//! A [`Backend`] is one unit of serving capacity. The scheduler only ever
+//! hands it a whole `[N, C, H, W]` batch and expects `[N, classes]` logits
+//! back; everything about *which* device(s) execute is the backend's
+//! business. Two implementations ship:
+//!
+//! * [`EngineBackend`] — the full sub-network on the local device.
+//! * [`MasterBackend`] — a High-Accuracy Master/Worker pair behind one
+//!   backend, so one serving slot can span two devices (and inherit the
+//!   pair's failure semantics: a dead link fails the slot, not the server).
+
+use crate::error::ServeError;
+use fluid_dist::{DistError, Master, Transport};
+use fluid_models::{ConvNet, SubnetSpec};
+use fluid_tensor::Tensor;
+
+/// One unit of serving capacity the dispatcher can route batches to.
+///
+/// Implementations must be [`Send`]: each backend is moved into its own
+/// worker thread. An `infer_batch` error marks the backend dead — the
+/// scheduler retries the batch elsewhere and the slot stays down until
+/// [`Server::reattach`](crate::Server::reattach).
+///
+/// # Example
+///
+/// A custom backend is a few lines — here, one that serves a constant:
+///
+/// ```
+/// use fluid_dist::DistError;
+/// use fluid_serve::Backend;
+/// use fluid_tensor::Tensor;
+///
+/// struct Constant;
+/// impl Backend for Constant {
+///     fn name(&self) -> &str {
+///         "constant"
+///     }
+///     fn input_dims(&self) -> [usize; 3] {
+///         [1, 28, 28]
+///     }
+///     fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+///         Ok(Tensor::zeros(&[x.dims()[0], 10]))
+///     }
+/// }
+/// let mut b = Constant;
+/// let out = b.infer_batch(&Tensor::zeros(&[3, 1, 28, 28])).unwrap();
+/// assert_eq!(out.dims(), &[3, 10]);
+/// ```
+pub trait Backend: Send {
+    /// A short operator-facing name (shows up in metrics and logs).
+    fn name(&self) -> &str;
+
+    /// The `[channels, height, width]` extent of one input image; the
+    /// server validates that every backend agrees and rejects mis-shaped
+    /// submissions before they reach a queue slot.
+    fn input_dims(&self) -> [usize; 3];
+
+    /// Runs the whole `[N, C, H, W]` batch, returning `[N, classes]`
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DistError`] marks this backend dead in the dispatcher.
+    fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError>;
+}
+
+/// A backend running a full sub-network in-process: every branch of `spec`
+/// is evaluated on the batch and the partial logits are summed — exactly
+/// the combined model.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{Backend, EngineBackend};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let mut backend = EngineBackend::new(
+///     "local",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// assert_eq!(backend.input_dims(), [1, 28, 28]);
+/// let logits = backend.infer_batch(&Tensor::zeros(&[2, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[2, 10]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBackend {
+    name: String,
+    net: ConvNet,
+    spec: SubnetSpec,
+}
+
+impl EngineBackend {
+    /// Wraps a (typically trained) `net`, serving `spec`'s combined output.
+    pub fn new(name: &str, net: ConvNet, spec: SubnetSpec) -> Self {
+        Self {
+            name: name.to_owned(),
+            net,
+            spec,
+        }
+    }
+
+    /// The sub-network this backend serves.
+    pub fn spec(&self) -> &SubnetSpec {
+        &self.spec
+    }
+}
+
+impl Backend for EngineBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_dims(&self) -> [usize; 3] {
+        let arch = self.net.arch();
+        [arch.image_channels, arch.image_side, arch.image_side]
+    }
+
+    fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        check_batch_shape(self.input_dims(), x).map_err(|e| DistError::Protocol(e.to_string()))?;
+        Ok(self.net.forward_subnet(x, &self.spec, false))
+    }
+}
+
+/// A backend that is itself distributed: a deployed High-Accuracy
+/// [`Master`]/Worker pair serving the combined model across two devices.
+///
+/// The caller performs the usual handshake (`await_hello`, `deploy_local`,
+/// `deploy_remote`) *before* wrapping the Master — the backend only routes
+/// batches through [`Master::infer_ha`]. A link failure mid-batch surfaces
+/// as the backend's death; build a fresh pair and
+/// [`Server::reattach`](crate::Server::reattach) it to restore capacity.
+///
+/// # Example
+///
+/// ```
+/// use fluid_dist::{
+///     extract_branch_weights, InProcTransport, Master, MasterConfig, Worker,
+/// };
+/// use fluid_serve::{Backend, MasterBackend};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let arch = Arch::tiny_28();
+/// let model = FluidModel::new(arch.clone(), &mut Prng::new(0));
+/// let (m, w) = InProcTransport::pair();
+/// let worker = std::thread::spawn(move || Worker::new(w, arch, "w0").run());
+///
+/// let mut master = Master::new(m, model.net().clone(), MasterConfig::default());
+/// master.await_hello().unwrap();
+/// let combined = model.spec("combined100").unwrap();
+/// let windows = extract_branch_weights(model.net(), &combined.branches[1]);
+/// master.deploy_local(combined.branches[0].clone());
+/// master.deploy_remote(combined.branches[1].clone(), windows).unwrap();
+///
+/// let mut backend = MasterBackend::new("pair0", master);
+/// let logits = backend.infer_batch(&Tensor::zeros(&[2, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[2, 10]);
+/// backend.master_mut().shutdown_worker();
+/// worker.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct MasterBackend<T: Transport + Send> {
+    name: String,
+    dims: [usize; 3],
+    master: Master<T>,
+}
+
+impl<T: Transport + Send> MasterBackend<T> {
+    /// Wraps an already-deployed Master.
+    pub fn new(name: &str, mut master: Master<T>) -> Self {
+        let arch = master.engine_mut().net().arch().clone();
+        Self {
+            name: name.to_owned(),
+            dims: [arch.image_channels, arch.image_side, arch.image_side],
+            master,
+        }
+    }
+
+    /// The wrapped Master (e.g. to shut its worker down in a demo).
+    pub fn master_mut(&mut self) -> &mut Master<T> {
+        &mut self.master
+    }
+}
+
+impl<T: Transport + Send> Backend for MasterBackend<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        self.master.infer_ha(x)
+    }
+}
+
+/// Checks that `x` is a non-empty `[N, C, H, W]` batch matching `dims`
+/// (`[C, H, W]`). Shared by submission-time validation and the in-proc
+/// backend.
+pub(crate) fn check_batch_shape(dims: [usize; 3], x: &Tensor) -> Result<(), ServeError> {
+    let d = x.dims();
+    if d.len() != 4 || d[1..] != dims {
+        return Err(ServeError::BadInput(format!(
+            "input shape {:?} does not fit the serving model (expected [N, {}, {}, {}])",
+            d, dims[0], dims[1], dims[2]
+        )));
+    }
+    if d[0] == 0 {
+        return Err(ServeError::BadInput("empty batch (N = 0)".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::{Arch, FluidModel};
+    use fluid_tensor::Prng;
+
+    fn tiny() -> (EngineBackend, FluidModel) {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let backend = EngineBackend::new(
+            "b0",
+            model.net().clone(),
+            model.spec("combined100").expect("spec").clone(),
+        );
+        (backend, model)
+    }
+
+    #[test]
+    fn engine_backend_matches_direct_subnet_forward() {
+        let (mut backend, mut model) = tiny();
+        let x = Tensor::from_fn(&[3, 1, 28, 28], |i| ((i % 17) as f32) / 17.0);
+        let spec = model.spec("combined100").expect("spec").clone();
+        let want = model.net_mut().forward_subnet(&x, &spec, false);
+        let got = backend.infer_batch(&x).expect("infer");
+        assert!(want.allclose(&got, 0.0));
+    }
+
+    #[test]
+    fn engine_backend_rejects_bad_shapes() {
+        let (mut backend, _) = tiny();
+        assert!(backend
+            .infer_batch(&Tensor::zeros(&[1, 3, 28, 28]))
+            .is_err());
+        assert!(backend.infer_batch(&Tensor::zeros(&[28, 28])).is_err());
+        assert!(backend
+            .infer_batch(&Tensor::zeros(&[0, 1, 28, 28]))
+            .is_err());
+    }
+
+    #[test]
+    fn batch_shape_check_wants_nonempty_4d() {
+        let dims = [1, 28, 28];
+        assert!(check_batch_shape(dims, &Tensor::zeros(&[2, 1, 28, 28])).is_ok());
+        assert!(check_batch_shape(dims, &Tensor::zeros(&[2, 1, 14, 14])).is_err());
+        assert!(check_batch_shape(dims, &Tensor::zeros(&[0, 1, 28, 28])).is_err());
+    }
+}

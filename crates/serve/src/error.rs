@@ -1,0 +1,97 @@
+//! The serving layer's error type.
+
+/// Why a request was not answered with logits.
+///
+/// Every variant is a *per-request* verdict: the server itself keeps
+/// running, and the same handle can immediately accept new work (except
+/// after [`ShuttingDown`](ServeError::ShuttingDown)).
+///
+/// # Example
+///
+/// A mis-shaped input is refused at submission, before it can occupy a
+/// queue slot:
+///
+/// ```
+/// use fluid_serve::{EngineBackend, ServeConfig, ServeError, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let backend = EngineBackend::new(
+///     "m0",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// let server = Server::start(ServeConfig::default(), vec![Box::new(backend)]).unwrap();
+/// let err = server.handle().submit(Tensor::zeros(&[28, 28])).unwrap_err();
+/// assert!(matches!(err, ServeError::BadInput(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full — the request was shed without
+    /// being enqueued. Retrying after a backoff is the client's job.
+    Overloaded {
+        /// The queue capacity (requests) that was exceeded.
+        queue_cap: usize,
+    },
+    /// The input does not fit the serving model (`[N, C, H, W]` with
+    /// `N ≥ 1` and the architecture's channel/side extents).
+    BadInput(String),
+    /// Every worker is dead; nothing can run the batch.
+    NoWorkers,
+    /// The request was dispatched but its worker failed and the retry
+    /// budget ran out.
+    WorkerFailed(String),
+    /// A remote serving front-end refused the request (the TCP client's
+    /// view of an explicit [`Message::Reject`]).
+    ///
+    /// [`Message::Reject`]: fluid_dist::Message::Reject
+    Rejected(String),
+    /// The link between a remote client and the serving front-end failed
+    /// (connect error, closed socket, reply timeout).
+    Transport(String),
+    /// The server is shutting down; queued requests are drained with this
+    /// error instead of being served.
+    ShuttingDown,
+    /// The response channel was dropped without a verdict (a serving thread
+    /// died). Should not happen in normal operation.
+    Canceled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_cap } => {
+                write!(f, "overloaded: request queue at capacity ({queue_cap})")
+            }
+            ServeError::BadInput(why) => write!(f, "bad input: {why}"),
+            ServeError::NoWorkers => write!(f, "no live workers"),
+            ServeError::WorkerFailed(why) => write!(f, "worker failed: {why}"),
+            ServeError::Rejected(why) => write!(f, "rejected by server: {why}"),
+            ServeError::Transport(why) => write!(f, "client transport: {why}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Canceled => write!(f, "request canceled without a verdict"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        assert!(ServeError::Overloaded { queue_cap: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(ServeError::BadInput("rank 2".into())
+            .to_string()
+            .contains("rank 2"));
+        assert!(ServeError::Rejected("queue full".into())
+            .to_string()
+            .contains("queue full"));
+        assert!(ServeError::NoWorkers.to_string().contains("workers"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Serving metrics: what the scheduler records and what operators read.
+//!
+//! Latency percentiles reuse [`fluid_perf::SampleWindow`], so the live
+//! numbers follow exactly the convention the queueing simulator
+//! ([`fluid_perf::simulate`]) uses for its predictions — simulated and
+//! measured p95s are directly comparable.
+
+use fluid_perf::SampleWindow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-worker counters inside a [`ServeMetrics`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerMetric {
+    /// The backend's self-reported name.
+    pub name: String,
+    /// Whether the worker is currently accepting batches.
+    pub alive: bool,
+    /// Batches this worker has completed.
+    pub batches: u64,
+    /// Input rows (images) this worker has completed.
+    pub rows: u64,
+}
+
+/// A point-in-time snapshot of the serving layer's counters.
+///
+/// Obtained from [`ServerHandle::metrics`](crate::ServerHandle::metrics) or
+/// [`Server::metrics`](crate::Server::metrics); the [`Display`] impl prints
+/// the operator-facing summary the CLI shows after `serve`/`loadgen` runs.
+///
+/// [`Display`]: std::fmt::Display
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{EngineBackend, ServeConfig, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let backend = EngineBackend::new(
+///     "m0",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// let server = Server::start(ServeConfig::default(), vec![Box::new(backend)]).unwrap();
+/// server.handle().infer(Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// let m = server.metrics();
+/// assert_eq!(m.completed, 1);
+/// assert_eq!(m.workers_alive, 1);
+/// assert!(m.p99_ms >= m.p50_ms);
+/// println!("{m}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Requests refused at the queue (shed) because it was at capacity.
+    pub shed: u64,
+    /// Requests answered with an error after dispatch.
+    pub failed: u64,
+    /// Batches re-dispatched after a worker death.
+    pub retried: u64,
+    /// Worker deaths observed since start.
+    pub worker_deaths: u64,
+    /// Workers currently accepting batches.
+    pub workers_alive: usize,
+    /// Total worker slots (alive or dead).
+    pub workers_total: usize,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Mean requests coalesced per batch (the batching win; `> 1` under
+    /// concurrent load).
+    pub mean_batch_requests: f64,
+    /// Histogram of batch sizes: `(requests per batch, batch count)`,
+    /// ascending.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Median end-to-end request latency (queue + service), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Completed requests per second of server uptime.
+    pub throughput_rps: f64,
+    /// Server uptime covered by this snapshot, seconds.
+    pub elapsed_s: f64,
+    /// Per-worker counters, in slot order.
+    pub workers: Vec<WorkerMetric>,
+}
+
+impl std::fmt::Display for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} ok / {} shed / {} failed in {:.1}s ({:.1} req/s)",
+            self.completed, self.shed, self.failed, self.elapsed_s, self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.mean_ms
+        )?;
+        write!(
+            f,
+            "batches {} (mean {:.2} req/batch), queue depth {}, workers {}/{} alive",
+            self.batches,
+            self.mean_batch_requests,
+            self.queue_depth,
+            self.workers_alive,
+            self.workers_total
+        )?;
+        if self.worker_deaths > 0 {
+            write!(
+                f,
+                ", {} deaths / {} batch retries",
+                self.worker_deaths, self.retried
+            )?;
+        }
+        for w in &self.workers {
+            write!(
+                f,
+                "\n  worker {:12} {}  {} batches / {} rows",
+                w.name,
+                if w.alive { "alive" } else { "DEAD " },
+                w.batches,
+                w.rows
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared mutable counters behind the server; snapshotted on demand.
+#[derive(Debug)]
+pub(crate) struct MetricsHub {
+    start: Instant,
+    shed: AtomicU64,
+    inner: Mutex<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    completed: u64,
+    failed: u64,
+    retried: u64,
+    worker_deaths: u64,
+    batches: u64,
+    batched_requests: u64,
+    batch_histogram: BTreeMap<usize, u64>,
+    latency_s: SampleWindow,
+    workers: Vec<WorkerCounters>,
+}
+
+#[derive(Debug)]
+struct WorkerCounters {
+    name: String,
+    alive: bool,
+    batches: u64,
+    rows: u64,
+}
+
+impl MetricsHub {
+    pub(crate) fn new(worker_names: Vec<String>) -> Self {
+        Self {
+            start: Instant::now(),
+            shed: AtomicU64::new(0),
+            inner: Mutex::new(HubInner {
+                workers: worker_names
+                    .into_iter()
+                    .map(|name| WorkerCounters {
+                        name,
+                        alive: true,
+                        batches: 0,
+                        rows: 0,
+                    })
+                    .collect(),
+                ..HubInner::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        // A poisoned hub only means a serving thread panicked mid-update;
+        // the counters remain usable for the post-mortem snapshot.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A shed request (refused at the queue). Lock-free: this sits on the
+    /// submission path of every overloaded client.
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch completed on worker `slot`: `requests` coalesced requests
+    /// covering `rows` input rows, with per-request end-to-end latencies.
+    pub(crate) fn record_batch(
+        &self,
+        slot: usize,
+        requests: usize,
+        rows: usize,
+        latencies: &[Duration],
+    ) {
+        let mut inner = self.lock();
+        inner.batches += 1;
+        inner.batched_requests += requests as u64;
+        *inner.batch_histogram.entry(requests).or_insert(0) += 1;
+        inner.completed += requests as u64;
+        for l in latencies {
+            inner.latency_s.push(l.as_secs_f64());
+        }
+        if let Some(w) = inner.workers.get_mut(slot) {
+            w.batches += 1;
+            w.rows += rows as u64;
+        }
+    }
+
+    /// `n` requests answered with an error after dispatch.
+    pub(crate) fn record_failed(&self, n: usize) {
+        self.lock().failed += n as u64;
+    }
+
+    /// Worker `slot` died; its batch is being retried elsewhere.
+    pub(crate) fn record_worker_death(&self, slot: usize) {
+        let mut inner = self.lock();
+        inner.worker_deaths += 1;
+        if let Some(w) = inner.workers.get_mut(slot) {
+            w.alive = false;
+        }
+    }
+
+    /// A batch was re-dispatched after a worker death.
+    pub(crate) fn record_retry(&self) {
+        self.lock().retried += 1;
+    }
+
+    /// Worker `slot` was reattached with a fresh backend.
+    pub(crate) fn record_reattach(&self, slot: usize, name: String) {
+        let mut inner = self.lock();
+        if let Some(w) = inner.workers.get_mut(slot) {
+            w.alive = true;
+            w.name = name;
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServeMetrics {
+        let mut inner = self.lock();
+        let elapsed_s = self.start.elapsed().as_secs_f64();
+        let to_ms = 1e3;
+        let workers: Vec<WorkerMetric> = inner
+            .workers
+            .iter()
+            .map(|w| WorkerMetric {
+                name: w.name.clone(),
+                alive: w.alive,
+                batches: w.batches,
+                rows: w.rows,
+            })
+            .collect();
+        let mean_batch_requests = if inner.batches == 0 {
+            0.0
+        } else {
+            inner.batched_requests as f64 / inner.batches as f64
+        };
+        let completed = inner.completed;
+        ServeMetrics {
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: inner.failed,
+            retried: inner.retried,
+            worker_deaths: inner.worker_deaths,
+            workers_alive: workers.iter().filter(|w| w.alive).count(),
+            workers_total: workers.len(),
+            queue_depth,
+            batches: inner.batches,
+            mean_batch_requests,
+            batch_histogram: inner
+                .batch_histogram
+                .iter()
+                .map(|(&size, &count)| (size, count))
+                .collect(),
+            p50_ms: inner.latency_s.percentile(0.50) * to_ms,
+            p95_ms: inner.latency_s.percentile(0.95) * to_ms,
+            p99_ms: inner.latency_s.percentile(0.99) * to_ms,
+            mean_ms: inner.latency_s.mean() * to_ms,
+            throughput_rps: if elapsed_s > 0.0 {
+                completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            elapsed_s,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hub_snapshots_to_zeros() {
+        let hub = MetricsHub::new(vec!["w0".into()]);
+        let m = hub.snapshot(0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.p95_ms, 0.0);
+        assert_eq!(m.mean_batch_requests, 0.0);
+        assert!(m.batch_histogram.is_empty());
+        assert_eq!(m.workers_alive, 1);
+    }
+
+    #[test]
+    fn batches_roll_up_into_histogram_and_percentiles() {
+        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()]);
+        hub.record_batch(0, 3, 3, &[Duration::from_millis(10); 3]);
+        hub.record_batch(1, 1, 1, &[Duration::from_millis(30)]);
+        hub.record_batch(0, 3, 3, &[Duration::from_millis(20); 3]);
+        hub.record_shed();
+        let m = hub.snapshot(2);
+        assert_eq!(m.completed, 7);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.batches, 3);
+        assert_eq!(m.queue_depth, 2);
+        assert_eq!(m.batch_histogram, vec![(1, 1), (3, 2)]);
+        assert!((m.mean_batch_requests - 7.0 / 3.0).abs() < 1e-9);
+        assert!(m.p50_ms >= 10.0 && m.p50_ms <= 30.0);
+        assert_eq!(m.workers[0].batches, 2);
+        assert_eq!(m.workers[1].rows, 1);
+    }
+
+    #[test]
+    fn death_and_reattach_flip_liveness() {
+        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()]);
+        hub.record_worker_death(1);
+        hub.record_retry();
+        let m = hub.snapshot(0);
+        assert_eq!(m.workers_alive, 1);
+        assert_eq!(m.worker_deaths, 1);
+        assert_eq!(m.retried, 1);
+        hub.record_reattach(1, "w1b".into());
+        let m = hub.snapshot(0);
+        assert_eq!(m.workers_alive, 2);
+        assert_eq!(m.workers[1].name, "w1b");
+    }
+
+    #[test]
+    fn display_is_operator_readable() {
+        let hub = MetricsHub::new(vec!["w0".into()]);
+        hub.record_batch(0, 2, 2, &[Duration::from_millis(5); 2]);
+        let text = hub.snapshot(0).to_string();
+        assert!(text.contains("served 2 ok"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("worker w0"), "{text}");
+    }
+}

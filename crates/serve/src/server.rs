@@ -1,0 +1,940 @@
+//! The batching server: bounded request queue → micro-batcher → worker
+//! dispatcher.
+//!
+//! One scheduler thread owns the queue and the batching clock; one thread
+//! per [`Backend`] runs the actual forward passes. The scheduler coalesces
+//! queued requests into batches of up to [`ServeConfig::max_batch`] rows
+//! (waiting at most [`ServeConfig::max_wait`] after the first request) and
+//! routes each batch to the least-loaded live worker, breaking ties
+//! round-robin. Because per-sample computations inside one forward pass are
+//! independent, a coalesced batch's rows are **bit-identical** to serving
+//! each request alone — batching changes latency and throughput, never
+//! answers.
+
+use crate::backend::{check_batch_shape, Backend};
+use crate::error::ServeError;
+use crate::metrics::{MetricsHub, ServeMetrics};
+use fluid_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The scheduler's three operator knobs. See `docs/SERVING.md` for the
+/// tuning guide.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::ServeConfig;
+/// use std::time::Duration;
+///
+/// let cfg = ServeConfig {
+///     max_batch: 16,
+///     max_wait: Duration::from_millis(2),
+///     queue_cap: 512,
+/// };
+/// assert!(cfg.max_batch > ServeConfig::default().max_batch);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum input rows coalesced into one dispatched batch. `1`
+    /// disables batching entirely.
+    pub max_batch: usize,
+    /// How long the first request of a forming batch waits for co-riders
+    /// before the batch is dispatched anyway. Bounds the latency cost of
+    /// batching.
+    pub max_wait: Duration,
+    /// Maximum *outstanding* requests — admitted but not yet answered,
+    /// whether queued, batching, or in flight on a worker. A submission
+    /// past this is shed with [`ServeError::Overloaded`] instead of
+    /// growing the backlog.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// A pending response: resolved by [`Ticket::wait`].
+///
+/// Dropping a ticket abandons the response (the inference still runs; its
+/// result is discarded).
+///
+/// # Example
+///
+/// Submitting several requests before waiting is what gives the scheduler
+/// something to batch:
+///
+/// ```
+/// use fluid_serve::{EngineBackend, ServeConfig, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let backend = EngineBackend::new(
+///     "m0",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// let server = Server::start(ServeConfig::default(), vec![Box::new(backend)]).unwrap();
+/// let handle = server.handle();
+/// let tickets: Vec<_> = (0..4)
+///     .map(|_| handle.submit(Tensor::zeros(&[1, 1, 28, 28])).unwrap())
+///     .collect();
+/// for t in tickets {
+///     assert_eq!(t.wait().unwrap().dims(), &[1, 10]);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Tensor, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request's verdict arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's [`ServeError`], or [`ServeError::Canceled`] if
+    /// the serving thread died without answering.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Like [`wait`](Ticket::wait) but gives up after `timeout`, returning
+    /// `None` (the ticket is consumed; the response is abandoned).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Tensor, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(verdict) => Some(verdict),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Canceled)),
+        }
+    }
+}
+
+/// One queued request.
+struct Request {
+    input: Tensor,
+    rows: usize,
+    respond: Sender<Result<Tensor, ServeError>>,
+    enqueued: Instant,
+    depth: Arc<AtomicUsize>,
+}
+
+/// One request's share of a dispatched batch. The `depth` handle is the
+/// admission counter: it is decremented exactly once, when the part is
+/// answered (with logits or an error) — *not* when it leaves the queue —
+/// so `queue_cap` bounds everything admitted and unanswered.
+struct Part {
+    respond: Sender<Result<Tensor, ServeError>>,
+    rows: usize,
+    enqueued: Instant,
+    depth: Arc<AtomicUsize>,
+}
+
+impl Part {
+    fn answer(self, verdict: Result<Tensor, ServeError>) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        let _ = self.respond.send(verdict);
+    }
+}
+
+/// A coalesced batch on its way to (or back from) a worker.
+struct Job {
+    input: Tensor,
+    parts: Vec<Part>,
+    attempts: usize,
+}
+
+impl Job {
+    fn rows(&self) -> usize {
+        self.input.dims()[0]
+    }
+
+    fn fail(self, err: &ServeError, metrics: &MetricsHub) {
+        metrics.record_failed(self.parts.len());
+        for part in self.parts {
+            part.answer(Err(err.clone()));
+        }
+    }
+}
+
+enum SchedMsg {
+    Request(Request),
+    /// A batch bounced off a dying worker; re-dispatch it ahead of the
+    /// queue (its requests have already waited once).
+    Retry(Job),
+}
+
+enum SlotMsg {
+    Job(Job),
+    Stop,
+}
+
+/// Dispatcher-visible state of one worker slot.
+struct SlotShared {
+    alive: AtomicBool,
+    in_flight_rows: AtomicUsize,
+}
+
+struct Slot {
+    tx: Option<Sender<SlotMsg>>,
+    shared: Arc<SlotShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Client-side state shared by every [`ServerHandle`] clone.
+struct HandleShared {
+    depth: Arc<AtomicUsize>,
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+    dims: [usize; 3],
+    metrics: Arc<MetricsHub>,
+}
+
+/// A cheap, cloneable, thread-safe client of a running [`Server`].
+///
+/// Handles outlive nothing: once the server shuts down, submissions fail
+/// with [`ServeError::ShuttingDown`].
+pub struct ServerHandle {
+    tx: Sender<SchedMsg>,
+    shared: Arc<HandleShared>,
+}
+
+impl Clone for ServerHandle {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("queue_depth", &self.queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Enqueues an `[N, C, H, W]` inference request (`N ≥ 1`; a request
+    /// larger than `max_batch` is dispatched as its own batch) and returns
+    /// a [`Ticket`] for the `[N, classes]` logits.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadInput`] — the shape does not fit the model.
+    /// * [`ServeError::Overloaded`] — the queue is at `queue_cap`; the
+    ///   request was shed without being enqueued.
+    /// * [`ServeError::ShuttingDown`] — the server is stopping.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        check_batch_shape(self.shared.dims, &input)?;
+        // Reserve a queue slot or shed — explicit backpressure, applied
+        // before the request consumes any memory in the queue.
+        let cap = self.shared.cfg.queue_cap;
+        if self
+            .shared
+            .depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+                (d < cap).then_some(d + 1)
+            })
+            .is_err()
+        {
+            self.shared.metrics.record_shed();
+            return Err(ServeError::Overloaded { queue_cap: cap });
+        }
+        let rows = input.dims()[0];
+        let (respond, rx) = mpsc::channel();
+        let request = Request {
+            input,
+            rows,
+            respond,
+            enqueued: Instant::now(),
+            depth: Arc::clone(&self.shared.depth),
+        };
+        if self.tx.send(SchedMsg::Request(request)).is_err() {
+            self.shared.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: [`submit`](ServerHandle::submit) then
+    /// [`Ticket::wait`] — one blocking round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the submission or serving error.
+    pub fn infer(&self, input: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Requests currently admitted and unanswered (queued, batching, or in
+    /// flight on a worker) — the quantity `queue_cap` bounds.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics.snapshot(self.queue_depth())
+    }
+}
+
+/// A running batched-serving instance: owns the scheduler and one worker
+/// thread per [`Backend`]. Dropping (or [`shutdown`](Server::shutdown)ting)
+/// the server drains the queue with [`ServeError::ShuttingDown`], lets
+/// in-flight batches finish, and joins every thread.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{EngineBackend, ServeConfig, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let spec = model.spec("combined100").unwrap().clone();
+/// // Two in-proc replicas of the same model = two serving slots.
+/// let backends: Vec<Box<dyn fluid_serve::Backend>> = (0..2)
+///     .map(|i| {
+///         Box::new(EngineBackend::new(
+///             &format!("replica{i}"),
+///             model.net().clone(),
+///             spec.clone(),
+///         )) as Box<dyn fluid_serve::Backend>
+///     })
+///     .collect();
+/// let server = Server::start(ServeConfig::default(), backends).unwrap();
+/// let logits = server.handle().infer(Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// let metrics = server.shutdown();
+/// assert_eq!(metrics.completed, 1);
+/// ```
+pub struct Server {
+    handle: ServerHandle,
+    sched_tx: Sender<SchedMsg>,
+    scheduler: Option<JoinHandle<()>>,
+    slots: Arc<Mutex<Vec<Slot>>>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<MetricsHub>,
+    dims: [usize; 3],
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("dims", &self.dims)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How long idle serving threads sleep between shutdown-flag checks.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+impl Server {
+    /// Boots the serving instance: one scheduler plus one thread per
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when `backends` is empty, the
+    /// backends disagree on input dimensions, or a knob is zero
+    /// (`max_batch` and `queue_cap` must both be at least 1).
+    pub fn start(cfg: ServeConfig, backends: Vec<Box<dyn Backend>>) -> Result<Server, ServeError> {
+        if backends.is_empty() {
+            return Err(ServeError::BadInput("no backends".into()));
+        }
+        if cfg.max_batch == 0 || cfg.queue_cap == 0 {
+            return Err(ServeError::BadInput(
+                "max_batch and queue_cap must be at least 1".into(),
+            ));
+        }
+        let dims = backends[0].input_dims();
+        if let Some(b) = backends.iter().find(|b| b.input_dims() != dims) {
+            return Err(ServeError::BadInput(format!(
+                "backend {:?} serves input {:?}, others serve {:?}",
+                b.name(),
+                b.input_dims(),
+                dims
+            )));
+        }
+        let metrics = Arc::new(MetricsHub::new(
+            backends.iter().map(|b| b.name().to_owned()).collect(),
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (sched_tx, sched_rx) = mpsc::channel::<SchedMsg>();
+
+        let slots: Vec<Slot> = backends
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| spawn_slot(i, backend, &sched_tx, &metrics))
+            .collect();
+        let slots = Arc::new(Mutex::new(slots));
+
+        let handle_shared = Arc::new(HandleShared {
+            depth: Arc::new(AtomicUsize::new(0)),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+            dims,
+            metrics: Arc::clone(&metrics),
+        });
+        let handle = ServerHandle {
+            tx: sched_tx.clone(),
+            shared: Arc::clone(&handle_shared),
+        };
+
+        let scheduler = {
+            let slots = Arc::clone(&slots);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                scheduler_loop(sched_rx, &slots, &cfg, &handle_shared, &metrics, &shutdown)
+            })
+        };
+
+        Ok(Server {
+            handle,
+            sched_tx,
+            scheduler: Some(scheduler),
+            slots,
+            shutdown,
+            metrics,
+            dims,
+        })
+    }
+
+    /// A new client handle (cheap; clone freely across threads).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// A snapshot of the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.snapshot(self.handle.queue_depth())
+    }
+
+    /// Worker slots currently accepting batches.
+    pub fn alive_workers(&self) -> usize {
+        lock_slots(&self.slots)
+            .iter()
+            .filter(|s| s.shared.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Replaces worker slot `index` with a fresh backend — the serving
+    /// layer's reattach: after a [`MasterBackend`](crate::MasterBackend)'s
+    /// link dies, build a replacement pair and plug it back in; capacity is
+    /// restored without touching in-flight traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when `index` is out of range or the
+    /// replacement serves different input dimensions.
+    pub fn reattach(&self, index: usize, backend: Box<dyn Backend>) -> Result<(), ServeError> {
+        if backend.input_dims() != self.dims {
+            return Err(ServeError::BadInput(format!(
+                "replacement serves input {:?}, server serves {:?}",
+                backend.input_dims(),
+                self.dims
+            )));
+        }
+        let name = backend.name().to_owned();
+        // Retire the old slot. The tx/thread are taken *under* the lock
+        // (from then on the dispatcher skips the slot — `tx` is `None`)
+        // but the potentially slow Stop+join happens *outside* it, so the
+        // scheduler keeps dispatching to healthy workers throughout.
+        let (old_tx, old_thread) = {
+            let mut slots = lock_slots(&self.slots);
+            if index >= slots.len() {
+                return Err(ServeError::BadInput(format!(
+                    "no worker slot {index} (have {})",
+                    slots.len()
+                )));
+            }
+            (slots[index].tx.take(), slots[index].thread.take())
+        };
+        if let Some(tx) = old_tx {
+            let _ = tx.send(SlotMsg::Stop);
+        }
+        if let Some(t) = old_thread {
+            let _ = t.join();
+        }
+        let mut slots = lock_slots(&self.slots);
+        slots[index] = spawn_slot(index, backend, &self.sched_tx, &self.metrics);
+        self.metrics.record_reattach(index, name);
+        Ok(())
+    }
+
+    /// Stops the server: sheds everything still queued with
+    /// [`ServeError::ShuttingDown`], completes in-flight batches, joins all
+    /// threads, and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.stop();
+        self.metrics.snapshot(0)
+    }
+
+    fn stop(&mut self) {
+        self.handle.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.scheduler.take() {
+            let _ = t.join();
+        }
+        let mut slots = lock_slots(&self.slots);
+        for slot in slots.iter_mut() {
+            if let Some(tx) = slot.tx.take() {
+                let _ = tx.send(SlotMsg::Stop);
+            }
+        }
+        for slot in slots.iter_mut() {
+            if let Some(t) = slot.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock_slots(slots: &Mutex<Vec<Slot>>) -> std::sync::MutexGuard<'_, Vec<Slot>> {
+    slots.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spawn_slot(
+    index: usize,
+    backend: Box<dyn Backend>,
+    sched_tx: &Sender<SchedMsg>,
+    metrics: &Arc<MetricsHub>,
+) -> Slot {
+    let (tx, rx) = mpsc::channel::<SlotMsg>();
+    let shared = Arc::new(SlotShared {
+        alive: AtomicBool::new(true),
+        in_flight_rows: AtomicUsize::new(0),
+    });
+    let thread = {
+        let shared = Arc::clone(&shared);
+        let retry_tx = sched_tx.clone();
+        let metrics = Arc::clone(metrics);
+        std::thread::spawn(move || worker_loop(index, backend, rx, &shared, retry_tx, &metrics))
+    };
+    Slot {
+        tx: Some(tx),
+        shared,
+        thread: Some(thread),
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    mut backend: Box<dyn Backend>,
+    rx: Receiver<SlotMsg>,
+    shared: &SlotShared,
+    retry_tx: Sender<SchedMsg>,
+    metrics: &MetricsHub,
+) {
+    // After a backend failure the thread *parks* instead of exiting:
+    // anything still queued on (or racing into) this slot's channel is
+    // bounced back to the scheduler rather than dropped, so no request is
+    // ever lost and no admission slot leaks. Only `Stop` ends the loop.
+    let mut dead = false;
+    while let Ok(msg) = rx.recv() {
+        let mut job = match msg {
+            SlotMsg::Stop => break,
+            SlotMsg::Job(job) => job,
+        };
+        let rows = job.rows();
+        if dead {
+            shared.in_flight_rows.fetch_sub(rows, Ordering::SeqCst);
+            bounce(job, &retry_tx, metrics, "dispatched to a dead worker");
+            continue;
+        }
+        let result = backend.infer_batch(&job.input);
+        shared.in_flight_rows.fetch_sub(rows, Ordering::SeqCst);
+        let logits = match result {
+            Ok(logits) if logits.dims().len() == 2 && logits.dims()[0] == rows => logits,
+            Ok(bad) => {
+                // A backend answering with the wrong shape is as dead as
+                // one that errored — its future answers can't be trusted.
+                dead = true;
+                shared.alive.store(false, Ordering::SeqCst);
+                metrics.record_worker_death(index);
+                let why = format!("backend returned logits {:?} for {} rows", bad.dims(), rows);
+                bounce(job, &retry_tx, metrics, &why);
+                continue;
+            }
+            Err(e) => {
+                dead = true;
+                shared.alive.store(false, Ordering::SeqCst);
+                metrics.record_worker_death(index);
+                bounce(job, &retry_tx, metrics, &e.to_string());
+                continue;
+            }
+        };
+        let now = Instant::now();
+        let latencies: Vec<Duration> = job
+            .parts
+            .iter()
+            .map(|p| now.duration_since(p.enqueued))
+            .collect();
+        metrics.record_batch(index, job.parts.len(), rows, &latencies);
+        let mut lo = 0;
+        for part in job.parts.drain(..) {
+            let piece = logits.slice_rows(lo, lo + part.rows);
+            lo += part.rows;
+            part.answer(Ok(piece));
+        }
+    }
+}
+
+/// Sends a job back to the scheduler for dispatch to another worker,
+/// answering it directly if the scheduler is already gone (shutdown).
+fn bounce(mut job: Job, retry_tx: &Sender<SchedMsg>, metrics: &MetricsHub, why: &str) {
+    job.attempts += 1;
+    let job = match retry_tx.send(SchedMsg::Retry(job)) {
+        Ok(()) => return,
+        Err(mpsc::SendError(SchedMsg::Retry(job))) => job,
+        Err(_) => unreachable!("send returns what it was given"),
+    };
+    job.fail(&ServeError::WorkerFailed(why.to_owned()), metrics);
+}
+
+fn scheduler_loop(
+    rx: Receiver<SchedMsg>,
+    slots: &Mutex<Vec<Slot>>,
+    cfg: &ServeConfig,
+    handle: &HandleShared,
+    metrics: &MetricsHub,
+    shutdown: &AtomicBool,
+) {
+    // A request that arrived while the forming batch was already full; it
+    // seeds the next batch.
+    let mut carry: Option<Request> = None;
+    let mut rr_cursor = 0usize;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            drain_on_shutdown(&rx, carry.take(), metrics);
+            return;
+        }
+        // Seed a batch with the carried request or the next arrival.
+        let first = match carry.take() {
+            Some(r) => r,
+            None => match rx.recv_timeout(IDLE_TICK) {
+                Ok(SchedMsg::Request(r)) => r,
+                Ok(SchedMsg::Retry(job)) => {
+                    metrics.record_retry();
+                    dispatch(job, slots, &mut rr_cursor, metrics);
+                    continue;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+        };
+        // Coalesce co-riders until the batch is full or max_wait elapses.
+        fn absorb(r: Request, data: &mut Vec<f32>, rows: &mut usize, parts: &mut Vec<Part>) {
+            data.extend_from_slice(r.input.data());
+            *rows += r.rows;
+            parts.push(Part {
+                respond: r.respond,
+                rows: r.rows,
+                enqueued: r.enqueued,
+                depth: r.depth,
+            });
+        }
+        let mut parts = Vec::new();
+        let mut data = Vec::new();
+        let mut rows = 0usize;
+        absorb(first, &mut data, &mut rows, &mut parts);
+        let deadline = Instant::now() + cfg.max_wait;
+        while rows < cfg.max_batch && carry.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(SchedMsg::Request(r)) => {
+                    if rows + r.rows > cfg.max_batch {
+                        carry = Some(r); // doesn't fit: seeds the next batch
+                    } else {
+                        absorb(r, &mut data, &mut rows, &mut parts);
+                    }
+                }
+                Ok(SchedMsg::Retry(job)) => {
+                    metrics.record_retry();
+                    dispatch(job, slots, &mut rr_cursor, metrics);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let [c, h, w] = handle.dims;
+        let job = Job {
+            input: Tensor::from_vec(data, &[rows, c, h, w]),
+            parts,
+            attempts: 0,
+        };
+        dispatch(job, slots, &mut rr_cursor, metrics);
+    }
+}
+
+/// Routes one batch to the least-loaded live worker (fewest in-flight
+/// rows), breaking ties round-robin so equally-idle workers share traffic.
+fn dispatch(mut job: Job, slots: &Mutex<Vec<Slot>>, rr_cursor: &mut usize, metrics: &MetricsHub) {
+    loop {
+        let slots = lock_slots(slots);
+        let n = slots.len();
+        if job.attempts > n {
+            drop(slots);
+            job.fail(
+                &ServeError::WorkerFailed("retry budget exhausted".into()),
+                metrics,
+            );
+            return;
+        }
+        let start = *rr_cursor % n.max(1);
+        let chosen = (0..n)
+            .map(|k| (start + k) % n)
+            .filter(|&i| slots[i].tx.is_some() && slots[i].shared.alive.load(Ordering::SeqCst))
+            .min_by_key(|&i| slots[i].shared.in_flight_rows.load(Ordering::SeqCst));
+        let Some(i) = chosen else {
+            drop(slots);
+            job.fail(&ServeError::NoWorkers, metrics);
+            return;
+        };
+        *rr_cursor = i + 1;
+        let rows = job.rows();
+        slots[i]
+            .shared
+            .in_flight_rows
+            .fetch_add(rows, Ordering::SeqCst);
+        let tx = slots[i].tx.as_ref().expect("filtered on tx.is_some");
+        match tx.send(SlotMsg::Job(job)) {
+            Ok(()) => return,
+            Err(mpsc::SendError(SlotMsg::Job(bounced))) => {
+                // The worker thread is gone (died between our liveness check
+                // and the send): mark it and try the next slot.
+                slots[i]
+                    .shared
+                    .in_flight_rows
+                    .fetch_sub(rows, Ordering::SeqCst);
+                slots[i].shared.alive.store(false, Ordering::SeqCst);
+                job = bounced;
+                job.attempts += 1;
+            }
+            Err(_) => unreachable!("send returns what it was given"),
+        }
+    }
+}
+
+/// Answers everything still queued with `ShuttingDown`, then returns.
+fn drain_on_shutdown(rx: &Receiver<SchedMsg>, carry: Option<Request>, metrics: &MetricsHub) {
+    let reject = |r: Request| {
+        metrics.record_failed(1);
+        r.depth.fetch_sub(1, Ordering::SeqCst);
+        let _ = r.respond.send(Err(ServeError::ShuttingDown));
+    };
+    if let Some(r) = carry {
+        reject(r);
+    }
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            SchedMsg::Request(r) => reject(r),
+            SchedMsg::Retry(job) => job.fail(&ServeError::ShuttingDown, metrics),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EngineBackend;
+    use fluid_models::{Arch, FluidModel};
+    use fluid_tensor::Prng;
+
+    fn tiny_backend(name: &str, seed: u64) -> Box<dyn Backend> {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(seed));
+        Box::new(EngineBackend::new(
+            name,
+            model.net().clone(),
+            model.spec("combined100").expect("spec").clone(),
+        ))
+    }
+
+    #[test]
+    fn start_requires_backends_and_sane_knobs() {
+        assert!(matches!(
+            Server::start(ServeConfig::default(), vec![]),
+            Err(ServeError::BadInput(_))
+        ));
+        let cfg = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Server::start(cfg, vec![tiny_backend("b", 0)]).is_err());
+    }
+
+    #[test]
+    fn mismatched_backend_dims_are_refused() {
+        let model14 = FluidModel::new(Arch::tiny(), &mut Prng::new(0));
+        let b14 = Box::new(EngineBackend::new(
+            "b14",
+            model14.net().clone(),
+            model14.spec("combined100").expect("spec").clone(),
+        ));
+        let err = Server::start(ServeConfig::default(), vec![tiny_backend("b28", 0), b14])
+            .expect_err("dims disagree");
+        assert!(matches!(err, ServeError::BadInput(_)), "{err}");
+    }
+
+    #[test]
+    fn submit_validates_shape_before_queueing() {
+        let server =
+            Server::start(ServeConfig::default(), vec![tiny_backend("b", 1)]).expect("start");
+        let h = server.handle();
+        assert!(matches!(
+            h.submit(Tensor::zeros(&[1, 1, 14, 14])),
+            Err(ServeError::BadInput(_))
+        ));
+        assert_eq!(h.queue_depth(), 0);
+        assert_eq!(h.metrics().shed, 0);
+    }
+
+    #[test]
+    fn oversized_request_is_served_alone() {
+        let cfg = ServeConfig {
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, vec![tiny_backend("b", 2)]).expect("start");
+        let logits = server
+            .handle()
+            .infer(Tensor::zeros(&[7, 1, 28, 28]))
+            .expect("oversized batch still served");
+        assert_eq!(logits.dims(), &[7, 10]);
+        let m = server.shutdown();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.batch_histogram, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let server =
+            Server::start(ServeConfig::default(), vec![tiny_backend("b", 3)]).expect("start");
+        let h = server.handle();
+        h.infer(Tensor::zeros(&[1, 1, 28, 28])).expect("serves");
+        drop(server);
+        assert!(matches!(
+            h.submit(Tensor::zeros(&[1, 1, 28, 28])),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn dying_worker_answers_every_queued_request_and_leaks_no_admission_slots() {
+        /// Fails every batch after the first, with enough per-batch delay
+        /// that later submissions queue up behind the failure.
+        struct FailsAfterFirst {
+            inner: EngineBackend,
+            served: usize,
+        }
+        impl Backend for FailsAfterFirst {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn input_dims(&self) -> [usize; 3] {
+                self.inner.input_dims()
+            }
+            fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, fluid_dist::DistError> {
+                std::thread::sleep(Duration::from_millis(10));
+                self.served += 1;
+                if self.served > 1 {
+                    return Err(fluid_dist::DistError::WorkerDown);
+                }
+                self.inner.infer_batch(x)
+            }
+        }
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(6));
+        let flaky = Box::new(FailsAfterFirst {
+            inner: EngineBackend::new(
+                "flaky",
+                model.net().clone(),
+                model.spec("combined100").expect("spec").clone(),
+            ),
+            served: 0,
+        });
+        let cfg = ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(100),
+            queue_cap: 8,
+        };
+        let server = Server::start(cfg, vec![flaky]).expect("start");
+        let h = server.handle();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| h.submit(Tensor::zeros(&[1, 1, 28, 28])).expect("submit"))
+            .collect();
+        let mut ok = 0;
+        let mut explicit_errors = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => ok += 1,
+                // Every unserved request must get an explicit verdict —
+                // never Canceled (a dropped, unanswered response channel).
+                Err(ServeError::WorkerFailed(_)) | Err(ServeError::NoWorkers) => {
+                    explicit_errors += 1
+                }
+                Err(other) => panic!("unexpected verdict {other}"),
+            }
+        }
+        assert_eq!(ok, 1);
+        assert_eq!(explicit_errors, 5);
+        // No admission slot may leak: with all six answered, the bound is
+        // fully available again.
+        assert_eq!(h.queue_depth(), 0, "admission counter leaked");
+        let m = server.shutdown();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 5);
+        assert_eq!(m.worker_deaths, 1);
+    }
+
+    #[test]
+    fn two_workers_share_traffic() {
+        let cfg = ServeConfig {
+            max_batch: 1, // force one batch per request
+            max_wait: Duration::from_micros(100),
+            queue_cap: 64,
+        };
+        let server =
+            Server::start(cfg, vec![tiny_backend("a", 4), tiny_backend("a2", 4)]).expect("start");
+        let h = server.handle();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| h.submit(Tensor::zeros(&[1, 1, 28, 28])).expect("submit"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        let m = server.shutdown();
+        assert_eq!(m.completed, 8);
+        // Round-robin tie-breaking: both workers saw work.
+        assert!(
+            m.workers.iter().all(|w| w.batches > 0),
+            "worker split {:?}",
+            m.workers
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The TCP front-end: remote clients speak the existing `fluid-dist` wire
+//! protocol (`Infer` → `Logits`), plus the explicit [`Message::Reject`]
+//! verdict that makes the serving layer's backpressure visible on the wire
+//! instead of burning the client's request timeout.
+
+use crate::error::ServeError;
+use crate::loadgen::InferClient;
+use crate::server::ServerHandle;
+use fluid_dist::{Message, TcpTransport, Transport};
+use fluid_tensor::Tensor;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often connection threads and the accept loop poll for shutdown.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Serves the batching instance behind `handle` over TCP until `shutdown`
+/// flips, then joins every connection thread.
+///
+/// Each accepted connection gets its own thread speaking the length-prefixed
+/// `fluid-dist` frame protocol: every [`Message::Infer`] is submitted to
+/// the shared queue and answered with [`Message::Logits`], or with
+/// [`Message::Reject`] when the request is shed, malformed, or fails. A
+/// client-sent [`Message::Shutdown`] closes just that connection.
+/// Concurrent connections are what the scheduler coalesces into batches.
+///
+/// # Errors
+///
+/// Returns the listener's I/O error; per-connection failures only end that
+/// connection.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{serve_tcp, EngineBackend, ServeConfig, Server, TcpClient};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let backend = EngineBackend::new(
+///     "m0",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// let server = Server::start(ServeConfig::default(), vec![Box::new(backend)]).unwrap();
+///
+/// let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+/// let addr = listener.local_addr().unwrap();
+/// let shutdown = Arc::new(AtomicBool::new(false));
+/// let front = {
+///     let (handle, shutdown) = (server.handle(), Arc::clone(&shutdown));
+///     std::thread::spawn(move || serve_tcp(listener, handle, shutdown))
+/// };
+///
+/// let mut client = TcpClient::connect(&addr.to_string()).unwrap();
+/// let logits = client.infer(&Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// drop(client);
+///
+/// shutdown.store(true, Ordering::SeqCst);
+/// front.join().unwrap().unwrap();
+/// ```
+pub fn serve_tcp(
+    listener: TcpListener,
+    handle: ServerHandle,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut connections = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let handle = handle.clone();
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &handle, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Reap finished connection threads so a long-lived server
+                // does not accumulate one JoinHandle per client forever.
+                connections.retain(|c: &std::thread::JoinHandle<()>| !c.is_finished());
+                std::thread::sleep(POLL)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// One connection's serving loop: `Infer` in, `Logits`/`Reject` out.
+fn serve_connection(
+    stream: TcpStream,
+    handle: &ServerHandle,
+    shutdown: &AtomicBool,
+) -> Result<(), ServeError> {
+    let mut transport =
+        TcpTransport::new(stream).map_err(|e| ServeError::Transport(e.to_string()))?;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match transport.recv_timeout(POLL) {
+            Ok(Some(Message::Infer { request_id, input })) => {
+                let reply = match handle.infer(input) {
+                    Ok(logits) => Message::Logits { request_id, logits },
+                    Err(e) => Message::Reject {
+                        request_id,
+                        reason: e.to_string(),
+                    },
+                };
+                transport
+                    .send(&reply)
+                    .map_err(|e| ServeError::Transport(e.to_string()))?;
+            }
+            Ok(Some(Message::Shutdown)) => return Ok(()),
+            Ok(Some(Message::Heartbeat { seq })) => {
+                transport
+                    .send(&Message::HeartbeatAck { seq })
+                    .map_err(|e| ServeError::Transport(e.to_string()))?;
+            }
+            Ok(Some(_)) => {} // not part of the serving dialogue: ignore
+            Ok(None) => {}
+            Err(e) => return Err(ServeError::Transport(e.to_string())),
+        }
+    }
+}
+
+/// A blocking TCP client of [`serve_tcp`], usable directly or as the
+/// closed-loop loadgen's [`InferClient`].
+///
+/// # Example
+///
+/// See [`serve_tcp`] for the full round trip; connection errors surface as
+/// [`ServeError::Transport`]:
+///
+/// ```
+/// use fluid_serve::{ServeError, TcpClient};
+/// // Nothing listens on this port.
+/// let err = TcpClient::connect("127.0.0.1:1").unwrap_err();
+/// assert!(matches!(err, ServeError::Transport(_)));
+/// ```
+#[derive(Debug)]
+pub struct TcpClient {
+    transport: TcpTransport,
+    next_id: u64,
+    timeout: Duration,
+}
+
+impl TcpClient {
+    /// Connects to a serving front-end at `addr` (default 30 s reply
+    /// timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Transport`] when the connection fails.
+    pub fn connect(addr: &str) -> Result<TcpClient, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::Transport(e.to_string()))?;
+        Ok(TcpClient {
+            transport: TcpTransport::new(stream)
+                .map_err(|e| ServeError::Transport(e.to_string()))?,
+            next_id: 1,
+            timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// Sets the per-request reply timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> TcpClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One blocking `[N, C, H, W]` → `[N, classes]` round trip.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Rejected`] — the server refused the request
+    ///   (overload, bad input, shutdown); the reason is the server's.
+    /// * [`ServeError::Transport`] — link failure or reply timeout.
+    pub fn infer(&mut self, x: &Tensor) -> Result<Tensor, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transport
+            .send(&Message::Infer {
+                request_id: id,
+                input: x.clone(),
+            })
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Transport(format!(
+                    "no reply to request {id} within {:?}",
+                    self.timeout
+                )));
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(Some(Message::Logits { request_id, logits })) if request_id == id => {
+                    return Ok(logits)
+                }
+                Ok(Some(Message::Reject { request_id, reason })) if request_id == id => {
+                    return Err(ServeError::Rejected(reason))
+                }
+                Ok(_) => continue, // stale replies to abandoned requests
+                Err(e) => return Err(ServeError::Transport(e.to_string())),
+            }
+        }
+    }
+}
+
+impl InferClient for TcpClient {
+    fn infer(&mut self, x: &Tensor) -> Result<Tensor, ServeError> {
+        TcpClient::infer(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EngineBackend;
+    use crate::server::{ServeConfig, Server};
+    use fluid_models::{Arch, FluidModel};
+    use fluid_tensor::Prng;
+
+    fn boot(
+        cfg: ServeConfig,
+    ) -> (
+        Server,
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(5));
+        let backend = Box::new(EngineBackend::new(
+            "m0",
+            model.net().clone(),
+            model.spec("combined100").expect("spec").clone(),
+        ));
+        let server = Server::start(cfg, vec![backend]).expect("start");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let front = {
+            let (handle, shutdown) = (server.handle(), Arc::clone(&shutdown));
+            std::thread::spawn(move || serve_tcp(listener, handle, shutdown))
+        };
+        (server, addr, shutdown, front)
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_inproc() {
+        let (server, addr, shutdown, front) = boot(ServeConfig::default());
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| (i % 7) as f32 / 7.0);
+        let mut client = TcpClient::connect(&addr.to_string()).expect("connect");
+        let remote = client.infer(&x).expect("tcp infer");
+        let local = server.handle().infer(x).expect("inproc infer");
+        assert!(remote.allclose(&local, 0.0));
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+
+    #[test]
+    fn bad_input_is_an_explicit_reject_not_a_timeout() {
+        let (_server, addr, shutdown, front) = boot(ServeConfig::default());
+        let mut client = TcpClient::connect(&addr.to_string())
+            .expect("connect")
+            .with_timeout(Duration::from_secs(5));
+        let t0 = Instant::now();
+        let err = client
+            .infer(&Tensor::zeros(&[1, 1, 14, 14]))
+            .expect_err("wrong shape");
+        assert!(matches!(err, ServeError::Rejected(_)), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "reject was not explicit"
+        );
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+}

@@ -58,6 +58,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }
         }),
         Just(Message::Shutdown),
+        (any::<u64>(), "[ -~]{0,48}")
+            .prop_map(|(request_id, reason)| Message::Reject { request_id, reason }),
     ]
 }
 

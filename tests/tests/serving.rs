@@ -1,0 +1,244 @@
+//! End-to-end properties of the batched serving layer (`fluid-serve`):
+//! batching never changes answers, backpressure sheds explicitly, and a
+//! worker lost under live traffic degrades capacity instead of killing the
+//! service — with reattach restoring it.
+
+use fluid_dist::{
+    extract_branch_weights, DistError, InProcTransport, Master, MasterConfig, Worker,
+};
+use fluid_models::{Arch, FluidModel};
+use fluid_serve::{
+    loadgen, Backend, EngineBackend, MasterBackend, ServeConfig, ServeError, Server,
+};
+use fluid_tensor::{Prng, Tensor};
+use std::time::Duration;
+
+fn model(seed: u64) -> FluidModel {
+    FluidModel::new(Arch::tiny_28(), &mut Prng::new(seed))
+}
+
+fn engine_backend(name: &str, model: &FluidModel) -> Box<dyn Backend> {
+    Box::new(EngineBackend::new(
+        name,
+        model.net().clone(),
+        model.spec("combined100").expect("spec").clone(),
+    ))
+}
+
+fn input(k: usize) -> Tensor {
+    Tensor::from_fn(&[1, 1, 28, 28], |i| (((i * 31 + k * 7) % 97) as f32) / 97.0)
+}
+
+/// Boots an HA Master/Worker pair over in-proc transports serving the
+/// combined model, returns it as a serving backend plus the pair's kill
+/// switch and the worker's join handle.
+fn master_backend(
+    name: &str,
+    model: &FluidModel,
+) -> (
+    Box<dyn Backend>,
+    fluid_dist::FailureSwitch,
+    std::thread::JoinHandle<()>,
+) {
+    let arch = model.net().arch().clone();
+    let (master_side, worker_side) = InProcTransport::pair();
+    let switch = master_side.failure_switch();
+    let worker_arch = arch.clone();
+    let worker_name = name.to_owned();
+    let worker = std::thread::spawn(move || {
+        let _ = Worker::new(worker_side, worker_arch, &worker_name).run();
+    });
+    let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
+    master.await_hello().expect("hello");
+    let combined = model.spec("combined100").expect("spec");
+    let windows = extract_branch_weights(model.net(), &combined.branches[1]);
+    master.deploy_local(combined.branches[0].clone());
+    master
+        .deploy_remote(combined.branches[1].clone(), windows)
+        .expect("deploy");
+    (Box::new(MasterBackend::new(name, master)), switch, worker)
+}
+
+#[test]
+fn batched_outputs_are_bit_identical_to_sequential_inference() {
+    let mut reference = model(17);
+    let spec = reference.spec("combined100").expect("spec").clone();
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(20),
+        queue_cap: 256,
+    };
+    let server = Server::start(cfg, vec![engine_backend("m0", &model(17))]).expect("start");
+    let handle = server.handle();
+
+    // Submit a burst without waiting, so the scheduler has co-riders to
+    // coalesce; then compare every answer to unbatched execution.
+    let n = 32;
+    let tickets: Vec<_> = (0..n)
+        .map(|k| handle.submit(input(k)).expect("submit"))
+        .collect();
+    for (k, t) in tickets.into_iter().enumerate() {
+        let got = t.wait().expect("served");
+        let want = reference.net_mut().forward_subnet(&input(k), &spec, false);
+        assert!(
+            want.allclose(&got, 0.0),
+            "request {k}: batched output differs from sequential inference"
+        );
+    }
+
+    let m = server.shutdown();
+    assert_eq!(m.completed, n as u64);
+    assert!(
+        m.mean_batch_requests > 1.0,
+        "no batching happened: {} requests in {} batches",
+        m.completed,
+        m.batches
+    );
+    assert!(m.batch_histogram.iter().any(|&(size, _)| size > 1));
+}
+
+#[test]
+fn backpressure_sheds_explicitly_past_queue_cap() {
+    /// A backend slow enough that the admission bound actually fills.
+    struct SlowBackend(EngineBackend);
+    impl Backend for SlowBackend {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn input_dims(&self) -> [usize; 3] {
+            self.0.input_dims()
+        }
+        fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+            std::thread::sleep(Duration::from_millis(10));
+            self.0.infer_batch(x)
+        }
+    }
+
+    let m = model(19);
+    let cfg = ServeConfig {
+        max_batch: 2,
+        max_wait: Duration::from_millis(1),
+        queue_cap: 4,
+    };
+    let slow = Box::new(SlowBackend(EngineBackend::new(
+        "slow",
+        m.net().clone(),
+        m.spec("combined100").expect("spec").clone(),
+    )));
+    let server = Server::start(cfg, vec![slow]).expect("start");
+    let handle = server.handle();
+
+    // Fire 30 submissions as fast as possible: at most 4 can be
+    // outstanding, so most are shed — with an explicit verdict, instantly.
+    let mut tickets = Vec::new();
+    let mut shed = 0;
+    for k in 0..30 {
+        match handle.submit(input(k)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { queue_cap }) => {
+                assert_eq!(queue_cap, 4);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected verdict {other}"),
+        }
+        assert!(handle.queue_depth() <= 4, "admission bound exceeded");
+    }
+    assert!(shed > 0, "no shedding despite 30 bursts into cap 4");
+    let served = tickets.len();
+    for t in tickets {
+        t.wait().expect("admitted requests are served");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed as usize, served);
+    assert_eq!(metrics.shed as usize, shed);
+    assert_eq!(metrics.failed, 0);
+}
+
+#[test]
+fn worker_loss_under_load_degrades_and_reattach_restores() {
+    let m = model(23);
+    let (pair, switch, worker_thread) = master_backend("pair0", &m);
+    let backends = vec![engine_backend("engine0", &m), pair];
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        queue_cap: 256,
+    };
+    let server = Server::start(cfg, backends).expect("start");
+    let handle = server.handle();
+    let mut reference = model(23);
+    let spec = reference.spec("combined100").expect("spec").clone();
+
+    // Traffic with both workers up.
+    for k in 0..12 {
+        let got = handle.infer(input(k)).expect("healthy serving");
+        let want = reference.net_mut().forward_subnet(&input(k), &spec, false);
+        assert!(want.allclose(&got, 0.0));
+    }
+    assert_eq!(server.alive_workers(), 2);
+
+    // Kill the distributed pair's link mid-traffic: the in-flight batch is
+    // retried on the surviving engine, so every request still gets served.
+    switch.kill();
+    for k in 12..28 {
+        let got = handle.infer(input(k)).expect("degraded but serving");
+        let want = reference.net_mut().forward_subnet(&input(k), &spec, false);
+        assert!(want.allclose(&got, 0.0));
+    }
+    worker_thread.join().expect("worker saw the link die");
+    let mid = handle.metrics();
+    assert_eq!(mid.workers_alive, 1, "pair slot must be marked dead");
+    assert_eq!(mid.worker_deaths, 1);
+    assert_eq!(mid.failed, 0, "degradation must not fail requests");
+
+    // Reattach: a replacement pair takes the dead slot; capacity restored.
+    let (fresh_pair, _fresh_switch, fresh_worker) = master_backend("pair1", &m);
+    server.reattach(1, fresh_pair).expect("reattach");
+    assert_eq!(server.alive_workers(), 2);
+    for k in 28..52 {
+        let got = handle.infer(input(k)).expect("restored serving");
+        let want = reference.net_mut().forward_subnet(&input(k), &spec, false);
+        assert!(want.allclose(&got, 0.0));
+    }
+    let end = server.metrics();
+    assert_eq!(end.workers_alive, 2);
+    let revived = end
+        .workers
+        .iter()
+        .find(|w| w.name == "pair1")
+        .expect("replacement slot");
+    assert!(
+        revived.batches > 0,
+        "replacement worker never served: {:?}",
+        end.workers
+    );
+    drop(server);
+    // The replacement pair's worker thread exits when the server drops its
+    // MasterBackend (link closes).
+    fresh_worker.join().expect("fresh worker exits");
+}
+
+#[test]
+fn loadgen_against_inproc_server_demonstrates_batching() {
+    // The acceptance-criteria scenario: a loadgen run whose reported mean
+    // batch size exceeds 1 under concurrent load.
+    let m = model(29);
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(5),
+        queue_cap: 256,
+    };
+    let server = Server::start(cfg, vec![engine_backend("m0", &m)]).expect("start");
+    let inputs: Vec<Tensor> = (0..8).map(input).collect();
+    let handle = server.handle();
+    let report = loadgen::run_closed_loop(|_| Ok(handle.clone()), 8, 64, &inputs).expect("loadgen");
+    assert_eq!(report.completed, 64);
+    assert_eq!(report.shed + report.failed, 0);
+    let metrics = server.shutdown();
+    assert!(
+        metrics.mean_batch_requests > 1.0,
+        "loadgen produced no batching: mean {:.2} over {} batches",
+        metrics.mean_batch_requests,
+        metrics.batches
+    );
+}
