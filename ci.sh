@@ -30,8 +30,14 @@ for doc in docs/*.md; do
 done
 [ "$missing" -eq 0 ] || exit 1
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1: cargo build --release && cargo test -q (FLUID_THREADS=1 and 4)"
 cargo build --release
-cargo test -q
+# The compute-kernel layer guarantees bit-identical results at any thread
+# count (docs/PERFORMANCE.md); run the whole suite serial and fanned-out.
+FLUID_THREADS=1 cargo test -q
+FLUID_THREADS=4 cargo test -q
+
+echo "==> kernel bench smoke (writes BENCH_kernels.json)"
+cargo run --release -p fluid-bench --bin bench_kernels -- --quick
 
 echo "CI OK"

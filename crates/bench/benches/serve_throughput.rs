@@ -56,6 +56,7 @@ fn bench_batching(c: &mut Criterion) {
             max_batch,
             max_wait: Duration::from_millis(1),
             queue_cap: 256,
+            ..ServeConfig::default()
         };
         let server = Server::start(cfg, backends(1)).expect("start");
         group.bench_function(format!("max_batch={max_batch}"), |bench| {
@@ -74,6 +75,7 @@ fn bench_dispatch(c: &mut Criterion) {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_cap: 256,
+            ..ServeConfig::default()
         };
         let server = Server::start(cfg, backends(workers)).expect("start");
         group.bench_function(format!("workers={workers}"), |bench| {

@@ -1,0 +1,322 @@
+//! Kernel-layer bench smoke: writes `BENCH_kernels.json` so the perf
+//! trajectory has a committed baseline.
+//!
+//! Three groups are measured:
+//!
+//! * `layer_ops` — the hot kernels (conv GEMM, backward GEMMs, `im2col`,
+//!   a full ranged-conv forward), each against an embedded copy of the
+//!   pre-pool *seed reference* kernel where one exists, and at 1 vs 4
+//!   pool threads.
+//! * `training_step` — one forward + backward + SGD step of the paper's
+//!   combined100 sub-network at batch 16.
+//! * `serve_throughput` — a closed 64-request burst through the in-proc
+//!   batching server.
+//!
+//! Usage: `cargo run --release -p fluid-bench --bin bench_kernels --
+//! [--quick] [--out PATH]`. Thread-scaling numbers are only meaningful on
+//! multi-core hosts; the JSON records the visible core count so a reader
+//! can tell (a single-core CI box will show flat scaling — the speedup
+//! there comes from the blocked kernel rewrites alone).
+
+use fluid_models::{Arch, FluidModel};
+use fluid_nn::{softmax_cross_entropy, ChannelRange, Optimizer, RangedConv2d, Sgd};
+use fluid_serve::{EngineBackend, ServeConfig, Server};
+use fluid_tensor::{im2col, pool, Conv2dGeometry, Prng, Tensor};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Seed-reference kernels: verbatim ports of the pre-pool scalar loops
+/// (branchy ikj matmul, strictly serial dot-product `matmul_bt`), kept
+/// here so every future run re-measures the baseline on the same host.
+mod seed_reference {
+    /// The seed's ikj matmul with the `av == 0.0` skip branch.
+    pub fn matmul(lhs: &[f32], rhs: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = lhs[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs[p * n..(p + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += av * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed's one-column-at-a-time serial dot `matmul_bt`.
+    pub fn matmul_bt(lhs: &[f32], rhs: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let lhs_row = &lhs[i * k..(i + 1) * k];
+            for j in 0..n {
+                let rhs_row = &rhs[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (l, r) in lhs_row.iter().zip(rhs_row) {
+                    acc += l * r;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs (after `warmup`).
+fn time_ms(warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+struct KernelRow {
+    name: &'static str,
+    seed_ms: Option<f64>,
+    t1_ms: f64,
+    t4_ms: f64,
+}
+
+fn random_vec(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = Prng::new(seed);
+    (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+fn bench_layer_ops(warmup: usize, reps: usize) -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+
+    // Conv-as-GEMM: the forward path's matmul shape.
+    {
+        let (m, k, n) = (16usize, 144usize, 784usize);
+        let a = random_vec(1, m * k);
+        let b = random_vec(2, k * n);
+        let at = Tensor::from_vec(a.clone(), &[m, k]);
+        let bt = Tensor::from_vec(b.clone(), &[k, n]);
+        let seed = time_ms(warmup, reps, || {
+            black_box(seed_reference::matmul(&a, &b, m, k, n));
+        });
+        pool::set_threads(1);
+        let t1 = time_ms(warmup, reps, || {
+            black_box(at.matmul(&bt));
+        });
+        pool::set_threads(4);
+        let t4 = time_ms(warmup, reps, || {
+            black_box(at.matmul(&bt));
+        });
+        rows.push(KernelRow {
+            name: "matmul_16x144_144x784",
+            seed_ms: Some(seed),
+            t1_ms: t1,
+            t4_ms: t4,
+        });
+    }
+
+    // Backward dW GEMM: the training path's dominant kernel.
+    {
+        let (m, k, n) = (16usize, 12544usize, 144usize);
+        let a = random_vec(3, m * k);
+        let b = random_vec(4, n * k);
+        let at = Tensor::from_vec(a.clone(), &[m, k]);
+        let bt = Tensor::from_vec(b.clone(), &[n, k]);
+        let seed = time_ms(warmup, reps, || {
+            black_box(seed_reference::matmul_bt(&a, &b, m, k, n));
+        });
+        pool::set_threads(1);
+        let t1 = time_ms(warmup, reps, || {
+            black_box(at.matmul_bt(&bt));
+        });
+        pool::set_threads(4);
+        let t4 = time_ms(warmup, reps, || {
+            black_box(at.matmul_bt(&bt));
+        });
+        rows.push(KernelRow {
+            name: "matmul_bt_16x12544_144x12544",
+            seed_ms: Some(seed),
+            t1_ms: t1,
+            t4_ms: t4,
+        });
+    }
+
+    // im2col on a batch-16 paper-sized input (row-parallel fill).
+    {
+        let x = Tensor::from_vec(random_vec(5, 16 * 16 * 28 * 28), &[16, 16, 28, 28]);
+        let geo = Conv2dGeometry::new(28, 28, 3, 1, 1);
+        pool::set_threads(1);
+        let t1 = time_ms(warmup, reps, || {
+            black_box(im2col(&x, &geo));
+        });
+        pool::set_threads(4);
+        let t4 = time_ms(warmup, reps, || {
+            black_box(im2col(&x, &geo));
+        });
+        rows.push(KernelRow {
+            name: "im2col_b16_c16_28x28_k3",
+            seed_ms: None,
+            t1_ms: t1,
+            t4_ms: t4,
+        });
+    }
+
+    // A whole ranged-conv forward (im2col + GEMM + reorder + bias).
+    {
+        let mut rng = Prng::new(6);
+        let mut conv = RangedConv2d::new(16, 16, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec(random_vec(7, 8 * 16 * 14 * 14), &[8, 16, 14, 14]);
+        let full = ChannelRange::prefix(16);
+        pool::set_threads(1);
+        let t1 = time_ms(warmup, reps, || {
+            black_box(conv.forward(&x, full, full, false));
+        });
+        pool::set_threads(4);
+        let t4 = time_ms(warmup, reps, || {
+            black_box(conv.forward(&x, full, full, false));
+        });
+        rows.push(KernelRow {
+            name: "ranged_conv2d_fwd_b8_w16_14x14",
+            seed_ms: None,
+            t1_ms: t1,
+            t4_ms: t4,
+        });
+    }
+
+    pool::set_threads(1);
+    rows
+}
+
+/// One training step (the unit of Algorithm 1's inner loop) in ms.
+fn bench_training_step(warmup: usize, reps: usize) -> (f64, f64) {
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut rng = Prng::new(1);
+    let x = Tensor::from_fn(&[16, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let spec = model.spec("combined100").expect("spec").clone();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut step = |model: &mut FluidModel| {
+        let net = model.net_mut();
+        net.zero_grad();
+        let logits = net.forward_subnet(&x, &spec, true);
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        net.backward_subnet(&grad, &spec);
+        let mut params = net.param_set();
+        opt.step(&mut params);
+    };
+    pool::set_threads(1);
+    let t1 = time_ms(warmup, reps, || step(&mut model));
+    pool::set_threads(4);
+    let t4 = time_ms(warmup, reps, || step(&mut model));
+    pool::set_threads(1);
+    (t1, t4)
+}
+
+/// Closed 64-request burst through a one-worker batching server → req/s.
+fn bench_serve_throughput(reps: usize, threads: usize) -> f64 {
+    pool::set_threads(threads);
+    let model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let backend = Box::new(EngineBackend::new(
+        "bench",
+        model.net().clone(),
+        model.spec("combined100").expect("spec").clone(),
+    ));
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(1),
+        queue_cap: 256,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, vec![backend]).expect("start server");
+    let handle = server.handle();
+    let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 29) as f32) / 29.0);
+    let burst = || {
+        let tickets: Vec<_> = (0..64)
+            .map(|_| handle.submit(x.clone()).expect("submit"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("logits");
+        }
+    };
+    burst(); // warm-up
+    let ms = time_ms(0, reps, burst);
+    server.shutdown();
+    pool::set_threads(1);
+    64.0 / (ms / 1e3)
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::NAN
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_kernels.json", String::as_str);
+    let (warmup, reps) = if quick { (2, 5) } else { (3, 11) };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("bench_kernels: layer_ops ({} visible cores)...", cores);
+    let kernels = bench_layer_ops(warmup, reps);
+    eprintln!("bench_kernels: training_step...");
+    let (train_t1, train_t4) = bench_training_step(warmup.min(2), reps.min(7));
+    eprintln!("bench_kernels: serve_throughput...");
+    let serve_t1 = bench_serve_throughput(reps.min(5), 1);
+    let serve_t4 = bench_serve_throughput(reps.min(5), 4);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\n    \"visible_cores\": {cores},\n    \"units\": \"ms (median) unless stated\",\n    \"note\": \"seed_reference = pre-pool scalar kernels re-measured on this host; threads1/threads4 = current kernels at FLUID_THREADS 1/4. Thread scaling requires a multi-core host.\"\n  }},\n"
+    ));
+    json.push_str("  \"layer_ops\": {\n");
+    for (i, row) in kernels.iter().enumerate() {
+        let seed = row.seed_ms.map_or("null".to_owned(), |v| format!("{v:.4}"));
+        let vs_seed = row
+            .seed_ms
+            .map_or("null".to_owned(), |v| format!("{:.2}", ratio(v, row.t1_ms)));
+        json.push_str(&format!(
+            "    \"{}\": {{\"seed_reference_ms\": {}, \"threads1_ms\": {:.4}, \"threads4_ms\": {:.4}, \"speedup_t1_vs_seed\": {}, \"speedup_t4_vs_t1\": {:.2}}}{}\n",
+            row.name,
+            seed,
+            row.t1_ms,
+            row.t4_ms,
+            vs_seed,
+            ratio(row.t1_ms, row.t4_ms),
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"training_step\": {{\n    \"combined100_batch16\": {{\"threads1_ms\": {:.3}, \"threads4_ms\": {:.3}, \"threads1_steps_per_s\": {:.2}, \"speedup_t4_vs_t1\": {:.2}}}\n  }},\n",
+        train_t1,
+        train_t4,
+        1e3 / train_t1,
+        ratio(train_t1, train_t4)
+    ));
+    json.push_str(&format!(
+        "  \"serve_throughput\": {{\n    \"closed_burst_64req_1worker\": {{\"threads1_req_per_s\": {:.1}, \"threads4_req_per_s\": {:.1}, \"speedup_t4_vs_t1\": {:.2}}}\n  }}\n}}\n",
+        serve_t1,
+        serve_t4,
+        ratio(serve_t4, serve_t1)
+    ));
+
+    std::fs::write(out_path, &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    eprintln!("bench_kernels: wrote {out_path}");
+}

@@ -79,6 +79,10 @@ USAGE:
                   [--queue-cap N] (without --connect: in-proc server)
   fluidctl fig2   [--quick]
   fluidctl help
+
+Every command also accepts --threads N to pin the compute-kernel worker
+pool (default: the FLUID_THREADS environment variable, else all cores).
+Outputs are bit-identical at any thread count; see docs/PERFORMANCE.md.
 ";
 
 /// Dispatches a command line (without the binary name).
@@ -92,6 +96,20 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         .map(|(c, r)| (c.as_str(), r))
         .unwrap_or(("help", &[]));
     let args = ArgMap::parse(rest.iter().cloned())?;
+    // Every command accepts --threads N: pins the compute-kernel pool
+    // (otherwise the FLUID_THREADS env / core count decides). Results are
+    // bit-identical at any setting; only speed changes. An explicit 0 is
+    // rejected, matching `ServeConfig::threads` validation.
+    if !args.str_or("threads", "").is_empty() {
+        match args.usize_or("threads", 0)? {
+            0 => {
+                return Err(CliError::Args(ParseArgsError(
+                    "--threads must be at least 1".into(),
+                )))
+            }
+            n => fluid_tensor::pool::set_threads(n),
+        }
+    }
     match cmd {
         "train" => cmd_train(&args),
         "eval" => cmd_eval(&args),
@@ -198,7 +216,10 @@ fn cmd_eval(args: &ArgMap) -> Result<(), CliError> {
 fn cmd_worker(args: &ArgMap) -> Result<(), CliError> {
     let listen = args.str_or("listen", "127.0.0.1:7700").to_owned();
     let listener = TcpListener::bind(&listen).map_err(|e| CliError::Run(e.to_string()))?;
-    println!("worker listening on {listen} (ctrl-c to stop)");
+    println!(
+        "worker listening on {listen} ({} kernel threads, ctrl-c to stop)",
+        fluid_tensor::pool::threads()
+    );
     let (stream, peer) = listener
         .accept()
         .map_err(|e| CliError::Run(e.to_string()))?;
@@ -312,6 +333,10 @@ fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
         max_batch: args.usize_or("max-batch", 8)?,
         max_wait: Duration::from_millis(args.u64_or("max-wait-ms", 2)?),
         queue_cap: args.usize_or("queue-cap", 256)?,
+        threads: match args.usize_or("threads", 0)? {
+            0 => None,
+            n => Some(n),
+        },
     })
 }
 
@@ -344,9 +369,15 @@ fn cmd_serve(args: &ArgMap) -> Result<(), CliError> {
             std::thread::sleep(Duration::from_secs(duration_s));
             shutdown.store(true, Ordering::SeqCst);
         });
-        println!("serving on {listen} for {duration_s}s...");
+        println!(
+            "serving on {listen} for {duration_s}s ({} kernel threads)...",
+            fluid_tensor::pool::threads()
+        );
     } else {
-        println!("serving on {listen} until killed (ctrl-c)...");
+        println!(
+            "serving on {listen} until killed ({} kernel threads, ctrl-c)...",
+            fluid_tensor::pool::threads()
+        );
     }
     fluid_serve::serve_tcp(listener, server.handle(), shutdown)
         .map_err(|e| CliError::Run(e.to_string()))?;
@@ -482,6 +513,12 @@ mod tests {
             "5",
         ]))
         .expect("in-proc loadgen");
+    }
+
+    #[test]
+    fn explicit_zero_threads_is_rejected() {
+        let err = run(&argv(&["eval", "--threads", "0"])).expect_err("0 threads is invalid");
+        assert!(err.to_string().contains("threads"), "{err}");
     }
 
     #[test]

@@ -73,11 +73,21 @@ impl Dataset {
         let mut labels = Vec::with_capacity(indices.len());
         for (b, &i) in indices.iter().enumerate() {
             assert!(i < self.len(), "index {i} out of {}", self.len());
-            out.data_mut()[b * stride..(b + 1) * stride]
-                .copy_from_slice(&self.images.data()[i * stride..(i + 1) * stride]);
+            // `example` is a borrow-based view — the only copy is into the
+            // batch being built.
+            out.data_mut()[b * stride..(b + 1) * stride].copy_from_slice(self.images.example(i));
             labels.push(self.labels[i]);
         }
         (out, labels)
+    }
+
+    /// Borrowed `[C, H, W]` view of example `i` — no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn example(&self, i: usize) -> &[f32] {
+        self.images.example(i)
     }
 
     /// Splits into `(first, rest)` at example `n`.

@@ -109,6 +109,19 @@ impl WorkerEngine {
     pub fn inferences(&self) -> usize {
         self.inferences
     }
+
+    /// Compute-kernel threads the engine's forward passes fan out to
+    /// (the process-wide `fluid_tensor::pool` setting; results are
+    /// bit-identical at any count).
+    pub fn kernel_threads(&self) -> usize {
+        fluid_tensor::pool::threads()
+    }
+
+    /// Bytes held in the engine's reusable kernel workspace (steady-state
+    /// inference allocates nothing once this high-water mark is reached).
+    pub fn workspace_bytes(&self) -> usize {
+        self.net.workspace_bytes()
+    }
 }
 
 /// Checks that `x` is an `[N, image_channels, side, side]` batch for

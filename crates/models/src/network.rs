@@ -3,7 +3,7 @@
 use crate::arch::Arch;
 use crate::spec::{BranchSpec, SubnetSpec};
 use fluid_nn::{Flatten, MaxPool2d, ParamSet, RangedConv2d, RangedLinear, Relu};
-use fluid_tensor::{Prng, Tensor};
+use fluid_tensor::{Prng, Tensor, Workspace};
 
 /// The paper's CNN: `conv_stages` × (RangedConv2d → ReLU → MaxPool 2×2),
 /// then Flatten and a [`RangedLinear`] classifier head.
@@ -20,6 +20,10 @@ pub struct ConvNet {
     pools: Vec<MaxPool2d>,
     flatten: Flatten,
     fc: RangedLinear,
+    /// Per-executor scratch arena: every layer's intermediates are drawn
+    /// from and recycled into this pool, so steady-state forward/backward
+    /// passes stop allocating. Cloning a net starts with a fresh arena.
+    ws: Workspace,
 }
 
 impl ConvNet {
@@ -50,6 +54,7 @@ impl ConvNet {
             pools,
             flatten: Flatten::new(),
             fc,
+            ws: Workspace::new(),
         }
     }
 
@@ -93,17 +98,31 @@ impl ConvNet {
             branch.channels.len(),
             self.arch.conv_stages
         );
-        let mut h = x.clone();
-        for stage in 0..self.arch.conv_stages {
-            let in_range = branch.in_range(stage, self.arch.image_channels);
+        let Self {
+            arch,
+            convs,
+            relus,
+            pools,
+            flatten,
+            fc,
+            ws,
+        } = self;
+        let mut h = ws.tensor_copy(x);
+        for stage in 0..arch.conv_stages {
+            let in_range = branch.in_range(stage, arch.image_channels);
             let out_range = branch.channels[stage];
-            h = self.convs[stage].forward(&h, in_range, out_range, train);
-            h = self.relus[stage].forward(&h, train);
-            h = self.pools[stage].forward(&h, train);
+            let next = convs[stage].forward_ws(&h, in_range, out_range, train, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
+            let next = relus[stage].forward_ws(&h, train, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
+            let next = pools[stage].forward_ws(&h, train, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
         }
-        let h = self.flatten.forward(&h, train);
-        self.fc
-            .forward(&h, branch.fc_range(&self.arch), branch.fc_bias, train)
+        let flat = flatten.forward_ws(&h, train, ws);
+        ws.recycle(h);
+        let logits = fc.forward_ws(&flat, branch.fc_range(arch), branch.fc_bias, train, ws);
+        ws.recycle(flat);
+        logits
     }
 
     /// Backpropagates one branch given `dL/d(partial logits)`.
@@ -111,13 +130,27 @@ impl ConvNet {
     /// Must be called in reverse order of the branch forwards of the same
     /// step (layer caches are LIFO stacks).
     pub fn backward_branch(&mut self, grad_logits: &Tensor) {
-        let mut g = self.fc.backward(grad_logits);
-        g = self.flatten.backward(&g);
-        for stage in (0..self.arch.conv_stages).rev() {
-            g = self.pools[stage].backward(&g);
-            g = self.relus[stage].backward(&g);
-            g = self.convs[stage].backward(&g);
+        let Self {
+            arch,
+            convs,
+            relus,
+            pools,
+            flatten,
+            fc,
+            ws,
+        } = self;
+        let mut g = fc.backward_ws(grad_logits, ws);
+        let next = flatten.backward_ws(&g, ws);
+        ws.recycle(std::mem::replace(&mut g, next));
+        for stage in (0..arch.conv_stages).rev() {
+            let next = pools[stage].backward_ws(&g, ws);
+            ws.recycle(std::mem::replace(&mut g, next));
+            let next = relus[stage].backward_ws(&g, ws);
+            ws.recycle(std::mem::replace(&mut g, next));
+            let next = convs[stage].backward_ws(&g, ws);
+            ws.recycle(std::mem::replace(&mut g, next));
         }
+        ws.recycle(g);
     }
 
     /// Runs a full sub-network: evaluates every branch on the same input and
@@ -128,7 +161,12 @@ impl ConvNet {
             let partial = self.forward_branch(x, branch, train);
             logits = Some(match logits {
                 None => partial,
-                Some(acc) => acc.add(&partial),
+                Some(acc) => {
+                    let merged = acc.add(&partial);
+                    self.ws.recycle(acc);
+                    self.ws.recycle(partial);
+                    merged
+                }
             });
         }
         logits.expect("sub-network with no branches")
@@ -164,6 +202,13 @@ impl ConvNet {
             set.push(p, g);
         }
         set
+    }
+
+    /// Bytes currently pooled in the executor's scratch arena (diagnostic;
+    /// grows to a steady high-water mark after the first step and then
+    /// stays flat).
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes_held()
     }
 
     /// Total parameter count of the full-width network.
@@ -299,6 +344,44 @@ mod tests {
         // Both blocks must have received gradient.
         let wg_sum: f32 = net.convs()[0].wgrad_sq_norm();
         assert!(wg_sum > 0.0);
+    }
+
+    #[test]
+    fn workspace_reaches_steady_state_and_stays_exact() {
+        // After a warm-up step the scratch arena should stop growing, and
+        // reusing dirty buffers must not perturb results: a fresh clone
+        // (empty arena) computes bit-identical logits.
+        let arch = Arch::tiny();
+        let mut net = ConvNet::new(arch.clone(), &mut Prng::new(9));
+        let spec = SubnetSpec::single(lower(ChannelRange::prefix(8), 2, true, "full"));
+        let x = Tensor::from_fn(&[4, 1, 14, 14], |i| ((i * 7 % 61) as f32) / 61.0);
+
+        // Warm-up passes: the first populates the arena, the next ones let
+        // the size classes settle (the returned logits buffer churns one
+        // class per pass until its own class exists).
+        let warm = net.forward_subnet(&x, &spec, false);
+        let first = warm.clone();
+        net.ws.recycle(warm);
+        for _ in 0..2 {
+            let warm = net.forward_subnet(&x, &spec, false);
+            net.ws.recycle(warm);
+        }
+        let high_water = net.workspace_bytes();
+        assert!(high_water > 0, "forward must populate the arena");
+        for _ in 0..3 {
+            let again = net.forward_subnet(&x, &spec, false);
+            assert!(first.allclose(&again, 0.0), "reuse changed the output");
+            net.ws.recycle(again);
+        }
+        assert_eq!(
+            net.workspace_bytes(),
+            high_water,
+            "steady-state inference must not grow the arena"
+        );
+        let mut fresh = net.clone();
+        assert_eq!(fresh.workspace_bytes(), 0, "clone starts empty");
+        let clean = fresh.forward_subnet(&x, &spec, false);
+        assert!(first.allclose(&clean, 0.0));
     }
 
     #[test]

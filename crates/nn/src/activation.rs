@@ -1,6 +1,10 @@
 //! Activation layers.
 
-use fluid_tensor::Tensor;
+use fluid_tensor::{pool, Tensor, Workspace};
+
+/// Minimum elements per pool task for the in-place elementwise stages
+/// (mirrors the tensor crate's elementwise grain).
+const ELEM_GRAIN: usize = 4096;
 
 /// Rectified linear unit with cached mask for backprop.
 ///
@@ -33,6 +37,20 @@ impl Relu {
         x.relu()
     }
 
+    /// [`forward`](Relu::forward) with the output buffer drawn from `ws`.
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        if train {
+            self.mask.push(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        let mut out = ws.tensor_copy(x);
+        pool::parallel_rows_mut(out.data_mut(), 1, ELEM_GRAIN, |_, block| {
+            for v in block {
+                *v = v.max(0.0);
+            }
+        });
+        out
+    }
+
     /// Backpropagates using the cached mask.
     ///
     /// # Panics
@@ -40,15 +58,27 @@ impl Relu {
     /// Panics if no training forward pass is cached or the element count
     /// differs.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`backward`](Relu::backward) with the output buffer drawn from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](Relu::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.pop().expect("backward without cached forward");
         assert_eq!(mask.len(), grad_out.numel(), "relu mask length mismatch");
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, grad_out.dims())
+        let mut out = ws.tensor_copy(grad_out);
+        let mask = &mask[..];
+        pool::parallel_rows_mut(out.data_mut(), 1, ELEM_GRAIN, |range, block| {
+            for (g, &m) in block.iter_mut().zip(&mask[range]) {
+                if !m {
+                    *g = 0.0;
+                }
+            }
+        });
+        out
     }
 }
 

@@ -1,7 +1,12 @@
 //! Range-sliceable 2-D convolution with hand-written backprop.
+//!
+//! The heavy intermediates (the `im2col` patch matrix, weight windows,
+//! GEMM outputs, layout-reorder buffers) are drawn from a
+//! [`Workspace`] in the `_ws` entry points, so steady-state training and
+//! inference reuse the same allocations step after step.
 
 use crate::range::ChannelRange;
-use fluid_tensor::{col2im, im2col, kaiming_normal, Conv2dGeometry, Prng, Tensor};
+use fluid_tensor::{col2im_ws, im2col_ws, kaiming_normal, Conv2dGeometry, Prng, Tensor, Workspace};
 
 /// A 2-D convolution whose weight tensor `[C_out_max, C_in_max, K, K]` can be
 /// executed on any `(in_range, out_range)` channel window.
@@ -103,12 +108,17 @@ impl RangedConv2d {
     }
 
     /// Extracts the weight window `[out_range × in_range]` as a
-    /// `[out_w, in_w·K·K]` matrix.
-    fn weight_window(&self, in_range: ChannelRange, out_range: ChannelRange) -> Tensor {
+    /// `[out_w, in_w·K·K]` matrix, backed by a workspace buffer.
+    fn weight_window(
+        &self,
+        in_range: ChannelRange,
+        out_range: ChannelRange,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let kk = self.kernel * self.kernel;
         let in_w = in_range.width();
         let out_w = out_range.width();
-        let mut out = Tensor::zeros(&[out_w, in_w * kk]);
+        let mut out = ws.tensor_zeroed(&[out_w, in_w * kk]);
         let row_stride = self.c_in_max * kk;
         for (r, co) in (out_range.lo..out_range.hi).enumerate() {
             let src = co * row_stride + in_range.lo * kk;
@@ -156,6 +166,24 @@ impl RangedConv2d {
         out_range: ChannelRange,
         train: bool,
     ) -> Tensor {
+        self.forward_ws(x, in_range, out_range, train, &mut Workspace::new())
+    }
+
+    /// [`forward`](RangedConv2d::forward) with scratch drawn from (and
+    /// recycled into) `ws`; after the first call a steady-state step
+    /// performs no fresh scratch allocations.
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward`](RangedConv2d::forward).
+    pub fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        in_range: ChannelRange,
+        out_range: ChannelRange,
+        train: bool,
+        ws: &mut Workspace,
+    ) -> Tensor {
         assert!(
             in_range.fits(self.c_in_max),
             "in_range {in_range} exceeds {}",
@@ -176,17 +204,29 @@ impl RangedConv2d {
         );
         let (n, h, w) = (d[0], d[2], d[3]);
         let geo = Conv2dGeometry::new(h, w, self.kernel, self.stride, self.pad);
-        let cols = im2col(x, &geo);
-        let wmat = self.weight_window(in_range, out_range);
-        let out_mat = wmat.matmul(&cols); // [out_w, N*P]
+        let cols = im2col_ws(x, &geo, ws);
+        let wmat = self.weight_window(in_range, out_range, ws);
+        let out_mat = wmat.matmul_ws(&cols, ws); // [out_w, N*P]
+        ws.recycle(wmat);
         let (oh, ow) = (geo.out_h(), geo.out_w());
-        let mut out = cnp_to_nchw(&out_mat, n, out_range.width(), oh, ow);
-        // Bias for the active output channels.
-        let bias_slice = Tensor::from_vec(
-            self.bias.data()[out_range.lo..out_range.hi].to_vec(),
-            &[out_range.width()],
-        );
-        out = out.add_channel_bias(&bias_slice);
+        let mut out = cnp_to_nchw(&out_mat, n, out_range.width(), oh, ow, ws);
+        ws.recycle(out_mat);
+        // Bias for the active output channels, added in place (one output
+        // plane per unit of parallelism; same additions as the allocating
+        // `add_channel_bias`, so bit-identical).
+        let plane = oh * ow;
+        let out_w = out_range.width();
+        let bias = &self.bias.data()[out_range.lo..out_range.hi];
+        if plane > 0 {
+            fluid_tensor::pool::parallel_rows_mut(out.data_mut(), plane, 8, |planes, block| {
+                for (bi, p) in planes.enumerate() {
+                    let b = bias[p % out_w];
+                    for v in &mut block[bi * plane..(bi + 1) * plane] {
+                        *v += b;
+                    }
+                }
+            });
+        }
         if train {
             self.cache.push(ConvCache {
                 cols,
@@ -195,6 +235,8 @@ impl RangedConv2d {
                 geo,
                 batch: n,
             });
+        } else {
+            ws.recycle(cols);
         }
         out
     }
@@ -209,6 +251,17 @@ impl RangedConv2d {
     /// Panics if no training forward pass has been cached or `grad_out` has
     /// the wrong shape.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`backward`](RangedConv2d::backward) with scratch drawn from (and
+    /// recycled into) `ws`, including the patch matrix cached by the
+    /// matching training forward pass.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](RangedConv2d::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self.cache.pop().expect("backward without cached forward");
         let ConvCache {
             cols,
@@ -224,19 +277,25 @@ impl RangedConv2d {
             "grad_out shape {:?} mismatch",
             d
         );
-        let g_mat = nchw_to_cnp(grad_out); // [out_w, N*P]
-                                           // dW = g · colsᵀ
-        let wg = g_mat.matmul_bt(&cols);
+        let g_mat = nchw_to_cnp(grad_out, ws); // [out_w, N*P]
+                                               // dW = g · colsᵀ
+        let wg = g_mat.matmul_bt_ws(&cols, ws);
         self.scatter_wgrad(&wg, in_range, out_range);
+        ws.recycle(wg);
         // db = per-channel sum
         let bg = grad_out.sum_per_channel();
         for (i, co) in (out_range.lo..out_range.hi).enumerate() {
             self.bgrad.data_mut()[co] += bg.data()[i];
         }
         // dX = Wᵀ · g, folded back to image space.
-        let wmat = self.weight_window(in_range, out_range);
-        let g_cols = wmat.matmul_at(&g_mat); // [in_w*K*K, N*P]
-        col2im(&g_cols, &geo, in_range.width(), batch)
+        let wmat = self.weight_window(in_range, out_range, ws);
+        let g_cols = wmat.matmul_at_ws(&g_mat, ws); // [in_w*K*K, N*P]
+        ws.recycle(wmat);
+        ws.recycle(g_mat);
+        ws.recycle(cols);
+        let gin = col2im_ws(&g_cols, &geo, in_range.width(), batch, ws);
+        ws.recycle(g_cols);
+        gin
     }
 
     /// Zeroes accumulated gradients.
@@ -296,10 +355,10 @@ impl RangedConv2d {
     }
 }
 
-/// Reorders a `[C, N·P]` matrix into `[N, C, OH, OW]`.
-fn cnp_to_nchw(m: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+/// Reorders a `[C, N·P]` matrix into `[N, C, OH, OW]` (workspace-backed).
+fn cnp_to_nchw(m: &Tensor, n: usize, c: usize, oh: usize, ow: usize, ws: &mut Workspace) -> Tensor {
     let p = oh * ow;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = ws.tensor_zeroed(&[n, c, oh, ow]);
     for ci in 0..c {
         for ni in 0..n {
             let src = ci * (n * p) + ni * p;
@@ -310,12 +369,12 @@ fn cnp_to_nchw(m: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     out
 }
 
-/// Reorders `[N, C, OH, OW]` into `[C, N·P]`.
-fn nchw_to_cnp(t: &Tensor) -> Tensor {
+/// Reorders `[N, C, OH, OW]` into `[C, N·P]` (workspace-backed).
+fn nchw_to_cnp(t: &Tensor, ws: &mut Workspace) -> Tensor {
     let d = t.dims();
     let (n, c, oh, ow) = (d[0], d[1], d[2], d[3]);
     let p = oh * ow;
-    let mut out = Tensor::zeros(&[c, n * p]);
+    let mut out = ws.tensor_zeroed(&[c, n * p]);
     for ni in 0..n {
         for ci in 0..c {
             let src = (ni * c + ci) * p;
@@ -469,6 +528,30 @@ mod tests {
         for co in 8..16 {
             assert_eq!(conv.bgrad.data()[co], 0.0);
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_steps() {
+        // Two training steps through the same workspace must match the
+        // allocating path exactly — dirty recycled buffers included.
+        let mut rng = Prng::new(11);
+        let mut conv = RangedConv2d::new(4, 3, 3, 1, 1, &mut rng);
+        let mut twin = conv.clone();
+        let mut ws = Workspace::new();
+        let x = Tensor::from_fn(&[2, 3, 6, 6], |i| (i as f32 * 0.13).sin());
+        for _ in 0..3 {
+            let y_ws = conv.forward_ws(&x, full(3), full(4), true, &mut ws);
+            let g_ws = conv.backward_ws(&y_ws, &mut ws);
+            let y = twin.forward(&x, full(3), full(4), true);
+            let g = twin.backward(&y);
+            assert!(y_ws.allclose(&y, 0.0), "forward drifted");
+            assert!(g_ws.allclose(&g, 0.0), "backward drifted");
+        }
+        assert!(ws.buffers_held() > 0, "scratch was recycled for reuse");
+        assert!(
+            conv.wgrad.allclose(&twin.wgrad, 0.0),
+            "gradient accumulation drifted"
+        );
     }
 
     #[test]

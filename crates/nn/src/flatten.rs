@@ -1,6 +1,6 @@
 //! Flatten `[N, C, H, W]` activations into `[N, C·H·W]` feature rows.
 
-use fluid_tensor::Tensor;
+use fluid_tensor::{Tensor, Workspace};
 
 /// Reshapes conv activations into FC inputs and back.
 ///
@@ -34,6 +34,22 @@ impl Flatten {
         x.reshape(&[d[0], d[1] * d[2] * d[3]])
     }
 
+    /// [`forward`](Flatten::forward) with the copy drawn from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward`](Flatten::forward).
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 4, "flatten input rank {}", d.len());
+        if train {
+            self.in_dims.push(d.to_vec());
+        }
+        let mut out = ws.tensor_copy(x);
+        out.reshape_in_place(&[d[0], d[1] * d[2] * d[3]]);
+        out
+    }
+
     /// Restores the cached input shape on the gradient.
     ///
     /// # Panics
@@ -42,6 +58,18 @@ impl Flatten {
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let dims = self.in_dims.pop().expect("backward without cached forward");
         grad_out.reshape(&dims)
+    }
+
+    /// [`backward`](Flatten::backward) with the copy drawn from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](Flatten::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let dims = self.in_dims.pop().expect("backward without cached forward");
+        let mut out = ws.tensor_copy(grad_out);
+        out.reshape_in_place(&dims);
+        out
     }
 }
 

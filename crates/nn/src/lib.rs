@@ -45,6 +45,7 @@ mod schedule;
 pub use activation::Relu;
 pub use conv::RangedConv2d;
 pub use flatten::Flatten;
+pub use fluid_tensor::Workspace;
 pub use gradcheck::{finite_diff_gradient, max_relative_error};
 pub use linear::RangedLinear;
 pub use loss::{accuracy, softmax_cross_entropy};

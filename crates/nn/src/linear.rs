@@ -1,7 +1,7 @@
 //! Range-sliceable fully-connected layer.
 
 use crate::range::ChannelRange;
-use fluid_tensor::{kaiming_uniform, Prng, Tensor};
+use fluid_tensor::{kaiming_uniform, Prng, Tensor, Workspace};
 
 /// A fully-connected layer `[out_features, in_features_max]` that can consume
 /// any *input-feature column range*.
@@ -83,10 +83,11 @@ impl RangedLinear {
         &mut self.bias
     }
 
-    /// Extracts columns `[in_range)` as an `[out, in_w]` matrix.
-    fn weight_window(&self, in_range: ChannelRange) -> Tensor {
+    /// Extracts columns `[in_range)` as an `[out, in_w]` matrix, backed by
+    /// a workspace buffer.
+    fn weight_window(&self, in_range: ChannelRange, ws: &mut Workspace) -> Tensor {
         let in_w = in_range.width();
-        let mut out = Tensor::zeros(&[self.out_features, in_w]);
+        let mut out = ws.tensor_zeroed(&[self.out_features, in_w]);
         for r in 0..self.out_features {
             let src = r * self.in_features_max + in_range.lo;
             out.data_mut()[r * in_w..(r + 1) * in_w]
@@ -111,6 +112,23 @@ impl RangedLinear {
         with_bias: bool,
         train: bool,
     ) -> Tensor {
+        self.forward_ws(x, in_range, with_bias, train, &mut Workspace::new())
+    }
+
+    /// [`forward`](RangedLinear::forward) with scratch drawn from (and
+    /// recycled into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward`](RangedLinear::forward).
+    pub fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        in_range: ChannelRange,
+        with_bias: bool,
+        train: bool,
+        ws: &mut Workspace,
+    ) -> Tensor {
         assert!(
             in_range.fits(self.in_features_max),
             "in_range {in_range} exceeds {}",
@@ -124,14 +142,24 @@ impl RangedLinear {
             "input has {} features but in_range is {in_range}",
             d[1]
         );
-        let wmat = self.weight_window(in_range);
-        let mut y = x.matmul_bt(&wmat); // [N, out]
+        let wmat = self.weight_window(in_range, ws);
+        let mut y = x.matmul_bt_ws(&wmat, ws); // [N, out]
+        ws.recycle(wmat);
         if with_bias {
-            y = y.add_row_bias(&self.bias);
+            // In-place row broadcast; same additions as `add_row_bias`
+            // without the extra clone, fanned out over whole rows.
+            let bias = self.bias.data();
+            fluid_tensor::pool::parallel_rows_mut(y.data_mut(), bias.len(), 64, |_, block| {
+                for row in block.chunks_mut(bias.len()) {
+                    for (v, &b) in row.iter_mut().zip(bias) {
+                        *v += b;
+                    }
+                }
+            });
         }
         if train {
             self.cache.push(LinearCache {
-                x: x.clone(),
+                x: ws.tensor_copy(x),
                 in_range,
                 with_bias,
             });
@@ -145,6 +173,17 @@ impl RangedLinear {
     ///
     /// Panics if no training forward pass is cached or shapes mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`backward`](RangedLinear::backward) with scratch drawn from (and
+    /// recycled into) `ws`, including the input cached by the matching
+    /// training forward pass.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](RangedLinear::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self.cache.pop().expect("backward without cached forward");
         let LinearCache {
             x,
@@ -157,7 +196,7 @@ impl RangedLinear {
             "grad_out shape mismatch"
         );
         // dW[:, range] += goutᵀ · x
-        let wg = grad_out.matmul_at(&x); // [out, in_w]
+        let wg = grad_out.matmul_at_ws(&x, ws); // [out, in_w]
         let in_w = in_range.width();
         for r in 0..self.out_features {
             let dst = r * self.in_features_max + in_range.lo;
@@ -168,12 +207,16 @@ impl RangedLinear {
                 *d += s;
             }
         }
+        ws.recycle(wg);
+        ws.recycle(x);
         if with_bias {
             self.bgrad.add_assign(&grad_out.sum_rows());
         }
         // dX = gout · W[:, range]
-        let wmat = self.weight_window(in_range);
-        grad_out.matmul(&wmat)
+        let wmat = self.weight_window(in_range, ws);
+        let gin = grad_out.matmul_ws(&wmat, ws);
+        ws.recycle(wmat);
+        gin
     }
 
     /// Zeroes accumulated gradients.

@@ -1,6 +1,6 @@
 //! Max pooling.
 
-use fluid_tensor::Tensor;
+use fluid_tensor::{Tensor, Workspace};
 
 /// 2-D max pooling over square windows.
 ///
@@ -49,6 +49,16 @@ impl MaxPool2d {
     ///
     /// Panics if the input is not rank 4 or smaller than the window.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`forward`](MaxPool2d::forward) with the argmax table drawn from
+    /// (and, after the matching backward, recycled into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward`](MaxPool2d::forward).
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let d = x.dims();
         assert_eq!(d.len(), 4, "pool input rank {}", d.len());
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
@@ -58,8 +68,8 @@ impl MaxPool2d {
             "input {h}x{w} smaller than pool window {}",
             self.size
         );
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut out = ws.tensor_zeroed(&[n, c, oh, ow]);
+        let mut argmax = ws.take_indices(n * c * oh * ow);
         for ni in 0..n {
             for ci in 0..c {
                 let in_base = (ni * c + ci) * h * w;
@@ -91,6 +101,8 @@ impl MaxPool2d {
                 argmax,
                 in_dims: d.to_vec(),
             });
+        } else {
+            ws.recycle_indices(argmax);
         }
         out
     }
@@ -101,16 +113,27 @@ impl MaxPool2d {
     ///
     /// Panics if no training forward pass is cached or shapes mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`backward`](MaxPool2d::backward), recycling the cached argmax
+    /// table into `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](MaxPool2d::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self.cache.pop().expect("backward without cached forward");
         assert_eq!(
             cache.argmax.len(),
             grad_out.numel(),
             "pool grad length mismatch"
         );
-        let mut gin = Tensor::zeros(&cache.in_dims);
+        let mut gin = ws.tensor_zeroed(&cache.in_dims);
         for (g, &idx) in grad_out.data().iter().zip(&cache.argmax) {
             gin.data_mut()[idx] += g;
         }
+        ws.recycle_indices(cache.argmax);
         gin
     }
 }

@@ -63,6 +63,7 @@
 //!     max_batch: 8,
 //!     max_wait: Duration::from_millis(2),
 //!     queue_cap: 64,
+//!     ..ServeConfig::default()
 //! };
 //! let server = Server::start(cfg, backends).unwrap();
 //!

@@ -337,6 +337,7 @@ mod tests {
             max_batch: 1,
             max_wait: Duration::from_millis(1),
             queue_cap: 1,
+            ..ServeConfig::default()
         };
         let server = Server::start(cfg, vec![slow]).expect("start");
         let xs = inputs(1);

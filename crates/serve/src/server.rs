@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 ///     max_batch: 16,
 ///     max_wait: Duration::from_millis(2),
 ///     queue_cap: 512,
+///     ..ServeConfig::default()
 /// };
 /// assert!(cfg.max_batch > ServeConfig::default().max_batch);
 /// ```
@@ -51,6 +52,12 @@ pub struct ServeConfig {
     /// past this is shed with [`ServeError::Overloaded`] instead of
     /// growing the backlog.
     pub queue_cap: usize,
+    /// Compute-kernel threads for batch execution (`fluid_tensor::pool`).
+    /// `Some(n)` pins the process-wide pool to `n` threads at
+    /// [`Server::start`]; `None` leaves the current setting (the
+    /// `FLUID_THREADS` environment default) untouched. See
+    /// `docs/PERFORMANCE.md`.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +66,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             queue_cap: 256,
+            threads: None,
         }
     }
 }
@@ -362,6 +370,12 @@ impl Server {
             return Err(ServeError::BadInput(
                 "max_batch and queue_cap must be at least 1".into(),
             ));
+        }
+        if let Some(threads) = cfg.threads {
+            if threads == 0 {
+                return Err(ServeError::BadInput("threads must be at least 1".into()));
+            }
+            fluid_tensor::pool::set_threads(threads);
         }
         let dims = backends[0].input_dims();
         if let Some(b) = backends.iter().find(|b| b.input_dims() != dims) {
@@ -787,6 +801,31 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(Server::start(cfg, vec![tiny_backend("b", 0)]).is_err());
+        let cfg = ServeConfig {
+            threads: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(Server::start(cfg, vec![tiny_backend("b", 0)]).is_err());
+    }
+
+    #[test]
+    fn threads_knob_pins_the_kernel_pool() {
+        let before = fluid_tensor::pool::threads();
+        let cfg = ServeConfig {
+            threads: Some(3),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, vec![tiny_backend("b", 5)]).expect("start");
+        assert_eq!(fluid_tensor::pool::threads(), 3);
+        let h = server.handle();
+        let out = h
+            .submit(Tensor::zeros(&[1, 1, 28, 28]))
+            .expect("submit")
+            .wait()
+            .expect("logits");
+        assert_eq!(out.dims(), &[1, 10]);
+        server.shutdown();
+        fluid_tensor::pool::set_threads(before);
     }
 
     #[test]
@@ -882,6 +921,7 @@ mod tests {
             max_batch: 1,
             max_wait: Duration::from_micros(100),
             queue_cap: 8,
+            ..ServeConfig::default()
         };
         let server = Server::start(cfg, vec![flaky]).expect("start");
         let h = server.handle();
@@ -918,6 +958,7 @@ mod tests {
             max_batch: 1, // force one batch per request
             max_wait: Duration::from_micros(100),
             queue_cap: 64,
+            ..ServeConfig::default()
         };
         let server =
             Server::start(cfg, vec![tiny_backend("a", 4), tiny_backend("a2", 4)]).expect("start");

@@ -5,7 +5,9 @@
 //! unrolling with [`col2im`]. This is the standard CPU strategy used by
 //! Caffe and many embedded inference engines.
 
+use crate::pool;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Static geometry of a conv2d: input plane, kernel, stride, padding.
 ///
@@ -80,6 +82,25 @@ impl Conv2dGeometry {
 ///
 /// Panics if `input` is not rank 4 or its plane size disagrees with `geo`.
 pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Tensor {
+    let (rows, cols) = im2col_shape(input, geo);
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_into(input, geo, &mut out, cols);
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// [`im2col`] with the patch matrix drawn from `ws`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its plane size disagrees with `geo`.
+pub fn im2col_ws(input: &Tensor, geo: &Conv2dGeometry, ws: &mut Workspace) -> Tensor {
+    let (rows, cols) = im2col_shape(input, geo);
+    let mut out = ws.take_zeroed(rows * cols);
+    im2col_into(input, geo, &mut out, cols);
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+fn im2col_shape(input: &Tensor, geo: &Conv2dGeometry) -> (usize, usize) {
     let d = input.dims();
     assert_eq!(d.len(), 4, "im2col input rank {}", d.len());
     assert_eq!(
@@ -91,42 +112,49 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Tensor {
         geo.in_h,
         geo.in_w
     );
+    let k = geo.kernel;
+    (d[1] * k * k, d[0] * geo.out_positions())
+}
+
+/// Fills the `[C·K·K, cols]` patch matrix, one tap row per unit of
+/// parallelism (rows are fully independent).
+fn im2col_into(input: &Tensor, geo: &Conv2dGeometry, out: &mut [f32], cols: usize) {
+    if out.is_empty() {
+        return;
+    }
+    let d = input.dims();
     let (n, c) = (d[0], d[1]);
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let k = geo.kernel;
-    let rows = c * k * k;
-    let cols = n * oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
     let src = input.data();
     let plane = geo.in_h * geo.in_w;
 
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let row_base = row * cols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * plane;
-                    for oy in 0..oh {
-                        let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
-                        let col_base = row_base + (ni * oh + oy) * ow;
-                        if iy < 0 || iy >= geo.in_h as isize {
-                            continue; // stays zero (padding)
+    pool::parallel_rows_mut(out, cols, 1, |rows, block| {
+        for (bi, row) in rows.enumerate() {
+            let row_out = &mut block[bi * cols..(bi + 1) * cols];
+            let kx = row % k;
+            let ky = (row / k) % k;
+            let ci = row / (k * k);
+            for ni in 0..n {
+                let img_base = (ni * c + ci) * plane;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        continue; // stays zero (padding)
+                    }
+                    let col_base = (ni * oh + oy) * ow;
+                    let src_row = img_base + iy as usize * geo.in_w;
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                        if ix < 0 || ix >= geo.in_w as isize {
+                            continue;
                         }
-                        let src_row = img_base + iy as usize * geo.in_w;
-                        for ox in 0..ow {
-                            let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
-                            if ix < 0 || ix >= geo.in_w as isize {
-                                continue;
-                            }
-                            out[col_base + ox] = src[src_row + ix as usize];
-                        }
+                        row_out[col_base + ox] = src[src_row + ix as usize];
                     }
                 }
             }
         }
-    }
-    Tensor::from_vec(out, &[rows, cols])
+    });
 }
 
 /// Folds a `[C·K·K, N·OH·OW]` patch-gradient matrix back into an
@@ -139,46 +167,82 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Tensor {
 /// Panics if `cols` is not rank 2 or its shape disagrees with `geo`,
 /// `channels` and `batch`.
 pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, channels: usize, batch: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[batch, channels, geo.in_h, geo.in_w]);
+    col2im_into(cols, geo, channels, batch, out.data_mut());
+    out
+}
+
+/// [`col2im`] with the image-gradient buffer drawn from `ws`.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank 2 or its shape disagrees with `geo`,
+/// `channels` and `batch`.
+pub fn col2im_ws(
+    cols: &Tensor,
+    geo: &Conv2dGeometry,
+    channels: usize,
+    batch: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let mut out = ws.tensor_zeroed(&[batch, channels, geo.in_h, geo.in_w]);
+    col2im_into(cols, geo, channels, batch, out.data_mut());
+    out
+}
+
+/// Accumulates the fold, one image per unit of parallelism (each image's
+/// output region is disjoint; within an image the accumulation order over
+/// kernel taps matches the serial reference, so the scatter-add stays
+/// bit-identical at any thread count).
+fn col2im_into(
+    cols: &Tensor,
+    geo: &Conv2dGeometry,
+    channels: usize,
+    batch: usize,
+    dst: &mut [f32],
+) {
     let d = cols.dims();
     assert_eq!(d.len(), 2, "col2im input rank {}", d.len());
     let k = geo.kernel;
     let (oh, ow) = (geo.out_h(), geo.out_w());
     assert_eq!(d[0], channels * k * k, "col2im row count mismatch");
     assert_eq!(d[1], batch * oh * ow, "col2im column count mismatch");
+    if dst.is_empty() {
+        return;
+    }
 
-    let mut out = Tensor::zeros(&[batch, channels, geo.in_h, geo.in_w]);
-    let dst = out.data_mut();
     let src = cols.data();
     let plane = geo.in_h * geo.in_w;
     let ncols = d[1];
 
-    for ci in 0..channels {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let row_base = row * ncols;
-                for ni in 0..batch {
-                    let img_base = (ni * channels + ci) * plane;
-                    for oy in 0..oh {
-                        let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
-                        if iy < 0 || iy >= geo.in_h as isize {
-                            continue;
-                        }
-                        let dst_row = img_base + iy as usize * geo.in_w;
-                        let col_base = row_base + (ni * oh + oy) * ow;
-                        for ox in 0..ow {
-                            let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
-                            if ix < 0 || ix >= geo.in_w as isize {
+    pool::parallel_rows_mut(dst, channels * plane, 1, |images, block| {
+        for (bi, ni) in images.enumerate() {
+            let img = &mut block[bi * channels * plane..(bi + 1) * channels * plane];
+            for ci in 0..channels {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let row = (ci * k + ky) * k + kx;
+                        let row_base = row * ncols;
+                        for oy in 0..oh {
+                            let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+                            if iy < 0 || iy >= geo.in_h as isize {
                                 continue;
                             }
-                            dst[dst_row + ix as usize] += src[col_base + ox];
+                            let dst_row = ci * plane + iy as usize * geo.in_w;
+                            let col_base = row_base + (ni * oh + oy) * ow;
+                            for ox in 0..ow {
+                                let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+                                if ix < 0 || ix >= geo.in_w as isize {
+                                    continue;
+                                }
+                                img[dst_row + ix as usize] += src[col_base + ox];
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    out
+    });
 }
 
 #[cfg(test)]

@@ -22,21 +22,37 @@
 //!
 //! Shape errors panic with a descriptive message (as in `ndarray`); all
 //! panicking functions document this in a *Panics* section.
+//!
+//! ## The compute-kernel layer
+//!
+//! Every kernel here fans out over the [`pool`] worker threads
+//! (`FLUID_THREADS`, default: all cores) using row-partitioned chunks, so
+//! results are **bit-identical at any thread count**. Scratch-heavy
+//! kernels have `_ws` twins that draw their intermediates from a
+//! [`Workspace`] arena instead of the allocator — see
+//! `docs/PERFORMANCE.md` for the design and tuning guide.
+//!
+//! Unsafe code is denied crate-wide; the single exception is the
+//! documented lifetime-erasure at the heart of [`pool`]'s scoped
+//! execution.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod im2col;
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod reduce;
 mod rng;
 mod shape;
 mod tensor;
+mod workspace;
 
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_ws, im2col, im2col_ws, Conv2dGeometry};
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
 pub use rng::Prng;
 pub use shape::{numel, Shape};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -1,10 +1,136 @@
 //! Matrix multiplication kernels, including the transposed variants used by
 //! backpropagation.
 //!
-//! All kernels are cache-friendly ikj loops over contiguous rows; fast enough
-//! for the paper's ≤16-channel model while staying dependency-free.
+//! All three kernels are **blocked and row-parallel**: output rows are
+//! partitioned across the [`pool`](crate::pool) workers, and within a task
+//! the right-hand side is walked in column tiles so the hot panel stays in
+//! cache. Each output element's accumulation order is fixed by the kernel
+//! alone (never by tile or thread boundaries), so results are bit-identical
+//! at any thread count. The kernels are dense and branch-free — a zero in
+//! the input costs the same as any other value (see the zero-row test).
 
+use crate::pool;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
+
+/// Columns per right-hand-side tile: the `out`/`rhs` row panels walked by
+/// one inner loop stay within a few KB of L1. Matrices at most
+/// [`COL_TILE_SKIP`] columns wide run as a single pass — tiling only pays
+/// once the rhs panel outgrows L2.
+const COL_TILE: usize = 512;
+
+/// Column count up to which tiling is skipped entirely.
+const COL_TILE_SKIP: usize = 1024;
+
+/// Tile width for an `n`-column output.
+fn col_tile(n: usize) -> usize {
+    if n <= COL_TILE_SKIP {
+        n.max(1)
+    } else {
+        COL_TILE
+    }
+}
+
+/// Minimum output rows per pool task; below this, fan-out overhead beats
+/// the win.
+const ROW_GRAIN: usize = 2;
+
+/// Output columns computed per pass over the shared lhs row in
+/// [`Tensor::matmul_bt`]. Each column keeps its own strictly-serial
+/// accumulation chain (bit-identical to the naive dot product); the win is
+/// instruction-level parallelism across the four independent chains and a
+/// single pass over the lhs row.
+const BT_COLS: usize = 4;
+
+/// `out[m × n] += lhs[m × k] · rhs[k × n]` for one block of output rows.
+fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + col_tile(n)).min(n);
+        for i in 0..m {
+            let a_row = &lhs[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n + jb..i * n + je];
+            for (p, &av) in a_row.iter().enumerate() {
+                let rhs_row = &rhs[p * n + jb..p * n + je];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += av * r;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+/// `out[rows × n] += lhsᵀ rows of [k × m] · rhs[k × n]` for absolute output
+/// rows `row_lo..row_lo + rows`.
+fn matmul_at_block(
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+    row_lo: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let rows = out.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + col_tile(n)).min(n);
+        for bi in 0..rows {
+            let i = row_lo + bi;
+            let out_row = &mut out[bi * n + jb..bi * n + je];
+            for p in 0..k {
+                let av = lhs[p * m + i];
+                let rhs_row = &rhs[p * n + jb..p * n + je];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += av * r;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+/// One block of `matmul_bt` output rows: each `out[i][j]` is a dot product
+/// of lhs row `i` and rhs row `j`, accumulated in strict index order
+/// (bit-identical to the naive serial kernel). Four columns share each
+/// pass over the lhs row for cache reuse and independent FP chains.
+fn matmul_bt_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    for i in 0..m {
+        let a_row = &lhs[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + BT_COLS <= n {
+            let b0 = &rhs[j * k..(j + 1) * k];
+            let b1 = &rhs[(j + 1) * k..(j + 2) * k];
+            let b2 = &rhs[(j + 2) * k..(j + 3) * k];
+            let b3 = &rhs[(j + 3) * k..(j + 4) * k];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (p, &av) in a_row.iter().enumerate() {
+                a0 += av * b0[p];
+                a1 += av * b1[p];
+                a2 += av * b2[p];
+                a3 += av * b3[p];
+            }
+            out_row[j] = a0;
+            out_row[j + 1] = a1;
+            out_row[j + 2] = a2;
+            out_row[j + 3] = a3;
+            j += BT_COLS;
+        }
+        while j < n {
+            let b_row = &rhs[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
 
 impl Tensor {
     /// Matrix product `self · other` for `[M, K] × [K, N] → [M, N]`.
@@ -13,27 +139,21 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let (a, b) = (self.dims(), other.dims());
-        assert_eq!(a.len(), 2, "matmul lhs rank {}", a.len());
-        assert_eq!(b.len(), 2, "matmul rhs rank {}", b.len());
-        assert_eq!(a[1], b[0], "matmul inner dims {} vs {}", a[1], b[0]);
-        let (m, k, n) = (a[0], a[1], b[1]);
+        let (m, k, n) = mm_dims(self, other);
         let mut out = vec![0.0f32; m * n];
-        let lhs = self.data();
-        let rhs = other.data();
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for p in 0..k {
-                let av = lhs[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs[p * n..(p + 1) * n];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += av * r;
-                }
-            }
-        }
+        matmul_into(self.data(), other.data(), &mut out, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`matmul`](Tensor::matmul) with the output buffer drawn from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (m, k, n) = mm_dims(self, other);
+        let mut out = ws.take_zeroed(m * n);
+        matmul_into(self.data(), other.data(), &mut out, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -44,28 +164,22 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the shared dimension differs.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
-        let (a, b) = (self.dims(), other.dims());
-        assert_eq!(a.len(), 2, "matmul_at lhs rank {}", a.len());
-        assert_eq!(b.len(), 2, "matmul_at rhs rank {}", b.len());
-        assert_eq!(a[0], b[0], "matmul_at shared dims {} vs {}", a[0], b[0]);
-        let (k, m, n) = (a[0], a[1], b[1]);
+        let (k, m, n) = mm_at_dims(self, other);
         let mut out = vec![0.0f32; m * n];
-        let lhs = self.data();
-        let rhs = other.data();
-        for p in 0..k {
-            let lhs_row = &lhs[p * m..(p + 1) * m];
-            let rhs_row = &rhs[p * n..(p + 1) * n];
-            for i in 0..m {
-                let av = lhs_row[i];
-                if av == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += av * r;
-                }
-            }
-        }
+        matmul_at_into(self.data(), other.data(), &mut out, k, m, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`matmul_at`](Tensor::matmul_at) with the output buffer drawn from
+    /// `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_at_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (k, m, n) = mm_at_dims(self, other);
+        let mut out = ws.take_zeroed(m * n);
+        matmul_at_into(self.data(), other.data(), &mut out, k, m, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -76,27 +190,78 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the shared dimension differs.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
-        let (a, b) = (self.dims(), other.dims());
-        assert_eq!(a.len(), 2, "matmul_bt lhs rank {}", a.len());
-        assert_eq!(b.len(), 2, "matmul_bt rhs rank {}", b.len());
-        assert_eq!(a[1], b[1], "matmul_bt shared dims {} vs {}", a[1], b[1]);
-        let (m, k, n) = (a[0], a[1], b[0]);
+        let (m, k, n) = mm_bt_dims(self, other);
         let mut out = vec![0.0f32; m * n];
-        let lhs = self.data();
-        let rhs = other.data();
-        for i in 0..m {
-            let lhs_row = &lhs[i * k..(i + 1) * k];
-            for j in 0..n {
-                let rhs_row = &rhs[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (l, r) in lhs_row.iter().zip(rhs_row) {
-                    acc += l * r;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        matmul_bt_into(self.data(), other.data(), &mut out, k, n);
         Tensor::from_vec(out, &[m, n])
     }
+
+    /// [`matmul_bt`](Tensor::matmul_bt) with the output buffer drawn from
+    /// `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the shared dimension differs.
+    pub fn matmul_bt_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (m, k, n) = mm_bt_dims(self, other);
+        let mut out = ws.take_zeroed(m * n);
+        matmul_bt_into(self.data(), other.data(), &mut out, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+fn mm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (a, b) = (a.dims(), b.dims());
+    assert_eq!(a.len(), 2, "matmul lhs rank {}", a.len());
+    assert_eq!(b.len(), 2, "matmul rhs rank {}", b.len());
+    assert_eq!(a[1], b[0], "matmul inner dims {} vs {}", a[1], b[0]);
+    (a[0], a[1], b[1])
+}
+
+fn mm_at_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (a, b) = (a.dims(), b.dims());
+    assert_eq!(a.len(), 2, "matmul_at lhs rank {}", a.len());
+    assert_eq!(b.len(), 2, "matmul_at rhs rank {}", b.len());
+    assert_eq!(a[0], b[0], "matmul_at shared dims {} vs {}", a[0], b[0]);
+    (a[0], a[1], b[1])
+}
+
+fn mm_bt_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (a, b) = (a.dims(), b.dims());
+    assert_eq!(a.len(), 2, "matmul_bt lhs rank {}", a.len());
+    assert_eq!(b.len(), 2, "matmul_bt rhs rank {}", b.len());
+    assert_eq!(a[1], b[1], "matmul_bt shared dims {} vs {}", a[1], b[1]);
+    (a[0], a[1], b[0])
+}
+
+fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if out.is_empty() || k == 0 {
+        return;
+    }
+    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
+        matmul_block(&lhs[rows.start * k..rows.end * k], rhs, block, k, n);
+    });
+}
+
+fn matmul_at_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    if out.is_empty() || k == 0 {
+        return;
+    }
+    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
+        matmul_at_block(lhs, rhs, block, rows.start, k, m, n);
+    });
+}
+
+fn matmul_bt_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if out.is_empty() {
+        return;
+    }
+    if k == 0 {
+        return; // an empty reduction leaves the zero-initialised output
+    }
+    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
+        matmul_bt_block(&lhs[rows.start * k..rows.end * k], rhs, block, k, n);
+    });
 }
 
 #[cfg(test)]
@@ -133,6 +298,14 @@ mod tests {
     }
 
     #[test]
+    fn matmul_wide_exceeds_column_tile() {
+        // Wider than COL_TILE so the j-tiling path is actually exercised.
+        let a = Tensor::from_fn(&[3, 7], |i| (i as f32 * 0.3).sin());
+        let b = Tensor::from_fn(&[7, COL_TILE + 37], |i| (i as f32 * 0.11).cos());
+        assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
     fn matmul_at_equals_explicit_transpose() {
         let a = Tensor::from_fn(&[6, 4], |i| (i as f32).sqrt());
         let b = Tensor::from_fn(&[6, 3], |i| i as f32 * 0.1);
@@ -147,6 +320,27 @@ mod tests {
     }
 
     #[test]
+    fn matmul_bt_is_bit_identical_to_naive_dot() {
+        // The column-blocked kernel must keep each output's accumulation in
+        // strict index order: exact equality with the naive dot product,
+        // including a column count that is not a multiple of the block.
+        let k = 197;
+        let n = BT_COLS * 5 + 3;
+        let a = Tensor::from_fn(&[3, k], |i| (i as f32 * 0.013).sin());
+        let b = Tensor::from_fn(&[n, k], |i| (i as f32 * 0.029).cos());
+        let got = a.matmul_bt(&b);
+        for i in 0..3 {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at2(i, p) * b.at2(j, p);
+                }
+                assert_eq!(got.at2(i, j), acc, "({i},{j}) drifted from serial order");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "matmul inner dims")]
     fn matmul_dim_mismatch_panics() {
         let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
@@ -158,5 +352,51 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = a.matmul(&b);
         assert_eq!(c.dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn matmul_zero_valued_row_yields_zero_output_row() {
+        // The kernels are dense (no zero-skip fast path); an all-zero input
+        // row must still produce an exactly-zero output row.
+        let mut a = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.7).sin() - 0.4);
+        for x in a.data_mut()[4..8].iter_mut() {
+            *x = 0.0;
+        }
+        let b = Tensor::from_fn(&[4, 5], |i| (i as f32 * 1.1).cos());
+        let c = a.matmul(&b);
+        assert!(c.allclose(&naive_matmul(&a, &b), 1e-5));
+        for j in 0..5 {
+            assert_eq!(c.at2(1, j), 0.0, "zero row must stay exactly zero");
+        }
+        // Same property through the transposed kernels.
+        let bt = a.matmul_bt(&Tensor::from_fn(&[2, 4], |i| i as f32 - 3.0));
+        for j in 0..2 {
+            assert_eq!(bt.at2(1, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn matmul_with_zero_inner_dim_is_zero() {
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn workspace_variants_match_allocating_kernels() {
+        let mut ws = Workspace::new();
+        let a = Tensor::from_fn(&[5, 7], |i| (i as f32 * 0.31).sin());
+        let b = Tensor::from_fn(&[7, 6], |i| (i as f32 * 0.17).cos());
+        let c = Tensor::from_fn(&[5, 6], |i| (i as f32 * 0.23).sin());
+        let d = Tensor::from_fn(&[4, 7], |i| (i as f32 * 0.41).cos());
+        assert_eq!(a.matmul_ws(&b, &mut ws), a.matmul(&b));
+        assert_eq!(a.matmul_at_ws(&c, &mut ws), a.matmul_at(&c));
+        assert_eq!(a.matmul_bt_ws(&d, &mut ws), a.matmul_bt(&d));
+        // Run twice so the second pass reuses (dirty) recycled buffers.
+        let r = a.matmul_ws(&b, &mut ws);
+        ws.recycle(r);
+        assert_eq!(a.matmul_ws(&b, &mut ws), a.matmul(&b));
     }
 }

@@ -1,6 +1,15 @@
 //! Elementwise operations and in-place arithmetic on [`Tensor`].
+//!
+//! Large tensors are processed in parallel chunks via the
+//! [`pool`](crate::pool); every element is computed independently, so
+//! results are bit-identical at any thread count.
 
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Minimum elements per pool task for elementwise maps; below this the
+/// fan-out overhead dominates and the op runs inline.
+const ELEM_GRAIN: usize = 4096;
 
 impl Tensor {
     /// Elementwise sum with another tensor of the same shape.
@@ -36,8 +45,18 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
+    ///
+    /// `f` must be [`Sync`] because large tensors are mapped in parallel
+    /// chunks (pure closures always are).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data();
+        let mut out = vec![0.0f32; src.len()];
+        pool::parallel_rows_mut(&mut out, 1, ELEM_GRAIN, |range, block| {
+            for (o, &x) in block.iter_mut().zip(&src[range]) {
+                *o = f(x);
+            }
+        });
+        Tensor::from_vec(out, self.dims())
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -45,16 +64,16 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if shapes differ.
-    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.dims(), other.dims(), "elementwise shape mismatch");
-        Tensor::from_vec(
-            self.data()
-                .iter()
-                .zip(other.data())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            self.dims(),
-        )
+        let (lhs, rhs) = (self.data(), other.data());
+        let mut out = vec![0.0f32; lhs.len()];
+        pool::parallel_rows_mut(&mut out, 1, ELEM_GRAIN, |range, block| {
+            for ((o, &a), &b) in block.iter_mut().zip(&lhs[range.clone()]).zip(&rhs[range]) {
+                *o = f(a, b);
+            }
+        });
+        Tensor::from_vec(out, self.dims())
     }
 
     /// In-place `self += other`.
@@ -64,9 +83,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += b;
-        }
+        let rhs = other.data();
+        pool::parallel_rows_mut(self.data_mut(), 1, ELEM_GRAIN, |range, block| {
+            for (a, &b) in block.iter_mut().zip(&rhs[range]) {
+                *a += b;
+            }
+        });
     }
 
     /// In-place `self += k * other` (axpy).
@@ -76,14 +98,19 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn axpy(&mut self, k: f32, other: &Tensor) {
         assert_eq!(self.dims(), other.dims(), "axpy shape mismatch");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += k * b;
-        }
+        let rhs = other.data();
+        pool::parallel_rows_mut(self.data_mut(), 1, ELEM_GRAIN, |range, block| {
+            for (a, &b) in block.iter_mut().zip(&rhs[range]) {
+                *a += k * b;
+            }
+        });
     }
 
     /// In-place scalar multiplication.
     pub fn scale_in_place(&mut self, k: f32) {
-        self.data_mut().iter_mut().for_each(|x| *x *= k);
+        pool::parallel_rows_mut(self.data_mut(), 1, ELEM_GRAIN, |_, block| {
+            block.iter_mut().for_each(|x| *x *= k);
+        });
     }
 
     /// Rectified linear unit, elementwise `max(x, 0)`.
@@ -108,11 +135,14 @@ impl Tensor {
         );
         let mut out = self.clone();
         let f = d[1];
-        for r in 0..d[0] {
-            for c in 0..f {
-                out.data_mut()[r * f + c] += bias.data()[c];
+        let b = bias.data();
+        pool::parallel_rows_mut(out.data_mut(), f, 64, |_, block| {
+            for row in block.chunks_mut(f) {
+                for (x, &bv) in row.iter_mut().zip(b) {
+                    *x += bv;
+                }
             }
-        }
+        });
         out
     }
 
@@ -133,15 +163,16 @@ impl Tensor {
         );
         let mut out = self.clone();
         let plane = d[2] * d[3];
-        for n in 0..d[0] {
-            for c in 0..d[1] {
-                let b = bias.data()[c];
-                let base = (n * d[1] + c) * plane;
-                for x in &mut out.data_mut()[base..base + plane] {
-                    *x += b;
+        let channels = d[1];
+        let b = bias.data();
+        pool::parallel_rows_mut(out.data_mut(), plane, 8, |planes, block| {
+            for (bi, p) in planes.enumerate() {
+                let bv = b[p % channels];
+                for x in &mut block[bi * plane..(bi + 1) * plane] {
+                    *x += bv;
                 }
             }
-        }
+        });
         out
     }
 

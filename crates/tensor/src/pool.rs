@@ -1,0 +1,440 @@
+//! A persistent, dependency-free worker pool for data-parallel kernels.
+//!
+//! Every compute kernel in this crate bottoms out in one of two primitives:
+//!
+//! * [`parallel_rows`] — read-only fan-out over a contiguous index range,
+//! * [`parallel_rows_mut`] — fan-out that hands each worker a *disjoint*
+//!   contiguous block of whole output rows.
+//!
+//! Work is **row-partitioned**: a given output row is always computed by
+//! exactly one task, running exactly the same per-row code the serial path
+//! runs. Chunk boundaries therefore never change any floating-point
+//! accumulation order, which is what makes every kernel in this crate
+//! **bit-identical at any thread count** (see `docs/PERFORMANCE.md`).
+//!
+//! The pool is std-only (no rayon): a fixed set of detached worker threads
+//! blocks on a shared queue; a parallel region enqueues one closure per
+//! chunk, runs the first chunk on the calling thread, and blocks until the
+//! rest have finished. Threads are spawned lazily on first use and live for
+//! the rest of the process.
+//!
+//! ## Configuration
+//!
+//! The thread count comes from, in priority order:
+//!
+//! 1. [`set_threads`] (runtime override, e.g. `fluidctl --threads 4`),
+//! 2. the `FLUID_THREADS` environment variable, read once at first use,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `threads() == 1` makes every primitive run inline on the caller with no
+//! queue traffic at all — the serial reference path *is* the parallel path
+//! at one thread.
+//!
+//! ## Example
+//!
+//! ```
+//! use fluid_tensor::pool;
+//!
+//! let input = vec![1.0f32; 1024];
+//! let mut out = vec![0.0f32; 1024];
+//! pool::parallel_rows_mut(&mut out, 1, 64, |rows, block| {
+//!     for (o, i) in block.iter_mut().zip(&input[rows]) {
+//!         *o = i * 2.0;
+//!     }
+//! });
+//! assert!(out.iter().all(|&x| x == 2.0));
+//! ```
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Set while a pool worker (or a nested region's caller) is executing a
+    /// task. A parallel region entered from such a thread runs inline —
+    /// queueing its tasks could deadlock: every worker might be blocked in
+    /// a `WaitGuard` on inner regions whose tasks nobody is left to drain.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The environment variable consulted (once, at first use) for the default
+/// worker count.
+pub const THREADS_ENV: &str = "FLUID_THREADS";
+
+static THREADS: OnceLock<AtomicUsize> = OnceLock::new();
+
+fn threads_cell() -> &'static AtomicUsize {
+    THREADS.get_or_init(|| AtomicUsize::new(default_threads()))
+}
+
+fn default_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// The number of threads parallel regions currently fan out to (including
+/// the calling thread).
+pub fn threads() -> usize {
+    threads_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the thread count at runtime (clamped to at least 1).
+///
+/// Takes effect for every subsequent parallel region in the process; the
+/// persistent workers themselves are grown on demand and never shrink.
+pub fn set_threads(n: usize) {
+    threads_cell().store(n.max(1), Ordering::Relaxed);
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    tasks: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+struct Pool {
+    queue: Arc<Queue>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Arc::new(Queue {
+            tasks: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Grows the worker set to at least `wanted` threads.
+fn ensure_workers(wanted: usize) {
+    let pool = pool();
+    let mut spawned = pool.spawned.lock().expect("pool spawn lock");
+    while *spawned < wanted {
+        let queue = Arc::clone(&pool.queue);
+        std::thread::Builder::new()
+            .name(format!("fluid-pool-{spawned}"))
+            .spawn(move || loop {
+                let task = {
+                    let mut tasks = queue.tasks.lock().expect("pool queue lock");
+                    loop {
+                        match tasks.pop_front() {
+                            Some(t) => break t,
+                            None => tasks = queue.available.wait(tasks).expect("pool queue wait"),
+                        }
+                    }
+                };
+                task();
+            })
+            .expect("failed to spawn fluid-tensor pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Completion tracking for one parallel region.
+struct ScopeSync {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl ScopeSync {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().expect("scope lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("scope lock");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("scope wait");
+        }
+    }
+}
+
+/// Runs every task to completion before returning: the first on the calling
+/// thread, the rest on pool workers. This blocking is what makes the
+/// lifetime erasure below sound — no task can outlive the borrows it
+/// captures, because `run_scope` does not return (even by unwinding) until
+/// every task has finished.
+fn run_scope(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut iter = tasks.into_iter();
+    let Some(first) = iter.next() else { return };
+    let rest: Vec<_> = iter.collect();
+    if rest.is_empty() {
+        first();
+        return;
+    }
+    if IN_POOL_TASK.with(Cell::get) {
+        // Nested region: run everything inline (identical chunking, so
+        // still bit-identical) instead of risking a queue deadlock.
+        first();
+        for task in rest {
+            task();
+        }
+        return;
+    }
+
+    ensure_workers(rest.len());
+    let sync = Arc::new(ScopeSync::new(rest.len()));
+    {
+        let queue = &pool().queue;
+        let mut queued = queue.tasks.lock().expect("pool queue lock");
+        for task in rest {
+            // SAFETY: `Box<dyn FnOnce() + Send + '_>` and the `'static`
+            // form have identical layout; only the lifetime is erased. The
+            // `WaitGuard` below blocks (on every exit path, including
+            // unwinding) until workers have run all erased tasks, so every
+            // borrow the tasks capture strictly outlives their execution.
+            #[allow(unsafe_code)]
+            let task: Task = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(task)
+            };
+            let sync = Arc::clone(&sync);
+            queued.push_back(Box::new(move || {
+                IN_POOL_TASK.with(|f| f.set(true));
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    sync.panicked.store(true, Ordering::SeqCst);
+                }
+                IN_POOL_TASK.with(|f| f.set(false));
+                sync.finish_one();
+            }));
+        }
+        queue.available.notify_all();
+    }
+
+    struct WaitGuard<'a>(&'a ScopeSync);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            self.0.wait();
+        }
+    }
+    let guard = WaitGuard(&sync);
+    let caller_result = catch_unwind(AssertUnwindSafe(first));
+    drop(guard); // blocks until every queued task has completed
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if sync.panicked.load(Ordering::SeqCst) {
+        panic!("fluid-tensor pool task panicked");
+    }
+}
+
+/// Splits `0..rows` into at most `threads()` contiguous chunks of at least
+/// `grain` rows and runs `f` on each chunk, blocking until all complete.
+///
+/// With one thread, tiny inputs, or `rows == 0` this degenerates to a plain
+/// inline call — the serial path and the parallel path are the same code.
+pub fn parallel_rows(rows: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    if rows == 0 {
+        return;
+    }
+    let chunks = chunk_count(rows, grain);
+    if chunks <= 1 {
+        f(0..rows);
+        return;
+    }
+    let per_chunk = rows.div_ceil(chunks);
+    let f = &f;
+    // `chunks * per_chunk` can overshoot `rows` (e.g. 5 rows in 4 chunks of
+    // 2), so stop as soon as the range is exhausted instead of emitting
+    // inverted tail ranges.
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
+        .map_while(|c| {
+            let lo = c * per_chunk;
+            if lo >= rows {
+                return None;
+            }
+            let hi = (lo + per_chunk).min(rows);
+            Some(Box::new(move || f(lo..hi)) as Box<dyn FnOnce() + Send + '_>)
+        })
+        .collect();
+    run_scope(tasks);
+}
+
+/// Splits `data` (interpreted as rows of `row_len` elements) into at most
+/// `threads()` disjoint blocks of whole rows and runs `f(row_range, block)`
+/// on each, blocking until all complete.
+///
+/// Each output row is written by exactly one task, so results cannot depend
+/// on the thread count.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_len`.
+pub fn parallel_rows_mut<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    grain: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0 && data.len().is_multiple_of(row_len),
+        "buffer of {} elements is not whole rows of {row_len}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let chunks = chunk_count(rows, grain);
+    if chunks <= 1 {
+        f(0..rows, data);
+        return;
+    }
+    let per_chunk = rows.div_ceil(chunks);
+    let f = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+    let mut start_row = 0usize;
+    for block in data.chunks_mut(per_chunk * row_len) {
+        let rows_here = block.len() / row_len;
+        let lo = start_row;
+        tasks.push(Box::new(move || f(lo..lo + rows_here, block)));
+        start_row += rows_here;
+    }
+    run_scope(tasks);
+}
+
+/// How many chunks to cut `rows` into: bounded by the thread knob and by
+/// the `grain` floor so tiny inputs stay serial.
+fn chunk_count(rows: usize, grain: usize) -> usize {
+    let grain = grain.max(1);
+    threads().min(rows.div_ceil(grain)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module mutate the global thread knob; serialize them.
+    fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn rows_mut_covers_every_row_once() {
+        let _guard = knob_lock();
+        for t in [1, 2, 3, 8] {
+            set_threads(t);
+            let mut data = vec![0u32; 7 * 3];
+            parallel_rows_mut(&mut data, 3, 1, |rows, block| {
+                for (r, row) in rows.clone().zip(block.chunks_mut(3)) {
+                    for x in row {
+                        *x += r as u32 + 1;
+                    }
+                }
+            });
+            for (r, row) in data.chunks(3).enumerate() {
+                assert!(row.iter().all(|&x| x == r as u32 + 1), "threads {t}");
+            }
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn read_fanout_visits_full_range() {
+        let _guard = knob_lock();
+        set_threads(4);
+        let hits = Mutex::new(vec![0usize; 100]);
+        parallel_rows(100, 1, |range| {
+            let mut hits = hits.lock().expect("hits");
+            for i in range {
+                hits[i] += 1;
+            }
+        });
+        set_threads(1);
+        assert!(hits.into_inner().expect("hits").iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn grain_keeps_small_inputs_serial() {
+        // 10 rows at grain 64 must produce a single chunk regardless of the
+        // thread knob.
+        assert_eq!(chunk_count(10, 64), 1);
+        assert_eq!(chunk_count(1, 1), 1);
+    }
+
+    #[test]
+    fn indivisible_row_counts_never_produce_inverted_ranges() {
+        // 5 rows across 4 threads: ceil(5/4)=2 rows per chunk, so only 3
+        // chunks exist — the old code emitted a dangling 6..5 range.
+        let _guard = knob_lock();
+        set_threads(4);
+        let data: Vec<u32> = (0..5).collect();
+        let seen = Mutex::new(vec![0usize; 5]);
+        parallel_rows(5, 1, |range| {
+            assert!(range.start <= range.end, "inverted range {range:?}");
+            // Slicing with the range (the natural use) must be in bounds.
+            for &v in &data[range.clone()] {
+                seen.lock().expect("seen")[v as usize] += 1;
+            }
+        });
+        set_threads(1);
+        assert!(seen.into_inner().expect("seen").iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_inline_instead_of_deadlocking() {
+        let _guard = knob_lock();
+        set_threads(4);
+        let outer_rows = Mutex::new(0usize);
+        let outer_calls = Mutex::new(0usize);
+        let inner_rows = Mutex::new(0usize);
+        parallel_rows(8, 1, |outer| {
+            *outer_rows.lock().expect("outer") += outer.len();
+            *outer_calls.lock().expect("calls") += 1;
+            // A nested region from inside a pool task must complete (it
+            // runs inline on this worker) rather than deadlock the queue.
+            parallel_rows(8, 1, |inner| {
+                *inner_rows.lock().expect("inner") += inner.len();
+            });
+        });
+        set_threads(1);
+        assert_eq!(*outer_rows.lock().expect("outer"), 8);
+        let calls = *outer_calls.lock().expect("calls");
+        assert_eq!(*inner_rows.lock().expect("inner"), calls * 8);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _guard = knob_lock();
+        set_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_rows(64, 1, |range| {
+                if range.contains(&63) {
+                    panic!("boom in worker");
+                }
+            });
+        }));
+        set_threads(1);
+        assert!(result.is_err(), "panic in a pool task must not be lost");
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let _guard = knob_lock();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+    }
+}

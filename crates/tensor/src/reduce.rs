@@ -1,5 +1,12 @@
 //! Reductions, softmax and argmax.
+//!
+//! Structured reductions are partitioned over their *output* elements
+//! (columns, channels, rows), so each output's accumulation order matches
+//! the serial reference exactly and results are bit-identical at any
+//! thread count. Whole-tensor scalar reductions ([`Tensor::sum`] and
+//! friends) stay serial — splitting them would reorder the float sum.
 
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -41,11 +48,17 @@ impl Tensor {
         assert_eq!(d.len(), 2, "sum_rows on rank-{} tensor", d.len());
         let (n, f) = (d[0], d[1]);
         let mut out = Tensor::zeros(&[f]);
-        for r in 0..n {
-            for c in 0..f {
-                out.data_mut()[c] += self.data()[r * f + c];
+        let src = self.data();
+        // Partitioned over output columns; each column still accumulates
+        // its rows in ascending order, exactly like the serial loop.
+        pool::parallel_rows_mut(out.data_mut(), 1, 64, |cols, block| {
+            for r in 0..n {
+                let row = &src[r * f..(r + 1) * f];
+                for (o, c) in block.iter_mut().zip(cols.clone()) {
+                    *o += row[c];
+                }
             }
-        }
+        });
         out
     }
 
@@ -58,13 +71,19 @@ impl Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 4, "sum_per_channel on rank-{} tensor", d.len());
         let plane = d[2] * d[3];
-        let mut out = Tensor::zeros(&[d[1]]);
-        for n in 0..d[0] {
-            for c in 0..d[1] {
-                let base = (n * d[1] + c) * plane;
-                out.data_mut()[c] += self.data()[base..base + plane].iter().sum::<f32>();
+        let (batch, channels) = (d[0], d[1]);
+        let mut out = Tensor::zeros(&[channels]);
+        let src = self.data();
+        // Partitioned over output channels; per channel the image order (and
+        // the within-plane order) matches the serial reference.
+        pool::parallel_rows_mut(out.data_mut(), 1, 4, |chans, block| {
+            for n in 0..batch {
+                for (o, c) in block.iter_mut().zip(chans.clone()) {
+                    let base = (n * channels + c) * plane;
+                    *o += src[base..base + plane].iter().sum::<f32>();
+                }
             }
-        }
+        });
         out
     }
 
@@ -77,20 +96,21 @@ impl Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "softmax_rows on rank-{} tensor", d.len());
         assert!(d[1] > 0, "softmax over zero classes");
-        let (n, f) = (d[0], d[1]);
+        let f = d[1];
         let mut out = self.clone();
-        for r in 0..n {
-            let row = &mut out.data_mut()[r * f..(r + 1) * f];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                z += *x;
+        pool::parallel_rows_mut(out.data_mut(), f, 16, |_, block| {
+            for row in block.chunks_mut(f) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    z += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= z;
+                }
             }
-            for x in row.iter_mut() {
-                *x /= z;
-            }
-        }
+        });
         out
     }
 
@@ -104,18 +124,21 @@ impl Tensor {
         assert_eq!(d.len(), 2, "argmax_rows on rank-{} tensor", d.len());
         assert!(d[1] > 0, "argmax over zero classes");
         let (n, f) = (d[0], d[1]);
-        (0..n)
-            .map(|r| {
-                let row = &self.data()[r * f..(r + 1) * f];
+        let src = self.data();
+        let mut out = vec![0usize; n];
+        pool::parallel_rows_mut(&mut out, 1, 64, |rows, block| {
+            for (o, r) in block.iter_mut().zip(rows) {
+                let row = &src[r * f..(r + 1) * f];
                 let mut best = 0;
                 for (i, &v) in row.iter().enumerate() {
                     if v > row[best] {
                         best = i;
                     }
                 }
-                best
-            })
-            .collect()
+                *o = best;
+            }
+        });
+        out
     }
 }
 

@@ -270,21 +270,59 @@ impl Tensor {
         out
     }
 
-    /// Extracts rows `[lo, hi)` of an `[N, F]` tensor.
+    /// Borrowed view of row `r` of an `[N, F]` tensor — no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        self.rows(r, r + 1)
+    }
+
+    /// Borrowed view of rows `[lo, hi)` of an `[N, F]` tensor — no copy.
+    ///
+    /// This is the zero-allocation sibling of [`slice_rows`]; hot paths
+    /// (mini-batch gathering, wire serialisation) should prefer it.
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2 or the range is invalid.
-    pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
+    ///
+    /// [`slice_rows`]: Tensor::slice_rows
+    pub fn rows(&self, lo: usize, hi: usize) -> &[f32] {
         let d = self.dims();
-        assert_eq!(d.len(), 2, "slice_rows on rank-{} tensor", d.len());
+        assert_eq!(d.len(), 2, "rows on rank-{} tensor", d.len());
         assert!(
             lo <= hi && hi <= d[0],
             "row range {lo}..{hi} out of 0..{}",
             d[0]
         );
-        let f = d[1];
-        Tensor::from_vec(self.data[lo * f..hi * f].to_vec(), &[hi - lo, f])
+        &self.data[lo * d[1]..hi * d[1]]
+    }
+
+    /// Borrowed view of example `i` along the first axis of any tensor of
+    /// rank ≥ 1 (e.g. one `[C, H, W]` image of an `[N, C, H, W]` batch) —
+    /// no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0 or `i` is out of range.
+    pub fn example(&self, i: usize) -> &[f32] {
+        let d = self.dims();
+        assert!(!d.is_empty(), "example on rank-0 tensor");
+        assert!(i < d[0], "example {i} out of {}", d[0]);
+        let stride: usize = d[1..].iter().product();
+        &self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Extracts rows `[lo, hi)` of an `[N, F]` tensor as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the range is invalid.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
+        let data = self.rows(lo, hi).to_vec();
+        Tensor::from_vec(data, &[hi - lo, self.dim(1)])
     }
 
     /// Concatenates `[N, C, H, W]` tensors along the channel axis.
@@ -486,6 +524,32 @@ mod tests {
         let s = t.slice_rows(1, 3);
         assert_eq!(s.dims(), &[2, 2]);
         assert_eq!(s.data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn row_views_borrow_without_copying() {
+        let t = Tensor::from_fn(&[4, 2], |i| i as f32);
+        assert_eq!(t.row(1), &[2.0, 3.0]);
+        assert_eq!(t.rows(1, 3), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.rows(2, 2), &[] as &[f32]);
+        // The view aliases the tensor's own storage.
+        assert_eq!(t.rows(0, 4).as_ptr(), t.data().as_ptr());
+    }
+
+    #[test]
+    fn example_views_first_axis() {
+        let t = Tensor::from_fn(&[3, 2, 2, 2], |i| i as f32);
+        assert_eq!(
+            t.example(1),
+            &[8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+        );
+        assert_eq!(t.example(0).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn rows_out_of_range_panics() {
+        let _ = Tensor::zeros(&[2, 2]).rows(1, 3);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Property tests: every parallel kernel is **bit-identical** to the serial
+//! reference (`FLUID_THREADS=1`) at thread counts 1, 2 and 8.
+//!
+//! This is the compute-kernel layer's central guarantee (see
+//! `docs/PERFORMANCE.md`): work is row-partitioned, so chunk boundaries
+//! never change any floating-point accumulation order. The tests run each
+//! kernel under every thread count and require *exact* equality of the
+//! output buffers — no tolerance.
+
+use fluid_tensor::{col2im, im2col, pool, Conv2dGeometry, Prng, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The pool's thread knob is process-global; tests that sweep it must not
+/// interleave.
+static KNOB: Mutex<()> = Mutex::new(());
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` under each thread count and asserts the outputs match the
+/// single-thread result exactly.
+fn assert_thread_invariant(f: impl Fn() -> Tensor) -> Result<(), TestCaseError> {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let mut reference: Option<Tensor> = None;
+    for &t in &THREAD_COUNTS {
+        pool::set_threads(t);
+        let got = f();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                if got != *want {
+                    pool::set_threads(1);
+                    return Err(TestCaseError::fail(format!(
+                        "kernel output at {t} threads differs from serial reference \
+                         (max abs diff {})",
+                        got.max_abs_diff(want)
+                    )));
+                }
+            }
+        }
+    }
+    pool::set_threads(1);
+    Ok(())
+}
+
+fn random_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = Prng::new(seed);
+    Tensor::from_fn(dims, |_| rng.uniform(-1.0, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matmul_is_thread_count_invariant(seed in 0u64..1000, m in 1usize..24, k in 1usize..48, n in 1usize..600) {
+        let a = random_tensor(seed, &[m, k]);
+        let b = random_tensor(seed ^ 1, &[k, n]);
+        assert_thread_invariant(|| a.matmul(&b))?;
+    }
+
+    #[test]
+    fn matmul_at_is_thread_count_invariant(seed in 0u64..1000, k in 1usize..32, m in 1usize..24, n in 1usize..200) {
+        let a = random_tensor(seed, &[k, m]);
+        let b = random_tensor(seed ^ 2, &[k, n]);
+        assert_thread_invariant(|| a.matmul_at(&b))?;
+    }
+
+    #[test]
+    fn matmul_bt_is_thread_count_invariant(seed in 0u64..1000, m in 1usize..16, k in 1usize..300, n in 1usize..24) {
+        let a = random_tensor(seed, &[m, k]);
+        let b = random_tensor(seed ^ 3, &[n, k]);
+        assert_thread_invariant(|| a.matmul_bt(&b))?;
+    }
+
+    #[test]
+    fn im2col_and_col2im_are_thread_count_invariant(
+        seed in 0u64..1000,
+        batch in 1usize..5,
+        c in 1usize..5,
+        side in 4usize..12,
+        pad in 0usize..2,
+    ) {
+        let geo = Conv2dGeometry::new(side, side, 3, 1, pad);
+        let x = random_tensor(seed, &[batch, c, side, side]);
+        assert_thread_invariant(|| im2col(&x, &geo))?;
+        let cols = random_tensor(
+            seed ^ 4,
+            &[c * 9, batch * geo.out_positions()],
+        );
+        assert_thread_invariant(|| col2im(&cols, &geo, c, batch))?;
+    }
+
+    #[test]
+    fn reduces_are_thread_count_invariant(seed in 0u64..1000, n in 1usize..40, f in 1usize..80) {
+        let x = random_tensor(seed, &[n, f]);
+        assert_thread_invariant(|| x.sum_rows())?;
+        assert_thread_invariant(|| x.softmax_rows())?;
+        let img = random_tensor(seed ^ 5, &[n.min(6), f.clamp(1, 8), 5, 5]);
+        assert_thread_invariant(|| img.sum_per_channel())?;
+    }
+
+    #[test]
+    fn elementwise_is_thread_count_invariant(seed in 0u64..1000, len in 1usize..20000) {
+        let a = random_tensor(seed, &[len]);
+        let b = random_tensor(seed ^ 6, &[len]);
+        assert_thread_invariant(|| a.add(&b))?;
+        assert_thread_invariant(|| a.mul(&b))?;
+        assert_thread_invariant(|| a.relu())?;
+        assert_thread_invariant(|| {
+            let mut acc = a.clone();
+            acc.axpy(0.37, &b);
+            acc
+        })?;
+    }
+
+    #[test]
+    fn argmax_is_thread_count_invariant(seed in 0u64..1000, n in 1usize..200, f in 1usize..12) {
+        let x = random_tensor(seed, &[n, f]);
+        let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let mut reference: Option<Vec<usize>> = None;
+        for &t in &THREAD_COUNTS {
+            pool::set_threads(t);
+            let got = x.argmax_rows();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => prop_assert_eq!(&got, want, "threads {}", t),
+            }
+        }
+        pool::set_threads(1);
+    }
+}
