@@ -53,6 +53,7 @@ fn main() {
         max_batch: 8,
         max_wait: Duration::from_millis(2),
         queue_cap: 128,
+        ..ServeConfig::default()
     };
     println!(
         "scheduler: max_batch {}, max_wait {:?}, queue_cap {}\n",

@@ -67,6 +67,7 @@ fn batched_outputs_are_bit_identical_to_sequential_inference() {
         max_batch: 8,
         max_wait: Duration::from_millis(20),
         queue_cap: 256,
+        ..ServeConfig::default()
     };
     let server = Server::start(cfg, vec![engine_backend("m0", &model(17))]).expect("start");
     let handle = server.handle();
@@ -119,6 +120,7 @@ fn backpressure_sheds_explicitly_past_queue_cap() {
         max_batch: 2,
         max_wait: Duration::from_millis(1),
         queue_cap: 4,
+        ..ServeConfig::default()
     };
     let slow = Box::new(SlowBackend(EngineBackend::new(
         "slow",
@@ -163,6 +165,7 @@ fn worker_loss_under_load_degrades_and_reattach_restores() {
         max_batch: 4,
         max_wait: Duration::from_micros(200),
         queue_cap: 256,
+        ..ServeConfig::default()
     };
     let server = Server::start(cfg, backends).expect("start");
     let handle = server.handle();
@@ -227,6 +230,7 @@ fn loadgen_against_inproc_server_demonstrates_batching() {
         max_batch: 8,
         max_wait: Duration::from_millis(5),
         queue_cap: 256,
+        ..ServeConfig::default()
     };
     let server = Server::start(cfg, vec![engine_backend("m0", &m)]).expect("start");
     let inputs: Vec<Tensor> = (0..8).map(input).collect();
