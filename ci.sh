@@ -1,43 +1,110 @@
 #!/usr/bin/env bash
-# Local CI for the Fluid DyDNN workspace. Mirrors what a hosted pipeline
-# would run; everything works offline.
+# Local CI for the Fluid DyDNN workspace. Mirrors what the hosted pipeline
+# (.github/workflows/ci.yml) runs; everything works offline.
+#
+# Usage:
+#   ./ci.sh                     run every stage
+#   ./ci.sh --fast              inner-loop mode: fmt + clippy + tests
+#                               (skips the slow doc and bench stages)
+#   ./ci.sh fmt clippy          run just the named stages
+#   ./ci.sh --update-bench      re-measure and commit a new bench baseline
+#                               (for *intentional* performance changes)
+#
+# Stages: fmt, clippy, doc, tests, bench.
+#
+# The bench stage is a perf regression gate: it re-runs
+# `bench_kernels --quick` and fails if any committed timing metric in
+# BENCH_kernels.json regressed by more than BENCH_TOLERANCE (default
+# 0.25 = 25% — wide enough to ride out scheduler noise on a shared CI
+# host, tight enough to catch a real kernel regression). The gate writes
+# its fresh measurements to target/BENCH_kernels.current.json, never over
+# the committed baseline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
-
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
-
-echo "==> cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
-
-echo "==> docs link check (every docs/*.md referenced from the guides exists)"
-missing=0
-for doc in $(grep -hoE 'docs/[A-Za-z0-9_.-]+\.md' README.md docs/*.md | sort -u); do
-    if [ ! -f "$doc" ]; then
-        echo "BROKEN LINK: $doc is referenced but does not exist"
-        missing=1
-    fi
+BENCH_TOLERANCE="${BENCH_TOLERANCE:-0.25}"
+UPDATE_BENCH=0
+FAST=0
+STAGES=()
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        --update-bench) UPDATE_BENCH=1 ;;
+        fmt|clippy|doc|tests|bench) STAGES+=("$arg") ;;
+        *) echo "unknown argument: $arg (stages: fmt clippy doc tests bench; flags: --fast --update-bench)"; exit 2 ;;
+    esac
 done
-# ...and the guides that exist are actually referenced from README.
-for doc in docs/*.md; do
-    if ! grep -q "$doc" README.md; then
-        echo "ORPHAN DOC: $doc is not referenced from README.md"
-        missing=1
+if [ "${#STAGES[@]}" -eq 0 ]; then
+    if [ "$FAST" -eq 1 ]; then
+        STAGES=(fmt clippy tests)
+    elif [ "$UPDATE_BENCH" -eq 1 ]; then
+        STAGES=(bench)
+    else
+        STAGES=(fmt clippy doc tests bench)
     fi
+fi
+# --update-bench means the bench stage, whatever else was asked for — it
+# must never be dropped silently (a maintainer would believe the baseline
+# was refreshed when it wasn't).
+if [ "$UPDATE_BENCH" -eq 1 ] && [[ ! " ${STAGES[*]} " == *" bench "* ]]; then
+    STAGES+=(bench)
+fi
+
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_clippy() {
+    cargo clippy --all-targets -- -D warnings
+}
+
+stage_doc() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+    echo "==> docs link check (every docs/*.md referenced from the guides exists)"
+    local missing=0
+    for doc in $(grep -hoE 'docs/[A-Za-z0-9_.-]+\.md' README.md docs/*.md | sort -u); do
+        if [ ! -f "$doc" ]; then
+            echo "BROKEN LINK: $doc is referenced but does not exist"
+            missing=1
+        fi
+    done
+    # ...and the guides that exist are actually referenced from README.
+    for doc in docs/*.md; do
+        if ! grep -q "$doc" README.md; then
+            echo "ORPHAN DOC: $doc is not referenced from README.md"
+            missing=1
+        fi
+    done
+    [ "$missing" -eq 0 ]
+}
+
+stage_tests() {
+    cargo build --release
+    # The compute-kernel layer guarantees bit-identical results at any
+    # thread count (docs/PERFORMANCE.md); run the whole suite serial and
+    # fanned-out.
+    FLUID_THREADS=1 cargo test -q
+    FLUID_THREADS=4 cargo test -q
+}
+
+stage_bench() {
+    if [ "$UPDATE_BENCH" -eq 1 ]; then
+        echo "==> re-measuring the committed bench baseline (BENCH_kernels.json)"
+        cargo run --release -p fluid-bench --bin bench_kernels -- --quick
+    else
+        cargo run --release -p fluid-bench --bin bench_kernels -- --quick \
+            --check BENCH_kernels.json --tolerance "$BENCH_TOLERANCE"
+    fi
+}
+
+TIMING_SUMMARY=""
+for stage in "${STAGES[@]}"; do
+    echo "==> stage: $stage"
+    stage_start=$(date +%s)
+    "stage_$stage"
+    stage_secs=$(( $(date +%s) - stage_start ))
+    TIMING_SUMMARY+=$(printf '\n  %-8s %4ss' "$stage" "$stage_secs")
+    echo "==> stage $stage done in ${stage_secs}s"
 done
-[ "$missing" -eq 0 ] || exit 1
 
-echo "==> tier-1: cargo build --release && cargo test -q (FLUID_THREADS=1 and 4)"
-cargo build --release
-# The compute-kernel layer guarantees bit-identical results at any thread
-# count (docs/PERFORMANCE.md); run the whole suite serial and fanned-out.
-FLUID_THREADS=1 cargo test -q
-FLUID_THREADS=4 cargo test -q
-
-echo "==> kernel bench smoke (writes BENCH_kernels.json)"
-cargo run --release -p fluid-bench --bin bench_kernels -- --quick
-
-echo "CI OK"
+echo "CI OK — stage timing:$TIMING_SUMMARY"

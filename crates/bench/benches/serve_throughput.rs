@@ -52,12 +52,10 @@ fn bench_batching(c: &mut Criterion) {
     let xs = inputs();
     let mut group = c.benchmark_group("serve: 16-request burst, 1 worker");
     for max_batch in [1usize, 4, 16] {
-        let cfg = ServeConfig {
-            max_batch,
-            max_wait: Duration::from_millis(1),
-            queue_cap: 256,
-            ..ServeConfig::default()
-        };
+        let mut cfg = ServeConfig::default();
+        cfg.max_batch = max_batch;
+        cfg.max_wait = Duration::from_millis(1);
+        cfg.queue_cap = 256;
         let server = Server::start(cfg, backends(1)).expect("start");
         group.bench_function(format!("max_batch={max_batch}"), |bench| {
             bench.iter(|| burst(&server, &xs))
@@ -71,12 +69,10 @@ fn bench_dispatch(c: &mut Criterion) {
     let xs = inputs();
     let mut group = c.benchmark_group("serve: 16-request burst, max_batch=4");
     for workers in [1usize, 2] {
-        let cfg = ServeConfig {
-            max_batch: 4,
-            max_wait: Duration::from_millis(1),
-            queue_cap: 256,
-            ..ServeConfig::default()
-        };
+        let mut cfg = ServeConfig::default();
+        cfg.max_batch = 4;
+        cfg.max_wait = Duration::from_millis(1);
+        cfg.queue_cap = 256;
         let server = Server::start(cfg, backends(workers)).expect("start");
         group.bench_function(format!("workers={workers}"), |bench| {
             bench.iter(|| burst(&server, &xs))

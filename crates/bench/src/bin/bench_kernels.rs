@@ -13,10 +13,20 @@
 //!   batching server.
 //!
 //! Usage: `cargo run --release -p fluid-bench --bin bench_kernels --
-//! [--quick] [--out PATH]`. Thread-scaling numbers are only meaningful on
-//! multi-core hosts; the JSON records the visible core count so a reader
-//! can tell (a single-core CI box will show flat scaling — the speedup
-//! there comes from the blocked kernel rewrites alone).
+//! [--quick] [--out PATH] [--check BASELINE] [--tolerance F]`.
+//! Thread-scaling numbers are only meaningful on multi-core hosts; the
+//! JSON records the visible core count so a reader can tell (a single-core
+//! CI box will show flat scaling — the speedup there comes from the
+//! blocked kernel rewrites alone).
+//!
+//! `--check BASELINE` is the CI regression gate: after measuring, every
+//! timing metric is compared against the committed baseline JSON and the
+//! process exits non-zero if any metric regressed by more than
+//! `--tolerance` (default 0.25 = 25%, chosen to ride out scheduler noise
+//! on shared CI hosts while catching real kernel regressions). In check
+//! mode the default `--out` moves aside (`target/BENCH_kernels.current.json`)
+//! so the baseline is never clobbered by the gate itself; refresh the
+//! baseline intentionally with `./ci.sh --update-bench`.
 
 use fluid_models::{Arch, FluidModel};
 use fluid_nn::{softmax_cross_entropy, ChannelRange, Optimizer, RangedConv2d, Sgd};
@@ -229,12 +239,10 @@ fn bench_serve_throughput(reps: usize, threads: usize) -> f64 {
         model.net().clone(),
         model.spec("combined100").expect("spec").clone(),
     ));
-    let cfg = ServeConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(1),
-        queue_cap: 256,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 8;
+    cfg.max_wait = Duration::from_millis(1);
+    cfg.queue_cap = 256;
     let server = Server::start(cfg, vec![backend]).expect("start server");
     let handle = server.handle();
     let x = Tensor::from_fn(&[1, 1, 28, 28], |i| ((i % 29) as f32) / 29.0);
@@ -261,14 +269,107 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
+/// Pulls `"entry": { ... "field": <number> ... }` out of a bench JSON
+/// without a JSON dependency (the format is this binary's own output).
+fn extract_field(json: &str, entry: &str, field: &str) -> Option<f64> {
+    let entry_at = json.find(&format!("\"{entry}\""))?;
+    let obj_start = entry_at + json[entry_at..].find('{')?;
+    let obj_end = obj_start + json[obj_start..].find('}')?;
+    let obj = &json[obj_start..obj_end];
+    let field_at = obj.find(&format!("\"{field}\""))?;
+    let after_colon = &obj[field_at + obj[field_at..].find(':')? + 1..];
+    let token: String = after_colon
+        .trim_start()
+        .chars()
+        .take_while(|c| !",}\n ".contains(*c))
+        .collect();
+    token.parse().ok()
+}
+
+/// Whether `metric` regressed versus the baseline: for `ms` metrics lower
+/// is better; for `req_per_s` / `steps_per_s` higher is better.
+fn regressed(metric: &str, baseline: f64, current: f64, tolerance: f64) -> bool {
+    if metric.contains("per_s") {
+        current < baseline / (1.0 + tolerance)
+    } else {
+        current > baseline * (1.0 + tolerance)
+    }
+}
+
+/// Compares every timing metric of `current` against `baseline`; prints
+/// one verdict line per metric and returns the regressions.
+fn check_against_baseline(baseline: &str, current: &str, tolerance: f64) -> Vec<String> {
+    // (entry, metric) pairs the gate covers — every committed timing.
+    let mut metrics: Vec<(String, &str)> = vec![
+        ("combined100_batch16".into(), "threads1_ms"),
+        ("combined100_batch16".into(), "threads4_ms"),
+        ("closed_burst_64req_1worker".into(), "threads1_req_per_s"),
+        ("closed_burst_64req_1worker".into(), "threads4_req_per_s"),
+    ];
+    // Kernel rows are discovered from the *current* run, so adding a
+    // kernel never requires touching this list.
+    for line in current.lines() {
+        let t = line.trim_start();
+        if t.contains("threads1_ms") && !t.starts_with('{') {
+            if let Some(name) = t.strip_prefix('"').and_then(|r| r.split('"').next()) {
+                if name != "combined100_batch16" {
+                    metrics.push((name.to_owned(), "threads1_ms"));
+                    metrics.push((name.to_owned(), "threads4_ms"));
+                }
+            }
+        }
+    }
+    let mut regressions = Vec::new();
+    for (entry, metric) in &metrics {
+        let cur = extract_field(current, entry, metric);
+        let base = extract_field(baseline, entry, metric);
+        match (base, cur) {
+            (Some(b), Some(c)) if b > 0.0 => {
+                let is_regressed = regressed(metric, b, c, tolerance);
+                eprintln!(
+                    "  {entry}.{metric}: baseline {b:.3}, current {c:.3} ({:+.1}%) {}",
+                    (c / b - 1.0) * 100.0,
+                    if is_regressed { "REGRESSION" } else { "ok" }
+                );
+                if is_regressed {
+                    regressions.push(format!(
+                        "{entry}.{metric}: {b:.3} -> {c:.3} (worse by more than {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            _ => eprintln!("  {entry}.{metric}: skipped (not in baseline)"),
+        }
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map_or(0.25, |v| v.parse().expect("--tolerance expects a number"));
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_kernels.json", String::as_str);
+        .map_or(
+            // Check mode must not clobber the baseline it compares against.
+            if check_path.is_some() {
+                "target/BENCH_kernels.current.json"
+            } else {
+                "BENCH_kernels.json"
+            },
+            String::as_str,
+        );
     let (warmup, reps) = if quick { (2, 5) } else { (3, 11) };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -316,7 +417,35 @@ fn main() {
         ratio(serve_t4, serve_t1)
     ));
 
-    std::fs::write(out_path, &json).expect("write BENCH_kernels.json");
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(out_path, &json).expect("write bench json");
     println!("{json}");
     eprintln!("bench_kernels: wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        eprintln!(
+            "bench_kernels: regression gate vs {baseline_path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        let regressions = check_against_baseline(&baseline, &json, tolerance);
+        if regressions.is_empty() {
+            eprintln!(
+                "bench_kernels: no regression beyond {:.0}%",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("bench_kernels: {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            eprintln!("(intentional? update the baseline with ./ci.sh --update-bench)");
+            std::process::exit(1);
+        }
+    }
 }

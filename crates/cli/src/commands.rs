@@ -8,6 +8,8 @@
 //! | `master`  | connect to a worker, deploy, and run HA/HT inference |
 //! | `serve`   | batched multi-worker serving over TCP (see `docs/SERVING.md`) |
 //! | `loadgen` | drive a serving instance (in-proc or TCP) and report metrics |
+//! | `autoscale` | run the elasticity controller against a Poisson traffic ramp |
+//! | `reload`  | zero-downtime model hot-swap under live load |
 //! | `fig2`    | regenerate the paper's Fig. 2 (both panels) |
 //! | `help`    | usage |
 
@@ -26,13 +28,15 @@ use fluid_models::{
 };
 use fluid_nn::accuracy;
 use fluid_perf::SystemModel;
-use fluid_serve::{loadgen, EngineBackend, ServeConfig, Server, TcpClient};
+use fluid_serve::{
+    loadgen, AutoscaleConfig, Autoscaler, EngineBackend, ServeConfig, Server, TcpClient,
+};
 use fluid_tensor::{Prng, Tensor};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Error from a command: argument problems or runtime failures.
 #[derive(Debug)]
@@ -77,6 +81,15 @@ USAGE:
                   [--open-loop] [--lambda F] [--seed N] [--model-file PATH]
                   [--workers N] [--max-batch N] [--max-wait-ms N]
                   [--queue-cap N] (without --connect: in-proc server)
+  fluidctl autoscale [--min-workers N] [--max-workers N] [--requests N]
+                  [--lambda F] [--tick-ms N] [--up-queue-depth N]
+                  [--up-p95-ms F] [--down-queue-depth N] [--idle-ticks N]
+                  [--cooldown-ticks N] [--retire-timeout-ms N] [--seed N]
+                  [--model-file PATH] [--max-batch N] [--max-wait-ms N]
+                  [--queue-cap N]
+  fluidctl reload [--model-file PATH] [--new-model-file PATH] [--workers N]
+                  [--requests N] [--clients N] [--seed N]
+                  [--max-batch N] [--max-wait-ms N] [--queue-cap N]
   fluidctl fig2   [--quick]
   fluidctl help
 
@@ -117,6 +130,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "master" => cmd_master(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "autoscale" => cmd_autoscale(&args),
+        "reload" => cmd_reload(&args),
         "fig2" => cmd_fig2(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -327,17 +342,37 @@ fn serving_model(args: &ArgMap) -> Result<(fluid_models::ConvNet, SubnetSpec), C
 }
 
 /// Builds the scheduler config from the shared `--max-batch` /
-/// `--max-wait-ms` / `--queue-cap` flags.
+/// `--max-wait-ms` / `--queue-cap` flags. (`ServeConfig` is
+/// `#[non_exhaustive]`, hence mutation over a literal.)
 fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
-    Ok(ServeConfig {
-        max_batch: args.usize_or("max-batch", 8)?,
-        max_wait: Duration::from_millis(args.u64_or("max-wait-ms", 2)?),
-        queue_cap: args.usize_or("queue-cap", 256)?,
-        threads: match args.usize_or("threads", 0)? {
-            0 => None,
-            n => Some(n),
-        },
-    })
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = args.usize_or("max-batch", 8)?;
+    cfg.max_wait = Duration::from_millis(args.u64_or("max-wait-ms", 2)?);
+    cfg.queue_cap = args.usize_or("queue-cap", 256)?;
+    cfg.threads = match args.usize_or("threads", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    Ok(cfg)
+}
+
+/// `count` engine replicas of the net's combined model, named
+/// `{prefix}{i}`.
+fn engine_backends(
+    net: &fluid_models::ConvNet,
+    spec: &SubnetSpec,
+    count: usize,
+    prefix: &str,
+) -> Vec<Box<dyn fluid_serve::Backend>> {
+    (0..count.max(1))
+        .map(|i| {
+            Box::new(EngineBackend::new(
+                &format!("{prefix}{i}"),
+                net.clone(),
+                spec.clone(),
+            )) as Box<dyn fluid_serve::Backend>
+        })
+        .collect()
 }
 
 /// Boots an in-proc batching server: `workers` engine replicas of the
@@ -345,16 +380,14 @@ fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
 fn boot_server(args: &ArgMap) -> Result<Server, CliError> {
     let (net, spec) = serving_model(args)?;
     let workers = args.usize_or("workers", 2)?;
-    let backends = (0..workers.max(1))
-        .map(|i| {
-            Box::new(EngineBackend::new(
-                &format!("engine{i}"),
-                net.clone(),
-                spec.clone(),
-            )) as Box<dyn fluid_serve::Backend>
-        })
-        .collect();
+    let backends = engine_backends(&net, &spec, workers, "engine");
     Server::start(serve_config(args)?, backends).map_err(|e| CliError::Run(e.to_string()))
+}
+
+/// A deterministic input set for the load-driving commands.
+fn loadgen_inputs(seed: u64) -> Vec<Tensor> {
+    let data = SynthDigits::new(seed).generate(64);
+    (0..data.len()).map(|i| data.gather(&[i]).0).collect()
 }
 
 fn cmd_serve(args: &ArgMap) -> Result<(), CliError> {
@@ -398,10 +431,7 @@ fn cmd_loadgen(args: &ArgMap) -> Result<(), CliError> {
             "--lambda must be a positive arrival rate, got {lambda}"
         )));
     }
-    let inputs: Vec<Tensor> = {
-        let data = SynthDigits::new(seed).generate(64);
-        (0..data.len()).map(|i| data.gather(&[i]).0).collect()
-    };
+    let inputs = loadgen_inputs(seed);
 
     match args.str_or("connect", "") {
         "" => {
@@ -430,6 +460,141 @@ fn cmd_loadgen(args: &ArgMap) -> Result<(), CliError> {
                     .map_err(|e| CliError::Run(e.to_string()))?;
             println!("{report}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_autoscale(args: &ArgMap) -> Result<(), CliError> {
+    let (net, spec) = serving_model(args)?;
+    let min_workers = args.usize_or("min-workers", 1)?.max(1);
+    let max_workers = args.usize_or("max-workers", 4)?;
+    let requests = args.usize_or("requests", 240)?.max(4);
+    let lambda = args.f32_or("lambda", 400.0)? as f64;
+    let seed = args.u64_or("seed", 42)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(CliError::Run(format!(
+            "--lambda must be a positive peak arrival rate, got {lambda}"
+        )));
+    }
+    let mut scale_cfg = AutoscaleConfig::default();
+    scale_cfg.min_workers = min_workers;
+    scale_cfg.max_workers = max_workers;
+    scale_cfg.tick = Duration::from_millis(args.u64_or("tick-ms", 10)?);
+    scale_cfg.up_queue_depth = args.usize_or("up-queue-depth", 8)?;
+    scale_cfg.up_p95_ms = f64::from(args.f32_or("up-p95-ms", 0.0)?);
+    scale_cfg.down_queue_depth = args.usize_or("down-queue-depth", scale_cfg.down_queue_depth)?;
+    scale_cfg.idle_ticks = args.usize_or("idle-ticks", 25)?;
+    scale_cfg.cooldown_ticks = args.usize_or("cooldown-ticks", scale_cfg.cooldown_ticks)?;
+    scale_cfg.retire_timeout = Duration::from_millis(args.u64_or("retire-timeout-ms", 10_000)?);
+
+    let server = Server::start(
+        serve_config(args)?,
+        engine_backends(&net, &spec, min_workers, "base"),
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let factory = {
+        let (net, spec) = (net.clone(), spec.clone());
+        move |slot: usize| {
+            Ok(Box::new(EngineBackend::new(
+                &format!("auto{slot}"),
+                net.clone(),
+                spec.clone(),
+            )) as Box<dyn fluid_serve::Backend>)
+        }
+    };
+    let scaler = Autoscaler::spawn(server.elastic(), factory, scale_cfg)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+
+    let handle = server.handle();
+    let inputs = loadgen_inputs(seed);
+    let calm = (lambda / 8.0).max(1.0);
+    println!(
+        "traffic ramp: λ {calm:.0} → {lambda:.0} → {calm:.0} req/s over {requests} requests, \
+         pool {min_workers}..{max_workers} workers\n"
+    );
+    for (phase, (rate, share)) in [(calm, 4), (lambda, 2), (calm, 4)].iter().enumerate() {
+        let n = requests / share;
+        println!(
+            "-- phase {}: λ = {rate:.0} req/s, {n} requests --",
+            phase + 1
+        );
+        let report = loadgen::run_open_loop(&handle, *rate, n, &inputs, seed + phase as u64);
+        println!("{report}");
+        println!(
+            "   workers accepting: {}, queue depth {}\n",
+            server.alive_workers(),
+            handle.queue_depth()
+        );
+    }
+
+    let events = scaler.stop();
+    println!("controller decisions ({}):", events.len());
+    for e in &events {
+        println!("  {e}");
+    }
+    println!("\n{}", server.shutdown());
+    Ok(())
+}
+
+fn cmd_reload(args: &ArgMap) -> Result<(), CliError> {
+    let (mut net, spec) = serving_model(args)?;
+    let workers = args.usize_or("workers", 2)?.max(1);
+    let requests = args.usize_or("requests", 200)?.max(2);
+    let clients = args.usize_or("clients", 4)?.max(1);
+    let seed = args.u64_or("seed", 42)?;
+
+    let server = Server::start(
+        serve_config(args)?,
+        engine_backends(&net, &spec, workers, "v1-"),
+    )
+    .map_err(|e| CliError::Run(e.to_string()))?;
+    let handle = server.handle();
+    let inputs = loadgen_inputs(seed);
+
+    println!("driving {clients} closed-loop clients while swapping models...");
+    let load = {
+        let handle = handle.clone();
+        std::thread::spawn(move || {
+            loadgen::run_closed_loop(|_| Ok(handle.clone()), clients, requests, &inputs)
+        })
+    };
+    // Let traffic build before the cutover, so the swap is exercised
+    // under load rather than on an idle server.
+    std::thread::sleep(Duration::from_millis(50));
+
+    match args.str_or("new-model-file", "") {
+        "" => println!("no --new-model-file: re-deploying the same weights (bit-identical swap)"),
+        path => {
+            fluid_models::reload_net_from_path(&mut net, Path::new(path))
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            println!("loaded replacement weights from {path}");
+        }
+    }
+    let t0 = Instant::now();
+    server
+        .elastic()
+        .hot_swap(
+            engine_backends(&net, &spec, workers, "v2-"),
+            Duration::from_secs(30),
+        )
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!(
+        "hot swap: {workers} old slots drained and retired, {workers} new slots live \
+         in {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let report = load
+        .join()
+        .map_err(|_| CliError::Run("load thread panicked".into()))?
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("{report}");
+    println!("\n{}", server.shutdown());
+    if report.failed > 0 {
+        return Err(CliError::Run(format!(
+            "{} requests failed during the swap (expected zero)",
+            report.failed
+        )));
     }
     Ok(())
 }
@@ -538,6 +703,76 @@ mod tests {
         let err = run(&argv(&["loadgen", "--open-loop", "--lambda", "NaN"]))
             .expect_err("NaN is not a rate");
         assert!(err.to_string().contains("lambda"), "{err}");
+    }
+
+    #[test]
+    fn autoscale_rejects_non_positive_lambda() {
+        let err = run(&argv(&["autoscale", "--lambda", "0"])).expect_err("lambda must be positive");
+        assert!(err.to_string().contains("lambda"), "{err}");
+    }
+
+    #[test]
+    fn autoscale_rejects_inverted_worker_bounds() {
+        let err = run(&argv(&[
+            "autoscale",
+            "--min-workers",
+            "3",
+            "--max-workers",
+            "1",
+            "--requests",
+            "4",
+        ]))
+        .expect_err("max below min");
+        assert!(err.to_string().contains("min_workers"), "{err}");
+    }
+
+    #[test]
+    fn autoscale_demo_runs_in_proc() {
+        run(&argv(&[
+            "autoscale",
+            "--requests",
+            "16",
+            "--lambda",
+            "200",
+            "--min-workers",
+            "1",
+            "--max-workers",
+            "2",
+            "--tick-ms",
+            "5",
+            "--seed",
+            "7",
+        ]))
+        .expect("autoscale demo");
+    }
+
+    #[test]
+    fn reload_hot_swaps_under_load() {
+        run(&argv(&[
+            "reload",
+            "--workers",
+            "1",
+            "--requests",
+            "16",
+            "--clients",
+            "2",
+            "--seed",
+            "9",
+        ]))
+        .expect("reload demo");
+    }
+
+    #[test]
+    fn reload_rejects_missing_new_model_file() {
+        let err = run(&argv(&[
+            "reload",
+            "--new-model-file",
+            "/nonexistent/path.fldn",
+            "--requests",
+            "4",
+        ]))
+        .expect_err("missing checkpoint");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
     }
 
     #[test]

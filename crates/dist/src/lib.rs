@@ -69,6 +69,7 @@ mod frame;
 mod master;
 mod meter;
 mod multi;
+mod spawn;
 mod transport;
 mod wire;
 mod worker;
@@ -80,6 +81,7 @@ pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use master::{Master, MasterConfig};
 pub use meter::ThroughputMeter;
 pub use multi::MultiMaster;
+pub use spawn::{spawn_ha_pair, SpawnedPair};
 pub use transport::{FailureSwitch, InProcTransport, SimTransport, TcpTransport, Transport};
 pub use wire::{Message, Mode, NamedTensor};
 pub use worker::{Worker, WorkerExit};

@@ -1,0 +1,141 @@
+//! Worker spawn/retire hooks: one call to boot a fully deployed
+//! High-Accuracy Master/Worker pair in-process.
+//!
+//! Every layer that wants distributed capacity on demand — the serving
+//! examples, the integration tests, and above all the elasticity
+//! controller in `fluid-serve` (whose `BackendFactory` mints capacity at
+//! runtime) — used to repeat the same five-step boilerplate: build a
+//! transport pair, spawn the worker thread, handshake, extract the remote
+//! branch's weight windows, deploy both halves. [`spawn_ha_pair`] is that
+//! boilerplate as a hook, and [`SpawnedPair::retire`] is its inverse.
+
+use crate::error::DistError;
+use crate::master::{Master, MasterConfig};
+use crate::transport::{FailureSwitch, InProcTransport};
+use crate::worker::Worker;
+use crate::{deploy::extract_branch_weights, wire::Mode};
+use fluid_models::{BranchSpec, ConvNet};
+use std::thread::JoinHandle;
+
+/// A running, fully deployed in-process HA pair: the master half (ready
+/// for [`Master::infer_ha`]) plus the worker thread's handle and the
+/// link's failure-injection switch.
+///
+/// Destructure it to move the master elsewhere (e.g. into a serving
+/// backend) while keeping the worker handle for joining, or call
+/// [`retire`](SpawnedPair::retire) for an orderly teardown.
+#[derive(Debug)]
+pub struct SpawnedPair {
+    /// The master half, with both branches deployed.
+    pub master: Master<InProcTransport>,
+    /// Kills the pair's link on demand (failure injection in tests and
+    /// demos).
+    pub switch: FailureSwitch,
+    /// The worker thread; it exits when the link closes or the worker is
+    /// shut down.
+    pub worker: JoinHandle<()>,
+}
+
+impl SpawnedPair {
+    /// Orderly teardown: shuts the worker down over the link and joins
+    /// its thread. (If the link is already dead, the worker has exited on
+    /// its own and the join returns immediately.)
+    pub fn retire(mut self) {
+        self.master.shutdown_worker();
+        let _ = self.worker.join();
+    }
+}
+
+/// Boots a deployed HA Master/Worker pair over an in-process transport:
+/// the worker thread is spawned and handshaken, `local` stays on the
+/// master, and `remote`'s weight windows are extracted from `net` and
+/// shipped to the worker. On return the pair is serving-ready.
+///
+/// # Errors
+///
+/// Returns [`DistError`] when the handshake or deployment fails (e.g. the
+/// worker thread died before `Hello`).
+///
+/// # Example
+///
+/// ```
+/// use fluid_dist::spawn_ha_pair;
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let combined = model.spec("combined100").unwrap();
+/// let mut pair = spawn_ha_pair(
+///     model.net(),
+///     combined.branches[0].clone(),
+///     combined.branches[1].clone(),
+///     "w0",
+/// )
+/// .unwrap();
+/// let logits = pair.master.infer_ha(&Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// pair.retire();
+/// ```
+pub fn spawn_ha_pair(
+    net: &ConvNet,
+    local: BranchSpec,
+    remote: BranchSpec,
+    worker_name: &str,
+) -> Result<SpawnedPair, DistError> {
+    let arch = net.arch().clone();
+    let (master_side, worker_side) = InProcTransport::pair();
+    let switch = master_side.failure_switch();
+    let name = worker_name.to_owned();
+    let worker = std::thread::spawn(move || drop(Worker::new(worker_side, arch, &name).run()));
+    let mut master = Master::new(master_side, net.clone(), MasterConfig::default());
+    master.await_hello()?;
+    let windows = extract_branch_weights(net, &remote);
+    master.deploy_local(local);
+    master.deploy_remote(remote, windows)?;
+    debug_assert_eq!(master.mode(), Mode::HighAccuracy);
+    Ok(SpawnedPair {
+        master,
+        switch,
+        worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::{Arch, FluidModel};
+    use fluid_tensor::{Prng, Tensor};
+
+    #[test]
+    fn spawned_pair_matches_local_inference() {
+        let mut model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(21));
+        let combined = model.spec("combined100").expect("spec").clone();
+        let mut pair = spawn_ha_pair(
+            model.net(),
+            combined.branches[0].clone(),
+            combined.branches[1].clone(),
+            "w0",
+        )
+        .expect("spawn");
+        let x = Tensor::from_fn(&[2, 1, 28, 28], |i| ((i % 41) as f32) / 41.0);
+        let want = model.net_mut().forward_subnet(&x, &combined, false);
+        let got = pair.master.infer_ha(&x).expect("infer");
+        assert!(want.allclose(&got, 0.0), "pair disagrees with local");
+        pair.retire();
+    }
+
+    #[test]
+    fn retire_after_link_death_does_not_hang() {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(22));
+        let combined = model.spec("combined100").expect("spec").clone();
+        let pair = spawn_ha_pair(
+            model.net(),
+            combined.branches[0].clone(),
+            combined.branches[1].clone(),
+            "w1",
+        )
+        .expect("spawn");
+        pair.switch.kill();
+        pair.retire(); // must join the worker, not deadlock
+    }
+}

@@ -197,6 +197,60 @@ pub fn load_net_from_path(path: &std::path::Path) -> Result<ConvNet, CheckpointE
     load_net(&mut f)
 }
 
+/// Loads a checkpoint *into* a live network: the checkpoint must carry the
+/// same architecture, and on success every weight of `net` is overwritten
+/// in place. This is the hot-swap loader — a serving layer keeps its
+/// engine (and everything holding a reference to it) and only the function
+/// changes.
+///
+/// All-or-nothing: the checkpoint is fully parsed and validated *before*
+/// the first write, so a damaged or mismatched file leaves `net` exactly
+/// as it was.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on I/O failure, malformed contents, or an
+/// architecture mismatch (`net` is untouched in every error case).
+pub fn reload_net<R: Read>(net: &mut ConvNet, r: &mut R) -> Result<(), CheckpointError> {
+    let loaded = load_net(r)?;
+    if loaded.arch() != net.arch() {
+        return Err(CheckpointError::Format(format!(
+            "checkpoint architecture {:?} does not match the live net {:?}",
+            loaded.arch(),
+            net.arch()
+        )));
+    }
+    for (dst, src) in net.convs_mut().iter_mut().zip(loaded.convs()) {
+        dst.weight_mut()
+            .data_mut()
+            .copy_from_slice(src.weight().data());
+        dst.bias_mut().data_mut().copy_from_slice(src.bias().data());
+    }
+    net.fc_mut()
+        .weight_mut()
+        .data_mut()
+        .copy_from_slice(loaded.fc().weight().data());
+    net.fc_mut()
+        .bias_mut()
+        .data_mut()
+        .copy_from_slice(loaded.fc().bias().data());
+    Ok(())
+}
+
+/// [`reload_net`] from a file path.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on I/O failure, malformed contents, or an
+/// architecture mismatch.
+pub fn reload_net_from_path(
+    net: &mut ConvNet,
+    path: &std::path::Path,
+) -> Result<(), CheckpointError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    reload_net(net, &mut f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +315,36 @@ mod tests {
         let loaded = load_net_from_path(&path).expect("load");
         assert_eq!(loaded.fc().weight().data(), net.fc().weight().data());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_overwrites_live_net_in_place() {
+        let source = ConvNet::new(Arch::tiny_28(), &mut Prng::new(31));
+        let mut live = ConvNet::new(Arch::tiny_28(), &mut Prng::new(32));
+        assert_ne!(live.fc().weight().data(), source.fc().weight().data());
+        let mut buf = Vec::new();
+        save_net(&source, &mut buf).expect("save");
+        reload_net(&mut live, &mut buf.as_slice()).expect("reload");
+        assert_eq!(live.fc().weight().data(), source.fc().weight().data());
+        assert_eq!(
+            live.convs()[0].weight().data(),
+            source.convs()[0].weight().data()
+        );
+    }
+
+    #[test]
+    fn reload_rejects_arch_mismatch_and_leaves_net_untouched() {
+        let source = ConvNet::new(Arch::tiny(), &mut Prng::new(33)); // 14×14
+        let mut live = ConvNet::new(Arch::tiny_28(), &mut Prng::new(34));
+        let before: Vec<f32> = live.fc().weight().data().to_vec();
+        let mut buf = Vec::new();
+        save_net(&source, &mut buf).expect("save");
+        let err = reload_net(&mut live, &mut buf.as_slice()).expect_err("arch mismatch");
+        assert!(err.to_string().contains("architecture"), "{err}");
+        assert_eq!(live.fc().weight().data(), &before[..], "net was touched");
+        // A truncated checkpoint is also rejected without a partial write.
+        let err = reload_net(&mut live, &mut buf[..buf.len() / 2].as_ref()).expect_err("truncated");
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        assert_eq!(live.fc().weight().data(), &before[..]);
     }
 }

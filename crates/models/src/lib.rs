@@ -44,7 +44,10 @@ mod spec;
 mod static_model;
 
 pub use arch::{Arch, WidthLadder};
-pub use checkpoint::{load_net, load_net_from_path, save_net, save_net_to_path, CheckpointError};
+pub use checkpoint::{
+    load_net, load_net_from_path, reload_net, reload_net_from_path, save_net, save_net_to_path,
+    CheckpointError,
+};
 pub use dynamic_model::DynamicModel;
 pub use flops::{branch_cost, static_partition_comm_bytes, subnet_cost, CostReport};
 pub use fluid_model::{standard_specs, FluidModel, STANDALONE_SUBNETS};

@@ -1,0 +1,329 @@
+//! Offline simulation of the serving layer's elasticity controller.
+//!
+//! The autoscaler in `fluid-serve` grows and shrinks a worker pool from
+//! watermark rules (queue depth high-water, calm-streak scale-down,
+//! cooldown between actions). Before trusting knobs in production — and
+//! to choose the shipped defaults — this module replays the same decision
+//! rules against a discrete-event queueing model: Poisson arrivals with a
+//! piecewise-constant rate hit a pool of identical servers, and a
+//! simulated controller ticks alongside, reconfiguring the pool exactly
+//! as the live one would. The report says what the controller *did*
+//! (scale events, peak/mean pool size) and what the clients *saw*
+//! (sojourn percentiles, throughput).
+
+use crate::queueing::SampleWindow;
+use fluid_tensor::Prng;
+use std::collections::VecDeque;
+
+/// The simulated controller's knobs — the same watermark rules as the
+/// live `fluid_serve::AutoscaleConfig`, in simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticPolicy {
+    /// Pool floor (also the starting size).
+    pub min_servers: usize,
+    /// Pool ceiling.
+    pub max_servers: usize,
+    /// Seconds between controller observations.
+    pub tick_s: f64,
+    /// Scale up when the queue length reaches this at a tick.
+    pub up_queue_depth: usize,
+    /// A tick is calm when the queue length is at or below this (1 by
+    /// default, so a single in-flight request does not break a streak).
+    pub down_queue_depth: usize,
+    /// Consecutive calm ticks before one server is retired.
+    pub idle_ticks: usize,
+    /// Ticks to wait after any scale action before the next.
+    pub cooldown_ticks: usize,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        Self {
+            min_servers: 1,
+            max_servers: 4,
+            tick_s: 0.02,
+            up_queue_depth: 8,
+            down_queue_depth: 1,
+            idle_ticks: 25,
+            cooldown_ticks: 5,
+        }
+    }
+}
+
+/// What one [`simulate_elastic`] run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSimReport {
+    /// Requests completed.
+    pub completed: usize,
+    /// Mean sojourn time (queueing + service), seconds.
+    pub mean_sojourn_s: f64,
+    /// 95th-percentile sojourn time, seconds.
+    pub p95_sojourn_s: f64,
+    /// Achieved throughput over the run, requests/s.
+    pub throughput_rps: f64,
+    /// Servers added by the controller.
+    pub scale_ups: usize,
+    /// Servers retired by the controller.
+    pub scale_downs: usize,
+    /// Largest pool size reached.
+    pub peak_servers: usize,
+    /// Pool size when the run ended.
+    pub final_servers: usize,
+    /// Time-weighted mean pool size — the capacity (cost) actually spent.
+    pub mean_servers: f64,
+}
+
+/// Simulates the controller against Poisson arrivals whose rate is
+/// piecewise-constant: `phases` is a sequence of `(duration_s, lambda)`
+/// segments (a `lambda` of `0.0` is a silent stretch). Each server
+/// completes one request per `service_s` seconds; the pool starts at
+/// `policy.min_servers`.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `service_s <= 0`, `phases` is empty or contains a
+/// non-positive duration or negative lambda, or the policy is inconsistent
+/// (`min_servers == 0`, `max_servers < min_servers`, `tick_s <= 0`).
+pub fn simulate_elastic(
+    service_s: f64,
+    policy: &ElasticPolicy,
+    phases: &[(f64, f64)],
+    seed: u64,
+) -> ElasticSimReport {
+    assert!(service_s > 0.0, "non-positive service time");
+    assert!(!phases.is_empty(), "no arrival phases");
+    assert!(policy.min_servers >= 1, "min_servers must be at least 1");
+    assert!(
+        policy.max_servers >= policy.min_servers,
+        "max_servers below min_servers"
+    );
+    assert!(policy.tick_s > 0.0, "non-positive tick");
+
+    // Pre-draw the arrival process across the phases.
+    let mut rng = Prng::new(seed);
+    let mut arrivals = Vec::new();
+    let mut phase_start = 0.0f64;
+    for &(duration, lambda) in phases {
+        assert!(duration > 0.0, "non-positive phase duration");
+        assert!(lambda >= 0.0, "negative arrival rate");
+        if lambda > 0.0 {
+            let mut t = phase_start;
+            loop {
+                t += -(1.0 - rng.next_f64()).ln() / lambda;
+                if t > phase_start + duration {
+                    break;
+                }
+                arrivals.push(t);
+            }
+        }
+        phase_start += duration;
+    }
+
+    let mut queue: VecDeque<f64> = VecDeque::new();
+    let mut servers: Vec<f64> = vec![0.0; policy.min_servers]; // busy-until stamps
+    let mut ai = 0usize;
+    let mut now = 0.0f64;
+    let mut tick_i = 1u64;
+    let mut sojourns = SampleWindow::new();
+    let mut calm_ticks = 0usize;
+    let mut cooldown = 0usize;
+    let mut scale_ups = 0usize;
+    let mut scale_downs = 0usize;
+    let mut peak_servers = servers.len();
+    let mut server_seconds = 0.0f64;
+    let mut last_done = 0.0f64;
+
+    let advance = |now: &mut f64, to: f64, pool: usize, server_seconds: &mut f64| {
+        if to > *now {
+            *server_seconds += pool as f64 * (to - *now);
+            *now = to;
+        }
+    };
+
+    let total_duration = phase_start;
+    loop {
+        let arrival_t = arrivals.get(ai).copied().unwrap_or(f64::INFINITY);
+        let drained = arrival_t.is_infinite() && queue.is_empty();
+        // The controller ticks for the whole configured timeline (so calm
+        // stretches produce scale-down decisions), and past it only while
+        // work remains.
+        let tick_t = {
+            let t = tick_i as f64 * policy.tick_s;
+            if drained && t > total_duration {
+                f64::INFINITY
+            } else {
+                t
+            }
+        };
+        let serve_t = if queue.is_empty() {
+            f64::INFINITY
+        } else {
+            let earliest = servers.iter().copied().fold(f64::INFINITY, f64::min);
+            earliest.max(now)
+        };
+        if drained && serve_t.is_infinite() && tick_t.is_infinite() {
+            break;
+        }
+
+        if serve_t <= arrival_t && serve_t <= tick_t {
+            // Serve one request on the earliest-free server.
+            let arrived = queue.pop_front().expect("non-empty queue");
+            advance(&mut now, serve_t, servers.len(), &mut server_seconds);
+            let (slot, _) = servers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("pool is never empty");
+            let start = servers[slot].max(now);
+            let done = start + service_s;
+            servers[slot] = done;
+            last_done = last_done.max(done);
+            sojourns.push(done - arrived);
+        } else if arrival_t <= tick_t {
+            advance(&mut now, arrival_t, servers.len(), &mut server_seconds);
+            queue.push_back(arrival_t);
+            ai += 1;
+        } else {
+            advance(&mut now, tick_t, servers.len(), &mut server_seconds);
+            tick_i += 1;
+            // The live controller's decision rules, verbatim.
+            if cooldown > 0 {
+                cooldown -= 1;
+            } else if queue.len() >= policy.up_queue_depth {
+                calm_ticks = 0;
+                if servers.len() < policy.max_servers {
+                    servers.push(now); // fresh server, free from `now`
+                    scale_ups += 1;
+                    cooldown = policy.cooldown_ticks;
+                    peak_servers = peak_servers.max(servers.len());
+                }
+            } else if queue.len() <= policy.down_queue_depth {
+                calm_ticks += 1;
+                if calm_ticks >= policy.idle_ticks && servers.len() > policy.min_servers {
+                    // Retire the idlest server (the live drain protocol
+                    // lets its in-flight work finish, which this model's
+                    // dispatch-time completion already accounts for).
+                    let (slot, _) = servers
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1))
+                        .expect("pool is never empty");
+                    servers.remove(slot);
+                    scale_downs += 1;
+                    cooldown = policy.cooldown_ticks;
+                    calm_ticks = 0;
+                }
+            } else {
+                calm_ticks = 0;
+            }
+        }
+    }
+
+    let completed = sojourns.len();
+    let end = last_done.max(now);
+    ElasticSimReport {
+        completed,
+        mean_sojourn_s: sojourns.mean(),
+        p95_sojourn_s: sojourns.percentile(0.95),
+        throughput_rps: if end > 0.0 {
+            completed as f64 / end
+        } else {
+            0.0
+        },
+        scale_ups,
+        scale_downs,
+        peak_servers,
+        final_servers: servers.len(),
+        mean_servers: if now > 0.0 {
+            server_seconds / now
+        } else {
+            servers.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 25ms service → one server sustains 40 req/s.
+    const SERVICE_S: f64 = 0.025;
+
+    #[test]
+    fn ramp_overload_grows_the_pool_and_recovers_p95() {
+        let policy = ElasticPolicy::default();
+        // Phase 2 offers 3× one server's capacity.
+        let phases = [(2.0, 10.0), (4.0, 120.0), (2.0, 10.0)];
+        let elastic = simulate_elastic(SERVICE_S, &policy, &phases, 7);
+        assert!(elastic.scale_ups >= 1, "{elastic:?}");
+        assert!(elastic.peak_servers > 1, "{elastic:?}");
+
+        let mut fixed = policy.clone();
+        fixed.max_servers = 1;
+        let pinned = simulate_elastic(SERVICE_S, &fixed, &phases, 7);
+        assert_eq!(pinned.peak_servers, 1);
+        assert!(
+            elastic.p95_sojourn_s < pinned.p95_sojourn_s / 2.0,
+            "elastic p95 {} vs pinned {}",
+            elastic.p95_sojourn_s,
+            pinned.p95_sojourn_s
+        );
+        assert_eq!(
+            elastic.completed, pinned.completed,
+            "work must be conserved"
+        );
+    }
+
+    #[test]
+    fn calm_tail_scales_back_to_min() {
+        let policy = ElasticPolicy {
+            idle_ticks: 10,
+            ..ElasticPolicy::default()
+        };
+        // A burst, then a long silent stretch for the drain decisions.
+        let phases = [(2.0, 120.0), (20.0, 0.0)];
+        let r = simulate_elastic(SERVICE_S, &policy, &phases, 3);
+        assert!(r.scale_ups >= 1, "{r:?}");
+        assert!(r.scale_downs >= 1, "{r:?}");
+        assert_eq!(r.final_servers, policy.min_servers, "{r:?}");
+        assert!(r.mean_servers < policy.max_servers as f64);
+    }
+
+    #[test]
+    fn quiet_load_never_scales() {
+        let policy = ElasticPolicy::default();
+        let r = simulate_elastic(SERVICE_S, &policy, &[(10.0, 5.0)], 11);
+        assert_eq!(r.scale_ups, 0, "{r:?}");
+        assert_eq!(r.scale_downs, 0);
+        assert_eq!(r.peak_servers, 1);
+        assert!(r.completed > 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let policy = ElasticPolicy::default();
+        let phases = [(3.0, 60.0), (3.0, 10.0)];
+        let a = simulate_elastic(SERVICE_S, &policy, &phases, 42);
+        let b = simulate_elastic(SERVICE_S, &policy, &phases, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive service time")]
+    fn zero_service_time_panics() {
+        let _ = simulate_elastic(0.0, &ElasticPolicy::default(), &[(1.0, 1.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_servers below min_servers")]
+    fn inverted_bounds_panic() {
+        let p = ElasticPolicy {
+            min_servers: 3,
+            max_servers: 2,
+            ..ElasticPolicy::default()
+        };
+        let _ = simulate_elastic(SERVICE_S, &p, &[(1.0, 1.0)], 0);
+    }
+}

@@ -30,12 +30,14 @@
 
 mod comm;
 mod device;
+mod elastic;
 mod energy;
 mod queueing;
 mod scenario;
 
 pub use comm::CommModel;
 pub use device::DeviceModel;
+pub use elastic::{simulate_elastic, ElasticPolicy, ElasticSimReport};
 pub use energy::{scenario_energy, standalone_energy, EnergyReport, PowerModel};
 pub use queueing::{percentile, simulate, Policy, SampleWindow, SimReport};
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};

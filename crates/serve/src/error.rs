@@ -50,6 +50,10 @@ pub enum ServeError {
     /// The link between a remote client and the serving front-end failed
     /// (connect error, closed socket, reply timeout).
     Transport(String),
+    /// An elastic pool operation (add / drain / retire / hot-swap) could
+    /// not be carried out — e.g. retiring an already-retired slot, or a
+    /// drain that did not complete within its deadline.
+    Elastic(String),
     /// The server is shutting down; queued requests are drained with this
     /// error instead of being served.
     ShuttingDown,
@@ -69,6 +73,7 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerFailed(why) => write!(f, "worker failed: {why}"),
             ServeError::Rejected(why) => write!(f, "rejected by server: {why}"),
             ServeError::Transport(why) => write!(f, "client transport: {why}"),
+            ServeError::Elastic(why) => write!(f, "elastic operation failed: {why}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Canceled => write!(f, "request canceled without a verdict"),
         }
@@ -93,5 +98,8 @@ mod tests {
             .to_string()
             .contains("queue full"));
         assert!(ServeError::NoWorkers.to_string().contains("workers"));
+        assert!(ServeError::Elastic("slot 3 is retired".into())
+            .to_string()
+            .contains("slot 3"));
     }
 }

@@ -32,6 +32,12 @@
 //!   [`fluid_perf::SampleWindow`], the same percentile convention as the
 //!   queueing simulator), throughput, batch-size histogram, shed count,
 //!   per-worker liveness.
+//! * **Elasticity** ([`ElasticHandle`], [`Autoscaler`]): the worker pool
+//!   reconfigures at runtime — slots are added, drained, and retired under
+//!   live traffic, an autoscaling controller follows queue depth / shed
+//!   rate / recent p95, and [`ElasticHandle::hot_swap`] replaces the model
+//!   behind the server batch-boundary-atomically with zero dropped
+//!   requests (the "Elasticity" section of `docs/SERVING.md`).
 //! * **Load generation** ([`loadgen`]): closed-loop and open-loop-Poisson
 //!   drivers over the workspace's deterministic RNG.
 //! * **Remote serving** ([`serve_tcp`], [`TcpClient`]): the existing wire
@@ -59,12 +65,10 @@
 //!         )) as Box<dyn fluid_serve::Backend>
 //!     })
 //!     .collect();
-//! let cfg = ServeConfig {
-//!     max_batch: 8,
-//!     max_wait: Duration::from_millis(2),
-//!     queue_cap: 64,
-//!     ..ServeConfig::default()
-//! };
+//! let mut cfg = ServeConfig::default();
+//! cfg.max_batch = 8;
+//! cfg.max_wait = Duration::from_millis(2);
+//! cfg.queue_cap = 64;
 //! let server = Server::start(cfg, backends).unwrap();
 //!
 //! // Closed loop: 4 concurrent clients → the scheduler has co-riders to
@@ -82,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod backend;
 mod error;
 pub mod loadgen;
@@ -89,9 +94,10 @@ mod metrics;
 mod server;
 mod tcp;
 
+pub use autoscale::{AutoscaleConfig, Autoscaler, BackendFactory, ScaleAction, ScaleEvent};
 pub use backend::{Backend, EngineBackend, MasterBackend};
 pub use error::ServeError;
 pub use loadgen::{InferClient, LoadgenReport};
 pub use metrics::{ServeMetrics, WorkerMetric};
-pub use server::{ServeConfig, Server, ServerHandle, Ticket};
+pub use server::{ElasticHandle, ServeConfig, Server, ServerHandle, Ticket};
 pub use tcp::{serve_tcp, TcpClient};

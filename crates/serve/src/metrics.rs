@@ -18,6 +18,13 @@ pub struct WorkerMetric {
     pub name: String,
     /// Whether the worker is currently accepting batches.
     pub alive: bool,
+    /// Whether the worker is draining: finishing in-flight batches but no
+    /// longer receiving new ones (the step before retirement).
+    pub draining: bool,
+    /// Whether the slot has been retired: drained, stopped, and joined by
+    /// the elasticity layer. Retired slots keep their counters for the
+    /// post-mortem but never serve again.
+    pub retired: bool,
     /// Batches this worker has completed.
     pub batches: u64,
     /// Input rows (images) this worker has completed.
@@ -67,8 +74,16 @@ pub struct ServeMetrics {
     pub worker_deaths: u64,
     /// Workers currently accepting batches.
     pub workers_alive: usize,
-    /// Total worker slots (alive or dead).
+    /// Total worker slots (alive, draining, dead, or retired).
     pub workers_total: usize,
+    /// Worker slots added at runtime by the elasticity layer
+    /// ([`ElasticHandle::add`](crate::ElasticHandle::add)).
+    pub workers_added: u64,
+    /// Worker slots drained and retired at runtime.
+    pub workers_retired: u64,
+    /// Zero-downtime model hot-swaps completed
+    /// ([`ElasticHandle::hot_swap`](crate::ElasticHandle::hot_swap)).
+    pub hot_swaps: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
     /// Batches dispatched to workers.
@@ -123,19 +138,37 @@ impl std::fmt::Display for ServeMetrics {
                 self.worker_deaths, self.retried
             )?;
         }
+        if self.workers_added + self.workers_retired + self.hot_swaps > 0 {
+            write!(
+                f,
+                "\nelasticity: {} slots added / {} retired / {} hot-swaps",
+                self.workers_added, self.workers_retired, self.hot_swaps
+            )?;
+        }
         for w in &self.workers {
+            let state = if w.retired {
+                "retired"
+            } else if w.draining {
+                "drain  "
+            } else if w.alive {
+                "alive  "
+            } else {
+                "DEAD   "
+            };
             write!(
                 f,
                 "\n  worker {:12} {}  {} batches / {} rows",
-                w.name,
-                if w.alive { "alive" } else { "DEAD " },
-                w.batches,
-                w.rows
+                w.name, state, w.batches, w.rows
             )?;
         }
         Ok(())
     }
 }
+
+/// Upper bound on buffered recent-latency samples (the controller drains
+/// the buffer every tick; a server without a controller must not grow it
+/// forever). Far above what accumulates in one autoscaler tick.
+const RECENT_LATENCY_CAP: usize = 8192;
 
 /// Shared mutable counters behind the server; snapshotted on demand.
 #[derive(Debug)]
@@ -151,19 +184,49 @@ struct HubInner {
     failed: u64,
     retried: u64,
     worker_deaths: u64,
+    workers_added: u64,
+    workers_retired: u64,
+    hot_swaps: u64,
     batches: u64,
     batched_requests: u64,
     batch_histogram: BTreeMap<usize, u64>,
     latency_s: SampleWindow,
+    /// Latencies since the last [`MetricsHub::take_recent_latencies`] call —
+    /// the controller's sliding observation window.
+    recent_latency_s: Vec<f64>,
     workers: Vec<WorkerCounters>,
+}
+
+/// Lifecycle of one worker slot, as the metrics hub sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    /// Accepting batches.
+    Alive,
+    /// Finishing in-flight batches; no longer dispatched to.
+    Draining,
+    /// Backend failed; slot waits for reattach.
+    Dead,
+    /// Drained, stopped, and joined; kept only for its counters.
+    Retired,
 }
 
 #[derive(Debug)]
 struct WorkerCounters {
     name: String,
-    alive: bool,
+    state: WorkerState,
     batches: u64,
     rows: u64,
+}
+
+impl WorkerCounters {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            state: WorkerState::Alive,
+            batches: 0,
+            rows: 0,
+        }
+    }
 }
 
 impl MetricsHub {
@@ -172,15 +235,7 @@ impl MetricsHub {
             start: Instant::now(),
             shed: AtomicU64::new(0),
             inner: Mutex::new(HubInner {
-                workers: worker_names
-                    .into_iter()
-                    .map(|name| WorkerCounters {
-                        name,
-                        alive: true,
-                        batches: 0,
-                        rows: 0,
-                    })
-                    .collect(),
+                workers: worker_names.into_iter().map(WorkerCounters::new).collect(),
                 ..HubInner::default()
             }),
         }
@@ -214,6 +269,14 @@ impl MetricsHub {
         inner.completed += requests as u64;
         for l in latencies {
             inner.latency_s.push(l.as_secs_f64());
+            inner.recent_latency_s.push(l.as_secs_f64());
+        }
+        // The recent window is bounded: with no controller attached (no
+        // one ever takes it), a long-running server must not leak — keep
+        // only the newest RECENT_LATENCY_CAP samples.
+        let len = inner.recent_latency_s.len();
+        if len > RECENT_LATENCY_CAP {
+            inner.recent_latency_s.drain(..len - RECENT_LATENCY_CAP);
         }
         if let Some(w) = inner.workers.get_mut(slot) {
             w.batches += 1;
@@ -231,7 +294,10 @@ impl MetricsHub {
         let mut inner = self.lock();
         inner.worker_deaths += 1;
         if let Some(w) = inner.workers.get_mut(slot) {
-            w.alive = false;
+            // A retired slot's thread is gone; nothing can die there again.
+            if w.state != WorkerState::Retired {
+                w.state = WorkerState::Dead;
+            }
         }
     }
 
@@ -244,9 +310,47 @@ impl MetricsHub {
     pub(crate) fn record_reattach(&self, slot: usize, name: String) {
         let mut inner = self.lock();
         if let Some(w) = inner.workers.get_mut(slot) {
-            w.alive = true;
+            w.state = WorkerState::Alive;
             w.name = name;
         }
+    }
+
+    /// A new worker slot was added at runtime; returns nothing — the caller
+    /// assigns the slot index (it must match the dispatcher's slot table).
+    pub(crate) fn record_added(&self, name: String) {
+        let mut inner = self.lock();
+        inner.workers_added += 1;
+        inner.workers.push(WorkerCounters::new(name));
+    }
+
+    /// Worker `slot` stopped receiving new batches (drain began).
+    pub(crate) fn record_draining(&self, slot: usize) {
+        let mut inner = self.lock();
+        if let Some(w) = inner.workers.get_mut(slot) {
+            if w.state == WorkerState::Alive {
+                w.state = WorkerState::Draining;
+            }
+        }
+    }
+
+    /// Worker `slot` was drained, stopped, and joined.
+    pub(crate) fn record_retired(&self, slot: usize) {
+        let mut inner = self.lock();
+        inner.workers_retired += 1;
+        if let Some(w) = inner.workers.get_mut(slot) {
+            w.state = WorkerState::Retired;
+        }
+    }
+
+    /// A zero-downtime hot-swap completed.
+    pub(crate) fn record_hot_swap(&self) {
+        self.lock().hot_swaps += 1;
+    }
+
+    /// Drains and returns the latency samples (seconds) recorded since the
+    /// previous call — the autoscaler's per-tick observation window.
+    pub(crate) fn take_recent_latencies(&self) -> Vec<f64> {
+        std::mem::take(&mut self.lock().recent_latency_s)
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize) -> ServeMetrics {
@@ -258,7 +362,9 @@ impl MetricsHub {
             .iter()
             .map(|w| WorkerMetric {
                 name: w.name.clone(),
-                alive: w.alive,
+                alive: w.state == WorkerState::Alive,
+                draining: w.state == WorkerState::Draining,
+                retired: w.state == WorkerState::Retired,
                 batches: w.batches,
                 rows: w.rows,
             })
@@ -277,6 +383,9 @@ impl MetricsHub {
             worker_deaths: inner.worker_deaths,
             workers_alive: workers.iter().filter(|w| w.alive).count(),
             workers_total: workers.len(),
+            workers_added: inner.workers_added,
+            workers_retired: inner.workers_retired,
+            hot_swaps: inner.hot_swaps,
             queue_depth,
             batches: inner.batches,
             mean_batch_requests,
@@ -347,6 +456,57 @@ mod tests {
         let m = hub.snapshot(0);
         assert_eq!(m.workers_alive, 2);
         assert_eq!(m.workers[1].name, "w1b");
+    }
+
+    #[test]
+    fn elasticity_lifecycle_add_drain_retire() {
+        let hub = MetricsHub::new(vec!["w0".into()]);
+        hub.record_added("w1".into());
+        let m = hub.snapshot(0);
+        assert_eq!(m.workers_total, 2);
+        assert_eq!(m.workers_alive, 2);
+        assert_eq!(m.workers_added, 1);
+
+        hub.record_draining(1);
+        let m = hub.snapshot(0);
+        assert_eq!(m.workers_alive, 1, "draining worker no longer counts");
+        assert!(m.workers[1].draining && !m.workers[1].retired);
+
+        hub.record_retired(1);
+        hub.record_hot_swap();
+        let m = hub.snapshot(0);
+        assert!(m.workers[1].retired && !m.workers[1].draining);
+        assert_eq!(m.workers_retired, 1);
+        assert_eq!(m.hot_swaps, 1);
+        // A retired slot can neither die nor drain again.
+        hub.record_worker_death(1);
+        hub.record_draining(1);
+        assert!(hub.snapshot(0).workers[1].retired);
+    }
+
+    #[test]
+    fn recent_latencies_drain_on_take() {
+        let hub = MetricsHub::new(vec!["w0".into()]);
+        hub.record_batch(0, 2, 2, &[Duration::from_millis(4); 2]);
+        let recent = hub.take_recent_latencies();
+        assert_eq!(recent.len(), 2);
+        assert!(hub.take_recent_latencies().is_empty(), "take drains");
+        // The cumulative window is unaffected by taking the recent one.
+        assert!(hub.snapshot(0).p95_ms > 0.0);
+    }
+
+    #[test]
+    fn recent_latencies_are_bounded_without_a_consumer() {
+        // A server with no autoscaler never takes the recent window; it
+        // must stay bounded (newest samples win).
+        let hub = MetricsHub::new(vec!["w0".into()]);
+        for i in 0..(RECENT_LATENCY_CAP + 100) {
+            hub.record_batch(0, 1, 1, &[Duration::from_micros(i as u64)]);
+        }
+        let recent = hub.take_recent_latencies();
+        assert_eq!(recent.len(), RECENT_LATENCY_CAP);
+        let newest = (RECENT_LATENCY_CAP + 99) as f64 * 1e-6;
+        assert!((recent.last().copied().unwrap() - newest).abs() < 1e-12);
     }
 
     #[test]

@@ -21,8 +21,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The scheduler's three operator knobs. See `docs/SERVING.md` for the
-/// tuning guide.
+/// The scheduler's operator knobs. See `docs/SERVING.md` for the tuning
+/// guide.
+///
+/// The struct is `#[non_exhaustive]`: build it by mutating
+/// [`ServeConfig::default`], so adding a knob in a future release cannot
+/// break downstream construction sites.
 ///
 /// # Example
 ///
@@ -30,15 +34,14 @@ use std::time::{Duration, Instant};
 /// use fluid_serve::ServeConfig;
 /// use std::time::Duration;
 ///
-/// let cfg = ServeConfig {
-///     max_batch: 16,
-///     max_wait: Duration::from_millis(2),
-///     queue_cap: 512,
-///     ..ServeConfig::default()
-/// };
+/// let mut cfg = ServeConfig::default();
+/// cfg.max_batch = 16;
+/// cfg.max_wait = Duration::from_millis(2);
+/// cfg.queue_cap = 512;
 /// assert!(cfg.max_batch > ServeConfig::default().max_batch);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Maximum input rows coalesced into one dispatched batch. `1`
     /// disables batching entirely.
@@ -190,6 +193,9 @@ enum SlotMsg {
 /// Dispatcher-visible state of one worker slot.
 struct SlotShared {
     alive: AtomicBool,
+    /// Draining slots finish their in-flight batches but receive no new
+    /// ones — the first half of the elasticity layer's retire protocol.
+    draining: AtomicBool,
     in_flight_rows: AtomicUsize,
 }
 
@@ -441,12 +447,27 @@ impl Server {
         self.metrics.snapshot(self.handle.queue_depth())
     }
 
-    /// Worker slots currently accepting batches.
+    /// Worker slots currently accepting batches (live, not draining, not
+    /// retired).
     pub fn alive_workers(&self) -> usize {
         lock_slots(&self.slots)
             .iter()
-            .filter(|s| s.shared.alive.load(Ordering::SeqCst))
+            .filter(|s| slot_accepting(s))
             .count()
+    }
+
+    /// A handle for runtime pool reconfiguration: add, drain, retire, and
+    /// hot-swap worker slots while the server keeps serving. Cheap to
+    /// clone; safe to use from any thread (the [`Autoscaler`] runs on one).
+    ///
+    /// [`Autoscaler`]: crate::Autoscaler
+    pub fn elastic(&self) -> ElasticHandle {
+        ElasticHandle {
+            handle: self.handle.clone(),
+            slots: Arc::clone(&self.slots),
+            metrics: Arc::clone(&self.metrics),
+            dims: self.dims,
+        }
     }
 
     /// Replaces worker slot `index` with a fresh backend — the serving
@@ -474,10 +495,12 @@ impl Server {
         let (old_tx, old_thread) = {
             let mut slots = lock_slots(&self.slots);
             if index >= slots.len() {
-                return Err(ServeError::BadInput(format!(
-                    "no worker slot {index} (have {})",
-                    slots.len()
-                )));
+                return Err(bad_slot(index, slots.len()));
+            }
+            if slots[index].tx.is_none() {
+                // Retired slots stay retired: replacement capacity goes
+                // through `ElasticHandle::add` instead.
+                return Err(ServeError::Elastic(format!("slot {index} is retired")));
             }
             (slots[index].tx.take(), slots[index].thread.take())
         };
@@ -527,8 +550,346 @@ impl Drop for Server {
     }
 }
 
+/// Runtime reconfiguration of a running [`Server`]'s worker pool, obtained
+/// from [`Server::elastic`].
+///
+/// Slot indices are stable for the server's lifetime: retiring a slot
+/// leaves a husk behind (its counters survive in the metrics) instead of
+/// shifting later slots down. The lifecycle of a slot is
+///
+/// ```text
+/// add ──▶ accepting ──▶ draining ──▶ retired
+///             │  ▲
+///       death ▼  │ reattach
+///             dead
+/// ```
+///
+/// * [`add`](ElasticHandle::add) appends a slot and starts dispatching to
+///   it immediately — scale **up**.
+/// * [`drain`](ElasticHandle::drain) stops new dispatch to a slot while
+///   its in-flight batches finish; [`retire`](ElasticHandle::retire) then
+///   waits for the drain and joins the worker thread — scale **down**
+///   without dropping a single admitted request.
+/// * [`hot_swap`](ElasticHandle::hot_swap) is the zero-downtime model
+///   update: add fresh slots first, then drain and retire every old one.
+///   Cutover happens at batch boundaries — a batch runs wholly on the old
+///   or wholly on the new model, and in-flight tickets always resolve.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{EngineBackend, ServeConfig, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+/// use std::time::Duration;
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let spec = model.spec("combined100").unwrap().clone();
+/// let backend = |name: &str| {
+///     Box::new(EngineBackend::new(name, model.net().clone(), spec.clone()))
+///         as Box<dyn fluid_serve::Backend>
+/// };
+/// let server = Server::start(ServeConfig::default(), vec![backend("v1-0")]).unwrap();
+/// let elastic = server.elastic();
+///
+/// // Scale up, then hot-swap the (here: identical) model with zero downtime.
+/// elastic.add(backend("v1-1")).unwrap();
+/// assert_eq!(server.alive_workers(), 2);
+/// elastic
+///     .hot_swap(vec![backend("v2-0"), backend("v2-1")], Duration::from_secs(5))
+///     .unwrap();
+/// let logits = server.handle().infer(Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// let m = server.shutdown();
+/// assert_eq!(m.hot_swaps, 1);
+/// assert_eq!(m.workers_retired, 2);
+/// ```
+#[derive(Clone)]
+pub struct ElasticHandle {
+    handle: ServerHandle,
+    slots: Arc<Mutex<Vec<Slot>>>,
+    metrics: Arc<MetricsHub>,
+    dims: [usize; 3],
+}
+
+impl std::fmt::Debug for ElasticHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticHandle")
+            .field("slots", &lock_slots(&self.slots).len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How often [`ElasticHandle::retire`] re-checks a draining slot.
+const DRAIN_POLL: Duration = Duration::from_millis(1);
+
+impl ElasticHandle {
+    /// A client handle to the same server (for submissions and metrics).
+    pub fn server_handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// A snapshot of the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.handle.metrics()
+    }
+
+    /// Total worker slots, including dead and retired ones.
+    pub fn slot_count(&self) -> usize {
+        lock_slots(&self.slots).len()
+    }
+
+    /// Worker slots currently accepting batches (live, not draining, not
+    /// retired).
+    pub fn alive_workers(&self) -> usize {
+        lock_slots(&self.slots)
+            .iter()
+            .filter(|s| slot_accepting(s))
+            .count()
+    }
+
+    /// Input rows dispatched to slot `index` and not yet answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when `index` is out of range.
+    pub fn in_flight_rows(&self, index: usize) -> Result<usize, ServeError> {
+        let slots = lock_slots(&self.slots);
+        let slot = slots
+            .get(index)
+            .ok_or_else(|| bad_slot(index, slots.len()))?;
+        Ok(slot.shared.in_flight_rows.load(Ordering::SeqCst))
+    }
+
+    /// Drains the latency samples (milliseconds) recorded since the last
+    /// call — the controller's per-tick observation window. Unlike the
+    /// cumulative percentiles in [`ServeMetrics`], this window forgets, so
+    /// a recovered server shows a recovered p95.
+    pub fn take_recent_latencies_ms(&self) -> Vec<f64> {
+        self.metrics
+            .take_recent_latencies()
+            .into_iter()
+            .map(|s| s * 1e3)
+            .collect()
+    }
+
+    /// Appends a new worker slot running `backend` and starts dispatching
+    /// to it immediately. Returns the new slot's index.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadInput`] — the backend serves different input
+    ///   dimensions than the pool.
+    /// * [`ServeError::ShuttingDown`] — the server is stopping.
+    pub fn add(&self, backend: Box<dyn Backend>) -> Result<usize, ServeError> {
+        if backend.input_dims() != self.dims {
+            return Err(ServeError::BadInput(format!(
+                "new backend serves input {:?}, server serves {:?}",
+                backend.input_dims(),
+                self.dims
+            )));
+        }
+        let mut slots = lock_slots(&self.slots);
+        // Checked under the slot lock: `Server::stop` raises the flag
+        // before it walks the slot table, so a slot admitted here is
+        // guaranteed to be seen (and joined) by the shutdown walk.
+        if self.handle.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(self.add_locked(&mut slots, backend))
+    }
+
+    /// Appends one slot under an already-held slot lock.
+    fn add_locked(&self, slots: &mut Vec<Slot>, backend: Box<dyn Backend>) -> usize {
+        let index = slots.len();
+        self.metrics.record_added(backend.name().to_owned());
+        slots.push(spawn_slot(index, backend, &self.handle.tx, &self.metrics));
+        index
+    }
+
+    /// Stops dispatching new batches to slot `index`; in-flight batches
+    /// finish normally. Draining is one-way — follow with
+    /// [`retire`](ElasticHandle::retire).
+    ///
+    /// Draining every accepting slot without adding capacity first leaves
+    /// new batches with nowhere to go (they fail with
+    /// [`ServeError::NoWorkers`]); scale-down logic must keep at least one
+    /// accepting slot, which [`hot_swap`](ElasticHandle::hot_swap) does by
+    /// adding the replacements before draining.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for an out-of-range index or
+    /// [`ServeError::Elastic`] for an already-retired slot.
+    pub fn drain(&self, index: usize) -> Result<(), ServeError> {
+        let slots = lock_slots(&self.slots);
+        let slot = slots
+            .get(index)
+            .ok_or_else(|| bad_slot(index, slots.len()))?;
+        if slot.tx.is_none() {
+            return Err(ServeError::Elastic(format!("slot {index} is retired")));
+        }
+        slot.shared.draining.store(true, Ordering::SeqCst);
+        self.metrics.record_draining(index);
+        Ok(())
+    }
+
+    /// Whether slot `index` is draining (or dead) with no in-flight rows —
+    /// i.e. ready to [`retire`](ElasticHandle::retire) without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] when `index` is out of range.
+    pub fn is_drained(&self, index: usize) -> Result<bool, ServeError> {
+        let slots = lock_slots(&self.slots);
+        let slot = slots
+            .get(index)
+            .ok_or_else(|| bad_slot(index, slots.len()))?;
+        let accepting = slot.tx.is_some()
+            && slot.shared.alive.load(Ordering::SeqCst)
+            && !slot.shared.draining.load(Ordering::SeqCst);
+        Ok(!accepting && slot.shared.in_flight_rows.load(Ordering::SeqCst) == 0)
+    }
+
+    /// Retires slot `index`: drains it (if not already draining), waits up
+    /// to `timeout` for its in-flight batches to finish, then stops and
+    /// joins its worker thread. The slot's counters survive in the metrics
+    /// with the `retired` state; the index is never reused.
+    ///
+    /// Dead slots retire immediately (their thread is parked; any batch
+    /// that raced in has already been bounced back to the scheduler).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadInput`] — `index` out of range.
+    /// * [`ServeError::Elastic`] — already retired, or still busy after
+    ///   `timeout` (the slot stays draining; retry later).
+    pub fn retire(&self, index: usize, timeout: Duration) -> Result<(), ServeError> {
+        self.drain(index)?;
+        let shared = {
+            let slots = lock_slots(&self.slots);
+            Arc::clone(&slots[index].shared)
+        };
+        let deadline = Instant::now() + timeout;
+        loop {
+            let busy = shared.in_flight_rows.load(Ordering::SeqCst);
+            if busy == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::Elastic(format!(
+                    "slot {index} still has {busy} in-flight rows after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+        // Same take-under-lock / join-outside-lock shape as `reattach`:
+        // the dispatcher never blocks on a slow worker exit.
+        let (tx, thread) = {
+            let mut slots = lock_slots(&self.slots);
+            (slots[index].tx.take(), slots[index].thread.take())
+        };
+        let Some(tx) = tx else {
+            return Err(ServeError::Elastic(format!("slot {index} is retired")));
+        };
+        let _ = tx.send(SlotMsg::Stop);
+        if let Some(t) = thread {
+            let _ = t.join();
+        }
+        self.metrics.record_retired(index);
+        Ok(())
+    }
+
+    /// Zero-downtime model hot-swap: adds one slot per replacement backend
+    /// (the new model starts serving immediately), then drains and retires
+    /// every pre-existing slot — alive, draining, or dead. Returns the new
+    /// slots' indices.
+    ///
+    /// Because replacements are accepting *before* the old slots stop, and
+    /// retirement waits for in-flight batches, no admitted request is
+    /// dropped and every batch runs on exactly one model version. Swapping
+    /// in backends built from the same checkpoint is therefore
+    /// bit-identical to not swapping at all.
+    ///
+    /// The old-generation snapshot and the insertion of every replacement
+    /// happen under one slot-table lock, so a slot added concurrently (by
+    /// another thread or a running [`Autoscaler`]) lands either before the
+    /// cutover — and is drained with the old generation — or after it.
+    /// **Running a live [`Autoscaler`] across a hot swap is still on the
+    /// operator**: its [`BackendFactory`] keeps minting whatever model it
+    /// captured, so stop the controller (or swap its factory) before
+    /// swapping models — as `fluidctl reload` and the examples do.
+    ///
+    /// [`Autoscaler`]: crate::Autoscaler
+    /// [`BackendFactory`]: crate::BackendFactory
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadInput`] — `replacements` is empty or disagrees
+    ///   with the pool's input dimensions (nothing is changed).
+    /// * [`ServeError::ShuttingDown`] — the server is stopping.
+    /// * [`ServeError::Elastic`] — an old slot did not drain within
+    ///   `retire_timeout` (the new slots stay; the stuck slot stays
+    ///   draining and can be retired later).
+    pub fn hot_swap(
+        &self,
+        replacements: Vec<Box<dyn Backend>>,
+        retire_timeout: Duration,
+    ) -> Result<Vec<usize>, ServeError> {
+        if replacements.is_empty() {
+            return Err(ServeError::BadInput("hot swap needs backends".into()));
+        }
+        if let Some(b) = replacements.iter().find(|b| b.input_dims() != self.dims) {
+            return Err(ServeError::BadInput(format!(
+                "replacement {:?} serves input {:?}, server serves {:?}",
+                b.name(),
+                b.input_dims(),
+                self.dims
+            )));
+        }
+        // One lock acquisition covers the generation snapshot and every
+        // insertion: nothing can slip between "old" and "new".
+        let (old, added) = {
+            let mut slots = lock_slots(&self.slots);
+            if self.handle.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            let old: Vec<usize> = (0..slots.len())
+                .filter(|&i| slots[i].tx.is_some())
+                .collect();
+            let added: Vec<usize> = replacements
+                .into_iter()
+                .map(|backend| self.add_locked(&mut slots, backend))
+                .collect();
+            (old, added)
+        };
+        // New capacity is live; now take the old generation out of
+        // dispatch in one pass, then wait out their in-flight batches.
+        for &i in &old {
+            self.drain(i)?;
+        }
+        for &i in &old {
+            self.retire(i, retire_timeout)?;
+        }
+        self.metrics.record_hot_swap();
+        Ok(added)
+    }
+}
+
+fn bad_slot(index: usize, len: usize) -> ServeError {
+    ServeError::BadInput(format!("no worker slot {index} (have {len})"))
+}
+
 fn lock_slots(slots: &Mutex<Vec<Slot>>) -> std::sync::MutexGuard<'_, Vec<Slot>> {
     slots.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether the dispatcher may route new batches to this slot: not retired
+/// (`tx` present), not dead, not draining.
+fn slot_accepting(slot: &Slot) -> bool {
+    slot.tx.is_some()
+        && slot.shared.alive.load(Ordering::SeqCst)
+        && !slot.shared.draining.load(Ordering::SeqCst)
 }
 
 fn spawn_slot(
@@ -540,6 +901,7 @@ fn spawn_slot(
     let (tx, rx) = mpsc::channel::<SlotMsg>();
     let shared = Arc::new(SlotShared {
         alive: AtomicBool::new(true),
+        draining: AtomicBool::new(false),
         in_flight_rows: AtomicUsize::new(0),
     });
     let thread = {
@@ -724,7 +1086,7 @@ fn dispatch(mut job: Job, slots: &Mutex<Vec<Slot>>, rr_cursor: &mut usize, metri
         let start = *rr_cursor % n.max(1);
         let chosen = (0..n)
             .map(|k| (start + k) % n)
-            .filter(|&i| slots[i].tx.is_some() && slots[i].shared.alive.load(Ordering::SeqCst))
+            .filter(|&i| slot_accepting(&slots[i]))
             .min_by_key(|&i| slots[i].shared.in_flight_rows.load(Ordering::SeqCst));
         let Some(i) = chosen else {
             drop(slots);
@@ -950,6 +1312,108 @@ mod tests {
         assert_eq!(m.completed, 1);
         assert_eq!(m.failed, 5);
         assert_eq!(m.worker_deaths, 1);
+    }
+
+    #[test]
+    fn elastic_handle_rejects_bad_operations() {
+        let server =
+            Server::start(ServeConfig::default(), vec![tiny_backend("b", 7)]).expect("start");
+        let elastic = server.elastic();
+
+        // Wrong input dimensions are refused before any slot is touched.
+        let model14 = FluidModel::new(Arch::tiny(), &mut Prng::new(0));
+        let b14 = Box::new(EngineBackend::new(
+            "b14",
+            model14.net().clone(),
+            model14.spec("combined100").expect("spec").clone(),
+        ));
+        assert!(matches!(elastic.add(b14), Err(ServeError::BadInput(_))));
+        assert_eq!(elastic.slot_count(), 1);
+
+        // Out-of-range slots.
+        assert!(matches!(elastic.drain(5), Err(ServeError::BadInput(_))));
+        assert!(matches!(
+            elastic.retire(5, Duration::from_millis(1)),
+            Err(ServeError::BadInput(_))
+        ));
+        assert!(elastic.in_flight_rows(5).is_err());
+
+        // Empty hot swap changes nothing.
+        assert!(matches!(
+            elastic.hot_swap(vec![], Duration::from_millis(1)),
+            Err(ServeError::BadInput(_))
+        ));
+
+        // Retiring twice: the second attempt reports the slot retired, and
+        // a retired slot cannot be reattached either.
+        elastic.add(tiny_backend("b2", 8)).expect("add");
+        elastic.retire(1, Duration::from_secs(1)).expect("retire");
+        assert!(matches!(
+            elastic.retire(1, Duration::from_secs(1)),
+            Err(ServeError::Elastic(_))
+        ));
+        assert!(matches!(
+            server.reattach(1, tiny_backend("b3", 9)),
+            Err(ServeError::Elastic(_))
+        ));
+        assert!(elastic.is_drained(1).expect("in range"));
+        assert_eq!(server.alive_workers(), 1);
+    }
+
+    #[test]
+    fn added_slot_serves_and_drain_excludes_from_dispatch() {
+        let cfg = ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::from_micros(100),
+            queue_cap: 64,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, vec![tiny_backend("a", 4)]).expect("start");
+        let elastic = server.elastic();
+        let added = elastic.add(tiny_backend("b", 4)).expect("add");
+        assert_eq!(added, 1);
+        assert_eq!(server.alive_workers(), 2);
+
+        let h = server.handle();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| h.submit(Tensor::zeros(&[1, 1, 28, 28])).expect("submit"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        assert!(
+            server.metrics().workers.iter().all(|w| w.batches > 0),
+            "added slot never dispatched: {:?}",
+            server.metrics().workers
+        );
+
+        // Drain slot 0: everything now lands on slot 1.
+        elastic.drain(0).expect("drain");
+        assert_eq!(server.alive_workers(), 1);
+        let before = server.metrics().workers[0].batches;
+        for _ in 0..4 {
+            h.infer(Tensor::zeros(&[1, 1, 28, 28])).expect("served");
+        }
+        let m = server.metrics();
+        assert_eq!(m.workers[0].batches, before, "draining slot got new work");
+        assert!(m.workers[0].draining);
+        elastic.retire(0, Duration::from_secs(1)).expect("retire");
+        let m = server.shutdown();
+        assert!(m.workers[0].retired);
+        assert_eq!(m.workers_added, 1);
+        assert_eq!(m.workers_retired, 1);
+    }
+
+    #[test]
+    fn shutting_down_server_refuses_new_slots() {
+        let server =
+            Server::start(ServeConfig::default(), vec![tiny_backend("b", 2)]).expect("start");
+        let elastic = server.elastic();
+        drop(server);
+        assert!(matches!(
+            elastic.add(tiny_backend("late", 3)),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 
     #[test]

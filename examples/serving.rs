@@ -6,34 +6,30 @@
 //!
 //! Run with `cargo run --release -p fluid-examples --bin serving`.
 
-use fluid_dist::{
-    extract_branch_weights, FailureSwitch, InProcTransport, Master, MasterConfig, Worker,
-};
+use fluid_dist::{spawn_ha_pair, FailureSwitch, SpawnedPair};
 use fluid_models::{Arch, FluidModel};
 use fluid_serve::{loadgen, Backend, EngineBackend, MasterBackend, ServeConfig, Server};
 use fluid_tensor::{Prng, Tensor};
 use std::time::Duration;
 
-/// Boots an HA Master/Worker pair serving the combined model and wraps it
-/// as one serving backend.
+/// Boots an HA Master/Worker pair serving the combined model (one
+/// `fluid_dist::spawn_ha_pair` call) and wraps it as one serving backend.
 fn distributed_pair(
     name: &str,
     model: &FluidModel,
 ) -> (Box<dyn Backend>, FailureSwitch, std::thread::JoinHandle<()>) {
-    let arch = model.net().arch().clone();
-    let (master_side, worker_side) = InProcTransport::pair();
-    let switch = master_side.failure_switch();
-    let worker_name = name.to_owned();
-    let worker =
-        std::thread::spawn(move || drop(Worker::new(worker_side, arch, &worker_name).run()));
-    let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
-    master.await_hello().expect("hello");
     let combined = model.spec("combined100").expect("spec");
-    let windows = extract_branch_weights(model.net(), &combined.branches[1]);
-    master.deploy_local(combined.branches[0].clone());
-    master
-        .deploy_remote(combined.branches[1].clone(), windows)
-        .expect("deploy");
+    let SpawnedPair {
+        master,
+        switch,
+        worker,
+    } = spawn_ha_pair(
+        model.net(),
+        combined.branches[0].clone(),
+        combined.branches[1].clone(),
+        name,
+    )
+    .expect("spawn pair");
     (Box::new(MasterBackend::new(name, master)), switch, worker)
 }
 
@@ -49,12 +45,10 @@ fn main() {
     ));
     let (pair, switch, worker_thread) = distributed_pair("pair0", &model);
 
-    let cfg = ServeConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(2),
-        queue_cap: 128,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 8;
+    cfg.max_wait = Duration::from_millis(2);
+    cfg.queue_cap = 128;
     println!(
         "scheduler: max_batch {}, max_wait {:?}, queue_cap {}\n",
         cfg.max_batch, cfg.max_wait, cfg.queue_cap

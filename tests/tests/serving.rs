@@ -3,9 +3,7 @@
 //! worker lost under live traffic degrades capacity instead of killing the
 //! service — with reattach restoring it.
 
-use fluid_dist::{
-    extract_branch_weights, DistError, InProcTransport, Master, MasterConfig, Worker,
-};
+use fluid_dist::{spawn_ha_pair, DistError, SpawnedPair};
 use fluid_models::{Arch, FluidModel};
 use fluid_serve::{
     loadgen, Backend, EngineBackend, MasterBackend, ServeConfig, ServeError, Server,
@@ -30,8 +28,9 @@ fn input(k: usize) -> Tensor {
 }
 
 /// Boots an HA Master/Worker pair over in-proc transports serving the
-/// combined model, returns it as a serving backend plus the pair's kill
-/// switch and the worker's join handle.
+/// combined model (via the `fluid_dist::spawn_ha_pair` hook), returns it
+/// as a serving backend plus the pair's kill switch and the worker's join
+/// handle.
 fn master_backend(
     name: &str,
     model: &FluidModel,
@@ -40,22 +39,18 @@ fn master_backend(
     fluid_dist::FailureSwitch,
     std::thread::JoinHandle<()>,
 ) {
-    let arch = model.net().arch().clone();
-    let (master_side, worker_side) = InProcTransport::pair();
-    let switch = master_side.failure_switch();
-    let worker_arch = arch.clone();
-    let worker_name = name.to_owned();
-    let worker = std::thread::spawn(move || {
-        let _ = Worker::new(worker_side, worker_arch, &worker_name).run();
-    });
-    let mut master = Master::new(master_side, model.net().clone(), MasterConfig::default());
-    master.await_hello().expect("hello");
     let combined = model.spec("combined100").expect("spec");
-    let windows = extract_branch_weights(model.net(), &combined.branches[1]);
-    master.deploy_local(combined.branches[0].clone());
-    master
-        .deploy_remote(combined.branches[1].clone(), windows)
-        .expect("deploy");
+    let SpawnedPair {
+        master,
+        switch,
+        worker,
+    } = spawn_ha_pair(
+        model.net(),
+        combined.branches[0].clone(),
+        combined.branches[1].clone(),
+        name,
+    )
+    .expect("spawn pair");
     (Box::new(MasterBackend::new(name, master)), switch, worker)
 }
 
@@ -63,12 +58,10 @@ fn master_backend(
 fn batched_outputs_are_bit_identical_to_sequential_inference() {
     let mut reference = model(17);
     let spec = reference.spec("combined100").expect("spec").clone();
-    let cfg = ServeConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(20),
-        queue_cap: 256,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 8;
+    cfg.max_wait = Duration::from_millis(20);
+    cfg.queue_cap = 256;
     let server = Server::start(cfg, vec![engine_backend("m0", &model(17))]).expect("start");
     let handle = server.handle();
 
@@ -116,12 +109,10 @@ fn backpressure_sheds_explicitly_past_queue_cap() {
     }
 
     let m = model(19);
-    let cfg = ServeConfig {
-        max_batch: 2,
-        max_wait: Duration::from_millis(1),
-        queue_cap: 4,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 2;
+    cfg.max_wait = Duration::from_millis(1);
+    cfg.queue_cap = 4;
     let slow = Box::new(SlowBackend(EngineBackend::new(
         "slow",
         m.net().clone(),
@@ -161,12 +152,10 @@ fn worker_loss_under_load_degrades_and_reattach_restores() {
     let m = model(23);
     let (pair, switch, worker_thread) = master_backend("pair0", &m);
     let backends = vec![engine_backend("engine0", &m), pair];
-    let cfg = ServeConfig {
-        max_batch: 4,
-        max_wait: Duration::from_micros(200),
-        queue_cap: 256,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 4;
+    cfg.max_wait = Duration::from_micros(200);
+    cfg.queue_cap = 256;
     let server = Server::start(cfg, backends).expect("start");
     let handle = server.handle();
     let mut reference = model(23);
@@ -226,12 +215,10 @@ fn loadgen_against_inproc_server_demonstrates_batching() {
     // The acceptance-criteria scenario: a loadgen run whose reported mean
     // batch size exceeds 1 under concurrent load.
     let m = model(29);
-    let cfg = ServeConfig {
-        max_batch: 8,
-        max_wait: Duration::from_millis(5),
-        queue_cap: 256,
-        ..ServeConfig::default()
-    };
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = 8;
+    cfg.max_wait = Duration::from_millis(5);
+    cfg.queue_cap = 256;
     let server = Server::start(cfg, vec![engine_backend("m0", &m)]).expect("start");
     let inputs: Vec<Tensor> = (0..8).map(input).collect();
     let handle = server.handle();
