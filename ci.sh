@@ -18,7 +18,10 @@
 # 0.25 = 25% — wide enough to ride out scheduler noise on a shared CI
 # host, tight enough to catch a real kernel regression). The gate writes
 # its fresh measurements to target/BENCH_kernels.current.json, never over
-# the committed baseline.
+# the committed baseline. It then runs the zero-allocation gates: with
+# the bench-only `alloc-count` feature, serve_throughput and
+# training_step swap in a counting global allocator and fail on a single
+# heap allocation in the steady-state serving batch / training step.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -95,6 +98,9 @@ stage_bench() {
         cargo run --release -p fluid-bench --bin bench_kernels -- --quick \
             --check BENCH_kernels.json --tolerance "$BENCH_TOLERANCE"
     fi
+    echo "==> zero-allocation gates (counting allocator, steady-state hot paths)"
+    cargo bench -p fluid-bench --features alloc-count --bench serve_throughput
+    cargo bench -p fluid-bench --features alloc-count --bench training_step
 }
 
 TIMING_SUMMARY=""

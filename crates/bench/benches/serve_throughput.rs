@@ -7,13 +7,26 @@
 //! * `max_batch` sweep — identical hardware, batching on vs. off;
 //! * worker sweep — 1 vs. 2 engine replicas behind the dispatcher;
 //! * direct engine — the no-scheduler floor for the same 16 inputs.
+//!
+//! With `--features alloc-count` the binary instead becomes a regression
+//! gate: a counting global allocator proves the steady-state serving
+//! compute path (`infer_batch` + output recycle, per dispatched batch)
+//! performs **zero heap allocations** — see `docs/PERFORMANCE.md`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// In alloc-count mode the timing benches are compiled but not run.
+#![cfg_attr(feature = "alloc-count", allow(dead_code))]
+
+use criterion::{criterion_group, Criterion};
 use fluid_models::{Arch, FluidModel};
 use fluid_serve::{Backend, EngineBackend, ServeConfig, Server};
 use fluid_tensor::{Prng, Tensor};
 use std::hint::black_box;
 use std::time::Duration;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: fluid_bench::alloc_count::CountingAllocator =
+    fluid_bench::alloc_count::CountingAllocator;
 
 const BURST: usize = 16;
 
@@ -97,5 +110,61 @@ fn bench_direct_engine(c: &mut Criterion) {
     });
 }
 
+/// The zero-allocation gate over the serving hot path: after warm-up, a
+/// dispatched batch must run the whole engine forward (implicit-GEMM conv,
+/// packed GEMMs, pooling, FC) out of the workspace arena — zero heap
+/// allocations per batch, and therefore per request.
+///
+/// Runs at one kernel thread: the compute path is what's under test (the
+/// pool's queued fan-out boxes one closure per chunk when real cores are
+/// available, which is a property of the pool, not of the kernels).
+#[cfg(feature = "alloc-count")]
+fn assert_zero_alloc_serving() {
+    use fluid_bench::alloc_count;
+
+    fluid_tensor::pool::set_threads(1);
+    let model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut backend = EngineBackend::new(
+        "alloc-gate",
+        model.net().clone(),
+        model.spec("combined100").expect("spec").clone(),
+    );
+    let mut rng = Prng::new(7);
+    let batch = Tensor::from_fn(&[8, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    // Warm-up: populate the workspace arena to its steady state (buffer
+    // size classes settle over the first few batches).
+    for _ in 0..5 {
+        let out = backend.infer_batch(&batch).expect("warm-up infer");
+        backend.recycle_output(out);
+    }
+    const BATCHES: u64 = 100;
+    let (allocs, ()) = alloc_count::allocations_during(|| {
+        for _ in 0..BATCHES {
+            let out = backend.infer_batch(&batch).expect("steady-state infer");
+            black_box(out.data().len());
+            backend.recycle_output(out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state serving compute path allocated {allocs} times over {BATCHES} batches \
+         (expected zero; a kernel or layer has fallen off the workspace arena)"
+    );
+    println!(
+        "alloc-count OK: 0 heap allocations across {BATCHES} steady-state [8,1,28,28] batches"
+    );
+}
+
 criterion_group!(benches, bench_batching, bench_dispatch, bench_direct_engine);
-criterion_main!(benches);
+
+fn main() {
+    // In alloc-count mode the binary is the allocation gate, not a timing
+    // run (the counting allocator would skew timings anyway).
+    #[cfg(feature = "alloc-count")]
+    {
+        assert_zero_alloc_serving();
+        return;
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    benches();
+}

@@ -1,11 +1,45 @@
 //! Training-step cost per sub-network (criterion): one forward + backward +
 //! masked SGD step, the unit of Algorithm 1's inner loop.
+//!
+//! With `--features alloc-count` the binary instead becomes a regression
+//! gate: a counting global allocator proves the steady-state training step
+//! (forward, loss, backward, optimizer — all through the workspace arena)
+//! performs **zero heap allocations** — see `docs/PERFORMANCE.md`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// In alloc-count mode the timing benches are compiled but not run.
+#![cfg_attr(feature = "alloc-count", allow(dead_code))]
+
+use criterion::{criterion_group, Criterion};
 use fluid_models::{Arch, FluidModel};
-use fluid_nn::{softmax_cross_entropy, Optimizer, Sgd};
+use fluid_nn::{softmax_cross_entropy_ws, Optimizer, Sgd};
 use fluid_tensor::{Prng, Tensor};
 use std::hint::black_box;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: fluid_bench::alloc_count::CountingAllocator =
+    fluid_bench::alloc_count::CountingAllocator;
+
+/// One full training step through the workspace-arena hot path: the loss
+/// gradient is drawn from (and the logits recycled into) the executor's
+/// arena, so a steady-state step touches the allocator zero times.
+fn train_step(
+    model: &mut FluidModel,
+    spec: &fluid_models::SubnetSpec,
+    x: &Tensor,
+    labels: &[usize],
+    opt: &mut Sgd,
+) {
+    let net = model.net_mut();
+    net.zero_grad();
+    let logits = net.forward_subnet(x, spec, true);
+    let (_, grad) = softmax_cross_entropy_ws(&logits, labels, net.workspace_mut());
+    net.recycle(logits);
+    net.backward_subnet(&grad, spec);
+    net.recycle(grad);
+    let mut params = net.param_set();
+    opt.step(&mut params);
+}
 
 fn bench_training_steps(c: &mut Criterion) {
     let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
@@ -19,13 +53,7 @@ fn bench_training_steps(c: &mut Criterion) {
         let spec = model.spec(name).expect("spec").clone();
         group.bench_function(name, |bench| {
             bench.iter(|| {
-                let net = model.net_mut();
-                net.zero_grad();
-                let logits = net.forward_subnet(&x, &spec, true);
-                let (_, grad) = softmax_cross_entropy(&logits, &labels);
-                net.backward_subnet(&grad, &spec);
-                let mut params = net.param_set();
-                opt.step(&mut params);
+                train_step(&mut model, &spec, &x, &labels, &mut opt);
                 black_box(());
             })
         });
@@ -33,9 +61,55 @@ fn bench_training_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// The zero-allocation gate over the training step: after warm-up (first
+/// steps allocate optimizer state and grow the arena to its high-water
+/// mark), every further step must be allocation-free.
+///
+/// Runs at one kernel thread: the compute path is what's under test (the
+/// pool's queued fan-out boxes one closure per chunk when real cores are
+/// available, which is a property of the pool, not of the kernels).
+#[cfg(feature = "alloc-count")]
+fn assert_zero_alloc_training() {
+    use fluid_bench::alloc_count;
+
+    fluid_tensor::pool::set_threads(1);
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let mut rng = Prng::new(1);
+    let x = Tensor::from_fn(&[16, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+    let spec = model.spec("combined100").expect("spec").clone();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    for _ in 0..5 {
+        train_step(&mut model, &spec, &x, &labels, &mut opt);
+    }
+    const STEPS: u64 = 50;
+    let (allocs, ()) = alloc_count::allocations_during(|| {
+        for _ in 0..STEPS {
+            train_step(&mut model, &spec, &x, &labels, &mut opt);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state training step allocated {allocs} times over {STEPS} steps \
+         (expected zero; a kernel or layer has fallen off the workspace arena)"
+    );
+    println!("alloc-count OK: 0 heap allocations across {STEPS} steady-state combined100 steps");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_training_steps
 }
-criterion_main!(benches);
+
+fn main() {
+    // In alloc-count mode the binary is the allocation gate, not a timing
+    // run (the counting allocator would skew timings anyway).
+    #[cfg(feature = "alloc-count")]
+    {
+        assert_zero_alloc_training();
+        return;
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    benches();
+}

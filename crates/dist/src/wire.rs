@@ -125,7 +125,10 @@ const TAG_SWITCH_MODE: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_REJECT: u8 = 10;
 
-const MAX_TENSOR_RANK: usize = 8;
+/// A decoded tensor beyond this rank is a protocol error, not a panic:
+/// `fluid_tensor::Shape` stores dimensions inline and asserts its own
+/// bound, so the decoder must reject first.
+const MAX_TENSOR_RANK: usize = fluid_tensor::MAX_RANK;
 const MAX_BRANCH_STAGES: usize = 1024;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -469,6 +472,20 @@ mod tests {
         payload.extend_from_slice(&2u32.to_le_bytes()); // rank 2
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(payload).is_err());
+    }
+
+    #[test]
+    fn over_rank_tensor_rejected_not_panicking() {
+        // Rank past fluid_tensor::MAX_RANK must be a Decode error — Shape
+        // stores dims inline and would panic if this reached Tensor.
+        let mut payload = vec![TAG_INFER];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&5u32.to_le_bytes()); // rank 5 > MAX_RANK
+        for _ in 0..5 {
+            payload.extend_from_slice(&1u32.to_le_bytes());
+        }
+        payload.extend_from_slice(&1f32.to_le_bytes());
         assert!(Message::decode(payload).is_err());
     }
 

@@ -61,8 +61,11 @@ fn put_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
 }
 
 fn get_tensor<R: Read>(r: &mut R) -> Result<Tensor, CheckpointError> {
+    // Reject before `Tensor::from_vec`: `Shape` stores dimensions inline
+    // and panics past `MAX_RANK`, and a corrupt checkpoint must surface as
+    // a `Format` error (the all-or-nothing loader contract), not a crash.
     let rank = get_u32(r)? as usize;
-    if rank > 8 {
+    if rank > fluid_tensor::MAX_RANK {
         return Err(CheckpointError::Format(format!("tensor rank {rank}")));
     }
     let mut dims = Vec::with_capacity(rank);
@@ -294,6 +297,26 @@ mod tests {
         save_net(&net, &mut buf).expect("save");
         buf.truncate(buf.len() / 2);
         assert!(load_net(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn over_rank_tensor_rejected_not_panicking() {
+        // A corrupt rank past fluid_tensor::MAX_RANK must come back as a
+        // Format error (the all-or-nothing loader contract) — Shape stores
+        // dims inline and would panic if the guard let it through.
+        let net = ConvNet::new(Arch::tiny_28(), &mut Prng::new(12));
+        let mut buf = Vec::new();
+        save_net(&net, &mut buf).expect("save");
+        // First tensor's rank field sits after the header: magic + version
+        // + ladder (level count + widths) + five u32 arch fields.
+        let levels = u32::from_le_bytes(buf[8..12].try_into().expect("len")) as usize;
+        let rank_at = 4 + 4 + 4 + levels * 4 + 5 * 4;
+        buf[rank_at..rank_at + 4].copy_from_slice(&5u32.to_le_bytes());
+        let err = load_net(&mut buf.as_slice()).expect_err("must reject rank 5");
+        assert!(
+            matches!(&err, CheckpointError::Format(m) if m.contains("rank")),
+            "{err}"
+        );
     }
 
     #[test]

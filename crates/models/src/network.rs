@@ -155,21 +155,39 @@ impl ConvNet {
 
     /// Runs a full sub-network: evaluates every branch on the same input and
     /// sums the partial logits.
+    ///
+    /// The returned logits are backed by this executor's scratch arena;
+    /// hand them back with [`recycle`](ConvNet::recycle) once consumed and
+    /// a steady-state pass performs no heap allocation at all.
     pub fn forward_subnet(&mut self, x: &Tensor, subnet: &SubnetSpec, train: bool) -> Tensor {
         let mut logits: Option<Tensor> = None;
         for branch in &subnet.branches {
             let partial = self.forward_branch(x, branch, train);
             logits = Some(match logits {
                 None => partial,
-                Some(acc) => {
-                    let merged = acc.add(&partial);
-                    self.ws.recycle(acc);
+                Some(mut acc) => {
+                    // In-place merge: same additions as `add`, no fresh
+                    // output buffer.
+                    acc.add_assign(&partial);
                     self.ws.recycle(partial);
-                    merged
+                    acc
                 }
             });
         }
         logits.expect("sub-network with no branches")
+    }
+
+    /// Returns a tensor produced by this executor (logits, gradients) to
+    /// its scratch arena for reuse by later passes.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.recycle(t);
+    }
+
+    /// The executor's scratch arena, for callers that thread their own
+    /// workspace-backed buffers through a step (e.g. a loss's `_ws`
+    /// variant between forward and backward).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
     }
 
     /// Backpropagates a full sub-network. Because the logits are a sum of

@@ -20,19 +20,30 @@ const ELEM_GRAIN: usize = 4096;
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Vec<Vec<bool>>,
+    /// Retired mask buffers, reused by later training forwards so the
+    /// steady-state step allocates nothing.
+    spare: Vec<Vec<bool>>,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Self { mask: Vec::new() }
+        Self::default()
+    }
+
+    /// Fills a (possibly recycled) mask buffer with `x > 0`.
+    fn push_mask(&mut self, x: &Tensor) {
+        let mut mask = self.spare.pop().unwrap_or_default();
+        mask.clear();
+        mask.extend(x.data().iter().map(|&v| v > 0.0));
+        self.mask.push(mask);
     }
 
     /// Applies `max(x, 0)` elementwise; caches the pass-through mask when
     /// `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if train {
-            self.mask.push(x.data().iter().map(|&v| v > 0.0).collect());
+            self.push_mask(x);
         }
         x.relu()
     }
@@ -40,7 +51,7 @@ impl Relu {
     /// [`forward`](Relu::forward) with the output buffer drawn from `ws`.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if train {
-            self.mask.push(x.data().iter().map(|&v| v > 0.0).collect());
+            self.push_mask(x);
         }
         let mut out = ws.tensor_copy(x);
         pool::parallel_rows_mut(out.data_mut(), 1, ELEM_GRAIN, |_, block| {
@@ -70,14 +81,17 @@ impl Relu {
         let mask = self.mask.pop().expect("backward without cached forward");
         assert_eq!(mask.len(), grad_out.numel(), "relu mask length mismatch");
         let mut out = ws.tensor_copy(grad_out);
-        let mask = &mask[..];
-        pool::parallel_rows_mut(out.data_mut(), 1, ELEM_GRAIN, |range, block| {
-            for (g, &m) in block.iter_mut().zip(&mask[range]) {
-                if !m {
-                    *g = 0.0;
+        {
+            let mask = &mask[..];
+            pool::parallel_rows_mut(out.data_mut(), 1, ELEM_GRAIN, |range, block| {
+                for (g, &m) in block.iter_mut().zip(&mask[range]) {
+                    if !m {
+                        *g = 0.0;
+                    }
                 }
-            }
-        });
+            });
+        }
+        self.spare.push(mask);
         out
     }
 }

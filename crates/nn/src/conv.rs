@@ -1,12 +1,20 @@
 //! Range-sliceable 2-D convolution with hand-written backprop.
 //!
-//! The heavy intermediates (the `im2col` patch matrix, weight windows,
-//! GEMM outputs, layout-reorder buffers) are drawn from a
+//! Forward and weight-gradient passes run as **implicit GEMM**: the
+//! `im2col` patch matrix is never materialised — the packed-panel GEMM
+//! engine gathers cache-sized blocks of it straight from the image while
+//! packing (see [`PatchMatrix`]). The remaining intermediates (weight
+//! windows, GEMM outputs, layout-reorder buffers) are drawn from a
 //! [`Workspace`] in the `_ws` entry points, so steady-state training and
-//! inference reuse the same allocations step after step.
+//! inference perform no heap allocation at all.
 
 use crate::range::ChannelRange;
-use fluid_tensor::{col2im_ws, im2col_ws, kaiming_normal, Conv2dGeometry, Prng, Tensor, Workspace};
+use fluid_tensor::{
+    col2im_ws, conv_gemm_dw_ws, conv_gemm_fwd_ws, kaiming_normal, Conv2dGeometry, PatchMatrix,
+    Prng, Tensor, Workspace,
+};
+// (im2col stays exported from fluid-tensor for direct use; the conv layer
+// itself no longer materialises the patch matrix.)
 
 /// A 2-D convolution whose weight tensor `[C_out_max, C_in_max, K, K]` can be
 /// executed on any `(in_range, out_range)` channel window.
@@ -35,7 +43,10 @@ pub struct RangedConv2d {
 
 #[derive(Debug, Clone)]
 struct ConvCache {
-    cols: Tensor,
+    /// A workspace-backed copy of the forward input — far smaller than the
+    /// patch matrix it replaces (the backward pass re-gathers patches from
+    /// it implicitly).
+    input: Tensor,
     in_range: ChannelRange,
     out_range: ChannelRange,
     geo: Conv2dGeometry,
@@ -204,9 +215,11 @@ impl RangedConv2d {
         );
         let (n, h, w) = (d[0], d[2], d[3]);
         let geo = Conv2dGeometry::new(h, w, self.kernel, self.stride, self.pad);
-        let cols = im2col_ws(x, &geo, ws);
+        // Implicit GEMM: the patch matrix is gathered from `x` while the
+        // engine packs, never materialised.
+        let patches = PatchMatrix::new(x.data(), n, in_range.width(), geo);
         let wmat = self.weight_window(in_range, out_range, ws);
-        let out_mat = wmat.matmul_ws(&cols, ws); // [out_w, N*P]
+        let out_mat = conv_gemm_fwd_ws(&wmat, &patches, ws); // [out_w, N*P]
         ws.recycle(wmat);
         let (oh, ow) = (geo.out_h(), geo.out_w());
         let mut out = cnp_to_nchw(&out_mat, n, out_range.width(), oh, ow, ws);
@@ -229,14 +242,12 @@ impl RangedConv2d {
         }
         if train {
             self.cache.push(ConvCache {
-                cols,
+                input: ws.tensor_copy(x),
                 in_range,
                 out_range,
                 geo,
                 batch: n,
             });
-        } else {
-            ws.recycle(cols);
         }
         out
     }
@@ -255,7 +266,7 @@ impl RangedConv2d {
     }
 
     /// [`backward`](RangedConv2d::backward) with scratch drawn from (and
-    /// recycled into) `ws`, including the patch matrix cached by the
+    /// recycled into) `ws`, including the input copy cached by the
     /// matching training forward pass.
     ///
     /// # Panics
@@ -264,7 +275,7 @@ impl RangedConv2d {
     pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self.cache.pop().expect("backward without cached forward");
         let ConvCache {
-            cols,
+            input,
             in_range,
             out_range,
             geo,
@@ -278,21 +289,23 @@ impl RangedConv2d {
             d
         );
         let g_mat = nchw_to_cnp(grad_out, ws); // [out_w, N*P]
-                                               // dW = g · colsᵀ
-        let wg = g_mat.matmul_bt_ws(&cols, ws);
+                                               // dW = g · patchesᵀ (implicit GEMM over the cached input)
+        let patches = PatchMatrix::new(input.data(), batch, in_range.width(), geo);
+        let wg = conv_gemm_dw_ws(&g_mat, &patches, ws);
         self.scatter_wgrad(&wg, in_range, out_range);
         ws.recycle(wg);
         // db = per-channel sum
-        let bg = grad_out.sum_per_channel();
+        let bg = grad_out.sum_per_channel_ws(ws);
         for (i, co) in (out_range.lo..out_range.hi).enumerate() {
             self.bgrad.data_mut()[co] += bg.data()[i];
         }
+        ws.recycle(bg);
         // dX = Wᵀ · g, folded back to image space.
         let wmat = self.weight_window(in_range, out_range, ws);
         let g_cols = wmat.matmul_at_ws(&g_mat, ws); // [in_w*K*K, N*P]
         ws.recycle(wmat);
         ws.recycle(g_mat);
-        ws.recycle(cols);
+        ws.recycle(input);
         let gin = col2im_ws(&g_cols, &geo, in_range.width(), batch, ws);
         ws.recycle(g_cols);
         gin

@@ -9,7 +9,9 @@ use fluid_tensor::{Tensor, Workspace};
 /// the models crate maps fluid branches onto FC column ranges.
 #[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    in_dims: Vec<Vec<usize>>,
+    /// Cached input shapes; inline `[usize; 4]` entries keep training
+    /// forwards allocation-free.
+    in_dims: Vec<[usize; 4]>,
 }
 
 impl Flatten {
@@ -29,7 +31,7 @@ impl Flatten {
         let d = x.dims();
         assert_eq!(d.len(), 4, "flatten input rank {}", d.len());
         if train {
-            self.in_dims.push(d.to_vec());
+            self.in_dims.push([d[0], d[1], d[2], d[3]]);
         }
         x.reshape(&[d[0], d[1] * d[2] * d[3]])
     }
@@ -43,7 +45,7 @@ impl Flatten {
         let d = x.dims();
         assert_eq!(d.len(), 4, "flatten input rank {}", d.len());
         if train {
-            self.in_dims.push(d.to_vec());
+            self.in_dims.push([d[0], d[1], d[2], d[3]]);
         }
         let mut out = ws.tensor_copy(x);
         out.reshape_in_place(&[d[0], d[1] * d[2] * d[3]]);

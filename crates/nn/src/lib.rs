@@ -48,7 +48,7 @@ pub use flatten::Flatten;
 pub use fluid_tensor::Workspace;
 pub use gradcheck::{finite_diff_gradient, max_relative_error};
 pub use linear::RangedLinear;
-pub use loss::{accuracy, softmax_cross_entropy};
+pub use loss::{accuracy, softmax_cross_entropy, softmax_cross_entropy_ws};
 pub use optim::{Adam, Optimizer, ParamSet, Sgd};
 pub use pool::MaxPool2d;
 pub use range::ChannelRange;

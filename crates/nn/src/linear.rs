@@ -210,7 +210,9 @@ impl RangedLinear {
         ws.recycle(wg);
         ws.recycle(x);
         if with_bias {
-            self.bgrad.add_assign(&grad_out.sum_rows());
+            let rg = grad_out.sum_rows_ws(ws);
+            self.bgrad.add_assign(&rg);
+            ws.recycle(rg);
         }
         // dX = gout · W[:, range]
         let wmat = self.weight_window(in_range, ws);

@@ -1,6 +1,6 @@
 //! Classification loss and metrics.
 
-use fluid_tensor::Tensor;
+use fluid_tensor::{Tensor, Workspace};
 
 /// Mean softmax cross-entropy over a batch.
 ///
@@ -22,6 +22,21 @@ use fluid_tensor::Tensor;
 /// assert!(loss < 1e-3);
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    softmax_cross_entropy_ws(logits, labels, &mut Workspace::new())
+}
+
+/// [`softmax_cross_entropy`] with the gradient buffer drawn from `ws` —
+/// the zero-allocation variant for steady-state training loops (recycle
+/// the returned gradient after the backward pass).
+///
+/// # Panics
+///
+/// As for [`softmax_cross_entropy`].
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
     let d = logits.dims();
     assert_eq!(d.len(), 2, "logits rank {}", d.len());
     let (n, k) = (d[0], d[1]);
@@ -29,14 +44,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert!(labels.iter().all(|&l| l < k), "label out of range 0..{k}");
     assert!(n > 0, "empty batch");
 
-    let probs = logits.softmax_rows();
+    // One buffer serves as probabilities and then gradient: the loss only
+    // reads each row's label element, which is read before it is rewritten.
+    let mut grad = ws.tensor_copy(logits);
+    grad.softmax_rows_in_place();
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
-        let p = probs.at2(r, label).max(1e-12);
-        loss -= p.ln();
-        let g = grad.at2(r, label) - 1.0;
-        grad.set2(r, label, g);
+        let p = grad.at2(r, label);
+        loss -= p.max(1e-12).ln();
+        grad.set2(r, label, p - 1.0);
     }
     grad.scale_in_place(1.0 / n as f32);
     (loss / n as f32, grad)

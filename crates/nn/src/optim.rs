@@ -9,18 +9,34 @@
 
 use fluid_tensor::Tensor;
 
+type Pair<'a> = (&'a mut Tensor, &'a Tensor);
+
+/// Pairs stored inline before spilling to the heap. Every model family in
+/// this workspace has well under this many parameter tensors, so building
+/// a set each step performs **zero heap allocation** — part of the
+/// steady-state training contract (`docs/PERFORMANCE.md`).
+const INLINE_PAIRS: usize = 32;
+
 /// A set of `(param, grad)` pairs collected from layers for one step.
 ///
 /// Layers expose `visit_params`; the training loop gathers them into a
-/// `ParamSet` and hands it to an [`Optimizer`].
+/// `ParamSet` and hands it to an [`Optimizer`]. Because the set borrows
+/// the layers, it is rebuilt every step — which is why its storage is
+/// inline (a heap `Vec` here would be a per-step allocation).
 pub struct ParamSet<'a> {
-    pairs: Vec<(&'a mut Tensor, &'a Tensor)>,
+    inline: [Option<Pair<'a>>; INLINE_PAIRS],
+    inline_len: usize,
+    spill: Vec<Pair<'a>>,
 }
 
 impl<'a> ParamSet<'a> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        Self { pairs: Vec::new() }
+        Self {
+            inline: std::array::from_fn(|_| None),
+            inline_len: 0,
+            spill: Vec::new(),
+        }
     }
 
     /// Adds a `(param, grad)` pair.
@@ -30,17 +46,38 @@ impl<'a> ParamSet<'a> {
     /// Panics if the shapes differ.
     pub fn push(&mut self, param: &'a mut Tensor, grad: &'a Tensor) {
         assert_eq!(param.dims(), grad.dims(), "param/grad shape mismatch");
-        self.pairs.push((param, grad));
+        if self.inline_len < INLINE_PAIRS {
+            self.inline[self.inline_len] = Some((param, grad));
+            self.inline_len += 1;
+        } else {
+            self.spill.push((param, grad));
+        }
     }
 
     /// Number of pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.inline_len + self.spill.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len() == 0
+    }
+
+    /// The pairs, in insertion order.
+    fn iter(&self) -> impl Iterator<Item = &Pair<'a>> {
+        self.inline[..self.inline_len]
+            .iter()
+            .map(|p| p.as_ref().expect("slots below inline_len are filled"))
+            .chain(self.spill.iter())
+    }
+
+    /// The pairs, mutably, in insertion order.
+    fn iter_mut(&mut self) -> impl Iterator<Item = &mut Pair<'a>> {
+        self.inline[..self.inline_len]
+            .iter_mut()
+            .map(|p| p.as_mut().expect("slots below inline_len are filled"))
+            .chain(self.spill.iter_mut())
     }
 }
 
@@ -96,12 +133,13 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut ParamSet<'_>) {
-        if self.velocity.len() < params.pairs.len() {
-            for (p, _) in params.pairs.iter().skip(self.velocity.len()) {
+        if self.velocity.len() < params.len() {
+            let have = self.velocity.len();
+            for (p, _) in params.iter().skip(have) {
                 self.velocity.push(Tensor::zeros(p.dims()));
             }
         }
-        for (i, (param, grad)) in params.pairs.iter_mut().enumerate() {
+        for (i, (param, grad)) in params.iter_mut().enumerate() {
             assert_eq!(
                 self.velocity[i].dims(),
                 param.dims(),
@@ -167,14 +205,20 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut ParamSet<'_>) {
         self.t += 1;
-        while self.m.len() < params.pairs.len() {
-            let dims = params.pairs[self.m.len()].0.dims().to_vec();
+        while self.m.len() < params.len() {
+            let dims = params
+                .iter()
+                .nth(self.m.len())
+                .expect("len checked")
+                .0
+                .dims()
+                .to_vec();
             self.m.push(Tensor::zeros(&dims));
             self.v.push(Tensor::zeros(&dims));
         }
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (i, (param, grad)) in params.pairs.iter_mut().enumerate() {
+        for (i, (param, grad)) in params.iter_mut().enumerate() {
             let m = self.m[i].data_mut();
             let v = self.v[i].data_mut();
             let p = param.data_mut();

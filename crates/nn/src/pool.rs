@@ -16,7 +16,8 @@ pub struct MaxPool2d {
 #[derive(Debug, Clone)]
 struct PoolCache {
     argmax: Vec<usize>,
-    in_dims: Vec<usize>,
+    /// Inline `[usize; 4]` (not a `Vec`) so caching it never allocates.
+    in_dims: [usize; 4],
 }
 
 impl MaxPool2d {
@@ -99,7 +100,7 @@ impl MaxPool2d {
         if train {
             self.cache.push(PoolCache {
                 argmax,
-                in_dims: d.to_vec(),
+                in_dims: [n, c, h, w],
             });
         } else {
             ws.recycle_indices(argmax);

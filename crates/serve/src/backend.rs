@@ -63,6 +63,14 @@ pub trait Backend: Send {
     ///
     /// Any [`DistError`] marks this backend dead in the dispatcher.
     fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError>;
+
+    /// Hands a logits tensor from [`infer_batch`](Backend::infer_batch)
+    /// back to the backend once the scheduler has sliced the per-request
+    /// replies out of it, so the buffer can be reused by the next batch.
+    /// The default implementation simply drops it; buffer-pooling backends
+    /// (like [`EngineBackend`]) override this to keep the serve hot path
+    /// free of heap allocation.
+    fn recycle_output(&mut self, _out: Tensor) {}
 }
 
 /// A backend running a full sub-network in-process: every branch of `spec`
@@ -122,6 +130,10 @@ impl Backend for EngineBackend {
     fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
         check_batch_shape(self.input_dims(), x).map_err(|e| DistError::Protocol(e.to_string()))?;
         Ok(self.net.forward_subnet(x, &self.spec, false))
+    }
+
+    fn recycle_output(&mut self, out: Tensor) {
+        self.net.recycle(out);
     }
 }
 

@@ -930,6 +930,8 @@ fn worker_loop(
     // bounced back to the scheduler rather than dropped, so no request is
     // ever lost and no admission slot leaks. Only `Stop` ends the loop.
     let mut dead = false;
+    // Reused across batches so the steady-state loop does not allocate it.
+    let mut latencies: Vec<Duration> = Vec::new();
     while let Ok(msg) = rx.recv() {
         let mut job = match msg {
             SlotMsg::Stop => break,
@@ -964,11 +966,8 @@ fn worker_loop(
             }
         };
         let now = Instant::now();
-        let latencies: Vec<Duration> = job
-            .parts
-            .iter()
-            .map(|p| now.duration_since(p.enqueued))
-            .collect();
+        latencies.clear();
+        latencies.extend(job.parts.iter().map(|p| now.duration_since(p.enqueued)));
         metrics.record_batch(index, job.parts.len(), rows, &latencies);
         let mut lo = 0;
         for part in job.parts.drain(..) {
@@ -976,6 +975,9 @@ fn worker_loop(
             lo += part.rows;
             part.answer(Ok(piece));
         }
+        // The logits buffer goes back to the backend's arena: the serving
+        // compute path stays allocation-free batch after batch.
+        backend.recycle_output(logits);
     }
 }
 

@@ -1,0 +1,762 @@
+//! The packed-panel GEMM engine behind every matrix product in this crate.
+//!
+//! This is a BLIS-style design (see `docs/PERFORMANCE.md`): operands are
+//! first *packed* into cache-resident panels drawn from a [`Workspace`],
+//! then a blocked loop nest drives an unrolled [`MR`]×[`NR`] microkernel
+//! whose inner loop autovectorizes on stable Rust. One engine serves all
+//! four operand layouts (`matmul`, `matmul_at`, `matmul_bt`, and the
+//! implicit-`im2col` patch matrix used by convolution), so every consumer
+//! inherits the same performance and the same determinism argument.
+//!
+//! ## Loop structure
+//!
+//! ```text
+//! for jc in steps of NC:                 // column slice (B stays in L2)
+//!   for pc in steps of KC:               // depth slice (fixes FP order)
+//!     pack B[pc.., jc..] into NR-column strips   (parallel over strips)
+//!     pack A[.., pc..]   into MR-row panels      (parallel over panels)
+//!     for each MR-row panel:             // parallel over panels
+//!       for each NR-column strip:
+//!         acc[MR][NR] = 0
+//!         for kk in 0..kc: acc += a_panel[kk] ⊗ b_strip[kk]   // microkernel
+//!         C[panel rows, strip cols] += acc
+//! ```
+//!
+//! ## Determinism
+//!
+//! Each output element's floating-point accumulation chain is
+//!
+//! ```text
+//! c = ((0 + s₀) + s₁) + …   where   s_b = Σ_{kk in KC-block b, ascending} a·b
+//! ```
+//!
+//! — fully determined by `k` and the [`KC`] constant alone. Parallelism
+//! only ever splits the *output* (row panels, column strips); no thread
+//! boundary, panel size, or edge case changes any element's chain. Results
+//! are therefore bit-identical at any thread count, and a row of a batched
+//! product is bit-identical to the same row computed alone (the serving
+//! layer's batching invariant).
+
+use crate::im2col::Conv2dGeometry;
+use crate::pool;
+use crate::workspace::Workspace;
+
+/// Microkernel rows: output rows accumulated together in registers.
+pub const MR: usize = 4;
+
+/// Microkernel columns: output columns accumulated together in registers.
+/// `MR × NR` accumulators fill the SSE register budget without spilling.
+pub const NR: usize = 8;
+
+/// Depth blocking: the k-extent of one packed A-panel/B-strip pair. This
+/// constant *fixes the accumulation chain* (see the module docs) — change
+/// it and every GEMM result changes in the last bits.
+pub const KC: usize = 256;
+
+/// Column blocking: one packed B slice is at most `NC` columns wide
+/// (`NC × KC × 4` bytes ≈ 1 MiB) so it survives in cache across row panels.
+pub const NC: usize = 1024;
+
+/// How the engine reads the left operand `A[i, p]` (`m × k` logically).
+#[derive(Clone, Copy)]
+pub(crate) enum AccessA<'a> {
+    /// Stored row-major `[m, k]`: `a[i*k + p]`.
+    RowMajor(&'a [f32]),
+    /// Stored `[k, m]`, read transposed: `a[p*m + i]` (`matmul_at`).
+    Transposed(&'a [f32]),
+}
+
+/// How the engine reads the right operand `B[p, j]` (`k × n` logically).
+#[derive(Clone, Copy)]
+pub(crate) enum AccessB<'a> {
+    /// Stored row-major `[k, n]`: `b[p*n + j]`.
+    RowMajor(&'a [f32]),
+    /// Stored `[n, k]`, read transposed: `b[j*k + p]` (`matmul_bt`).
+    Transposed(&'a [f32]),
+    /// The implicit `im2col` patch matrix `[c·k·k, n·oh·ow]` — elements
+    /// are gathered straight from the image during packing.
+    Patches(&'a PatchMatrix<'a>),
+    /// The transpose of the patch matrix (`[n·oh·ow, c·k·k]`), used by the
+    /// convolution weight-gradient GEMM.
+    PatchesT(&'a PatchMatrix<'a>),
+}
+
+/// `out[m × n] += A · B`, with `out` pre-zeroed by the caller.
+///
+/// Packing scratch is drawn from (and recycled into) `ws`; in steady state
+/// the call performs no heap allocation.
+pub(crate) fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: AccessA<'_>,
+    b: AccessB<'_>,
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return; // an empty reduction leaves the zero-initialised output
+    }
+    let panels = m.div_ceil(MR);
+    let kc_max = KC.min(k);
+    let nc_max = NC.min(n.div_ceil(NR) * NR);
+    let mut a_pack = ws.take_dirty(panels * MR * kc_max);
+    let mut b_pack = ws.take_dirty(nc_max * kc_max);
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let strips = nc.div_ceil(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let b_slice = &mut b_pack[..strips * kc * NR];
+            pool::parallel_rows_mut(b_slice, kc * NR, 2, |srange, block| {
+                for (bi, s) in srange.enumerate() {
+                    pack_b_strip(
+                        b,
+                        n,
+                        jc + s * NR,
+                        pc,
+                        kc,
+                        &mut block[bi * kc * NR..][..kc * NR],
+                    );
+                }
+            });
+            let a_slice = &mut a_pack[..panels * kc * MR];
+            pool::parallel_rows_mut(a_slice, kc * MR, 2, |prange, block| {
+                for (bi, p) in prange.enumerate() {
+                    pack_a_panel(
+                        a,
+                        m,
+                        k,
+                        p * MR,
+                        pc,
+                        kc,
+                        &mut block[bi * kc * MR..][..kc * MR],
+                    );
+                }
+            });
+
+            // Parallel over full MR-row panels of C; the ragged tail panel
+            // (if any) runs on the calling thread afterwards. Both paths
+            // use identical packed data, so the split is invisible to the
+            // accumulation chains.
+            let full_rows = (m / MR) * MR;
+            let (head, tail) = out.split_at_mut(full_rows * n);
+            let a_slice = &a_pack[..panels * kc * MR];
+            let b_slice = &b_pack[..strips * kc * NR];
+            if !head.is_empty() {
+                pool::parallel_rows_mut(head, MR * n, 1, |prange, block| {
+                    for (bi, p) in prange.enumerate() {
+                        compute_panel(
+                            &a_slice[p * kc * MR..][..kc * MR],
+                            b_slice,
+                            &mut block[bi * MR * n..][..MR * n],
+                            MR,
+                            n,
+                            nc,
+                            jc,
+                            kc,
+                        );
+                    }
+                });
+            }
+            if !tail.is_empty() {
+                let p = full_rows / MR;
+                compute_panel(
+                    &a_slice[p * kc * MR..][..kc * MR],
+                    b_slice,
+                    tail,
+                    m - full_rows,
+                    n,
+                    nc,
+                    jc,
+                    kc,
+                );
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+    ws.recycle_vec(a_pack);
+    ws.recycle_vec(b_pack);
+}
+
+/// One packed A panel (`kc` steps × `MR` rows, k-major) against every
+/// B strip of the current column slice, accumulating into `rows` rows of
+/// the output block starting at column `jc`.
+#[allow(clippy::too_many_arguments)]
+fn compute_panel(
+    a_panel: &[f32],
+    b_slice: &[f32],
+    c_rows: &mut [f32],
+    rows: usize,
+    n: usize,
+    nc: usize,
+    jc: usize,
+    kc: usize,
+) {
+    let strips = nc.div_ceil(NR);
+    for s in 0..strips {
+        let b_strip = &b_slice[s * kc * NR..][..kc * NR];
+        let acc = microkernel(a_panel, b_strip);
+        let j0 = jc + s * NR;
+        let cols = NR.min(n - j0).min(nc - s * NR);
+        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+            let c_row = &mut c_rows[r * n + j0..r * n + j0 + cols];
+            for (c, a) in c_row.iter_mut().zip(acc_row) {
+                *c += a;
+            }
+        }
+    }
+}
+
+/// The register-blocked heart of the engine: one `MR × NR` accumulator
+/// tile over a `kc`-deep packed panel pair. `a_panel` holds `MR` values
+/// per k step, `b_strip` holds `NR`; the doubly-unrolled inner loops give
+/// LLVM `MR × NR` independent FMA chains that vectorize over `NR`.
+#[inline]
+fn microkernel(a_panel: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ak, bk) in a_panel.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
+        for (acc_row, &av) in acc.iter_mut().zip(ak) {
+            for (a, &bv) in acc_row.iter_mut().zip(bk) {
+                *a += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Packs `MR` rows of A starting at row `i0`, depth `pc..pc+kc`, k-major
+/// (`MR` consecutive values per k step). Rows past `m` pack as zero, so
+/// edge panels run the full microkernel and discard the dead lanes.
+fn pack_a_panel(
+    a: AccessA<'_>,
+    m: usize,
+    k: usize,
+    i0: usize,
+    pc: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    match a {
+        AccessA::RowMajor(data) => {
+            if i0 + MR <= m {
+                for kk in 0..kc {
+                    for r in 0..MR {
+                        dst[kk * MR + r] = data[(i0 + r) * k + pc + kk];
+                    }
+                }
+            } else {
+                for kk in 0..kc {
+                    for r in 0..MR {
+                        let i = i0 + r;
+                        dst[kk * MR + r] = if i < m { data[i * k + pc + kk] } else { 0.0 };
+                    }
+                }
+            }
+        }
+        AccessA::Transposed(data) => {
+            let live = MR.min(m - i0);
+            for kk in 0..kc {
+                let row = &data[(pc + kk) * m..];
+                let d = &mut dst[kk * MR..kk * MR + MR];
+                for (r, slot) in d.iter_mut().enumerate() {
+                    *slot = if r < live { row[i0 + r] } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Packs one `NR`-column strip of B starting at column `j0`, depth
+/// `pc..pc+kc`, k-major (`NR` consecutive values per k step). Columns past
+/// `n` pack as zero.
+fn pack_b_strip(b: AccessB<'_>, n: usize, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+    match b {
+        AccessB::RowMajor(data) => {
+            if j0 + NR <= n {
+                for kk in 0..kc {
+                    dst[kk * NR..kk * NR + NR]
+                        .copy_from_slice(&data[(pc + kk) * n + j0..(pc + kk) * n + j0 + NR]);
+                }
+            } else {
+                for kk in 0..kc {
+                    let row = &data[(pc + kk) * n..];
+                    for (c, slot) in dst[kk * NR..kk * NR + NR].iter_mut().enumerate() {
+                        *slot = if j0 + c < n { row[j0 + c] } else { 0.0 };
+                    }
+                }
+            }
+        }
+        AccessB::Transposed(data) => {
+            let k_total = data.len() / n;
+            for kk in 0..kc {
+                for (c, slot) in dst[kk * NR..kk * NR + NR].iter_mut().enumerate() {
+                    let j = j0 + c;
+                    *slot = if j < n {
+                        data[j * k_total + pc + kk]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+        AccessB::Patches(p) => p.pack_strip(j0, pc, kc, dst),
+        AccessB::PatchesT(p) => p.pack_strip_t(j0, pc, kc, dst),
+    }
+}
+
+/// The `im2col` patch matrix of an `[N, C, H, W]` image batch, *never
+/// materialised*: the GEMM engine gathers `KC × NR` blocks of it straight
+/// from the image while packing (implicit GEMM). Logical shape is
+/// `[C·K·K, N·OH·OW]` — identical, element for element, to
+/// [`im2col`](crate::im2col::im2col).
+pub struct PatchMatrix<'a> {
+    src: &'a [f32],
+    batch: usize,
+    channels: usize,
+    geo: Conv2dGeometry,
+    oh: usize,
+    ow: usize,
+}
+
+impl<'a> PatchMatrix<'a> {
+    /// Describes the patch matrix of `input` (`[N, C, H, W]` data) under
+    /// `geo`. `input` is borrowed; nothing is computed until the engine
+    /// packs from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` disagrees with `batch · channels` planes of
+    /// `geo`'s input extent.
+    pub fn new(input: &'a [f32], batch: usize, channels: usize, geo: Conv2dGeometry) -> Self {
+        assert_eq!(
+            input.len(),
+            batch * channels * geo.in_h * geo.in_w,
+            "input of {} elements is not [{batch}, {channels}, {}, {}]",
+            input.len(),
+            geo.in_h,
+            geo.in_w
+        );
+        Self {
+            src: input,
+            batch,
+            channels,
+            geo,
+            oh: geo.out_h(),
+            ow: geo.out_w(),
+        }
+    }
+
+    /// Patch-matrix row count: `C·K·K`.
+    pub fn rows(&self) -> usize {
+        self.channels * self.geo.kernel * self.geo.kernel
+    }
+
+    /// Patch-matrix column count: `N·OH·OW`.
+    pub fn cols(&self) -> usize {
+        self.batch * self.oh * self.ow
+    }
+
+    /// The patch element at (patch row, output position) — zero where the
+    /// receptive field hangs over the padding.
+    #[inline]
+    fn at(&self, row_ci: usize, ky: usize, kx: usize, ni: usize, oy: usize, ox: usize) -> f32 {
+        let geo = &self.geo;
+        let iy = (oy * geo.stride + ky) as isize - geo.pad as isize;
+        let ix = (ox * geo.stride + kx) as isize - geo.pad as isize;
+        if iy < 0 || ix < 0 || iy >= geo.in_h as isize || ix >= geo.in_w as isize {
+            return 0.0;
+        }
+        self.src[((ni * self.channels + row_ci) * geo.in_h + iy as usize) * geo.in_w + ix as usize]
+    }
+
+    /// Splits a patch-matrix row index into `(channel, ky, kx)`.
+    #[inline]
+    fn split_row(&self, row: usize) -> (usize, usize, usize) {
+        let k = self.geo.kernel;
+        (row / (k * k), (row / k) % k, row % k)
+    }
+
+    /// Splits an output-position column index into `(image, oy, ox)`.
+    #[inline]
+    fn split_col(&self, col: usize) -> (usize, usize, usize) {
+        let ox = col % self.ow;
+        let rest = col / self.ow;
+        (rest / self.oh, rest % self.oh, ox)
+    }
+
+    /// Packs the strip `B[pc.., j0..j0+NR]` of the patch matrix.
+    ///
+    /// The strip's `NR` consecutive output positions decompose into runs
+    /// sharing `(image, output row)`; at stride 1 each run's receptive
+    /// taps are *contiguous* in the source image, so the hot path is a
+    /// short `copy_from_slice` per run instead of a per-element gather —
+    /// the same structure the materialised `im2col` fill exploits.
+    fn pack_strip(&self, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+        dst[..kc * NR].fill(0.0); // padding taps and dead columns stay zero
+        let np = self.cols();
+        let live = NR.min(np.saturating_sub(j0));
+        if live == 0 {
+            return;
+        }
+        let geo = &self.geo;
+        if geo.stride != 1 {
+            // Strided convolutions gather element-wise (no contiguity).
+            for kk in 0..kc {
+                let (ci, ky, kx) = self.split_row(pc + kk);
+                let d = &mut dst[kk * NR..kk * NR + live];
+                for (c, slot) in d.iter_mut().enumerate() {
+                    let (ni, oy, ox) = self.split_col(j0 + c);
+                    *slot = self.at(ci, ky, kx, ni, oy, ox);
+                }
+            }
+            return;
+        }
+        // Runs of columns sharing (ni, oy), computed once per strip.
+        // (c0, len, ni, oy, ox0)
+        let mut runs = [(0usize, 0usize, 0usize, 0usize, 0usize); NR];
+        let mut n_runs = 0;
+        let mut c = 0;
+        while c < live {
+            let (ni, oy, ox) = self.split_col(j0 + c);
+            let len = (self.ow - ox).min(live - c);
+            runs[n_runs] = (c, len, ni, oy, ox);
+            n_runs += 1;
+            c += len;
+        }
+        let runs = &runs[..n_runs];
+        let (in_h, in_w) = (geo.in_h as isize, geo.in_w as isize);
+        let plane = geo.in_h * geo.in_w;
+        for kk in 0..kc {
+            let (ci, ky, kx) = self.split_row(pc + kk);
+            let drow = &mut dst[kk * NR..kk * NR + NR];
+            for &(c0, len, ni, oy, ox0) in runs {
+                let iy = (oy + ky) as isize - geo.pad as isize;
+                if iy < 0 || iy >= in_h {
+                    continue;
+                }
+                // ix for run offset t is ox0 + t + kx - pad: clip to the
+                // image width, then one contiguous copy.
+                let ix0 = (ox0 + kx) as isize - geo.pad as isize;
+                let lo = (-ix0).max(0) as usize;
+                let hi = (in_w - ix0).clamp(0, len as isize) as usize;
+                if lo >= hi {
+                    continue;
+                }
+                let src_row = ((ni * self.channels + ci) * plane + iy as usize * geo.in_w) as isize;
+                // `lo` cancels any negative ix0, so the start is in range.
+                let start = (src_row + ix0 + lo as isize) as usize;
+                drow[c0 + lo..c0 + hi].copy_from_slice(&self.src[start..start + (hi - lo)]);
+            }
+        }
+    }
+
+    /// Packs the strip `Bᵀ[pc.., j0..j0+NR]`, i.e. k runs over output
+    /// positions and columns over patch rows (the dW GEMM layout).
+    ///
+    /// The k range's consecutive output positions decompose into runs
+    /// sharing `(image, output row)` — computed once and shared by every
+    /// column of the strip; at stride 1 each run reads a contiguous span
+    /// of the source image (writes are `NR`-strided into the L1-resident
+    /// strip, which is cheap; the contiguous side belongs to the big
+    /// operand).
+    fn pack_strip_t(&self, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+        dst[..kc * NR].fill(0.0);
+        let ckk = self.rows();
+        let live = NR.min(ckk.saturating_sub(j0));
+        if live == 0 {
+            return;
+        }
+        let geo = &self.geo;
+        if geo.stride != 1 {
+            for kk in 0..kc {
+                let (ni, oy, ox) = self.split_col(pc + kk);
+                let d = &mut dst[kk * NR..kk * NR + live];
+                for (c, slot) in d.iter_mut().enumerate() {
+                    let (ci, ky, kx) = self.split_row(j0 + c);
+                    *slot = self.at(ci, ky, kx, ni, oy, ox);
+                }
+            }
+            return;
+        }
+        // Tap descriptors for the strip's columns, decomposed once.
+        let mut taps = [(0usize, 0usize, 0usize); NR];
+        for (c, slot) in taps.iter_mut().enumerate().take(live) {
+            *slot = self.split_row(j0 + c);
+        }
+        let (in_h, in_w) = (geo.in_h as isize, geo.in_w as isize);
+        let plane = geo.in_h * geo.in_w;
+        // Walk position runs over kk sharing (ni, oy); each (run, column)
+        // pair reads one contiguous source span.
+        let mut kk = 0;
+        while kk < kc {
+            let (ni, oy, ox0) = self.split_col(pc + kk);
+            let len = (self.ow - ox0).min(kc - kk);
+            for (c, &(ci, ky, kx)) in taps.iter().enumerate().take(live) {
+                let iy = (oy + ky) as isize - geo.pad as isize;
+                if iy < 0 || iy >= in_h {
+                    continue;
+                }
+                let ix0 = (ox0 + kx) as isize - geo.pad as isize;
+                let lo = (-ix0).max(0) as usize;
+                let hi = (in_w - ix0).clamp(0, len as isize) as usize;
+                if lo >= hi {
+                    continue;
+                }
+                let src_row = ((ni * self.channels + ci) * plane + iy as usize * geo.in_w) as isize;
+                // `lo` cancels any negative ix0, so the start is in range.
+                let start = (src_row + ix0 + lo as isize) as usize;
+                let src = &self.src[start..start + (hi - lo)];
+                for (t, &v) in src.iter().enumerate() {
+                    dst[(kk + lo + t) * NR + c] = v;
+                }
+            }
+            kk += len;
+        }
+    }
+}
+
+/// Convolution forward as implicit GEMM:
+/// `wmat[c_out, C·K·K] · patches[C·K·K, N·OH·OW] → [c_out, N·OH·OW]`,
+/// with the patch matrix gathered from the image during packing instead of
+/// being materialised. Output and scratch are drawn from `ws`.
+///
+/// # Panics
+///
+/// Panics if `wmat` is not rank 2 or its column count differs from
+/// `patches.rows()`.
+pub fn conv_gemm_fwd_ws(
+    wmat: &crate::tensor::Tensor,
+    patches: &PatchMatrix<'_>,
+    ws: &mut Workspace,
+) -> crate::tensor::Tensor {
+    let d = wmat.dims();
+    assert_eq!(d.len(), 2, "conv_gemm_fwd weight rank {}", d.len());
+    let (m, k, n) = (d[0], d[1], patches.cols());
+    assert_eq!(k, patches.rows(), "weight columns {k} != patch rows");
+    let mut out = ws.take_zeroed(m * n);
+    gemm(
+        m,
+        n,
+        k,
+        AccessA::RowMajor(wmat.data()),
+        AccessB::Patches(patches),
+        &mut out,
+        ws,
+    );
+    crate::tensor::Tensor::from_vec(out, &[m, n])
+}
+
+/// Convolution weight gradient as implicit GEMM:
+/// `g[c_out, N·OH·OW] · patchesᵀ → [c_out, C·K·K]`, gathering the patch
+/// matrix from the image during packing. Output and scratch are drawn
+/// from `ws`.
+///
+/// # Panics
+///
+/// Panics if `g_mat` is not rank 2 or its column count differs from
+/// `patches.cols()`.
+pub fn conv_gemm_dw_ws(
+    g_mat: &crate::tensor::Tensor,
+    patches: &PatchMatrix<'_>,
+    ws: &mut Workspace,
+) -> crate::tensor::Tensor {
+    let d = g_mat.dims();
+    assert_eq!(d.len(), 2, "conv_gemm_dw gradient rank {}", d.len());
+    let (m, k, n) = (d[0], d[1], patches.rows());
+    assert_eq!(k, patches.cols(), "gradient columns {k} != patch cols");
+    let mut out = ws.take_zeroed(m * n);
+    gemm(
+        m,
+        n,
+        k,
+        AccessA::RowMajor(g_mat.data()),
+        AccessB::PatchesT(patches),
+        &mut out,
+        ws,
+    );
+    crate::tensor::Tensor::from_vec(out, &[m, n])
+}
+
+impl std::fmt::Debug for PatchMatrix<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatchMatrix")
+            .field("rows", &self.rows())
+            .field("cols", &self.cols())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::im2col;
+    use crate::rng::Prng;
+    use crate::tensor::Tensor;
+
+    fn randv(seed: u64, len: usize) -> Vec<f32> {
+        let mut rng = Prng::new(seed);
+        (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    /// A serial reference that reproduces the engine's exact accumulation
+    /// chain: KC-blocked partial sums, each accumulated in ascending k.
+    fn blocked_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut c = 0.0f32;
+                let mut pc = 0;
+                while pc < k {
+                    let kc = KC.min(k - pc);
+                    let mut s = 0.0f32;
+                    for kk in pc..pc + kc {
+                        s += a[i * k + kk] * b[kk * n + j];
+                    }
+                    c += s;
+                    pc += kc;
+                }
+                out[i * n + j] = c;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn engine_matches_blocked_reference_exactly() {
+        // Ragged in every direction: m % MR, n % NR, k % KC all nonzero,
+        // and k spans multiple KC blocks.
+        let (m, k, n) = (7, 2 * KC + 37, 19);
+        let a = randv(1, m * k);
+        let b = randv(2, k * n);
+        let mut out = vec![0.0f32; m * n];
+        let mut ws = Workspace::new();
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::RowMajor(&a),
+            AccessB::RowMajor(&b),
+            &mut out,
+            &mut ws,
+        );
+        assert_eq!(out, blocked_reference(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn all_layouts_agree() {
+        let (m, k, n) = (5, 43, 13);
+        let a = randv(3, m * k);
+        let b = randv(4, k * n);
+        // Materialise transposes.
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut ws = Workspace::new();
+        let run = |aa: AccessA<'_>, bb: AccessB<'_>, ws: &mut Workspace| {
+            let mut out = vec![0.0f32; m * n];
+            gemm(m, n, k, aa, bb, &mut out, ws);
+            out
+        };
+        let want = run(AccessA::RowMajor(&a), AccessB::RowMajor(&b), &mut ws);
+        assert_eq!(
+            run(AccessA::Transposed(&at), AccessB::RowMajor(&b), &mut ws),
+            want
+        );
+        assert_eq!(
+            run(AccessA::RowMajor(&a), AccessB::Transposed(&bt), &mut ws),
+            want
+        );
+    }
+
+    #[test]
+    fn patch_matrix_matches_materialised_im2col() {
+        let geo = Conv2dGeometry::new(9, 7, 3, 2, 1);
+        let (batch, channels) = (3, 4);
+        let x = Tensor::from_vec(randv(5, batch * channels * 9 * 7), &[batch, channels, 9, 7]);
+        let cols = im2col(&x, &geo);
+        let patches = PatchMatrix::new(x.data(), batch, channels, geo);
+        assert_eq!((patches.rows(), patches.cols()), (cols.dim(0), cols.dim(1)));
+        // Pack every strip of both orientations and compare element-wise.
+        let (ckk, np) = (patches.rows(), patches.cols());
+        let mut dst = vec![0.0f32; KC.min(ckk) * NR];
+        let kc = KC.min(ckk);
+        let mut j0 = 0;
+        while j0 < np {
+            patches.pack_strip(j0, 0, kc, &mut dst);
+            for kk in 0..kc {
+                for c in 0..NR {
+                    let want = if j0 + c < np {
+                        cols.at2(kk, j0 + c)
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(dst[kk * NR + c], want, "strip at ({kk}, {})", j0 + c);
+                }
+            }
+            j0 += NR;
+        }
+        let kc_t = KC.min(np);
+        let mut dst_t = vec![0.0f32; kc_t * NR];
+        let mut j0 = 0;
+        while j0 < ckk {
+            patches.pack_strip_t(j0, 0, kc_t, &mut dst_t);
+            for kk in 0..kc_t {
+                for c in 0..NR {
+                    let want = if j0 + c < ckk {
+                        cols.at2(j0 + c, kk)
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(dst_t[kk * NR + c], want, "t-strip at ({kk}, {})", j0 + c);
+                }
+            }
+            j0 += NR;
+        }
+    }
+
+    #[test]
+    fn steady_state_gemm_reuses_scratch() {
+        let (m, k, n) = (16, 300, 24);
+        let a = randv(6, m * k);
+        let b = randv(7, k * n);
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::RowMajor(&a),
+            AccessB::RowMajor(&b),
+            &mut out,
+            &mut ws,
+        );
+        let held = ws.buffers_held();
+        assert_eq!(held, 2, "pack buffers must be recycled");
+        out.fill(0.0);
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::RowMajor(&a),
+            AccessB::RowMajor(&b),
+            &mut out,
+            &mut ws,
+        );
+        assert_eq!(ws.buffers_held(), held, "second run must reuse, not grow");
+    }
+}

@@ -39,6 +39,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gemm;
 mod im2col;
 mod init;
 mod matmul;
@@ -50,9 +51,10 @@ mod shape;
 mod tensor;
 mod workspace;
 
+pub use gemm::{conv_gemm_dw_ws, conv_gemm_fwd_ws, PatchMatrix, KC, MR, NC, NR};
 pub use im2col::{col2im, col2im_ws, im2col, im2col_ws, Conv2dGeometry};
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
 pub use rng::Prng;
-pub use shape::{numel, Shape};
+pub use shape::{numel, Shape, MAX_RANK};
 pub use tensor::Tensor;
 pub use workspace::Workspace;

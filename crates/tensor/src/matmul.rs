@@ -1,136 +1,19 @@
 //! Matrix multiplication kernels, including the transposed variants used by
 //! backpropagation.
 //!
-//! All three kernels are **blocked and row-parallel**: output rows are
-//! partitioned across the [`pool`](crate::pool) workers, and within a task
-//! the right-hand side is walked in column tiles so the hot panel stays in
-//! cache. Each output element's accumulation order is fixed by the kernel
-//! alone (never by tile or thread boundaries), so results are bit-identical
-//! at any thread count. The kernels are dense and branch-free — a zero in
-//! the input costs the same as any other value (see the zero-row test).
+//! All three kernels are thin layout adapters over the packed-panel
+//! [`gemm`](crate::gemm) engine: operands are packed into cache-resident
+//! panels and driven through a register-blocked microkernel. Each output
+//! element's accumulation order is fixed by the engine's `KC` depth
+//! blocking alone (never by tile, panel, or thread boundaries), so results
+//! are bit-identical at any thread count *and* per output row regardless
+//! of how many rows are computed together (the serving layer's batching
+//! invariant). The kernels are dense and branch-free — a zero in the input
+//! costs the same as any other value (see the zero-row test).
 
-use crate::pool;
+use crate::gemm::{gemm, AccessA, AccessB};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
-
-/// Columns per right-hand-side tile: the `out`/`rhs` row panels walked by
-/// one inner loop stay within a few KB of L1. Matrices at most
-/// [`COL_TILE_SKIP`] columns wide run as a single pass — tiling only pays
-/// once the rhs panel outgrows L2.
-const COL_TILE: usize = 512;
-
-/// Column count up to which tiling is skipped entirely.
-const COL_TILE_SKIP: usize = 1024;
-
-/// Tile width for an `n`-column output.
-fn col_tile(n: usize) -> usize {
-    if n <= COL_TILE_SKIP {
-        n.max(1)
-    } else {
-        COL_TILE
-    }
-}
-
-/// Minimum output rows per pool task; below this, fan-out overhead beats
-/// the win.
-const ROW_GRAIN: usize = 2;
-
-/// Output columns computed per pass over the shared lhs row in
-/// [`Tensor::matmul_bt`]. Each column keeps its own strictly-serial
-/// accumulation chain (bit-identical to the naive dot product); the win is
-/// instruction-level parallelism across the four independent chains and a
-/// single pass over the lhs row.
-const BT_COLS: usize = 4;
-
-/// `out[m × n] += lhs[m × k] · rhs[k × n]` for one block of output rows.
-fn matmul_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let m = out.len() / n;
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + col_tile(n)).min(n);
-        for i in 0..m {
-            let a_row = &lhs[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n + jb..i * n + je];
-            for (p, &av) in a_row.iter().enumerate() {
-                let rhs_row = &rhs[p * n + jb..p * n + je];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += av * r;
-                }
-            }
-        }
-        jb = je;
-    }
-}
-
-/// `out[rows × n] += lhsᵀ rows of [k × m] · rhs[k × n]` for absolute output
-/// rows `row_lo..row_lo + rows`.
-fn matmul_at_block(
-    lhs: &[f32],
-    rhs: &[f32],
-    out: &mut [f32],
-    row_lo: usize,
-    k: usize,
-    m: usize,
-    n: usize,
-) {
-    let rows = out.len() / n;
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + col_tile(n)).min(n);
-        for bi in 0..rows {
-            let i = row_lo + bi;
-            let out_row = &mut out[bi * n + jb..bi * n + je];
-            for p in 0..k {
-                let av = lhs[p * m + i];
-                let rhs_row = &rhs[p * n + jb..p * n + je];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += av * r;
-                }
-            }
-        }
-        jb = je;
-    }
-}
-
-/// One block of `matmul_bt` output rows: each `out[i][j]` is a dot product
-/// of lhs row `i` and rhs row `j`, accumulated in strict index order
-/// (bit-identical to the naive serial kernel). Four columns share each
-/// pass over the lhs row for cache reuse and independent FP chains.
-fn matmul_bt_block(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let m = out.len() / n;
-    for i in 0..m {
-        let a_row = &lhs[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        let mut j = 0;
-        while j + BT_COLS <= n {
-            let b0 = &rhs[j * k..(j + 1) * k];
-            let b1 = &rhs[(j + 1) * k..(j + 2) * k];
-            let b2 = &rhs[(j + 2) * k..(j + 3) * k];
-            let b3 = &rhs[(j + 3) * k..(j + 4) * k];
-            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for (p, &av) in a_row.iter().enumerate() {
-                a0 += av * b0[p];
-                a1 += av * b1[p];
-                a2 += av * b2[p];
-                a3 += av * b3[p];
-            }
-            out_row[j] = a0;
-            out_row[j + 1] = a1;
-            out_row[j + 2] = a2;
-            out_row[j + 3] = a3;
-            j += BT_COLS;
-        }
-        while j < n {
-            let b_row = &rhs[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out_row[j] = acc;
-            j += 1;
-        }
-    }
-}
 
 impl Tensor {
     /// Matrix product `self · other` for `[M, K] × [K, N] → [M, N]`.
@@ -139,13 +22,11 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let (m, k, n) = mm_dims(self, other);
-        let mut out = vec![0.0f32; m * n];
-        matmul_into(self.data(), other.data(), &mut out, k, n);
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_ws(other, &mut Workspace::new())
     }
 
-    /// [`matmul`](Tensor::matmul) with the output buffer drawn from `ws`.
+    /// [`matmul`](Tensor::matmul) with the output buffer and packing
+    /// scratch drawn from `ws`.
     ///
     /// # Panics
     ///
@@ -153,7 +34,15 @@ impl Tensor {
     pub fn matmul_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (m, k, n) = mm_dims(self, other);
         let mut out = ws.take_zeroed(m * n);
-        matmul_into(self.data(), other.data(), &mut out, k, n);
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::RowMajor(self.data()),
+            AccessB::RowMajor(other.data()),
+            &mut out,
+            ws,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -164,14 +53,11 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the shared dimension differs.
     pub fn matmul_at(&self, other: &Tensor) -> Tensor {
-        let (k, m, n) = mm_at_dims(self, other);
-        let mut out = vec![0.0f32; m * n];
-        matmul_at_into(self.data(), other.data(), &mut out, k, m, n);
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_at_ws(other, &mut Workspace::new())
     }
 
-    /// [`matmul_at`](Tensor::matmul_at) with the output buffer drawn from
-    /// `ws`.
+    /// [`matmul_at`](Tensor::matmul_at) with the output buffer and packing
+    /// scratch drawn from `ws`.
     ///
     /// # Panics
     ///
@@ -179,7 +65,15 @@ impl Tensor {
     pub fn matmul_at_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (k, m, n) = mm_at_dims(self, other);
         let mut out = ws.take_zeroed(m * n);
-        matmul_at_into(self.data(), other.data(), &mut out, k, m, n);
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::Transposed(self.data()),
+            AccessB::RowMajor(other.data()),
+            &mut out,
+            ws,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -190,14 +84,11 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the shared dimension differs.
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
-        let (m, k, n) = mm_bt_dims(self, other);
-        let mut out = vec![0.0f32; m * n];
-        matmul_bt_into(self.data(), other.data(), &mut out, k, n);
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_bt_ws(other, &mut Workspace::new())
     }
 
-    /// [`matmul_bt`](Tensor::matmul_bt) with the output buffer drawn from
-    /// `ws`.
+    /// [`matmul_bt`](Tensor::matmul_bt) with the output buffer and packing
+    /// scratch drawn from `ws`.
     ///
     /// # Panics
     ///
@@ -205,7 +96,15 @@ impl Tensor {
     pub fn matmul_bt_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (m, k, n) = mm_bt_dims(self, other);
         let mut out = ws.take_zeroed(m * n);
-        matmul_bt_into(self.data(), other.data(), &mut out, k, n);
+        gemm(
+            m,
+            n,
+            k,
+            AccessA::RowMajor(self.data()),
+            AccessB::Transposed(other.data()),
+            &mut out,
+            ws,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 }
@@ -234,39 +133,10 @@ fn mm_bt_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     (a[0], a[1], b[0])
 }
 
-fn matmul_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
-    if out.is_empty() || k == 0 {
-        return;
-    }
-    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
-        matmul_block(&lhs[rows.start * k..rows.end * k], rhs, block, k, n);
-    });
-}
-
-fn matmul_at_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
-    if out.is_empty() || k == 0 {
-        return;
-    }
-    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
-        matmul_at_block(lhs, rhs, block, rows.start, k, m, n);
-    });
-}
-
-fn matmul_bt_into(lhs: &[f32], rhs: &[f32], out: &mut [f32], k: usize, n: usize) {
-    if out.is_empty() {
-        return;
-    }
-    if k == 0 {
-        return; // an empty reduction leaves the zero-initialised output
-    }
-    pool::parallel_rows_mut(out, n, ROW_GRAIN, |rows, block| {
-        matmul_bt_block(&lhs[rows.start * k..rows.end * k], rhs, block, k, n);
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gemm::KC;
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
@@ -298,11 +168,38 @@ mod tests {
     }
 
     #[test]
-    fn matmul_wide_exceeds_column_tile() {
-        // Wider than COL_TILE so the j-tiling path is actually exercised.
-        let a = Tensor::from_fn(&[3, 7], |i| (i as f32 * 0.3).sin());
-        let b = Tensor::from_fn(&[7, COL_TILE + 37], |i| (i as f32 * 0.11).cos());
+    fn matmul_deep_k_crosses_depth_blocks() {
+        // k > KC so the depth-blocked accumulation path is exercised.
+        let a = Tensor::from_fn(&[3, KC + 37], |i| (i as f32 * 0.3).sin());
+        let b = Tensor::from_fn(&[KC + 37, 5], |i| (i as f32 * 0.11).cos());
         assert!(a.matmul(&b).allclose(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_bt_matches_fixed_accumulation_chain() {
+        // The engine's contract: every output accumulates KC-blocked
+        // partial sums, each in ascending k order — exactly this serial
+        // reference, bit for bit, for any m/n/thread count.
+        let (m, k, n) = (3, KC + 197, 11);
+        let a = Tensor::from_fn(&[m, k], |i| (i as f32 * 0.013).sin());
+        let b = Tensor::from_fn(&[n, k], |i| (i as f32 * 0.029).cos());
+        let got = a.matmul_bt(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut c = 0.0f32;
+                let mut pc = 0;
+                while pc < k {
+                    let kc = KC.min(k - pc);
+                    let mut s = 0.0f32;
+                    for p in pc..pc + kc {
+                        s += a.at2(i, p) * b.at2(j, p);
+                    }
+                    c += s;
+                    pc += kc;
+                }
+                assert_eq!(got.at2(i, j), c, "({i},{j}) drifted from the chain");
+            }
+        }
     }
 
     #[test]
@@ -320,23 +217,18 @@ mod tests {
     }
 
     #[test]
-    fn matmul_bt_is_bit_identical_to_naive_dot() {
-        // The column-blocked kernel must keep each output's accumulation in
-        // strict index order: exact equality with the naive dot product,
-        // including a column count that is not a multiple of the block.
-        let k = 197;
-        let n = BT_COLS * 5 + 3;
-        let a = Tensor::from_fn(&[3, k], |i| (i as f32 * 0.013).sin());
-        let b = Tensor::from_fn(&[n, k], |i| (i as f32 * 0.029).cos());
-        let got = a.matmul_bt(&b);
-        for i in 0..3 {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a.at2(i, p) * b.at2(j, p);
-                }
-                assert_eq!(got.at2(i, j), acc, "({i},{j}) drifted from serial order");
-            }
+    fn batched_rows_equal_single_row_products() {
+        // The serving batching invariant at the kernel level: row i of a
+        // batched product is bit-identical to the 1-row product of the
+        // same input row.
+        let (m, k, n) = (7, 133, 10);
+        let a = Tensor::from_fn(&[m, k], |i| (i as f32 * 0.17).sin());
+        let b = Tensor::from_fn(&[k, n], |i| (i as f32 * 0.23).cos());
+        let batched = a.matmul(&b);
+        for i in 0..m {
+            let row = Tensor::from_vec(a.row(i).to_vec(), &[1, k]);
+            let alone = row.matmul(&b);
+            assert_eq!(alone.data(), batched.row(i), "row {i} drifted");
         }
     }
 

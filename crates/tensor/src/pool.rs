@@ -14,9 +14,9 @@
 //!
 //! The pool is std-only (no rayon): a fixed set of detached worker threads
 //! blocks on a shared queue; a parallel region enqueues one closure per
-//! chunk, runs the first chunk on the calling thread, and blocks until the
-//! rest have finished. Threads are spawned lazily on first use and live for
-//! the rest of the process.
+//! chunk, runs the first chunk on the calling thread, then *helps drain
+//! the queue* until its region completes. Threads are spawned lazily on
+//! first use and live for the rest of the process.
 //!
 //! ## Configuration
 //!
@@ -26,9 +26,16 @@
 //! 2. the `FLUID_THREADS` environment variable, read once at first use,
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! `threads() == 1` makes every primitive run inline on the caller with no
-//! queue traffic at all — the serial reference path *is* the parallel path
-//! at one thread.
+//! The knob controls how work is **chunked**; the number of OS threads
+//! actually running those chunks is separately clamped to the visible core
+//! count. An explicit request beyond the cores is honored for chunking
+//! (and logged once) — results never depend on the knob — but the pool
+//! will not oversubscribe the host: with one visible core every chunk runs
+//! inline on the caller, with zero queue traffic and zero allocation, at
+//! any knob setting.
+//!
+//! `threads() == 1` likewise makes every primitive run inline — the serial
+//! reference path *is* the parallel path at one thread.
 //!
 //! ## Example
 //!
@@ -53,8 +60,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
-    /// Set while a pool worker (or a nested region's caller) is executing a
-    /// task. A parallel region entered from such a thread runs inline —
+    /// Set while a pool worker (or a caller helping the queue) is executing
+    /// a task. A parallel region entered from such a thread runs inline —
     /// queueing its tasks could deadlock: every worker might be blocked in
     /// a `WaitGuard` on inner regions whose tasks nobody is left to drain.
     static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
@@ -72,12 +79,16 @@ fn threads_cell() -> &'static AtomicUsize {
 
 fn default_threads() -> usize {
     match std::env::var(THREADS_ENV) {
-        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Ok(v) => {
+            let n = v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1);
+            warn_if_oversubscribed(n, THREADS_ENV);
+            n
+        }
+        Err(_) => available_parallelism(),
     }
 }
 
-/// The number of threads parallel regions currently fan out to (including
+/// The number of chunks parallel regions currently fan out to (including
 /// the calling thread).
 pub fn threads() -> usize {
     threads_cell().load(Ordering::Relaxed)
@@ -85,10 +96,66 @@ pub fn threads() -> usize {
 
 /// Overrides the thread count at runtime (clamped to at least 1).
 ///
-/// Takes effect for every subsequent parallel region in the process; the
-/// persistent workers themselves are grown on demand and never shrink.
+/// Takes effect for every subsequent parallel region in the process. The
+/// knob sets the *chunking*; the OS threads executing those chunks are
+/// capped at [`std::thread::available_parallelism`], so a request beyond
+/// the visible cores is honored for determinism-preserving chunk layout
+/// (with a logged warning) but cannot oversubscribe the host.
 pub fn set_threads(n: usize) {
-    threads_cell().store(n.max(1), Ordering::Relaxed);
+    let n = n.max(1);
+    warn_if_oversubscribed(n, "set_threads");
+    threads_cell().store(n, Ordering::Relaxed);
+}
+
+/// Logs (once per distinct value) when an explicit thread request exceeds
+/// the visible core count. The request is still honored — chunking is part
+/// of the reproducibility contract — but the extra chunks share the real
+/// cores, so the caller should expect no speedup past the cap.
+fn warn_if_oversubscribed(requested: usize, source: &str) {
+    static LAST_WARNED: AtomicUsize = AtomicUsize::new(0);
+    let avail = available_parallelism();
+    if requested > avail && LAST_WARNED.swap(requested, Ordering::Relaxed) != requested {
+        eprintln!(
+            "fluid-tensor pool: {source} asked for {requested} threads on a host with {avail} \
+             visible core(s); honoring the chunking but capping OS threads at the core count \
+             (see docs/PERFORMANCE.md)"
+        );
+    }
+}
+
+/// `0` means "use the system value"; tests override to exercise the queued
+/// fan-out path on single-core hosts.
+static AVAILABLE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Visible core count (cached system value, or the test override).
+fn available_parallelism() -> usize {
+    let o = AVAILABLE_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    static SYSTEM: OnceLock<usize> = OnceLock::new();
+    *SYSTEM.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Pretends the host has `n` visible cores (`0` restores the system
+/// value). Test-only: lets single-core CI exercise the real queued
+/// fan-out path.
+#[doc(hidden)]
+pub fn override_available_parallelism_for_tests(n: usize) {
+    AVAILABLE_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// OS worker threads a region may use beyond the calling thread.
+fn max_extra_workers() -> usize {
+    available_parallelism().saturating_sub(1)
+}
+
+/// Whether a region entered on this thread may queue tasks to workers. A
+/// region inside a pool task runs inline (deadlock avoidance); a region on
+/// a host with no spare cores runs inline too (no oversubscription, no
+/// queue traffic, no task boxing).
+fn can_fan_out() -> bool {
+    !IN_POOL_TASK.with(Cell::get) && max_extra_workers() > 0
 }
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -96,6 +163,12 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 struct Queue {
     tasks: Mutex<VecDeque<Task>>,
     available: Condvar,
+}
+
+impl Queue {
+    fn pop(&self) -> Option<Task> {
+        self.tasks.lock().expect("pool queue lock").pop_front()
+    }
 }
 
 struct Pool {
@@ -164,6 +237,10 @@ impl ScopeSync {
         }
     }
 
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("scope lock") == 0
+    }
+
     fn wait(&self) {
         let mut remaining = self.remaining.lock().expect("scope lock");
         while *remaining > 0 {
@@ -173,10 +250,13 @@ impl ScopeSync {
 }
 
 /// Runs every task to completion before returning: the first on the calling
-/// thread, the rest on pool workers. This blocking is what makes the
-/// lifetime erasure below sound — no task can outlive the borrows it
-/// captures, because `run_scope` does not return (even by unwinding) until
-/// every task has finished.
+/// thread, the rest on pool workers (the caller helps drain the queue while
+/// it waits). This blocking is what makes the lifetime erasure below sound —
+/// no task can outlive the borrows it captures, because `run_scope` does
+/// not return (even by unwinding) until every task has finished.
+///
+/// Only called when [`can_fan_out`] holds; inline execution paths never
+/// reach the queue.
 fn run_scope(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     let mut iter = tasks.into_iter();
     let Some(first) = iter.next() else { return };
@@ -185,17 +265,8 @@ fn run_scope(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         first();
         return;
     }
-    if IN_POOL_TASK.with(Cell::get) {
-        // Nested region: run everything inline (identical chunking, so
-        // still bit-identical) instead of risking a queue deadlock.
-        first();
-        for task in rest {
-            task();
-        }
-        return;
-    }
 
-    ensure_workers(rest.len());
+    ensure_workers(rest.len().min(max_extra_workers()));
     let sync = Arc::new(ScopeSync::new(rest.len()));
     {
         let queue = &pool().queue;
@@ -231,6 +302,15 @@ fn run_scope(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     }
     let guard = WaitGuard(&sync);
     let caller_result = catch_unwind(AssertUnwindSafe(first));
+    // Help: drain queued tasks (ours or a concurrent region's — each task
+    // carries its own bookkeeping) instead of idling until workers finish.
+    // With fewer workers than chunks this is what guarantees progress.
+    while !sync.is_done() {
+        match pool().queue.pop() {
+            Some(task) => task(),
+            None => break, // our stragglers are running on workers; wait
+        }
+    }
     drop(guard); // blocks until every queued task has completed
     if let Err(payload) = caller_result {
         resume_unwind(payload);
@@ -243,8 +323,10 @@ fn run_scope(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
 /// Splits `0..rows` into at most `threads()` contiguous chunks of at least
 /// `grain` rows and runs `f` on each chunk, blocking until all complete.
 ///
-/// With one thread, tiny inputs, or `rows == 0` this degenerates to a plain
-/// inline call — the serial path and the parallel path are the same code.
+/// With one thread, tiny inputs, `rows == 0`, or no spare cores this
+/// degenerates to plain inline calls (no queue, no allocation) — chunk
+/// boundaries stay identical, so results never depend on the execution
+/// mode.
 pub fn parallel_rows(rows: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
     if rows == 0 {
         return;
@@ -255,19 +337,22 @@ pub fn parallel_rows(rows: usize, grain: usize, f: impl Fn(Range<usize>) + Sync)
         return;
     }
     let per_chunk = rows.div_ceil(chunks);
-    let f = &f;
     // `chunks * per_chunk` can overshoot `rows` (e.g. 5 rows in 4 chunks of
     // 2), so stop as soon as the range is exhausted instead of emitting
     // inverted tail ranges.
-    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..chunks)
-        .map_while(|c| {
-            let lo = c * per_chunk;
-            if lo >= rows {
-                return None;
-            }
-            let hi = (lo + per_chunk).min(rows);
-            Some(Box::new(move || f(lo..hi)) as Box<dyn FnOnce() + Send + '_>)
-        })
+    let ranges = (0..chunks).map_while(|c| {
+        let lo = c * per_chunk;
+        (lo < rows).then(|| lo..(lo + per_chunk).min(rows))
+    });
+    if !can_fan_out() {
+        for range in ranges {
+            f(range);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+        .map(|range| Box::new(move || f(range)) as Box<dyn FnOnce() + Send + '_>)
         .collect();
     run_scope(tasks);
 }
@@ -303,6 +388,15 @@ pub fn parallel_rows_mut<T: Send>(
         return;
     }
     let per_chunk = rows.div_ceil(chunks);
+    if !can_fan_out() {
+        let mut start_row = 0usize;
+        for block in data.chunks_mut(per_chunk * row_len) {
+            let rows_here = block.len() / row_len;
+            f(start_row..start_row + rows_here, block);
+            start_row += rows_here;
+        }
+        return;
+    }
     let f = &f;
     let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
     let mut start_row = 0usize;
@@ -326,17 +420,33 @@ fn chunk_count(rows: usize, grain: usize) -> usize {
 mod tests {
     use super::*;
 
-    /// Tests in this module mutate the global thread knob; serialize them.
+    /// Tests in this module mutate the global thread knob and the
+    /// visible-core override; serialize them and always restore.
     fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Restores knobs on drop so a failing test cannot poison the rest.
+    struct KnobGuard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+    impl Drop for KnobGuard {
+        fn drop(&mut self) {
+            set_threads(1);
+            override_available_parallelism_for_tests(0);
+        }
+    }
+
+    fn fanout(threads: usize) -> KnobGuard {
+        let guard = KnobGuard(knob_lock());
+        override_available_parallelism_for_tests(threads.max(2));
+        set_threads(threads);
+        guard
+    }
+
     #[test]
     fn rows_mut_covers_every_row_once() {
-        let _guard = knob_lock();
         for t in [1, 2, 3, 8] {
-            set_threads(t);
+            let _guard = fanout(t);
             let mut data = vec![0u32; 7 * 3];
             parallel_rows_mut(&mut data, 3, 1, |rows, block| {
                 for (r, row) in rows.clone().zip(block.chunks_mut(3)) {
@@ -349,13 +459,11 @@ mod tests {
                 assert!(row.iter().all(|&x| x == r as u32 + 1), "threads {t}");
             }
         }
-        set_threads(1);
     }
 
     #[test]
     fn read_fanout_visits_full_range() {
-        let _guard = knob_lock();
-        set_threads(4);
+        let _guard = fanout(4);
         let hits = Mutex::new(vec![0usize; 100]);
         parallel_rows(100, 1, |range| {
             let mut hits = hits.lock().expect("hits");
@@ -363,8 +471,26 @@ mod tests {
                 hits[i] += 1;
             }
         });
-        set_threads(1);
+        drop(_guard);
         assert!(hits.into_inner().expect("hits").iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn single_core_host_runs_chunks_inline() {
+        // With one visible core, a multi-thread knob must still produce
+        // the same chunk boundaries — executed inline on the caller.
+        let _guard = KnobGuard(knob_lock());
+        override_available_parallelism_for_tests(1);
+        set_threads(4);
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        parallel_rows(8, 1, |range| {
+            assert_eq!(std::thread::current().id(), caller, "must run inline");
+            seen.lock().expect("seen").push(range);
+        });
+        let mut chunks = seen.into_inner().expect("seen");
+        chunks.sort_by_key(|r| r.start);
+        assert_eq!(chunks, vec![0..2, 2..4, 4..6, 6..8], "chunking preserved");
     }
 
     #[test]
@@ -379,8 +505,7 @@ mod tests {
     fn indivisible_row_counts_never_produce_inverted_ranges() {
         // 5 rows across 4 threads: ceil(5/4)=2 rows per chunk, so only 3
         // chunks exist — the old code emitted a dangling 6..5 range.
-        let _guard = knob_lock();
-        set_threads(4);
+        let _guard = fanout(4);
         let data: Vec<u32> = (0..5).collect();
         let seen = Mutex::new(vec![0usize; 5]);
         parallel_rows(5, 1, |range| {
@@ -390,14 +515,13 @@ mod tests {
                 seen.lock().expect("seen")[v as usize] += 1;
             }
         });
-        set_threads(1);
+        drop(_guard);
         assert!(seen.into_inner().expect("seen").iter().all(|&c| c == 1));
     }
 
     #[test]
     fn nested_parallel_regions_run_inline_instead_of_deadlocking() {
-        let _guard = knob_lock();
-        set_threads(4);
+        let _guard = fanout(4);
         let outer_rows = Mutex::new(0usize);
         let outer_calls = Mutex::new(0usize);
         let inner_rows = Mutex::new(0usize);
@@ -410,7 +534,7 @@ mod tests {
                 *inner_rows.lock().expect("inner") += inner.len();
             });
         });
-        set_threads(1);
+        drop(_guard);
         assert_eq!(*outer_rows.lock().expect("outer"), 8);
         let calls = *outer_calls.lock().expect("calls");
         assert_eq!(*inner_rows.lock().expect("inner"), calls * 8);
@@ -418,8 +542,7 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_to_caller() {
-        let _guard = knob_lock();
-        set_threads(4);
+        let _guard = fanout(4);
         let result = catch_unwind(AssertUnwindSafe(|| {
             parallel_rows(64, 1, |range| {
                 if range.contains(&63) {
@@ -427,13 +550,30 @@ mod tests {
                 }
             });
         }));
-        set_threads(1);
+        drop(_guard);
         assert!(result.is_err(), "panic in a pool task must not be lost");
     }
 
     #[test]
+    fn caller_helps_when_chunks_exceed_workers() {
+        // 8 chunks on a "2-core" host: one worker plus the helping caller
+        // must finish all chunks (no deadlock, full coverage).
+        let _guard = fanout(8);
+        override_available_parallelism_for_tests(2);
+        let hits = Mutex::new(vec![0usize; 64]);
+        parallel_rows(64, 1, |range| {
+            let mut hits = hits.lock().expect("hits");
+            for i in range {
+                hits[i] += 1;
+            }
+        });
+        drop(_guard);
+        assert!(hits.into_inner().expect("hits").iter().all(|&h| h == 1));
+    }
+
+    #[test]
     fn set_threads_clamps_to_one() {
-        let _guard = knob_lock();
+        let _guard = KnobGuard(knob_lock());
         set_threads(0);
         assert_eq!(threads(), 1);
     }

@@ -8,6 +8,7 @@
 
 use crate::pool;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 impl Tensor {
     /// Sum of all elements.
@@ -44,10 +45,19 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn sum_rows(&self) -> Tensor {
+        self.sum_rows_ws(&mut Workspace::new())
+    }
+
+    /// [`sum_rows`](Tensor::sum_rows) with the output drawn from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows_ws(&self, ws: &mut Workspace) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "sum_rows on rank-{} tensor", d.len());
         let (n, f) = (d[0], d[1]);
-        let mut out = Tensor::zeros(&[f]);
+        let mut out = ws.tensor_zeroed(&[f]);
         let src = self.data();
         // Partitioned over output columns; each column still accumulates
         // its rows in ascending order, exactly like the serial loop.
@@ -68,11 +78,21 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4.
     pub fn sum_per_channel(&self) -> Tensor {
+        self.sum_per_channel_ws(&mut Workspace::new())
+    }
+
+    /// [`sum_per_channel`](Tensor::sum_per_channel) with the output drawn
+    /// from `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn sum_per_channel_ws(&self, ws: &mut Workspace) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 4, "sum_per_channel on rank-{} tensor", d.len());
         let plane = d[2] * d[3];
         let (batch, channels) = (d[0], d[1]);
-        let mut out = Tensor::zeros(&[channels]);
+        let mut out = ws.tensor_zeroed(&[channels]);
         let src = self.data();
         // Partitioned over output channels; per channel the image order (and
         // the within-plane order) matches the serial reference.
@@ -93,12 +113,23 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or has zero columns.
     pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        out.softmax_rows_in_place();
+        out
+    }
+
+    /// Row-wise numerically-stable softmax, computed in place (the
+    /// zero-allocation sibling of [`softmax_rows`](Tensor::softmax_rows)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn softmax_rows_in_place(&mut self) {
         let d = self.dims();
         assert_eq!(d.len(), 2, "softmax_rows on rank-{} tensor", d.len());
         assert!(d[1] > 0, "softmax over zero classes");
         let f = d[1];
-        let mut out = self.clone();
-        pool::parallel_rows_mut(out.data_mut(), f, 16, |_, block| {
+        pool::parallel_rows_mut(self.data_mut(), f, 16, |_, block| {
             for row in block.chunks_mut(f) {
                 let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let mut z = 0.0;
@@ -111,7 +142,6 @@ impl Tensor {
                 }
             }
         });
-        out
     }
 
     /// Row-wise argmax of an `[N, F]` tensor (first max wins on ties).

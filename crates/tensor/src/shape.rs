@@ -1,8 +1,16 @@
 //! Shape utilities for row-major tensors.
 
+/// Maximum tensor rank. Everything in this workspace is at most
+/// `[N, C, H, W]`; the inline bound is what lets [`Shape`] live entirely
+/// on the stack, so creating a tensor around an existing buffer performs
+/// **zero heap allocation** — the hot-path contract of the serving and
+/// training layers.
+pub const MAX_RANK: usize = 4;
+
 /// A tensor shape: the extent of each dimension, outermost first.
 ///
 /// Row-major (C order): the last dimension is contiguous in memory.
+/// Stored inline (no heap) up to [`MAX_RANK`] dimensions.
 ///
 /// # Example
 ///
@@ -14,36 +22,51 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
-    dims: Vec<usize>,
+    // Invariant: `dims[rank..]` is zero, so the derived `PartialEq`/`Hash`
+    // see a canonical form.
+    dims: [usize; MAX_RANK],
+    rank: usize,
 }
 
 impl Shape {
     /// Creates a shape from a slice of dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() > MAX_RANK`.
     pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Self {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len(),
         }
     }
 
     /// The dimension extents, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank]
     }
 
     /// Number of dimensions (rank).
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Row-major strides, in elements.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+        let mut strides = vec![1usize; self.rank];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
@@ -55,6 +78,11 @@ impl Shape {
     ///
     /// Panics if `i >= rank()`.
     pub fn dim(&self, i: usize) -> usize {
+        assert!(
+            i < self.rank,
+            "dimension {i} out of range for rank {}",
+            self.rank
+        );
         self.dims[i]
     }
 }
@@ -67,14 +95,14 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        Shape::new(&dims)
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -135,5 +163,18 @@ mod tests {
     fn zero_extent_dim_gives_zero_numel() {
         let s = Shape::new(&[3, 0, 2]);
         assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_storage() {
+        // Different construction paths must canonicalise identically.
+        assert_eq!(Shape::new(&[2, 3]), Shape::from(vec![2, 3]));
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn rank_overflow_panics() {
+        let _ = Shape::new(&[1, 2, 3, 4, 5]);
     }
 }

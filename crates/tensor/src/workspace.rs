@@ -7,8 +7,12 @@
 //! back, so after the first step the hot path stops touching the system
 //! allocator entirely.
 //!
-//! Buffers handed out by a workspace are always zero-filled, so a
+//! Buffers from [`Workspace::take_zeroed`], [`Workspace::take_indices`]
+//! and [`Workspace::tensor_zeroed`] are zero-filled, so a
 //! workspace-backed kernel is bit-identical to its allocating twin.
+//! [`Workspace::take_dirty`] is the explicit opt-out for scratch the
+//! caller fully overwrites (e.g. GEMM packing panels) — its contents are
+//! unspecified.
 //!
 //! ## Example
 //!
@@ -58,6 +62,26 @@ impl Workspace {
                 let mut v = self.free_f32.swap_remove(i);
                 v.clear();
                 v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Takes an `f32` buffer of exactly `len` elements with **unspecified
+    /// contents** (recycled buffers keep their old values). For scratch the
+    /// caller fully overwrites before reading — skipping the zero-fill of
+    /// [`take_zeroed`](Workspace::take_zeroed) matters for large packing
+    /// buffers on hot paths.
+    pub fn take_dirty(&mut self, len: usize) -> Vec<f32> {
+        match best_fit(&self.free_f32, len) {
+            Some(i) => {
+                let mut v = self.free_f32.swap_remove(i);
+                if v.len() >= len {
+                    v.truncate(len); // O(1): keep old contents, no fill
+                } else {
+                    v.resize(len, 0.0); // fills only the grown region
+                }
                 v
             }
             None => vec![0.0; len],

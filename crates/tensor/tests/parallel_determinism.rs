@@ -2,12 +2,19 @@
 //! reference (`FLUID_THREADS=1`) at thread counts 1, 2 and 8.
 //!
 //! This is the compute-kernel layer's central guarantee (see
-//! `docs/PERFORMANCE.md`): work is row-partitioned, so chunk boundaries
-//! never change any floating-point accumulation order. The tests run each
-//! kernel under every thread count and require *exact* equality of the
-//! output buffers — no tolerance.
+//! `docs/PERFORMANCE.md`): the packed-GEMM engine fixes every output
+//! element's accumulation chain by the `KC` depth blocking alone, and all
+//! other kernels are row-partitioned, so chunk boundaries never change any
+//! floating-point accumulation order. The tests run each kernel under
+//! every thread count and require *exact* equality of the output buffers —
+//! no tolerance. The visible-core override forces the real queued fan-out
+//! path even on single-core CI hosts, so cross-thread execution (not just
+//! chunk layout) is what's exercised.
 
-use fluid_tensor::{col2im, im2col, pool, Conv2dGeometry, Prng, Tensor};
+use fluid_tensor::{
+    col2im, conv_gemm_dw_ws, conv_gemm_fwd_ws, im2col, pool, Conv2dGeometry, PatchMatrix, Prng,
+    Tensor, Workspace, KC, MR, NR,
+};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -17,10 +24,12 @@ static KNOB: Mutex<()> = Mutex::new(());
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
-/// Runs `f` under each thread count and asserts the outputs match the
+/// Runs `f` under each thread count (with enough pretend cores that the
+/// queued fan-out path really runs) and asserts the outputs match the
 /// single-thread result exactly.
 fn assert_thread_invariant(f: impl Fn() -> Tensor) -> Result<(), TestCaseError> {
     let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    pool::override_available_parallelism_for_tests(8);
     let mut reference: Option<Tensor> = None;
     for &t in &THREAD_COUNTS {
         pool::set_threads(t);
@@ -30,6 +39,7 @@ fn assert_thread_invariant(f: impl Fn() -> Tensor) -> Result<(), TestCaseError> 
             Some(want) => {
                 if got != *want {
                     pool::set_threads(1);
+                    pool::override_available_parallelism_for_tests(0);
                     return Err(TestCaseError::fail(format!(
                         "kernel output at {t} threads differs from serial reference \
                          (max abs diff {})",
@@ -40,12 +50,31 @@ fn assert_thread_invariant(f: impl Fn() -> Tensor) -> Result<(), TestCaseError> 
         }
     }
     pool::set_threads(1);
+    pool::override_available_parallelism_for_tests(0);
     Ok(())
 }
 
 fn random_tensor(seed: u64, dims: &[usize]) -> Tensor {
     let mut rng = Prng::new(seed);
     Tensor::from_fn(dims, |_| rng.uniform(-1.0, 1.0))
+}
+
+/// Shapes deliberately misaligned with the GEMM engine's panel constants:
+/// degenerate rows/columns (`1×N`, `M×1`), extents straddling `MR`/`NR`
+/// panel edges, depths below, at, and just past the `KC` block — every
+/// case where edge-panel handling could diverge from the interior path.
+fn ragged_gemm_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        // (m, k, n)
+        (1, 17, 260),             // single output row
+        (13, 9, 1),               // single output column
+        (MR + 1, 3, NR + 1),      // one ragged edge panel each way
+        (MR - 1, KC, NR - 1),     // sub-panel output, k exactly one block
+        (2 * MR, KC - 1, 2 * NR), // k just under the block
+        (7, KC + 1, 19),          // k just over the block (two-block chains)
+        (16, 2 * KC + 5, 12),     // three-block chains, aligned m
+        (5, 2, 3),                // k smaller than any panel constant
+    ]
 }
 
 proptest! {
@@ -70,6 +99,49 @@ proptest! {
         let a = random_tensor(seed, &[m, k]);
         let b = random_tensor(seed ^ 3, &[n, k]);
         assert_thread_invariant(|| a.matmul_bt(&b))?;
+    }
+
+    #[test]
+    fn ragged_gemm_shapes_are_thread_count_invariant(seed in 0u64..1000) {
+        // All three kernels over every deliberately-misaligned shape.
+        for (i, (m, k, n)) in ragged_gemm_shapes().into_iter().enumerate() {
+            let s = seed.wrapping_add(i as u64 * 101);
+            let a = random_tensor(s, &[m, k]);
+            let b = random_tensor(s ^ 1, &[k, n]);
+            assert_thread_invariant(|| a.matmul(&b))?;
+            let a_t = random_tensor(s ^ 2, &[k, m]);
+            assert_thread_invariant(|| a_t.matmul_at(&b))?;
+            let b_t = random_tensor(s ^ 3, &[n, k]);
+            assert_thread_invariant(|| a.matmul_bt(&b_t))?;
+        }
+    }
+
+    #[test]
+    fn implicit_conv_gemm_is_thread_count_invariant(
+        seed in 0u64..1000,
+        batch in 1usize..4,
+        c_in in 1usize..5,
+        c_out in 1usize..6,
+        side in 4usize..10,
+        pad in 0usize..2,
+    ) {
+        // The implicit-GEMM convolution paths (forward and dW), straight
+        // through PatchMatrix packing — ragged in every dimension for most
+        // draws (c_out vs MR, positions vs NR, C·K·K vs KC).
+        let geo = Conv2dGeometry::new(side, side, 3, 1, pad);
+        let x = random_tensor(seed, &[batch, c_in, side, side]);
+        let ckk = c_in * 9;
+        let np = batch * geo.out_positions();
+        let wmat = random_tensor(seed ^ 7, &[c_out, ckk]);
+        assert_thread_invariant(|| {
+            let patches = PatchMatrix::new(x.data(), batch, c_in, geo);
+            conv_gemm_fwd_ws(&wmat, &patches, &mut Workspace::new())
+        })?;
+        let g = random_tensor(seed ^ 8, &[c_out, np]);
+        assert_thread_invariant(|| {
+            let patches = PatchMatrix::new(x.data(), batch, c_in, geo);
+            conv_gemm_dw_ws(&g, &patches, &mut Workspace::new())
+        })?;
     }
 
     #[test]
@@ -117,15 +189,45 @@ proptest! {
     fn argmax_is_thread_count_invariant(seed in 0u64..1000, n in 1usize..200, f in 1usize..12) {
         let x = random_tensor(seed, &[n, f]);
         let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        pool::override_available_parallelism_for_tests(8);
         let mut reference: Option<Vec<usize>> = None;
         for &t in &THREAD_COUNTS {
             pool::set_threads(t);
             let got = x.argmax_rows();
             match &reference {
                 None => reference = Some(got),
-                Some(want) => prop_assert_eq!(&got, want, "threads {}", t),
+                Some(want) => {
+                    if &got != want {
+                        pool::set_threads(1);
+                        pool::override_available_parallelism_for_tests(0);
+                        prop_assert_eq!(&got, want, "threads {}", t);
+                    }
+                }
             }
         }
         pool::set_threads(1);
+        pool::override_available_parallelism_for_tests(0);
     }
+}
+
+/// A batched GEMM's row must be bit-identical to the same row computed in
+/// a 1-row GEMM — the end-to-end property the serving layer's "batching
+/// never changes answers" contract reduces to, here checked at a ragged
+/// batch size under a multi-thread knob.
+#[test]
+fn batched_gemm_rows_match_single_row_gemm_under_threads() {
+    let _guard = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    pool::override_available_parallelism_for_tests(8);
+    pool::set_threads(8);
+    let (m, k, n) = (MR + 3, KC + 11, 2 * NR + 5);
+    let a = random_tensor(11, &[m, k]);
+    let b = random_tensor(12, &[k, n]);
+    let batched = a.matmul(&b);
+    for i in 0..m {
+        let row = Tensor::from_vec(a.row(i).to_vec(), &[1, k]);
+        let alone = row.matmul(&b);
+        assert_eq!(alone.data(), batched.row(i), "row {i} depends on batch");
+    }
+    pool::set_threads(1);
+    pool::override_available_parallelism_for_tests(0);
 }
