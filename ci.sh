@@ -10,7 +10,14 @@
 #   ./ci.sh --update-bench      re-measure and commit a new bench baseline
 #                               (for *intentional* performance changes)
 #
-# Stages: fmt, clippy, doc, tests, bench.
+# Stages: fmt, clippy, doc, tests, drill, bench.
+#
+# The drill stage runs the cluster chaos drill (tests/tests/cluster.rs):
+# a 3-node serving cluster behind fluid-router, Poisson traffic, a node
+# killed and restarted mid-stream, then a rolling hot swap — pinned to
+# one kernel thread (the 1-core CI host's honest configuration) and to a
+# wall-clock budget so a routing hang fails loudly instead of stalling
+# the pipeline.
 #
 # The bench stage is a perf regression gate: it re-runs
 # `bench_kernels --quick` and fails if any committed timing metric in
@@ -33,8 +40,8 @@ for arg in "$@"; do
     case "$arg" in
         --fast) FAST=1 ;;
         --update-bench) UPDATE_BENCH=1 ;;
-        fmt|clippy|doc|tests|bench) STAGES+=("$arg") ;;
-        *) echo "unknown argument: $arg (stages: fmt clippy doc tests bench; flags: --fast --update-bench)"; exit 2 ;;
+        fmt|clippy|doc|tests|drill|bench) STAGES+=("$arg") ;;
+        *) echo "unknown argument: $arg (stages: fmt clippy doc tests drill bench; flags: --fast --update-bench)"; exit 2 ;;
     esac
 done
 if [ "${#STAGES[@]}" -eq 0 ]; then
@@ -43,7 +50,7 @@ if [ "${#STAGES[@]}" -eq 0 ]; then
     elif [ "$UPDATE_BENCH" -eq 1 ]; then
         STAGES=(bench)
     else
-        STAGES=(fmt clippy doc tests bench)
+        STAGES=(fmt clippy doc tests drill bench)
     fi
 fi
 # --update-bench means the bench stage, whatever else was asked for — it
@@ -88,6 +95,15 @@ stage_tests() {
     # fanned-out.
     FLUID_THREADS=1 cargo test -q
     FLUID_THREADS=4 cargo test -q
+}
+
+stage_drill() {
+    # 300 s is ~10× the drill's healthy wall clock (compile excluded: the
+    # tests stage has already built the workspace when the full pipeline
+    # runs); hitting the budget means a hang, which is exactly the class
+    # of bug the drill exists to catch.
+    FLUID_THREADS=1 timeout 300 \
+        cargo test -q -p fluid-integration-tests --test cluster
 }
 
 stage_bench() {

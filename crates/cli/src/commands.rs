@@ -10,6 +10,8 @@
 //! | `loadgen` | drive a serving instance (in-proc or TCP) and report metrics |
 //! | `autoscale` | run the elasticity controller against a Poisson traffic ramp |
 //! | `reload`  | zero-downtime model hot-swap under live load |
+//! | `route`   | shard traffic across a local cluster through the router tier |
+//! | `drill`   | run the chaos cluster drill and report its verdict |
 //! | `fig2`    | regenerate the paper's Fig. 2 (both panels) |
 //! | `help`    | usage |
 
@@ -28,6 +30,7 @@ use fluid_models::{
 };
 use fluid_nn::accuracy;
 use fluid_perf::SystemModel;
+use fluid_router::{route_tcp, run_drill, DrillConfig, LocalCluster, RouterConfig};
 use fluid_serve::{
     loadgen, AutoscaleConfig, Autoscaler, EngineBackend, ServeConfig, Server, TcpClient,
 };
@@ -90,6 +93,15 @@ USAGE:
   fluidctl reload [--model-file PATH] [--new-model-file PATH] [--workers N]
                   [--requests N] [--clients N] [--seed N]
                   [--max-batch N] [--max-wait-ms N] [--queue-cap N]
+  fluidctl route  [--nodes N] [--workers-per-node N] [--replication N]
+                  [--listen ADDR] [--requests N] [--clients N] [--seed N]
+                  [--model-file PATH] [--max-batch N] [--max-wait-ms N]
+                  [--queue-cap N] (boots an in-proc cluster behind a router)
+  fluidctl drill  [--nodes N] [--workers-per-node N] [--replication N]
+                  [--lambda F] [--requests N] [--concurrency N]
+                  [--kill-cycles N] [--kill-pause-ms N] [--no-swap]
+                  [--seed N] [--model-file PATH] [--max-batch N]
+                  [--max-wait-ms N] [--queue-cap N] (chaos cluster drill)
   fluidctl fig2   [--quick]
   fluidctl help
 
@@ -132,6 +144,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "loadgen" => cmd_loadgen(&args),
         "autoscale" => cmd_autoscale(&args),
         "reload" => cmd_reload(&args),
+        "route" => cmd_route(&args),
+        "drill" => cmd_drill(&args),
         "fig2" => cmd_fig2(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -599,6 +613,121 @@ fn cmd_reload(args: &ArgMap) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_route(args: &ArgMap) -> Result<(), CliError> {
+    let (net, spec) = serving_model(args)?;
+    let nodes = args.usize_or("nodes", 3)?.max(1);
+    let workers = args.usize_or("workers-per-node", 1)?.max(1);
+    let replication = args.usize_or("replication", 2)?.max(1);
+    let requests = args.usize_or("requests", 120)?;
+    let clients = args.usize_or("clients", 4)?.max(1);
+    let seed = args.u64_or("seed", 42)?;
+    let listen = args.str_or("listen", "127.0.0.1:0").to_owned();
+
+    // `RouterConfig` is `#[non_exhaustive]`, hence mutation over a literal.
+    let mut router_cfg = RouterConfig::default();
+    router_cfg.replication = replication;
+    let cluster = LocalCluster::boot(&net, &spec, nodes, workers, serve_config(args)?, router_cfg)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let router = cluster.router().clone();
+
+    let listener = TcpListener::bind(&listen).map_err(|e| CliError::Run(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Run(e.to_string()))?
+        .to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let front = {
+        let (router, shutdown) = (router.clone(), Arc::clone(&shutdown));
+        std::thread::spawn(move || route_tcp(listener, router, shutdown))
+    };
+    println!(
+        "router on {addr}: {nodes} nodes × {workers} workers, replication {replication}; \
+         driving {clients} closed-loop clients..."
+    );
+
+    let inputs = loadgen_inputs(seed);
+    let report =
+        loadgen::run_closed_loop(|_| TcpClient::connect(&addr), clients, requests, &inputs)
+            .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("{report}");
+
+    shutdown.store(true, Ordering::SeqCst);
+    front
+        .join()
+        .map_err(|_| CliError::Run("router front-end panicked".into()))?
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("{}", router.metrics());
+    Ok(())
+}
+
+fn cmd_drill(args: &ArgMap) -> Result<(), CliError> {
+    // `DrillConfig` is `#[non_exhaustive]`, hence mutation over a literal.
+    let mut cfg = DrillConfig::default();
+    cfg.nodes = args.usize_or("nodes", cfg.nodes)?;
+    cfg.workers_per_node = args
+        .usize_or("workers-per-node", cfg.workers_per_node)?
+        .max(1);
+    cfg.replication = args.usize_or("replication", cfg.replication)?;
+    cfg.lambda = f64::from(args.f32_or("lambda", 150.0)?);
+    cfg.requests = args.usize_or("requests", cfg.requests)?;
+    cfg.concurrency = args.usize_or("concurrency", cfg.concurrency)?.max(1);
+    cfg.kill_cycles = args.usize_or("kill-cycles", cfg.kill_cycles)?;
+    cfg.kill_pause = Duration::from_millis(args.u64_or("kill-pause-ms", 150)?);
+    cfg.rolling_swap = !args.flag("no-swap");
+    cfg.seed = args.u64_or("seed", cfg.seed)?;
+    cfg.serve = serve_config(args)?;
+    // Turn `run_drill`'s panicking preconditions into flag errors: the CLI
+    // should refuse bad configs, not crash on them.
+    if cfg.nodes < 2 {
+        return Err(CliError::Run(
+            "--nodes must be at least 2 (a one-node cluster is just `serve`)".into(),
+        ));
+    }
+    if cfg.replication < 2 && cfg.kill_cycles > 0 {
+        return Err(CliError::Run(
+            "--replication 1 under kill cycles is guaranteed data loss; \
+             raise --replication or pass --kill-cycles 0"
+                .into(),
+        ));
+    }
+    if !(cfg.lambda.is_finite() && cfg.lambda > 0.0) {
+        return Err(CliError::Run(format!(
+            "--lambda must be a positive arrival rate, got {}",
+            cfg.lambda
+        )));
+    }
+    if cfg.requests == 0 {
+        return Err(CliError::Run("--requests must be at least 1".into()));
+    }
+    let (net, spec) = serving_model(args)?;
+
+    println!(
+        "chaos drill: {} nodes × {} workers, replication {}, λ = {:.0} req/s, \
+         {} requests, {} kill cycles{}...",
+        cfg.nodes,
+        cfg.workers_per_node,
+        cfg.replication,
+        cfg.lambda,
+        cfg.requests,
+        cfg.kill_cycles,
+        if cfg.rolling_swap {
+            ", then a rolling swap"
+        } else {
+            ""
+        }
+    );
+    let report = run_drill(&net, &spec, cfg).map_err(|e| CliError::Run(e.to_string()))?;
+    println!("{report}");
+    if !report.passed() {
+        return Err(CliError::Run(
+            "drill FAILED: admitted traffic was dropped, refused downstream, or \
+             answered with non-oracle logits (see report above)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_fig2(args: &ArgMap) -> Result<(), CliError> {
     let system = SystemModel::paper_testbed();
     println!("{}", format_throughput_table(&system.fig2_table()));
@@ -773,6 +902,70 @@ mod tests {
         ]))
         .expect_err("missing checkpoint");
         assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn route_shards_closed_loop_traffic_across_a_cluster() {
+        run(&argv(&[
+            "route",
+            "--nodes",
+            "2",
+            "--workers-per-node",
+            "1",
+            "--requests",
+            "8",
+            "--clients",
+            "2",
+            "--seed",
+            "5",
+        ]))
+        .expect("route demo");
+    }
+
+    #[test]
+    fn drill_quiet_run_passes() {
+        run(&argv(&[
+            "drill",
+            "--nodes",
+            "2",
+            "--kill-cycles",
+            "0",
+            "--no-swap",
+            "--lambda",
+            "120",
+            "--requests",
+            "8",
+            "--concurrency",
+            "4",
+            "--seed",
+            "7",
+        ]))
+        .expect("quiet drill");
+    }
+
+    #[test]
+    fn drill_rejects_single_node_clusters() {
+        let err = run(&argv(&["drill", "--nodes", "1"])).expect_err("one node is not a cluster");
+        assert!(err.to_string().contains("nodes"), "{err}");
+    }
+
+    #[test]
+    fn drill_rejects_chaos_at_replication_one() {
+        let err = run(&argv(&[
+            "drill",
+            "--replication",
+            "1",
+            "--kill-cycles",
+            "1",
+        ]))
+        .expect_err("replication 1 under chaos");
+        assert!(err.to_string().contains("replication"), "{err}");
+    }
+
+    #[test]
+    fn drill_rejects_non_positive_lambda() {
+        let err = run(&argv(&["drill", "--lambda", "0"])).expect_err("lambda must be positive");
+        assert!(err.to_string().contains("lambda"), "{err}");
     }
 
     #[test]

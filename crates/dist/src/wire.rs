@@ -112,6 +112,20 @@ pub enum Message {
         /// Human-readable refusal reason.
         reason: String,
     },
+    /// Client → router: an inference request carrying an explicit routing
+    /// key. The sharding front-end (`fluid-router`) hashes `shard_key` to
+    /// pick the replica set; plain [`Message::Infer`] is also accepted
+    /// there, using `request_id` as the key. Leaf serve nodes answer it
+    /// exactly like `Infer` — the key has already done its job upstream.
+    InferKeyed {
+        /// Correlates the reply with the request.
+        request_id: u64,
+        /// Stable routing key (e.g. a session or user id): equal keys land
+        /// on the same shard while the node set is unchanged.
+        shard_key: u64,
+        /// Input batch `[N, C, H, W]`.
+        input: Tensor,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -124,6 +138,7 @@ const TAG_HEARTBEAT_ACK: u8 = 7;
 const TAG_SWITCH_MODE: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_REJECT: u8 = 10;
+const TAG_INFER_KEYED: u8 = 11;
 
 /// A decoded tensor beyond this rank is a protocol error, not a panic:
 /// `fluid_tensor::Shape` stores dimensions inline and asserts its own
@@ -345,6 +360,16 @@ impl Message {
                 put_u64(&mut out, *request_id);
                 put_str(&mut out, reason);
             }
+            Message::InferKeyed {
+                request_id,
+                shard_key,
+                input,
+            } => {
+                out.push(TAG_INFER_KEYED);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *shard_key);
+                put_tensor(&mut out, input);
+            }
         }
         out
     }
@@ -400,6 +425,11 @@ impl Message {
                 request_id: c.u64()?,
                 reason: c.string()?,
             },
+            TAG_INFER_KEYED => Message::InferKeyed {
+                request_id: c.u64()?,
+                shard_key: c.u64()?,
+                input: c.tensor()?,
+            },
             other => return Err(DistError::Decode(format!("unknown message tag {other}"))),
         };
         c.finish()?;
@@ -449,6 +479,11 @@ mod tests {
             Message::Reject {
                 request_id: 9,
                 reason: "queue full (cap 64)".into(),
+            },
+            Message::InferKeyed {
+                request_id: 9,
+                shard_key: 0xDEAD_BEEF,
+                input: Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[2, 2]),
             },
         ];
         for msg in msgs {

@@ -90,13 +90,15 @@ impl<T: Transport> Worker<T> {
                 Ok(Some(Message::SwitchMode { mode })) => self.engine.set_mode(mode),
                 Ok(Some(Message::Shutdown)) => return (WorkerExit::Shutdown, self.engine),
                 // Messages a worker never consumes (its own side of the
-                // protocol, or another worker's): ignore.
+                // protocol, another worker's, or the serving front-ends'):
+                // ignore.
                 Ok(Some(
                     Message::Hello { .. }
                     | Message::DeployAck { .. }
                     | Message::Logits { .. }
                     | Message::HeartbeatAck { .. }
-                    | Message::Reject { .. },
+                    | Message::Reject { .. }
+                    | Message::InferKeyed { .. },
                 )) => {}
                 Ok(None) => {}
                 Err(e) => return (WorkerExit::LinkLost(e), self.engine),

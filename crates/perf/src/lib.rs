@@ -39,5 +39,8 @@ pub use comm::CommModel;
 pub use device::DeviceModel;
 pub use elastic::{simulate_elastic, ElasticPolicy, ElasticSimReport};
 pub use energy::{scenario_energy, standalone_energy, EnergyReport, PowerModel};
-pub use queueing::{percentile, simulate, Policy, SampleWindow, SimReport};
+pub use queueing::{
+    percentile, simulate, simulate_cluster, ClusterScenario, ClusterSimReport, NodeOutage, Policy,
+    SampleWindow, SimReport,
+};
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};

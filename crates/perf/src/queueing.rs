@@ -284,6 +284,161 @@ pub fn simulate(
     }
 }
 
+/// One node becoming unavailable for a window of simulated time (a crash
+/// + restart, or a rolling-swap drain) inside [`simulate_cluster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeOutage {
+    /// Index of the node that goes dark.
+    pub node: usize,
+    /// Outage start, seconds into the run.
+    pub from_s: f64,
+    /// Outage end, seconds into the run.
+    pub to_s: f64,
+}
+
+/// A multi-shard serving cluster for [`simulate_cluster`]: `nodes`
+/// single-server nodes, keys hashed over `shards` buckets, each bucket
+/// served by `replication` consecutive nodes (an abstraction of the
+/// router's rendezvous replica sets — the queueing behaviour only depends
+/// on the replica *count*, not which hash picked them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterScenario {
+    /// Serve nodes in the cluster.
+    pub nodes: usize,
+    /// Replicas per shard (clamped to `nodes`).
+    pub replication: usize,
+    /// Hash buckets the key space splits into.
+    pub shards: usize,
+    /// Poisson arrival rate, requests/s.
+    pub lambda: f64,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Per-request service time on any node, seconds.
+    pub service_s: f64,
+    /// At most one node outage per run (the drill's discipline: never two
+    /// nodes dark at once).
+    pub outage: Option<NodeOutage>,
+}
+
+impl ClusterScenario {
+    /// A scenario with 64 shards and no outage; set `outage` afterwards
+    /// to model a failure window.
+    pub fn new(
+        nodes: usize,
+        replication: usize,
+        lambda: f64,
+        duration_s: f64,
+        service_s: f64,
+    ) -> ClusterScenario {
+        ClusterScenario {
+            nodes,
+            replication,
+            shards: 64,
+            lambda,
+            duration_s,
+            service_s,
+            outage: None,
+        }
+    }
+}
+
+/// Result of one [`simulate_cluster`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSimReport {
+    /// Requests served by some replica.
+    pub completed: usize,
+    /// Requests that arrived while *every* replica of their shard was in
+    /// outage — the cluster-level drop the router's replication exists to
+    /// prevent.
+    pub dropped: usize,
+    /// Mean sojourn (queueing + service), seconds, over completions.
+    pub mean_sojourn_s: f64,
+    /// 95th-percentile sojourn, seconds.
+    pub p95_sojourn_s: f64,
+    /// Completions per second of simulated time.
+    pub throughput_ips: f64,
+    /// Completions served by each node.
+    pub per_node_served: Vec<usize>,
+}
+
+/// Simulates Poisson arrivals against a sharded, replicated cluster:
+/// each arrival hashes to a shard, and the least-backlogged *available*
+/// replica serves it FIFO; if every replica is in outage the request is
+/// dropped.
+///
+/// This is the model that justifies `fluid-router`'s defaults: at
+/// `replication = 1` any node outage drops every request of that node's
+/// shards for the whole window, while `replication = 2` rides through a
+/// single-node outage with zero drops and only a latency bump — which is
+/// why 2 is the default and the chaos drill's kill discipline is
+/// one-node-at-a-time (see `one_replica_drops_two_replicas_ride_through`
+/// in this module's tests).
+///
+/// # Panics
+///
+/// Panics if `nodes`, `replication`, `shards`, `lambda`, `duration_s`,
+/// or `service_s` is zero/non-positive.
+pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimReport {
+    assert!(scenario.nodes > 0, "cluster needs at least one node");
+    assert!(scenario.replication > 0, "replication must be >= 1");
+    assert!(scenario.shards > 0, "cluster needs at least one shard");
+    assert!(scenario.lambda > 0.0, "non-positive arrival rate");
+    assert!(scenario.duration_s > 0.0, "non-positive duration");
+    assert!(scenario.service_s > 0.0, "non-positive service time");
+    let replication = scenario.replication.min(scenario.nodes);
+    let down = |node: usize, t: f64| match scenario.outage {
+        Some(o) => node == o.node && t >= o.from_s && t < o.to_s,
+        None => false,
+    };
+
+    let mut rng = Prng::new(seed);
+    let mut busy_until = vec![0.0f64; scenario.nodes];
+    let mut per_node_served = vec![0usize; scenario.nodes];
+    let mut sojourns = SampleWindow::new();
+    let mut dropped = 0usize;
+    let mut t = 0.0f64;
+    loop {
+        t += -(1.0 - rng.next_f64()).ln() / scenario.lambda;
+        if t > scenario.duration_s {
+            break;
+        }
+        let shard = rng.below(scenario.shards);
+        // Replica set: `replication` consecutive nodes starting at the
+        // shard's primary. Which nodes they are doesn't matter to the
+        // queueing; that they are distinct and fixed per shard does.
+        let primary = shard % scenario.nodes;
+        let chosen = (0..replication)
+            .map(|j| (primary + j) % scenario.nodes)
+            .filter(|&node| !down(node, t))
+            .min_by(|&a, &b| busy_until[a].total_cmp(&busy_until[b]));
+        match chosen {
+            None => dropped += 1,
+            Some(node) => {
+                let start = t.max(busy_until[node]);
+                let done = start + scenario.service_s;
+                busy_until[node] = done;
+                per_node_served[node] += 1;
+                sojourns.push(done - t);
+            }
+        }
+    }
+
+    let completed = sojourns.len();
+    let last_done = busy_until.iter().copied().fold(t, f64::max);
+    ClusterSimReport {
+        completed,
+        dropped,
+        mean_sojourn_s: sojourns.mean(),
+        p95_sojourn_s: sojourns.percentile(0.95),
+        throughput_ips: if last_done > 0.0 {
+            completed as f64 / last_done
+        } else {
+            0.0
+        },
+        per_node_served,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +563,77 @@ mod tests {
         w.clear();
         assert_eq!(w.percentile(0.95), 0.0);
         assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn one_replica_drops_two_replicas_ride_through() {
+        // The replication-default justification: a 20 s single-node outage
+        // at replication 1 drops every arrival of that node's shards, while
+        // replication 2 serves all of them — same arrivals, same seed.
+        let outage = NodeOutage {
+            node: 1,
+            from_s: 20.0,
+            to_s: 40.0,
+        };
+        let mut r1 = ClusterScenario::new(3, 1, 60.0, 60.0, 0.01);
+        r1.outage = Some(outage);
+        let mut r2 = ClusterScenario::new(3, 2, 60.0, 60.0, 0.01);
+        r2.outage = Some(outage);
+        let seed = 5;
+        let rep1 = simulate_cluster(&r1, seed);
+        let rep2 = simulate_cluster(&r2, seed);
+        assert!(
+            rep1.dropped > 200,
+            "a third of 20 s × 60 req/s should drop, saw {}",
+            rep1.dropped
+        );
+        assert_eq!(rep2.dropped, 0, "replication 2 must ride out one outage");
+        assert_eq!(rep2.completed, rep1.completed + rep1.dropped);
+    }
+
+    #[test]
+    fn replicas_spread_load_and_absorb_the_outage_window() {
+        let outage = NodeOutage {
+            node: 0,
+            from_s: 10.0,
+            to_s: 20.0,
+        };
+        let mut sc = ClusterScenario::new(3, 2, 90.0, 30.0, 0.005);
+        sc.outage = Some(outage);
+        let rep = simulate_cluster(&sc, 11);
+        assert_eq!(rep.dropped, 0);
+        assert_eq!(rep.per_node_served.len(), 3);
+        assert!(rep.per_node_served.iter().all(|&n| n > 0));
+        // The downed node serves the least; its peers absorbed its window.
+        let min = rep.per_node_served.iter().min().copied().unwrap_or(0);
+        assert_eq!(rep.per_node_served[0], min);
+        assert!(rep.throughput_ips > 80.0, "{}", rep.throughput_ips);
+    }
+
+    #[test]
+    fn cluster_sim_is_deterministic_given_seed() {
+        let sc = ClusterScenario::new(4, 2, 50.0, 20.0, 0.01);
+        assert_eq!(simulate_cluster(&sc, 3), simulate_cluster(&sc, 3));
+    }
+
+    #[test]
+    fn stable_cluster_keeps_sojourns_near_service_time() {
+        // Far under capacity, sojourn ≈ service time: queueing is rare.
+        let sc = ClusterScenario::new(3, 2, 30.0, 30.0, 0.004);
+        let rep = simulate_cluster(&sc, 8);
+        assert_eq!(rep.dropped, 0);
+        assert!(rep.mean_sojourn_s < 0.02, "{}", rep.mean_sojourn_s);
+        assert!(rep.p95_sojourn_s >= rep.mean_sojourn_s * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication must be >= 1")]
+    fn zero_replication_panics() {
+        let sc = ClusterScenario {
+            replication: 0,
+            ..ClusterScenario::new(2, 1, 10.0, 1.0, 0.01)
+        };
+        let _ = simulate_cluster(&sc, 0);
     }
 
     #[test]

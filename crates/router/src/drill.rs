@@ -1,0 +1,324 @@
+//! The cluster chaos drill: open-loop Poisson traffic against a
+//! [`LocalCluster`] while a chaos thread kills and restarts nodes and
+//! rolls a hot swap across the cluster — with every accepted answer
+//! checked bit-identically against a single-node oracle.
+//!
+//! The drill's contract is the cluster tier's contract:
+//!
+//! * **Zero admitted requests dropped** — a request the router admits is
+//!   either answered with logits or (under pathological overlap of
+//!   failures) refused *explicitly*; the drill counts those downstream
+//!   refusals separately so a passing run can require exactly zero.
+//! * **Bit-identical logits** — replication, retry, restart, and the
+//!   rolling swap must never change an answer: every completion is
+//!   compared `allclose(·, 0.0)` against `forward_subnet` on an oracle
+//!   copy of the model.
+//! * **Disruptions are sequential** — with `replication = 2` the cluster
+//!   tolerates one unavailable node at a time, so kill/restart cycles
+//!   finish before the rolling swap begins (a real operator would hold a
+//!   rollout during an incident, too).
+
+use crate::node::LocalCluster;
+use crate::router::{RouterConfig, RouterMetrics};
+use fluid_models::{ConvNet, SubnetSpec};
+use fluid_serve::loadgen::{run_open_loop_indexed, LoadgenReport};
+use fluid_serve::{ServeConfig, ServeError};
+use fluid_tensor::{Prng, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Shape of one chaos drill run.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DrillConfig {
+    /// Serve nodes to boot.
+    pub nodes: usize,
+    /// Engine workers per node.
+    pub workers_per_node: usize,
+    /// Replicas per shard (must be ≥ 2 for the drill to survive a kill).
+    pub replication: usize,
+    /// Poisson arrival rate, requests/s.
+    pub lambda: f64,
+    /// Total arrivals to generate.
+    pub requests: usize,
+    /// Concurrent submitter threads draining the arrival process.
+    pub concurrency: usize,
+    /// Kill → restart cycles the chaos thread performs (round-robin over
+    /// the nodes) before the rolling swap.
+    pub kill_cycles: usize,
+    /// Pause between chaos actions (also the warmup before the first
+    /// kill).
+    pub kill_pause: Duration,
+    /// Whether to finish the drill with one rolling hot swap across the
+    /// cluster (same weights — a rolling "rebuild", so answers stay
+    /// bit-identical).
+    pub rolling_swap: bool,
+    /// Seed for inputs and the arrival process.
+    pub seed: u64,
+    /// Per-node serving configuration.
+    pub serve: ServeConfig,
+}
+
+impl Default for DrillConfig {
+    fn default() -> DrillConfig {
+        DrillConfig {
+            nodes: 3,
+            workers_per_node: 1,
+            replication: 2,
+            lambda: 150.0,
+            requests: 300,
+            concurrency: 16,
+            kill_cycles: 1,
+            kill_pause: Duration::from_millis(150),
+            rolling_swap: true,
+            seed: 42,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// What one drill run did and observed.
+#[derive(Debug, Clone)]
+pub struct DrillReport {
+    /// The traffic ledger: submitted / completed / shed / failed.
+    pub loadgen: LoadgenReport,
+    /// Completions whose logits differed from the oracle (must be 0).
+    pub mismatched: usize,
+    /// Requests admitted by the router but then refused — every error
+    /// other than admission-control [`ServeError::Overloaded`] (must be 0
+    /// for a passing drill).
+    pub rejected_downstream: usize,
+    /// Nodes the chaos thread killed.
+    pub kills: usize,
+    /// Nodes the chaos thread restarted (fresh port, router repointed).
+    pub restarts: usize,
+    /// Nodes the rolling swap replaced in place.
+    pub swaps: usize,
+    /// Router counters and per-node status at the end of the run.
+    pub router: RouterMetrics,
+}
+
+impl DrillReport {
+    /// Whether the drill met the cluster tier's contract: every arrival
+    /// accounted for, nothing admitted was dropped or refused downstream,
+    /// and every answer matched the oracle.
+    pub fn passed(&self) -> bool {
+        self.loadgen.failed == 0
+            && self.rejected_downstream == 0
+            && self.mismatched == 0
+            && self.loadgen.completed + self.loadgen.shed == self.loadgen.submitted
+    }
+}
+
+impl std::fmt::Display for DrillReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "drill: {} | submitted {} | completed {} | shed {} | failed {} | mismatched {} | \
+             downstream rejects {}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.loadgen.submitted,
+            self.loadgen.completed,
+            self.loadgen.shed,
+            self.loadgen.failed,
+            self.mismatched,
+            self.rejected_downstream
+        )?;
+        writeln!(
+            f,
+            "chaos: kills {} | restarts {} | rolling swaps {} | achieved {:.1} req/s",
+            self.kills, self.restarts, self.swaps, self.loadgen.achieved_rps
+        )?;
+        write!(f, "{}", self.router)
+    }
+}
+
+/// Runs one chaos drill: boot, load, kill, restart, roll, verify.
+///
+/// The whole cluster lives in this process; the only network involved is
+/// loopback TCP, so the drill is deterministic enough for CI (the arrival
+/// process and inputs are seeded; thread interleaving varies, but the
+/// *contract* — zero drops, zero mismatches — must hold under every
+/// interleaving).
+///
+/// # Errors
+///
+/// Infrastructure failures only (boot, restart, or swap machinery);
+/// per-request failures are *reported*, not returned, so a failing drill
+/// comes back as a [`DrillReport`] whose [`passed`](DrillReport::passed)
+/// is false.
+///
+/// # Panics
+///
+/// If the config asks for zero nodes, a zero arrival rate, or
+/// `replication < 2` with chaos enabled (the drill would be guaranteed to
+/// drop requests, which is a configuration error, not a finding).
+pub fn run_drill(
+    net: &ConvNet,
+    spec: &SubnetSpec,
+    cfg: DrillConfig,
+) -> Result<DrillReport, ServeError> {
+    assert!(cfg.nodes >= 2, "a cluster drill needs at least 2 nodes");
+    assert!(
+        cfg.replication >= 2 || cfg.kill_cycles == 0,
+        "killing nodes at replication 1 is guaranteed data loss"
+    );
+    assert!(cfg.lambda > 0.0 && cfg.requests > 0 && cfg.concurrency > 0);
+
+    // Deterministic inputs and their single-node oracle answers.
+    let arch = net.arch();
+    let dims = [1, arch.image_channels, arch.image_side, arch.image_side];
+    let mut rng = Prng::new(cfg.seed);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|_| Tensor::from_fn(&dims, |_| rng.next_f32()))
+        .collect();
+    let mut oracle = net.clone();
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| oracle.forward_subnet(x, spec, false))
+        .collect();
+
+    let router_cfg = RouterConfig {
+        replication: cfg.replication,
+        connect_timeout: Duration::from_millis(250),
+        request_timeout: Duration::from_secs(5),
+        probe_backoff: Duration::from_millis(50),
+        ..RouterConfig::default()
+    };
+    let mut cluster = LocalCluster::boot(
+        net,
+        spec,
+        cfg.nodes,
+        cfg.workers_per_node,
+        cfg.serve.clone(),
+        router_cfg,
+    )?;
+    let router = cluster.router().clone();
+
+    let mismatched = AtomicUsize::new(0);
+    let rejected_downstream = AtomicUsize::new(0);
+
+    let (loadgen, chaos) = std::thread::scope(|scope| {
+        // Chaos owns the cluster; traffic goes through the shared router.
+        let chaos = scope.spawn(|| -> Result<(usize, usize, usize), ServeError> {
+            let (mut kills, mut restarts, mut swaps) = (0, 0, 0);
+            std::thread::sleep(cfg.kill_pause); // let traffic build up
+            for cycle in 0..cfg.kill_cycles {
+                let victim = cycle % cfg.nodes;
+                cluster.kill_node(victim);
+                kills += 1;
+                std::thread::sleep(cfg.kill_pause);
+                cluster.restart_node(victim)?;
+                restarts += 1;
+                std::thread::sleep(cfg.kill_pause);
+            }
+            if cfg.rolling_swap {
+                // Same weights: a rolling rebuild. Bit-identical answers
+                // stay provable while every node is replaced in place.
+                swaps = cluster.rolling_swap(
+                    net,
+                    spec,
+                    Duration::from_secs(10),
+                    Duration::from_secs(10),
+                )?;
+            }
+            Ok((kills, restarts, swaps))
+        });
+
+        let loadgen = run_open_loop_indexed(
+            |k| {
+                let x = &inputs[k % inputs.len()];
+                match router.infer(k as u64, x) {
+                    Ok(got) => {
+                        if !got.allclose(&expected[k % expected.len()], 0.0) {
+                            mismatched.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(got)
+                    }
+                    Err(e) => {
+                        if !matches!(e, ServeError::Overloaded { .. }) {
+                            rejected_downstream.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e)
+                    }
+                }
+            },
+            cfg.concurrency,
+            cfg.lambda,
+            cfg.requests,
+            cfg.seed,
+        );
+        let chaos = chaos
+            .join()
+            .unwrap_or_else(|_| Err(ServeError::Elastic("chaos thread panicked".into())));
+        (loadgen, chaos)
+    });
+    let (kills, restarts, swaps) = chaos?;
+
+    Ok(DrillReport {
+        loadgen,
+        mismatched: mismatched.into_inner(),
+        rejected_downstream: rejected_downstream.into_inner(),
+        kills,
+        restarts,
+        swaps,
+        router: router.metrics(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::{Arch, FluidModel};
+
+    #[test]
+    fn quiet_drill_without_chaos_is_clean() {
+        // Sanity for the harness itself: no kills, no swap — nothing may
+        // be shed, refused, or mismatched.
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let spec = model.spec("combined100").expect("spec").clone();
+        let cfg = DrillConfig {
+            nodes: 2,
+            lambda: 80.0,
+            requests: 40,
+            concurrency: 8,
+            kill_cycles: 0,
+            rolling_swap: false,
+            ..DrillConfig::default()
+        };
+        let report = run_drill(model.net(), &spec, cfg).expect("drill");
+        assert!(report.passed(), "quiet drill failed:\n{report}");
+        assert_eq!(report.loadgen.completed, 40, "{report}");
+        assert_eq!(report.kills + report.restarts + report.swaps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "guaranteed data loss")]
+    fn killing_at_replication_one_is_refused() {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let spec = model.spec("combined100").expect("spec").clone();
+        let cfg = DrillConfig {
+            replication: 1,
+            ..DrillConfig::default()
+        };
+        let _ = run_drill(model.net(), &spec, cfg);
+    }
+
+    #[test]
+    fn report_display_names_the_verdict() {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let spec = model.spec("combined100").expect("spec").clone();
+        let cfg = DrillConfig {
+            nodes: 2,
+            lambda: 100.0,
+            requests: 10,
+            kill_cycles: 0,
+            rolling_swap: false,
+            ..DrillConfig::default()
+        };
+        let report = run_drill(model.net(), &spec, cfg).expect("drill");
+        let text = report.to_string();
+        assert!(text.contains("PASS") || text.contains("FAIL"));
+        assert!(text.contains("kills 0"));
+    }
+}

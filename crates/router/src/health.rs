@@ -1,0 +1,113 @@
+//! Per-node health state with exponential-backoff re-probing.
+//!
+//! The router learns about node failure passively — a connect or request
+//! fails, or a node answers with a streak of `Reject`s — and marks the
+//! node *down* for a backoff window. While down, the node is skipped by
+//! replica selection **except** when the window has elapsed: then exactly
+//! the next request is allowed through as a probe. A successful probe
+//! resets the node to *up*; a failed one doubles the backoff (capped), so
+//! a flapping node converges to being asked about rarely rather than
+//! hammered.
+
+use std::time::{Duration, Instant};
+
+/// Health of one serve node, as observed by the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally.
+    Up,
+    /// Marked down; skipped until `until`, then eligible for one probe.
+    Down {
+        /// When the node becomes due for a re-probe.
+        until: Instant,
+        /// The backoff that produced `until`; doubles on repeated failure.
+        backoff: Duration,
+    },
+}
+
+impl HealthState {
+    /// Whether the node is currently considered serving.
+    pub fn is_up(&self) -> bool {
+        matches!(self, HealthState::Up)
+    }
+
+    /// Whether a down node's backoff window has elapsed, making it
+    /// eligible for a probe request. Always `false` while up.
+    pub fn due_for_probe(&self, now: Instant) -> bool {
+        match self {
+            HealthState::Up => false,
+            HealthState::Down { until, .. } => now >= *until,
+        }
+    }
+
+    /// Records a failure: an up node goes down for `initial`; an already
+    /// down node doubles its backoff, capped at `max`.
+    pub fn mark_down(&mut self, initial: Duration, max: Duration, now: Instant) {
+        let backoff = match *self {
+            HealthState::Up => initial,
+            HealthState::Down { backoff, .. } => (backoff * 2).min(max),
+        };
+        *self = HealthState::Down {
+            until: now + backoff,
+            backoff,
+        };
+    }
+
+    /// Records a success: the node is up and any backoff history is
+    /// forgotten.
+    pub fn mark_up(&mut self) {
+        *self = HealthState::Up;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INITIAL: Duration = Duration::from_millis(100);
+    const MAX: Duration = Duration::from_millis(800);
+
+    #[test]
+    fn up_is_neither_down_nor_probing() {
+        let state = HealthState::Up;
+        assert!(state.is_up());
+        assert!(!state.due_for_probe(Instant::now()));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let now = Instant::now();
+        let mut state = HealthState::Up;
+        let mut expected = [100u64, 200, 400, 800, 800].into_iter();
+        for ms in expected.by_ref() {
+            state.mark_down(INITIAL, MAX, now);
+            match state {
+                HealthState::Down { backoff, until } => {
+                    assert_eq!(backoff, Duration::from_millis(ms));
+                    assert_eq!(until, now + backoff);
+                }
+                HealthState::Up => unreachable!("mark_down left the node up"),
+            }
+        }
+    }
+
+    #[test]
+    fn probe_due_after_window_then_reset_on_success() {
+        let now = Instant::now();
+        let mut state = HealthState::Up;
+        state.mark_down(INITIAL, MAX, now);
+        assert!(!state.due_for_probe(now));
+        assert!(state.due_for_probe(now + INITIAL));
+        state.mark_up();
+        assert!(state.is_up());
+        // Backoff history is forgotten: next failure starts at INITIAL.
+        state.mark_down(INITIAL, MAX, now);
+        assert_eq!(
+            state,
+            HealthState::Down {
+                until: now + INITIAL,
+                backoff: INITIAL
+            }
+        );
+    }
+}

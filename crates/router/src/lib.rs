@@ -1,0 +1,53 @@
+//! # fluid-router
+//!
+//! The cluster tier: a sharding, replicating TCP front-end over N
+//! independent `fluid-serve` nodes. One serving instance scales to one
+//! machine's workers; this crate is what turns a *set* of those instances
+//! into a single endpoint that survives node death, sheds overload
+//! explicitly, and rolls model upgrades through the fleet without
+//! dropping a request (the cluster-scale face of the paper's
+//! failure-resilience story; details in the "Cluster tier" section of
+//! `docs/SERVING.md` and the router data path in `docs/ARCHITECTURE.md`).
+//!
+//! ```text
+//! client ─▶ route_tcp ─▶ Router::infer ─▶ admission cap ─▶ shard = hash(key)
+//!                                           │ sheds            │
+//!                                           ▼                  ▼ replicas (HRW)
+//!                                        Reject       least-loaded up node
+//!                                                     │ retry next on failure
+//!                                                     ▼
+//!                                              node TCP endpoint (serve_tcp)
+//! ```
+//!
+//! * **Deterministic sharding** ([`ShardMap`]): rendezvous hashing maps
+//!   each key to a shard and each shard to a replica set; rebuilding the
+//!   map reproduces it exactly, and membership changes remap only the
+//!   affected shards.
+//! * **Passive health + probing** ([`HealthState`]): failures observed on
+//!   live traffic mark a node down with an exponentially backed-off probe
+//!   window; one request per elapsed window re-tests it.
+//! * **Cluster-wide admission** ([`RouterConfig::admit_per_node`]): the
+//!   router sheds with an explicit verdict *before* node queues overflow,
+//!   scaled to the live node count.
+//! * **Rolling swap** ([`LocalCluster::rolling_swap`]): cordon → drain →
+//!   in-place [`hot_swap`](fluid_serve::ElasticHandle::hot_swap) →
+//!   uncordon, one node at a time; with replication ≥ 2 every shard keeps
+//!   a serving replica throughout.
+//! * **Chaos drill** ([`run_drill`]): Poisson load against a live local
+//!   cluster while nodes are killed, restarted, and rolled — every answer
+//!   checked bit-identically against a single-node oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drill;
+mod health;
+mod node;
+mod ring;
+mod router;
+
+pub use drill::{run_drill, DrillConfig, DrillReport};
+pub use health::HealthState;
+pub use node::{LocalCluster, ServeNode};
+pub use ring::ShardMap;
+pub use router::{route_tcp, NodeStatus, Router, RouterConfig, RouterMetrics};

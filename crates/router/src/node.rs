@@ -1,0 +1,488 @@
+//! In-process serve nodes and the local cluster harness.
+//!
+//! A [`ServeNode`] is one complete serving instance — batching server,
+//! engine workers, TCP front-end — bound to its own loopback port, with a
+//! kill/restart lifecycle: exactly the unit the router shards over and
+//! the chaos drill kills. [`LocalCluster`] boots N of them behind one
+//! [`Router`] and adds the cluster-level orchestration the single-node
+//! layer cannot express: address re-registration on restart and the
+//! shard-by-shard rolling hot swap.
+//!
+//! A restarted node binds a *fresh* ephemeral port rather than re-binding
+//! its old one (the old socket may linger in `TIME_WAIT`); the router is
+//! repointed via [`Router::update_addr`], which is exactly what a real
+//! deployment's service discovery would do.
+
+use crate::router::{Router, RouterConfig};
+use fluid_models::{ConvNet, SubnetSpec};
+use fluid_serve::{
+    serve_tcp, Backend, ElasticHandle, EngineBackend, ServeConfig, ServeError, Server,
+};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The live half of a [`ServeNode`]; absent while the node is killed.
+struct Running {
+    server: Server,
+    shutdown: Arc<AtomicBool>,
+    front: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// One serving instance with its own TCP endpoint and a kill/restart
+/// lifecycle: batching server, engine workers, TCP front-end, bound to
+/// its own loopback port — the unit the router shards over and the
+/// chaos drill kills.
+pub struct ServeNode {
+    id: String,
+    addr: String,
+    net: ConvNet,
+    spec: SubnetSpec,
+    workers: usize,
+    cfg: ServeConfig,
+    /// Monotonic swap generation, so replacement worker names stay unique
+    /// across repeated hot swaps.
+    swaps: usize,
+    running: Option<Running>,
+}
+
+impl ServeNode {
+    /// Builds the node's worker backends for the current model.
+    fn backends(&self, name_tag: &str) -> Vec<Box<dyn Backend>> {
+        (0..self.workers)
+            .map(|w| {
+                Box::new(EngineBackend::new(
+                    &format!("{}-{name_tag}{w}", self.id),
+                    self.net.clone(),
+                    self.spec.clone(),
+                )) as Box<dyn Backend>
+            })
+            .collect()
+    }
+
+    /// Starts a node named `id` with `workers` engine workers serving
+    /// `net`/`spec`, listening on a fresh loopback port.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the listener cannot bind;
+    /// server-start failures pass through.
+    pub fn spawn(
+        id: &str,
+        net: &ConvNet,
+        spec: &SubnetSpec,
+        workers: usize,
+        cfg: ServeConfig,
+    ) -> Result<ServeNode, ServeError> {
+        let mut node = ServeNode {
+            id: id.to_string(),
+            addr: String::new(),
+            net: net.clone(),
+            spec: spec.clone(),
+            workers,
+            cfg,
+            swaps: 0,
+            running: None,
+        };
+        node.boot()?;
+        Ok(node)
+    }
+
+    /// Brings the node up on a fresh ephemeral port.
+    fn boot(&mut self) -> Result<(), ServeError> {
+        let server = Server::start(self.cfg.clone(), self.backends("w"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ServeError::Transport(format!("bind {}: {e}", self.id)))?;
+        self.addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Transport(e.to_string()))?
+            .to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let front = {
+            let (handle, shutdown) = (server.handle(), Arc::clone(&shutdown));
+            std::thread::spawn(move || serve_tcp(listener, handle, shutdown))
+        };
+        self.running = Some(Running {
+            server,
+            shutdown,
+            front,
+        });
+        Ok(())
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The node's current `host:port` (changes across restarts).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the node is currently serving.
+    pub fn is_up(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// The running server's elastic pool handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] while the node is killed.
+    pub fn elastic(&self) -> Result<ElasticHandle, ServeError> {
+        match &self.running {
+            Some(running) => Ok(running.server.elastic()),
+            None => Err(ServeError::Elastic(format!("node {} is down", self.id))),
+        }
+    }
+
+    /// Tears the node down abruptly: the front-end stops, open
+    /// connections die, queued requests drain with errors. Idempotent.
+    pub fn kill(&mut self) {
+        if let Some(running) = self.running.take() {
+            running.shutdown.store(true, Ordering::SeqCst);
+            let _ = running.front.join();
+            let _ = running.server.shutdown();
+        }
+    }
+
+    /// Boots the node again (killing it first if it is still up) on a
+    /// *new* ephemeral port, with the node's current model.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`spawn`](ServeNode::spawn).
+    pub fn restart(&mut self) -> Result<(), ServeError> {
+        self.kill();
+        self.boot()
+    }
+
+    /// Replaces this node's model in place via the elastic pool's
+    /// batch-boundary-atomic [`ElasticHandle::hot_swap`]: zero dropped
+    /// requests, node stays on its port. The stored model is updated so a
+    /// later restart comes back with the *new* weights.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] while the node is killed or when the swap
+    /// itself fails (e.g. old workers did not drain within
+    /// `retire_timeout`).
+    pub fn hot_swap(
+        &mut self,
+        net: &ConvNet,
+        spec: &SubnetSpec,
+        retire_timeout: Duration,
+    ) -> Result<(), ServeError> {
+        let elastic = self.elastic()?;
+        self.net = net.clone();
+        self.spec = spec.clone();
+        self.swaps += 1;
+        let tag = format!("swap{}-w", self.swaps);
+        elastic.hot_swap(self.backends(&tag), retire_timeout)?;
+        Ok(())
+    }
+}
+
+impl Drop for ServeNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl std::fmt::Debug for ServeNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeNode")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("up", &self.is_up())
+            .finish_non_exhaustive()
+    }
+}
+
+/// N in-process [`ServeNode`]s behind one [`Router`]: the harness the
+/// chaos drill and the cluster tests run against, and the reference shape
+/// for wiring real nodes to a router.
+pub struct LocalCluster {
+    nodes: Vec<ServeNode>,
+    router: Router,
+}
+
+impl LocalCluster {
+    /// Boots `n` nodes (`node-0` … `node-{n-1}`, `workers_per_node`
+    /// engine workers each) and a router over them.
+    ///
+    /// # Errors
+    ///
+    /// Any node spawn failure aborts the boot (already-started nodes are
+    /// dropped, which kills them).
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero (the router refuses an empty membership).
+    pub fn boot(
+        net: &ConvNet,
+        spec: &SubnetSpec,
+        n: usize,
+        workers_per_node: usize,
+        serve_cfg: ServeConfig,
+        router_cfg: RouterConfig,
+    ) -> Result<LocalCluster, ServeError> {
+        let nodes = (0..n)
+            .map(|i| {
+                ServeNode::spawn(
+                    &format!("node-{i}"),
+                    net,
+                    spec,
+                    workers_per_node,
+                    serve_cfg.clone(),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let membership = nodes
+            .iter()
+            .map(|node| (node.id().to_string(), node.addr().to_string()))
+            .collect();
+        let router = Router::new(router_cfg, membership);
+        Ok(LocalCluster { nodes, router })
+    }
+
+    /// The shared router (cheap clone; see [`Router`]).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Number of nodes in the membership (up or down).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true after a successful
+    /// [`boot`](LocalCluster::boot)).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node at `index`.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn node(&self, index: usize) -> &ServeNode {
+        &self.nodes[index]
+    }
+
+    /// Abruptly kills node `index` (the router finds out the hard way, on
+    /// the next request that dials it).
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn kill_node(&mut self, index: usize) {
+        self.nodes[index].kill();
+    }
+
+    /// Restarts node `index` on a fresh port and repoints the router at
+    /// it (immediately due for a probe — no backoff wait).
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures pass through; the router keeps its old address on
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn restart_node(&mut self, index: usize) -> Result<(), ServeError> {
+        self.nodes[index].restart()?;
+        self.router
+            .update_addr(&self.nodes[index].id, &self.nodes[index].addr)
+    }
+
+    /// Rolls a new model across the cluster one node at a time: cordon,
+    /// wait for the router's in-flight count on the node to reach zero,
+    /// hot-swap the node in place (its own zero-drop drain), uncordon,
+    /// next. With `replication ≥ 2` every shard keeps a serving replica
+    /// throughout, so the cluster as a whole never refuses a shard.
+    ///
+    /// Downed nodes are skipped (their next restart boots the new model
+    /// only if it was swapped into `net`/`spec` storage first — callers
+    /// restart, then swap). Returns the number of nodes swapped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] when a node's router-side in-flight count
+    /// does not drain within `drain_timeout`, or when the node's own hot
+    /// swap fails. The node is uncordoned either way — a failed swap must
+    /// not leave the cluster smaller.
+    pub fn rolling_swap(
+        &mut self,
+        net: &ConvNet,
+        spec: &SubnetSpec,
+        drain_timeout: Duration,
+        retire_timeout: Duration,
+    ) -> Result<usize, ServeError> {
+        let mut swapped = 0;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].is_up() {
+                continue;
+            }
+            let id = self.nodes[i].id().to_string();
+            self.router.cordon(&id)?;
+            let drained = {
+                let deadline = Instant::now() + drain_timeout;
+                loop {
+                    if self.router.node_in_flight(&id)? == 0 {
+                        break true;
+                    }
+                    if Instant::now() >= deadline {
+                        break false;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            };
+            let result = if drained {
+                self.nodes[i].hot_swap(net, spec, retire_timeout)
+            } else {
+                Err(ServeError::Elastic(format!(
+                    "node {id} did not drain within {drain_timeout:?}"
+                )))
+            };
+            self.router.uncordon(&id)?;
+            result?;
+            swapped += 1;
+        }
+        Ok(swapped)
+    }
+}
+
+impl std::fmt::Debug for LocalCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalCluster")
+            .field("nodes", &self.nodes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::{Arch, FluidModel};
+    use fluid_serve::TcpClient;
+    use fluid_tensor::{Prng, Tensor};
+
+    fn model() -> (ConvNet, SubnetSpec) {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(11));
+        let spec = model.spec("combined100").expect("spec").clone();
+        (model.net().clone(), spec)
+    }
+
+    fn fast_router_cfg() -> RouterConfig {
+        RouterConfig {
+            connect_timeout: Duration::from_millis(300),
+            request_timeout: Duration::from_secs(5),
+            probe_backoff: Duration::from_millis(50),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn node_restart_moves_ports_and_keeps_serving() {
+        let (net, spec) = model();
+        let mut node =
+            ServeNode::spawn("solo", &net, &spec, 1, ServeConfig::default()).expect("spawn");
+        let first_addr = node.addr().to_string();
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 5) as f32 / 5.0);
+        let mut client = TcpClient::connect(&first_addr).expect("connect");
+        let before = client.infer(&x).expect("infer before restart");
+        node.kill();
+        assert!(!node.is_up());
+        node.kill(); // idempotent
+        node.restart().expect("restart");
+        assert!(node.is_up());
+        assert_ne!(node.addr(), first_addr, "restart must take a fresh port");
+        let mut client = TcpClient::connect(node.addr()).expect("reconnect");
+        let after = client.infer(&x).expect("infer after restart");
+        assert!(
+            before.allclose(&after, 0.0),
+            "weights changed across restart"
+        );
+    }
+
+    #[test]
+    fn cluster_routes_around_a_killed_node_and_back() {
+        let (net, spec) = model();
+        let mut cluster =
+            LocalCluster::boot(&net, &spec, 3, 1, ServeConfig::default(), fast_router_cfg())
+                .expect("boot");
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 9) as f32 / 9.0);
+        let mut oracle = net.clone();
+        let expected = oracle.forward_subnet(&x, &spec, false);
+
+        // Every key routes correctly on the healthy cluster.
+        for key in 0..16u64 {
+            let got = cluster.router().infer(key, &x).expect("healthy infer");
+            assert!(got.allclose(&expected, 0.0), "key {key} diverged");
+        }
+        // Kill one node: with replication 2 every shard keeps a replica,
+        // so every key still gets bit-identical logits (retries allowed).
+        cluster.kill_node(1);
+        for key in 0..16u64 {
+            let got = cluster.router().infer(key, &x).expect("degraded infer");
+            assert!(
+                got.allclose(&expected, 0.0),
+                "key {key} diverged while degraded"
+            );
+        }
+        // Restart: the router is repointed and the node serves again.
+        cluster.restart_node(1).expect("restart");
+        for key in 0..16u64 {
+            cluster.router().infer(key, &x).expect("recovered infer");
+        }
+        let served: u64 = cluster
+            .router()
+            .metrics()
+            .nodes
+            .iter()
+            .map(|n| n.served)
+            .sum();
+        assert_eq!(served, 48, "every request must be served by some node");
+    }
+
+    #[test]
+    fn rolling_swap_changes_the_served_model_with_zero_refusals() {
+        let (net, spec) = model();
+        let mut cluster =
+            LocalCluster::boot(&net, &spec, 3, 1, ServeConfig::default(), fast_router_cfg())
+                .expect("boot");
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 4) as f32 / 4.0);
+        let replacement = FluidModel::new(Arch::tiny_28(), &mut Prng::new(77));
+        let new_spec = replacement.spec("combined100").expect("spec").clone();
+        let mut oracle = replacement.net().clone();
+        let expected = oracle.forward_subnet(&x, &new_spec, false);
+
+        let swapped = cluster
+            .rolling_swap(
+                replacement.net(),
+                &new_spec,
+                Duration::from_secs(5),
+                Duration::from_secs(5),
+            )
+            .expect("rolling swap");
+        assert_eq!(swapped, 3);
+        for key in 0..12u64 {
+            let got = cluster.router().infer(key, &x).expect("post-swap infer");
+            assert!(
+                got.allclose(&expected, 0.0),
+                "key {key} not on the new model"
+            );
+        }
+        let m = cluster.router().metrics();
+        assert!(
+            m.nodes.iter().all(|n| !n.cordoned),
+            "swap must uncordon every node"
+        );
+    }
+}

@@ -1,0 +1,784 @@
+//! The routing core: admission control, replica selection, retry, and the
+//! TCP front-end loop.
+//!
+//! A [`Router`] owns a static node membership (ids + addresses; addresses
+//! may be updated as nodes restart) and a [`ShardMap`] built from it. Each
+//! request is admitted against a cluster-wide in-flight cap, hashed to a
+//! shard, and tried against that shard's replicas in least-loaded order;
+//! a replica that rejects or fails costs a retry on the next one, so a
+//! request admitted by the router is only refused when *every* replica of
+//! its shard has refused it. Health bookkeeping is passive (failures are
+//! observed on live traffic) with exponential-backoff probing — see
+//! [`HealthState`].
+
+use crate::health::HealthState;
+use crate::ring::ShardMap;
+use fluid_dist::{Message, TcpTransport, Transport};
+use fluid_perf::SampleWindow;
+use fluid_serve::{ServeError, TcpClient};
+use fluid_tensor::Tensor;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often the front-end accept loop and connection threads poll for
+/// shutdown (mirrors `fluid_serve::serve_tcp`).
+const POLL: Duration = Duration::from_millis(100);
+
+/// Locks a mutex, recovering the guard if a holder panicked — none of the
+/// router's guarded state can be left logically inconsistent by a panic
+/// (addresses, health enums, connection pools are each updated in one
+/// step).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Tuning knobs for a [`Router`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RouterConfig {
+    /// Replicas per shard (clamped to the node count).
+    pub replication: usize,
+    /// Number of hash buckets the key space is split into.
+    pub shards: usize,
+    /// Cluster-wide admission cap, expressed per *up* node: at most
+    /// `admit_per_node × max(up_nodes, 1)` requests in flight through the
+    /// router; everything past that is shed with
+    /// [`ServeError::Overloaded`] before any node queue sees it.
+    pub admit_per_node: usize,
+    /// Bound on TCP connection establishment to a node.
+    pub connect_timeout: Duration,
+    /// Bound on one node round trip (send request → receive reply).
+    pub request_timeout: Duration,
+    /// First mark-down window after a node failure.
+    pub probe_backoff: Duration,
+    /// Ceiling for the doubling mark-down window.
+    pub probe_backoff_max: Duration,
+    /// Consecutive `Reject`s from one node before it is marked down (the
+    /// node is alive but drowning; give it a backoff window of quiet).
+    pub reject_markdown: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            replication: 2,
+            shards: 64,
+            admit_per_node: 64,
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            probe_backoff: Duration::from_millis(100),
+            probe_backoff_max: Duration::from_millis(3200),
+            reject_markdown: 3,
+        }
+    }
+}
+
+/// Decrements a gauge when dropped, so early returns and panics cannot
+/// leak in-flight counts.
+struct Gauge<'a>(&'a AtomicUsize);
+
+impl Drop for Gauge<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Everything the router tracks about one serve node.
+struct NodeEntry {
+    id: String,
+    addr: Mutex<String>,
+    state: Mutex<HealthState>,
+    /// Operator-requested: skip for new requests (rolling swap).
+    cordoned: AtomicBool,
+    /// Requests currently being served by this node via the router.
+    in_flight: AtomicUsize,
+    /// Consecutive `Reject` verdicts; any success resets it.
+    reject_streak: AtomicUsize,
+    /// Requests this node answered with logits.
+    served: AtomicU64,
+    /// Link-level failures observed (connect/transport/timeout).
+    deaths: AtomicU64,
+    /// Idle connections, reused across requests.
+    pool: Mutex<Vec<TcpClient>>,
+}
+
+/// Why one node attempt did not produce logits.
+enum NodeFailure {
+    /// The node is alive but refused the request (shed, bad input, …).
+    Reject(String),
+    /// The link failed — connect error, dropped socket, reply timeout.
+    /// The detail is already folded into the node's health bookkeeping.
+    Link,
+}
+
+struct Inner {
+    cfg: RouterConfig,
+    map: ShardMap,
+    nodes: Vec<NodeEntry>,
+    in_flight_total: AtomicUsize,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    unroutable: AtomicU64,
+    retries: AtomicU64,
+    node_deaths: AtomicU64,
+    latencies: Mutex<SampleWindow>,
+}
+
+/// Liveness and load of one node, as seen in a [`RouterMetrics`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// The node's id.
+    pub id: String,
+    /// Current address (changes when a node restarts on a new port).
+    pub addr: String,
+    /// Whether the router currently considers the node serving.
+    pub up: bool,
+    /// Whether an operator has cordoned the node (rolling swap).
+    pub cordoned: bool,
+    /// Requests in flight to this node right now.
+    pub in_flight: usize,
+    /// Requests this node has answered with logits.
+    pub served: u64,
+    /// Link failures the router has observed on this node.
+    pub deaths: u64,
+}
+
+/// A point-in-time snapshot of the router's counters and latency window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterMetrics {
+    /// Requests admitted past the cluster-wide cap.
+    pub admitted: u64,
+    /// Admitted requests answered with logits.
+    pub completed: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Admitted requests refused after every replica was tried.
+    pub rejected: u64,
+    /// Admitted requests that found no replica to even try (all replicas
+    /// of the shard down/cordoned and not yet due for a probe).
+    pub unroutable: u64,
+    /// Extra node attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Link failures observed across all nodes.
+    pub node_deaths: u64,
+    /// Median end-to-end router latency (admission → logits), ms.
+    pub p50_ms: f64,
+    /// 95th-percentile router latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile router latency, ms.
+    pub p99_ms: f64,
+    /// Per-node status, in membership order.
+    pub nodes: Vec<NodeStatus>,
+}
+
+impl std::fmt::Display for RouterMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "router: admitted {} | completed {} | shed {} | rejected {} | unroutable {} | \
+             retries {} | node deaths {}",
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.rejected,
+            self.unroutable,
+            self.retries,
+            self.node_deaths
+        )?;
+        writeln!(
+            f,
+            "latency ms: p50 {:.2} | p95 {:.2} | p99 {:.2}",
+            self.p50_ms, self.p95_ms, self.p99_ms
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  {:<12} {:<21} {} {} in-flight {:>3} | served {:>6} | deaths {}",
+                n.id,
+                n.addr,
+                if n.up { "up  " } else { "DOWN" },
+                if n.cordoned {
+                    "[cordoned]"
+                } else {
+                    "          "
+                },
+                n.in_flight,
+                n.served,
+                n.deaths
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The sharding/replicating front-end over a set of `fluid-serve` nodes.
+///
+/// Cheap to clone (an [`Arc`] inside); clones share all state, so the TCP
+/// front-end's per-connection threads and an in-process orchestrator (the
+/// drill, `LocalCluster::rolling_swap`) observe one consistent cluster
+/// view.
+///
+/// # Example
+///
+/// Routing against a single in-process node (multi-node drills live in
+/// [`run_drill`](crate::run_drill)):
+///
+/// ```
+/// use fluid_router::{Router, RouterConfig, ServeNode};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+/// use fluid_serve::ServeConfig;
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let spec = model.spec("combined100").unwrap().clone();
+/// let mut node =
+///     ServeNode::spawn("n0", model.net(), &spec, 1, ServeConfig::default()).unwrap();
+/// let router = Router::new(
+///     RouterConfig::default(),
+///     vec![("n0".to_string(), node.addr().to_string())],
+/// );
+/// let logits = router.infer(7, &Tensor::zeros(&[1, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// assert_eq!(router.metrics().completed, 1);
+/// node.kill();
+/// ```
+#[derive(Clone)]
+pub struct Router {
+    inner: Arc<Inner>,
+}
+
+impl Router {
+    /// Builds a router over `nodes` (`(id, addr)` pairs).
+    ///
+    /// # Panics
+    ///
+    /// If `nodes` is empty, node ids repeat, or the config's shard /
+    /// replication / admission counts are zero.
+    pub fn new(cfg: RouterConfig, nodes: Vec<(String, String)>) -> Router {
+        assert!(!nodes.is_empty(), "router needs at least one node");
+        assert!(cfg.admit_per_node > 0, "admit_per_node must be >= 1");
+        let ids: Vec<String> = nodes.iter().map(|(id, _)| id.clone()).collect();
+        {
+            let mut dedup = ids.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ids.len(), "node ids must be unique");
+        }
+        let map = ShardMap::new(&ids, cfg.shards, cfg.replication);
+        let entries = nodes
+            .into_iter()
+            .map(|(id, addr)| NodeEntry {
+                id,
+                addr: Mutex::new(addr),
+                state: Mutex::new(HealthState::Up),
+                cordoned: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
+                reject_streak: AtomicUsize::new(0),
+                served: AtomicU64::new(0),
+                deaths: AtomicU64::new(0),
+                pool: Mutex::new(Vec::new()),
+            })
+            .collect();
+        Router {
+            inner: Arc::new(Inner {
+                cfg,
+                map,
+                nodes: entries,
+                in_flight_total: AtomicUsize::new(0),
+                admitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                unroutable: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                node_deaths: AtomicU64::new(0),
+                latencies: Mutex::new(SampleWindow::new()),
+            }),
+        }
+    }
+
+    /// Nodes currently considered up (neither marked down nor cordoned).
+    fn up_count(&self) -> usize {
+        self.inner
+            .nodes
+            .iter()
+            .filter(|n| !n.cordoned.load(Ordering::SeqCst) && lock(&n.state).is_up())
+            .count()
+    }
+
+    /// Routes one request: admit, hash to a shard, try that shard's
+    /// replicas least-loaded-first until one answers.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Overloaded`] — shed at admission; no node saw it.
+    /// * [`ServeError::Rejected`] — every tried replica refused; carries
+    ///   the last node's reason.
+    /// * [`ServeError::NoWorkers`] — every replica is down or cordoned and
+    ///   none was due for a probe, or every attempt failed at the link
+    ///   level.
+    pub fn infer(&self, key: u64, x: &Tensor) -> Result<Tensor, ServeError> {
+        let inner = &self.inner;
+        // Admission: the cap follows the live node count so a shrunken
+        // cluster sheds sooner; the max(1) floor keeps probe traffic
+        // flowing when everything is marked down.
+        let cap = inner.cfg.admit_per_node * self.up_count().max(1);
+        if inner
+            .in_flight_total
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < cap).then_some(cur + 1)
+            })
+            .is_err()
+        {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { queue_cap: cap });
+        }
+        let _admitted_gauge = Gauge(&inner.in_flight_total);
+        inner.admitted.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+
+        // Candidate order: up replicas by ascending in-flight, then any
+        // down replica whose backoff window has elapsed (probes last — a
+        // probe is a bet, not a preference).
+        let now = Instant::now();
+        let replicas = inner.map.replicas(inner.map.shard_of(key));
+        let mut up: Vec<usize> = Vec::with_capacity(replicas.len());
+        let mut probes: Vec<usize> = Vec::new();
+        for &i in replicas {
+            let node = &inner.nodes[i];
+            if node.cordoned.load(Ordering::SeqCst) {
+                continue;
+            }
+            let state = *lock(&node.state);
+            if state.is_up() {
+                up.push(i);
+            } else if state.due_for_probe(now) {
+                probes.push(i);
+            }
+        }
+        up.sort_by_key(|&i| inner.nodes[i].in_flight.load(Ordering::SeqCst));
+        up.extend(probes);
+        if up.is_empty() {
+            inner.unroutable.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::NoWorkers);
+        }
+
+        let mut last_reject: Option<String> = None;
+        for (attempt, &i) in up.iter().enumerate() {
+            if attempt > 0 {
+                inner.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.try_node(i, key, x) {
+                Ok(logits) => {
+                    inner.completed.fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.latencies).push(t0.elapsed().as_secs_f64() * 1e3);
+                    return Ok(logits);
+                }
+                Err(NodeFailure::Reject(reason)) => last_reject = Some(reason),
+                Err(NodeFailure::Link) => {}
+            }
+        }
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        match last_reject {
+            Some(reason) => Err(ServeError::Rejected(reason)),
+            None => Err(ServeError::NoWorkers),
+        }
+    }
+
+    /// One attempt against one node: check out (or open) a connection,
+    /// run the keyed round trip, and fold the verdict into health state.
+    fn try_node(&self, i: usize, key: u64, x: &Tensor) -> Result<Tensor, NodeFailure> {
+        let inner = &self.inner;
+        let node = &inner.nodes[i];
+        node.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _node_gauge = Gauge(&node.in_flight);
+        // Bind the pop in its own statement: a `match` on the guard
+        // expression would hold the pool lock across the whole match —
+        // including `note_link_failure`, which locks the pool again.
+        let pooled = lock(&node.pool).pop();
+        let mut client = match pooled {
+            Some(client) => client,
+            None => {
+                let addr = lock(&node.addr).clone();
+                match TcpClient::connect_timeout(&addr, inner.cfg.connect_timeout) {
+                    Ok(client) => client.with_timeout(inner.cfg.request_timeout),
+                    Err(_) => {
+                        self.note_link_failure(i);
+                        return Err(NodeFailure::Link);
+                    }
+                }
+            }
+        };
+        match client.infer_keyed(key, x) {
+            Ok(logits) => {
+                lock(&node.state).mark_up();
+                node.reject_streak.store(0, Ordering::SeqCst);
+                node.served.fetch_add(1, Ordering::Relaxed);
+                lock(&node.pool).push(client);
+                Ok(logits)
+            }
+            Err(ServeError::Rejected(reason)) => {
+                // The node is alive (it answered) but refusing. A streak of
+                // refusals earns it a quiet backoff window; the connection
+                // itself is still good.
+                let streak = node.reject_streak.fetch_add(1, Ordering::SeqCst) + 1;
+                if streak >= inner.cfg.reject_markdown {
+                    lock(&node.state).mark_down(
+                        inner.cfg.probe_backoff,
+                        inner.cfg.probe_backoff_max,
+                        Instant::now(),
+                    );
+                }
+                lock(&node.pool).push(client);
+                Err(NodeFailure::Reject(reason))
+            }
+            Err(_) => {
+                // Link-level failure: drop this connection and everything
+                // pooled for the node — they share its fate.
+                self.note_link_failure(i);
+                Err(NodeFailure::Link)
+            }
+        }
+    }
+
+    /// Marks node `i` down after a link failure and drops its pooled
+    /// connections.
+    fn note_link_failure(&self, i: usize) {
+        let node = &self.inner.nodes[i];
+        lock(&node.state).mark_down(
+            self.inner.cfg.probe_backoff,
+            self.inner.cfg.probe_backoff_max,
+            Instant::now(),
+        );
+        node.deaths.fetch_add(1, Ordering::Relaxed);
+        self.inner.node_deaths.fetch_add(1, Ordering::Relaxed);
+        lock(&node.pool).clear();
+    }
+
+    /// Index of the node named `id`.
+    fn index_of(&self, id: &str) -> Result<usize, ServeError> {
+        self.inner
+            .nodes
+            .iter()
+            .position(|n| n.id == id)
+            .ok_or_else(|| ServeError::Elastic(format!("unknown node {id}")))
+    }
+
+    /// Excludes a node from new requests (in-flight ones finish). The
+    /// rolling-swap orchestration cordons, waits for
+    /// [`node_in_flight`](Router::node_in_flight) to reach zero, swaps,
+    /// then uncordons.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] when no node has this id.
+    pub fn cordon(&self, id: &str) -> Result<(), ServeError> {
+        let i = self.index_of(id)?;
+        self.inner.nodes[i].cordoned.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Readmits a cordoned node to replica selection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] when no node has this id.
+    pub fn uncordon(&self, id: &str) -> Result<(), ServeError> {
+        let i = self.index_of(id)?;
+        self.inner.nodes[i].cordoned.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Requests currently in flight to the node named `id` via this
+    /// router.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] when no node has this id.
+    pub fn node_in_flight(&self, id: &str) -> Result<usize, ServeError> {
+        let i = self.index_of(id)?;
+        Ok(self.inner.nodes[i].in_flight.load(Ordering::SeqCst))
+    }
+
+    /// Points a node id at a new address (a restarted node binds a fresh
+    /// ephemeral port). Pooled connections to the old address are dropped
+    /// and the node is made immediately due for a probe, so the next
+    /// request to its shards re-establishes contact without waiting out a
+    /// backoff window.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] when no node has this id.
+    pub fn update_addr(&self, id: &str, addr: &str) -> Result<(), ServeError> {
+        let i = self.index_of(id)?;
+        let node = &self.inner.nodes[i];
+        *lock(&node.addr) = addr.to_string();
+        lock(&node.pool).clear();
+        *lock(&node.state) = HealthState::Down {
+            until: Instant::now(),
+            backoff: self.inner.cfg.probe_backoff,
+        };
+        Ok(())
+    }
+
+    /// Snapshots counters, the latency window, and per-node status.
+    pub fn metrics(&self) -> RouterMetrics {
+        let inner = &self.inner;
+        let mut window = lock(&inner.latencies);
+        RouterMetrics {
+            admitted: inner.admitted.load(Ordering::Relaxed),
+            completed: inner.completed.load(Ordering::Relaxed),
+            shed: inner.shed.load(Ordering::Relaxed),
+            rejected: inner.rejected.load(Ordering::Relaxed),
+            unroutable: inner.unroutable.load(Ordering::Relaxed),
+            retries: inner.retries.load(Ordering::Relaxed),
+            node_deaths: inner.node_deaths.load(Ordering::Relaxed),
+            p50_ms: window.percentile(0.50),
+            p95_ms: window.percentile(0.95),
+            p99_ms: window.percentile(0.99),
+            nodes: inner
+                .nodes
+                .iter()
+                .map(|n| NodeStatus {
+                    id: n.id.clone(),
+                    addr: lock(&n.addr).clone(),
+                    up: lock(&n.state).is_up(),
+                    cordoned: n.cordoned.load(Ordering::SeqCst),
+                    in_flight: n.in_flight.load(Ordering::SeqCst),
+                    served: n.served.load(Ordering::Relaxed),
+                    deaths: n.deaths.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("cfg", &self.inner.cfg)
+            .field("nodes", &self.inner.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serves the router over TCP until `shutdown` flips: the cluster's
+/// single client-facing endpoint, speaking the same wire dialect as a
+/// plain serve node.
+///
+/// [`Message::InferKeyed`] routes by its `shard_key`; a plain
+/// [`Message::Infer`] is accepted too, using `request_id` as the key (so
+/// existing clients work unchanged, at the cost of key affinity).
+/// Failures come back as [`Message::Reject`] with the router's verdict as
+/// the reason.
+///
+/// # Errors
+///
+/// Returns the listener's I/O error; per-connection failures only end
+/// that connection.
+pub fn route_tcp(
+    listener: TcpListener,
+    router: Router,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut connections = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let router = router.clone();
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(std::thread::spawn(move || {
+                    let _ = route_connection(stream, &router, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                connections.retain(|c: &std::thread::JoinHandle<()>| !c.is_finished());
+                std::thread::sleep(POLL)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// One front-end connection: route each request, answer `Logits` or
+/// `Reject`.
+fn route_connection(
+    stream: TcpStream,
+    router: &Router,
+    shutdown: &AtomicBool,
+) -> Result<(), ServeError> {
+    let mut transport =
+        TcpTransport::new(stream).map_err(|e| ServeError::Transport(e.to_string()))?;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (request_id, key, input) = match transport.recv_timeout(POLL) {
+            Ok(Some(Message::InferKeyed {
+                request_id,
+                shard_key,
+                input,
+            })) => (request_id, shard_key, input),
+            Ok(Some(Message::Infer { request_id, input })) => (request_id, request_id, input),
+            Ok(Some(Message::Shutdown)) => return Ok(()),
+            Ok(Some(Message::Heartbeat { seq })) => {
+                transport
+                    .send(&Message::HeartbeatAck { seq })
+                    .map_err(|e| ServeError::Transport(e.to_string()))?;
+                continue;
+            }
+            Ok(Some(_)) => continue, // not part of the routing dialogue
+            Ok(None) => continue,
+            Err(e) => return Err(ServeError::Transport(e.to_string())),
+        };
+        let reply = match router.infer(key, &input) {
+            Ok(logits) => Message::Logits { request_id, logits },
+            Err(e) => Message::Reject {
+                request_id,
+                reason: e.to_string(),
+            },
+        };
+        transport
+            .send(&reply)
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dead_nodes(n: usize) -> Vec<(String, String)> {
+        // Port 1 refuses connections immediately on loopback.
+        (0..n)
+            .map(|i| (format!("n{i}"), "127.0.0.1:1".to_string()))
+            .collect()
+    }
+
+    fn fast_cfg() -> RouterConfig {
+        RouterConfig {
+            connect_timeout: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(500),
+            probe_backoff: Duration::from_millis(50),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_replicas_dead_is_a_verdict_not_a_hang() {
+        let router = Router::new(fast_cfg(), dead_nodes(3));
+        let t0 = Instant::now();
+        let err = router
+            .infer(1, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("nothing listens");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(3));
+        let m = router.metrics();
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.completed, 0);
+        assert!(m.node_deaths >= 1, "failures must be recorded");
+    }
+
+    #[test]
+    fn downed_replicas_make_the_shard_unroutable_until_probe_time() {
+        let router = Router::new(fast_cfg(), dead_nodes(3));
+        // First request marks this shard's replicas down…
+        let _ = router.infer(1, &Tensor::zeros(&[1, 1, 28, 28]));
+        // …so an immediate retry of the same key finds no candidate at all
+        // (the backoff window has not elapsed) and fails fast.
+        let t0 = Instant::now();
+        let err = router
+            .infer(1, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("replicas are in backoff");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "did not fail fast"
+        );
+        assert_eq!(router.metrics().unroutable, 1);
+        // After the window, the same key is probed again (and fails again,
+        // but by *trying*, which is the point).
+        std::thread::sleep(Duration::from_millis(60));
+        let deaths_before = router.metrics().node_deaths;
+        let _ = router.infer(1, &Tensor::zeros(&[1, 1, 28, 28]));
+        assert!(router.metrics().node_deaths > deaths_before);
+    }
+
+    #[test]
+    fn cordoning_every_node_refuses_without_trying() {
+        let router = Router::new(fast_cfg(), dead_nodes(2));
+        router.cordon("n0").expect("cordon n0");
+        router.cordon("n1").expect("cordon n1");
+        let err = router
+            .infer(9, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("everything cordoned");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        let m = router.metrics();
+        assert_eq!(m.unroutable, 1);
+        assert_eq!(m.node_deaths, 0, "cordoned nodes must not be dialed");
+        router.uncordon("n0").expect("uncordon");
+        assert!(!router.metrics().nodes[0].cordoned);
+    }
+
+    #[test]
+    fn admission_cap_sheds_before_dialing_anyone() {
+        let mut cfg = fast_cfg();
+        cfg.admit_per_node = 1;
+        let router = Router::new(cfg, dead_nodes(1));
+        // Hold the only admission slot by parking a gauge manually.
+        router.inner.in_flight_total.fetch_add(1, Ordering::SeqCst);
+        let err = router
+            .infer(3, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("cap is full");
+        assert!(
+            matches!(err, ServeError::Overloaded { queue_cap: 1 }),
+            "{err}"
+        );
+        let m = router.metrics();
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.admitted, 0);
+        assert_eq!(m.node_deaths, 0, "shed requests must not touch nodes");
+        router.inner.in_flight_total.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn unknown_node_ids_are_elastic_errors() {
+        let router = Router::new(fast_cfg(), dead_nodes(1));
+        for result in [
+            router.cordon("ghost"),
+            router.uncordon("ghost"),
+            router.update_addr("ghost", "127.0.0.1:2"),
+            router.node_in_flight("ghost").map(|_| ()),
+        ] {
+            assert!(matches!(result, Err(ServeError::Elastic(_))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node ids must be unique")]
+    fn duplicate_node_ids_panic() {
+        let mut nodes = dead_nodes(1);
+        nodes.push(nodes[0].clone());
+        let _ = Router::new(RouterConfig::default(), nodes);
+    }
+
+    #[test]
+    fn metrics_display_mentions_every_node() {
+        let router = Router::new(fast_cfg(), dead_nodes(3));
+        let text = router.metrics().to_string();
+        for id in ["n0", "n1", "n2"] {
+            assert!(text.contains(id), "missing {id} in:\n{text}");
+        }
+        assert!(text.contains("p95"));
+    }
+}

@@ -39,7 +39,8 @@
 //!   behind the server batch-boundary-atomically with zero dropped
 //!   requests (the "Elasticity" section of `docs/SERVING.md`).
 //! * **Load generation** ([`loadgen`]): closed-loop and open-loop-Poisson
-//!   drivers over the workspace's deterministic RNG.
+//!   drivers over the workspace's deterministic RNG, including the
+//!   closure-driven open loop the cluster tier's chaos drill runs.
 //! * **Remote serving** ([`serve_tcp`], [`TcpClient`]): the existing wire
 //!   protocol (`Infer`/`Logits`) plus [`Message::Reject`] for shed
 //!   requests.

@@ -9,7 +9,11 @@
 //! * **Open loop** — requests arrive on a Poisson process at `lambda`
 //!   req/s (exponential inter-arrivals drawn from the workspace's seeded
 //!   [`Prng`]), regardless of how the server is coping — the discipline
-//!   that actually exercises backpressure and shedding.
+//!   that actually exercises backpressure and shedding. Two flavours:
+//!   [`run_open_loop`] submits tickets to an in-proc [`ServerHandle`];
+//!   [`run_open_loop_indexed`] drives any blocking submit closure from a
+//!   submitter pool — the driver the cluster chaos drill
+//!   (`fluid_router::run_drill`) runs against the sharding router.
 
 use crate::error::ServeError;
 use crate::server::ServerHandle;
@@ -249,6 +253,105 @@ pub fn run_open_loop(
     report(requests, completed, shed, failed, t0)
 }
 
+/// Open-loop run against *any* blocking submit function: arrivals come on
+/// a Poisson process at `lambda` req/s and are handed (by arrival index
+/// `0..requests`) to a pool of `concurrency` submitter threads calling
+/// `submit(k)`. This is the cluster-drill driver — the submit closure can
+/// route through a `fluid-router`, verify responses against an oracle, or
+/// anything else a [`ServerHandle`] ticket cannot express.
+///
+/// The arrival process is open-loop (the clock never waits for the
+/// server); the submitter pool only bounds client-side concurrency, so
+/// pick `concurrency` comfortably above the expected in-flight count and
+/// let the serving side's admission control be the binding constraint.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0` or `concurrency == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{loadgen, EngineBackend, ServeConfig, Server};
+/// use fluid_models::{Arch, FluidModel};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let backend = EngineBackend::new(
+///     "m0",
+///     model.net().clone(),
+///     model.spec("combined100").unwrap().clone(),
+/// );
+/// let server = Server::start(ServeConfig::default(), vec![Box::new(backend)]).unwrap();
+/// let handle = server.handle();
+/// let x = Tensor::zeros(&[1, 1, 28, 28]);
+/// let rep = loadgen::run_open_loop_indexed(|_k| handle.infer(x.clone()), 2, 300.0, 6, 42);
+/// assert_eq!(rep.submitted, 6);
+/// assert_eq!(rep.completed, 6);
+/// ```
+pub fn run_open_loop_indexed<F>(
+    submit: F,
+    concurrency: usize,
+    lambda: f64,
+    requests: usize,
+    seed: u64,
+) -> LoadgenReport
+where
+    F: Fn(usize) -> Result<Tensor, ServeError> + Sync,
+{
+    assert!(lambda > 0.0, "non-positive arrival rate");
+    assert!(concurrency > 0, "open loop needs at least one submitter");
+    let t0 = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+    let rx = std::sync::Mutex::new(rx);
+    let mut completed = 0;
+    let mut shed = 0;
+    let mut failed = 0;
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..concurrency)
+            .map(|_| {
+                scope.spawn(|| {
+                    let (mut ok, mut sh, mut fa) = (0, 0, 0);
+                    loop {
+                        // Take the lock only to pull the next arrival, not
+                        // across the (slow) submit call.
+                        let k = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                            Ok(k) => k,
+                            Err(_) => break, // arrival thread is done
+                        };
+                        classify(&submit(k), &mut ok, &mut sh, &mut fa);
+                    }
+                    (ok, sh, fa)
+                })
+            })
+            .collect();
+        // Same absolute-clock Poisson schedule as `run_open_loop`.
+        let mut rng = Prng::new(seed);
+        let mut next_arrival_s = 0.0f64;
+        for k in 0..requests {
+            next_arrival_s += -(1.0 - rng.next_f64()).ln() / lambda;
+            let due = t0 + Duration::from_secs_f64(next_arrival_s);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            if tx.send(k).is_err() {
+                break; // every submitter panicked; reconciled below
+            }
+        }
+        drop(tx);
+        for j in joins {
+            let (ok, sh, fa) = j.join().unwrap_or((0, 0, 0));
+            completed += ok;
+            shed += sh;
+            failed += fa;
+        }
+    });
+    // A panicked submitter takes its unaccounted arrivals with it: they
+    // must show up as failures, not silently shrink the report.
+    failed += requests - (completed + shed + failed).min(requests);
+    report(requests, completed, shed, failed, t0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +400,40 @@ mod tests {
         assert_eq!(rep.submitted, 12);
         assert_eq!(rep.completed + rep.shed + rep.failed, 12);
         assert_eq!(rep.failed, 0);
+    }
+
+    #[test]
+    fn indexed_open_loop_accounts_for_every_arrival() {
+        let server = tiny_server(1, ServeConfig::default());
+        let handle = server.handle();
+        let xs = inputs(3);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let rep = run_open_loop_indexed(
+            |k| {
+                seen.lock().expect("seen").push(k);
+                handle.infer(xs[k % xs.len()].clone())
+            },
+            4,
+            800.0,
+            15,
+            3,
+        );
+        assert_eq!(rep.submitted, 15);
+        assert_eq!(rep.completed + rep.shed + rep.failed, 15);
+        assert_eq!(rep.failed, 0);
+        let mut ks = seen.into_inner().expect("seen");
+        ks.sort_unstable();
+        assert_eq!(ks, (0..15).collect::<Vec<_>>(), "every index dispatched");
+    }
+
+    #[test]
+    fn indexed_open_loop_counts_a_panicked_submitter_as_failures() {
+        // One submitter thread, and it panics on the first arrival: the
+        // remaining arrivals must surface as failed, not vanish.
+        let rep = run_open_loop_indexed(|_k| panic!("boom"), 1, 5_000.0, 4, 1);
+        assert_eq!(rep.submitted, 4);
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.failed, 4, "{rep:?}");
     }
 
     /// An [`EngineBackend`] that also sleeps per batch — a stand-in for a

@@ -109,7 +109,14 @@ fn serve_connection(
             return Ok(());
         }
         match transport.recv_timeout(POLL) {
-            Ok(Some(Message::Infer { request_id, input })) => {
+            // A leaf node treats a keyed request exactly like a plain one:
+            // the shard key has already done its routing upstream.
+            Ok(Some(
+                Message::Infer { request_id, input }
+                | Message::InferKeyed {
+                    request_id, input, ..
+                },
+            )) => {
                 let reply = match handle.infer(input) {
                     Ok(logits) => Message::Logits { request_id, logits },
                     Err(e) => Message::Reject {
@@ -164,6 +171,31 @@ impl TcpClient {
     /// Returns [`ServeError::Transport`] when the connection fails.
     pub fn connect(addr: &str) -> Result<TcpClient, ServeError> {
         let stream = TcpStream::connect(addr).map_err(|e| ServeError::Transport(e.to_string()))?;
+        TcpClient::from_stream(stream)
+    }
+
+    /// Connects with a bound on the connect itself: a black-holed address
+    /// fails within `timeout` instead of hanging on the OS connect timeout
+    /// (minutes on most systems). This is what the router's health probes
+    /// use — a dead node must cost a bounded amount of time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Transport`] when `addr` does not resolve or
+    /// the connection is not established within `timeout`.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<TcpClient, ServeError> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Transport(format!("resolve {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| ServeError::Transport(format!("{addr} resolves to nothing")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
+            .map_err(|e| ServeError::Transport(format!("connect {addr}: {e}")))?;
+        TcpClient::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<TcpClient, ServeError> {
         Ok(TcpClient {
             transport: TcpTransport::new(stream)
                 .map_err(|e| ServeError::Transport(e.to_string()))?,
@@ -188,11 +220,36 @@ impl TcpClient {
     pub fn infer(&mut self, x: &Tensor) -> Result<Tensor, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
+        self.round_trip(Message::Infer {
+            request_id: id,
+            input: x.clone(),
+        })
+    }
+
+    /// Like [`infer`](TcpClient::infer), but carries an explicit routing
+    /// key ([`Message::InferKeyed`]): against a `fluid-router` front-end,
+    /// equal keys land on the same shard; a plain serve node answers it
+    /// identically to `infer`.
+    ///
+    /// # Errors
+    ///
+    /// Same verdicts as [`infer`](TcpClient::infer).
+    pub fn infer_keyed(&mut self, shard_key: u64, x: &Tensor) -> Result<Tensor, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.round_trip(Message::InferKeyed {
+            request_id: id,
+            shard_key,
+            input: x.clone(),
+        })
+    }
+
+    /// Sends one request message and awaits its reply under the client's
+    /// deadline. `msg` must carry `self.next_id - 1` as its request id.
+    fn round_trip(&mut self, msg: Message) -> Result<Tensor, ServeError> {
+        let id = self.next_id - 1;
         self.transport
-            .send(&Message::Infer {
-                request_id: id,
-                input: x.clone(),
-            })
+            .send(&msg)
             .map_err(|e| ServeError::Transport(e.to_string()))?;
         let deadline = Instant::now() + self.timeout;
         loop {
@@ -266,6 +323,59 @@ mod tests {
         assert!(remote.allclose(&local, 0.0));
         shutdown.store(true, Ordering::SeqCst);
         front.join().expect("front").expect("io");
+    }
+
+    #[test]
+    fn keyed_infer_round_trips_on_a_plain_node() {
+        // A leaf serve node answers InferKeyed exactly like Infer.
+        let (server, addr, shutdown, front) = boot(ServeConfig::default());
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 13) as f32 / 13.0);
+        let mut client = TcpClient::connect(&addr.to_string()).expect("connect");
+        let keyed = client.infer_keyed(0xFEED, &x).expect("keyed infer");
+        let plain = server.handle().infer(x).expect("inproc infer");
+        assert!(keyed.allclose(&plain, 0.0));
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+
+    #[test]
+    fn connect_timeout_fails_fast_on_a_dead_port() {
+        let t0 = Instant::now();
+        let err = TcpClient::connect_timeout("127.0.0.1:1", Duration::from_millis(250))
+            .expect_err("nothing listens there");
+        assert!(matches!(err, ServeError::Transport(_)), "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(5), "connect hung");
+    }
+
+    #[test]
+    fn silent_server_after_accept_is_a_deadline_not_a_hang() {
+        // A node that accepts the connection and then dies (or wedges)
+        // without ever replying must cost the caller exactly its reply
+        // timeout, not an unbounded wait.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            // Hold the socket open, replying to nothing, until released.
+            let _ = release_rx.recv_timeout(Duration::from_secs(30));
+            drop(stream);
+        });
+        let mut client = TcpClient::connect_timeout(&addr.to_string(), Duration::from_secs(2))
+            .expect("connect")
+            .with_timeout(Duration::from_millis(200));
+        let t0 = Instant::now();
+        let err = client
+            .infer(&Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("no reply is coming");
+        assert!(matches!(err, ServeError::Transport(_)), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline did not bound the silent-server wait: {:?}",
+            t0.elapsed()
+        );
+        release_tx.send(()).expect("release holder");
+        holder.join().expect("holder thread");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Live failure-matrix test: run a real master/worker pair per model
 //! family, inject failures, and verify the survivors — the executable
-//! version of the paper's Fig. 1(b,c).
+//! version of the paper's Fig. 1(b,c) — plus the router tier's rows:
+//! dead node at connect, node dying mid-request, rejecting node, and a
+//! shard with every replica down. Each must end in a *fast, explicit*
+//! verdict, never a hang.
 
 use fluid_dist::{extract_branch_weights, InProcTransport, Master, MasterConfig, Worker};
 use fluid_integration_tests::quick_trained_fluid;
@@ -160,4 +163,166 @@ fn static_split_halves_are_not_functions() {
         full_out.max_abs_diff(&degraded) > 1e-3,
         "static half unexpectedly equals the full model"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Router tier: the cluster's failure matrix. These rows use fake TCP nodes
+// with scripted misbehaviour, so each failure mode is exercised in
+// isolation rather than hoping chaos produces it.
+
+mod router_rows {
+    use fluid_dist::{Message, TcpTransport, Transport};
+    use fluid_router::{Router, RouterConfig};
+    use fluid_serve::ServeError;
+    use fluid_tensor::Tensor;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    fn x() -> Tensor {
+        Tensor::from_fn(&[1, 1, 28, 28], |i| ((i * 7 % 31) as f32) / 31.0)
+    }
+
+    /// A router config whose timeouts keep every negative case fast.
+    fn fast_cfg() -> RouterConfig {
+        // `RouterConfig` is `#[non_exhaustive]`, hence mutation.
+        let mut cfg = RouterConfig::default();
+        cfg.connect_timeout = Duration::from_millis(250);
+        cfg.request_timeout = Duration::from_secs(1);
+        cfg.probe_backoff = Duration::from_millis(200);
+        cfg
+    }
+
+    /// An address that refuses connections: bind an ephemeral port, note
+    /// it, and close the listener again.
+    fn refused_addr() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr").to_string()
+    }
+
+    /// One fake node: accepts a single connection and hands its transport
+    /// to `behavior`.
+    fn fake_node<F>(behavior: F) -> (String, std::thread::JoinHandle<()>)
+    where
+        F: FnOnce(TcpTransport) + Send + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                if let Ok(transport) = TcpTransport::new(stream) {
+                    behavior(transport);
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn dead_node_at_connect_is_a_fast_clean_verdict() {
+        let router = Router::new(fast_cfg(), vec![("corpse".into(), refused_addr())]);
+        let t0 = Instant::now();
+        let err = router.infer(1, &x()).expect_err("nothing listens there");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "dead-at-connect took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(router.metrics().node_deaths, 1);
+    }
+
+    #[test]
+    fn node_dying_between_infer_and_logits_is_reported_not_hung() {
+        // The node accepts, reads exactly one request, and drops the
+        // connection without answering — the worst-timed crash.
+        let (addr, node) = fake_node(|mut transport| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < deadline {
+                match transport.recv_timeout(Duration::from_millis(100)) {
+                    Ok(Some(_)) => return, // read the request, die on the spot
+                    Ok(None) => continue,
+                    Err(_) => return,
+                }
+            }
+        });
+        let router = Router::new(fast_cfg(), vec![("flaky".into(), addr)]);
+        let t0 = Instant::now();
+        let err = router
+            .infer(2, &x())
+            .expect_err("the node died mid-request");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "mid-request death took {:?}",
+            t0.elapsed()
+        );
+        node.join().expect("fake node");
+    }
+
+    #[test]
+    fn rejecting_node_surfaces_its_reason_verbatim() {
+        let (addr, node) = fake_node(|mut transport| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < deadline {
+                match transport.recv_timeout(Duration::from_millis(100)) {
+                    Ok(Some(
+                        Message::Infer { request_id, .. } | Message::InferKeyed { request_id, .. },
+                    )) => {
+                        if transport
+                            .send(&Message::Reject {
+                                request_id,
+                                reason: "synthetic backpressure".into(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Ok(Some(_)) | Ok(None) => continue,
+                    Err(_) => return, // client hung up: done
+                }
+            }
+        });
+        let router = Router::new(fast_cfg(), vec![("grumpy".into(), addr)]);
+        let err = router
+            .infer(3, &x())
+            .expect_err("the node refuses everything");
+        match err {
+            ServeError::Rejected(reason) => {
+                assert!(reason.contains("synthetic backpressure"), "{reason}")
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        assert_eq!(router.metrics().rejected, 1);
+        drop(router); // closes the pooled connection so the node exits
+        node.join().expect("fake node");
+    }
+
+    #[test]
+    fn all_replicas_down_is_an_immediate_refusal_not_a_hang() {
+        let router = Router::new(
+            fast_cfg(),
+            vec![
+                ("corpse-a".into(), refused_addr()),
+                ("corpse-b".into(), refused_addr()),
+            ],
+        );
+        // First request pays the (bounded) connect attempts and marks both
+        // replicas down...
+        let err = router.infer(4, &x()).expect_err("both replicas are dead");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        // ...so inside the backoff window the verdict is immediate: no
+        // node is dialed at all.
+        let t0 = Instant::now();
+        let err = router
+            .infer(4, &x())
+            .expect_err("still dead, now known dead");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "known-dead shard cost {:?}",
+            t0.elapsed()
+        );
+        assert!(router.metrics().unroutable >= 1);
+    }
 }
