@@ -10,7 +10,13 @@
 #   ./ci.sh --update-bench      re-measure and commit a new bench baseline
 #                               (for *intentional* performance changes)
 #
-# Stages: fmt, clippy, doc, tests, drill, bench.
+# Stages: fmt, clippy, doc, tests, drill, fairness, bench.
+#
+# The fairness stage runs the adversarial multi-tenant suite
+# (tests/tests/fairness.rs): a flooding batch tenant vs an interactive
+# SLO, explicit per-tenant quota verdicts, DRR weight proportionality
+# under saturation, and sim-vs-live policy-ranking agreement — pinned to
+# one kernel thread and a wall-clock budget like the drill.
 #
 # The drill stage runs the cluster chaos drill (tests/tests/cluster.rs):
 # a 3-node serving cluster behind fluid-router, Poisson traffic, a node
@@ -40,8 +46,8 @@ for arg in "$@"; do
     case "$arg" in
         --fast) FAST=1 ;;
         --update-bench) UPDATE_BENCH=1 ;;
-        fmt|clippy|doc|tests|drill|bench) STAGES+=("$arg") ;;
-        *) echo "unknown argument: $arg (stages: fmt clippy doc tests drill bench; flags: --fast --update-bench)"; exit 2 ;;
+        fmt|clippy|doc|tests|drill|fairness|bench) STAGES+=("$arg") ;;
+        *) echo "unknown argument: $arg (stages: fmt clippy doc tests drill fairness bench; flags: --fast --update-bench)"; exit 2 ;;
     esac
 done
 if [ "${#STAGES[@]}" -eq 0 ]; then
@@ -50,7 +56,7 @@ if [ "${#STAGES[@]}" -eq 0 ]; then
     elif [ "$UPDATE_BENCH" -eq 1 ]; then
         STAGES=(bench)
     else
-        STAGES=(fmt clippy doc tests drill bench)
+        STAGES=(fmt clippy doc tests drill fairness bench)
     fi
 fi
 # --update-bench means the bench stage, whatever else was asked for — it
@@ -104,6 +110,14 @@ stage_drill() {
     # of bug the drill exists to catch.
     FLUID_THREADS=1 timeout 300 \
         cargo test -q -p fluid-integration-tests --test cluster
+}
+
+stage_fairness() {
+    # The fairness suite is timing-sensitive by nature (it asserts SLOs
+    # and service ratios), so it gets the drill treatment: one kernel
+    # thread, generous wall-clock budget, loud failure on a hang.
+    FLUID_THREADS=1 timeout 300 \
+        cargo test -q -p fluid-integration-tests --test fairness
 }
 
 stage_bench() {

@@ -33,6 +33,7 @@ use fluid_perf::SystemModel;
 use fluid_router::{route_tcp, run_drill, DrillConfig, LocalCluster, RouterConfig};
 use fluid_serve::{
     loadgen, AutoscaleConfig, Autoscaler, EngineBackend, ServeConfig, Server, TcpClient,
+    TenancyConfig, TenantClass, TenantPolicy,
 };
 use fluid_tensor::{Prng, Tensor};
 use std::net::{TcpListener, TcpStream};
@@ -79,11 +80,14 @@ USAGE:
   fluidctl master --connect ADDR --model-file PATH [--mode ha|ht] [--images N]
   fluidctl serve  [--listen ADDR] [--model-file PATH] [--workers N]
                   [--max-batch N] [--max-wait-ms N] [--queue-cap N]
+                  [--tenants SPEC] [--slo-ms F]
                   [--duration-s N] (0 = run until killed)
   fluidctl loadgen [--connect ADDR] [--requests N] [--clients N]
                   [--open-loop] [--lambda F] [--seed N] [--model-file PATH]
                   [--workers N] [--max-batch N] [--max-wait-ms N]
-                  [--queue-cap N] (without --connect: in-proc server)
+                  [--queue-cap N] [--tenants SPEC] [--slo-ms F]
+                  (without --connect: in-proc server; with --tenants:
+                   per-tenant open loop, one report row per tenant)
   fluidctl autoscale [--min-workers N] [--max-workers N] [--requests N]
                   [--lambda F] [--tick-ms N] [--up-queue-depth N]
                   [--up-p95-ms F] [--down-queue-depth N] [--idle-ticks N]
@@ -108,6 +112,14 @@ USAGE:
 Every command also accepts --threads N to pin the compute-kernel worker
 pool (default: the FLUID_THREADS environment variable, else all cores).
 Outputs are bit-identical at any thread count; see docs/PERFORMANCE.md.
+
+--tenants SPEC is a comma-separated table of
+ID:NAME:CLASS[:WEIGHT[:RATE[:BURST]]][@LAMBDA] entries (CLASS is
+interactive|batch; RATE/BURST are the per-tenant token-bucket admission
+quota in req/s and requests, default unmetered; @LAMBDA is that tenant's
+loadgen arrival rate). Example:
+  --tenants 1:web:interactive:2@200,2:etl:batch:1:50:10@400
+See the multi-tenant scheduling section of docs/SERVING.md.
 ";
 
 /// Dispatches a command line (without the binary name).
@@ -356,8 +368,8 @@ fn serving_model(args: &ArgMap) -> Result<(fluid_models::ConvNet, SubnetSpec), C
 }
 
 /// Builds the scheduler config from the shared `--max-batch` /
-/// `--max-wait-ms` / `--queue-cap` flags. (`ServeConfig` is
-/// `#[non_exhaustive]`, hence mutation over a literal.)
+/// `--max-wait-ms` / `--queue-cap` / `--tenants` / `--slo-ms` flags.
+/// (`ServeConfig` is `#[non_exhaustive]`, hence mutation over a literal.)
 fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
     let mut cfg = ServeConfig::default();
     cfg.max_batch = args.usize_or("max-batch", 8)?;
@@ -367,7 +379,74 @@ fn serve_config(args: &ArgMap) -> Result<ServeConfig, CliError> {
         0 => None,
         n => Some(n),
     };
+    match args.str_or("tenants", "") {
+        "" => {}
+        spec => {
+            let mut tenancy = TenancyConfig::new(parse_tenants(spec)?.0);
+            tenancy.interactive_slo_ms = f64::from(args.f32_or("slo-ms", 50.0)?);
+            cfg.tenancy = Some(tenancy);
+        }
+    }
     Ok(cfg)
+}
+
+/// Parses the `--tenants` table: comma-separated entries of
+/// `ID:NAME:CLASS[:WEIGHT[:RATE[:BURST]]][@LAMBDA]`, where CLASS is
+/// `interactive` or `batch`, RATE/BURST default to unmetered (`inf`
+/// accepted), and the optional `@LAMBDA` suffix is the tenant's open-loop
+/// arrival rate for `fluidctl loadgen` (ignored by `serve`). Returns the
+/// policies and one `Option<f64>` lambda per entry, in order.
+fn parse_tenants(spec: &str) -> Result<(Vec<TenantPolicy>, Vec<Option<f64>>), CliError> {
+    let mut policies = Vec::new();
+    let mut lambdas = Vec::new();
+    for entry in spec.split(',') {
+        let (policy_part, lambda) = match entry.split_once('@') {
+            Some((p, l)) => {
+                let lambda: f64 = l.parse().map_err(|_| {
+                    CliError::Run(format!("bad tenant lambda {l:?} in entry {entry:?}"))
+                })?;
+                (p, Some(lambda))
+            }
+            None => (entry, None),
+        };
+        let fields: Vec<&str> = policy_part.split(':').collect();
+        if !(3..=6).contains(&fields.len()) {
+            return Err(CliError::Run(format!(
+                "bad tenant entry {entry:?}: want ID:NAME:CLASS[:WEIGHT[:RATE[:BURST]]]"
+            )));
+        }
+        let id: u64 = fields[0]
+            .parse()
+            .map_err(|_| CliError::Run(format!("bad tenant id {:?} in {entry:?}", fields[0])))?;
+        let class = match fields[2] {
+            "interactive" => TenantClass::Interactive,
+            "batch" => TenantClass::Batch,
+            other => {
+                return Err(CliError::Run(format!(
+                    "bad tenant class {other:?} (interactive|batch)"
+                )))
+            }
+        };
+        let mut policy = TenantPolicy::new(id, fields[1], class);
+        if let Some(w) = fields.get(3) {
+            policy.weight = w
+                .parse()
+                .map_err(|_| CliError::Run(format!("bad tenant weight {w:?} in {entry:?}")))?;
+        }
+        if let Some(r) = fields.get(4) {
+            policy.rate = r
+                .parse()
+                .map_err(|_| CliError::Run(format!("bad tenant rate {r:?} in {entry:?}")))?;
+        }
+        if let Some(b) = fields.get(5) {
+            policy.burst = b
+                .parse()
+                .map_err(|_| CliError::Run(format!("bad tenant burst {b:?} in {entry:?}")))?;
+        }
+        policies.push(policy);
+        lambdas.push(lambda);
+    }
+    Ok((policies, lambdas))
 }
 
 /// `count` engine replicas of the net's combined model, named
@@ -448,6 +527,32 @@ fn cmd_loadgen(args: &ArgMap) -> Result<(), CliError> {
     let inputs = loadgen_inputs(seed);
 
     match args.str_or("connect", "") {
+        "" if !args.str_or("tenants", "").is_empty() => {
+            // Multi-tenant open loop: one Poisson arrival thread per
+            // tenant, requests split evenly unless an entry carries its
+            // own `@LAMBDA` rate.
+            let (policies, lambdas) = parse_tenants(args.str_or("tenants", ""))?;
+            let server = boot_server(args)?;
+            let share = requests / policies.len().max(1);
+            let plans: Vec<loadgen::TenantLoad> = policies
+                .iter()
+                .zip(&lambdas)
+                .map(|(p, l)| loadgen::TenantLoad {
+                    tenant: p.id,
+                    lambda: l.unwrap_or(lambda),
+                    requests: share,
+                })
+                .collect();
+            println!(
+                "multi-tenant open loop: {} tenants × {share} requests...",
+                plans.len()
+            );
+            let reports = loadgen::run_open_loop_tenants(&server.handle(), &plans, &inputs, seed);
+            for (policy, report) in policies.iter().zip(&reports) {
+                println!("tenant {:12} {report}", policy.name);
+            }
+            println!("{}", server.shutdown());
+        }
         "" => {
             let server = boot_server(args)?;
             let report = if open_loop {
@@ -807,6 +912,65 @@ mod tests {
             "5",
         ]))
         .expect("in-proc loadgen");
+    }
+
+    #[test]
+    fn tenants_spec_parses_policies_quotas_and_lambdas() {
+        let (policies, lambdas) =
+            parse_tenants("1:web:interactive:2@200,2:etl:batch:1:50:10@400,3:ops:batch")
+                .expect("parse");
+        assert_eq!(policies.len(), 3);
+        assert_eq!(policies[0].id, 1);
+        assert_eq!(policies[0].name, "web");
+        assert_eq!(policies[0].class, TenantClass::Interactive);
+        assert_eq!(policies[0].weight, 2);
+        assert!(policies[0].rate.is_infinite(), "default is unmetered");
+        assert_eq!(policies[1].rate, 50.0);
+        assert_eq!(policies[1].burst, 10.0);
+        assert_eq!(lambdas, vec![Some(200.0), Some(400.0), None]);
+    }
+
+    #[test]
+    fn tenants_spec_rejects_malformed_entries() {
+        for bad in [
+            "1:web",                     // too few fields
+            "x:web:interactive",         // bad id
+            "1:web:premium",             // bad class
+            "1:web:interactive:heavy",   // bad weight
+            "1:web:interactive:1:fast",  // bad rate
+            "1:web:interactive@quickly", // bad lambda
+        ] {
+            assert!(parse_tenants(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn loadgen_with_tenants_reports_each_tenant() {
+        run(&argv(&[
+            "loadgen",
+            "--requests",
+            "12",
+            "--workers",
+            "1",
+            "--tenants",
+            "1:web:interactive:2@300,2:etl:batch@300",
+            "--seed",
+            "5",
+        ]))
+        .expect("tenant loadgen");
+    }
+
+    #[test]
+    fn serve_rejects_a_duplicate_tenant_table() {
+        let err = run(&argv(&[
+            "loadgen",
+            "--requests",
+            "1",
+            "--tenants",
+            "1:web:interactive,1:dup:batch",
+        ]))
+        .expect_err("duplicate tenant ids");
+        assert!(err.to_string().contains("duplicate"), "{err}");
     }
 
     #[test]

@@ -126,6 +126,20 @@ pub enum Message {
         /// Input batch `[N, C, H, W]`.
         input: Tensor,
     },
+    /// Client → serve/router: an inference request on behalf of a named
+    /// tenant. Serve nodes admit it through that tenant's quota and queue
+    /// (multi-tenant scheduling); `fluid-router` uses the tenant id as the
+    /// shard key, so one tenant's traffic stays on one replica set. A
+    /// tenant id the serve node was not configured with is answered with
+    /// [`Message::Reject`] — a protocol error, not a silent drop.
+    InferTenant {
+        /// Correlates the reply with the request.
+        request_id: u64,
+        /// The tenant this request is billed to and scheduled under.
+        tenant: u64,
+        /// Input batch `[N, C, H, W]`.
+        input: Tensor,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -139,6 +153,7 @@ const TAG_SWITCH_MODE: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_REJECT: u8 = 10;
 const TAG_INFER_KEYED: u8 = 11;
+const TAG_INFER_TENANT: u8 = 12;
 
 /// A decoded tensor beyond this rank is a protocol error, not a panic:
 /// `fluid_tensor::Shape` stores dimensions inline and asserts its own
@@ -370,6 +385,16 @@ impl Message {
                 put_u64(&mut out, *shard_key);
                 put_tensor(&mut out, input);
             }
+            Message::InferTenant {
+                request_id,
+                tenant,
+                input,
+            } => {
+                out.push(TAG_INFER_TENANT);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *tenant);
+                put_tensor(&mut out, input);
+            }
         }
         out
     }
@@ -430,6 +455,11 @@ impl Message {
                 shard_key: c.u64()?,
                 input: c.tensor()?,
             },
+            TAG_INFER_TENANT => Message::InferTenant {
+                request_id: c.u64()?,
+                tenant: c.u64()?,
+                input: c.tensor()?,
+            },
             other => return Err(DistError::Decode(format!("unknown message tag {other}"))),
         };
         c.finish()?;
@@ -485,6 +515,11 @@ mod tests {
                 shard_key: 0xDEAD_BEEF,
                 input: Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[2, 2]),
             },
+            Message::InferTenant {
+                request_id: 10,
+                tenant: 3,
+                input: Tensor::from_vec(vec![0.5, 0.25], &[1, 2]),
+            },
         ];
         for msg in msgs {
             assert_eq!(Message::decode(msg.encode()).expect("decode"), msg);
@@ -538,6 +573,24 @@ mod tests {
         payload[lo_at..lo_at + 4].copy_from_slice(&9u32.to_le_bytes());
         payload[lo_at + 4..lo_at + 8].copy_from_slice(&1u32.to_le_bytes());
         assert!(Message::decode(payload).is_err());
+    }
+
+    #[test]
+    fn truncated_tenant_frame_rejected() {
+        // Tenant frame cut off mid-tensor-header: a Decode error, never a
+        // panic or a bogus message.
+        let full = Message::InferTenant {
+            request_id: 1,
+            tenant: 7,
+            input: Tensor::from_vec(vec![1.0], &[1, 1]),
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(
+                Message::decode(&full[..cut]).is_err(),
+                "truncation at {cut} bytes decoded"
+            );
+        }
     }
 
     #[test]

@@ -98,7 +98,8 @@ impl<T: Transport> Worker<T> {
                     | Message::Logits { .. }
                     | Message::HeartbeatAck { .. }
                     | Message::Reject { .. }
-                    | Message::InferKeyed { .. },
+                    | Message::InferKeyed { .. }
+                    | Message::InferTenant { .. },
                 )) => {}
                 Ok(None) => {}
                 Err(e) => return (WorkerExit::LinkLost(e), self.engine),

@@ -311,6 +311,22 @@ mod tests {
     }
 
     #[test]
+    fn silent_timeline_completes_nothing_and_scales_nothing_up() {
+        // Every phase offers zero arrivals: the controller still ticks
+        // (and may scale down to min, where it already is), but nothing
+        // completes and no percentile is NaN.
+        let policy = ElasticPolicy::default();
+        let r = simulate_elastic(SERVICE_S, &policy, &[(1.0, 0.0), (1.0, 0.0)], 5);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.scale_ups, 0);
+        assert_eq!(r.peak_servers, policy.min_servers);
+        assert_eq!(r.final_servers, policy.min_servers);
+        assert_eq!(r.mean_sojourn_s, 0.0);
+        assert_eq!(r.p95_sojourn_s, 0.0);
+        assert_eq!(r.throughput_rps, 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "non-positive service time")]
     fn zero_service_time_panics() {
         let _ = simulate_elastic(0.0, &ElasticPolicy::default(), &[(1.0, 1.0)], 0);

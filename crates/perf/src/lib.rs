@@ -34,6 +34,7 @@ mod elastic;
 mod energy;
 mod queueing;
 mod scenario;
+mod tenants;
 
 pub use comm::CommModel;
 pub use device::DeviceModel;
@@ -44,3 +45,4 @@ pub use queueing::{
     SampleWindow, SimReport,
 };
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};
+pub use tenants::{simulate_tenants, SimTenant, TenantDiscipline, TenantSimReport, TenantSimRow};

@@ -627,6 +627,47 @@ mod tests {
     }
 
     #[test]
+    fn zero_arrivals_is_an_empty_report_not_a_nan() {
+        // A rate so low the duration sees no arrivals: every counter is
+        // zero and the percentiles are defined (0.0), not NaN.
+        let sc = ClusterScenario::new(2, 2, 1e-9, 1.0, 0.01);
+        let rep = simulate_cluster(&sc, 5);
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.dropped, 0);
+        assert_eq!(rep.mean_sojourn_s, 0.0);
+        assert_eq!(rep.p95_sojourn_s, 0.0);
+        assert_eq!(rep.throughput_ips, 0.0);
+        assert!(rep.per_node_served.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn single_shard_cluster_still_spreads_over_its_replicas() {
+        // One shard with replication 2 on 3 nodes: exactly two nodes
+        // serve; the third never sees a request.
+        let sc = ClusterScenario {
+            shards: 1,
+            ..ClusterScenario::new(3, 2, 60.0, 20.0, 0.005)
+        };
+        let rep = simulate_cluster(&sc, 13);
+        assert!(rep.completed > 0);
+        assert_eq!(rep.dropped, 0);
+        let serving = rep.per_node_served.iter().filter(|&&n| n > 0).count();
+        assert_eq!(serving, 2, "{:?}", rep.per_node_served);
+    }
+
+    #[test]
+    fn replication_beyond_node_count_is_clamped_not_fatal() {
+        // Asking for 5 replicas on 2 nodes behaves exactly like full
+        // replication: same completions, same spread, nothing panics.
+        let want = ClusterScenario::new(2, 5, 40.0, 10.0, 0.005);
+        let full = ClusterScenario::new(2, 2, 40.0, 10.0, 0.005);
+        let a = simulate_cluster(&want, 17);
+        let b = simulate_cluster(&full, 17);
+        assert_eq!(a, b, "clamped replication must match full replication");
+        assert!(a.completed > 0);
+    }
+
+    #[test]
     #[should_panic(expected = "replication must be >= 1")]
     fn zero_replication_panics() {
         let sc = ClusterScenario {

@@ -452,6 +452,38 @@ mod tests {
     }
 
     #[test]
+    fn tenant_requests_ride_through_the_router_to_a_tenanted_node() {
+        use fluid_serve::{ServeError, TenancyConfig, TenantClass, TenantPolicy};
+        let (net, spec) = model();
+        let mut cfg = ServeConfig::default();
+        cfg.tenancy = Some(TenancyConfig::new(vec![
+            TenantPolicy::new(7, "web", TenantClass::Interactive),
+            TenantPolicy::new(8, "etl", TenantClass::Batch),
+        ]));
+        let cluster = LocalCluster::boot(&net, &spec, 2, 1, cfg, fast_router_cfg()).expect("boot");
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 6) as f32 / 6.0);
+        let mut oracle = net.clone();
+        let expected = oracle.forward_subnet(&x, &spec, false);
+        for tenant in [7u64, 8] {
+            let got = cluster
+                .router()
+                .infer_tenant(tenant, &x)
+                .expect("tenant infer");
+            assert!(got.allclose(&expected, 0.0), "tenant {tenant} diverged");
+        }
+        // A tenant id missing from every node's table is an explicit
+        // end-to-end reject, not a timeout or a silent default.
+        let err = cluster
+            .router()
+            .infer_tenant(99, &x)
+            .expect_err("unknown tenant");
+        match err {
+            ServeError::Rejected(reason) => assert!(reason.contains("99"), "{reason}"),
+            other => panic!("expected Rejected, got {other}"),
+        }
+    }
+
+    #[test]
     fn rolling_swap_changes_the_served_model_with_zero_refusals() {
         let (net, spec) = model();
         let mut cluster =

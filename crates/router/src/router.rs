@@ -322,6 +322,25 @@ impl Router {
     ///   none was due for a probe, or every attempt failed at the link
     ///   level.
     pub fn infer(&self, key: u64, x: &Tensor) -> Result<Tensor, ServeError> {
+        self.infer_inner(key, None, x)
+    }
+
+    /// Routes one tenant-tagged request: the tenant id doubles as the
+    /// shard key (all of a tenant's traffic lands on one shard, so its
+    /// quota is enforced at a single node) and the tag is forwarded to the
+    /// serve node ([`Message::InferTenant`]), whose tenancy table delivers
+    /// the per-tenant verdict.
+    ///
+    /// # Errors
+    ///
+    /// Same verdicts as [`infer`](Router::infer); a quota refusal or
+    /// unknown-tenant verdict from the node surfaces as
+    /// [`ServeError::Rejected`] with the node's reason.
+    pub fn infer_tenant(&self, tenant: u64, x: &Tensor) -> Result<Tensor, ServeError> {
+        self.infer_inner(tenant, Some(tenant), x)
+    }
+
+    fn infer_inner(&self, key: u64, tenant: Option<u64>, x: &Tensor) -> Result<Tensor, ServeError> {
         let inner = &self.inner;
         // Admission: the cap follows the live node count so a shrunken
         // cluster sheds sooner; the max(1) floor keeps probe traffic
@@ -372,7 +391,7 @@ impl Router {
             if attempt > 0 {
                 inner.retries.fetch_add(1, Ordering::Relaxed);
             }
-            match self.try_node(i, key, x) {
+            match self.try_node(i, key, tenant, x) {
                 Ok(logits) => {
                     inner.completed.fetch_add(1, Ordering::Relaxed);
                     lock(&inner.latencies).push(t0.elapsed().as_secs_f64() * 1e3);
@@ -391,7 +410,13 @@ impl Router {
 
     /// One attempt against one node: check out (or open) a connection,
     /// run the keyed round trip, and fold the verdict into health state.
-    fn try_node(&self, i: usize, key: u64, x: &Tensor) -> Result<Tensor, NodeFailure> {
+    fn try_node(
+        &self,
+        i: usize,
+        key: u64,
+        tenant: Option<u64>,
+        x: &Tensor,
+    ) -> Result<Tensor, NodeFailure> {
         let inner = &self.inner;
         let node = &inner.nodes[i];
         node.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -413,7 +438,11 @@ impl Router {
                 }
             }
         };
-        match client.infer_keyed(key, x) {
+        let verdict = match tenant {
+            Some(t) => client.infer_tenant(t, x),
+            None => client.infer_keyed(key, x),
+        };
+        match verdict {
             Ok(logits) => {
                 lock(&node.state).mark_up();
                 node.reject_streak.store(0, Ordering::SeqCst);
@@ -623,13 +652,20 @@ fn route_connection(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let (request_id, key, input) = match transport.recv_timeout(POLL) {
+        let (request_id, key, tenant, input) = match transport.recv_timeout(POLL) {
             Ok(Some(Message::InferKeyed {
                 request_id,
                 shard_key,
                 input,
-            })) => (request_id, shard_key, input),
-            Ok(Some(Message::Infer { request_id, input })) => (request_id, request_id, input),
+            })) => (request_id, shard_key, None, input),
+            // A tenant tag shards by tenant id and rides through to the
+            // node, whose tenancy table gives the per-tenant verdict.
+            Ok(Some(Message::InferTenant {
+                request_id,
+                tenant,
+                input,
+            })) => (request_id, tenant, Some(tenant), input),
+            Ok(Some(Message::Infer { request_id, input })) => (request_id, request_id, None, input),
             Ok(Some(Message::Shutdown)) => return Ok(()),
             Ok(Some(Message::Heartbeat { seq })) => {
                 transport
@@ -641,7 +677,11 @@ fn route_connection(
             Ok(None) => continue,
             Err(e) => return Err(ServeError::Transport(e.to_string())),
         };
-        let reply = match router.infer(key, &input) {
+        let routed = match tenant {
+            Some(t) => router.infer_tenant(t, &input),
+            None => router.infer(key, &input),
+        };
+        let reply = match routed {
             Ok(logits) => Message::Logits { request_id, logits },
             Err(e) => Message::Reject {
                 request_id,

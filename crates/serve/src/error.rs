@@ -54,6 +54,18 @@ pub enum ServeError {
     /// not be carried out — e.g. retiring an already-retired slot, or a
     /// drain that did not complete within its deadline.
     Elastic(String),
+    /// The tenant's token-bucket admission quota is exhausted — the
+    /// request was refused before touching the queue. Unlike
+    /// [`Overloaded`](ServeError::Overloaded) this is a *per-tenant*
+    /// verdict: other tenants keep being admitted.
+    QuotaExhausted {
+        /// Name of the tenant whose bucket ran dry.
+        tenant: String,
+    },
+    /// The request named a tenant id the server's tenancy table does not
+    /// contain — a protocol error, answered explicitly instead of being
+    /// billed to an arbitrary tenant.
+    UnknownTenant(u64),
     /// The server is shutting down; queued requests are drained with this
     /// error instead of being served.
     ShuttingDown,
@@ -74,6 +86,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected(why) => write!(f, "rejected by server: {why}"),
             ServeError::Transport(why) => write!(f, "client transport: {why}"),
             ServeError::Elastic(why) => write!(f, "elastic operation failed: {why}"),
+            ServeError::QuotaExhausted { tenant } => {
+                write!(f, "quota exhausted for tenant {tenant}")
+            }
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant id {id}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Canceled => write!(f, "request canceled without a verdict"),
         }
@@ -101,5 +117,11 @@ mod tests {
         assert!(ServeError::Elastic("slot 3 is retired".into())
             .to_string()
             .contains("slot 3"));
+        assert!(ServeError::QuotaExhausted {
+            tenant: "analytics".into()
+        }
+        .to_string()
+        .contains("analytics"));
+        assert!(ServeError::UnknownTenant(42).to_string().contains("42"));
     }
 }

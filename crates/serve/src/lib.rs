@@ -92,13 +92,15 @@ mod backend;
 mod error;
 pub mod loadgen;
 mod metrics;
+mod sched;
 mod server;
 mod tcp;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler, BackendFactory, ScaleAction, ScaleEvent};
 pub use backend::{Backend, EngineBackend, MasterBackend};
 pub use error::ServeError;
-pub use loadgen::{InferClient, LoadgenReport};
-pub use metrics::{ServeMetrics, WorkerMetric};
+pub use loadgen::{InferClient, LoadgenReport, TenantLoad};
+pub use metrics::{ServeMetrics, TenantMetric, WorkerMetric};
+pub use sched::{adaptive_wait, DrrState, TenancyConfig, TenantClass, TenantPolicy, TokenBucket};
 pub use server::{ElasticHandle, ServeConfig, Server, ServerHandle, Ticket};
 pub use tcp::{serve_tcp, TcpClient};

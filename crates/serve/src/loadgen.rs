@@ -81,7 +81,11 @@ fn classify(
 ) {
     match result {
         Ok(_) => *completed += 1,
-        Err(ServeError::Overloaded { .. }) | Err(ServeError::Rejected(_)) => *shed += 1,
+        Err(
+            ServeError::Overloaded { .. }
+            | ServeError::Rejected(_)
+            | ServeError::QuotaExhausted { .. },
+        ) => *shed += 1,
         Err(_) => *failed += 1,
     }
 }
@@ -253,6 +257,85 @@ pub fn run_open_loop(
     report(requests, completed, shed, failed, t0)
 }
 
+/// One tenant's arrival plan for [`run_open_loop_tenants`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLoad {
+    /// Wire-level tenant id (must be in the server's tenancy table).
+    pub tenant: u64,
+    /// Poisson arrival rate, req/s.
+    pub lambda: f64,
+    /// Total arrivals for this tenant.
+    pub requests: usize,
+}
+
+/// Multi-tenant open-loop run: each entry of `plans` gets its own arrival
+/// thread running an independent Poisson process at its `lambda`, tagging
+/// every submission with its tenant id
+/// ([`ServerHandle::submit_for`](crate::ServerHandle::submit_for)). Returns
+/// one [`LoadgenReport`] per plan, in order — quota refusals and queue
+/// sheds both land in that tenant's `shed` count.
+///
+/// This is the client side of the fairness story: run an abusive tenant at
+/// 10× its quota next to a polite interactive one and read both verdicts
+/// from the reports (and the server's per-tenant metrics).
+///
+/// # Panics
+///
+/// Panics if `plans` is empty or any plan has `lambda <= 0`.
+pub fn run_open_loop_tenants(
+    handle: &ServerHandle,
+    plans: &[TenantLoad],
+    inputs: &[Tensor],
+    seed: u64,
+) -> Vec<LoadgenReport> {
+    assert!(!plans.is_empty(), "loadgen needs at least one tenant plan");
+    assert!(!inputs.is_empty(), "loadgen needs at least one input");
+    assert!(
+        plans.iter().all(|p| p.lambda > 0.0),
+        "non-positive arrival rate"
+    );
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                scope.spawn(move || {
+                    let mut rng = Prng::new(seed.wrapping_add(i as u64));
+                    let t0 = Instant::now();
+                    let (mut completed, mut shed, mut failed) = (0, 0, 0);
+                    let mut tickets = Vec::new();
+                    let mut next_arrival_s = 0.0f64;
+                    for k in 0..plan.requests {
+                        next_arrival_s += -(1.0 - rng.next_f64()).ln() / plan.lambda;
+                        let due = t0 + Duration::from_secs_f64(next_arrival_s);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        match handle.submit_for(plan.tenant, inputs[k % inputs.len()].clone()) {
+                            Ok(t) => tickets.push(t),
+                            Err(e) => classify(&Err(e), &mut completed, &mut shed, &mut failed),
+                        }
+                    }
+                    for t in tickets {
+                        classify(&t.wait(), &mut completed, &mut shed, &mut failed);
+                    }
+                    report(plan.requests, completed, shed, failed, t0)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .zip(plans)
+            .map(|(j, plan)| {
+                j.join().unwrap_or_else(|_| {
+                    // A panicked tenant thread must not silently vanish.
+                    report(plan.requests, 0, 0, plan.requests, Instant::now())
+                })
+            })
+            .collect()
+    })
+}
+
 /// Open-loop run against *any* blocking submit function: arrivals come on
 /// a Poisson process at `lambda` req/s and are handed (by arrival index
 /// `0..requests`) to a pool of `concurrency` submitter threads calling
@@ -400,6 +483,48 @@ mod tests {
         assert_eq!(rep.submitted, 12);
         assert_eq!(rep.completed + rep.shed + rep.failed, 12);
         assert_eq!(rep.failed, 0);
+    }
+
+    #[test]
+    fn tenant_open_loop_reports_per_tenant_and_meters_quota() {
+        use crate::sched::{TenancyConfig, TenantClass, TenantPolicy};
+        let mut web = TenantPolicy::new(1, "web", TenantClass::Interactive);
+        web.rate = f64::INFINITY; // unmetered
+        let mut scraper = TenantPolicy::new(2, "scraper", TenantClass::Batch);
+        scraper.rate = 1.0; // ~1 req/s sustained...
+        scraper.burst = 3.0; // ...after a 3-request burst allowance
+        let cfg = ServeConfig {
+            tenancy: Some(TenancyConfig::new(vec![web, scraper])),
+            ..ServeConfig::default()
+        };
+        let server = tiny_server(1, cfg);
+        let xs = inputs(2);
+        let plans = [
+            TenantLoad {
+                tenant: 1,
+                lambda: 400.0,
+                requests: 10,
+            },
+            TenantLoad {
+                tenant: 2,
+                lambda: 400.0,
+                requests: 10,
+            },
+        ];
+        let reps = run_open_loop_tenants(&server.handle(), &plans, &xs, 21);
+        assert_eq!(reps.len(), 2);
+        // The unmetered tenant completes everything.
+        assert_eq!(reps[0].completed, 10, "{:?}", reps[0]);
+        // The metered tenant is clipped near its burst; nothing is lost.
+        assert_eq!(reps[1].completed + reps[1].shed + reps[1].failed, 10);
+        assert!(reps[1].shed >= 5, "quota did not bite: {:?}", reps[1]);
+        let metrics = server.shutdown();
+        let scraper_row = metrics
+            .tenants
+            .iter()
+            .find(|t| t.name == "scraper")
+            .expect("scraper row");
+        assert_eq!(scraper_row.quota_rejected as usize, reps[1].shed);
     }
 
     #[test]

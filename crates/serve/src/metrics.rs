@@ -5,6 +5,7 @@
 //! ([`fluid_perf::simulate`]) uses for its predictions — simulated and
 //! measured p95s are directly comparable.
 
+use crate::sched::TenantClass;
 use fluid_perf::SampleWindow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +30,29 @@ pub struct WorkerMetric {
     pub batches: u64,
     /// Input rows (images) this worker has completed.
     pub rows: u64,
+}
+
+/// Per-tenant counters inside a [`ServeMetrics`] snapshot. Present only
+/// when the server was started with a `ServeConfig::tenancy` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetric {
+    /// The tenant's configured name.
+    pub name: String,
+    /// The tenant's scheduling class.
+    pub class: TenantClass,
+    /// Requests answered with logits for this tenant.
+    pub completed: u64,
+    /// Requests refused at the shared queue (capacity sheds) for this
+    /// tenant.
+    pub shed: u64,
+    /// Requests refused by this tenant's token-bucket quota.
+    pub quota_rejected: u64,
+    /// Median end-to-end latency for this tenant, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency for this tenant, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency for this tenant, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// A point-in-time snapshot of the serving layer's counters.
@@ -108,6 +132,12 @@ pub struct ServeMetrics {
     pub elapsed_s: f64,
     /// Per-worker counters, in slot order.
     pub workers: Vec<WorkerMetric>,
+    /// Requests refused by per-tenant quotas (sum over tenants). Zero
+    /// without a tenancy table.
+    pub quota_rejected: u64,
+    /// Per-tenant counters, in tenancy-table order. Empty without a
+    /// tenancy table.
+    pub tenants: Vec<TenantMetric>,
 }
 
 impl std::fmt::Display for ServeMetrics {
@@ -145,6 +175,14 @@ impl std::fmt::Display for ServeMetrics {
                 self.workers_added, self.workers_retired, self.hot_swaps
             )?;
         }
+        for t in &self.tenants {
+            write!(
+                f,
+                "\n  tenant {:12} {:11}  {} ok / {} shed / {} quota-rejected  p50 {:.2} p95 {:.2} p99 {:.2} ms",
+                t.name, t.class.to_string(), t.completed, t.shed, t.quota_rejected,
+                t.p50_ms, t.p95_ms, t.p99_ms
+            )?;
+        }
         for w in &self.workers {
             let state = if w.retired {
                 "retired"
@@ -170,11 +208,72 @@ impl std::fmt::Display for ServeMetrics {
 /// forever). Far above what accumulates in one autoscaler tick.
 const RECENT_LATENCY_CAP: usize = 8192;
 
+/// Rolling window of the interactive class's recent latencies (seconds):
+/// a fixed ring plus a reused sort scratch, so reading the p95 every batch
+/// allocates nothing in steady state.
+const ROLLING_CAP: usize = 256;
+
+#[derive(Debug)]
+struct RollingP95 {
+    ring: Vec<f64>,
+    pos: usize,
+    scratch: Vec<f64>,
+}
+
+impl RollingP95 {
+    fn new() -> Self {
+        Self {
+            ring: Vec::with_capacity(ROLLING_CAP),
+            pos: 0,
+            scratch: Vec::with_capacity(ROLLING_CAP),
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.ring.len() < ROLLING_CAP {
+            self.ring.push(v);
+        } else {
+            self.ring[self.pos] = v;
+            self.pos = (self.pos + 1) % ROLLING_CAP;
+        }
+    }
+
+    /// Nearest-rank p95 over the window; `0.0` while empty.
+    fn p95(&mut self) -> f64 {
+        if self.ring.is_empty() {
+            return 0.0;
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.ring);
+        self.scratch
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((0.95 * self.scratch.len() as f64).ceil() as usize).max(1);
+        self.scratch[rank - 1]
+    }
+}
+
+/// Lock-free per-tenant refusal counters, bumped on the submission path.
+#[derive(Debug)]
+struct TenantShedCounters {
+    shed: AtomicU64,
+    quota: AtomicU64,
+}
+
+/// Per-tenant completion counters and latency window (under the hub lock).
+#[derive(Debug)]
+struct TenantLatCounters {
+    name: String,
+    class: TenantClass,
+    latency_s: SampleWindow,
+    completed: u64,
+}
+
 /// Shared mutable counters behind the server; snapshotted on demand.
 #[derive(Debug)]
 pub(crate) struct MetricsHub {
     start: Instant,
     shed: AtomicU64,
+    tenant_shed: Vec<TenantShedCounters>,
     inner: Mutex<HubInner>,
 }
 
@@ -195,6 +294,11 @@ struct HubInner {
     /// the controller's sliding observation window.
     recent_latency_s: Vec<f64>,
     workers: Vec<WorkerCounters>,
+    /// One entry per configured tenant; empty without a tenancy table.
+    tenants: Vec<TenantLatCounters>,
+    /// Rolling interactive-class latency window driving the adaptive
+    /// batching deadline. `None` when no tenant is interactive.
+    interactive: Option<RollingP95>,
 }
 
 /// Lifecycle of one worker slot, as the metrics hub sees it.
@@ -230,12 +334,36 @@ impl WorkerCounters {
 }
 
 impl MetricsHub {
-    pub(crate) fn new(worker_names: Vec<String>) -> Self {
+    /// A hub for `worker_names` slots and (optionally) a tenant table of
+    /// `(name, class)` rows. An empty table means single-tenant mode: no
+    /// per-tenant tracking at all.
+    pub(crate) fn new(worker_names: Vec<String>, tenants: Vec<(String, TenantClass)>) -> Self {
+        let interactive = tenants
+            .iter()
+            .any(|(_, c)| *c == TenantClass::Interactive)
+            .then(RollingP95::new);
         Self {
             start: Instant::now(),
             shed: AtomicU64::new(0),
+            tenant_shed: tenants
+                .iter()
+                .map(|_| TenantShedCounters {
+                    shed: AtomicU64::new(0),
+                    quota: AtomicU64::new(0),
+                })
+                .collect(),
             inner: Mutex::new(HubInner {
                 workers: worker_names.into_iter().map(WorkerCounters::new).collect(),
+                tenants: tenants
+                    .into_iter()
+                    .map(|(name, class)| TenantLatCounters {
+                        name,
+                        class,
+                        latency_s: SampleWindow::default(),
+                        completed: 0,
+                    })
+                    .collect(),
+                interactive,
                 ..HubInner::default()
             }),
         }
@@ -247,29 +375,63 @@ impl MetricsHub {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// A shed request (refused at the queue). Lock-free: this sits on the
-    /// submission path of every overloaded client.
-    pub(crate) fn record_shed(&self) {
+    /// A shed request (refused at the queue), billed to `tenant` when a
+    /// tenant table exists. Lock-free: this sits on the submission path of
+    /// every overloaded client.
+    pub(crate) fn record_shed(&self, tenant: usize) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.tenant_shed.get(tenant) {
+            t.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A request refused by `tenant`'s token-bucket quota. Lock-free.
+    pub(crate) fn record_quota_rejected(&self, tenant: usize) {
+        if let Some(t) = self.tenant_shed.get(tenant) {
+            t.quota.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The interactive class's rolling p95 latency in milliseconds — the
+    /// signal behind the adaptive batching deadline. `0.0` with no
+    /// interactive tenant or no samples yet.
+    pub(crate) fn interactive_p95_ms(&self) -> f64 {
+        self.lock()
+            .interactive
+            .as_mut()
+            .map_or(0.0, |w| w.p95() * 1e3)
     }
 
     /// A batch completed on worker `slot`: `requests` coalesced requests
-    /// covering `rows` input rows, with per-request end-to-end latencies.
+    /// covering `rows` input rows, with each request's `(tenant_slot,
+    /// end_to_end_latency)`. Tenant slots are ignored without a tenant
+    /// table.
     pub(crate) fn record_batch(
         &self,
         slot: usize,
         requests: usize,
         rows: usize,
-        latencies: &[Duration],
+        latencies: &[(usize, Duration)],
     ) {
         let mut inner = self.lock();
+        let inner = &mut *inner; // split field borrows below
         inner.batches += 1;
         inner.batched_requests += requests as u64;
         *inner.batch_histogram.entry(requests).or_insert(0) += 1;
         inner.completed += requests as u64;
-        for l in latencies {
-            inner.latency_s.push(l.as_secs_f64());
-            inner.recent_latency_s.push(l.as_secs_f64());
+        for (tenant, l) in latencies {
+            let secs = l.as_secs_f64();
+            inner.latency_s.push(secs);
+            inner.recent_latency_s.push(secs);
+            if let Some(t) = inner.tenants.get_mut(*tenant) {
+                t.completed += 1;
+                t.latency_s.push(secs);
+                if t.class == TenantClass::Interactive {
+                    if let Some(w) = inner.interactive.as_mut() {
+                        w.push(secs);
+                    }
+                }
+            }
         }
         // The recent window is bounded: with no controller attached (no
         // one ever takes it), a long-running server must not leak — keep
@@ -375,6 +537,22 @@ impl MetricsHub {
             inner.batched_requests as f64 / inner.batches as f64
         };
         let completed = inner.completed;
+        let tenants: Vec<TenantMetric> = inner
+            .tenants
+            .iter_mut()
+            .zip(&self.tenant_shed)
+            .map(|(t, s)| TenantMetric {
+                name: t.name.clone(),
+                class: t.class,
+                completed: t.completed,
+                shed: s.shed.load(Ordering::Relaxed),
+                quota_rejected: s.quota.load(Ordering::Relaxed),
+                p50_ms: t.latency_s.percentile(0.50) * to_ms,
+                p95_ms: t.latency_s.percentile(0.95) * to_ms,
+                p99_ms: t.latency_s.percentile(0.99) * to_ms,
+            })
+            .collect();
+        let quota_rejected = tenants.iter().map(|t| t.quota_rejected).sum();
         ServeMetrics {
             completed,
             shed: self.shed.load(Ordering::Relaxed),
@@ -405,6 +583,8 @@ impl MetricsHub {
             },
             elapsed_s,
             workers,
+            quota_rejected,
+            tenants,
         }
     }
 }
@@ -415,7 +595,7 @@ mod tests {
 
     #[test]
     fn empty_hub_snapshots_to_zeros() {
-        let hub = MetricsHub::new(vec!["w0".into()]);
+        let hub = MetricsHub::new(vec!["w0".into()], vec![]);
         let m = hub.snapshot(0);
         assert_eq!(m.completed, 0);
         assert_eq!(m.p95_ms, 0.0);
@@ -426,11 +606,11 @@ mod tests {
 
     #[test]
     fn batches_roll_up_into_histogram_and_percentiles() {
-        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()]);
-        hub.record_batch(0, 3, 3, &[Duration::from_millis(10); 3]);
-        hub.record_batch(1, 1, 1, &[Duration::from_millis(30)]);
-        hub.record_batch(0, 3, 3, &[Duration::from_millis(20); 3]);
-        hub.record_shed();
+        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()], vec![]);
+        hub.record_batch(0, 3, 3, &[(0, Duration::from_millis(10)); 3]);
+        hub.record_batch(1, 1, 1, &[(0, Duration::from_millis(30))]);
+        hub.record_batch(0, 3, 3, &[(0, Duration::from_millis(20)); 3]);
+        hub.record_shed(0);
         let m = hub.snapshot(2);
         assert_eq!(m.completed, 7);
         assert_eq!(m.shed, 1);
@@ -445,7 +625,7 @@ mod tests {
 
     #[test]
     fn death_and_reattach_flip_liveness() {
-        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()]);
+        let hub = MetricsHub::new(vec!["w0".into(), "w1".into()], vec![]);
         hub.record_worker_death(1);
         hub.record_retry();
         let m = hub.snapshot(0);
@@ -460,7 +640,7 @@ mod tests {
 
     #[test]
     fn elasticity_lifecycle_add_drain_retire() {
-        let hub = MetricsHub::new(vec!["w0".into()]);
+        let hub = MetricsHub::new(vec!["w0".into()], vec![]);
         hub.record_added("w1".into());
         let m = hub.snapshot(0);
         assert_eq!(m.workers_total, 2);
@@ -486,8 +666,8 @@ mod tests {
 
     #[test]
     fn recent_latencies_drain_on_take() {
-        let hub = MetricsHub::new(vec!["w0".into()]);
-        hub.record_batch(0, 2, 2, &[Duration::from_millis(4); 2]);
+        let hub = MetricsHub::new(vec!["w0".into()], vec![]);
+        hub.record_batch(0, 2, 2, &[(0, Duration::from_millis(4)); 2]);
         let recent = hub.take_recent_latencies();
         assert_eq!(recent.len(), 2);
         assert!(hub.take_recent_latencies().is_empty(), "take drains");
@@ -499,9 +679,9 @@ mod tests {
     fn recent_latencies_are_bounded_without_a_consumer() {
         // A server with no autoscaler never takes the recent window; it
         // must stay bounded (newest samples win).
-        let hub = MetricsHub::new(vec!["w0".into()]);
+        let hub = MetricsHub::new(vec!["w0".into()], vec![]);
         for i in 0..(RECENT_LATENCY_CAP + 100) {
-            hub.record_batch(0, 1, 1, &[Duration::from_micros(i as u64)]);
+            hub.record_batch(0, 1, 1, &[(0, Duration::from_micros(i as u64))]);
         }
         let recent = hub.take_recent_latencies();
         assert_eq!(recent.len(), RECENT_LATENCY_CAP);
@@ -510,9 +690,63 @@ mod tests {
     }
 
     #[test]
+    fn tenant_counters_roll_up_per_tenant() {
+        let hub = MetricsHub::new(
+            vec!["w0".into()],
+            vec![
+                ("chat".into(), TenantClass::Interactive),
+                ("analytics".into(), TenantClass::Batch),
+            ],
+        );
+        // One batch carrying both tenants, then tenant-scoped refusals.
+        hub.record_batch(
+            0,
+            2,
+            2,
+            &[
+                (0, Duration::from_millis(5)),
+                (1, Duration::from_millis(40)),
+            ],
+        );
+        hub.record_shed(1);
+        hub.record_quota_rejected(1);
+        hub.record_quota_rejected(1);
+        let m = hub.snapshot(0);
+        assert_eq!(m.tenants.len(), 2);
+        assert_eq!(m.tenants[0].completed, 1);
+        assert_eq!(m.tenants[1].completed, 1);
+        assert_eq!(m.tenants[1].shed, 1);
+        assert_eq!(m.tenants[1].quota_rejected, 2);
+        assert_eq!(m.quota_rejected, 2);
+        assert!(m.tenants[0].p95_ms < m.tenants[1].p95_ms);
+        // Only the interactive sample lands in the rolling window.
+        assert!((hub.interactive_p95_ms() - 5.0).abs() < 1e-9);
+        let text = m.to_string();
+        assert!(text.contains("tenant chat"), "{text}");
+        assert!(text.contains("quota-rejected"), "{text}");
+    }
+
+    #[test]
+    fn rolling_p95_window_forgets_old_samples() {
+        let hub = MetricsHub::new(
+            vec!["w0".into()],
+            vec![("chat".into(), TenantClass::Interactive)],
+        );
+        for _ in 0..ROLLING_CAP {
+            hub.record_batch(0, 1, 1, &[(0, Duration::from_millis(100))]);
+        }
+        assert!(hub.interactive_p95_ms() > 99.0);
+        // A full window of fast samples displaces the slow era entirely.
+        for _ in 0..ROLLING_CAP {
+            hub.record_batch(0, 1, 1, &[(0, Duration::from_millis(1))]);
+        }
+        assert!(hub.interactive_p95_ms() < 2.0);
+    }
+
+    #[test]
     fn display_is_operator_readable() {
-        let hub = MetricsHub::new(vec!["w0".into()]);
-        hub.record_batch(0, 2, 2, &[Duration::from_millis(5); 2]);
+        let hub = MetricsHub::new(vec!["w0".into()], vec![]);
+        hub.record_batch(0, 2, 2, &[(0, Duration::from_millis(5)); 2]);
         let text = hub.snapshot(0).to_string();
         assert!(text.contains("served 2 ok"), "{text}");
         assert!(text.contains("p95"), "{text}");

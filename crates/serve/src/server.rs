@@ -1,20 +1,32 @@
-//! The batching server: bounded request queue → micro-batcher → worker
-//! dispatcher.
+//! The batching server: bounded per-tenant request queues → micro-batcher →
+//! worker dispatcher.
 //!
-//! One scheduler thread owns the queue and the batching clock; one thread
+//! One scheduler thread owns the queues and the batching clock; one thread
 //! per [`Backend`] runs the actual forward passes. The scheduler coalesces
 //! queued requests into batches of up to [`ServeConfig::max_batch`] rows
-//! (waiting at most [`ServeConfig::max_wait`] after the first request) and
-//! routes each batch to the least-loaded live worker, breaking ties
-//! round-robin. Because per-sample computations inside one forward pass are
-//! independent, a coalesced batch's rows are **bit-identical** to serving
-//! each request alone — batching changes latency and throughput, never
-//! answers.
+//! (waiting at most the batching window after the first request) and routes
+//! each batch to the least-loaded live worker, breaking ties round-robin.
+//!
+//! Without a tenancy table (`ServeConfig::tenancy = None`, the default)
+//! there is one anonymous queue, the window is exactly
+//! [`ServeConfig::max_wait`], and behaviour matches the classic single-FIFO
+//! server. With tenancy configured, each tenant has its own queue behind a
+//! token-bucket admission quota; batches are assembled by weighted deficit
+//! round robin (interactive tenants first, no backlogged tenant starved —
+//! see [`crate::sched`]) and the window adapts to the interactive class's
+//! rolling p95 against its SLO ([`crate::sched::adaptive_wait`]).
+//!
+//! Because per-sample computations inside one forward pass are independent,
+//! a coalesced batch's rows are **bit-identical** to serving each request
+//! alone — batching and tenant interleaving change latency and throughput,
+//! never answers.
 
 use crate::backend::{check_batch_shape, Backend};
 use crate::error::ServeError;
 use crate::metrics::{MetricsHub, ServeMetrics};
+use crate::sched::{adaptive_wait, DrrState, TenancyConfig, TenantClass, TokenBucket};
 use fluid_tensor::Tensor;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -40,7 +52,7 @@ use std::time::{Duration, Instant};
 /// cfg.queue_cap = 512;
 /// assert!(cfg.max_batch > ServeConfig::default().max_batch);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServeConfig {
     /// Maximum input rows coalesced into one dispatched batch. `1`
@@ -48,12 +60,16 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// How long the first request of a forming batch waits for co-riders
     /// before the batch is dispatched anyway. Bounds the latency cost of
-    /// batching.
+    /// batching. With tenancy configured this is the *base* window — the
+    /// scheduler shrinks it (down to an eighth) as the interactive class's
+    /// rolling p95 nears its SLO, and grows it (up to double) when idle;
+    /// see [`crate::sched::adaptive_wait`].
     pub max_wait: Duration,
     /// Maximum *outstanding* requests — admitted but not yet answered,
     /// whether queued, batching, or in flight on a worker. A submission
     /// past this is shed with [`ServeError::Overloaded`] instead of
-    /// growing the backlog.
+    /// growing the backlog. Shared across tenants; per-tenant limits are
+    /// the token-bucket quotas.
     pub queue_cap: usize,
     /// Compute-kernel threads for batch execution (`fluid_tensor::pool`).
     /// `Some(n)` pins the process-wide pool to `n` threads at
@@ -61,6 +77,11 @@ pub struct ServeConfig {
     /// `FLUID_THREADS` environment default) untouched. See
     /// `docs/PERFORMANCE.md`.
     pub threads: Option<usize>,
+    /// Multi-tenant scheduling table. `None` (the default) is classic
+    /// single-FIFO serving; `Some` switches on per-tenant queues, quotas,
+    /// weighted deficit-round-robin batch assembly and the SLO-adaptive
+    /// batching window. See `docs/SERVING.md` § Multi-tenant scheduling.
+    pub tenancy: Option<TenancyConfig>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +91,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_cap: 256,
             threads: None,
+            tenancy: None,
         }
     }
 }
@@ -131,13 +153,15 @@ impl Ticket {
     }
 }
 
-/// One queued request.
+/// One queued request. `tenant` is the dense slot into the tenancy table
+/// (0 without tenancy).
 struct Request {
     input: Tensor,
     rows: usize,
     respond: Sender<Result<Tensor, ServeError>>,
     enqueued: Instant,
     depth: Arc<AtomicUsize>,
+    tenant: usize,
 }
 
 /// One request's share of a dispatched batch. The `depth` handle is the
@@ -149,6 +173,7 @@ struct Part {
     rows: usize,
     enqueued: Instant,
     depth: Arc<AtomicUsize>,
+    tenant: usize,
 }
 
 impl Part {
@@ -205,6 +230,35 @@ struct Slot {
     thread: Option<JoinHandle<()>>,
 }
 
+/// Admission-side view of the tenancy table: id lookup, display names and
+/// one token bucket per tenant. Built once at [`Server::start`].
+struct TenantTable {
+    ids: Vec<u64>,
+    names: Vec<String>,
+    buckets: Vec<Mutex<TokenBucket>>,
+    default_slot: usize,
+}
+
+impl TenantTable {
+    fn new(tenancy: &TenancyConfig) -> TenantTable {
+        let now = Instant::now();
+        TenantTable {
+            ids: tenancy.tenants.iter().map(|t| t.id).collect(),
+            names: tenancy.tenants.iter().map(|t| t.name.clone()).collect(),
+            buckets: tenancy
+                .tenants
+                .iter()
+                .map(|t| Mutex::new(TokenBucket::new(t.rate, t.burst, now)))
+                .collect(),
+            default_slot: tenancy
+                .tenants
+                .iter()
+                .position(|t| t.id == tenancy.default_tenant)
+                .unwrap_or(0),
+        }
+    }
+}
+
 /// Client-side state shared by every [`ServerHandle`] clone.
 struct HandleShared {
     depth: Arc<AtomicUsize>,
@@ -212,6 +266,7 @@ struct HandleShared {
     cfg: ServeConfig,
     dims: [usize; 3],
     metrics: Arc<MetricsHub>,
+    tenants: Option<TenantTable>,
 }
 
 /// A cheap, cloneable, thread-safe client of a running [`Server`].
@@ -252,10 +307,55 @@ impl ServerHandle {
     ///   request was shed without being enqueued.
     /// * [`ServeError::ShuttingDown`] — the server is stopping.
     pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
+        let slot = self.shared.tenants.as_ref().map_or(0, |t| t.default_slot);
+        self.submit_slot(slot, input)
+    }
+
+    /// Enqueues a request on behalf of tenant `tenant` (its wire id). On a
+    /// server without a tenancy table the id is accepted and ignored —
+    /// exactly like a shard key that has already done its routing job.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`submit`](ServerHandle::submit) returns, plus:
+    ///
+    /// * [`ServeError::UnknownTenant`] — the id is not in the tenancy
+    ///   table.
+    /// * [`ServeError::QuotaExhausted`] — the tenant's token bucket is
+    ///   dry; the request was refused before touching the shared queue.
+    pub fn submit_for(&self, tenant: u64, input: Tensor) -> Result<Ticket, ServeError> {
+        match &self.shared.tenants {
+            None => self.submit_slot(0, input),
+            Some(t) => {
+                let slot = t
+                    .ids
+                    .iter()
+                    .position(|&id| id == tenant)
+                    .ok_or(ServeError::UnknownTenant(tenant))?;
+                self.submit_slot(slot, input)
+            }
+        }
+    }
+
+    fn submit_slot(&self, tenant: usize, input: Tensor) -> Result<Ticket, ServeError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         check_batch_shape(self.shared.dims, &input)?;
+        // Tenant quota first: a metered tenant is refused per-tenant
+        // *before* it can contend for the shared queue capacity.
+        if let Some(t) = &self.shared.tenants {
+            let admitted = t.buckets[tenant]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_take(Instant::now());
+            if !admitted {
+                self.shared.metrics.record_quota_rejected(tenant);
+                return Err(ServeError::QuotaExhausted {
+                    tenant: t.names[tenant].clone(),
+                });
+            }
+        }
         // Reserve a queue slot or shed — explicit backpressure, applied
         // before the request consumes any memory in the queue.
         let cap = self.shared.cfg.queue_cap;
@@ -267,7 +367,7 @@ impl ServerHandle {
             })
             .is_err()
         {
-            self.shared.metrics.record_shed();
+            self.shared.metrics.record_shed(tenant);
             return Err(ServeError::Overloaded { queue_cap: cap });
         }
         let rows = input.dims()[0];
@@ -278,6 +378,7 @@ impl ServerHandle {
             respond,
             enqueued: Instant::now(),
             depth: Arc::clone(&self.shared.depth),
+            tenant,
         };
         if self.tx.send(SchedMsg::Request(request)).is_err() {
             self.shared.depth.fetch_sub(1, Ordering::SeqCst);
@@ -294,6 +395,16 @@ impl ServerHandle {
     /// Propagates the submission or serving error.
     pub fn infer(&self, input: Tensor) -> Result<Tensor, ServeError> {
         self.submit(input)?.wait()
+    }
+
+    /// Convenience: [`submit_for`](ServerHandle::submit_for) then
+    /// [`Ticket::wait`] — one blocking tenant-tagged round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the submission or serving error.
+    pub fn infer_for(&self, tenant: u64, input: Tensor) -> Result<Tensor, ServeError> {
+        self.submit_for(tenant, input)?.wait()
     }
 
     /// Requests currently admitted and unanswered (queued, batching, or in
@@ -359,6 +470,10 @@ impl std::fmt::Debug for Server {
 /// How long idle serving threads sleep between shutdown-flag checks.
 const IDLE_TICK: Duration = Duration::from_millis(25);
 
+/// How long the scheduler naps between saturation probes while every
+/// accepting worker already has a full batch in flight.
+const PACING_TICK: Duration = Duration::from_micros(200);
+
 impl Server {
     /// Boots the serving instance: one scheduler plus one thread per
     /// backend.
@@ -377,6 +492,9 @@ impl Server {
                 "max_batch and queue_cap must be at least 1".into(),
             ));
         }
+        if let Some(tenancy) = &cfg.tenancy {
+            tenancy.validate().map_err(ServeError::BadInput)?;
+        }
         if let Some(threads) = cfg.threads {
             if threads == 0 {
                 return Err(ServeError::BadInput("threads must be at least 1".into()));
@@ -394,6 +512,12 @@ impl Server {
         }
         let metrics = Arc::new(MetricsHub::new(
             backends.iter().map(|b| b.name().to_owned()).collect(),
+            cfg.tenancy.as_ref().map_or_else(Vec::new, |t| {
+                t.tenants
+                    .iter()
+                    .map(|p| (p.name.clone(), p.class))
+                    .collect()
+            }),
         ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let (sched_tx, sched_rx) = mpsc::channel::<SchedMsg>();
@@ -411,6 +535,7 @@ impl Server {
             cfg: cfg.clone(),
             dims,
             metrics: Arc::clone(&metrics),
+            tenants: cfg.tenancy.as_ref().map(TenantTable::new),
         });
         let handle = ServerHandle {
             tx: sched_tx.clone(),
@@ -892,6 +1017,29 @@ fn slot_accepting(slot: &Slot) -> bool {
         && !slot.shared.draining.load(Ordering::SeqCst)
 }
 
+/// True when every accepting worker already holds two full batches of
+/// rows (one being served, one queued behind it). The scheduler holds
+/// off assembling in that state: dispatching anyway would turn the
+/// per-slot channels into an unbounded second queue, freezing batch
+/// composition long before service and letting tail latency grow past
+/// what `queue_cap` promises. One batch of lookahead is allowed so a
+/// worker finishing a batch always finds the next one waiting instead of
+/// idling for a pacing tick. With zero accepting workers this is `false`
+/// so dispatch can surface `NoWorkers` instead of stalling.
+fn workers_saturated(slots: &Mutex<Vec<Slot>>, max_batch: usize) -> bool {
+    let slots = lock_slots(slots);
+    let mut any_accepting = false;
+    for s in slots.iter() {
+        if slot_accepting(s) {
+            any_accepting = true;
+            if s.shared.in_flight_rows.load(Ordering::SeqCst) < 2 * max_batch {
+                return false;
+            }
+        }
+    }
+    any_accepting
+}
+
 fn spawn_slot(
     index: usize,
     backend: Box<dyn Backend>,
@@ -931,7 +1079,7 @@ fn worker_loop(
     // ever lost and no admission slot leaks. Only `Stop` ends the loop.
     let mut dead = false;
     // Reused across batches so the steady-state loop does not allocate it.
-    let mut latencies: Vec<Duration> = Vec::new();
+    let mut latencies: Vec<(usize, Duration)> = Vec::new();
     while let Ok(msg) = rx.recv() {
         let mut job = match msg {
             SlotMsg::Stop => break,
@@ -967,7 +1115,11 @@ fn worker_loop(
         };
         let now = Instant::now();
         latencies.clear();
-        latencies.extend(job.parts.iter().map(|p| now.duration_since(p.enqueued)));
+        latencies.extend(
+            job.parts
+                .iter()
+                .map(|p| (p.tenant, now.duration_since(p.enqueued))),
+        );
         metrics.record_batch(index, job.parts.len(), rows, &latencies);
         let mut lo = 0;
         for part in job.parts.drain(..) {
@@ -1001,20 +1153,57 @@ fn scheduler_loop(
     metrics: &MetricsHub,
     shutdown: &AtomicBool,
 ) {
-    // A request that arrived while the forming batch was already full; it
-    // seeds the next batch.
-    let mut carry: Option<Request> = None;
+    // One queue per tenant. Without tenancy there is a single anonymous
+    // queue with effectively unbounded DRR credit — the assembly then
+    // degenerates to the classic FIFO coalescing.
+    let (queue_count, order, weights, slo_ms, adaptive) = match &cfg.tenancy {
+        Some(t) => {
+            // Interactive tenants first in the ring: their rows board a
+            // forming batch before batch-class rows.
+            let mut order: Vec<usize> = (0..t.tenants.len()).collect();
+            order.sort_by_key(|&i| match t.tenants[i].class {
+                TenantClass::Interactive => 0,
+                TenantClass::Batch => 1,
+            });
+            let weights: Vec<u32> = t.tenants.iter().map(|p| p.weight).collect();
+            let adaptive = t
+                .tenants
+                .iter()
+                .any(|p| p.class == TenantClass::Interactive);
+            (
+                t.tenants.len(),
+                order,
+                weights,
+                t.interactive_slo_ms,
+                adaptive,
+            )
+        }
+        None => (
+            1,
+            vec![0],
+            vec![u32::try_from(cfg.max_batch).unwrap_or(u32::MAX).max(1)],
+            f64::INFINITY,
+            false,
+        ),
+    };
+    let mut queues: Vec<VecDeque<Request>> = (0..queue_count).map(|_| VecDeque::new()).collect();
+    let mut drr = DrrState::new(queue_count);
+    let mut queued_rows = 0usize;
+    let mut staged: Vec<(usize, Request)> = Vec::new();
     let mut rr_cursor = 0usize;
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            drain_on_shutdown(&rx, carry.take(), metrics);
+            drain_on_shutdown(&rx, &mut queues, metrics);
             return;
         }
-        // Seed a batch with the carried request or the next arrival.
-        let first = match carry.take() {
-            Some(r) => r,
-            None => match rx.recv_timeout(IDLE_TICK) {
-                Ok(SchedMsg::Request(r)) => r,
+        // Nothing queued: block for the first arrival (bounded, so the
+        // shutdown flag is re-checked every tick).
+        if queued_rows == 0 {
+            match rx.recv_timeout(IDLE_TICK) {
+                Ok(SchedMsg::Request(r)) => {
+                    queued_rows += r.rows;
+                    queues[r.tenant].push_back(r);
+                }
                 Ok(SchedMsg::Retry(job)) => {
                     metrics.record_retry();
                     dispatch(job, slots, &mut rr_cursor, metrics);
@@ -1022,36 +1211,25 @@ fn scheduler_loop(
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return,
-            },
-        };
-        // Coalesce co-riders until the batch is full or max_wait elapses.
-        fn absorb(r: Request, data: &mut Vec<f32>, rows: &mut usize, parts: &mut Vec<Part>) {
-            data.extend_from_slice(r.input.data());
-            *rows += r.rows;
-            parts.push(Part {
-                respond: r.respond,
-                rows: r.rows,
-                enqueued: r.enqueued,
-                depth: r.depth,
-            });
+            }
         }
-        let mut parts = Vec::new();
-        let mut data = Vec::new();
-        let mut rows = 0usize;
-        absorb(first, &mut data, &mut rows, &mut parts);
-        let deadline = Instant::now() + cfg.max_wait;
-        while rows < cfg.max_batch && carry.is_none() {
+        // Batch-formation window: coalesce co-riders until the backlog can
+        // fill a batch or the (SLO-adaptive) window elapses.
+        let wait = if adaptive {
+            adaptive_wait(cfg.max_wait, metrics.interactive_p95_ms(), slo_ms)
+        } else {
+            cfg.max_wait
+        };
+        let deadline = Instant::now() + wait;
+        while queued_rows < cfg.max_batch {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(SchedMsg::Request(r)) => {
-                    if rows + r.rows > cfg.max_batch {
-                        carry = Some(r); // doesn't fit: seeds the next batch
-                    } else {
-                        absorb(r, &mut data, &mut rows, &mut parts);
-                    }
+                    queued_rows += r.rows;
+                    queues[r.tenant].push_back(r);
                 }
                 Ok(SchedMsg::Retry(job)) => {
                     metrics.record_retry();
@@ -1060,6 +1238,69 @@ fn scheduler_loop(
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+        // Drain everything that has already arrived before assembling:
+        // fairness is judged against true per-tenant backlogs, and the
+        // channel's transport order must not masquerade as queue state.
+        loop {
+            match rx.try_recv() {
+                Ok(SchedMsg::Request(r)) => {
+                    queued_rows += r.rows;
+                    queues[r.tenant].push_back(r);
+                }
+                Ok(SchedMsg::Retry(job)) => {
+                    metrics.record_retry();
+                    dispatch(job, slots, &mut rr_cursor, metrics);
+                }
+                Err(_) => break,
+            }
+        }
+        // Worker-paced assembly: while every accepting worker is saturated,
+        // keep ingesting instead of assembling, so batches are composed
+        // against the freshest per-tenant backlogs at the moment a worker
+        // can actually take them.
+        while workers_saturated(slots, cfg.max_batch) && !shutdown.load(Ordering::SeqCst) {
+            match rx.recv_timeout(PACING_TICK) {
+                Ok(SchedMsg::Request(r)) => {
+                    queued_rows += r.rows;
+                    queues[r.tenant].push_back(r);
+                }
+                Ok(SchedMsg::Retry(job)) => {
+                    metrics.record_retry();
+                    dispatch(job, slots, &mut rr_cursor, metrics);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            continue; // the top of the loop runs the drain path
+        }
+        // Weighted deficit-round-robin assembly (FIFO within each tenant).
+        staged.clear();
+        let rows = drr.assemble(
+            &mut queues,
+            &order,
+            &weights,
+            cfg.max_batch,
+            |r| r.rows,
+            &mut staged,
+        );
+        if rows == 0 {
+            continue;
+        }
+        queued_rows -= rows;
+        let mut parts = Vec::with_capacity(staged.len());
+        let mut data = Vec::with_capacity(staged.iter().map(|(_, r)| r.input.data().len()).sum());
+        for (tenant, r) in staged.drain(..) {
+            data.extend_from_slice(r.input.data());
+            parts.push(Part {
+                respond: r.respond,
+                rows: r.rows,
+                enqueued: r.enqueued,
+                depth: r.depth,
+                tenant,
+            });
         }
         let [c, h, w] = handle.dims;
         let job = Job {
@@ -1121,14 +1362,20 @@ fn dispatch(mut job: Job, slots: &Mutex<Vec<Slot>>, rr_cursor: &mut usize, metri
 }
 
 /// Answers everything still queued with `ShuttingDown`, then returns.
-fn drain_on_shutdown(rx: &Receiver<SchedMsg>, carry: Option<Request>, metrics: &MetricsHub) {
+fn drain_on_shutdown(
+    rx: &Receiver<SchedMsg>,
+    queues: &mut [VecDeque<Request>],
+    metrics: &MetricsHub,
+) {
     let reject = |r: Request| {
         metrics.record_failed(1);
         r.depth.fetch_sub(1, Ordering::SeqCst);
         let _ = r.respond.send(Err(ServeError::ShuttingDown));
     };
-    if let Some(r) = carry {
-        reject(r);
+    for queue in queues.iter_mut() {
+        for r in queue.drain(..) {
+            reject(r);
+        }
     }
     while let Ok(msg) = rx.try_recv() {
         match msg {

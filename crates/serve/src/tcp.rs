@@ -128,6 +128,25 @@ fn serve_connection(
                     .send(&reply)
                     .map_err(|e| ServeError::Transport(e.to_string()))?;
             }
+            // A tenant-tagged request is admitted through that tenant's
+            // quota and queue; an unknown tenant id is answered with an
+            // explicit protocol-level Reject, never billed to a default.
+            Ok(Some(Message::InferTenant {
+                request_id,
+                tenant,
+                input,
+            })) => {
+                let reply = match handle.infer_for(tenant, input) {
+                    Ok(logits) => Message::Logits { request_id, logits },
+                    Err(e) => Message::Reject {
+                        request_id,
+                        reason: e.to_string(),
+                    },
+                };
+                transport
+                    .send(&reply)
+                    .map_err(|e| ServeError::Transport(e.to_string()))?;
+            }
             Ok(Some(Message::Shutdown)) => return Ok(()),
             Ok(Some(Message::Heartbeat { seq })) => {
                 transport
@@ -244,6 +263,25 @@ impl TcpClient {
         })
     }
 
+    /// Like [`infer`](TcpClient::infer), but tagged with a tenant id
+    /// ([`Message::InferTenant`]): the server admits the request through
+    /// that tenant's token-bucket quota and per-tenant queue. Against an
+    /// untenanted server the id is advisory; an id missing from a tenanted
+    /// server's table is an explicit [`ServeError::Rejected`] verdict.
+    ///
+    /// # Errors
+    ///
+    /// Same verdicts as [`infer`](TcpClient::infer).
+    pub fn infer_tenant(&mut self, tenant: u64, x: &Tensor) -> Result<Tensor, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.round_trip(Message::InferTenant {
+            request_id: id,
+            tenant,
+            input: x.clone(),
+        })
+    }
+
     /// Sends one request message and awaits its reply under the client's
     /// deadline. `msg` must carry `self.next_id - 1` as its request id.
     fn round_trip(&mut self, msg: Message) -> Result<Tensor, ServeError> {
@@ -334,6 +372,32 @@ mod tests {
         let keyed = client.infer_keyed(0xFEED, &x).expect("keyed infer");
         let plain = server.handle().infer(x).expect("inproc infer");
         assert!(keyed.allclose(&plain, 0.0));
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+
+    #[test]
+    fn tenant_infer_round_trips_and_unknown_tenant_is_rejected() {
+        use crate::sched::{TenancyConfig, TenantClass, TenantPolicy};
+        let cfg = ServeConfig {
+            tenancy: Some(TenancyConfig::new(vec![
+                TenantPolicy::new(1, "web", TenantClass::Interactive),
+                TenantPolicy::new(2, "batch", TenantClass::Batch),
+            ])),
+            ..ServeConfig::default()
+        };
+        let (server, addr, shutdown, front) = boot(cfg);
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 11) as f32 / 11.0);
+        let mut client = TcpClient::connect(&addr.to_string()).expect("connect");
+        let tagged = client.infer_tenant(2, &x).expect("tenant infer");
+        let plain = server.handle().infer(x.clone()).expect("inproc infer");
+        assert!(tagged.allclose(&plain, 0.0));
+        // Tenant 9 is not in the table: explicit reject, not a timeout.
+        let err = client.infer_tenant(9, &x).expect_err("unknown tenant");
+        match err {
+            ServeError::Rejected(reason) => assert!(reason.contains("9"), "{reason}"),
+            other => panic!("expected Rejected, got {other}"),
+        }
         shutdown.store(true, Ordering::SeqCst);
         front.join().expect("front").expect("io");
     }

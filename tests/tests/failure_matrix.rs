@@ -170,6 +170,165 @@ fn static_split_halves_are_not_functions() {
 // with scripted misbehaviour, so each failure mode is exercised in
 // isolation rather than hoping chaos produces it.
 
+// ---------------------------------------------------------------------------
+// Tenancy tier: the multi-tenant scheduler's failure rows. A quota that
+// runs dry and a tenant id the table has never heard of must both be
+// answered with a fast, explicit, per-tenant verdict — never billed to a
+// bystander tenant, never a hang, never a poisoned connection.
+
+mod tenant_rows {
+    use fluid_serve::{
+        serve_tcp, Backend, ServeConfig, ServeError, Server, TcpClient, TenancyConfig, TenantClass,
+        TenantPolicy,
+    };
+    use fluid_tensor::Tensor;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    struct InstantBackend;
+
+    impl Backend for InstantBackend {
+        fn name(&self) -> &str {
+            "instant"
+        }
+        fn input_dims(&self) -> [usize; 3] {
+            [1, 28, 28]
+        }
+        fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, fluid_dist::DistError> {
+            Ok(Tensor::zeros(&[x.dims()[0], 10]))
+        }
+    }
+
+    fn x() -> Tensor {
+        Tensor::from_fn(&[1, 1, 28, 28], |i| ((i * 13 % 37) as f32) / 37.0)
+    }
+
+    /// Boots a tenanted server behind a TCP front; `metered` gets a
+    /// 2-request bucket that effectively never refills, `free` is
+    /// unmetered.
+    fn boot_tenanted() -> (
+        Server,
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        let mut metered = TenantPolicy::new(1, "metered", TenantClass::Batch);
+        metered.rate = 0.001;
+        metered.burst = 2.0;
+        let free = TenantPolicy::new(2, "free", TenantClass::Interactive);
+        let mut cfg = ServeConfig::default();
+        cfg.max_wait = Duration::from_micros(200);
+        cfg.tenancy = Some(TenancyConfig::new(vec![metered, free]));
+        let server = Server::start(cfg, vec![Box::new(InstantBackend)]).expect("start");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let front = {
+            let (handle, shutdown) = (server.handle(), Arc::clone(&shutdown));
+            std::thread::spawn(move || serve_tcp(listener, handle, shutdown))
+        };
+        (server, addr, shutdown, front)
+    }
+
+    #[test]
+    fn quota_exhausted_tenant_is_rejected_while_others_proceed() {
+        let (server, addr, shutdown, front) = boot_tenanted();
+        let mut client = TcpClient::connect(&addr.to_string()).expect("connect");
+
+        // Burn the metered tenant's burst, then its next frame must come
+        // back as an explicit per-tenant verdict — fast, not a timeout.
+        for _ in 0..2 {
+            client.infer_tenant(1, &x()).expect("within burst");
+        }
+        let t0 = Instant::now();
+        let err = client.infer_tenant(1, &x()).expect_err("bucket is dry");
+        let verdict_in = t0.elapsed();
+        match &err {
+            ServeError::Rejected(reason) => {
+                assert!(
+                    reason.contains("metered"),
+                    "verdict must name the tenant: {reason}"
+                )
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        assert!(
+            verdict_in < Duration::from_secs(1),
+            "quota verdict took {verdict_in:?}"
+        );
+
+        // The bystander tenant proceeds on the same connection, promptly.
+        let t0 = Instant::now();
+        let out = client
+            .infer_tenant(2, &x())
+            .expect("free tenant is unmetered");
+        assert_eq!(out.dims(), &[1, 10]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "bystander slowed to {:?} by a rival's quota verdict",
+            t0.elapsed()
+        );
+
+        let metrics = server.shutdown();
+        let metered = metrics
+            .tenants
+            .iter()
+            .find(|t| t.name == "metered")
+            .expect("row");
+        assert_eq!(metered.quota_rejected, 1);
+        assert_eq!(metered.completed, 2);
+        let free = metrics
+            .tenants
+            .iter()
+            .find(|t| t.name == "free")
+            .expect("row");
+        assert_eq!(free.quota_rejected, 0);
+        assert_eq!(free.completed, 1);
+        drop(client);
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+
+    #[test]
+    fn unknown_tenant_frame_is_a_protocol_error_not_a_poisoned_connection() {
+        let (server, addr, shutdown, front) = boot_tenanted();
+        let mut client = TcpClient::connect(&addr.to_string()).expect("connect");
+
+        // Tenant 99 exists nowhere: the frame gets an explicit protocol
+        // error naming the offending id, within a bound.
+        let t0 = Instant::now();
+        let err = client.infer_tenant(99, &x()).expect_err("unknown tenant");
+        let verdict_in = t0.elapsed();
+        match &err {
+            ServeError::Rejected(reason) => {
+                assert!(reason.contains("99"), "verdict must name the id: {reason}")
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        assert!(
+            verdict_in < Duration::from_secs(1),
+            "unknown-tenant verdict took {verdict_in:?}"
+        );
+
+        // The connection survives the protocol error: a valid frame on the
+        // same socket is still served.
+        let out = client
+            .infer_tenant(2, &x())
+            .expect("connection still healthy");
+        assert_eq!(out.dims(), &[1, 10]);
+
+        let metrics = server.shutdown();
+        assert_eq!(
+            metrics.completed, 1,
+            "the bad frame must not be billed as work"
+        );
+        drop(client);
+        shutdown.store(true, Ordering::SeqCst);
+        front.join().expect("front").expect("io");
+    }
+}
+
 mod router_rows {
     use fluid_dist::{Message, TcpTransport, Transport};
     use fluid_router::{Router, RouterConfig};
