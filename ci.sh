@@ -101,6 +101,12 @@ stage_tests() {
     # fanned-out.
     FLUID_THREADS=1 cargo test -q
     FLUID_THREADS=4 cargo test -q
+    # The scalar leg: FLUID_FORCE_SCALAR=1 pins the scalar microkernels,
+    # so the fallback every dispatch decision must match stays green on
+    # hosts where AVX2/NEON would otherwise mask a scalar regression.
+    # fluid-tensor owns every dispatched kernel and its bit-identity
+    # proptests; the rest of the workspace only sees the dispatch result.
+    FLUID_FORCE_SCALAR=1 cargo test -q -p fluid-tensor
 }
 
 stage_drill() {

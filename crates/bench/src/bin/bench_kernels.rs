@@ -1,12 +1,20 @@
 //! Kernel-layer bench smoke: writes `BENCH_kernels.json` so the perf
 //! trajectory has a committed baseline.
 //!
-//! Three groups are measured:
+//! Five groups are measured:
 //!
 //! * `layer_ops` — the hot kernels (conv GEMM, backward GEMMs, `im2col`,
-//!   a full ranged-conv forward), each against an embedded copy of the
-//!   pre-pool *seed reference* kernel where one exists, and at 1 vs 4
-//!   pool threads.
+//!   a full ranged-conv forward, the int8 `qgemm`), each against an
+//!   embedded copy of the pre-pool *seed reference* kernel where one
+//!   exists, and at 1 vs 4 pool threads.
+//! * `simd_microkernels` — every dispatchable GEMM microkernel variant
+//!   (scalar fallback, AVX2 4×8/4×16, int8) timed on identical packed
+//!   panels; dispatch is once-per-process, so this sweep is how a single
+//!   binary compares variants on the same host.
+//! * `quantization` — int8 vs f32 inference at equal batch, plus the
+//!   top-1 agreement of a trained, calibrated int8 model against its f32
+//!   oracle — gated hard at ≥ 0.99 so a quantization regression fails
+//!   loudly even inside the latency tolerance.
 //! * `training_step` — one forward + backward + SGD step of the paper's
 //!   combined100 sub-network at batch 16.
 //! * `serve_throughput` — a closed 64-request burst through the in-proc
@@ -28,10 +36,13 @@
 //! so the baseline is never clobbered by the gate itself; refresh the
 //! baseline intentionally with `./ci.sh --update-bench`.
 
-use fluid_models::{Arch, FluidModel};
+use fluid_core::training::{train_nested, NestedSchedule, TrainConfig};
+use fluid_data::SynthDigits;
+use fluid_models::{calibrate, top1_agreement, Arch, FluidModel, QuantizedNet};
 use fluid_nn::{softmax_cross_entropy_ws, ChannelRange, Optimizer, RangedConv2d, Sgd};
 use fluid_serve::{EngineBackend, ServeConfig, Server};
-use fluid_tensor::{im2col, pool, Conv2dGeometry, Prng, Tensor};
+use fluid_tensor::quant::{qgemm_ws, QuantSrcB, QuantizedMatrix};
+use fluid_tensor::{im2col, pool, simd, Conv2dGeometry, Prng, Tensor, Workspace, KC};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -358,8 +369,160 @@ fn bench_layer_ops(warmup: usize, reps: usize) -> Vec<KernelRow> {
         });
     }
 
+    // Int8 GEMM at the headline forward shape — same (m, k, n) as
+    // `matmul_16x144_144x12544` so the f32-vs-int8 comparison is read
+    // straight off adjacent rows. Quantization of A happens once (as it
+    // does for frozen weights); B is quantized per call (as activations
+    // are), so the row prices the full serving-path cost.
+    {
+        let (m, k, n) = (16usize, 144usize, 12544usize);
+        let a = random_vec(12, m * k);
+        let b = random_vec(13, k * n);
+        let qa = QuantizedMatrix::from_rows(&a, m, k);
+        let b_scale = 1.0 / 127.0;
+        let mut out = vec![0.0f32; m * n];
+        let mut ws = Workspace::new();
+        pool::set_threads(1);
+        let t1 = time_ms(warmup, reps, || {
+            qgemm_ws(&qa, QuantSrcB::RowMajor(&b), b_scale, n, &mut out, &mut ws);
+            black_box(&out);
+        });
+        pool::set_threads(4);
+        let t4 = time_ms(warmup, reps, || {
+            qgemm_ws(&qa, QuantSrcB::RowMajor(&b), b_scale, n, &mut out, &mut ws);
+            black_box(&out);
+        });
+        rows.push(KernelRow {
+            name: "qgemm_i8_16x144_144x12544",
+            seed_ms: None,
+            t1_ms: t1,
+            t4_ms: t4,
+        });
+    }
+
     pool::set_threads(1);
     rows
+}
+
+struct MicrokernelRow {
+    name: String,
+    ms: f64,
+    gflops: f64,
+}
+
+/// Times every SIMD microkernel variant the host can execute, f32 and
+/// int8, on identical packed panels (`kc = KC`, the engine's real depth
+/// block). Dispatch is once-per-process, so this sweep — not the public
+/// `matmul` — is how one binary shows the dispatched kernel beating the
+/// autovectorized scalar fallback on the same machine.
+fn bench_simd_microkernels(warmup: usize, reps: usize) -> Vec<MicrokernelRow> {
+    const CALLS: usize = 2000;
+    let mut rows = Vec::new();
+    for kern in simd::host_variants_f32() {
+        let a = random_vec(20, KC * simd::MR);
+        let b = random_vec(21, KC * kern.nr);
+        let mut acc = [0.0f32; simd::ACC_F32];
+        let ms = time_ms(warmup, reps, || {
+            for _ in 0..CALLS {
+                (kern.run)(black_box(&a), black_box(&b), &mut acc);
+            }
+            black_box(&acc);
+        });
+        let flops = (CALLS * 2 * simd::MR * kern.nr * KC) as f64;
+        rows.push(MicrokernelRow {
+            name: format!("f32_{}", kern.name),
+            ms,
+            gflops: flops / (ms * 1e6),
+        });
+    }
+    for kern in simd::host_variants_i8() {
+        let kc2 = KC / 2;
+        let a: Vec<i8> = random_vec(22, kc2 * 2 * simd::MR)
+            .into_iter()
+            .map(|v| (v * 127.0) as i8)
+            .collect();
+        let b: Vec<i8> = random_vec(23, kc2 * 2 * simd::NR_I8)
+            .into_iter()
+            .map(|v| (v * 127.0) as i8)
+            .collect();
+        let mut acc = [0i32; simd::ACC_I8];
+        let ms = time_ms(warmup, reps, || {
+            for _ in 0..CALLS {
+                (kern.run)(black_box(&a), black_box(&b), &mut acc);
+            }
+            black_box(&acc);
+        });
+        // One multiply-accumulate per (row, col, k) int8 pair = 2 ops.
+        let flops = (CALLS * 2 * simd::MR * simd::NR_I8 * KC) as f64;
+        rows.push(MicrokernelRow {
+            name: format!("i8_{}", kern.name),
+            ms,
+            gflops: flops / (ms * 1e6),
+        });
+    }
+    rows
+}
+
+struct QuantReport {
+    f32_t1_ms: f64,
+    int8_t1_ms: f64,
+    int8_t4_ms: f64,
+    top1_agreement: f64,
+}
+
+/// Quantized inference vs f32 at equal batch, plus the calibration
+/// quality metric. Timing uses the paper architecture (weights don't
+/// matter for latency); the top-1 agreement check uses a *trained*
+/// tiny model so logits are separated and a quantization regression
+/// actually flips decisions instead of coin-tossing on random noise.
+fn bench_quantization(warmup: usize, reps: usize) -> QuantReport {
+    // --- latency: paper arch, batch 16 ---
+    let mut model = FluidModel::new(Arch::paper(), &mut Prng::new(0));
+    let spec = model.spec("combined100").expect("spec").clone();
+    let calib_ds = SynthDigits::new(0xCA11B).generate(64);
+    let (calib_batch, _) = calib_ds.gather(&(0..64).collect::<Vec<_>>());
+    let calib = calibrate(model.net_mut(), &spec, &calib_batch);
+    let mut qnet = QuantizedNet::from_net(model.net(), &spec, &calib);
+    let mut rng = Prng::new(2);
+    let x = Tensor::from_fn(&[16, 1, 28, 28], |_| rng.uniform(0.0, 1.0));
+    pool::set_threads(1);
+    let f32_t1 = time_ms(warmup, reps, || {
+        let y = model.net_mut().forward_subnet(&x, &spec, false);
+        model.net_mut().recycle(y);
+    });
+    let int8_t1 = time_ms(warmup, reps, || {
+        let y = qnet.forward(&x);
+        qnet.recycle(y);
+    });
+    pool::set_threads(4);
+    let int8_t4 = time_ms(warmup, reps, || {
+        let y = qnet.forward(&x);
+        qnet.recycle(y);
+    });
+    pool::set_threads(1);
+
+    // --- calibration quality: trained tiny model, held-out batch ---
+    let (train, _) = SynthDigits::new(41).train_test(400, 0);
+    let mut trained = FluidModel::new(Arch::tiny_28(), &mut Prng::new(41));
+    let _ = train_nested(
+        &mut trained,
+        &train,
+        &TrainConfig::fast_test(),
+        &NestedSchedule::fast_test(),
+    );
+    let tspec = trained.spec("combined100").expect("spec").clone();
+    let tcalib = calibrate(trained.net_mut(), &tspec, &calib_batch);
+    let mut tq = QuantizedNet::from_net(trained.net(), &tspec, &tcalib);
+    let f32_logits = trained
+        .net_mut()
+        .forward_subnet(&calib_batch, &tspec, false);
+    let q_logits = tq.forward(&calib_batch);
+    QuantReport {
+        f32_t1_ms: f32_t1,
+        int8_t1_ms: int8_t1,
+        int8_t4_ms: int8_t4,
+        top1_agreement: top1_agreement(&f32_logits, &q_logits),
+    }
 }
 
 /// One training step (the unit of Algorithm 1's inner loop) in ms.
@@ -566,8 +729,16 @@ fn main() {
     let (warmup, reps) = if quick { (2, 5) } else { (3, 11) };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    eprintln!("bench_kernels: layer_ops ({} visible cores)...", cores);
+    eprintln!(
+        "bench_kernels: layer_ops ({} visible cores, simd {})...",
+        cores,
+        simd::active_name()
+    );
     let kernels = bench_layer_ops(warmup, reps);
+    eprintln!("bench_kernels: simd_microkernels...");
+    let micro = bench_simd_microkernels(warmup, reps);
+    eprintln!("bench_kernels: quantization...");
+    let quant = bench_quantization(warmup.min(2), reps.min(7));
     eprintln!("bench_kernels: training_step...");
     let (train_t1, train_t4) = bench_training_step(warmup.min(2), reps.min(7));
     eprintln!("bench_kernels: serve_throughput...");
@@ -576,7 +747,8 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"meta\": {{\n    \"visible_cores\": {cores},\n    \"units\": \"ms (median) unless stated\",\n    \"note\": \"seed_reference = pre-pool scalar kernels re-measured on this host; threads1/threads4 = current kernels at FLUID_THREADS 1/4. Thread scaling requires a multi-core host.\"\n  }},\n"
+        "  \"meta\": {{\n    \"visible_cores\": {cores},\n    \"simd_active\": \"{}\",\n    \"units\": \"ms (median) unless stated\",\n    \"note\": \"seed_reference = pre-pool scalar kernels re-measured on this host; threads1/threads4 = current kernels at FLUID_THREADS 1/4. Thread scaling requires a multi-core host.\"\n  }},\n",
+        simd::active_name()
     ));
     json.push_str("  \"layer_ops\": {\n");
     for (i, row) in kernels.iter().enumerate() {
@@ -596,6 +768,25 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str("  \"simd_microkernels\": {\n");
+    for (i, row) in micro.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"ms\": {:.4}, \"gflops\": {:.2}}}{}\n",
+            row.name,
+            row.ms,
+            row.gflops,
+            if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"quantization\": {{\n    \"quantized_infer_combined100_batch16\": {{\"threads1_ms\": {:.3}, \"threads4_ms\": {:.3}, \"f32_t1_ms\": {:.3}, \"speedup_int8_vs_f32_t1\": {:.2}, \"top1_agreement\": {:.4}}}\n  }},\n",
+        quant.int8_t1_ms,
+        quant.int8_t4_ms,
+        quant.f32_t1_ms,
+        ratio(quant.f32_t1_ms, quant.int8_t1_ms),
+        quant.top1_agreement
+    ));
     json.push_str(&format!(
         "  \"training_step\": {{\n    \"combined100_batch16\": {{\"threads1_ms\": {:.3}, \"threads4_ms\": {:.3}, \"threads1_steps_per_s\": {:.2}, \"speedup_t4_vs_t1\": {:.2}}}\n  }},\n",
         train_t1,
@@ -620,6 +811,32 @@ fn main() {
     std::fs::write(out_path, &json).expect("write bench json");
     println!("{json}");
     eprintln!("bench_kernels: wrote {out_path}");
+
+    // Calibration-quality gate: quantization that flips >1% of top-1
+    // decisions on the held-out calibration batch is a regression no
+    // latency tolerance excuses — fail loudly, independent of `--check`.
+    const MIN_TOP1_AGREEMENT: f64 = 0.99;
+    if quant.top1_agreement < MIN_TOP1_AGREEMENT {
+        eprintln!(
+            "bench_kernels: int8 top-1 agreement {:.4} fell below {MIN_TOP1_AGREEMENT} — \
+             quantization regression",
+            quant.top1_agreement
+        );
+        std::process::exit(1);
+    }
+    // Dispatch sanity (informational): on an AVX2 host the widest
+    // dispatched kernel should outrun the autovectorized scalar.
+    if let (Some(s), Some(w)) = (
+        micro.iter().find(|r| r.name == "f32_scalar_4x8"),
+        micro.iter().find(|r| r.name == "f32_avx2_4x16"),
+    ) {
+        eprintln!(
+            "bench_kernels: f32 microkernel scalar {:.2} GFLOP/s vs avx2_4x16 {:.2} GFLOP/s ({:.2}x)",
+            s.gflops,
+            w.gflops,
+            w.gflops / s.gflops
+        );
+    }
 
     if let Some(baseline_path) = check_path {
         let baseline = std::fs::read_to_string(&baseline_path)

@@ -25,15 +25,15 @@ use fluid_dist::{
     extract_branch_weights, Master, MasterConfig, TcpTransport, ThroughputMeter, Worker,
 };
 use fluid_models::{
-    load_net_from_path, save_net_to_path, standard_specs, Arch, DynamicModel, FluidModel,
-    StaticModel, SubnetSpec,
+    calibrate, load_net_from_path, save_net_to_path, standard_specs, Arch, DynamicModel,
+    FluidModel, Precision, QuantizedNet, StaticModel, SubnetSpec,
 };
 use fluid_nn::accuracy;
 use fluid_perf::SystemModel;
 use fluid_router::{route_tcp, run_drill, DrillConfig, LocalCluster, RouterConfig};
 use fluid_serve::{
-    loadgen, AutoscaleConfig, Autoscaler, EngineBackend, ServeConfig, Server, TcpClient,
-    TenancyConfig, TenantClass, TenantPolicy,
+    loadgen, AutoscaleConfig, Autoscaler, EngineBackend, QuantBackend, ServeConfig, Server,
+    TcpClient, TenancyConfig, TenantClass, TenantPolicy,
 };
 use fluid_tensor::{Prng, Tensor};
 use std::net::{TcpListener, TcpStream};
@@ -79,24 +79,27 @@ USAGE:
   fluidctl worker [--listen ADDR] (default 127.0.0.1:7700)
   fluidctl master --connect ADDR --model-file PATH [--mode ha|ht] [--images N]
   fluidctl serve  [--listen ADDR] [--model-file PATH] [--workers N]
-                  [--max-batch N] [--max-wait-ms N] [--queue-cap N]
-                  [--tenants SPEC] [--slo-ms F]
+                  [--precision f32|int8] [--max-batch N] [--max-wait-ms N]
+                  [--queue-cap N] [--tenants SPEC] [--slo-ms F]
                   [--duration-s N] (0 = run until killed)
   fluidctl loadgen [--connect ADDR] [--requests N] [--clients N]
                   [--open-loop] [--lambda F] [--seed N] [--model-file PATH]
-                  [--workers N] [--max-batch N] [--max-wait-ms N]
-                  [--queue-cap N] [--tenants SPEC] [--slo-ms F]
+                  [--workers N] [--precision f32|int8] [--max-batch N]
+                  [--max-wait-ms N] [--queue-cap N] [--tenants SPEC] [--slo-ms F]
                   (without --connect: in-proc server; with --tenants:
                    per-tenant open loop, one report row per tenant)
   fluidctl autoscale [--min-workers N] [--max-workers N] [--requests N]
                   [--lambda F] [--tick-ms N] [--up-queue-depth N]
                   [--up-p95-ms F] [--down-queue-depth N] [--idle-ticks N]
                   [--cooldown-ticks N] [--retire-timeout-ms N] [--seed N]
-                  [--model-file PATH] [--max-batch N] [--max-wait-ms N]
-                  [--queue-cap N]
+                  [--model-file PATH] [--precision f32|int8] [--max-batch N]
+                  [--max-wait-ms N] [--queue-cap N]
   fluidctl reload [--model-file PATH] [--new-model-file PATH] [--workers N]
+                  [--precision f32|int8] [--new-precision f32|int8]
                   [--requests N] [--clients N] [--seed N]
                   [--max-batch N] [--max-wait-ms N] [--queue-cap N]
+                  (--new-precision defaults to --precision; setting them
+                   apart runs the f32<->int8 hot-swap A/B under load)
   fluidctl route  [--nodes N] [--workers-per-node N] [--replication N]
                   [--listen ADDR] [--requests N] [--clients N] [--seed N]
                   [--model-file PATH] [--max-batch N] [--max-wait-ms N]
@@ -112,6 +115,11 @@ USAGE:
 Every command also accepts --threads N to pin the compute-kernel worker
 pool (default: the FLUID_THREADS environment variable, else all cores).
 Outputs are bit-identical at any thread count; see docs/PERFORMANCE.md.
+
+--precision int8 serves the post-training-quantized model: weights are
+quantized per channel, activations calibrated on a held-out batch, and
+the top-1 agreement against f32 is printed at boot (gate: >= 99%).
+FLUID_FORCE_SCALAR=1 pins the scalar GEMM microkernels on any host.
 
 --tenants SPEC is a comma-separated table of
 ID:NAME:CLASS[:WEIGHT[:RATE[:BURST]]][@LAMBDA] entries (CLASS is
@@ -449,31 +457,89 @@ fn parse_tenants(spec: &str) -> Result<(Vec<TenantPolicy>, Vec<Option<f64>>), Cl
     Ok((policies, lambdas))
 }
 
-/// `count` engine replicas of the net's combined model, named
-/// `{prefix}{i}`.
-fn engine_backends(
-    net: &fluid_models::ConvNet,
-    spec: &SubnetSpec,
-    count: usize,
-    prefix: &str,
-) -> Vec<Box<dyn fluid_serve::Backend>> {
-    (0..count.max(1))
-        .map(|i| {
-            Box::new(EngineBackend::new(
-                &format!("{prefix}{i}"),
-                net.clone(),
-                spec.clone(),
-            )) as Box<dyn fluid_serve::Backend>
-        })
-        .collect()
+/// Number of held-out synthetic digits used to calibrate the int8 path.
+const CALIB_BATCH: usize = 64;
+
+/// A serving engine at one precision: the factory every serving command
+/// builds its backend fleet from (`--precision f32|int8`).
+#[derive(Clone)]
+enum ServingEngine {
+    F32(Box<fluid_models::ConvNet>, SubnetSpec),
+    Int8(Box<QuantizedNet>),
 }
 
-/// Boots an in-proc batching server: `workers` engine replicas of the
-/// net's combined model.
+impl ServingEngine {
+    /// Builds the engine, calibrating and freezing the net when `int8` is
+    /// requested. Calibration uses a held-out synthetic-digit batch
+    /// (disjoint seed from every loadgen input set) and prints the top-1
+    /// agreement against the f32 oracle on that batch.
+    fn build(
+        net: &mut fluid_models::ConvNet,
+        spec: &SubnetSpec,
+        precision: Precision,
+    ) -> Result<Self, CliError> {
+        match precision {
+            Precision::F32 => Ok(ServingEngine::F32(Box::new(net.clone()), spec.clone())),
+            Precision::Int8 => {
+                let (batch, _) = SynthDigits::new(0xCA11B)
+                    .generate(CALIB_BATCH)
+                    .gather(&(0..CALIB_BATCH).collect::<Vec<_>>());
+                let calib = calibrate(net, spec, &batch);
+                let qnet = QuantizedNet::from_net(net, spec, &calib);
+                let want = net.forward_subnet(&batch, spec, false);
+                let got = qnet.clone().forward(&batch);
+                let agreement = fluid_models::top1_agreement(&want, &got);
+                net.recycle(want);
+                println!(
+                    "int8 calibration: top-1 agreement {:.1}% vs f32 on {CALIB_BATCH} held-out digits",
+                    agreement * 100.0
+                );
+                if agreement < 0.99 {
+                    eprintln!(
+                        "warning: int8 top-1 agreement {:.3} below the 0.99 acceptance gate — \
+                         serve this model quantized only if that is acceptable",
+                        agreement
+                    );
+                }
+                Ok(ServingEngine::Int8(Box::new(qnet)))
+            }
+        }
+    }
+
+    /// One backend replica named `name`.
+    fn backend(&self, name: &str) -> Box<dyn fluid_serve::Backend> {
+        match self {
+            ServingEngine::F32(net, spec) => {
+                Box::new(EngineBackend::new(name, net.as_ref().clone(), spec.clone()))
+            }
+            ServingEngine::Int8(qnet) => Box::new(QuantBackend::new(name, qnet.as_ref().clone())),
+        }
+    }
+
+    /// `count` replicas named `{prefix}{i}`.
+    fn backends(&self, count: usize, prefix: &str) -> Vec<Box<dyn fluid_serve::Backend>> {
+        (0..count.max(1))
+            .map(|i| self.backend(&format!("{prefix}{i}")))
+            .collect()
+    }
+}
+
+/// Parses a `--precision`-style flag (empty = `default`).
+fn parse_precision(args: &ArgMap, key: &str, default: Precision) -> Result<Precision, CliError> {
+    match args.str_or(key, "") {
+        "" => Ok(default),
+        s => s.parse::<Precision>().map_err(CliError::Run),
+    }
+}
+
+/// Boots an in-proc batching server: `workers` replicas of the net's
+/// combined model at the requested `--precision`.
 fn boot_server(args: &ArgMap) -> Result<Server, CliError> {
-    let (net, spec) = serving_model(args)?;
+    let (mut net, spec) = serving_model(args)?;
     let workers = args.usize_or("workers", 2)?;
-    let backends = engine_backends(&net, &spec, workers, "engine");
+    let precision = parse_precision(args, "precision", Precision::F32)?;
+    let engine = ServingEngine::build(&mut net, &spec, precision)?;
+    let backends = engine.backends(workers, "engine");
     Server::start(serve_config(args)?, backends).map_err(|e| CliError::Run(e.to_string()))
 }
 
@@ -584,7 +650,7 @@ fn cmd_loadgen(args: &ArgMap) -> Result<(), CliError> {
 }
 
 fn cmd_autoscale(args: &ArgMap) -> Result<(), CliError> {
-    let (net, spec) = serving_model(args)?;
+    let (mut net, spec) = serving_model(args)?;
     let min_workers = args.usize_or("min-workers", 1)?.max(1);
     let max_workers = args.usize_or("max-workers", 4)?;
     let requests = args.usize_or("requests", 240)?.max(4);
@@ -606,20 +672,13 @@ fn cmd_autoscale(args: &ArgMap) -> Result<(), CliError> {
     scale_cfg.cooldown_ticks = args.usize_or("cooldown-ticks", scale_cfg.cooldown_ticks)?;
     scale_cfg.retire_timeout = Duration::from_millis(args.u64_or("retire-timeout-ms", 10_000)?);
 
-    let server = Server::start(
-        serve_config(args)?,
-        engine_backends(&net, &spec, min_workers, "base"),
-    )
-    .map_err(|e| CliError::Run(e.to_string()))?;
+    let precision = parse_precision(args, "precision", Precision::F32)?;
+    let engine = ServingEngine::build(&mut net, &spec, precision)?;
+    let server = Server::start(serve_config(args)?, engine.backends(min_workers, "base"))
+        .map_err(|e| CliError::Run(e.to_string()))?;
     let factory = {
-        let (net, spec) = (net.clone(), spec.clone());
-        move |slot: usize| {
-            Ok(Box::new(EngineBackend::new(
-                &format!("auto{slot}"),
-                net.clone(),
-                spec.clone(),
-            )) as Box<dyn fluid_serve::Backend>)
-        }
+        let engine = engine.clone();
+        move |slot: usize| Ok(engine.backend(&format!("auto{slot}")))
     };
     let scaler = Autoscaler::spawn(server.elastic(), factory, scale_cfg)
         .map_err(|e| CliError::Run(e.to_string()))?;
@@ -661,12 +720,14 @@ fn cmd_reload(args: &ArgMap) -> Result<(), CliError> {
     let requests = args.usize_or("requests", 200)?.max(2);
     let clients = args.usize_or("clients", 4)?.max(1);
     let seed = args.u64_or("seed", 42)?;
+    let precision = parse_precision(args, "precision", Precision::F32)?;
+    // The fleet swapped in may run at a different precision — the f32↔int8
+    // A/B recipe (`--precision f32 --new-precision int8`, or the reverse).
+    let new_precision = parse_precision(args, "new-precision", precision)?;
 
-    let server = Server::start(
-        serve_config(args)?,
-        engine_backends(&net, &spec, workers, "v1-"),
-    )
-    .map_err(|e| CliError::Run(e.to_string()))?;
+    let v1 = ServingEngine::build(&mut net, &spec, precision)?;
+    let server = Server::start(serve_config(args)?, v1.backends(workers, "v1-"))
+        .map_err(|e| CliError::Run(e.to_string()))?;
     let handle = server.handle();
     let inputs = loadgen_inputs(seed);
 
@@ -689,17 +750,17 @@ fn cmd_reload(args: &ArgMap) -> Result<(), CliError> {
             println!("loaded replacement weights from {path}");
         }
     }
+    // Built after the optional weight reload so an int8 v2 calibrates the
+    // weights it will actually serve.
+    let v2 = ServingEngine::build(&mut net, &spec, new_precision)?;
     let t0 = Instant::now();
     server
         .elastic()
-        .hot_swap(
-            engine_backends(&net, &spec, workers, "v2-"),
-            Duration::from_secs(30),
-        )
+        .hot_swap(v2.backends(workers, "v2-"), Duration::from_secs(30))
         .map_err(|e| CliError::Run(e.to_string()))?;
     println!(
-        "hot swap: {workers} old slots drained and retired, {workers} new slots live \
-         in {:.1} ms",
+        "hot swap: {workers} old {precision} slots drained and retired, \
+         {workers} new {new_precision} slots live in {:.1} ms",
         t0.elapsed().as_secs_f64() * 1e3
     );
 
@@ -1053,6 +1114,59 @@ mod tests {
             "9",
         ]))
         .expect("reload demo");
+    }
+
+    #[test]
+    fn loadgen_serves_int8_in_proc() {
+        run(&argv(&[
+            "loadgen",
+            "--requests",
+            "12",
+            "--clients",
+            "4",
+            "--workers",
+            "1",
+            "--precision",
+            "int8",
+            "--seed",
+            "5",
+        ]))
+        .expect("in-proc int8 loadgen");
+    }
+
+    #[test]
+    fn serve_rejects_unknown_precision() {
+        let err = run(&argv(&[
+            "loadgen",
+            "--requests",
+            "4",
+            "--precision",
+            "fp16",
+        ]))
+        .expect_err("bad precision");
+        assert!(err.to_string().contains("precision"), "{err}");
+    }
+
+    #[test]
+    fn reload_swaps_f32_fleet_for_int8_under_load() {
+        // The A/B recipe: boot f32, hot-swap an int8 fleet in under live
+        // closed-loop traffic, zero failures expected.
+        run(&argv(&[
+            "reload",
+            "--workers",
+            "1",
+            "--requests",
+            "16",
+            "--clients",
+            "2",
+            "--precision",
+            "f32",
+            "--new-precision",
+            "int8",
+            "--seed",
+            "9",
+        ]))
+        .expect("f32 -> int8 hot swap");
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod flops;
 mod fluid_model;
 mod multi_block;
 mod network;
+mod quantized;
 mod spec;
 mod static_model;
 
@@ -53,5 +54,8 @@ pub use flops::{branch_cost, static_partition_comm_bytes, subnet_cost, CostRepor
 pub use fluid_model::{standard_specs, FluidModel, STANDALONE_SUBNETS};
 pub use multi_block::MultiBlockFluid;
 pub use network::ConvNet;
+pub use quantized::{
+    calibrate, top1_agreement, BranchCalibration, Calibration, Precision, QuantizedNet,
+};
 pub use spec::{BranchSpec, SubnetSpec};
 pub use static_model::StaticModel;

@@ -125,6 +125,59 @@ impl ConvNet {
         logits
     }
 
+    /// Runs one branch in inference mode like
+    /// [`forward_branch`](ConvNet::forward_branch), additionally invoking
+    /// `observe` with every quantization surface: `(stage, input)` for
+    /// each conv stage's input activations and `(conv_stages, input)` for
+    /// the flattened FC input. This is the calibration hook for the int8
+    /// path (see [`crate::calibrate`]).
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward_branch`](ConvNet::forward_branch).
+    pub fn forward_branch_observed(
+        &mut self,
+        x: &Tensor,
+        branch: &BranchSpec,
+        observe: &mut dyn FnMut(usize, &Tensor),
+    ) -> Tensor {
+        assert_eq!(
+            branch.channels.len(),
+            self.arch.conv_stages,
+            "branch {} has {} stages, arch has {}",
+            branch.name,
+            branch.channels.len(),
+            self.arch.conv_stages
+        );
+        let Self {
+            arch,
+            convs,
+            relus,
+            pools,
+            flatten,
+            fc,
+            ws,
+        } = self;
+        let mut h = ws.tensor_copy(x);
+        for stage in 0..arch.conv_stages {
+            observe(stage, &h);
+            let in_range = branch.in_range(stage, arch.image_channels);
+            let out_range = branch.channels[stage];
+            let next = convs[stage].forward_ws(&h, in_range, out_range, false, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
+            let next = relus[stage].forward_ws(&h, false, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
+            let next = pools[stage].forward_ws(&h, false, ws);
+            ws.recycle(std::mem::replace(&mut h, next));
+        }
+        let flat = flatten.forward_ws(&h, false, ws);
+        ws.recycle(h);
+        observe(arch.conv_stages, &flat);
+        let logits = fc.forward_ws(&flat, branch.fc_range(arch), branch.fc_bias, false, ws);
+        ws.recycle(flat);
+        logits
+    }
+
     /// Backpropagates one branch given `dL/d(partial logits)`.
     ///
     /// Must be called in reverse order of the branch forwards of the same

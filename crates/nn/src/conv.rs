@@ -118,9 +118,19 @@ impl RangedConv2d {
         &mut self.bias
     }
 
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
     /// Extracts the weight window `[out_range × in_range]` as a
     /// `[out_w, in_w·K·K]` matrix, backed by a workspace buffer.
-    fn weight_window(
+    pub(crate) fn weight_window(
         &self,
         in_range: ChannelRange,
         out_range: ChannelRange,
@@ -369,7 +379,14 @@ impl RangedConv2d {
 }
 
 /// Reorders a `[C, N·P]` matrix into `[N, C, OH, OW]` (workspace-backed).
-fn cnp_to_nchw(m: &Tensor, n: usize, c: usize, oh: usize, ow: usize, ws: &mut Workspace) -> Tensor {
+pub(crate) fn cnp_to_nchw(
+    m: &Tensor,
+    n: usize,
+    c: usize,
+    oh: usize,
+    ow: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     let p = oh * ow;
     let mut out = ws.tensor_zeroed(&[n, c, oh, ow]);
     for ci in 0..c {

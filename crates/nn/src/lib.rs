@@ -39,6 +39,7 @@ mod linear;
 mod loss;
 mod optim;
 mod pool;
+mod qlayers;
 mod range;
 mod schedule;
 
@@ -51,5 +52,6 @@ pub use linear::RangedLinear;
 pub use loss::{accuracy, softmax_cross_entropy, softmax_cross_entropy_ws};
 pub use optim::{Adam, Optimizer, ParamSet, Sgd};
 pub use pool::MaxPool2d;
+pub use qlayers::{QuantConv2d, QuantLinear};
 pub use range::ChannelRange;
 pub use schedule::{ConstantLr, CosineLr, LrSchedule, StepLr};

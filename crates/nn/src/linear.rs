@@ -85,7 +85,7 @@ impl RangedLinear {
 
     /// Extracts columns `[in_range)` as an `[out, in_w]` matrix, backed by
     /// a workspace buffer.
-    fn weight_window(&self, in_range: ChannelRange, ws: &mut Workspace) -> Tensor {
+    pub(crate) fn weight_window(&self, in_range: ChannelRange, ws: &mut Workspace) -> Tensor {
         let in_w = in_range.width();
         let mut out = ws.tensor_zeroed(&[self.out_features, in_w]);
         for r in 0..self.out_features {

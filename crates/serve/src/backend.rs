@@ -3,16 +3,20 @@
 //! A [`Backend`] is one unit of serving capacity. The scheduler only ever
 //! hands it a whole `[N, C, H, W]` batch and expects `[N, classes]` logits
 //! back; everything about *which* device(s) execute is the backend's
-//! business. Two implementations ship:
+//! business. Three implementations ship:
 //!
-//! * [`EngineBackend`] — the full sub-network on the local device.
+//! * [`EngineBackend`] — the full f32 sub-network on the local device.
+//! * [`QuantBackend`] — the same sub-network frozen to int8 (calibrated
+//!   post-training quantization); interchangeable with [`EngineBackend`]
+//!   under the elasticity layer, which is what makes the f32↔int8
+//!   hot-swap A/B possible.
 //! * [`MasterBackend`] — a High-Accuracy Master/Worker pair behind one
 //!   backend, so one serving slot can span two devices (and inherit the
 //!   pair's failure semantics: a dead link fails the slot, not the server).
 
 use crate::error::ServeError;
 use fluid_dist::{DistError, Master, Transport};
-use fluid_models::{ConvNet, SubnetSpec};
+use fluid_models::{ConvNet, QuantizedNet, SubnetSpec};
 use fluid_tensor::Tensor;
 
 /// One unit of serving capacity the dispatcher can route batches to.
@@ -130,6 +134,73 @@ impl Backend for EngineBackend {
     fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
         check_batch_shape(self.input_dims(), x).map_err(|e| DistError::Protocol(e.to_string()))?;
         Ok(self.net.forward_subnet(x, &self.spec, false))
+    }
+
+    fn recycle_output(&mut self, out: Tensor) {
+        self.net.recycle(out);
+    }
+}
+
+/// A backend running a frozen int8 [`QuantizedNet`] in-process — the
+/// serving face of the quantized inference path.
+///
+/// Build it from the same f32 net an [`EngineBackend`] would wrap:
+/// calibrate on a held-out batch, freeze, serve. Because the backends
+/// share the [`Backend`] trait, the elasticity layer can hot-swap an f32
+/// fleet for an int8 fleet (or back) under live traffic and judge the
+/// swap with the ordinary acceptance metrics — the f32↔int8 A/B recipe
+/// in `docs/SERVING.md`.
+///
+/// # Example
+///
+/// ```
+/// use fluid_serve::{Backend, QuantBackend};
+/// use fluid_models::{calibrate, Arch, FluidModel, QuantizedNet};
+/// use fluid_tensor::{Prng, Tensor};
+///
+/// let mut model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(0));
+/// let spec = model.spec("combined100").unwrap().clone();
+/// let held_out = Tensor::from_fn(&[8, 1, 28, 28], |i| ((i % 13) as f32) / 13.0);
+/// let calib = calibrate(model.net_mut(), &spec, &held_out);
+/// let qnet = QuantizedNet::from_net(model.net(), &spec, &calib);
+/// let mut backend = QuantBackend::new("int8-local", qnet);
+/// let logits = backend.infer_batch(&Tensor::zeros(&[2, 1, 28, 28])).unwrap();
+/// assert_eq!(logits.dims(), &[2, 10]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantBackend {
+    name: String,
+    net: QuantizedNet,
+}
+
+impl QuantBackend {
+    /// Wraps a frozen quantized net.
+    pub fn new(name: &str, net: QuantizedNet) -> Self {
+        Self {
+            name: name.to_owned(),
+            net,
+        }
+    }
+
+    /// The sub-network this backend serves.
+    pub fn subnet(&self) -> &str {
+        self.net.subnet()
+    }
+}
+
+impl Backend for QuantBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_dims(&self) -> [usize; 3] {
+        let arch = self.net.arch();
+        [arch.image_channels, arch.image_side, arch.image_side]
+    }
+
+    fn infer_batch(&mut self, x: &Tensor) -> Result<Tensor, DistError> {
+        check_batch_shape(self.input_dims(), x).map_err(|e| DistError::Protocol(e.to_string()))?;
+        Ok(self.net.forward(x))
     }
 
     fn recycle_output(&mut self, out: Tensor) {

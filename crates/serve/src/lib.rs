@@ -19,7 +19,8 @@
 //!   coalesced into one forward pass of up to `max_batch` rows; the first
 //!   request waits at most `max_wait` for co-riders. Batched rows are
 //!   bit-identical to serving each request alone.
-//! * **Dispatch** ([`Backend`], [`EngineBackend`], [`MasterBackend`]):
+//! * **Dispatch** ([`Backend`], [`EngineBackend`], [`QuantBackend`],
+//!   [`MasterBackend`]):
 //!   batches route to the least-loaded live worker (ties round-robin). A
 //!   failing worker's batch is retried elsewhere; the slot stays dead until
 //!   [`Server::reattach`] — the serving-layer face of the paper's
@@ -97,7 +98,7 @@ mod server;
 mod tcp;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler, BackendFactory, ScaleAction, ScaleEvent};
-pub use backend::{Backend, EngineBackend, MasterBackend};
+pub use backend::{Backend, EngineBackend, MasterBackend, QuantBackend};
 pub use error::ServeError;
 pub use loadgen::{InferClient, LoadgenReport, TenantLoad};
 pub use metrics::{ServeMetrics, TenantMetric, WorkerMetric};

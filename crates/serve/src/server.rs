@@ -208,6 +208,12 @@ enum SchedMsg {
     /// A batch bounced off a dying worker; re-dispatch it ahead of the
     /// queue (its requests have already waited once).
     Retry(Job),
+    /// A worker finished a batch (its `in_flight_rows` already dropped).
+    /// Pure wake-up: a scheduler paced against saturated workers
+    /// re-evaluates immediately instead of sleeping out a pacing tick —
+    /// timer slack on those ticks is what cost the untenanted fast path
+    /// its burst throughput.
+    Done,
 }
 
 enum SlotMsg {
@@ -470,8 +476,12 @@ impl std::fmt::Debug for Server {
 /// How long idle serving threads sleep between shutdown-flag checks.
 const IDLE_TICK: Duration = Duration::from_millis(25);
 
-/// How long the scheduler naps between saturation probes while every
-/// accepting worker already has a full batch in flight.
+/// Fallback nap between saturation probes while every accepting worker
+/// already has a full batch in flight. Workers send [`SchedMsg::Done`]
+/// the moment a batch completes, so in the common case the scheduler
+/// wakes immediately; the tick only bounds the wait when that wake is
+/// lost (e.g. a worker dying mid-batch), making pacing latency
+/// event-driven rather than timer-granularity-bound.
 const PACING_TICK: Duration = Duration::from_micros(200);
 
 impl Server {
@@ -1093,6 +1103,9 @@ fn worker_loop(
         }
         let result = backend.infer_batch(&job.input);
         shared.in_flight_rows.fetch_sub(rows, Ordering::SeqCst);
+        // Wake a pacing scheduler the moment capacity frees up (a closed
+        // send just means the scheduler is gone — nothing to wake).
+        let _ = retry_tx.send(SchedMsg::Done);
         let logits = match result {
             Ok(logits) if logits.dims().len() == 2 && logits.dims()[0] == rows => logits,
             Ok(bad) => {
@@ -1209,6 +1222,7 @@ fn scheduler_loop(
                     dispatch(job, slots, &mut rr_cursor, metrics);
                     continue;
                 }
+                Ok(SchedMsg::Done) => continue, // nothing queued; nothing to pace
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return,
             }
@@ -1235,6 +1249,7 @@ fn scheduler_loop(
                     metrics.record_retry();
                     dispatch(job, slots, &mut rr_cursor, metrics);
                 }
+                Ok(SchedMsg::Done) => {} // capacity freed; the window still governs
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -1252,6 +1267,7 @@ fn scheduler_loop(
                     metrics.record_retry();
                     dispatch(job, slots, &mut rr_cursor, metrics);
                 }
+                Ok(SchedMsg::Done) => {} // stale wake-up; keep draining
                 Err(_) => break,
             }
         }
@@ -1269,6 +1285,10 @@ fn scheduler_loop(
                     metrics.record_retry();
                     dispatch(job, slots, &mut rr_cursor, metrics);
                 }
+                // A worker's completion wake: re-check saturation right
+                // away. The tick is only the fallback (e.g. a worker that
+                // died without sending), not the pace of the fast path.
+                Ok(SchedMsg::Done) => {}
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -1381,6 +1401,7 @@ fn drain_on_shutdown(
         match msg {
             SchedMsg::Request(r) => reject(r),
             SchedMsg::Retry(job) => job.fail(&ServeError::ShuttingDown, metrics),
+            SchedMsg::Done => {}
         }
     }
 }

@@ -2,25 +2,32 @@
 //!
 //! This is a BLIS-style design (see `docs/PERFORMANCE.md`): operands are
 //! first *packed* into cache-resident panels drawn from a [`Workspace`],
-//! then a blocked loop nest drives an unrolled [`MR`]×[`NR`] microkernel
-//! whose inner loop autovectorizes on stable Rust. One engine serves all
-//! four operand layouts (`matmul`, `matmul_at`, `matmul_bt`, and the
-//! implicit-`im2col` patch matrix used by convolution), so every consumer
-//! inherits the same performance and the same determinism argument.
+//! then a blocked loop nest drives an unrolled [`MR`]×`nr` microkernel
+//! chosen **once per process** by [`crate::simd`]'s runtime CPU-feature
+//! dispatch (AVX2 4×16 on modern x86, NEON on aarch64, the scalar 4×8
+//! fallback everywhere else or under `FLUID_FORCE_SCALAR=1`). One engine
+//! serves all four operand layouts (`matmul`, `matmul_at`, `matmul_bt`,
+//! and the implicit-`im2col` patch matrix used by convolution), so every
+//! consumer inherits the same performance and the same determinism
+//! argument.
 //!
 //! ## Loop structure
 //!
 //! ```text
 //! for jc in steps of NC:                 // column slice (B stays in L2)
 //!   for pc in steps of KC:               // depth slice (fixes FP order)
-//!     pack B[pc.., jc..] into NR-column strips   (parallel over strips)
+//!     pack B[pc.., jc..] into nr-column strips   (parallel over strips)
 //!     pack A[.., pc..]   into MR-row panels      (parallel over panels)
 //!     for each MR-row panel:             // parallel over panels
-//!       for each NR-column strip:
-//!         acc[MR][NR] = 0
+//!       for each nr-column strip:
+//!         acc[MR][nr] = 0
 //!         for kk in 0..kc: acc += a_panel[kk] ⊗ b_strip[kk]   // microkernel
 //!         C[panel rows, strip cols] += acc
 //! ```
+//!
+//! `nr` is the dispatched kernel's tile width ([`NR`] = 8 for the scalar
+//! fallback, 16 for the AVX2 4×16 kernel); it decides how strips are cut,
+//! never how any element is computed.
 //!
 //! ## Determinism
 //!
@@ -32,20 +39,25 @@
 //!
 //! — fully determined by `k` and the [`KC`] constant alone. Parallelism
 //! only ever splits the *output* (row panels, column strips); no thread
-//! boundary, panel size, or edge case changes any element's chain. Results
-//! are therefore bit-identical at any thread count, and a row of a batched
-//! product is bit-identical to the same row computed alone (the serving
-//! layer's batching invariant).
+//! boundary, panel size, tile width, or edge case changes any element's
+//! chain. Every dispatched SIMD variant reproduces the scalar kernel's
+//! mul-then-add rounding sequence exactly (no FMA — see [`crate::simd`]).
+//! Results are therefore bit-identical at any thread count *and under any
+//! dispatch decision*, and a row of a batched product is bit-identical to
+//! the same row computed alone (the serving layer's batching invariant).
 
 use crate::im2col::Conv2dGeometry;
 use crate::pool;
+use crate::simd::{self, KernelF32};
 use crate::workspace::Workspace;
 
-/// Microkernel rows: output rows accumulated together in registers.
+/// Microkernel rows: output rows accumulated together in registers
+/// (shared by every dispatched variant).
 pub const MR: usize = 4;
 
-/// Microkernel columns: output columns accumulated together in registers.
-/// `MR × NR` accumulators fill the SSE register budget without spilling.
+/// The scalar microkernel's tile width; the packed strip width follows the
+/// *dispatched* kernel (8 or 16) at run time, so treat this constant as
+/// the minimum, not the layout law.
 pub const NR: usize = 8;
 
 /// Depth blocking: the k-extent of one packed A-panel/B-strip pair. This
@@ -94,33 +106,52 @@ pub(crate) fn gemm(
     out: &mut [f32],
     ws: &mut Workspace,
 ) {
+    gemm_with(simd::active_f32(), m, n, k, a, b, out, ws);
+}
+
+/// [`gemm`] pinned to one microkernel variant — the dispatch seam. The
+/// public entry uses the host's selected kernel; tests drive every variant
+/// through here to pin cross-variant bit-identity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_with(
+    kern: &KernelF32,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: AccessA<'_>,
+    b: AccessB<'_>,
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 || k == 0 {
         return; // an empty reduction leaves the zero-initialised output
     }
+    let nr = kern.nr;
     let panels = m.div_ceil(MR);
     let kc_max = KC.min(k);
-    let nc_max = NC.min(n.div_ceil(NR) * NR);
+    let nc_max = NC.min(n.div_ceil(nr) * nr);
     let mut a_pack = ws.take_dirty(panels * MR * kc_max);
     let mut b_pack = ws.take_dirty(nc_max * kc_max);
 
     let mut jc = 0;
     while jc < n {
         let nc = NC.min(n - jc);
-        let strips = nc.div_ceil(NR);
+        let strips = nc.div_ceil(nr);
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            let b_slice = &mut b_pack[..strips * kc * NR];
-            pool::parallel_rows_mut(b_slice, kc * NR, 2, |srange, block| {
+            let b_slice = &mut b_pack[..strips * kc * nr];
+            pool::parallel_rows_mut(b_slice, kc * nr, 2, |srange, block| {
                 for (bi, s) in srange.enumerate() {
                     pack_b_strip(
                         b,
                         n,
-                        jc + s * NR,
+                        jc + s * nr,
                         pc,
                         kc,
-                        &mut block[bi * kc * NR..][..kc * NR],
+                        nr,
+                        &mut block[bi * kc * nr..][..kc * nr],
                     );
                 }
             });
@@ -146,11 +177,12 @@ pub(crate) fn gemm(
             let full_rows = (m / MR) * MR;
             let (head, tail) = out.split_at_mut(full_rows * n);
             let a_slice = &a_pack[..panels * kc * MR];
-            let b_slice = &b_pack[..strips * kc * NR];
+            let b_slice = &b_pack[..strips * kc * nr];
             if !head.is_empty() {
                 pool::parallel_rows_mut(head, MR * n, 1, |prange, block| {
                     for (bi, p) in prange.enumerate() {
                         compute_panel(
+                            kern,
                             &a_slice[p * kc * MR..][..kc * MR],
                             b_slice,
                             &mut block[bi * MR * n..][..MR * n],
@@ -166,6 +198,7 @@ pub(crate) fn gemm(
             if !tail.is_empty() {
                 let p = full_rows / MR;
                 compute_panel(
+                    kern,
                     &a_slice[p * kc * MR..][..kc * MR],
                     b_slice,
                     tail,
@@ -186,9 +219,11 @@ pub(crate) fn gemm(
 
 /// One packed A panel (`kc` steps × `MR` rows, k-major) against every
 /// B strip of the current column slice, accumulating into `rows` rows of
-/// the output block starting at column `jc`.
+/// the output block starting at column `jc`. The accumulator tile comes
+/// from the dispatched microkernel.
 #[allow(clippy::too_many_arguments)]
 fn compute_panel(
+    kern: &KernelF32,
     a_panel: &[f32],
     b_slice: &[f32],
     c_rows: &mut [f32],
@@ -198,36 +233,21 @@ fn compute_panel(
     jc: usize,
     kc: usize,
 ) {
-    let strips = nc.div_ceil(NR);
+    let nr = kern.nr;
+    let strips = nc.div_ceil(nr);
+    let mut acc = [0.0f32; simd::ACC_F32];
     for s in 0..strips {
-        let b_strip = &b_slice[s * kc * NR..][..kc * NR];
-        let acc = microkernel(a_panel, b_strip);
-        let j0 = jc + s * NR;
-        let cols = NR.min(n - j0).min(nc - s * NR);
-        for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let b_strip = &b_slice[s * kc * nr..][..kc * nr];
+        (kern.run)(a_panel, b_strip, &mut acc);
+        let j0 = jc + s * nr;
+        let cols = nr.min(n - j0).min(nc - s * nr);
+        for r in 0..rows {
             let c_row = &mut c_rows[r * n + j0..r * n + j0 + cols];
-            for (c, a) in c_row.iter_mut().zip(acc_row) {
+            for (c, a) in c_row.iter_mut().zip(&acc[r * nr..r * nr + cols]) {
                 *c += a;
             }
         }
     }
-}
-
-/// The register-blocked heart of the engine: one `MR × NR` accumulator
-/// tile over a `kc`-deep packed panel pair. `a_panel` holds `MR` values
-/// per k step, `b_strip` holds `NR`; the doubly-unrolled inner loops give
-/// LLVM `MR × NR` independent FMA chains that vectorize over `NR`.
-#[inline]
-fn microkernel(a_panel: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (ak, bk) in a_panel.chunks_exact(MR).zip(b_strip.chunks_exact(NR)) {
-        for (acc_row, &av) in acc.iter_mut().zip(ak) {
-            for (a, &bv) in acc_row.iter_mut().zip(bk) {
-                *a += av * bv;
-            }
-        }
-    }
-    acc
 }
 
 /// Packs `MR` rows of A starting at row `i0`, depth `pc..pc+kc`, k-major
@@ -272,21 +292,29 @@ fn pack_a_panel(
     }
 }
 
-/// Packs one `NR`-column strip of B starting at column `j0`, depth
-/// `pc..pc+kc`, k-major (`NR` consecutive values per k step). Columns past
+/// Packs one `nr`-column strip of B starting at column `j0`, depth
+/// `pc..pc+kc`, k-major (`nr` consecutive values per k step). Columns past
 /// `n` pack as zero.
-fn pack_b_strip(b: AccessB<'_>, n: usize, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+pub(crate) fn pack_b_strip(
+    b: AccessB<'_>,
+    n: usize,
+    j0: usize,
+    pc: usize,
+    kc: usize,
+    nr: usize,
+    dst: &mut [f32],
+) {
     match b {
         AccessB::RowMajor(data) => {
-            if j0 + NR <= n {
+            if j0 + nr <= n {
                 for kk in 0..kc {
-                    dst[kk * NR..kk * NR + NR]
-                        .copy_from_slice(&data[(pc + kk) * n + j0..(pc + kk) * n + j0 + NR]);
+                    dst[kk * nr..kk * nr + nr]
+                        .copy_from_slice(&data[(pc + kk) * n + j0..(pc + kk) * n + j0 + nr]);
                 }
             } else {
                 for kk in 0..kc {
                     let row = &data[(pc + kk) * n..];
-                    for (c, slot) in dst[kk * NR..kk * NR + NR].iter_mut().enumerate() {
+                    for (c, slot) in dst[kk * nr..kk * nr + nr].iter_mut().enumerate() {
                         *slot = if j0 + c < n { row[j0 + c] } else { 0.0 };
                     }
                 }
@@ -295,7 +323,7 @@ fn pack_b_strip(b: AccessB<'_>, n: usize, j0: usize, pc: usize, kc: usize, dst: 
         AccessB::Transposed(data) => {
             let k_total = data.len() / n;
             for kk in 0..kc {
-                for (c, slot) in dst[kk * NR..kk * NR + NR].iter_mut().enumerate() {
+                for (c, slot) in dst[kk * nr..kk * nr + nr].iter_mut().enumerate() {
                     let j = j0 + c;
                     *slot = if j < n {
                         data[j * k_total + pc + kk]
@@ -305,8 +333,8 @@ fn pack_b_strip(b: AccessB<'_>, n: usize, j0: usize, pc: usize, kc: usize, dst: 
                 }
             }
         }
-        AccessB::Patches(p) => p.pack_strip(j0, pc, kc, dst),
-        AccessB::PatchesT(p) => p.pack_strip_t(j0, pc, kc, dst),
+        AccessB::Patches(p) => p.pack_strip(j0, pc, kc, nr, dst),
+        AccessB::PatchesT(p) => p.pack_strip_t(j0, pc, kc, nr, dst),
     }
 }
 
@@ -390,17 +418,18 @@ impl<'a> PatchMatrix<'a> {
         (rest / self.oh, rest % self.oh, ox)
     }
 
-    /// Packs the strip `B[pc.., j0..j0+NR]` of the patch matrix.
+    /// Packs the strip `B[pc.., j0..j0+nr]` of the patch matrix.
     ///
-    /// The strip's `NR` consecutive output positions decompose into runs
+    /// The strip's `nr` consecutive output positions decompose into runs
     /// sharing `(image, output row)`; at stride 1 each run's receptive
     /// taps are *contiguous* in the source image, so the hot path is a
     /// short `copy_from_slice` per run instead of a per-element gather —
     /// the same structure the materialised `im2col` fill exploits.
-    fn pack_strip(&self, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
-        dst[..kc * NR].fill(0.0); // padding taps and dead columns stay zero
+    pub(crate) fn pack_strip(&self, j0: usize, pc: usize, kc: usize, nr: usize, dst: &mut [f32]) {
+        debug_assert!(nr <= crate::simd::NR_MAX);
+        dst[..kc * nr].fill(0.0); // padding taps and dead columns stay zero
         let np = self.cols();
-        let live = NR.min(np.saturating_sub(j0));
+        let live = nr.min(np.saturating_sub(j0));
         if live == 0 {
             return;
         }
@@ -409,7 +438,7 @@ impl<'a> PatchMatrix<'a> {
             // Strided convolutions gather element-wise (no contiguity).
             for kk in 0..kc {
                 let (ci, ky, kx) = self.split_row(pc + kk);
-                let d = &mut dst[kk * NR..kk * NR + live];
+                let d = &mut dst[kk * nr..kk * nr + live];
                 for (c, slot) in d.iter_mut().enumerate() {
                     let (ni, oy, ox) = self.split_col(j0 + c);
                     *slot = self.at(ci, ky, kx, ni, oy, ox);
@@ -419,7 +448,7 @@ impl<'a> PatchMatrix<'a> {
         }
         // Runs of columns sharing (ni, oy), computed once per strip.
         // (c0, len, ni, oy, ox0)
-        let mut runs = [(0usize, 0usize, 0usize, 0usize, 0usize); NR];
+        let mut runs = [(0usize, 0usize, 0usize, 0usize, 0usize); crate::simd::NR_MAX];
         let mut n_runs = 0;
         let mut c = 0;
         while c < live {
@@ -434,7 +463,7 @@ impl<'a> PatchMatrix<'a> {
         let plane = geo.in_h * geo.in_w;
         for kk in 0..kc {
             let (ci, ky, kx) = self.split_row(pc + kk);
-            let drow = &mut dst[kk * NR..kk * NR + NR];
+            let drow = &mut dst[kk * nr..kk * nr + nr];
             for &(c0, len, ni, oy, ox0) in runs {
                 let iy = (oy + ky) as isize - geo.pad as isize;
                 if iy < 0 || iy >= in_h {
@@ -456,19 +485,20 @@ impl<'a> PatchMatrix<'a> {
         }
     }
 
-    /// Packs the strip `Bᵀ[pc.., j0..j0+NR]`, i.e. k runs over output
+    /// Packs the strip `Bᵀ[pc.., j0..j0+nr]`, i.e. k runs over output
     /// positions and columns over patch rows (the dW GEMM layout).
     ///
     /// The k range's consecutive output positions decompose into runs
     /// sharing `(image, output row)` — computed once and shared by every
     /// column of the strip; at stride 1 each run reads a contiguous span
-    /// of the source image (writes are `NR`-strided into the L1-resident
+    /// of the source image (writes are `nr`-strided into the L1-resident
     /// strip, which is cheap; the contiguous side belongs to the big
     /// operand).
-    fn pack_strip_t(&self, j0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
-        dst[..kc * NR].fill(0.0);
+    pub(crate) fn pack_strip_t(&self, j0: usize, pc: usize, kc: usize, nr: usize, dst: &mut [f32]) {
+        debug_assert!(nr <= crate::simd::NR_MAX);
+        dst[..kc * nr].fill(0.0);
         let ckk = self.rows();
-        let live = NR.min(ckk.saturating_sub(j0));
+        let live = nr.min(ckk.saturating_sub(j0));
         if live == 0 {
             return;
         }
@@ -476,7 +506,7 @@ impl<'a> PatchMatrix<'a> {
         if geo.stride != 1 {
             for kk in 0..kc {
                 let (ni, oy, ox) = self.split_col(pc + kk);
-                let d = &mut dst[kk * NR..kk * NR + live];
+                let d = &mut dst[kk * nr..kk * nr + live];
                 for (c, slot) in d.iter_mut().enumerate() {
                     let (ci, ky, kx) = self.split_row(j0 + c);
                     *slot = self.at(ci, ky, kx, ni, oy, ox);
@@ -485,7 +515,7 @@ impl<'a> PatchMatrix<'a> {
             return;
         }
         // Tap descriptors for the strip's columns, decomposed once.
-        let mut taps = [(0usize, 0usize, 0usize); NR];
+        let mut taps = [(0usize, 0usize, 0usize); crate::simd::NR_MAX];
         for (c, slot) in taps.iter_mut().enumerate().take(live) {
             *slot = self.split_row(j0 + c);
         }
@@ -513,7 +543,7 @@ impl<'a> PatchMatrix<'a> {
                 let start = (src_row + ix0 + lo as isize) as usize;
                 let src = &self.src[start..start + (hi - lo)];
                 for (t, &v) in src.iter().enumerate() {
-                    dst[(kk + lo + t) * NR + c] = v;
+                    dst[(kk + lo + t) * nr + c] = v;
                 }
             }
             kk += len;
@@ -697,7 +727,7 @@ mod tests {
         let kc = KC.min(ckk);
         let mut j0 = 0;
         while j0 < np {
-            patches.pack_strip(j0, 0, kc, &mut dst);
+            patches.pack_strip(j0, 0, kc, NR, &mut dst);
             for kk in 0..kc {
                 for c in 0..NR {
                     let want = if j0 + c < np {
@@ -714,7 +744,7 @@ mod tests {
         let mut dst_t = vec![0.0f32; kc_t * NR];
         let mut j0 = 0;
         while j0 < ckk {
-            patches.pack_strip_t(j0, 0, kc_t, &mut dst_t);
+            patches.pack_strip_t(j0, 0, kc_t, NR, &mut dst_t);
             for kk in 0..kc_t {
                 for c in 0..NR {
                     let want = if j0 + c < ckk {
@@ -726,6 +756,41 @@ mod tests {
                 }
             }
             j0 += NR;
+        }
+    }
+
+    #[test]
+    fn every_dispatched_variant_is_bit_identical_at_engine_level() {
+        // The variant-level tests in `simd` pin single tiles; this pins
+        // the whole engine (packing, blocking, ragged edges) across every
+        // kernel the host can run, against the scalar KC-blocked
+        // reference. Exact equality — the FLUID_FORCE_SCALAR=1 CI leg
+        // plus this test is the cross-variant bit-identity proof.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 8, 8),
+            (7, 2 * KC + 37, 19),
+            (16, 300, 33),
+            (5, 60, 17),
+        ] {
+            let a = randv(m as u64 * 31 + n as u64, m * k);
+            let b = randv(k as u64 * 17 + 3, k * n);
+            let want = blocked_reference(&a, &b, m, k, n);
+            let mut ws = Workspace::new();
+            for kern in crate::simd::host_variants_f32() {
+                let mut out = vec![0.0f32; m * n];
+                gemm_with(
+                    kern,
+                    m,
+                    n,
+                    k,
+                    AccessA::RowMajor(&a),
+                    AccessB::RowMajor(&b),
+                    &mut out,
+                    &mut ws,
+                );
+                assert_eq!(out, want, "kernel {} at {m}x{k}x{n}", kern.name);
+            }
         }
     }
 

@@ -32,11 +32,14 @@
 //! [`Workspace`] arena instead of the allocator — see
 //! `docs/PERFORMANCE.md` for the design and tuning guide.
 //!
-//! Unsafe code is denied crate-wide; the single exception is the
+//! Unsafe code is denied crate-wide; the two exceptions are the
 //! documented lifetime-erasure at the heart of [`pool`]'s scoped
-//! execution.
+//! execution and the `std::arch` microkernels in [`simd`], every block
+//! of which carries a `// SAFETY:` comment (enforced by
+//! `deny(clippy::undocumented_unsafe_blocks)`).
 
 #![deny(unsafe_code)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 #![warn(missing_docs)]
 
 mod gemm;
@@ -45,9 +48,14 @@ mod init;
 mod matmul;
 mod ops;
 pub mod pool;
+pub mod quant;
 mod reduce;
 mod rng;
 mod shape;
+// The SIMD microkernels are the crate's one deliberate unsafe island
+// beyond `pool`'s scoped execution; see `simd.rs` for the safety story.
+#[allow(unsafe_code)]
+pub mod simd;
 mod tensor;
 mod workspace;
 

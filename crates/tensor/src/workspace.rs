@@ -37,7 +37,8 @@ use crate::tensor::Tensor;
 /// the workspace's model families.
 const MAX_POOLED: usize = 64;
 
-/// A free-list arena of `f32` and `usize` scratch buffers.
+/// A free-list arena of `f32`, `usize`, `i8` and `i32` scratch buffers
+/// (the integer kinds serve the quantized inference path).
 ///
 /// Cloning a workspace yields an **empty** one (scratch is per-executor
 /// state, not data), which is what lets owners like model executors keep
@@ -46,6 +47,8 @@ const MAX_POOLED: usize = 64;
 pub struct Workspace {
     free_f32: Vec<Vec<f32>>,
     free_idx: Vec<Vec<usize>>,
+    free_i8: Vec<Vec<i8>>,
+    free_i32: Vec<Vec<i32>>,
 }
 
 impl Workspace {
@@ -101,6 +104,56 @@ impl Workspace {
         }
     }
 
+    /// Takes an `i8` buffer of exactly `len` elements with **unspecified
+    /// contents** (the quantized path's packing scratch — always fully
+    /// overwritten before reading).
+    pub fn take_dirty_i8(&mut self, len: usize) -> Vec<i8> {
+        match best_fit(&self.free_i8, len) {
+            Some(i) => {
+                let mut v = self.free_i8.swap_remove(i);
+                if v.len() >= len {
+                    v.truncate(len);
+                } else {
+                    v.resize(len, 0);
+                }
+                v
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Takes an `i32` buffer of exactly `len` elements with **unspecified
+    /// contents** (the quantized path's cross-block accumulator, which
+    /// stores — not adds — on the first depth block).
+    pub fn take_dirty_i32(&mut self, len: usize) -> Vec<i32> {
+        match best_fit(&self.free_i32, len) {
+            Some(i) => {
+                let mut v = self.free_i32.swap_remove(i);
+                if v.len() >= len {
+                    v.truncate(len);
+                } else {
+                    v.resize(len, 0);
+                }
+                v
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Takes a zero-filled `i32` buffer of exactly `len` elements (the
+    /// quantized path's cross-block accumulator).
+    pub fn take_zeroed_i32(&mut self, len: usize) -> Vec<i32> {
+        match best_fit(&self.free_i32, len) {
+            Some(i) => {
+                let mut v = self.free_i32.swap_remove(i);
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => vec![0; len],
+        }
+    }
+
     /// Takes a zero tensor with the given dims, backed by a pooled buffer.
     pub fn tensor_zeroed(&mut self, dims: &[usize]) -> Tensor {
         Tensor::from_vec(self.take_zeroed(numel(dims)), dims)
@@ -136,9 +189,23 @@ impl Workspace {
         }
     }
 
-    /// Number of buffers currently pooled (both kinds).
+    /// Returns an `i8` buffer to the arena.
+    pub fn recycle_i8(&mut self, v: Vec<i8>) {
+        if v.capacity() > 0 && self.free_i8.len() < MAX_POOLED {
+            self.free_i8.push(v);
+        }
+    }
+
+    /// Returns an `i32` buffer to the arena.
+    pub fn recycle_i32(&mut self, v: Vec<i32>) {
+        if v.capacity() > 0 && self.free_i32.len() < MAX_POOLED {
+            self.free_i32.push(v);
+        }
+    }
+
+    /// Number of buffers currently pooled (all kinds).
     pub fn buffers_held(&self) -> usize {
-        self.free_f32.len() + self.free_idx.len()
+        self.free_f32.len() + self.free_idx.len() + self.free_i8.len() + self.free_i32.len()
     }
 
     /// Total bytes currently pooled.
@@ -149,13 +216,17 @@ impl Workspace {
             .iter()
             .map(|v| v.capacity() * std::mem::size_of::<usize>())
             .sum();
-        f + i
+        let q: usize = self.free_i8.iter().map(|v| v.capacity()).sum();
+        let a: usize = self.free_i32.iter().map(|v| v.capacity() * 4).sum();
+        f + i + q + a
     }
 
     /// Drops every pooled buffer.
     pub fn clear(&mut self) {
         self.free_f32.clear();
         self.free_idx.clear();
+        self.free_i8.clear();
+        self.free_i32.clear();
     }
 }
 

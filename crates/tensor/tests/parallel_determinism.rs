@@ -11,6 +11,7 @@
 //! path even on single-core CI hosts, so cross-thread execution (not just
 //! chunk layout) is what's exercised.
 
+use fluid_tensor::quant::{qgemm_ws, QuantSrcB, QuantizedMatrix};
 use fluid_tensor::{
     col2im, conv_gemm_dw_ws, conv_gemm_fwd_ws, im2col, pool, Conv2dGeometry, PatchMatrix, Prng,
     Tensor, Workspace, KC, MR, NR,
@@ -113,6 +114,31 @@ proptest! {
             assert_thread_invariant(|| a_t.matmul_at(&b))?;
             let b_t = random_tensor(s ^ 3, &[n, k]);
             assert_thread_invariant(|| a.matmul_bt(&b_t))?;
+        }
+    }
+
+    #[test]
+    fn int8_qgemm_is_thread_count_invariant(seed in 0u64..1000) {
+        // The quantized path accumulates in exact i32 arithmetic, so its
+        // guarantee is even stronger than the f32 engine's: any thread
+        // count, any blocking. Pin it over the same misaligned shapes.
+        for (i, (m, k, n)) in ragged_gemm_shapes().into_iter().enumerate() {
+            let s = seed.wrapping_add(i as u64 * 211);
+            let a = random_tensor(s, &[m, k]);
+            let b = random_tensor(s ^ 9, &[k, n]);
+            let qa = QuantizedMatrix::from_rows(a.data(), m, k);
+            assert_thread_invariant(|| {
+                let mut out = vec![0.0f32; m * n];
+                qgemm_ws(
+                    &qa,
+                    QuantSrcB::RowMajor(b.data()),
+                    1.0 / 127.0,
+                    n,
+                    &mut out,
+                    &mut Workspace::new(),
+                );
+                Tensor::from_vec(out, &[m, n])
+            })?;
         }
     }
 
