@@ -76,6 +76,12 @@ stage_clippy() {
 
 stage_doc() {
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+    # Compiled doc-examples are part of the API surface (TensorView's
+    # transpose/slice/broadcast examples, the serve metrics example, ...):
+    # run them here so a stale snippet fails the doc stage, not just the
+    # full test sweep.
+    echo "==> doc-tests (compiled API examples)"
+    cargo test -q --doc
     echo "==> docs link check (every docs/*.md referenced from the guides exists)"
     local missing=0
     for doc in $(grep -hoE 'docs/[A-Za-z0-9_.-]+\.md' README.md docs/*.md | sort -u); do

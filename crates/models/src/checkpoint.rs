@@ -285,6 +285,27 @@ mod tests {
     }
 
     #[test]
+    fn strided_view_materialisation_roundtrips() {
+        // Checkpoints serialise tensors in row-major element order. A
+        // tensor materialised from a non-contiguous view (here a column
+        // window of a transpose) must survive save → load bit-exactly and
+        // come back dense.
+        let src = Tensor::from_fn(&[6, 10], |i| (i as f32).sin());
+        let t = src.view().t().narrow(0, 2, 5).expect("window").to_tensor();
+        let mut buf = Vec::new();
+        put_tensor(&mut buf, &t).expect("save");
+        let back = get_tensor(&mut buf.as_slice()).expect("load");
+        assert_eq!(back.dims(), &[5, 6]);
+        assert!(back.shape().is_contiguous(), "reload is dense row-major");
+        assert_eq!(back.data(), t.data());
+        for r in 0..5 {
+            for c in 0..6 {
+                assert_eq!(back.at2(r, c), src.at2(c, r + 2));
+            }
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let err = load_net(&mut &b"NOPE"[..]).expect_err("must fail");
         assert!(matches!(err, CheckpointError::Format(_)));

@@ -312,7 +312,7 @@ impl RangedConv2d {
         ws.recycle(bg);
         // dX = Wᵀ · g, folded back to image space.
         let wmat = self.weight_window(in_range, out_range, ws);
-        let g_cols = wmat.matmul_at_ws(&g_mat, ws); // [in_w*K*K, N*P]
+        let g_cols = wmat.view().t().matmul_ws(&g_mat.view(), ws); // [in_w*K*K, N*P]
         ws.recycle(wmat);
         ws.recycle(g_mat);
         ws.recycle(input);

@@ -1,0 +1,339 @@
+//! Layer normalization over feature rows, built on broadcast views.
+//!
+//! This layer exists twice over: as a normalization primitive for `[N, F]`
+//! activations, and as the proof that `fluid_tensor`'s broadcast machinery
+//! carries a real layer end to end — every elementwise step below is a
+//! stride-0 broadcast view (`[N, 1]` statistics over rows, `[F]`
+//! gamma/beta over columns), not a hand-rolled loop.
+
+use fluid_tensor::{Tensor, Workspace};
+
+/// Layer normalization `y = γ · (x − μ) / σ + β` over the feature axis of
+/// an `[N, F]` tensor, with learned per-feature scale `γ` and shift `β`.
+///
+/// Statistics are per example (row): `μ_i` and `σ_i` are the mean and
+/// standard deviation of row `i`, so normalization is independent of the
+/// batch — the serving layer's batching invariant holds trivially, and
+/// within a row every sum is accumulated in ascending feature order, so
+/// results are bit-identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Tensor, // [F]
+    beta: Tensor,  // [F]
+    ggrad: Tensor,
+    bgrad: Tensor,
+    features: usize,
+    eps: f32,
+    cache: Vec<LnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LnCache {
+    xhat: Tensor,    // [N, F]
+    inv_std: Tensor, // [N, 1]
+}
+
+impl LayerNorm {
+    /// Variance floor: keeps `1/σ` finite on constant rows.
+    pub const EPS: f32 = 1e-5;
+
+    /// Creates a layer over `features`-wide rows with `γ = 1`, `β = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0, "LayerNorm over zero features");
+        Self {
+            gamma: Tensor::ones(&[features]),
+            beta: Tensor::zeros(&[features]),
+            ggrad: Tensor::zeros(&[features]),
+            bgrad: Tensor::zeros(&[features]),
+            features,
+            eps: Self::EPS,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Feature width this layer normalizes over.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// The per-feature scale `γ`.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The per-feature shift `β`.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// Normalizes `x` (`[N, F]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its feature width differs.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`forward`](LayerNorm::forward) with scratch drawn from (and
+    /// recycled into) `ws` — no steady-state heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// As for [`forward`](LayerNorm::forward).
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = x.dims();
+        assert_eq!(d.len(), 2, "layernorm input rank {}", d.len());
+        assert_eq!(
+            d[1], self.features,
+            "input has {} features, layer has {}",
+            d[1], self.features
+        );
+        let (n, f) = (d[0], d[1]);
+        // Row statistics, ascending-order sums (deterministic).
+        let mut mean = ws.tensor_zeroed(&[n, 1]);
+        let mut inv_std = ws.tensor_zeroed(&[n, 1]);
+        for i in 0..n {
+            let row = x.rows(i, i + 1);
+            let mut s = 0.0f32;
+            for &v in row {
+                s += v;
+            }
+            let mu = s / f as f32;
+            let mut var = 0.0f32;
+            for &v in row {
+                let c = v - mu;
+                var += c * c;
+            }
+            mean.data_mut()[i] = mu;
+            inv_std.data_mut()[i] = 1.0 / (var / f as f32 + self.eps).sqrt();
+        }
+        // x̂ = (x − μ) · 1/σ — two broadcast views: the [N, 1] statistics
+        // repeat across columns with stride 0 on the feature axis.
+        let centered = x
+            .view()
+            .zip_broadcast_ws(&mean.view(), ws, |a, b| a - b)
+            .expect("[N, 1] broadcasts over [N, F]");
+        let xhat = centered
+            .view()
+            .mul_ws(&inv_std.view(), ws)
+            .expect("[N, 1] broadcasts over [N, F]");
+        ws.recycle(centered);
+        ws.recycle(mean);
+        // y = γ · x̂ + β — [F] broadcasts over rows with stride 0.
+        let mut y = xhat
+            .view()
+            .mul_ws(&self.gamma.view(), ws)
+            .expect("gamma [F] broadcasts over [N, F]");
+        y.add_assign_broadcast(&self.beta.view())
+            .expect("beta [F] broadcasts over [N, F]");
+        if train {
+            self.cache.push(LnCache { xhat, inv_std });
+        } else {
+            ws.recycle(xhat);
+            ws.recycle(inv_std);
+        }
+        y
+    }
+
+    /// Backpropagates through the last `forward(.., train = true)` call,
+    /// accumulating `γ`/`β` gradients and returning `∂L/∂x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training forward pass is cached or shapes mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`backward`](LayerNorm::backward) with scratch drawn from (and
+    /// recycled into) `ws`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`backward`](LayerNorm::backward).
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let LnCache { xhat, inv_std } = self.cache.pop().expect("backward without cached forward");
+        let d = grad_out.dims();
+        assert_eq!(d, xhat.dims(), "grad_out shape {d:?} mismatch");
+        let (n, f) = (d[0], d[1]);
+        // dβ += Σ_rows g ; dγ += Σ_rows g · x̂ — ascending row order.
+        for i in 0..n {
+            let g = grad_out.rows(i, i + 1);
+            let xh = xhat.rows(i, i + 1);
+            let bg = self.bgrad.data_mut();
+            for (j, &gv) in g.iter().enumerate() {
+                bg[j] += gv;
+            }
+            let gg = self.ggrad.data_mut();
+            for (j, (&gv, &xv)) in g.iter().zip(xh).enumerate() {
+                gg[j] += gv * xv;
+            }
+        }
+        // dx̂ = g · γ (broadcast), then per row:
+        // dx = 1/σ · (dx̂ − mean(dx̂) − x̂ · mean(dx̂ · x̂)).
+        let dxhat = grad_out
+            .view()
+            .mul_ws(&self.gamma.view(), ws)
+            .expect("gamma [F] broadcasts over [N, F]");
+        let mut dx = ws.tensor_zeroed(&[n, f]);
+        let (dxh, xh, istd) = (dxhat.data(), xhat.data(), inv_std.data());
+        fluid_tensor::pool::parallel_rows_mut(dx.data_mut(), f, 1, |rows, block| {
+            for (bi, i) in rows.enumerate() {
+                let g = &dxh[i * f..(i + 1) * f];
+                let x = &xh[i * f..(i + 1) * f];
+                let mut m1 = 0.0f32;
+                let mut m2 = 0.0f32;
+                for (&gv, &xv) in g.iter().zip(x) {
+                    m1 += gv;
+                    m2 += gv * xv;
+                }
+                m1 /= f as f32;
+                m2 /= f as f32;
+                let out = &mut block[bi * f..(bi + 1) * f];
+                for (j, slot) in out.iter_mut().enumerate() {
+                    *slot = istd[i] * (g[j] - m1 - x[j] * m2);
+                }
+            }
+        });
+        ws.recycle(dxhat);
+        ws.recycle(xhat);
+        ws.recycle(inv_std);
+        dx
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.ggrad.fill(0.0);
+        self.bgrad.fill(0.0);
+    }
+
+    /// Visits `(param, grad)` pairs for the optimizer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.gamma, &self.ggrad);
+        f(&mut self.beta, &self.bgrad);
+    }
+
+    /// Splits into `[(γ, γ-grad), (β, β-grad)]` reference pairs for an
+    /// optimizer step.
+    pub fn params_and_grads_mut(&mut self) -> [(&mut Tensor, &Tensor); 2] {
+        [
+            (&mut self.gamma, &self.ggrad),
+            (&mut self.beta, &self.bgrad),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::max_relative_error;
+    use fluid_tensor::Prng;
+
+    fn randt(seed: u64, dims: &[usize]) -> Tensor {
+        let mut rng = Prng::new(seed);
+        Tensor::from_fn(dims, |_| rng.uniform(-1.5, 1.5))
+    }
+
+    #[test]
+    fn rows_are_normalized() {
+        let mut ln = LayerNorm::new(16);
+        let x = randt(1, &[5, 16]);
+        let y = ln.forward(&x, false);
+        for i in 0..5 {
+            let row = y.rows(i, i + 1);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_row_stays_finite() {
+        let mut ln = LayerNorm::new(8);
+        let x = Tensor::full(&[2, 8], 3.0);
+        let y = ln.forward(&x, false);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(y.data().iter().all(|&v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn batch_rows_match_single_row_forward() {
+        // The batching invariant: normalizing a row alone gives the same
+        // bits as normalizing it inside a batch (statistics are per row).
+        let mut ln = LayerNorm::new(12);
+        let x = randt(2, &[6, 12]);
+        let batched = ln.forward(&x, false);
+        for i in 0..6 {
+            let alone = ln.forward(&x.slice_rows(i, i + 1), false);
+            assert_eq!(alone.data(), batched.rows(i, i + 1), "row {i} drifted");
+        }
+    }
+
+    #[test]
+    fn ws_forward_matches_and_reuses_scratch() {
+        let mut ln = LayerNorm::new(10);
+        let x = randt(3, &[4, 10]);
+        let want = ln.forward(&x, false);
+        let mut ws = Workspace::new();
+        let y1 = ln.forward_ws(&x, false, &mut ws);
+        assert_eq!(y1, want);
+        ws.recycle(y1);
+        let held = ws.buffers_held();
+        let y2 = ln.forward_ws(&x, false, &mut ws);
+        assert_eq!(y2, want);
+        ws.recycle(y2);
+        assert_eq!(ws.buffers_held(), held, "steady state must not grow");
+    }
+
+    #[test]
+    fn gradcheck_gamma_beta_and_input() {
+        let mut ln = LayerNorm::new(6);
+        // Non-trivial γ/β so the chain rule through both is exercised.
+        for (j, v) in ln.gamma.data_mut().iter_mut().enumerate() {
+            *v = 1.0 + 0.1 * j as f32;
+        }
+        for (j, v) in ln.beta.data_mut().iter_mut().enumerate() {
+            *v = 0.05 * j as f32;
+        }
+        let mut x = randt(4, &[3, 6]);
+        let y = ln.forward(&x, true);
+        let gin = ln.backward(&y); // d/d· of sum(y²)/2
+
+        let eps = 1e-2;
+        let mut max_err: f32 = 0.0;
+        for j in 0..6 {
+            let orig = ln.gamma.data()[j];
+            ln.gamma.data_mut()[j] = orig + eps;
+            let lp = ln.forward(&x, false).sq_norm() / 2.0;
+            ln.gamma.data_mut()[j] = orig - eps;
+            let lm = ln.forward(&x, false).sq_norm() / 2.0;
+            ln.gamma.data_mut()[j] = orig;
+            max_err = max_relative_error(ln.ggrad.data()[j], (lp - lm) / (2.0 * eps)).max(max_err);
+        }
+        for j in 0..6 {
+            let orig = ln.beta.data()[j];
+            ln.beta.data_mut()[j] = orig + eps;
+            let lp = ln.forward(&x, false).sq_norm() / 2.0;
+            ln.beta.data_mut()[j] = orig - eps;
+            let lm = ln.forward(&x, false).sq_norm() / 2.0;
+            ln.beta.data_mut()[j] = orig;
+            max_err = max_relative_error(ln.bgrad.data()[j], (lp - lm) / (2.0 * eps)).max(max_err);
+        }
+        for i in 0..x.numel() {
+            let orig = x.data()[i];
+            x.data_mut()[i] = orig + eps;
+            let lp = ln.forward(&x, false).sq_norm() / 2.0;
+            x.data_mut()[i] = orig - eps;
+            let lm = ln.forward(&x, false).sq_norm() / 2.0;
+            x.data_mut()[i] = orig;
+            max_err = max_relative_error(gin.data()[i], (lp - lm) / (2.0 * eps)).max(max_err);
+        }
+        assert!(max_err < 3e-2, "max grad error {max_err}");
+    }
+}

@@ -143,19 +143,16 @@ impl RangedLinear {
             d[1]
         );
         let wmat = self.weight_window(in_range, ws);
-        let mut y = x.matmul_bt_ws(&wmat, ws); // [N, out]
+        // x · Wᵀ through a transposed zero-copy view — the engine packs
+        // straight from the window's strides.
+        let mut y = x.view().matmul_ws(&wmat.view().t(), ws); // [N, out]
         ws.recycle(wmat);
         if with_bias {
-            // In-place row broadcast; same additions as `add_row_bias`
-            // without the extra clone, fanned out over whole rows.
-            let bias = self.bias.data();
-            fluid_tensor::pool::parallel_rows_mut(y.data_mut(), bias.len(), 64, |_, block| {
-                for row in block.chunks_mut(bias.len()) {
-                    for (v, &b) in row.iter_mut().zip(bias) {
-                        *v += b;
-                    }
-                }
-            });
+            // Broadcast in-place add: [out] repeats over the batch rows
+            // with stride 0. One add per element, so bit-identical to the
+            // old hand-rolled row loop at any thread count.
+            y.add_assign_broadcast(&self.bias.view())
+                .expect("bias [out] broadcasts over [N, out]");
         }
         if train {
             self.cache.push(LinearCache {
@@ -195,8 +192,8 @@ impl RangedLinear {
             [x.dim(0), self.out_features],
             "grad_out shape mismatch"
         );
-        // dW[:, range] += goutᵀ · x
-        let wg = grad_out.matmul_at_ws(&x, ws); // [out, in_w]
+        // dW[:, range] += goutᵀ · x (transposed view, no materialising)
+        let wg = grad_out.view().t().matmul_ws(&x.view(), ws); // [out, in_w]
         let in_w = in_range.width();
         for r in 0..self.out_features {
             let dst = r * self.in_features_max + in_range.lo;

@@ -6,10 +6,13 @@
 //! chosen **once per process** by [`crate::simd`]'s runtime CPU-feature
 //! dispatch (AVX2 4×16 on modern x86, NEON on aarch64, the scalar 4×8
 //! fallback everywhere else or under `FLUID_FORCE_SCALAR=1`). One engine
-//! serves all four operand layouts (`matmul`, `matmul_at`, `matmul_bt`,
-//! and the implicit-`im2col` patch matrix used by convolution), so every
-//! consumer inherits the same performance and the same determinism
-//! argument.
+//! serves every operand layout: both sides are packed through arbitrary
+//! row/column strides ([`AccessA`]/[`AccessB::Strided`]), so dense
+//! matrices, transposed or sliced [`crate::TensorView`]s, stride-0
+//! broadcast rows, and the implicit-`im2col` patch matrix used by
+//! convolution all inherit the same performance and the same determinism
+//! argument. (The old `matmul_at`/`matmul_bt` entry points are gone —
+//! a transposed view *is* the strided layout they special-cased.)
 //!
 //! ## Loop structure
 //!
@@ -69,28 +72,65 @@ pub const KC: usize = 256;
 /// (`NC × KC × 4` bytes ≈ 1 MiB) so it survives in cache across row panels.
 pub const NC: usize = 1024;
 
-/// How the engine reads the left operand `A[i, p]` (`m × k` logically).
+/// How the engine reads the left operand `A[i, p]` (`m × k` logically):
+/// a base slice plus arbitrary row/column strides, so row-major storage
+/// (`rs = k, cs = 1`), a transposed view (`rs = 1, cs = m`), a sliced
+/// window, or a stride-0 broadcast row all pack through one gather.
 #[derive(Clone, Copy)]
-pub(crate) enum AccessA<'a> {
-    /// Stored row-major `[m, k]`: `a[i*k + p]`.
-    RowMajor(&'a [f32]),
-    /// Stored `[k, m]`, read transposed: `a[p*m + i]` (`matmul_at`).
-    Transposed(&'a [f32]),
+pub(crate) struct AccessA<'a> {
+    data: &'a [f32],
+    /// Elements between `A[i, p]` and `A[i+1, p]`.
+    rs: usize,
+    /// Elements between `A[i, p]` and `A[i, p+1]`.
+    cs: usize,
+}
+
+impl<'a> AccessA<'a> {
+    /// An arbitrary strided layout — the seam every [`crate::TensorView`]
+    /// reaches GEMM through.
+    pub(crate) fn strided(data: &'a [f32], rs: usize, cs: usize) -> Self {
+        Self { data, rs, cs }
+    }
+
+    /// Dense row-major `[m, k]` storage (`a[i*k + p]`).
+    pub(crate) fn row_major(data: &'a [f32], k: usize) -> Self {
+        Self { data, rs: k, cs: 1 }
+    }
 }
 
 /// How the engine reads the right operand `B[p, j]` (`k × n` logically).
 #[derive(Clone, Copy)]
 pub(crate) enum AccessB<'a> {
-    /// Stored row-major `[k, n]`: `b[p*n + j]`.
-    RowMajor(&'a [f32]),
-    /// Stored `[n, k]`, read transposed: `b[j*k + p]` (`matmul_bt`).
-    Transposed(&'a [f32]),
+    /// A base slice plus arbitrary row/column strides: row-major storage
+    /// is `rs = n, cs = 1` (packed with a contiguous-copy fast path), a
+    /// transposed view is `rs = 1, cs = k`, and sliced or broadcast
+    /// layouts fall out of the same two numbers.
+    Strided {
+        /// Base storage; element `B[p, j]` lives at `data[p*rs + j*cs]`.
+        data: &'a [f32],
+        /// Elements between `B[p, j]` and `B[p+1, j]`.
+        rs: usize,
+        /// Elements between `B[p, j]` and `B[p, j+1]`.
+        cs: usize,
+    },
     /// The implicit `im2col` patch matrix `[c·k·k, n·oh·ow]` — elements
     /// are gathered straight from the image during packing.
     Patches(&'a PatchMatrix<'a>),
     /// The transpose of the patch matrix (`[n·oh·ow, c·k·k]`), used by the
     /// convolution weight-gradient GEMM.
     PatchesT(&'a PatchMatrix<'a>),
+}
+
+impl<'a> AccessB<'a> {
+    /// An arbitrary strided layout.
+    pub(crate) fn strided(data: &'a [f32], rs: usize, cs: usize) -> Self {
+        AccessB::Strided { data, rs, cs }
+    }
+
+    /// Dense row-major `[k, n]` storage (`b[p*n + j]`).
+    pub(crate) fn row_major(data: &'a [f32], n: usize) -> Self {
+        AccessB::Strided { data, rs: n, cs: 1 }
+    }
 }
 
 /// `out[m × n] += A · B`, with `out` pre-zeroed by the caller.
@@ -158,15 +198,7 @@ pub(crate) fn gemm_with(
             let a_slice = &mut a_pack[..panels * kc * MR];
             pool::parallel_rows_mut(a_slice, kc * MR, 2, |prange, block| {
                 for (bi, p) in prange.enumerate() {
-                    pack_a_panel(
-                        a,
-                        m,
-                        k,
-                        p * MR,
-                        pc,
-                        kc,
-                        &mut block[bi * kc * MR..][..kc * MR],
-                    );
+                    pack_a_panel(a, m, p * MR, pc, kc, &mut block[bi * kc * MR..][..kc * MR]);
                 }
             });
 
@@ -253,40 +285,30 @@ fn compute_panel(
 /// Packs `MR` rows of A starting at row `i0`, depth `pc..pc+kc`, k-major
 /// (`MR` consecutive values per k step). Rows past `m` pack as zero, so
 /// edge panels run the full microkernel and discard the dead lanes.
-fn pack_a_panel(
-    a: AccessA<'_>,
-    m: usize,
-    k: usize,
-    i0: usize,
-    pc: usize,
-    kc: usize,
-    dst: &mut [f32],
-) {
-    match a {
-        AccessA::RowMajor(data) => {
-            if i0 + MR <= m {
-                for kk in 0..kc {
-                    for r in 0..MR {
-                        dst[kk * MR + r] = data[(i0 + r) * k + pc + kk];
-                    }
-                }
-            } else {
-                for kk in 0..kc {
-                    for r in 0..MR {
-                        let i = i0 + r;
-                        dst[kk * MR + r] = if i < m { data[i * k + pc + kk] } else { 0.0 };
-                    }
-                }
+///
+/// One gather covers every layout: logical element `A[i, p]` lives at
+/// `data[i*rs + p*cs]`, so row-major, transposed, sliced, and stride-0
+/// broadcast views differ only in the two stride constants.
+fn pack_a_panel(a: AccessA<'_>, m: usize, i0: usize, pc: usize, kc: usize, dst: &mut [f32]) {
+    let AccessA { data, rs, cs } = a;
+    if i0 + MR <= m {
+        for kk in 0..kc {
+            let kbase = (pc + kk) * cs;
+            for r in 0..MR {
+                dst[kk * MR + r] = data[(i0 + r) * rs + kbase];
             }
         }
-        AccessA::Transposed(data) => {
-            let live = MR.min(m - i0);
-            for kk in 0..kc {
-                let row = &data[(pc + kk) * m..];
-                let d = &mut dst[kk * MR..kk * MR + MR];
-                for (r, slot) in d.iter_mut().enumerate() {
-                    *slot = if r < live { row[i0 + r] } else { 0.0 };
-                }
+    } else {
+        let live = MR.min(m - i0);
+        for kk in 0..kc {
+            let kbase = (pc + kk) * cs;
+            let d = &mut dst[kk * MR..kk * MR + MR];
+            for (r, slot) in d.iter_mut().enumerate() {
+                *slot = if r < live {
+                    data[(i0 + r) * rs + kbase]
+                } else {
+                    0.0
+                };
             }
         }
     }
@@ -305,31 +327,21 @@ pub(crate) fn pack_b_strip(
     dst: &mut [f32],
 ) {
     match b {
-        AccessB::RowMajor(data) => {
-            if j0 + nr <= n {
+        AccessB::Strided { data, rs, cs } => {
+            if cs == 1 && j0 + nr <= n {
+                // Unit column stride and a full strip: each k step is one
+                // contiguous copy — the dense row-major hot path.
                 for kk in 0..kc {
-                    dst[kk * nr..kk * nr + nr]
-                        .copy_from_slice(&data[(pc + kk) * n + j0..(pc + kk) * n + j0 + nr]);
+                    let base = (pc + kk) * rs + j0;
+                    dst[kk * nr..kk * nr + nr].copy_from_slice(&data[base..base + nr]);
                 }
             } else {
                 for kk in 0..kc {
-                    let row = &data[(pc + kk) * n..];
+                    let kbase = (pc + kk) * rs;
                     for (c, slot) in dst[kk * nr..kk * nr + nr].iter_mut().enumerate() {
-                        *slot = if j0 + c < n { row[j0 + c] } else { 0.0 };
+                        let j = j0 + c;
+                        *slot = if j < n { data[kbase + j * cs] } else { 0.0 };
                     }
-                }
-            }
-        }
-        AccessB::Transposed(data) => {
-            let k_total = data.len() / n;
-            for kk in 0..kc {
-                for (c, slot) in dst[kk * nr..kk * nr + nr].iter_mut().enumerate() {
-                    let j = j0 + c;
-                    *slot = if j < n {
-                        data[j * k_total + pc + kk]
-                    } else {
-                        0.0
-                    };
                 }
             }
         }
@@ -574,7 +586,7 @@ pub fn conv_gemm_fwd_ws(
         m,
         n,
         k,
-        AccessA::RowMajor(wmat.data()),
+        AccessA::row_major(wmat.data(), k),
         AccessB::Patches(patches),
         &mut out,
         ws,
@@ -605,7 +617,7 @@ pub fn conv_gemm_dw_ws(
         m,
         n,
         k,
-        AccessA::RowMajor(g_mat.data()),
+        AccessA::row_major(g_mat.data(), k),
         AccessB::PatchesT(patches),
         &mut out,
         ws,
@@ -670,8 +682,8 @@ mod tests {
             m,
             n,
             k,
-            AccessA::RowMajor(&a),
-            AccessB::RowMajor(&b),
+            AccessA::row_major(&a, k),
+            AccessB::row_major(&b, n),
             &mut out,
             &mut ws,
         );
@@ -702,13 +714,27 @@ mod tests {
             gemm(m, n, k, aa, bb, &mut out, ws);
             out
         };
-        let want = run(AccessA::RowMajor(&a), AccessB::RowMajor(&b), &mut ws);
+        let want = run(
+            AccessA::row_major(&a, k),
+            AccessB::row_major(&b, n),
+            &mut ws,
+        );
+        // A stored [k, m], read transposed: rs = 1, cs = m.
         assert_eq!(
-            run(AccessA::Transposed(&at), AccessB::RowMajor(&b), &mut ws),
+            run(
+                AccessA::strided(&at, 1, m),
+                AccessB::row_major(&b, n),
+                &mut ws
+            ),
             want
         );
+        // B stored [n, k], read transposed: rs = 1, cs = k.
         assert_eq!(
-            run(AccessA::RowMajor(&a), AccessB::Transposed(&bt), &mut ws),
+            run(
+                AccessA::row_major(&a, k),
+                AccessB::strided(&bt, 1, k),
+                &mut ws
+            ),
             want
         );
     }
@@ -784,8 +810,8 @@ mod tests {
                     m,
                     n,
                     k,
-                    AccessA::RowMajor(&a),
-                    AccessB::RowMajor(&b),
+                    AccessA::row_major(&a, k),
+                    AccessB::row_major(&b, n),
                     &mut out,
                     &mut ws,
                 );
@@ -805,8 +831,8 @@ mod tests {
             m,
             n,
             k,
-            AccessA::RowMajor(&a),
-            AccessB::RowMajor(&b),
+            AccessA::row_major(&a, k),
+            AccessB::row_major(&b, n),
             &mut out,
             &mut ws,
         );
@@ -817,8 +843,8 @@ mod tests {
             m,
             n,
             k,
-            AccessA::RowMajor(&a),
-            AccessB::RowMajor(&b),
+            AccessA::row_major(&a, k),
+            AccessB::row_major(&b, n),
             &mut out,
             &mut ws,
         );

@@ -1,9 +1,10 @@
 //! # fluid-tensor
 //!
 //! Dense, row-major `f32` tensors and the numerical kernels needed by the
-//! Fluid Dynamic DNN reproduction: matrix multiplication (plus transposed
-//! variants for backpropagation), `im2col`/`col2im` for convolutions,
-//! elementwise maps, reductions, and weight initialisers.
+//! Fluid Dynamic DNN reproduction: one strided matrix-multiplication
+//! engine (transposed operands are zero-copy [`TensorView`]s, not
+//! separate kernels), `im2col`/`col2im` for convolutions, elementwise and
+//! broadcast maps, reductions, and weight initialisers.
 //!
 //! The crate deliberately mirrors the small subset of a full tensor library
 //! that the paper's 3-conv + 1-FC model needs, with exact, deterministic
@@ -21,7 +22,20 @@
 //! ```
 //!
 //! Shape errors panic with a descriptive message (as in `ndarray`); all
-//! panicking functions document this in a *Panics* section.
+//! panicking functions document this in a *Panics* section. View-layout
+//! errors (slicing out of range, broadcasting mismatched extents,
+//! aliasing mutable layouts) are the exception: they return typed
+//! [`ViewError`] values, because higher layers want to refuse bad shapes,
+//! not crash — see `docs/TENSOR.md`.
+//!
+//! ## Views and broadcasting
+//!
+//! [`Tensor::view`] / [`Tensor::view_mut`] open zero-copy strided windows
+//! ([`TensorView`] / [`TensorViewMut`]): [`TensorView::transpose`] swaps
+//! strides, [`TensorView::slice`]/[`TensorView::narrow`] bump the base
+//! offset, [`TensorView::broadcast_to`] repeats data with stride 0, and
+//! the GEMM engine packs any of them directly — `a.view().t().matmul(&b)`
+//! is the transposed product, with no copy and no special kernel.
 //!
 //! ## The compute-kernel layer
 //!
@@ -40,7 +54,7 @@
 
 #![deny(unsafe_code)]
 #![deny(clippy::undocumented_unsafe_blocks)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod gemm;
 mod im2col;
@@ -57,6 +71,7 @@ mod shape;
 #[allow(unsafe_code)]
 pub mod simd;
 mod tensor;
+mod view;
 mod workspace;
 
 pub use gemm::{conv_gemm_dw_ws, conv_gemm_fwd_ws, PatchMatrix, KC, MR, NC, NR};
@@ -65,4 +80,5 @@ pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
 pub use rng::Prng;
 pub use shape::{numel, Shape, MAX_RANK};
 pub use tensor::Tensor;
+pub use view::{TensorView, TensorViewMut, ViewError};
 pub use workspace::Workspace;

@@ -1,28 +1,36 @@
-//! Matrix multiplication kernels, including the transposed variants used by
-//! backpropagation.
+//! Dense matrix multiplication on tensors and views.
 //!
-//! All three kernels are thin layout adapters over the packed-panel
-//! [`gemm`](crate::gemm) engine: operands are packed into cache-resident
-//! panels and driven through a register-blocked microkernel. Each output
-//! element's accumulation order is fixed by the engine's `KC` depth
-//! blocking alone (never by tile, panel, or thread boundaries), so results
-//! are bit-identical at any thread count *and* per output row regardless
-//! of how many rows are computed together (the serving layer's batching
-//! invariant). The kernels are dense and branch-free — a zero in the input
-//! costs the same as any other value (see the zero-row test).
+//! There is exactly **one** matrix-product kernel in this workspace: the
+//! packed-panel [`gemm`](crate::gemm) engine, reached through
+//! [`Tensor::matmul`] / [`TensorView::matmul`](crate::TensorView::matmul).
+//! Transposed products are expressed as products of transposed *views* —
+//! `a.view().t().matmul(&b.view())` replaces the old `matmul_at`, and
+//! `a.view().matmul(&b.view().t())` replaces `matmul_bt` — because the
+//! engine packs operands through arbitrary row/column strides, a
+//! transposed layout is not a special case.
+//!
+//! Each output element's accumulation order is fixed by the engine's `KC`
+//! depth blocking alone (never by tile, panel, stride, or thread
+//! boundaries), so results are bit-identical at any thread count, for any
+//! operand layout, *and* per output row regardless of how many rows are
+//! computed together (the serving layer's batching invariant). The kernel
+//! is dense and branch-free — a zero in the input costs the same as any
+//! other value (see the zero-row test).
 
-use crate::gemm::{gemm, AccessA, AccessB};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 
 impl Tensor {
     /// Matrix product `self · other` for `[M, K] × [K, N] → [M, N]`.
     ///
+    /// For transposed operands, transpose a *view* instead of the data:
+    /// `a.view().t().matmul(&b.view())` computes `aᵀ·b` with no copy.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not rank 2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        self.matmul_ws(other, &mut Workspace::new())
+        self.view().matmul(&other.view())
     }
 
     /// [`matmul`](Tensor::matmul) with the output buffer and packing
@@ -32,105 +40,8 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank 2 or the inner dimensions differ.
     pub fn matmul_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
-        let (m, k, n) = mm_dims(self, other);
-        let mut out = ws.take_zeroed(m * n);
-        gemm(
-            m,
-            n,
-            k,
-            AccessA::RowMajor(self.data()),
-            AccessB::RowMajor(other.data()),
-            &mut out,
-            ws,
-        );
-        Tensor::from_vec(out, &[m, n])
+        self.view().matmul_ws(&other.view(), ws)
     }
-
-    /// `selfᵀ · other` for `[K, M] × [K, N] → [M, N]` without materialising
-    /// the transpose.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either operand is not rank 2 or the shared dimension differs.
-    pub fn matmul_at(&self, other: &Tensor) -> Tensor {
-        self.matmul_at_ws(other, &mut Workspace::new())
-    }
-
-    /// [`matmul_at`](Tensor::matmul_at) with the output buffer and packing
-    /// scratch drawn from `ws`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either operand is not rank 2 or the shared dimension differs.
-    pub fn matmul_at_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
-        let (k, m, n) = mm_at_dims(self, other);
-        let mut out = ws.take_zeroed(m * n);
-        gemm(
-            m,
-            n,
-            k,
-            AccessA::Transposed(self.data()),
-            AccessB::RowMajor(other.data()),
-            &mut out,
-            ws,
-        );
-        Tensor::from_vec(out, &[m, n])
-    }
-
-    /// `self · otherᵀ` for `[M, K] × [N, K] → [M, N]` without materialising
-    /// the transpose.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either operand is not rank 2 or the shared dimension differs.
-    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
-        self.matmul_bt_ws(other, &mut Workspace::new())
-    }
-
-    /// [`matmul_bt`](Tensor::matmul_bt) with the output buffer and packing
-    /// scratch drawn from `ws`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either operand is not rank 2 or the shared dimension differs.
-    pub fn matmul_bt_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
-        let (m, k, n) = mm_bt_dims(self, other);
-        let mut out = ws.take_zeroed(m * n);
-        gemm(
-            m,
-            n,
-            k,
-            AccessA::RowMajor(self.data()),
-            AccessB::Transposed(other.data()),
-            &mut out,
-            ws,
-        );
-        Tensor::from_vec(out, &[m, n])
-    }
-}
-
-fn mm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    let (a, b) = (a.dims(), b.dims());
-    assert_eq!(a.len(), 2, "matmul lhs rank {}", a.len());
-    assert_eq!(b.len(), 2, "matmul rhs rank {}", b.len());
-    assert_eq!(a[1], b[0], "matmul inner dims {} vs {}", a[1], b[0]);
-    (a[0], a[1], b[1])
-}
-
-fn mm_at_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    let (a, b) = (a.dims(), b.dims());
-    assert_eq!(a.len(), 2, "matmul_at lhs rank {}", a.len());
-    assert_eq!(b.len(), 2, "matmul_at rhs rank {}", b.len());
-    assert_eq!(a[0], b[0], "matmul_at shared dims {} vs {}", a[0], b[0]);
-    (a[0], a[1], b[1])
-}
-
-fn mm_bt_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    let (a, b) = (a.dims(), b.dims());
-    assert_eq!(a.len(), 2, "matmul_bt lhs rank {}", a.len());
-    assert_eq!(b.len(), 2, "matmul_bt rhs rank {}", b.len());
-    assert_eq!(a[1], b[1], "matmul_bt shared dims {} vs {}", a[1], b[1]);
-    (a[0], a[1], b[0])
 }
 
 #[cfg(test)]
@@ -176,14 +87,17 @@ mod tests {
     }
 
     #[test]
-    fn matmul_bt_matches_fixed_accumulation_chain() {
-        // The engine's contract: every output accumulates KC-blocked
+    fn view_t_matmul_matches_fixed_accumulation_chain() {
+        // The bit-identity pin for the deleted `matmul_bt` kernel: the
+        // engine's contract says every output accumulates KC-blocked
         // partial sums, each in ascending k order — exactly this serial
-        // reference, bit for bit, for any m/n/thread count.
+        // reference, bit for bit, for any m/n/thread count. The old
+        // kernel satisfied it; the transposed-view product must satisfy
+        // the *same* chain, so the two are bit-identical by transitivity.
         let (m, k, n) = (3, KC + 197, 11);
         let a = Tensor::from_fn(&[m, k], |i| (i as f32 * 0.013).sin());
         let b = Tensor::from_fn(&[n, k], |i| (i as f32 * 0.029).cos());
-        let got = a.matmul_bt(&b);
+        let got = a.view().matmul(&b.view().t());
         for i in 0..m {
             for j in 0..n {
                 let mut c = 0.0f32;
@@ -203,31 +117,60 @@ mod tests {
     }
 
     #[test]
-    fn matmul_at_equals_explicit_transpose() {
-        let a = Tensor::from_fn(&[6, 4], |i| (i as f32).sqrt());
-        let b = Tensor::from_fn(&[6, 3], |i| i as f32 * 0.1);
-        assert!(a.matmul_at(&b).allclose(&a.transpose().matmul(&b), 1e-5));
+    fn view_at_matmul_matches_fixed_accumulation_chain() {
+        // Same pin for the deleted `matmul_at`: aᵀ·b through a transposed
+        // left view reproduces the serial KC chain exactly.
+        let (k, m, n) = (KC + 53, 5, 9);
+        let a = Tensor::from_fn(&[k, m], |i| (i as f32 * 0.017).sin());
+        let b = Tensor::from_fn(&[k, n], |i| (i as f32 * 0.031).cos());
+        let got = a.view().t().matmul(&b.view());
+        for i in 0..m {
+            for j in 0..n {
+                let mut c = 0.0f32;
+                let mut pc = 0;
+                while pc < k {
+                    let kc = KC.min(k - pc);
+                    let mut s = 0.0f32;
+                    for p in pc..pc + kc {
+                        s += a.at2(p, i) * b.at2(p, j);
+                    }
+                    c += s;
+                    pc += kc;
+                }
+                assert_eq!(got.at2(i, j), c, "({i},{j}) drifted from the chain");
+            }
+        }
     }
 
     #[test]
-    fn matmul_bt_equals_explicit_transpose() {
+    fn view_at_matmul_bit_equals_explicit_transpose() {
+        // Stronger than the old allclose: packing from a transposed view
+        // reads the same logical elements in the same order as packing a
+        // materialised transpose, so the products are bit-identical.
+        let a = Tensor::from_fn(&[6, 4], |i| (i as f32).sqrt());
+        let b = Tensor::from_fn(&[6, 3], |i| i as f32 * 0.1);
+        assert_eq!(a.view().t().matmul(&b.view()), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn view_bt_matmul_bit_equals_explicit_transpose() {
         let a = Tensor::from_fn(&[3, 4], |i| (i as f32).sqrt());
         let b = Tensor::from_fn(&[5, 4], |i| i as f32 * 0.1 - 1.0);
-        assert!(a.matmul_bt(&b).allclose(&a.matmul(&b.transpose()), 1e-5));
+        assert_eq!(a.view().matmul(&b.view().t()), a.matmul(&b.transpose()));
     }
 
     #[test]
     fn batched_rows_equal_single_row_products() {
         // The serving batching invariant at the kernel level: row i of a
         // batched product is bit-identical to the 1-row product of the
-        // same input row.
+        // same input row — including when the row is a zero-copy slice.
         let (m, k, n) = (7, 133, 10);
         let a = Tensor::from_fn(&[m, k], |i| (i as f32 * 0.17).sin());
         let b = Tensor::from_fn(&[k, n], |i| (i as f32 * 0.23).cos());
         let batched = a.matmul(&b);
         for i in 0..m {
-            let row = Tensor::from_vec(a.row(i).to_vec(), &[1, k]);
-            let alone = row.matmul(&b);
+            let row = a.view().slice(0, i, i + 1).unwrap();
+            let alone = row.matmul(&b.view());
             assert_eq!(alone.data(), batched.row(i), "row {i} drifted");
         }
     }
@@ -248,7 +191,7 @@ mod tests {
 
     #[test]
     fn matmul_zero_valued_row_yields_zero_output_row() {
-        // The kernels are dense (no zero-skip fast path); an all-zero input
+        // The kernel is dense (no zero-skip fast path); an all-zero input
         // row must still produce an exactly-zero output row.
         let mut a = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.7).sin() - 0.4);
         for x in a.data_mut()[4..8].iter_mut() {
@@ -260,8 +203,9 @@ mod tests {
         for j in 0..5 {
             assert_eq!(c.at2(1, j), 0.0, "zero row must stay exactly zero");
         }
-        // Same property through the transposed kernels.
-        let bt = a.matmul_bt(&Tensor::from_fn(&[2, 4], |i| i as f32 - 3.0));
+        // Same property through a transposed-view product.
+        let w = Tensor::from_fn(&[2, 4], |i| i as f32 - 3.0);
+        let bt = a.view().matmul(&w.view().t());
         for j in 0..2 {
             assert_eq!(bt.at2(1, j), 0.0);
         }
@@ -284,8 +228,14 @@ mod tests {
         let c = Tensor::from_fn(&[5, 6], |i| (i as f32 * 0.23).sin());
         let d = Tensor::from_fn(&[4, 7], |i| (i as f32 * 0.41).cos());
         assert_eq!(a.matmul_ws(&b, &mut ws), a.matmul(&b));
-        assert_eq!(a.matmul_at_ws(&c, &mut ws), a.matmul_at(&c));
-        assert_eq!(a.matmul_bt_ws(&d, &mut ws), a.matmul_bt(&d));
+        assert_eq!(
+            a.view().t().matmul_ws(&c.view(), &mut ws),
+            a.view().t().matmul(&c.view())
+        );
+        assert_eq!(
+            a.view().matmul_ws(&d.view().t(), &mut ws),
+            a.view().matmul(&d.view().t())
+        );
         // Run twice so the second pass reuses (dirty) recycled buffers.
         let r = a.matmul_ws(&b, &mut ws);
         ws.recycle(r);

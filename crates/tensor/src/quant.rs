@@ -182,15 +182,30 @@ pub enum QuantSrcB<'a> {
     /// Stored `[n, k]`, read transposed (the FC layout: rows are
     /// examples, so the product comes out `[out, n]`).
     Cols(&'a [f32]),
+    /// An arbitrary strided layout — a [`crate::TensorView`]'s storage
+    /// plus its two rank-2 strides, so transposed/sliced activation
+    /// windows quantize without materialising.
+    Strided {
+        /// Base storage; element `B[p, j]` lives at `data[p*rs + j*cs]`.
+        data: &'a [f32],
+        /// Elements between `B[p, j]` and `B[p+1, j]`.
+        rs: usize,
+        /// Elements between `B[p, j]` and `B[p, j+1]`.
+        cs: usize,
+    },
     /// The implicit `im2col` patch matrix (quantized convolution).
     Patches(&'a PatchMatrix<'a>),
 }
 
 impl<'a> QuantSrcB<'a> {
-    fn access(self) -> AccessB<'a> {
+    /// Lowers to the shared engine access: every layout is a strided
+    /// gather except the patch matrix. `n`/`k` are the logical operand
+    /// extents (`B` is `k × n`).
+    fn access(self, n: usize, k: usize) -> AccessB<'a> {
         match self {
-            QuantSrcB::RowMajor(d) => AccessB::RowMajor(d),
-            QuantSrcB::Cols(d) => AccessB::Transposed(d),
+            QuantSrcB::RowMajor(d) => AccessB::row_major(d, n),
+            QuantSrcB::Cols(d) => AccessB::strided(d, 1, k),
+            QuantSrcB::Strided { data, rs, cs } => AccessB::strided(data, rs, cs),
             QuantSrcB::Patches(p) => AccessB::Patches(p),
         }
     }
@@ -232,7 +247,7 @@ pub fn qgemm_ws(
     let kc_max = KC.min(k);
     let nc_cap = NC.min(n.div_ceil(NR8) * NR8);
     let inv_b = 1.0 / b_scale;
-    let access = b.access();
+    let access = b.access(n, k);
 
     let qkern = simd::active_quant();
     // Dirty is fine: the first depth block *stores* its tiles, so every
@@ -495,6 +510,30 @@ mod tests {
         qgemm_ws(&qa, QuantSrcB::RowMajor(&b), b_scale, n, &mut want, &mut ws);
         let mut got = vec![0.0f32; m * n];
         qgemm_ws(&qa, QuantSrcB::Cols(&bt), b_scale, n, &mut got, &mut ws);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strided_view_layout_matches_row_major() {
+        // A transposed TensorView of the activations feeds the same
+        // quantize-on-pack path as the named layouts — bit-identically.
+        let (m, k, n) = (6, 52, 11);
+        let a = randv(21, m * k, -1.0, 1.0);
+        let b = randv(22, k * n, -1.0, 1.0); // logical [k, n]
+        let bt = crate::tensor::Tensor::from_fn(&[n, k], |i| b[(i % k) * n + i / k]);
+        let view = bt.view().transpose(); // logical [k, n] again
+        let b_scale = symmetric_scale(max_abs(&b));
+        let qa = QuantizedMatrix::from_rows(&a, m, k);
+        let mut ws = Workspace::new();
+        let mut want = vec![0.0f32; m * n];
+        qgemm_ws(&qa, QuantSrcB::RowMajor(&b), b_scale, n, &mut want, &mut ws);
+        let mut got = vec![0.0f32; m * n];
+        let src = QuantSrcB::Strided {
+            data: bt.data(),
+            rs: view.strides()[0],
+            cs: view.strides()[1],
+        };
+        qgemm_ws(&qa, src, b_scale, n, &mut got, &mut ws);
         assert_eq!(got, want);
     }
 

@@ -1,16 +1,27 @@
-//! Shape utilities for row-major tensors.
+//! Shape utilities for row-major tensors: dimension extents plus strides.
 
 /// Maximum tensor rank. Everything in this workspace is at most
 /// `[N, C, H, W]`; the inline bound is what lets [`Shape`] live entirely
-/// on the stack, so creating a tensor around an existing buffer performs
-/// **zero heap allocation** — the hot-path contract of the serving and
-/// training layers.
+/// on the stack, so creating a tensor (or a [`TensorView`]) around an
+/// existing buffer performs **zero heap allocation** — the hot-path
+/// contract of the serving and training layers.
+///
+/// [`TensorView`]: crate::TensorView
 pub const MAX_RANK: usize = 4;
 
-/// A tensor shape: the extent of each dimension, outermost first.
+/// A tensor shape: the extent of each dimension (outermost first) plus
+/// the element stride of each dimension.
 ///
-/// Row-major (C order): the last dimension is contiguous in memory.
-/// Stored inline (no heap) up to [`MAX_RANK`] dimensions.
+/// Both arrays are stored inline (no heap) up to [`MAX_RANK`] dimensions.
+/// A shape built by [`Shape::new`] is row-major (C order): the last
+/// dimension is contiguous in memory. [`Shape::with_strides`] describes
+/// any other layout — a transposed view swaps two strides, a broadcast
+/// view sets a stride to zero — without moving data.
+///
+/// **Equality and hashing consider only the dimension extents**, never
+/// the strides: a `[3, 4]` tensor and the transposed view of a `[4, 3]`
+/// tensor have *equal shapes*, because shape identity is the logical
+/// extent of the data, and strides are merely where it lives.
 ///
 /// # Example
 ///
@@ -18,18 +29,25 @@ pub const MAX_RANK: usize = 4;
 /// use fluid_tensor::Shape;
 /// let s = Shape::new(&[2, 3, 4]);
 /// assert_eq!(s.numel(), 24);
-/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.strides(), &[12, 4, 1]);
+/// assert!(s.is_contiguous());
+///
+/// let t = Shape::with_strides(&[4, 3], &[1, 4]); // a transposed layout
+/// assert_eq!(t, Shape::new(&[4, 3]));            // equality ignores strides
+/// assert!(!t.is_contiguous());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Shape {
-    // Invariant: `dims[rank..]` is zero, so the derived `PartialEq`/`Hash`
-    // see a canonical form.
+    // Invariant: `dims[rank..]` and `strides[rank..]` are zero, so every
+    // construction path produces one canonical form.
     dims: [usize; MAX_RANK],
+    strides: [usize; MAX_RANK],
     rank: usize,
 }
 
 impl Shape {
-    /// Creates a shape from a slice of dimension extents.
+    /// Creates a contiguous row-major shape from a slice of dimension
+    /// extents.
     ///
     /// # Panics
     ///
@@ -42,8 +60,50 @@ impl Shape {
         );
         let mut inline = [0usize; MAX_RANK];
         inline[..dims.len()].copy_from_slice(dims);
+        let mut strides = [0usize; MAX_RANK];
+        if !dims.is_empty() {
+            strides[dims.len() - 1] = 1;
+            for i in (0..dims.len() - 1).rev() {
+                strides[i] = strides[i + 1] * inline[i + 1];
+            }
+        }
         Self {
             dims: inline,
+            strides,
+            rank: dims.len(),
+        }
+    }
+
+    /// Creates a shape with explicit per-dimension strides (in elements).
+    ///
+    /// This is the layout-describing constructor behind every zero-copy
+    /// view: nothing is validated against a buffer here — bounds are the
+    /// view constructors' job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() != strides.len()` or the rank exceeds
+    /// [`MAX_RANK`].
+    pub fn with_strides(dims: &[usize], strides: &[usize]) -> Self {
+        assert_eq!(
+            dims.len(),
+            strides.len(),
+            "{} dims with {} strides",
+            dims.len(),
+            strides.len()
+        );
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut d = [0usize; MAX_RANK];
+        let mut s = [0usize; MAX_RANK];
+        d[..dims.len()].copy_from_slice(dims);
+        s[..strides.len()].copy_from_slice(strides);
+        Self {
+            dims: d,
+            strides: s,
             rank: dims.len(),
         }
     }
@@ -51,6 +111,11 @@ impl Shape {
     /// The dimension extents, outermost first.
     pub fn dims(&self) -> &[usize] {
         &self.dims[..self.rank]
+    }
+
+    /// The per-dimension strides, in elements.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides[..self.rank]
     }
 
     /// Number of dimensions (rank).
@@ -63,13 +128,17 @@ impl Shape {
         self.dims().iter().product()
     }
 
-    /// Row-major strides, in elements.
-    pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.rank];
-        for i in (0..self.rank.saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.dims[i + 1];
+    /// `true` when the strides are exactly the row-major strides of the
+    /// dims — i.e. the elements sit consecutively in C order.
+    pub fn is_contiguous(&self) -> bool {
+        let mut expect = 1usize;
+        for i in (0..self.rank).rev() {
+            if self.strides[i] != expect {
+                return false;
+            }
+            expect *= self.dims[i];
         }
-        strides
+        true
     }
 
     /// Extent of dimension `i`.
@@ -84,6 +153,56 @@ impl Shape {
             self.rank
         );
         self.dims[i]
+    }
+
+    /// Returns the shape with dimensions (and their strides) `a` and `b`
+    /// swapped — the layout algebra of a zero-copy transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is out of range.
+    pub(crate) fn swapped(&self, a: usize, b: usize) -> Self {
+        assert!(
+            a < self.rank && b < self.rank,
+            "swap axes ({a}, {b}) out of range for rank {}",
+            self.rank
+        );
+        let mut out = *self;
+        out.dims.swap(a, b);
+        out.strides.swap(a, b);
+        out
+    }
+
+    /// The largest flat offset reachable by any in-bounds index, plus one
+    /// — the buffer length this layout requires. Zero when any extent is
+    /// zero (the view is empty and touches nothing).
+    pub(crate) fn required_len(&self) -> usize {
+        if self.numel() == 0 {
+            return 0;
+        }
+        let mut last = 0usize;
+        for i in 0..self.rank {
+            last += (self.dims[i] - 1) * self.strides[i];
+        }
+        last + 1
+    }
+}
+
+// Equality/hashing over dims + rank only (see the type docs): two layouts
+// of the same logical extents are the same shape. The canonical-zero
+// invariant on `dims[rank..]` keeps this cheap.
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.dims == other.dims
+    }
+}
+
+impl Eq for Shape {}
+
+impl std::hash::Hash for Shape {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank.hash(state);
+        self.dims.hash(state);
     }
 }
 
@@ -130,7 +249,8 @@ mod tests {
     #[test]
     fn strides_row_major() {
         let s = Shape::new(&[2, 3, 4]);
-        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert!(s.is_contiguous());
     }
 
     #[test]
@@ -139,13 +259,14 @@ mod tests {
         assert_eq!(s.numel(), 1);
         assert_eq!(s.rank(), 0);
         assert!(s.strides().is_empty());
+        assert!(s.is_contiguous());
     }
 
     #[test]
     fn one_dim() {
         let s = Shape::new(&[7]);
         assert_eq!(s.numel(), 7);
-        assert_eq!(s.strides(), vec![1]);
+        assert_eq!(s.strides(), &[1]);
     }
 
     #[test]
@@ -163,6 +284,7 @@ mod tests {
     fn zero_extent_dim_gives_zero_numel() {
         let s = Shape::new(&[3, 0, 2]);
         assert_eq!(s.numel(), 0);
+        assert_eq!(s.required_len(), 0);
     }
 
     #[test]
@@ -170,6 +292,42 @@ mod tests {
         // Different construction paths must canonicalise identically.
         assert_eq!(Shape::new(&[2, 3]), Shape::from(vec![2, 3]));
         assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+    }
+
+    #[test]
+    fn equality_ignores_strides() {
+        // Shape identity is the logical extents; a transposed layout of
+        // the same extents is the same shape.
+        let contiguous = Shape::new(&[4, 3]);
+        let transposed = Shape::with_strides(&[4, 3], &[1, 4]);
+        assert_eq!(contiguous, transposed);
+        assert!(!transposed.is_contiguous());
+        // Hash must agree with Eq.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |s: &Shape| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&contiguous), h(&transposed));
+    }
+
+    #[test]
+    fn swapped_exchanges_dims_and_strides() {
+        let s = Shape::new(&[2, 3, 4]).swapped(1, 2);
+        assert_eq!(s.dims(), &[2, 4, 3]);
+        assert_eq!(s.strides(), &[12, 1, 4]);
+        assert!(!s.is_contiguous());
+    }
+
+    #[test]
+    fn required_len_covers_strided_layouts() {
+        assert_eq!(Shape::new(&[2, 3]).required_len(), 6);
+        // Transposed [3, 2] over the same 6-element buffer.
+        assert_eq!(Shape::with_strides(&[3, 2], &[1, 3]).required_len(), 6);
+        // Broadcast stride-0 row repeated 5 times still needs 3 elements.
+        assert_eq!(Shape::with_strides(&[5, 3], &[0, 1]).required_len(), 3);
     }
 
     #[test]

@@ -281,38 +281,47 @@ impl Tensor {
 
     /// Borrowed view of rows `[lo, hi)` of an `[N, F]` tensor — no copy.
     ///
-    /// This is the zero-allocation sibling of [`slice_rows`]; hot paths
-    /// (mini-batch gathering, wire serialisation) should prefer it.
+    /// Sugar for a first-axis [`TensorView::slice`] flattened back to the
+    /// contiguous storage it windows (a leading-axis slice of a dense
+    /// tensor is always contiguous); hot paths that want a `&[f32]`
+    /// (mini-batch gathering, wire serialisation) keep this shorthand,
+    /// the general machinery lives on [`Tensor::view`].
     ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2 or the range is invalid.
     ///
-    /// [`slice_rows`]: Tensor::slice_rows
+    /// [`TensorView::slice`]: crate::TensorView::slice
     pub fn rows(&self, lo: usize, hi: usize) -> &[f32] {
         let d = self.dims();
         assert_eq!(d.len(), 2, "rows on rank-{} tensor", d.len());
-        assert!(
-            lo <= hi && hi <= d[0],
-            "row range {lo}..{hi} out of 0..{}",
-            d[0]
-        );
-        &self.data[lo * d[1]..hi * d[1]]
+        let v = self
+            .view()
+            .slice(0, lo, hi)
+            .unwrap_or_else(|_| panic!("row range {lo}..{hi} out of 0..{}", d[0]));
+        v.contiguous_data()
+            .expect("leading-axis slice of a dense tensor is contiguous")
     }
 
     /// Borrowed view of example `i` along the first axis of any tensor of
     /// rank ≥ 1 (e.g. one `[C, H, W]` image of an `[N, C, H, W]` batch) —
-    /// no copy.
+    /// no copy. Like [`rows`](Tensor::rows), this is first-axis
+    /// [`TensorView::slice`] sugar returning the contiguous storage.
     ///
     /// # Panics
     ///
     /// Panics if the tensor is rank 0 or `i` is out of range.
+    ///
+    /// [`TensorView::slice`]: crate::TensorView::slice
     pub fn example(&self, i: usize) -> &[f32] {
         let d = self.dims();
         assert!(!d.is_empty(), "example on rank-0 tensor");
-        assert!(i < d[0], "example {i} out of {}", d[0]);
-        let stride: usize = d[1..].iter().product();
-        &self.data[i * stride..(i + 1) * stride]
+        let v = self
+            .view()
+            .slice(0, i, i + 1)
+            .unwrap_or_else(|_| panic!("example {i} out of {}", d[0]));
+        v.contiguous_data()
+            .expect("leading-axis slice of a dense tensor is contiguous")
     }
 
     /// Extracts rows `[lo, hi)` of an `[N, F]` tensor as a new tensor.
@@ -359,20 +368,17 @@ impl Tensor {
 
     /// Returns a transposed copy of a rank-2 tensor.
     ///
+    /// Materialised via the zero-copy view: the copy here is the point of
+    /// the method. When a transposed *operand* is all that's needed,
+    /// `t.view().transpose()` skips the copy entirely.
+    ///
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transpose(&self) -> Tensor {
         let d = self.dims();
         assert_eq!(d.len(), 2, "transpose on rank-{} tensor", d.len());
-        let (r, c) = (d[0], d[1]);
-        let mut out = Tensor::zeros(&[c, r]);
-        for i in 0..r {
-            for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
-            }
-        }
-        out
+        self.view().transpose().to_tensor()
     }
 
     /// Maximum absolute difference to another tensor of the same shape.

@@ -32,21 +32,37 @@ proptest! {
     }
 
     #[test]
-    fn matmul_at_consistent(a in arb_tensor(6), seed in 0u64..1000) {
+    fn transposed_lhs_view_matmul_consistent(a in arb_tensor(6), seed in 0u64..1000) {
+        // A zero-copy transposed view must multiply bit-identically to the
+        // materialised transpose: packing reads the same logical elements
+        // in the same order either way.
         let mut rng = Prng::new(seed);
         let b = Tensor::from_fn(&[a.dim(0), 3], |_| rng.uniform(-5.0, 5.0));
-        let lhs = a.matmul_at(&b);
+        let lhs = a.view().t().matmul(&b.view());
         let rhs = a.transpose().matmul(&b);
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        prop_assert_eq!(lhs, rhs);
     }
 
     #[test]
-    fn matmul_bt_consistent(a in arb_tensor(6), seed in 0u64..1000) {
+    fn transposed_rhs_view_matmul_consistent(a in arb_tensor(6), seed in 0u64..1000) {
         let mut rng = Prng::new(seed);
         let b = Tensor::from_fn(&[3, a.dim(1)], |_| rng.uniform(-5.0, 5.0));
-        let lhs = a.matmul_bt(&b);
+        let lhs = a.view().matmul(&b.view().t());
         let rhs = a.matmul(&b.transpose());
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn broadcast_add_matches_explicit_tiling(
+        n in 1usize..8, f in 1usize..16, seed in 0u64..1000,
+    ) {
+        let mut rng = Prng::new(seed);
+        let x = Tensor::from_fn(&[n, f], |_| rng.uniform(-5.0, 5.0));
+        let bias = Tensor::from_fn(&[f], |_| rng.uniform(-5.0, 5.0));
+        let tiled = Tensor::from_fn(&[n, f], |i| bias.data()[i % f]);
+        let lhs = x.view().add(&bias.view()).unwrap();
+        let rhs = x.add(&tiled);
+        prop_assert_eq!(lhs, rhs);
     }
 
     #[test]
