@@ -10,7 +10,15 @@
 #   ./ci.sh --update-bench      re-measure and commit a new bench baseline
 #                               (for *intentional* performance changes)
 #
-# Stages: fmt, clippy, doc, tests, drill, fairness, bench.
+# Stages: fmt, clippy, doc, tests, drill, membership, fairness, bench.
+#
+# The membership stage runs the dynamic-membership drill
+# (tests/tests/membership.rs): gossip-replicated routers, a router killed
+# mid-stream, a node joining mid-stream, and a deterministic
+# fault-injection plan (drops, duplicates, a partition window) under
+# open-loop Poisson traffic — every admitted request must complete
+# bit-identically against the single-process oracle. Pinned to one
+# kernel thread and a wall-clock budget like the drill.
 #
 # The fairness stage runs the adversarial multi-tenant suite
 # (tests/tests/fairness.rs): a flooding batch tenant vs an interactive
@@ -46,8 +54,8 @@ for arg in "$@"; do
     case "$arg" in
         --fast) FAST=1 ;;
         --update-bench) UPDATE_BENCH=1 ;;
-        fmt|clippy|doc|tests|drill|fairness|bench) STAGES+=("$arg") ;;
-        *) echo "unknown argument: $arg (stages: fmt clippy doc tests drill fairness bench; flags: --fast --update-bench)"; exit 2 ;;
+        fmt|clippy|doc|tests|drill|membership|fairness|bench) STAGES+=("$arg") ;;
+        *) echo "unknown argument: $arg (stages: fmt clippy doc tests drill membership fairness bench; flags: --fast --update-bench)"; exit 2 ;;
     esac
 done
 if [ "${#STAGES[@]}" -eq 0 ]; then
@@ -56,7 +64,7 @@ if [ "${#STAGES[@]}" -eq 0 ]; then
     elif [ "$UPDATE_BENCH" -eq 1 ]; then
         STAGES=(bench)
     else
-        STAGES=(fmt clippy doc tests drill fairness bench)
+        STAGES=(fmt clippy doc tests drill membership fairness bench)
     fi
 fi
 # --update-bench means the bench stage, whatever else was asked for — it
@@ -122,6 +130,15 @@ stage_drill() {
     # of bug the drill exists to catch.
     FLUID_THREADS=1 timeout 300 \
         cargo test -q -p fluid-integration-tests --test cluster
+}
+
+stage_membership() {
+    # The membership drill injects faults on a deterministic schedule and
+    # kills a live router mid-stream, so like the chaos drill it gets one
+    # kernel thread and a wall-clock budget: a gossip or rebuild hang
+    # fails loudly instead of stalling the pipeline.
+    FLUID_THREADS=1 timeout 300 \
+        cargo test -q -p fluid-integration-tests --test membership
 }
 
 stage_fairness() {

@@ -65,6 +65,7 @@
 mod deploy;
 mod engine;
 mod error;
+mod fault;
 mod frame;
 mod master;
 mod meter;
@@ -77,11 +78,12 @@ mod worker;
 pub use deploy::{extract_branch_weights, load_branch_weights};
 pub use engine::WorkerEngine;
 pub use error::DistError;
+pub use fault::{FaultPlan, FaultReport, FaultSpec, FaultedTransport, FaultyLink, PartitionWindow};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use master::{Master, MasterConfig};
 pub use meter::ThroughputMeter;
 pub use multi::MultiMaster;
 pub use spawn::{spawn_ha_pair, SpawnedPair};
 pub use transport::{FailureSwitch, InProcTransport, SimTransport, TcpTransport, Transport};
-pub use wire::{Message, Mode, NamedTensor};
+pub use wire::{GossipNode, Message, Mode, NamedTensor};
 pub use worker::{Worker, WorkerExit};

@@ -140,6 +140,87 @@ pub enum Message {
         /// Input batch `[N, C, H, W]`.
         input: Tensor,
     },
+    /// Serve node → router: announce this node as a routable member. The
+    /// router answers with [`Message::MembershipAck`] carrying the
+    /// membership epoch the join landed in. Idempotent: re-joining an
+    /// already-known node with the same address is a no-op.
+    Join {
+        /// The node's stable identity (survives restarts).
+        node: String,
+        /// The address clients of the router should dial, `host:port`.
+        addr: String,
+    },
+    /// Serve node → router: gracefully withdraw from the member set. The
+    /// router tombstones the node (so gossip cannot resurrect it) and
+    /// rebuilds the shard map without it.
+    Leave {
+        /// The departing node's identity.
+        node: String,
+    },
+    /// Serve node → router: periodic liveness + load report. Carries the
+    /// advertised address so a router that restarted with empty membership
+    /// re-learns the node from its next heartbeat (implicit re-join).
+    /// Answered with [`Message::HeartbeatAck`].
+    NodeHeartbeat {
+        /// The reporting node's identity.
+        node: String,
+        /// The node's advertised serving address.
+        addr: String,
+        /// Monotonic per-node sequence number.
+        seq: u64,
+        /// The node's current serve queue depth (pending tickets).
+        queue_depth: u32,
+    },
+    /// Router ↔ router: one half of an anti-entropy exchange. A router
+    /// pushes its full digest — membership records, health verdicts, and
+    /// its own per-shard in-flight depths — and the peer merges it and
+    /// replies with its own digest (push-pull).
+    Gossip {
+        /// The sending router's identity (keys the per-peer depth table).
+        from: String,
+        /// The sender's membership epoch (Lamport-style: bumped on every
+        /// local membership change, maxed on merge).
+        epoch: u64,
+        /// The sender's *own* per-shard in-flight request counts, indexed
+        /// by shard. Receivers add fresh peer depths to their local count
+        /// when admitting, so admission sees cluster-wide shard pressure.
+        shard_pending: Vec<u32>,
+        /// Per-node membership + health records (see [`GossipNode`]).
+        nodes: Vec<GossipNode>,
+    },
+    /// Router → serve node: acknowledges a [`Message::Join`] or
+    /// [`Message::Leave`], echoing the membership epoch that resulted.
+    MembershipAck {
+        /// The router's membership epoch after applying the change.
+        epoch: u64,
+    },
+}
+
+/// One node's membership + health record inside a [`Message::Gossip`]
+/// digest. Membership fields merge by `member_version` (higher wins);
+/// health fields merge by `health_version` (higher wins, down wins ties).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipNode {
+    /// The node's stable identity.
+    pub id: String,
+    /// The node's advertised serving address.
+    pub addr: String,
+    /// `false` once the node has left: a tombstone that outlives the
+    /// departure so a stale peer cannot resurrect the member.
+    pub alive: bool,
+    /// Version of the membership fields (`addr`, `alive`): the epoch at
+    /// which they last changed.
+    pub member_version: u64,
+    /// The sender's health verdict for this node.
+    pub up: bool,
+    /// When `up` is false: milliseconds until the sender would re-probe.
+    /// Receivers adopting the verdict schedule their own probe this far
+    /// out (instants don't cross the wire).
+    pub probe_in_ms: u32,
+    /// Version of the health fields, bumped on every verdict transition.
+    pub health_version: u64,
+    /// The node's last heartbeat-reported serve queue depth.
+    pub queue_depth: u32,
 }
 
 const TAG_HELLO: u8 = 1;
@@ -154,12 +235,23 @@ const TAG_SHUTDOWN: u8 = 9;
 const TAG_REJECT: u8 = 10;
 const TAG_INFER_KEYED: u8 = 11;
 const TAG_INFER_TENANT: u8 = 12;
+const TAG_JOIN: u8 = 13;
+const TAG_LEAVE: u8 = 14;
+const TAG_NODE_HEARTBEAT: u8 = 15;
+const TAG_GOSSIP: u8 = 16;
+const TAG_MEMBERSHIP_ACK: u8 = 17;
 
 /// A decoded tensor beyond this rank is a protocol error, not a panic:
 /// `fluid_tensor::Shape` stores dimensions inline and asserts its own
 /// bound, so the decoder must reject first.
 const MAX_TENSOR_RANK: usize = fluid_tensor::MAX_RANK;
 const MAX_BRANCH_STAGES: usize = 1024;
+/// A gossip digest claiming more member records than any sane cluster is a
+/// protocol error, not an allocation: reject before reserving.
+const MAX_GOSSIP_NODES: usize = 65_536;
+/// Upper bound on the per-shard depth vector in a gossip digest; matches
+/// the router's maximum shard count with generous headroom.
+const MAX_GOSSIP_SHARDS: usize = 65_536;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -395,6 +487,56 @@ impl Message {
                 put_u64(&mut out, *tenant);
                 put_tensor(&mut out, input);
             }
+            Message::Join { node, addr } => {
+                out.push(TAG_JOIN);
+                put_str(&mut out, node);
+                put_str(&mut out, addr);
+            }
+            Message::Leave { node } => {
+                out.push(TAG_LEAVE);
+                put_str(&mut out, node);
+            }
+            Message::NodeHeartbeat {
+                node,
+                addr,
+                seq,
+                queue_depth,
+            } => {
+                out.push(TAG_NODE_HEARTBEAT);
+                put_str(&mut out, node);
+                put_str(&mut out, addr);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *queue_depth);
+            }
+            Message::Gossip {
+                from,
+                epoch,
+                shard_pending,
+                nodes,
+            } => {
+                out.push(TAG_GOSSIP);
+                put_str(&mut out, from);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, shard_pending.len() as u32);
+                for &d in shard_pending {
+                    put_u32(&mut out, d);
+                }
+                put_u32(&mut out, nodes.len() as u32);
+                for n in nodes {
+                    put_str(&mut out, &n.id);
+                    put_str(&mut out, &n.addr);
+                    out.push(n.alive as u8);
+                    put_u64(&mut out, n.member_version);
+                    out.push(n.up as u8);
+                    put_u32(&mut out, n.probe_in_ms);
+                    put_u64(&mut out, n.health_version);
+                    put_u32(&mut out, n.queue_depth);
+                }
+            }
+            Message::MembershipAck { epoch } => {
+                out.push(TAG_MEMBERSHIP_ACK);
+                put_u64(&mut out, *epoch);
+            }
         }
         out
     }
@@ -460,6 +602,64 @@ impl Message {
                 tenant: c.u64()?,
                 input: c.tensor()?,
             },
+            TAG_JOIN => Message::Join {
+                node: c.string()?,
+                addr: c.string()?,
+            },
+            TAG_LEAVE => Message::Leave { node: c.string()? },
+            TAG_NODE_HEARTBEAT => Message::NodeHeartbeat {
+                node: c.string()?,
+                addr: c.string()?,
+                seq: c.u64()?,
+                queue_depth: c.u32()?,
+            },
+            TAG_GOSSIP => {
+                let from = c.string()?;
+                let epoch = c.u64()?;
+                let shards = c.u32()? as usize;
+                if shards > MAX_GOSSIP_SHARDS {
+                    return Err(DistError::Decode(format!(
+                        "gossip digest claims {shards} shards"
+                    )));
+                }
+                // Bound the reserve by bytes actually present (4 per depth).
+                if c.remaining() < shards.saturating_mul(4) {
+                    return Err(DistError::Decode(format!(
+                        "gossip claims {shards} shard depths but only {} bytes remain",
+                        c.remaining()
+                    )));
+                }
+                let mut shard_pending = Vec::with_capacity(shards);
+                for _ in 0..shards {
+                    shard_pending.push(c.u32()?);
+                }
+                let count = c.u32()? as usize;
+                if count > MAX_GOSSIP_NODES {
+                    return Err(DistError::Decode(format!(
+                        "gossip digest claims {count} member records"
+                    )));
+                }
+                let mut nodes = Vec::new();
+                for _ in 0..count {
+                    nodes.push(GossipNode {
+                        id: c.string()?,
+                        addr: c.string()?,
+                        alive: c.u8()? != 0,
+                        member_version: c.u64()?,
+                        up: c.u8()? != 0,
+                        probe_in_ms: c.u32()?,
+                        health_version: c.u64()?,
+                        queue_depth: c.u32()?,
+                    });
+                }
+                Message::Gossip {
+                    from,
+                    epoch,
+                    shard_pending,
+                    nodes,
+                }
+            }
+            TAG_MEMBERSHIP_ACK => Message::MembershipAck { epoch: c.u64()? },
             other => return Err(DistError::Decode(format!("unknown message tag {other}"))),
         };
         c.finish()?;
@@ -520,6 +720,47 @@ mod tests {
                 tenant: 3,
                 input: Tensor::from_vec(vec![0.5, 0.25], &[1, 2]),
             },
+            Message::Join {
+                node: "node-2".into(),
+                addr: "127.0.0.1:7042".into(),
+            },
+            Message::Leave {
+                node: "node-2".into(),
+            },
+            Message::NodeHeartbeat {
+                node: "node-0".into(),
+                addr: "127.0.0.1:7040".into(),
+                seq: 31,
+                queue_depth: 5,
+            },
+            Message::Gossip {
+                from: "router-1".into(),
+                epoch: 12,
+                shard_pending: vec![0, 3, 0, 1],
+                nodes: vec![
+                    GossipNode {
+                        id: "node-0".into(),
+                        addr: "127.0.0.1:7040".into(),
+                        alive: true,
+                        member_version: 4,
+                        up: true,
+                        probe_in_ms: 0,
+                        health_version: 9,
+                        queue_depth: 2,
+                    },
+                    GossipNode {
+                        id: "node-1".into(),
+                        addr: "127.0.0.1:7041".into(),
+                        alive: false,
+                        member_version: 11,
+                        up: false,
+                        probe_in_ms: 350,
+                        health_version: 7,
+                        queue_depth: 0,
+                    },
+                ],
+            },
+            Message::MembershipAck { epoch: 12 },
         ];
         for msg in msgs {
             assert_eq!(Message::decode(msg.encode()).expect("decode"), msg);
@@ -591,6 +832,54 @@ mod tests {
                 "truncation at {cut} bytes decoded"
             );
         }
+    }
+
+    #[test]
+    fn truncated_gossip_frame_rejected() {
+        // Gossip is the widest membership frame; cut it at every offset and
+        // demand a clean Decode error each time.
+        let full = Message::Gossip {
+            from: "router-0".into(),
+            epoch: 3,
+            shard_pending: vec![1, 2],
+            nodes: vec![GossipNode {
+                id: "n".into(),
+                addr: "a:1".into(),
+                alive: true,
+                member_version: 1,
+                up: false,
+                probe_in_ms: 40,
+                health_version: 2,
+                queue_depth: 1,
+            }],
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert!(
+                Message::decode(&full[..cut]).is_err(),
+                "truncation at {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_gossip_claims_rejected_cheaply() {
+        // A digest header claiming 2^32-ish shard depths (or member
+        // records) with no bytes behind it must error without allocating.
+        let mut payload = vec![TAG_GOSSIP];
+        payload.extend_from_slice(&2u32.to_le_bytes()); // from = "r0"
+        payload.extend_from_slice(b"r0");
+        payload.extend_from_slice(&1u64.to_le_bytes()); // epoch
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // shard count lie
+        assert!(Message::decode(payload).is_err());
+
+        let mut payload = vec![TAG_GOSSIP];
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(b"r0");
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // no shard depths
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // node count lie
+        assert!(Message::decode(payload).is_err());
     }
 
     #[test]

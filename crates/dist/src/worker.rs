@@ -99,7 +99,12 @@ impl<T: Transport> Worker<T> {
                     | Message::HeartbeatAck { .. }
                     | Message::Reject { .. }
                     | Message::InferKeyed { .. }
-                    | Message::InferTenant { .. },
+                    | Message::InferTenant { .. }
+                    | Message::Join { .. }
+                    | Message::Leave { .. }
+                    | Message::NodeHeartbeat { .. }
+                    | Message::Gossip { .. }
+                    | Message::MembershipAck { .. },
                 )) => {}
                 Ok(None) => {}
                 Err(e) => return (WorkerExit::LinkLost(e), self.engine),

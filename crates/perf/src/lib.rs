@@ -42,7 +42,7 @@ pub use elastic::{simulate_elastic, ElasticPolicy, ElasticSimReport};
 pub use energy::{scenario_energy, standalone_energy, EnergyReport, PowerModel};
 pub use queueing::{
     percentile, simulate, simulate_cluster, ClusterScenario, ClusterSimReport, NodeOutage, Policy,
-    SampleWindow, SimReport,
+    RouterOutage, SampleWindow, SimReport,
 };
 pub use scenario::{DeviceAvailability, Fig2Row, ModelFamily, ScenarioResult, SystemModel};
 pub use tenants::{simulate_tenants, SimTenant, TenantDiscipline, TenantSimReport, TenantSimRow};

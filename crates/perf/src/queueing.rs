@@ -296,11 +296,27 @@ pub struct NodeOutage {
     pub to_s: f64,
 }
 
+/// One router front going dark for a window of simulated time inside
+/// [`simulate_cluster`]. Clients hold the *list* of routers, so with two
+/// or more routers an outage costs the affected arrivals one retry (the
+/// client reconnects to the next list entry); with a single router every
+/// arrival of the window is simply lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOutage {
+    /// Index of the router that goes dark.
+    pub router: usize,
+    /// Outage start, seconds into the run.
+    pub from_s: f64,
+    /// Outage end, seconds into the run.
+    pub to_s: f64,
+}
+
 /// A multi-shard serving cluster for [`simulate_cluster`]: `nodes`
 /// single-server nodes, keys hashed over `shards` buckets, each bucket
 /// served by `replication` consecutive nodes (an abstraction of the
 /// router's rendezvous replica sets — the queueing behaviour only depends
-/// on the replica *count*, not which hash picked them).
+/// on the replica *count*, not which hash picked them), fronted by
+/// `routers` replicated routers that clients spread over uniformly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterScenario {
     /// Serve nodes in the cluster.
@@ -318,11 +334,30 @@ pub struct ClusterScenario {
     /// At most one node outage per run (the drill's discipline: never two
     /// nodes dark at once).
     pub outage: Option<NodeOutage>,
+    /// Replicated router fronts; clients hold the full list and pick one
+    /// uniformly per request.
+    pub routers: usize,
+    /// At most one router outage per run.
+    pub router_outage: Option<RouterOutage>,
+    /// A reachability partition: the node is *healthy* but severed from
+    /// every router for the window (contrast `outage`, where the node is
+    /// gone). Its shards fail over to replicas; until the verdict has
+    /// gossiped to every router, each affected arrival also pays one
+    /// failed attempt on the severed primary.
+    pub partition: Option<NodeOutage>,
+    /// Anti-entropy gossip interval between routers, seconds: the bound
+    /// on how long routers keep dialing a partitioned node after the
+    /// first failed attempt produced a health verdict somewhere.
+    pub gossip_interval_s: f64,
+    /// Client-visible cost of one failed attempt plus its retry (a
+    /// connect timeout, roughly), seconds.
+    pub retry_penalty_s: f64,
 }
 
 impl ClusterScenario {
-    /// A scenario with 64 shards and no outage; set `outage` afterwards
-    /// to model a failure window.
+    /// A scenario with 64 shards, one router, a 100 ms gossip interval, a
+    /// 250 ms retry penalty, and no failure windows; set `outage`,
+    /// `router_outage`, or `partition` afterwards to model one.
     pub fn new(
         nodes: usize,
         replication: usize,
@@ -338,6 +373,11 @@ impl ClusterScenario {
             duration_s,
             service_s,
             outage: None,
+            routers: 1,
+            router_outage: None,
+            partition: None,
+            gossip_interval_s: 0.1,
+            retry_penalty_s: 0.25,
         }
     }
 }
@@ -359,36 +399,60 @@ pub struct ClusterSimReport {
     pub throughput_ips: f64,
     /// Completions served by each node.
     pub per_node_served: Vec<usize>,
+    /// Completions that paid at least one retry penalty (a dead router in
+    /// the client's list, or an undetected partitioned primary).
+    pub retried: usize,
 }
 
-/// Simulates Poisson arrivals against a sharded, replicated cluster:
-/// each arrival hashes to a shard, and the least-backlogged *available*
-/// replica serves it FIFO; if every replica is in outage the request is
+/// Simulates Poisson arrivals against a sharded, replicated cluster
+/// behind replicated routers: each arrival picks a router uniformly and
+/// hashes to a shard; the least-backlogged *reachable* replica serves it
+/// FIFO; if every replica is in outage (or partitioned) the request is
 /// dropped.
 ///
-/// This is the model that justifies `fluid-router`'s defaults: at
-/// `replication = 1` any node outage drops every request of that node's
-/// shards for the whole window, while `replication = 2` rides through a
-/// single-node outage with zero drops and only a latency bump — which is
-/// why 2 is the default and the chaos drill's kill discipline is
-/// one-node-at-a-time (see `one_replica_drops_two_replicas_ride_through`
-/// in this module's tests).
+/// This is the model that justifies `fluid-router`'s defaults:
+///
+/// * At `replication = 1` any node outage drops every request of that
+///   node's shards for the whole window, while `replication = 2` rides
+///   through a single-node outage with zero drops and only a latency
+///   bump — why 2 is the default and the chaos drill's kill discipline is
+///   one-node-at-a-time (`one_replica_drops_two_replicas_ride_through`).
+/// * With a single router, a router outage drops its whole window; a
+///   second router turns the same window into per-request retries
+///   (`one_router_drops_its_outage_two_routers_retry_through_it`).
+/// * During a node partition, arrivals keep paying a failed attempt on
+///   the severed primary until the health verdict has gossiped to every
+///   router — so the retry tail is proportional to the gossip interval,
+///   which is why `fluid-router`'s anti-entropy default is 100 ms
+///   (`shorter_gossip_interval_shrinks_the_partition_tail`).
 ///
 /// # Panics
 ///
-/// Panics if `nodes`, `replication`, `shards`, `lambda`, `duration_s`,
-/// or `service_s` is zero/non-positive.
+/// Panics if `nodes`, `replication`, `shards`, `routers`, `lambda`,
+/// `duration_s`, `service_s`, or `gossip_interval_s` is
+/// zero/non-positive, or `retry_penalty_s` is negative.
 pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimReport {
     assert!(scenario.nodes > 0, "cluster needs at least one node");
     assert!(scenario.replication > 0, "replication must be >= 1");
     assert!(scenario.shards > 0, "cluster needs at least one shard");
+    assert!(scenario.routers > 0, "cluster needs at least one router");
     assert!(scenario.lambda > 0.0, "non-positive arrival rate");
     assert!(scenario.duration_s > 0.0, "non-positive duration");
     assert!(scenario.service_s > 0.0, "non-positive service time");
+    assert!(
+        scenario.gossip_interval_s > 0.0,
+        "non-positive gossip interval"
+    );
+    assert!(scenario.retry_penalty_s >= 0.0, "negative retry penalty");
     let replication = scenario.replication.min(scenario.nodes);
-    let down = |node: usize, t: f64| match scenario.outage {
+    let windowed = |w: &Option<NodeOutage>, node: usize, t: f64| match *w {
         Some(o) => node == o.node && t >= o.from_s && t < o.to_s,
         None => false,
+    };
+    // A node serves nothing while dead (outage) *or* severed (partition);
+    // the difference is only in the retry tail below.
+    let unreachable = |node: usize, t: f64| {
+        windowed(&scenario.outage, node, t) || windowed(&scenario.partition, node, t)
     };
 
     let mut rng = Prng::new(seed);
@@ -396,6 +460,7 @@ pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimRepo
     let mut per_node_served = vec![0usize; scenario.nodes];
     let mut sojourns = SampleWindow::new();
     let mut dropped = 0usize;
+    let mut retried = 0usize;
     let mut t = 0.0f64;
     loop {
         t += -(1.0 - rng.next_f64()).ln() / scenario.lambda;
@@ -403,13 +468,42 @@ pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimRepo
             break;
         }
         let shard = rng.below(scenario.shards);
+        // Drawn unconditionally so scenarios differing only in failure
+        // windows or router count see the same arrival/shard stream.
+        let router = rng.below(scenario.routers);
+        let mut penalty = 0.0f64;
+        if let Some(o) = scenario.router_outage {
+            if router == o.router && t >= o.from_s && t < o.to_s {
+                if scenario.routers == 1 {
+                    // No list to retry across: the request is lost.
+                    dropped += 1;
+                    continue;
+                }
+                // The client's next list entry serves; the dead router
+                // cost one reconnect.
+                penalty += scenario.retry_penalty_s;
+            }
+        }
         // Replica set: `replication` consecutive nodes starting at the
         // shard's primary. Which nodes they are doesn't matter to the
         // queueing; that they are distinct and fixed per shard does.
         let primary = shard % scenario.nodes;
+        if let Some(p) = scenario.partition {
+            // Until every router has heard the verdict (one gossip
+            // interval after the first failed attempt at window start),
+            // a request whose replica set holds the severed node pays
+            // one failed attempt before its replica answers.
+            let undetected =
+                t >= p.from_s && t < p.to_s && t < p.from_s + scenario.gossip_interval_s;
+            let targets_severed =
+                (0..replication).any(|j| (primary + j) % scenario.nodes == p.node);
+            if undetected && targets_severed {
+                penalty += scenario.retry_penalty_s;
+            }
+        }
         let chosen = (0..replication)
             .map(|j| (primary + j) % scenario.nodes)
-            .filter(|&node| !down(node, t))
+            .filter(|&node| !unreachable(node, t))
             .min_by(|&a, &b| busy_until[a].total_cmp(&busy_until[b]));
         match chosen {
             None => dropped += 1,
@@ -418,7 +512,12 @@ pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimRepo
                 let done = start + scenario.service_s;
                 busy_until[node] = done;
                 per_node_served[node] += 1;
-                sojourns.push(done - t);
+                // The retry penalty is client-side latency: it delays the
+                // response, not the node's service slot.
+                sojourns.push(done - t + penalty);
+                if penalty > 0.0 {
+                    retried += 1;
+                }
             }
         }
     }
@@ -436,6 +535,7 @@ pub fn simulate_cluster(scenario: &ClusterScenario, seed: u64) -> ClusterSimRepo
             0.0
         },
         per_node_served,
+        retried,
     }
 }
 
@@ -608,6 +708,74 @@ mod tests {
         let min = rep.per_node_served.iter().min().copied().unwrap_or(0);
         assert_eq!(rep.per_node_served[0], min);
         assert!(rep.throughput_ips > 80.0, "{}", rep.throughput_ips);
+    }
+
+    #[test]
+    fn one_router_drops_its_outage_two_routers_retry_through_it() {
+        // The replicated-router justification: a 10 s router outage with a
+        // single router loses its entire window, while a second router
+        // turns every one of those arrivals into a completed (if slightly
+        // slower) request — same arrivals, same seed.
+        let outage = RouterOutage {
+            router: 0,
+            from_s: 10.0,
+            to_s: 20.0,
+        };
+        let mut one = ClusterScenario::new(3, 2, 60.0, 30.0, 0.005);
+        one.router_outage = Some(outage);
+        let mut two = ClusterScenario::new(3, 2, 60.0, 30.0, 0.005);
+        two.routers = 2;
+        two.router_outage = Some(outage);
+        let a = simulate_cluster(&one, 21);
+        let b = simulate_cluster(&two, 21);
+        assert!(
+            a.dropped > 200,
+            "a single-router outage should drop ~600 arrivals, saw {}",
+            a.dropped
+        );
+        assert_eq!(b.dropped, 0, "a second router absorbs the outage");
+        assert!(b.retried > 0, "the dead router must cost retries");
+        assert_eq!(b.completed, a.completed + a.dropped);
+    }
+
+    #[test]
+    fn shorter_gossip_interval_shrinks_the_partition_tail() {
+        // The 100 ms anti-entropy default: while a partition verdict has
+        // not yet gossiped to every router, requests targeting the severed
+        // primary pay a failed attempt before the replica answers. The
+        // retry tail — and with it the p95 — scales with the interval.
+        let partition = NodeOutage {
+            node: 1,
+            from_s: 10.0,
+            to_s: 20.0,
+        };
+        let mk = |gossip_interval_s: f64| {
+            let mut sc = ClusterScenario::new(3, 2, 60.0, 30.0, 0.005);
+            sc.routers = 2;
+            sc.partition = Some(partition);
+            sc.gossip_interval_s = gossip_interval_s;
+            sc
+        };
+        let fast = simulate_cluster(&mk(0.1), 23);
+        let slow = simulate_cluster(&mk(5.0), 23);
+        // Replication rides the partition out either way…
+        assert_eq!(fast.dropped, 0);
+        assert_eq!(slow.dropped, 0);
+        assert_eq!(fast.completed, slow.completed);
+        // …but a 50× slower gossip interval means a 50×-ish longer tail of
+        // failed first attempts, and a visibly worse p95.
+        assert!(
+            10 * fast.retried < slow.retried,
+            "fast {} vs slow {} retried",
+            fast.retried,
+            slow.retried
+        );
+        assert!(
+            fast.p95_sojourn_s < slow.p95_sojourn_s,
+            "fast p95 {} vs slow p95 {}",
+            fast.p95_sojourn_s,
+            slow.p95_sojourn_s
+        );
     }
 
     #[test]

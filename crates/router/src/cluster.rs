@@ -1,0 +1,508 @@
+//! The dynamic cluster harness: N announcing serve nodes behind R
+//! gossip-replicated routers.
+//!
+//! Where [`LocalCluster`](crate::LocalCluster) wires a *static* node list
+//! into one in-process router, this harness exercises the full dynamic
+//! membership story: every node runs a background
+//! [`Announcer`](fluid_serve::Announcer) that Joins and heartbeats every
+//! router, every router runs a TCP front-end ([`route_tcp`]) plus a
+//! gossip thread ([`spawn_gossip`]), and nothing is wired by hand — a
+//! router learns the cluster from announcements and from its peers, and
+//! clients learn to survive a router by retrying across the router list.
+//! The membership drill ([`run_membership_drill`](crate::run_membership_drill))
+//! runs against exactly this harness.
+
+use crate::gossip::{spawn_gossip, GossipConfig};
+use crate::node::ServeNode;
+use crate::router::{route_tcp, Router, RouterConfig};
+use fluid_models::{ConvNet, SubnetSpec};
+use fluid_serve::{AnnounceConfig, Announcer, ServeConfig, ServeError};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One router process-in-miniature: the [`Router`] state, its TCP
+/// front-end thread, and (optionally) its gossip thread, with a kill
+/// switch that takes all of it down at once — the unit the membership
+/// drill kills to prove router loss is invisible.
+pub struct RouterNode {
+    router: Router,
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    front: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    gossip: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterNode {
+    /// Spawns a router front-end on `listener`, plus a gossip thread when
+    /// `gossip` is given.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the listener's local address cannot
+    /// be read.
+    pub fn spawn_on(
+        listener: TcpListener,
+        router: Router,
+        gossip: Option<GossipConfig>,
+    ) -> Result<RouterNode, ServeError> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Transport(e.to_string()))?
+            .to_string();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let front = {
+            let (router, shutdown) = (router.clone(), Arc::clone(&shutdown));
+            std::thread::spawn(move || route_tcp(listener, router, shutdown))
+        };
+        let gossip = gossip.map(|cfg| spawn_gossip(router.clone(), cfg, Arc::clone(&shutdown)));
+        Ok(RouterNode {
+            router,
+            addr,
+            shutdown,
+            front: Some(front),
+            gossip,
+        })
+    }
+
+    /// Spawns on a fresh loopback port.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the port cannot be bound.
+    pub fn spawn(router: Router, gossip: Option<GossipConfig>) -> Result<RouterNode, ServeError> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ServeError::Transport(format!("bind router: {e}")))?;
+        RouterNode::spawn_on(listener, router, gossip)
+    }
+
+    /// The router state behind this front-end (cheap clone; see
+    /// [`Router`]).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The front-end's `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the front-end is still accepting.
+    pub fn is_up(&self) -> bool {
+        self.front.is_some()
+    }
+
+    /// Kills the router: front-end and gossip stop, open client
+    /// connections die. Idempotent. The [`Router`] state survives (it is
+    /// shared), but nothing serves it anymore — from a client's point of
+    /// view this router is gone.
+    pub fn kill(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(front) = self.front.take() {
+            let _ = front.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
+        }
+    }
+}
+
+impl Drop for RouterNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl std::fmt::Debug for RouterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterNode")
+            .field("addr", &self.addr)
+            .field("up", &self.is_up())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shape of a [`DynamicCluster`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DynamicClusterConfig {
+    /// Serve nodes to boot (`node-0` …).
+    pub nodes: usize,
+    /// Engine workers per node.
+    pub workers_per_node: usize,
+    /// Routers to boot (`router-0` …), each with a TCP front-end and a
+    /// gossip thread over the others.
+    pub routers: usize,
+    /// Per-node serving configuration.
+    pub serve: ServeConfig,
+    /// Router template; each router gets it with its own `id`.
+    pub router: RouterConfig,
+    /// Gossip cadence between routers.
+    pub gossip_interval: Duration,
+    /// Node heartbeat cadence.
+    pub announce_interval: Duration,
+    /// Seed for the routers' gossip peer-choice streams.
+    pub seed: u64,
+}
+
+impl Default for DynamicClusterConfig {
+    fn default() -> DynamicClusterConfig {
+        DynamicClusterConfig {
+            nodes: 3,
+            workers_per_node: 1,
+            routers: 2,
+            serve: ServeConfig::default(),
+            router: RouterConfig::default(),
+            gossip_interval: Duration::from_millis(100),
+            announce_interval: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+/// One announcing serve node: the node itself plus its membership
+/// announcer (absent after an abrupt kill).
+struct Member {
+    node: ServeNode,
+    announcer: Option<Announcer>,
+}
+
+/// N announcing serve nodes behind R gossip-replicated routers — the
+/// dynamic-membership counterpart of [`LocalCluster`](crate::LocalCluster).
+/// See the module docs for the wiring.
+pub struct DynamicCluster {
+    members: Vec<Member>,
+    routers: Vec<RouterNode>,
+    router_addrs: Vec<String>,
+    net: ConvNet,
+    spec: SubnetSpec,
+    cfg: DynamicClusterConfig,
+}
+
+impl DynamicCluster {
+    /// Boots the routers first (so nodes have someone to announce to),
+    /// then the nodes with their announcers. Returns as soon as
+    /// everything is *spawned*; call
+    /// [`wait_converged`](DynamicCluster::wait_converged) before
+    /// asserting on membership.
+    ///
+    /// # Errors
+    ///
+    /// Any bind or spawn failure aborts the boot (already-started pieces
+    /// are dropped, which kills them).
+    ///
+    /// # Panics
+    ///
+    /// If the config asks for zero routers (nodes would announce into the
+    /// void).
+    pub fn boot(
+        net: &ConvNet,
+        spec: &SubnetSpec,
+        cfg: DynamicClusterConfig,
+    ) -> Result<DynamicCluster, ServeError> {
+        assert!(cfg.routers >= 1, "a dynamic cluster needs a router");
+        // Bind every router port first: gossip configs need the full
+        // peer list before any router starts.
+        let listeners = (0..cfg.routers)
+            .map(|_| {
+                TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| ServeError::Transport(format!("bind router: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let router_addrs = listeners
+            .iter()
+            .map(|l| {
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .map_err(|e| ServeError::Transport(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let routers = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let router = Router::new_dynamic(RouterConfig {
+                    id: format!("router-{i}"),
+                    ..cfg.router.clone()
+                });
+                let peers: Vec<String> = router_addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let gossip = (!peers.is_empty()).then(|| GossipConfig {
+                    peers,
+                    interval: cfg.gossip_interval,
+                    seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ..GossipConfig::new(Vec::new())
+                });
+                RouterNode::spawn_on(listener, router, gossip)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut cluster = DynamicCluster {
+            members: Vec::new(),
+            routers,
+            router_addrs,
+            net: net.clone(),
+            spec: spec.clone(),
+            cfg,
+        };
+        for _ in 0..cluster.cfg.nodes {
+            cluster.join_node()?;
+        }
+        Ok(cluster)
+    }
+
+    /// Boots one more serve node (`node-{next}`) with an announcer and
+    /// returns its id — the "scale up under traffic" move the membership
+    /// drill performs. The routers learn it from its Join/heartbeats; no
+    /// router is touched directly.
+    ///
+    /// # Errors
+    ///
+    /// Node spawn failures pass through.
+    pub fn join_node(&mut self) -> Result<String, ServeError> {
+        let id = format!("node-{}", self.members.len());
+        let node = ServeNode::spawn(
+            &id,
+            &self.net,
+            &self.spec,
+            self.cfg.workers_per_node,
+            self.cfg.serve.clone(),
+        )?;
+        let announce = AnnounceConfig {
+            interval: self.cfg.announce_interval,
+            ..AnnounceConfig::new(&id, node.addr(), self.router_addrs.clone())
+        };
+        let announcer = Announcer::spawn(announce, node.handle()?);
+        self.members.push(Member {
+            node,
+            announcer: Some(announcer),
+        });
+        Ok(id)
+    }
+
+    /// Gracefully removes node `index`: its announcer sends Leave to
+    /// every reachable router, then the node shuts down.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn leave_node(&mut self, index: usize) {
+        if let Some(announcer) = self.members[index].announcer.take() {
+            announcer.stop();
+        }
+        self.members[index].node.kill();
+    }
+
+    /// Abruptly kills node `index` — no Leave, no goodbye; routers find
+    /// out from failed traffic and health marking.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn crash_node(&mut self, index: usize) {
+        if let Some(announcer) = self.members[index].announcer.take() {
+            announcer.abort();
+        }
+        self.members[index].node.kill();
+    }
+
+    /// Kills router `index` (front-end and gossip). Clients holding its
+    /// address must retry elsewhere; surviving routers keep serving.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn kill_router(&mut self, index: usize) {
+        self.routers[index].kill();
+    }
+
+    /// Every router front-end address, killed ones included — exactly the
+    /// list a client should retry across.
+    pub fn router_addrs(&self) -> &[String] {
+        &self.router_addrs
+    }
+
+    /// The router at `index`.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn router(&self, index: usize) -> &RouterNode {
+        &self.routers[index]
+    }
+
+    /// Number of routers (up or down).
+    pub fn routers_len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of serve nodes ever booted (alive or not).
+    pub fn nodes_len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The serve node at `index`.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range.
+    pub fn node(&self, index: usize) -> &ServeNode {
+        &self.members[index].node
+    }
+
+    /// Blocks until every *living* router agrees with the harness about
+    /// the cluster: identical membership epochs, the living node ids
+    /// exactly, and every one of them healthy. Returns `false` on
+    /// timeout — callers assert on it, so a convergence failure names
+    /// itself instead of surfacing as downstream flakiness.
+    pub fn wait_converged(&self, timeout: Duration) -> bool {
+        let expected: Vec<String> = self
+            .members
+            .iter()
+            .filter(|m| m.node.is_up())
+            .map(|m| m.node.id().to_string())
+            .collect();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let live: Vec<&RouterNode> = self.routers.iter().filter(|r| r.is_up()).collect();
+            let settled = !live.is_empty()
+                && live.iter().all(|r| {
+                    let m = r.router().metrics();
+                    let mut ids: Vec<String> = m.nodes.iter().map(|n| n.id.clone()).collect();
+                    ids.sort();
+                    let mut want = expected.clone();
+                    want.sort();
+                    ids == want && m.nodes.iter().all(|n| n.up)
+                })
+                && live
+                    .windows(2)
+                    .all(|w| w[0].router().membership_epoch() == w[1].router().membership_epoch());
+            if settled {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl std::fmt::Debug for DynamicCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicCluster")
+            .field("nodes", &self.members.len())
+            .field("routers", &self.routers)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluid_models::{Arch, FluidModel};
+    use fluid_serve::TcpClient;
+    use fluid_tensor::{Prng, Tensor};
+
+    fn model() -> (ConvNet, SubnetSpec) {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(11));
+        let spec = model.spec("combined100").expect("spec").clone();
+        (model.net().clone(), spec)
+    }
+
+    fn fast_cfg() -> DynamicClusterConfig {
+        DynamicClusterConfig {
+            nodes: 2,
+            routers: 2,
+            router: RouterConfig {
+                connect_timeout: Duration::from_millis(300),
+                request_timeout: Duration::from_secs(5),
+                probe_backoff: Duration::from_millis(50),
+                ..RouterConfig::default()
+            },
+            gossip_interval: Duration::from_millis(50),
+            announce_interval: Duration::from_millis(50),
+            ..DynamicClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn nodes_announce_themselves_and_routers_converge() {
+        let (net, spec) = model();
+        let cluster = DynamicCluster::boot(&net, &spec, fast_cfg()).expect("boot");
+        assert!(
+            cluster.wait_converged(Duration::from_secs(10)),
+            "routers never converged: {:?} vs {:?}",
+            cluster.router(0).router().metrics(),
+            cluster.router(1).router().metrics(),
+        );
+        // Both routers route — no static membership was ever given.
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 7) as f32 / 7.0);
+        let mut oracle = net.clone();
+        let expected = oracle.forward_subnet(&x, &spec, false);
+        for r in 0..cluster.routers_len() {
+            let mut client = TcpClient::connect(cluster.router(r).addr()).expect("connect");
+            let got = client.infer_keyed(5, &x).expect("routed infer");
+            assert!(got.allclose(&expected, 0.0), "router {r} diverged");
+        }
+    }
+
+    #[test]
+    fn graceful_leave_tombstones_the_node_on_every_router() {
+        let (net, spec) = model();
+        let mut cluster = DynamicCluster::boot(&net, &spec, fast_cfg()).expect("boot");
+        assert!(cluster.wait_converged(Duration::from_secs(10)));
+        cluster.leave_node(1);
+        assert!(
+            cluster.wait_converged(Duration::from_secs(10)),
+            "leave did not converge: {:?} vs {:?}",
+            cluster.router(0).router().member_ids(),
+            cluster.router(1).router().member_ids(),
+        );
+        for r in 0..cluster.routers_len() {
+            assert_eq!(cluster.router(r).router().member_ids(), vec!["node-0"]);
+        }
+    }
+
+    #[test]
+    fn a_joining_node_is_learned_by_every_router() {
+        let (net, spec) = model();
+        let mut cluster = DynamicCluster::boot(&net, &spec, fast_cfg()).expect("boot");
+        assert!(cluster.wait_converged(Duration::from_secs(10)));
+        let id = cluster.join_node().expect("join");
+        assert_eq!(id, "node-2");
+        assert!(
+            cluster.wait_converged(Duration::from_secs(10)),
+            "join did not converge"
+        );
+        for r in 0..cluster.routers_len() {
+            assert!(
+                cluster
+                    .router(r)
+                    .router()
+                    .member_ids()
+                    .contains(&"node-2".to_string()),
+                "router {r} never learned node-2"
+            );
+        }
+    }
+
+    #[test]
+    fn a_killed_router_leaves_the_survivor_serving() {
+        let (net, spec) = model();
+        let mut cluster = DynamicCluster::boot(&net, &spec, fast_cfg()).expect("boot");
+        assert!(cluster.wait_converged(Duration::from_secs(10)));
+        cluster.kill_router(0);
+        assert!(!cluster.router(0).is_up());
+        // Convergence is now defined over the survivor alone.
+        assert!(cluster.wait_converged(Duration::from_secs(10)));
+        let x = Tensor::from_fn(&[1, 1, 28, 28], |i| (i % 3) as f32 / 3.0);
+        let mut client = TcpClient::connect(cluster.router(1).addr()).expect("survivor");
+        client.infer_keyed(9, &x).expect("survivor still routes");
+    }
+}

@@ -18,13 +18,16 @@
 //!   finish before the rolling swap begins (a real operator would hold a
 //!   rollout during an incident, too).
 
+use crate::cluster::{DynamicCluster, DynamicClusterConfig};
 use crate::node::LocalCluster;
 use crate::router::{RouterConfig, RouterMetrics};
+use fluid_dist::{FaultPlan, FaultReport, FaultSpec, PartitionWindow};
 use fluid_models::{ConvNet, SubnetSpec};
 use fluid_serve::loadgen::{run_open_loop_indexed, LoadgenReport};
-use fluid_serve::{ServeConfig, ServeError};
+use fluid_serve::{ServeConfig, ServeError, TcpClient};
 use fluid_tensor::{Prng, Tensor};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Shape of one chaos drill run.
@@ -266,6 +269,428 @@ pub fn run_drill(
     })
 }
 
+/// Shape of one membership drill run: dynamic membership + replicated
+/// routers + deterministic fault injection, all at once.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MembershipDrillConfig {
+    /// Serve nodes to boot (announced, not statically wired).
+    pub nodes: usize,
+    /// Engine workers per node.
+    pub workers_per_node: usize,
+    /// Routers to boot (front-end + gossip each). Must be ≥ 2 when
+    /// `kill_router` is set.
+    pub routers: usize,
+    /// Replicas per shard (must be ≥ 2 — the drill partitions a node).
+    pub replication: usize,
+    /// Poisson arrival rate, requests/s.
+    pub lambda: f64,
+    /// Total arrivals to generate.
+    pub requests: usize,
+    /// Concurrent submitter threads draining the arrival process.
+    pub concurrency: usize,
+    /// Kill one router (the last one) mid-run; clients must ride through
+    /// by retrying across the router list.
+    pub kill_router: bool,
+    /// Boot one extra node mid-run; routers must learn it from its
+    /// announcements alone.
+    pub join_node: bool,
+    /// Partition window `(from, to)` severing every router's links to
+    /// `node-0`, measured from traffic start. Replication must cover the
+    /// window; it heals on schedule.
+    pub partition: Option<(Duration, Duration)>,
+    /// Probability a router→node message is silently dropped (surfaces
+    /// upstream as a reply deadline, then a retry on the replica).
+    pub drop_p: f64,
+    /// Probability a router→node message is delivered twice (the reply
+    /// matcher must not be confused by the echo).
+    pub duplicate_p: f64,
+    /// Pause before the first chaos action, and between actions.
+    pub chaos_pause: Duration,
+    /// Gossip cadence between routers.
+    pub gossip_interval: Duration,
+    /// Node heartbeat cadence.
+    pub announce_interval: Duration,
+    /// Seed for inputs, arrivals, gossip schedules, and the fault plan —
+    /// one seed replays the whole run, faults included.
+    pub seed: u64,
+    /// Per-node serving configuration.
+    pub serve: ServeConfig,
+}
+
+impl Default for MembershipDrillConfig {
+    fn default() -> MembershipDrillConfig {
+        MembershipDrillConfig {
+            nodes: 3,
+            workers_per_node: 1,
+            routers: 2,
+            replication: 2,
+            lambda: 120.0,
+            requests: 240,
+            concurrency: 12,
+            kill_router: true,
+            join_node: true,
+            partition: Some((Duration::from_millis(300), Duration::from_millis(2300))),
+            drop_p: 0.02,
+            duplicate_p: 0.02,
+            chaos_pause: Duration::from_millis(200),
+            gossip_interval: Duration::from_millis(100),
+            announce_interval: Duration::from_millis(100),
+            seed: 42,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// What one membership drill run did and observed.
+#[derive(Debug, Clone)]
+pub struct MembershipDrillReport {
+    /// The traffic ledger: submitted / completed / shed / failed.
+    pub loadgen: LoadgenReport,
+    /// Completions whose logits differed from the oracle (must be 0).
+    pub mismatched: usize,
+    /// Requests some router admitted but then refused downstream after
+    /// the client exhausted its retries (must be 0 for a passing drill).
+    pub rejected_downstream: usize,
+    /// Routers killed mid-run.
+    pub router_kills: usize,
+    /// Nodes joined mid-run.
+    pub joins: usize,
+    /// What the fault plan's links actually did.
+    pub faults: FaultReport,
+    /// Whether the surviving routers re-converged after the run.
+    pub converged: bool,
+    /// Final counters of every surviving router.
+    pub routers: Vec<RouterMetrics>,
+}
+
+impl MembershipDrillReport {
+    /// Whether the run met the drill's contract: every arrival accounted
+    /// for, zero admitted requests dropped or refused downstream, every
+    /// answer bit-identical to the oracle, and the surviving routers
+    /// agreeing on the final membership.
+    pub fn passed(&self) -> bool {
+        self.loadgen.failed == 0
+            && self.rejected_downstream == 0
+            && self.mismatched == 0
+            && self.converged
+            && self.loadgen.completed + self.loadgen.shed == self.loadgen.submitted
+    }
+}
+
+impl std::fmt::Display for MembershipDrillReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "membership drill: {} | submitted {} | completed {} | shed {} | failed {} | \
+             mismatched {} | downstream rejects {}",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.loadgen.submitted,
+            self.loadgen.completed,
+            self.loadgen.shed,
+            self.loadgen.failed,
+            self.mismatched,
+            self.rejected_downstream
+        )?;
+        writeln!(
+            f,
+            "chaos: router kills {} | joins {} | converged {} | achieved {:.1} req/s",
+            self.router_kills,
+            self.joins,
+            if self.converged { "yes" } else { "NO" },
+            self.loadgen.achieved_rps
+        )?;
+        writeln!(f, "{}", self.faults)?;
+        for r in &self.routers {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One submitter's set of per-router connections, checked out of a pool
+/// around each request so clients are reused, not re-dialed.
+type ClientSet = Vec<Option<TcpClient>>;
+
+/// Submits one keyed request through the router list, retrying across
+/// routers (and briefly across time) so only a *cluster-wide* refusal
+/// surfaces: a dead router, a dropped reply, or a partitioned node must
+/// be absorbed by another router, a retry, or a replica.
+fn submit_via_routers(
+    clients: &mut ClientSet,
+    addrs: &[String],
+    k: usize,
+    x: &Tensor,
+    connect_timeout: Duration,
+    request_timeout: Duration,
+) -> Result<Tensor, ServeError> {
+    const PASSES: usize = 3;
+    let mut last: Option<ServeError> = None;
+    for pass in 0..PASSES {
+        if pass > 0 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for attempt in 0..addrs.len() {
+            let i = (k + attempt) % addrs.len();
+            if clients[i].is_none() {
+                clients[i] = TcpClient::connect_timeout(&addrs[i], connect_timeout)
+                    .ok()
+                    .map(|c| c.with_timeout(request_timeout));
+            }
+            let Some(client) = clients[i].as_mut() else {
+                continue; // router unreachable (likely killed): next one
+            };
+            match client.infer_keyed(k as u64, x) {
+                Ok(logits) => return Ok(logits),
+                Err(ServeError::Rejected(reason)) => {
+                    if reason.contains("overloaded") {
+                        // Admission shed: an explicit verdict, not a drop.
+                        return Err(ServeError::Overloaded { queue_cap: 0 });
+                    }
+                    // "no live workers" or a downstream refusal: this
+                    // router's view may be stale — try the others, then
+                    // wait out a gossip/probe beat and try again.
+                    last = Some(ServeError::Rejected(reason));
+                }
+                Err(e) => {
+                    // Transport-level failure: the connection is suspect
+                    // (killed router, mid-request silence). Drop it and
+                    // move on; the next pass re-dials.
+                    clients[i] = None;
+                    last = Some(e);
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or(ServeError::NoWorkers))
+}
+
+/// Runs one membership drill: boot a [`DynamicCluster`], converge, arm a
+/// seeded [`FaultPlan`] on every router, then drive open-loop Poisson
+/// traffic through the router list while the chaos thread kills a
+/// router and joins a node — and the plan severs `node-0` for a window.
+///
+/// Every completion is checked bit-identically against a single-process
+/// oracle; the same seed replays the same inputs, arrivals, gossip
+/// schedule, and fault schedule.
+///
+/// # Errors
+///
+/// Infrastructure failures only (boot or join machinery); per-request
+/// failures are *reported*, so a failing drill comes back as a
+/// [`MembershipDrillReport`] whose
+/// [`passed`](MembershipDrillReport::passed) is false.
+///
+/// # Panics
+///
+/// If the config asks for chaos its redundancy cannot cover: killing a
+/// router with fewer than two routers, partitioning at `replication < 2`,
+/// zero nodes, or a non-positive arrival rate. Also if the cluster does
+/// not converge within 30 s of boot (the drill would be measuring noise).
+pub fn run_membership_drill(
+    net: &ConvNet,
+    spec: &SubnetSpec,
+    cfg: MembershipDrillConfig,
+) -> Result<MembershipDrillReport, ServeError> {
+    assert!(cfg.nodes >= 2, "a membership drill needs at least 2 nodes");
+    assert!(
+        cfg.routers >= 2 || !cfg.kill_router,
+        "killing the only router is guaranteed unavailability"
+    );
+    assert!(
+        cfg.replication >= 2 || cfg.partition.is_none(),
+        "partitioning a node at replication 1 is guaranteed data loss"
+    );
+    assert!(cfg.lambda > 0.0 && cfg.requests > 0 && cfg.concurrency > 0);
+
+    // Deterministic inputs and their single-process oracle answers.
+    let arch = net.arch();
+    let dims = [1, arch.image_channels, arch.image_side, arch.image_side];
+    let mut rng = Prng::new(cfg.seed);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|_| Tensor::from_fn(&dims, |_| rng.next_f32()))
+        .collect();
+    let mut oracle = net.clone();
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| oracle.forward_subnet(x, spec, false))
+        .collect();
+
+    let connect_timeout = Duration::from_millis(250);
+    let request_timeout = Duration::from_secs(2);
+    let cluster_cfg = DynamicClusterConfig {
+        nodes: cfg.nodes,
+        workers_per_node: cfg.workers_per_node,
+        routers: cfg.routers,
+        serve: cfg.serve.clone(),
+        router: RouterConfig {
+            replication: cfg.replication,
+            connect_timeout,
+            // Low enough that a dropped reply turns into a retry well
+            // inside the client's patience.
+            request_timeout: Duration::from_millis(800),
+            probe_backoff: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+        gossip_interval: cfg.gossip_interval,
+        announce_interval: cfg.announce_interval,
+        seed: cfg.seed,
+        ..DynamicClusterConfig::default()
+    };
+    let mut cluster = DynamicCluster::boot(net, spec, cluster_cfg)?;
+    assert!(
+        cluster.wait_converged(Duration::from_secs(30)),
+        "cluster never converged before traffic"
+    );
+
+    // One shared fault plan (clones share schedule, clock, counters):
+    // every router's node links draw from it, and the partition window is
+    // measured from the single arm() below.
+    let plan = FaultPlan::new(
+        FaultSpec {
+            drop_p: cfg.drop_p,
+            duplicate_p: cfg.duplicate_p,
+            partitions: cfg
+                .partition
+                .iter()
+                .map(|&(from, to)| PartitionWindow {
+                    from,
+                    to,
+                    peer_match: Some("node-0".to_string()),
+                })
+                .collect(),
+            ..FaultSpec::default()
+        },
+        cfg.seed,
+    );
+    for r in 0..cluster.routers_len() {
+        cluster
+            .router(r)
+            .router()
+            .set_fault_plan(Some(plan.clone()));
+    }
+
+    let addrs: Vec<String> = cluster.router_addrs().to_vec();
+    let mismatched = AtomicUsize::new(0);
+    let rejected_downstream = AtomicUsize::new(0);
+    let pool: Mutex<Vec<ClientSet>> = Mutex::new(Vec::new());
+
+    plan.arm(); // the partition clock starts with the traffic
+    let (loadgen, chaos) = std::thread::scope(|scope| {
+        let chaos = scope.spawn(|| -> Result<(usize, usize), ServeError> {
+            let (mut kills, mut joins) = (0, 0);
+            std::thread::sleep(cfg.chaos_pause); // let traffic build up
+            if cfg.kill_router {
+                cluster.kill_router(cfg.routers - 1);
+                kills += 1;
+                std::thread::sleep(cfg.chaos_pause);
+            }
+            if cfg.join_node {
+                cluster.join_node()?;
+                joins += 1;
+            }
+            Ok((kills, joins))
+        });
+
+        let loadgen = run_open_loop_indexed(
+            |k| {
+                let x = &inputs[k % inputs.len()];
+                let mut clients = lock_pool(&pool)
+                    .pop()
+                    .unwrap_or_else(|| addrs.iter().map(|_| None).collect());
+                let result = submit_via_routers(
+                    &mut clients,
+                    &addrs,
+                    k,
+                    x,
+                    connect_timeout,
+                    request_timeout,
+                );
+                lock_pool(&pool).push(clients);
+                match result {
+                    Ok(got) => {
+                        if !got.allclose(&expected[k % expected.len()], 0.0) {
+                            mismatched.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(got)
+                    }
+                    Err(e) => {
+                        if !matches!(e, ServeError::Overloaded { .. }) {
+                            rejected_downstream.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e)
+                    }
+                }
+            },
+            cfg.concurrency,
+            cfg.lambda,
+            cfg.requests,
+            cfg.seed,
+        );
+        let chaos = chaos
+            .join()
+            .unwrap_or_else(|_| Err(ServeError::Elastic("chaos thread panicked".into())));
+        (loadgen, chaos)
+    });
+    let (router_kills, joins) = chaos?;
+
+    // Let the partition heal before judging convergence.
+    if let Some((_, to)) = cfg.partition {
+        let elapsed = Duration::from_secs_f64(loadgen.elapsed_s);
+        if elapsed < to {
+            std::thread::sleep(to - elapsed);
+        }
+    }
+    // Health is passive — a marked-down node only comes back when a
+    // request probes it — so drive a light settling trickle through the
+    // survivors until every router has re-probed the healed nodes (or the
+    // timeout names the failure). Heartbeats keep the probes expedited;
+    // the trickle is what executes them.
+    let converged = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        let mut key = 0u64;
+        loop {
+            if cluster.wait_converged(Duration::from_millis(100)) {
+                break true;
+            }
+            if std::time::Instant::now() >= deadline {
+                break false;
+            }
+            for r in 0..cluster.routers_len() {
+                if !cluster.router(r).is_up() {
+                    continue;
+                }
+                let router = cluster.router(r).router();
+                for _ in 0..8 {
+                    let _ = router.infer(key, &inputs[key as usize % inputs.len()]);
+                    key += 1;
+                }
+            }
+        }
+    };
+
+    let routers = (0..cluster.routers_len())
+        .filter(|&r| cluster.router(r).is_up())
+        .map(|r| cluster.router(r).router().metrics())
+        .collect();
+    Ok(MembershipDrillReport {
+        loadgen,
+        mismatched: mismatched.into_inner(),
+        rejected_downstream: rejected_downstream.into_inner(),
+        router_kills,
+        joins,
+        faults: plan.report(),
+        converged,
+        routers,
+    })
+}
+
+/// Locks the client pool, recovering from a poisoned lock (a panicked
+/// submitter forfeits its client set; others keep theirs).
+fn lock_pool(pool: &Mutex<Vec<ClientSet>>) -> std::sync::MutexGuard<'_, Vec<ClientSet>> {
+    pool.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +727,42 @@ mod tests {
             ..DrillConfig::default()
         };
         let _ = run_drill(model.net(), &spec, cfg);
+    }
+
+    #[test]
+    fn quiet_membership_drill_without_chaos_is_clean() {
+        // Harness sanity: announced membership + 2 routers + benign plan,
+        // no kill/join/partition — nothing may fail or mismatch.
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let spec = model.spec("combined100").expect("spec").clone();
+        let cfg = MembershipDrillConfig {
+            nodes: 2,
+            lambda: 60.0,
+            requests: 30,
+            concurrency: 6,
+            kill_router: false,
+            join_node: false,
+            partition: None,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            ..MembershipDrillConfig::default()
+        };
+        let report = run_membership_drill(model.net(), &spec, cfg).expect("drill");
+        assert!(report.passed(), "quiet membership drill failed:\n{report}");
+        assert_eq!(report.loadgen.completed, 30, "{report}");
+        assert_eq!(report.router_kills + report.joins, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "guaranteed unavailability")]
+    fn killing_the_only_router_is_refused() {
+        let model = FluidModel::new(Arch::tiny_28(), &mut Prng::new(3));
+        let spec = model.spec("combined100").expect("spec").clone();
+        let cfg = MembershipDrillConfig {
+            routers: 1,
+            ..MembershipDrillConfig::default()
+        };
+        let _ = run_membership_drill(model.net(), &spec, cfg);
     }
 
     #[test]

@@ -40,16 +40,32 @@ impl HealthState {
         }
     }
 
-    /// Records a failure: an up node goes down for `initial`; an already
-    /// down node doubles its backoff, capped at `max`.
+    /// Records a failure: an up node goes down for `initial`; a down node
+    /// whose window had *elapsed* (a failed probe) doubles its backoff,
+    /// capped at `max`.
+    ///
+    /// Failures landing **inside** an un-elapsed window leave the window
+    /// untouched: they are echoes of the same outage — concurrent in-flight
+    /// requests all failing at once — not evidence the node failed a probe
+    /// it was never sent. Doubling on them used to multiply the re-probe
+    /// delay by the request concurrency, so a node that recovered during
+    /// the backoff window sat out a window it never earned.
     pub fn mark_down(&mut self, initial: Duration, max: Duration, now: Instant) {
-        let backoff = match *self {
-            HealthState::Up => initial,
-            HealthState::Down { backoff, .. } => (backoff * 2).min(max),
-        };
-        *self = HealthState::Down {
-            until: now + backoff,
-            backoff,
+        *self = match *self {
+            HealthState::Up => HealthState::Down {
+                until: now + initial,
+                backoff: initial,
+            },
+            HealthState::Down { until, backoff } if now < until => {
+                HealthState::Down { until, backoff }
+            }
+            HealthState::Down { backoff, .. } => {
+                let doubled = (backoff * 2).min(max);
+                HealthState::Down {
+                    until: now + doubled,
+                    backoff: doubled,
+                }
+            }
         };
     }
 
@@ -57,6 +73,29 @@ impl HealthState {
     /// forgotten.
     pub fn mark_up(&mut self) {
         *self = HealthState::Up;
+    }
+
+    /// Makes a down node due for a probe *now*, keeping its backoff
+    /// history. Used when out-of-band evidence of recovery arrives (a
+    /// heartbeat or re-join from the node itself) so the next tick probes
+    /// it instead of waiting out the remaining window. No-op while up.
+    pub fn expedite(&mut self, now: Instant) {
+        if let HealthState::Down { backoff, .. } = *self {
+            *self = HealthState::Down {
+                until: now,
+                backoff,
+            };
+        }
+    }
+
+    /// How far away this node's re-probe is: zero when up or already due.
+    /// This is what rides the gossip payload (`probe_in_ms`) — instants
+    /// don't cross the wire, remaining durations do.
+    pub fn probe_in(&self, now: Instant) -> Duration {
+        match self {
+            HealthState::Up => Duration::ZERO,
+            HealthState::Down { until, .. } => until.saturating_duration_since(now),
+        }
     }
 }
 
@@ -75,8 +114,10 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_caps() {
-        let now = Instant::now();
+    fn backoff_doubles_on_failed_probes_and_caps() {
+        // Each iteration advances the clock past the window first — the
+        // failure is a genuine failed probe, which is what earns doubling.
+        let mut now = Instant::now();
         let mut state = HealthState::Up;
         let mut expected = [100u64, 200, 400, 800, 800].into_iter();
         for ms in expected.by_ref() {
@@ -85,10 +126,76 @@ mod tests {
                 HealthState::Down { backoff, until } => {
                     assert_eq!(backoff, Duration::from_millis(ms));
                     assert_eq!(until, now + backoff);
+                    now = until; // window elapsed: next mark_down is a probe
                 }
                 HealthState::Up => unreachable!("mark_down left the node up"),
             }
         }
+    }
+
+    #[test]
+    fn echo_failures_inside_the_window_do_not_double() {
+        // One outage, eight concurrent in-flight requests: the first
+        // failure opens the window, the other seven land inside it. The
+        // re-probe must still come due at `now + INITIAL`, not at
+        // `now + INITIAL * 2^7` — a node that recovers during the window
+        // gets probed at the next tick.
+        let now = Instant::now();
+        let mut state = HealthState::Up;
+        for i in 0..8 {
+            state.mark_down(INITIAL, MAX, now + Duration::from_millis(i));
+        }
+        assert_eq!(
+            state,
+            HealthState::Down {
+                until: now + INITIAL,
+                backoff: INITIAL
+            }
+        );
+        assert!(state.due_for_probe(now + INITIAL));
+    }
+
+    #[test]
+    fn expedite_makes_a_down_node_probe_due_without_resetting_backoff() {
+        let now = Instant::now();
+        let mut state = HealthState::Up;
+        state.mark_down(INITIAL, MAX, now);
+        state.mark_down(INITIAL, MAX, now + INITIAL); // failed probe → 200ms
+        assert!(!state.due_for_probe(now + INITIAL + Duration::from_millis(50)));
+
+        // A heartbeat arrives mid-window: probe now, but keep the doubled
+        // backoff so a lying heartbeat doesn't reset the flap damping.
+        let hb_at = now + INITIAL + Duration::from_millis(50);
+        state.expedite(hb_at);
+        assert!(state.due_for_probe(hb_at));
+        state.mark_down(INITIAL, MAX, hb_at);
+        assert_eq!(
+            state,
+            HealthState::Down {
+                until: hb_at + Duration::from_millis(400),
+                backoff: Duration::from_millis(400)
+            }
+        );
+
+        // Expedite while up is a no-op.
+        let mut up = HealthState::Up;
+        up.expedite(now);
+        assert!(up.is_up());
+    }
+
+    #[test]
+    fn probe_in_reports_the_remaining_window() {
+        let now = Instant::now();
+        let mut state = HealthState::Up;
+        assert_eq!(state.probe_in(now), Duration::ZERO);
+        state.mark_down(INITIAL, MAX, now);
+        assert_eq!(state.probe_in(now), INITIAL);
+        assert_eq!(
+            state.probe_in(now + Duration::from_millis(40)),
+            Duration::from_millis(60)
+        );
+        assert_eq!(state.probe_in(now + INITIAL), Duration::ZERO);
+        assert_eq!(state.probe_in(now + MAX), Duration::ZERO);
     }
 
     #[test]

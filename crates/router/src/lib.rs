@@ -36,17 +36,39 @@
 //! * **Chaos drill** ([`run_drill`]): Poisson load against a live local
 //!   cluster while nodes are killed, restarted, and rolled — every answer
 //!   checked bit-identically against a single-node oracle.
+//! * **Dynamic membership** ([`Router::new_dynamic`]): nodes announce
+//!   themselves over the wire (`Join`/`Leave`/`NodeHeartbeat`); every
+//!   change bumps an epoch and rebuilds the shard map, heartbeats double
+//!   as implicit re-joins, and leaves are tombstoned so stale gossip
+//!   cannot resurrect a departed member.
+//! * **Replicated routers** ([`spawn_gossip`], [`DynamicCluster`]): N
+//!   routers converge on membership, health verdicts, and per-shard load
+//!   by push-pull anti-entropy gossip — no primary, any router serves any
+//!   request, and a killed router is invisible to clients retrying across
+//!   the router list.
+//! * **Membership drill** ([`run_membership_drill`]): Poisson load through
+//!   replicated routers while a router is killed, a node joins, and a
+//!   seeded [`FaultPlan`](fluid_dist::FaultPlan) injects drops, duplicates
+//!   and a partition window under the transport — zero admitted drops,
+//!   completions oracle-checked, faults replayable from the seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod drill;
+mod gossip;
 mod health;
 mod node;
 mod ring;
 mod router;
 
-pub use drill::{run_drill, DrillConfig, DrillReport};
+pub use cluster::{DynamicCluster, DynamicClusterConfig, RouterNode};
+pub use drill::{
+    run_drill, run_membership_drill, DrillConfig, DrillReport, MembershipDrillConfig,
+    MembershipDrillReport,
+};
+pub use gossip::{spawn_gossip, GossipConfig};
 pub use health::HealthState;
 pub use node::{LocalCluster, ServeNode};
 pub use ring::ShardMap;

@@ -138,6 +138,19 @@ impl ServeNode {
         }
     }
 
+    /// The running server's submission handle (what a membership
+    /// [`Announcer`](fluid_serve::Announcer) reads queue depth from).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Elastic`] while the node is killed.
+    pub fn handle(&self) -> Result<fluid_serve::ServerHandle, ServeError> {
+        match &self.running {
+            Some(running) => Ok(running.server.handle()),
+            None => Err(ServeError::Elastic(format!("node {} is down", self.id))),
+        }
+    }
+
     /// Tears the node down abruptly: the front-end stops, open
     /// connections die, queued requests drain with errors. Idempotent.
     pub fn kill(&mut self) {

@@ -1,25 +1,37 @@
-//! The routing core: admission control, replica selection, retry, and the
-//! TCP front-end loop.
+//! The routing core: admission control, replica selection, retry, dynamic
+//! membership, gossip, and the TCP front-end loop.
 //!
-//! A [`Router`] owns a static node membership (ids + addresses; addresses
-//! may be updated as nodes restart) and a [`ShardMap`] built from it. Each
-//! request is admitted against a cluster-wide in-flight cap, hashed to a
-//! shard, and tried against that shard's replicas in least-loaded order;
-//! a replica that rejects or fails costs a retry on the next one, so a
-//! request admitted by the router is only refused when *every* replica of
-//! its shard has refused it. Health bookkeeping is passive (failures are
-//! observed on live traffic) with exponential-backoff probing — see
-//! [`HealthState`].
+//! A [`Router`] owns an **epoch-numbered membership table**: serve nodes
+//! join, leave, and heartbeat over the wire ([`Message::Join`] /
+//! [`Message::Leave`] / [`Message::NodeHeartbeat`]), and every membership
+//! change bumps the epoch and rebuilds the [`ShardMap`] — rendezvous
+//! hashing keeps the rebuild minimal-remap. Routers replicate: peers
+//! exchange membership records, health verdicts, and per-shard queue
+//! depths via anti-entropy gossip ([`Message::Gossip`]), so any router can
+//! serve any request and a killed router is invisible to clients that
+//! retry across a router list.
+//!
+//! Each request is hashed to a shard and admitted against that **shard's**
+//! queue depth — the router's own in-flight count for the shard plus the
+//! freshest gossiped counts from peer routers — with the cap scaled by the
+//! shard's live replica count. Admitted requests try the shard's replicas
+//! in least-loaded order (local in-flight plus the node's heartbeat-reported
+//! queue depth); a replica that rejects or fails costs a retry on the next
+//! one, so a request admitted by the router is only refused when *every*
+//! replica of its shard has refused it. Health bookkeeping is passive
+//! (failures are observed on live traffic) with exponential-backoff
+//! probing — see [`HealthState`].
 
 use crate::health::HealthState;
 use crate::ring::ShardMap;
-use fluid_dist::{Message, TcpTransport, Transport};
+use fluid_dist::{FaultPlan, GossipNode, Message, TcpTransport, Transport};
 use fluid_perf::SampleWindow;
 use fluid_serve::{ServeError, TcpClient};
 use fluid_tensor::Tensor;
+use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// How often the front-end accept loop and connection threads poll for
@@ -34,18 +46,32 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Tuning knobs for a [`Router`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct RouterConfig {
+    /// This router's identity in gossip exchanges (`from` in its digests;
+    /// peers key their per-router depth tables by it). Must be unique
+    /// within a replicated router group.
+    pub id: String,
     /// Replicas per shard (clamped to the node count).
     pub replication: usize,
     /// Number of hash buckets the key space is split into.
     pub shards: usize,
-    /// Cluster-wide admission cap, expressed per *up* node: at most
-    /// `admit_per_node × max(up_nodes, 1)` requests in flight through the
-    /// router; everything past that is shed with
-    /// [`ServeError::Overloaded`] before any node queue sees it.
+    /// Per-shard admission cap, expressed per *live replica* of the shard:
+    /// at most `admit_per_node × max(live_replicas, 1)` requests in flight
+    /// for one shard — counting this router's own in-flight plus the
+    /// freshest gossiped per-shard depths of its peers; everything past
+    /// that is shed with [`ServeError::Overloaded`] before any node queue
+    /// sees it.
     pub admit_per_node: usize,
     /// Bound on TCP connection establishment to a node.
     pub connect_timeout: Duration,
@@ -58,11 +84,17 @@ pub struct RouterConfig {
     /// Consecutive `Reject`s from one node before it is marked down (the
     /// node is alive but drowning; give it a backoff window of quiet).
     pub reject_markdown: usize,
+    /// How long a peer router's gossiped per-shard depths keep counting
+    /// toward admission. Past this age the peer is assumed dead (its
+    /// in-flight load died with it) and its depths stop throttling this
+    /// router.
+    pub peer_depth_ttl: Duration,
 }
 
 impl Default for RouterConfig {
     fn default() -> RouterConfig {
         RouterConfig {
+            id: "router-0".to_string(),
             replication: 2,
             shards: 64,
             admit_per_node: 64,
@@ -71,6 +103,7 @@ impl Default for RouterConfig {
             probe_backoff: Duration::from_millis(100),
             probe_backoff_max: Duration::from_millis(3200),
             reject_markdown: 3,
+            peer_depth_ttl: Duration::from_secs(1),
         }
     }
 }
@@ -85,12 +118,20 @@ impl Drop for Gauge<'_> {
     }
 }
 
-/// Everything the router tracks about one serve node.
+/// Everything the router tracks about one serve node. Shared via `Arc` so
+/// in-flight requests keep a departed node's bookkeeping alive and health
+/// history survives shard-map rebuilds.
 struct NodeEntry {
     id: String,
     addr: Mutex<String>,
     state: Mutex<HealthState>,
-    /// Operator-requested: skip for new requests (rolling swap).
+    /// Bumped on every health-state change; orders verdicts across
+    /// gossiping routers (higher version wins, down wins ties).
+    health_version: AtomicU64,
+    /// The node's own serve queue depth, from its last heartbeat.
+    queue_depth: AtomicUsize,
+    /// Operator-requested: skip for new requests (rolling swap). Local to
+    /// this router — never gossiped.
     cordoned: AtomicBool,
     /// Requests currently being served by this node via the router.
     in_flight: AtomicUsize,
@@ -104,19 +145,103 @@ struct NodeEntry {
     pool: Mutex<Vec<TcpClient>>,
 }
 
+impl NodeEntry {
+    fn new(id: &str, addr: &str, state: HealthState) -> NodeEntry {
+        NodeEntry {
+            id: id.to_string(),
+            addr: Mutex::new(addr.to_string()),
+            state: Mutex::new(state),
+            health_version: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            cordoned: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            reject_streak: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Applies a health transition, bumping `health_version` iff the state
+    /// actually changed (echo failures inside a window change nothing and
+    /// must not churn gossip).
+    fn transition(&self, f: impl FnOnce(&mut HealthState)) {
+        let mut st = lock(&self.state);
+        let before = *st;
+        f(&mut st);
+        if *st != before {
+            self.health_version.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One row of the membership table. `version` is the epoch at which the
+/// membership fields (`alive`, address) last changed; gossip merges adopt
+/// the higher version. A `!alive` row is a tombstone — kept so a stale
+/// peer cannot resurrect a departed node.
+struct MemberRecord {
+    entry: Arc<NodeEntry>,
+    alive: bool,
+    version: u64,
+}
+
+/// The epoch-numbered membership table plus the shard map built from its
+/// living rows. `map` pairs the [`ShardMap`] with the record index of each
+/// mapped node (`live[i]` is the record backing map node `i`); `None` when
+/// no node is alive.
+struct Membership {
+    epoch: u64,
+    records: Vec<MemberRecord>,
+    map: Option<(ShardMap, Vec<usize>)>,
+}
+
+impl Membership {
+    /// Rebuilds the shard map over the living rows. Ids are sorted first so
+    /// the map is a pure function of the living id *set* — join order and
+    /// gossip arrival order cannot produce different tables on different
+    /// routers.
+    fn rebuild(&mut self, cfg: &RouterConfig) {
+        let mut live: Vec<usize> = (0..self.records.len())
+            .filter(|&i| self.records[i].alive)
+            .collect();
+        live.sort_by(|&a, &b| self.records[a].entry.id.cmp(&self.records[b].entry.id));
+        if live.is_empty() {
+            self.map = None;
+            return;
+        }
+        let ids: Vec<String> = live
+            .iter()
+            .map(|&i| self.records[i].entry.id.clone())
+            .collect();
+        self.map = Some((ShardMap::new(&ids, cfg.shards, cfg.replication), live));
+    }
+
+    fn find(&self, id: &str) -> Option<usize> {
+        self.records.iter().position(|r| r.entry.id == id)
+    }
+}
+
 /// Why one node attempt did not produce logits.
 enum NodeFailure {
     /// The node is alive but refused the request (shed, bad input, …).
     Reject(String),
-    /// The link failed — connect error, dropped socket, reply timeout.
-    /// The detail is already folded into the node's health bookkeeping.
+    /// The link failed — connect error, dropped socket, reply timeout,
+    /// injected partition. The detail is already folded into the node's
+    /// health bookkeeping.
     Link,
 }
 
 struct Inner {
     cfg: RouterConfig,
-    map: ShardMap,
-    nodes: Vec<NodeEntry>,
+    membership: RwLock<Membership>,
+    /// This router's own in-flight count per shard (admission numerator).
+    shard_pending: Vec<AtomicUsize>,
+    /// Freshest gossiped per-shard depths per peer router, with receipt
+    /// time (stale entries age out of admission via `peer_depth_ttl`).
+    peer_pending: Mutex<HashMap<String, (Vec<u32>, Instant)>>,
+    /// Installed fault schedule: node links are wrapped in it and severed
+    /// links fail before dialing. `None` outside drills.
+    faults: Mutex<Option<FaultPlan>>,
     in_flight_total: AtomicUsize,
     admitted: AtomicU64,
     completed: AtomicU64,
@@ -141,6 +266,8 @@ pub struct NodeStatus {
     pub cordoned: bool,
     /// Requests in flight to this node right now.
     pub in_flight: usize,
+    /// The node's own serve queue depth, from its last heartbeat.
+    pub queue_depth: usize,
     /// Requests this node has answered with logits.
     pub served: u64,
     /// Link failures the router has observed on this node.
@@ -150,7 +277,9 @@ pub struct NodeStatus {
 /// A point-in-time snapshot of the router's counters and latency window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterMetrics {
-    /// Requests admitted past the cluster-wide cap.
+    /// The membership epoch this snapshot was taken at.
+    pub epoch: u64,
+    /// Requests admitted past the per-shard cap.
     pub admitted: u64,
     /// Admitted requests answered with logits.
     pub completed: u64,
@@ -158,8 +287,9 @@ pub struct RouterMetrics {
     pub shed: u64,
     /// Admitted requests refused after every replica was tried.
     pub rejected: u64,
-    /// Admitted requests that found no replica to even try (all replicas
-    /// of the shard down/cordoned and not yet due for a probe).
+    /// Requests that found no replica to even try (no live member at all,
+    /// or all replicas of the shard down/cordoned and not yet due for a
+    /// probe).
     pub unroutable: u64,
     /// Extra node attempts beyond the first, across all requests.
     pub retries: u64,
@@ -171,7 +301,7 @@ pub struct RouterMetrics {
     pub p95_ms: f64,
     /// 99th-percentile router latency, ms.
     pub p99_ms: f64,
-    /// Per-node status, in membership order.
+    /// Per-node status of living members, in membership order.
     pub nodes: Vec<NodeStatus>,
 }
 
@@ -179,8 +309,9 @@ impl std::fmt::Display for RouterMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "router: admitted {} | completed {} | shed {} | rejected {} | unroutable {} | \
-             retries {} | node deaths {}",
+            "router: epoch {} | admitted {} | completed {} | shed {} | rejected {} | \
+             unroutable {} | retries {} | node deaths {}",
+            self.epoch,
             self.admitted,
             self.completed,
             self.shed,
@@ -197,7 +328,7 @@ impl std::fmt::Display for RouterMetrics {
         for n in &self.nodes {
             writeln!(
                 f,
-                "  {:<12} {:<21} {} {} in-flight {:>3} | served {:>6} | deaths {}",
+                "  {:<12} {:<21} {} {} in-flight {:>3} | queue {:>3} | served {:>6} | deaths {}",
                 n.id,
                 n.addr,
                 if n.up { "up  " } else { "DOWN" },
@@ -207,6 +338,7 @@ impl std::fmt::Display for RouterMetrics {
                     "          "
                 },
                 n.in_flight,
+                n.queue_depth,
                 n.served,
                 n.deaths
             )?;
@@ -218,9 +350,15 @@ impl std::fmt::Display for RouterMetrics {
 /// The sharding/replicating front-end over a set of `fluid-serve` nodes.
 ///
 /// Cheap to clone (an [`Arc`] inside); clones share all state, so the TCP
-/// front-end's per-connection threads and an in-process orchestrator (the
-/// drill, `LocalCluster::rolling_swap`) observe one consistent cluster
-/// view.
+/// front-end's per-connection threads, the gossip driver, and an
+/// in-process orchestrator (the drill, `LocalCluster::rolling_swap`)
+/// observe one consistent cluster view.
+///
+/// Membership is dynamic: start from a static list ([`Router::new`]) or
+/// empty ([`Router::new_dynamic`]) and let nodes announce themselves —
+/// [`join`](Router::join), [`leave`](Router::leave),
+/// [`node_heartbeat`](Router::node_heartbeat) are what the wire frames
+/// call into.
 ///
 /// # Example
 ///
@@ -252,15 +390,17 @@ pub struct Router {
 }
 
 impl Router {
-    /// Builds a router over `nodes` (`(id, addr)` pairs).
+    /// Builds a router over a static starting membership of `nodes`
+    /// (`(id, addr)` pairs), at epoch 1. Nodes may still join and leave
+    /// afterwards.
     ///
     /// # Panics
     ///
-    /// If `nodes` is empty, node ids repeat, or the config's shard /
-    /// replication / admission counts are zero.
+    /// If `nodes` is empty (use [`Router::new_dynamic`] for an empty
+    /// start), node ids repeat, or the config's shard / replication /
+    /// admission counts are zero.
     pub fn new(cfg: RouterConfig, nodes: Vec<(String, String)>) -> Router {
         assert!(!nodes.is_empty(), "router needs at least one node");
-        assert!(cfg.admit_per_node > 0, "admit_per_node must be >= 1");
         let ids: Vec<String> = nodes.iter().map(|(id, _)| id.clone()).collect();
         {
             let mut dedup = ids.clone();
@@ -268,26 +408,48 @@ impl Router {
             dedup.dedup();
             assert_eq!(dedup.len(), ids.len(), "node ids must be unique");
         }
-        let map = ShardMap::new(&ids, cfg.shards, cfg.replication);
-        let entries = nodes
-            .into_iter()
-            .map(|(id, addr)| NodeEntry {
-                id,
-                addr: Mutex::new(addr),
-                state: Mutex::new(HealthState::Up),
-                cordoned: AtomicBool::new(false),
-                in_flight: AtomicUsize::new(0),
-                reject_streak: AtomicUsize::new(0),
-                served: AtomicU64::new(0),
-                deaths: AtomicU64::new(0),
-                pool: Mutex::new(Vec::new()),
-            })
-            .collect();
+        let router = Router::new_dynamic(cfg);
+        {
+            let mut m = write_lock(&router.inner.membership);
+            m.epoch = 1;
+            m.records = nodes
+                .into_iter()
+                .map(|(id, addr)| MemberRecord {
+                    entry: Arc::new(NodeEntry::new(&id, &addr, HealthState::Up)),
+                    alive: true,
+                    version: 1,
+                })
+                .collect();
+            m.rebuild(&router.inner.cfg);
+        }
+        router
+    }
+
+    /// Builds a router with an **empty** membership table (epoch 0): every
+    /// member arrives by announcement — [`join`](Router::join) /
+    /// [`node_heartbeat`](Router::node_heartbeat) over the wire — or by
+    /// gossip from a peer router. Requests before the first member are
+    /// refused with [`ServeError::NoWorkers`].
+    ///
+    /// # Panics
+    ///
+    /// If the config's shard / replication / admission counts are zero.
+    pub fn new_dynamic(cfg: RouterConfig) -> Router {
+        assert!(cfg.admit_per_node > 0, "admit_per_node must be >= 1");
+        assert!(cfg.shards > 0, "shards must be >= 1");
+        assert!(cfg.replication > 0, "replication must be >= 1");
+        let shard_pending = (0..cfg.shards).map(|_| AtomicUsize::new(0)).collect();
         Router {
             inner: Arc::new(Inner {
                 cfg,
-                map,
-                nodes: entries,
+                membership: RwLock::new(Membership {
+                    epoch: 0,
+                    records: Vec::new(),
+                    map: None,
+                }),
+                shard_pending,
+                peer_pending: Mutex::new(HashMap::new()),
+                faults: Mutex::new(None),
                 in_flight_total: AtomicUsize::new(0),
                 admitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
@@ -301,26 +463,188 @@ impl Router {
         }
     }
 
-    /// Nodes currently considered up (neither marked down nor cordoned).
-    fn up_count(&self) -> usize {
-        self.inner
-            .nodes
-            .iter()
-            .filter(|n| !n.cordoned.load(Ordering::SeqCst) && lock(&n.state).is_up())
-            .count()
+    // ── membership ──────────────────────────────────────────────────────
+
+    /// Admits (or re-admits) a node to the member set and returns the
+    /// resulting epoch. Idempotent: re-joining a living node at its known
+    /// address changes nothing. A changed address drops the node's pooled
+    /// connections; a re-join after a leave or crash clears its tombstone
+    /// and trusts the announcement enough to mark it up.
+    pub fn join(&self, id: &str, addr: &str) -> u64 {
+        let mut m = write_lock(&self.inner.membership);
+        match m.find(id) {
+            Some(i) => {
+                let same_addr = *lock(&m.records[i].entry.addr) == addr;
+                if m.records[i].alive && same_addr {
+                    return m.epoch; // idempotent re-announce
+                }
+                m.epoch += 1;
+                let epoch = m.epoch;
+                let was_alive = {
+                    let r = &mut m.records[i];
+                    r.version = epoch;
+                    let was = r.alive;
+                    r.alive = true;
+                    if !same_addr {
+                        *lock(&r.entry.addr) = addr.to_string();
+                        lock(&r.entry.pool).clear();
+                    }
+                    r.entry.transition(|st| st.mark_up());
+                    was
+                };
+                if !was_alive {
+                    m.rebuild(&self.inner.cfg);
+                }
+                epoch
+            }
+            None => {
+                m.epoch += 1;
+                let epoch = m.epoch;
+                m.records.push(MemberRecord {
+                    entry: Arc::new(NodeEntry::new(id, addr, HealthState::Up)),
+                    alive: true,
+                    version: epoch,
+                });
+                m.rebuild(&self.inner.cfg);
+                epoch
+            }
+        }
     }
 
-    /// Routes one request: admit, hash to a shard, try that shard's
-    /// replicas least-loaded-first until one answers.
+    /// Gracefully withdraws a node: tombstones its record (so gossip from
+    /// a stale peer cannot resurrect it), drops its pooled connections,
+    /// and rebuilds the shard map. Returns the resulting epoch; unknown or
+    /// already-departed ids change nothing.
+    pub fn leave(&self, id: &str) -> u64 {
+        let mut m = write_lock(&self.inner.membership);
+        if let Some(i) = m.find(id) {
+            if m.records[i].alive {
+                m.epoch += 1;
+                let epoch = m.epoch;
+                let r = &mut m.records[i];
+                r.version = epoch;
+                r.alive = false;
+                lock(&r.entry.pool).clear();
+                m.rebuild(&self.inner.cfg);
+            }
+        }
+        m.epoch
+    }
+
+    /// Applies one node heartbeat: refreshes the node's reported queue
+    /// depth and — because a heartbeat is out-of-band evidence of life —
+    /// expedites a down node's re-probe to the next tick instead of the
+    /// rest of its backoff window. A heartbeat from an unknown,
+    /// tombstoned, or re-addressed node is an implicit (re-)join: that is
+    /// what lets a router that restarted with empty membership re-learn
+    /// its cluster with zero orchestration. Returns the current epoch.
+    pub fn node_heartbeat(&self, id: &str, addr: &str, queue_depth: u32) -> u64 {
+        {
+            let m = read_lock(&self.inner.membership);
+            if let Some(i) = m.find(id) {
+                let r = &m.records[i];
+                if r.alive && *lock(&r.entry.addr) == addr {
+                    r.entry
+                        .queue_depth
+                        .store(queue_depth as usize, Ordering::SeqCst);
+                    let now = Instant::now();
+                    r.entry.transition(|st| st.expedite(now));
+                    return m.epoch;
+                }
+            }
+        }
+        let epoch = self.join(id, addr);
+        let m = read_lock(&self.inner.membership);
+        if let Some(i) = m.find(id) {
+            m.records[i]
+                .entry
+                .queue_depth
+                .store(queue_depth as usize, Ordering::SeqCst);
+        }
+        epoch
+    }
+
+    /// Records an externally observed failure of a node (an operator, a
+    /// sidecar prober, or a test): same health consequence as the router
+    /// seeing the failure on its own traffic. Returns `false` for ids not
+    /// in the living member set.
+    pub fn report_node_failure(&self, id: &str) -> bool {
+        let m = read_lock(&self.inner.membership);
+        match m.find(id) {
+            Some(i) if m.records[i].alive => {
+                let entry = Arc::clone(&m.records[i].entry);
+                drop(m);
+                self.note_link_failure(&entry);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current membership epoch.
+    pub fn membership_epoch(&self) -> u64 {
+        read_lock(&self.inner.membership).epoch
+    }
+
+    /// Ids of the living members, sorted.
+    pub fn member_ids(&self) -> Vec<String> {
+        let m = read_lock(&self.inner.membership);
+        let mut ids: Vec<String> = m
+            .records
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| r.entry.id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The replica set (node ids, preference order) currently assigned to
+    /// `shard`; empty when no member is alive.
+    ///
+    /// # Panics
+    ///
+    /// If `shard >=` the configured shard count.
+    pub fn shard_replicas(&self, shard: usize) -> Vec<String> {
+        assert!(shard < self.inner.cfg.shards, "shard out of range");
+        let m = read_lock(&self.inner.membership);
+        match &m.map {
+            Some((map, live)) => map
+                .replicas(shard)
+                .iter()
+                .map(|&li| m.records[live[li]].entry.id.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    // ── fault injection ─────────────────────────────────────────────────
+
+    /// Installs (or clears) a deterministic fault schedule on this
+    /// router's node links: new connections are wrapped in the plan, and a
+    /// link inside a partition window fails before dialing. Existing
+    /// pooled connections are dropped so the schedule applies immediately.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *lock(&self.inner.faults) = plan;
+        let m = read_lock(&self.inner.membership);
+        for r in &m.records {
+            lock(&r.entry.pool).clear();
+        }
+    }
+
+    // ── routing ─────────────────────────────────────────────────────────
+
+    /// Routes one request: admit against the shard's queue depth, then try
+    /// that shard's replicas least-loaded-first until one answers.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Overloaded`] — shed at admission; no node saw it.
     /// * [`ServeError::Rejected`] — every tried replica refused; carries
     ///   the last node's reason.
-    /// * [`ServeError::NoWorkers`] — every replica is down or cordoned and
-    ///   none was due for a probe, or every attempt failed at the link
-    ///   level.
+    /// * [`ServeError::NoWorkers`] — no member is alive, every replica is
+    ///   down or cordoned with no probe due, or every attempt failed at
+    ///   the link level.
     pub fn infer(&self, key: u64, x: &Tensor) -> Result<Tensor, ServeError> {
         self.infer_inner(key, None, x)
     }
@@ -342,56 +666,86 @@ impl Router {
 
     fn infer_inner(&self, key: u64, tenant: Option<u64>, x: &Tensor) -> Result<Tensor, ServeError> {
         let inner = &self.inner;
-        // Admission: the cap follows the live node count so a shrunken
-        // cluster sheds sooner; the max(1) floor keeps probe traffic
-        // flowing when everything is marked down.
-        let cap = inner.cfg.admit_per_node * self.up_count().max(1);
-        if inner
-            .in_flight_total
+        // Snapshot the shard's replica entries under the read lock; the
+        // Arcs keep entries valid even if membership changes mid-request.
+        let (shard, replicas) = {
+            let m = read_lock(&inner.membership);
+            let Some((map, live)) = &m.map else {
+                inner.unroutable.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::NoWorkers);
+            };
+            let shard = map.shard_of(key);
+            let replicas: Vec<Arc<NodeEntry>> = map
+                .replicas(shard)
+                .iter()
+                .map(|&li| Arc::clone(&m.records[live[li]].entry))
+                .collect();
+            (shard, replicas)
+        };
+
+        // Admission: the shard's cap follows its live replica count (a
+        // shrunken replica set sheds sooner; the max(1) floor keeps probe
+        // traffic flowing when everything is marked down). The depth is
+        // this router's own in-flight for the shard plus every fresh
+        // gossiped peer depth — N routers admit against one shared number,
+        // not N private ones.
+        let live_replicas = replicas
+            .iter()
+            .filter(|n| !n.cordoned.load(Ordering::SeqCst) && lock(&n.state).is_up())
+            .count();
+        let cap = inner.cfg.admit_per_node * live_replicas.max(1);
+        let remote = self.peer_shard_depth(shard);
+        if inner.shard_pending[shard]
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
-                (cur < cap).then_some(cur + 1)
+                (cur + remote < cap).then_some(cur + 1)
             })
             .is_err()
         {
             inner.shed.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded { queue_cap: cap });
         }
-        let _admitted_gauge = Gauge(&inner.in_flight_total);
+        let _shard_gauge = Gauge(&inner.shard_pending[shard]);
+        inner.in_flight_total.fetch_add(1, Ordering::SeqCst);
+        let _total_gauge = Gauge(&inner.in_flight_total);
         inner.admitted.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
 
-        // Candidate order: up replicas by ascending in-flight, then any
-        // down replica whose backoff window has elapsed (probes last — a
-        // probe is a bet, not a preference).
+        // Candidate order: any down replica whose backoff window has
+        // elapsed goes *first* — a due probe is the only road back to Up,
+        // and behind healthy replicas it would never see traffic (the bet
+        // is bounded: one failed attempt re-arms a doubled window and the
+        // request falls through to the up replicas) — then up replicas by
+        // ascending load (local in-flight plus the node's own reported
+        // queue depth).
         let now = Instant::now();
-        let replicas = inner.map.replicas(inner.map.shard_of(key));
-        let mut up: Vec<usize> = Vec::with_capacity(replicas.len());
-        let mut probes: Vec<usize> = Vec::new();
-        for &i in replicas {
-            let node = &inner.nodes[i];
+        let mut up: Vec<&Arc<NodeEntry>> = Vec::with_capacity(replicas.len());
+        let mut candidates: Vec<&Arc<NodeEntry>> = Vec::new();
+        for node in &replicas {
             if node.cordoned.load(Ordering::SeqCst) {
                 continue;
             }
             let state = *lock(&node.state);
             if state.is_up() {
-                up.push(i);
+                up.push(node);
             } else if state.due_for_probe(now) {
-                probes.push(i);
+                candidates.push(node);
             }
         }
-        up.sort_by_key(|&i| inner.nodes[i].in_flight.load(Ordering::SeqCst));
-        up.extend(probes);
-        if up.is_empty() {
+        up.sort_by_key(|n| {
+            n.in_flight.load(Ordering::SeqCst) + n.queue_depth.load(Ordering::SeqCst)
+        });
+        candidates.extend(up);
+        if candidates.is_empty() {
             inner.unroutable.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::NoWorkers);
         }
 
         let mut last_reject: Option<String> = None;
-        for (attempt, &i) in up.iter().enumerate() {
+        for (attempt, node) in candidates.into_iter().enumerate() {
             if attempt > 0 {
                 inner.retries.fetch_add(1, Ordering::Relaxed);
             }
-            match self.try_node(i, key, tenant, x) {
+            match self.try_node(node, key, tenant, x) {
                 Ok(logits) => {
                     inner.completed.fetch_add(1, Ordering::Relaxed);
                     lock(&inner.latencies).push(t0.elapsed().as_secs_f64() * 1e3);
@@ -408,17 +762,37 @@ impl Router {
         }
     }
 
+    /// Sum of fresh gossiped peer depths for one shard.
+    fn peer_shard_depth(&self, shard: usize) -> usize {
+        let now = Instant::now();
+        let ttl = self.inner.cfg.peer_depth_ttl;
+        lock(&self.inner.peer_pending)
+            .values()
+            .filter(|(_, at)| now.saturating_duration_since(*at) <= ttl)
+            .map(|(depths, _)| depths.get(shard).copied().unwrap_or(0) as usize)
+            .sum()
+    }
+
     /// One attempt against one node: check out (or open) a connection,
     /// run the keyed round trip, and fold the verdict into health state.
     fn try_node(
         &self,
-        i: usize,
+        node: &NodeEntry,
         key: u64,
         tenant: Option<u64>,
         x: &Tensor,
     ) -> Result<Tensor, NodeFailure> {
         let inner = &self.inner;
-        let node = &inner.nodes[i];
+        // A severed link (injected partition) fails before dialing: the
+        // connect would be refused by the real network, and the health
+        // consequence must be identical.
+        let faults = lock(&inner.faults).clone();
+        if let Some(plan) = &faults {
+            if plan.severed(&node.id) {
+                self.note_link_failure(node);
+                return Err(NodeFailure::Link);
+            }
+        }
         node.in_flight.fetch_add(1, Ordering::SeqCst);
         let _node_gauge = Gauge(&node.in_flight);
         // Bind the pop in its own statement: a `match` on the guard
@@ -430,9 +804,15 @@ impl Router {
             None => {
                 let addr = lock(&node.addr).clone();
                 match TcpClient::connect_timeout(&addr, inner.cfg.connect_timeout) {
-                    Ok(client) => client.with_timeout(inner.cfg.request_timeout),
+                    Ok(client) => {
+                        let client = client.with_timeout(inner.cfg.request_timeout);
+                        match &faults {
+                            Some(plan) => client.with_faults(plan.link(&node.id)),
+                            None => client,
+                        }
+                    }
                     Err(_) => {
-                        self.note_link_failure(i);
+                        self.note_link_failure(node);
                         return Err(NodeFailure::Link);
                     }
                 }
@@ -444,7 +824,7 @@ impl Router {
         };
         match verdict {
             Ok(logits) => {
-                lock(&node.state).mark_up();
+                node.transition(|st| st.mark_up());
                 node.reject_streak.store(0, Ordering::SeqCst);
                 node.served.fetch_add(1, Ordering::Relaxed);
                 lock(&node.pool).push(client);
@@ -456,11 +836,9 @@ impl Router {
                 // itself is still good.
                 let streak = node.reject_streak.fetch_add(1, Ordering::SeqCst) + 1;
                 if streak >= inner.cfg.reject_markdown {
-                    lock(&node.state).mark_down(
-                        inner.cfg.probe_backoff,
-                        inner.cfg.probe_backoff_max,
-                        Instant::now(),
-                    );
+                    let (initial, max) = (inner.cfg.probe_backoff, inner.cfg.probe_backoff_max);
+                    let now = Instant::now();
+                    node.transition(|st| st.mark_down(initial, max, now));
                 }
                 lock(&node.pool).push(client);
                 Err(NodeFailure::Reject(reason))
@@ -468,32 +846,200 @@ impl Router {
             Err(_) => {
                 // Link-level failure: drop this connection and everything
                 // pooled for the node — they share its fate.
-                self.note_link_failure(i);
+                self.note_link_failure(node);
                 Err(NodeFailure::Link)
             }
         }
     }
 
-    /// Marks node `i` down after a link failure and drops its pooled
+    /// Marks a node down after a link failure and drops its pooled
     /// connections.
-    fn note_link_failure(&self, i: usize) {
-        let node = &self.inner.nodes[i];
-        lock(&node.state).mark_down(
+    fn note_link_failure(&self, node: &NodeEntry) {
+        let (initial, max) = (
             self.inner.cfg.probe_backoff,
             self.inner.cfg.probe_backoff_max,
-            Instant::now(),
         );
+        let now = Instant::now();
+        node.transition(|st| st.mark_down(initial, max, now));
         node.deaths.fetch_add(1, Ordering::Relaxed);
         self.inner.node_deaths.fetch_add(1, Ordering::Relaxed);
         lock(&node.pool).clear();
     }
 
-    /// Index of the node named `id`.
-    fn index_of(&self, id: &str) -> Result<usize, ServeError> {
-        self.inner
-            .nodes
+    // ── gossip ──────────────────────────────────────────────────────────
+
+    /// This router's full anti-entropy digest: every membership record
+    /// (tombstones included), its health verdict, and the router's own
+    /// per-shard in-flight depths.
+    pub fn gossip_digest(&self) -> Message {
+        let now = Instant::now();
+        let m = read_lock(&self.inner.membership);
+        let nodes = m
+            .records
             .iter()
-            .position(|n| n.id == id)
+            .map(|r| {
+                let st = *lock(&r.entry.state);
+                GossipNode {
+                    id: r.entry.id.clone(),
+                    addr: lock(&r.entry.addr).clone(),
+                    alive: r.alive,
+                    member_version: r.version,
+                    up: st.is_up(),
+                    probe_in_ms: st.probe_in(now).as_millis().min(u128::from(u32::MAX)) as u32,
+                    health_version: r.entry.health_version.load(Ordering::SeqCst),
+                    queue_depth: r.entry.queue_depth.load(Ordering::SeqCst) as u32,
+                }
+            })
+            .collect();
+        Message::Gossip {
+            from: self.inner.cfg.id.clone(),
+            epoch: m.epoch,
+            shard_pending: self
+                .inner
+                .shard_pending
+                .iter()
+                .map(|d| d.load(Ordering::SeqCst) as u32)
+                .collect(),
+            nodes,
+        }
+    }
+
+    /// Merges a peer's digest into this router and returns this router's
+    /// own (post-merge) digest as the reply — one call is one half of a
+    /// push-pull exchange. Non-gossip messages and this router's own
+    /// digests merge nothing.
+    ///
+    /// Merge rules, chosen so any two routers that stop changing and keep
+    /// exchanging converge to identical tables:
+    /// * membership rows by higher `member_version`; ties prefer the
+    ///   tombstone, then the smaller address — deterministic on both sides.
+    /// * health verdicts by higher `health_version`; ties prefer *down*
+    ///   (pessimism is recoverable by one probe; optimism costs traffic).
+    /// * the peer's per-shard depths replace its previous ones and feed
+    ///   admission until `peer_depth_ttl` ages them out.
+    pub fn merge_gossip(&self, msg: &Message) -> Message {
+        if let Message::Gossip {
+            from,
+            epoch,
+            shard_pending,
+            nodes,
+        } = msg
+        {
+            if *from != self.inner.cfg.id {
+                lock(&self.inner.peer_pending)
+                    .insert(from.clone(), (shard_pending.clone(), Instant::now()));
+                self.merge_records(*epoch, nodes);
+            }
+        }
+        self.gossip_digest()
+    }
+
+    fn merge_records(&self, peer_epoch: u64, nodes: &[GossipNode]) {
+        let now = Instant::now();
+        let cfg_backoff = self.inner.cfg.probe_backoff;
+        let mut m = write_lock(&self.inner.membership);
+        let mut membership_changed = false;
+        for g in nodes {
+            match m.find(&g.id) {
+                None => {
+                    let state = if g.up {
+                        HealthState::Up
+                    } else {
+                        HealthState::Down {
+                            until: now + Duration::from_millis(u64::from(g.probe_in_ms)),
+                            backoff: cfg_backoff,
+                        }
+                    };
+                    let entry = NodeEntry::new(&g.id, &g.addr, state);
+                    entry
+                        .health_version
+                        .store(g.health_version, Ordering::SeqCst);
+                    entry
+                        .queue_depth
+                        .store(g.queue_depth as usize, Ordering::SeqCst);
+                    m.records.push(MemberRecord {
+                        entry: Arc::new(entry),
+                        alive: g.alive,
+                        version: g.member_version,
+                    });
+                    membership_changed |= g.alive;
+                }
+                Some(i) => {
+                    let r = &mut m.records[i];
+                    let local_addr = lock(&r.entry.addr).clone();
+                    let adopt_member = g.member_version > r.version
+                        || (g.member_version == r.version
+                            && ((!g.alive && r.alive)
+                                || (g.alive == r.alive && g.addr < local_addr)));
+                    if adopt_member {
+                        r.version = g.member_version;
+                        if r.alive != g.alive {
+                            r.alive = g.alive;
+                            membership_changed = true;
+                        }
+                        if local_addr != g.addr {
+                            *lock(&r.entry.addr) = g.addr.clone();
+                            lock(&r.entry.pool).clear();
+                        }
+                    }
+                    let local_hv = r.entry.health_version.load(Ordering::SeqCst);
+                    let local_up = lock(&r.entry.state).is_up();
+                    let adopt_health = g.health_version > local_hv
+                        || (g.health_version == local_hv && !g.up && local_up);
+                    if adopt_health {
+                        r.entry
+                            .health_version
+                            .store(g.health_version, Ordering::SeqCst);
+                        *lock(&r.entry.state) = if g.up {
+                            HealthState::Up
+                        } else {
+                            // The remote probe deadline crosses the wire as
+                            // a remaining duration; the backoff history
+                            // restarts locally (a probe failure here will
+                            // rebuild it).
+                            HealthState::Down {
+                                until: now + Duration::from_millis(u64::from(g.probe_in_ms)),
+                                backoff: cfg_backoff,
+                            }
+                        };
+                        r.entry
+                            .queue_depth
+                            .store(g.queue_depth as usize, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+        if peer_epoch > m.epoch {
+            m.epoch = peer_epoch;
+        }
+        // The epoch dominates every record version by construction; keep
+        // that invariant across merges of records from newer peers.
+        let max_version = m.records.iter().map(|r| r.version).max().unwrap_or(0);
+        if m.epoch < max_version {
+            m.epoch = max_version;
+        }
+        if membership_changed {
+            m.rebuild(&self.inner.cfg);
+        }
+    }
+
+    /// One full in-process push-pull exchange with `peer`: push this
+    /// digest, let the peer merge it, merge the peer's reply. Drives the
+    /// gossip convergence proptests without sockets.
+    pub fn gossip_with(&self, peer: &Router) {
+        let reply = peer.merge_gossip(&self.gossip_digest());
+        let _ = self.merge_gossip(&reply);
+    }
+
+    // ── operator surface ────────────────────────────────────────────────
+
+    /// Looks up a living member's entry by id.
+    fn living_entry(&self, id: &str) -> Result<Arc<NodeEntry>, ServeError> {
+        let m = read_lock(&self.inner.membership);
+        m.records
+            .iter()
+            .find(|r| r.alive && r.entry.id == id)
+            .map(|r| Arc::clone(&r.entry))
             .ok_or_else(|| ServeError::Elastic(format!("unknown node {id}")))
     }
 
@@ -504,10 +1050,11 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Elastic`] when no node has this id.
+    /// [`ServeError::Elastic`] when no living node has this id.
     pub fn cordon(&self, id: &str) -> Result<(), ServeError> {
-        let i = self.index_of(id)?;
-        self.inner.nodes[i].cordoned.store(true, Ordering::SeqCst);
+        self.living_entry(id)?
+            .cordoned
+            .store(true, Ordering::SeqCst);
         Ok(())
     }
 
@@ -515,10 +1062,11 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Elastic`] when no node has this id.
+    /// [`ServeError::Elastic`] when no living node has this id.
     pub fn uncordon(&self, id: &str) -> Result<(), ServeError> {
-        let i = self.index_of(id)?;
-        self.inner.nodes[i].cordoned.store(false, Ordering::SeqCst);
+        self.living_entry(id)?
+            .cordoned
+            .store(false, Ordering::SeqCst);
         Ok(())
     }
 
@@ -527,38 +1075,52 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Elastic`] when no node has this id.
+    /// [`ServeError::Elastic`] when no living node has this id.
     pub fn node_in_flight(&self, id: &str) -> Result<usize, ServeError> {
-        let i = self.index_of(id)?;
-        Ok(self.inner.nodes[i].in_flight.load(Ordering::SeqCst))
+        Ok(self.living_entry(id)?.in_flight.load(Ordering::SeqCst))
     }
 
     /// Points a node id at a new address (a restarted node binds a fresh
-    /// ephemeral port). Pooled connections to the old address are dropped
-    /// and the node is made immediately due for a probe, so the next
-    /// request to its shards re-establishes contact without waiting out a
-    /// backoff window.
+    /// ephemeral port). A membership change: bumps the epoch and the
+    /// record's version so gossip propagates the new address. Pooled
+    /// connections to the old address are dropped and the node is made
+    /// immediately due for a probe, so the next request to its shards
+    /// re-establishes contact without waiting out a backoff window.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Elastic`] when no node has this id.
+    /// [`ServeError::Elastic`] when no living node has this id.
     pub fn update_addr(&self, id: &str, addr: &str) -> Result<(), ServeError> {
-        let i = self.index_of(id)?;
-        let node = &self.inner.nodes[i];
-        *lock(&node.addr) = addr.to_string();
-        lock(&node.pool).clear();
-        *lock(&node.state) = HealthState::Down {
-            until: Instant::now(),
-            backoff: self.inner.cfg.probe_backoff,
-        };
+        let mut m = write_lock(&self.inner.membership);
+        let i = m
+            .records
+            .iter()
+            .position(|r| r.alive && r.entry.id == id)
+            .ok_or_else(|| ServeError::Elastic(format!("unknown node {id}")))?;
+        m.epoch += 1;
+        let epoch = m.epoch;
+        let backoff = self.inner.cfg.probe_backoff;
+        let r = &mut m.records[i];
+        r.version = epoch;
+        *lock(&r.entry.addr) = addr.to_string();
+        lock(&r.entry.pool).clear();
+        let now = Instant::now();
+        r.entry.transition(|st| {
+            *st = HealthState::Down {
+                until: now,
+                backoff,
+            };
+        });
         Ok(())
     }
 
     /// Snapshots counters, the latency window, and per-node status.
     pub fn metrics(&self) -> RouterMetrics {
         let inner = &self.inner;
+        let m = read_lock(&inner.membership);
         let mut window = lock(&inner.latencies);
         RouterMetrics {
+            epoch: m.epoch,
             admitted: inner.admitted.load(Ordering::Relaxed),
             completed: inner.completed.load(Ordering::Relaxed),
             shed: inner.shed.load(Ordering::Relaxed),
@@ -569,17 +1131,19 @@ impl Router {
             p50_ms: window.percentile(0.50),
             p95_ms: window.percentile(0.95),
             p99_ms: window.percentile(0.99),
-            nodes: inner
-                .nodes
+            nodes: m
+                .records
                 .iter()
-                .map(|n| NodeStatus {
-                    id: n.id.clone(),
-                    addr: lock(&n.addr).clone(),
-                    up: lock(&n.state).is_up(),
-                    cordoned: n.cordoned.load(Ordering::SeqCst),
-                    in_flight: n.in_flight.load(Ordering::SeqCst),
-                    served: n.served.load(Ordering::Relaxed),
-                    deaths: n.deaths.load(Ordering::Relaxed),
+                .filter(|r| r.alive)
+                .map(|r| NodeStatus {
+                    id: r.entry.id.clone(),
+                    addr: lock(&r.entry.addr).clone(),
+                    up: lock(&r.entry.state).is_up(),
+                    cordoned: r.entry.cordoned.load(Ordering::SeqCst),
+                    in_flight: r.entry.in_flight.load(Ordering::SeqCst),
+                    queue_depth: r.entry.queue_depth.load(Ordering::SeqCst),
+                    served: r.entry.served.load(Ordering::Relaxed),
+                    deaths: r.entry.deaths.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -588,22 +1152,26 @@ impl Router {
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = read_lock(&self.inner.membership);
         f.debug_struct("Router")
             .field("cfg", &self.inner.cfg)
-            .field("nodes", &self.inner.nodes.len())
+            .field("epoch", &m.epoch)
+            .field("records", &m.records.len())
             .finish_non_exhaustive()
     }
 }
 
-/// Serves the router over TCP until `shutdown` flips: the cluster's
-/// single client-facing endpoint, speaking the same wire dialect as a
-/// plain serve node.
+/// Serves the router over TCP until `shutdown` flips: one client-facing
+/// endpoint of the cluster, speaking the same wire dialect as a plain
+/// serve node plus the membership/gossip frames.
 ///
 /// [`Message::InferKeyed`] routes by its `shard_key`; a plain
 /// [`Message::Infer`] is accepted too, using `request_id` as the key (so
 /// existing clients work unchanged, at the cost of key affinity).
-/// Failures come back as [`Message::Reject`] with the router's verdict as
-/// the reason.
+/// [`Message::Join`] / [`Message::Leave`] / [`Message::NodeHeartbeat`]
+/// mutate membership and are acknowledged; [`Message::Gossip`] is merged
+/// and answered with this router's digest. Failures come back as
+/// [`Message::Reject`] with the router's verdict as the reason.
 ///
 /// # Errors
 ///
@@ -640,7 +1208,7 @@ pub fn route_tcp(
 }
 
 /// One front-end connection: route each request, answer `Logits` or
-/// `Reject`.
+/// `Reject`; apply membership and gossip frames in place.
 fn route_connection(
     stream: TcpStream,
     router: &Router,
@@ -648,6 +1216,11 @@ fn route_connection(
 ) -> Result<(), ServeError> {
     let mut transport =
         TcpTransport::new(stream).map_err(|e| ServeError::Transport(e.to_string()))?;
+    let send = |transport: &mut TcpTransport, msg: &Message| {
+        transport
+            .send(msg)
+            .map_err(|e| ServeError::Transport(e.to_string()))
+    };
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
@@ -668,9 +1241,32 @@ fn route_connection(
             Ok(Some(Message::Infer { request_id, input })) => (request_id, request_id, None, input),
             Ok(Some(Message::Shutdown)) => return Ok(()),
             Ok(Some(Message::Heartbeat { seq })) => {
-                transport
-                    .send(&Message::HeartbeatAck { seq })
-                    .map_err(|e| ServeError::Transport(e.to_string()))?;
+                send(&mut transport, &Message::HeartbeatAck { seq })?;
+                continue;
+            }
+            Ok(Some(Message::Join { node, addr })) => {
+                let epoch = router.join(&node, &addr);
+                send(&mut transport, &Message::MembershipAck { epoch })?;
+                continue;
+            }
+            Ok(Some(Message::Leave { node })) => {
+                let epoch = router.leave(&node);
+                send(&mut transport, &Message::MembershipAck { epoch })?;
+                continue;
+            }
+            Ok(Some(Message::NodeHeartbeat {
+                node,
+                addr,
+                seq,
+                queue_depth,
+            })) => {
+                router.node_heartbeat(&node, &addr, queue_depth);
+                send(&mut transport, &Message::HeartbeatAck { seq })?;
+                continue;
+            }
+            Ok(Some(msg @ Message::Gossip { .. })) => {
+                let reply = router.merge_gossip(&msg);
+                send(&mut transport, &reply)?;
                 continue;
             }
             Ok(Some(_)) => continue, // not part of the routing dialogue
@@ -688,9 +1284,7 @@ fn route_connection(
                 reason: e.to_string(),
             },
         };
-        transport
-            .send(&reply)
-            .map_err(|e| ServeError::Transport(e.to_string()))?;
+        send(&mut transport, &reply)?;
     }
 }
 
@@ -712,6 +1306,12 @@ mod tests {
             probe_backoff: Duration::from_millis(50),
             ..RouterConfig::default()
         }
+    }
+
+    /// The shard a key lands on, for tests that poke per-shard state.
+    fn shard_of(router: &Router, key: u64) -> usize {
+        let m = read_lock(&router.inner.membership);
+        m.map.as_ref().expect("live members").0.shard_of(key)
     }
 
     #[test]
@@ -771,15 +1371,16 @@ mod tests {
     }
 
     #[test]
-    fn admission_cap_sheds_before_dialing_anyone() {
+    fn admission_cap_sheds_per_shard_before_dialing_anyone() {
         let mut cfg = fast_cfg();
         cfg.admit_per_node = 1;
         let router = Router::new(cfg, dead_nodes(1));
-        // Hold the only admission slot by parking a gauge manually.
-        router.inner.in_flight_total.fetch_add(1, Ordering::SeqCst);
+        // Hold the key's shard slot by parking a gauge manually.
+        let shard = shard_of(&router, 3);
+        router.inner.shard_pending[shard].fetch_add(1, Ordering::SeqCst);
         let err = router
             .infer(3, &Tensor::zeros(&[1, 1, 28, 28]))
-            .expect_err("cap is full");
+            .expect_err("shard cap is full");
         assert!(
             matches!(err, ServeError::Overloaded { queue_cap: 1 }),
             "{err}"
@@ -788,7 +1389,139 @@ mod tests {
         assert_eq!(m.shed, 1);
         assert_eq!(m.admitted, 0);
         assert_eq!(m.node_deaths, 0, "shed requests must not touch nodes");
-        router.inner.in_flight_total.fetch_sub(1, Ordering::SeqCst);
+        router.inner.shard_pending[shard].fetch_sub(1, Ordering::SeqCst);
+        // A key on a *different* shard is not throttled by that slot: the
+        // cap is per shard, not a flat cluster-wide count.
+        let other = (4..999)
+            .find(|&k| shard_of(&router, k) != shard)
+            .expect("another shard");
+        let err = router
+            .infer(other, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("dead node, but admitted");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert_eq!(router.metrics().admitted, 1, "other shard was admitted");
+    }
+
+    #[test]
+    fn gossiped_peer_depth_feeds_admission_until_it_goes_stale() {
+        let mut cfg = fast_cfg();
+        cfg.admit_per_node = 1;
+        cfg.peer_depth_ttl = Duration::from_millis(80);
+        let shards = cfg.shards;
+        let router = Router::new(cfg, dead_nodes(1));
+        // A peer router reports every one of its shards saturated.
+        let _ = router.merge_gossip(&Message::Gossip {
+            from: "router-9".into(),
+            epoch: 0,
+            shard_pending: vec![1; shards],
+            nodes: vec![],
+        });
+        let err = router
+            .infer(3, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("peer depth saturates the shard cap");
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+        assert_eq!(router.metrics().shed, 1);
+        // Once the peer's report ages past the TTL it stops throttling —
+        // a dead router's last gasp must not choke the survivors forever.
+        std::thread::sleep(Duration::from_millis(100));
+        let err = router
+            .infer(3, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("dead node, but admitted");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+        assert_eq!(router.metrics().admitted, 1);
+    }
+
+    #[test]
+    fn join_leave_bump_the_epoch_and_rebuild_the_map() {
+        let router = Router::new_dynamic(fast_cfg());
+        assert_eq!(router.membership_epoch(), 0);
+        assert!(router.member_ids().is_empty());
+        // Requests before any member: a verdict, not a panic.
+        let err = router
+            .infer(1, &Tensor::zeros(&[1, 1, 28, 28]))
+            .expect_err("no members yet");
+        assert!(matches!(err, ServeError::NoWorkers), "{err}");
+
+        assert_eq!(router.join("n0", "127.0.0.1:1"), 1);
+        assert_eq!(router.join("n1", "127.0.0.1:1"), 2);
+        // Idempotent re-announce: same node, same addr, same epoch.
+        assert_eq!(router.join("n0", "127.0.0.1:1"), 2);
+        assert_eq!(router.member_ids(), vec!["n0", "n1"]);
+        assert!(!router.shard_replicas(0).is_empty());
+
+        assert_eq!(router.leave("n1"), 3);
+        assert_eq!(router.member_ids(), vec!["n0"]);
+        // Leaving twice (or an unknown id) changes nothing.
+        assert_eq!(router.leave("n1"), 3);
+        assert_eq!(router.leave("ghost"), 3);
+        // A re-join clears the tombstone.
+        assert_eq!(router.join("n1", "127.0.0.1:2"), 4);
+        assert_eq!(router.member_ids(), vec!["n0", "n1"]);
+    }
+
+    #[test]
+    fn heartbeat_is_an_implicit_join_and_refreshes_depth() {
+        let router = Router::new_dynamic(fast_cfg());
+        let epoch = router.node_heartbeat("n7", "127.0.0.1:1", 5);
+        assert_eq!(epoch, 1, "unknown node's heartbeat joins it");
+        assert_eq!(router.member_ids(), vec!["n7"]);
+        let m = router.metrics();
+        assert_eq!(m.nodes[0].queue_depth, 5);
+        // Same node, same addr: depth refresh only, no epoch churn.
+        assert_eq!(router.node_heartbeat("n7", "127.0.0.1:1", 2), 1);
+        assert_eq!(router.metrics().nodes[0].queue_depth, 2);
+        // A re-addressed heartbeat is a membership change.
+        assert_eq!(router.node_heartbeat("n7", "127.0.0.1:2", 2), 2);
+        assert_eq!(router.metrics().nodes[0].addr, "127.0.0.1:2");
+    }
+
+    #[test]
+    fn gossip_propagates_members_health_and_tombstones() {
+        let a = Router::new_dynamic(RouterConfig {
+            id: "router-a".into(),
+            ..fast_cfg()
+        });
+        let b = Router::new_dynamic(RouterConfig {
+            id: "router-b".into(),
+            ..fast_cfg()
+        });
+        a.join("n0", "127.0.0.1:1");
+        a.join("n1", "127.0.0.1:1");
+        assert!(a.report_node_failure("n1"), "n1 is a living member");
+
+        // One push-pull: b learns a's members and its verdict on n1.
+        b.gossip_with(&a);
+        assert_eq!(b.member_ids(), vec!["n0", "n1"]);
+        assert_eq!(b.membership_epoch(), a.membership_epoch());
+        let n1 = b
+            .metrics()
+            .nodes
+            .into_iter()
+            .find(|n| n.id == "n1")
+            .expect("n1 known to b");
+        assert!(!n1.up, "health verdict must ride the gossip");
+
+        // A leave on b tombstones n0 everywhere after one more exchange —
+        // and a's stale record cannot resurrect it.
+        b.leave("n0");
+        a.gossip_with(&b);
+        assert_eq!(a.member_ids(), vec!["n1"]);
+        a.gossip_with(&b);
+        assert_eq!(a.member_ids(), vec!["n1"]);
+        assert_eq!(b.member_ids(), vec!["n1"]);
+        assert_eq!(a.membership_epoch(), b.membership_epoch());
+    }
+
+    #[test]
+    fn own_digest_and_non_gossip_messages_merge_nothing() {
+        let router = Router::new_dynamic(fast_cfg());
+        router.join("n0", "127.0.0.1:1");
+        let epoch = router.membership_epoch();
+        let own = router.gossip_digest();
+        let _ = router.merge_gossip(&own);
+        let _ = router.merge_gossip(&Message::Shutdown);
+        assert_eq!(router.membership_epoch(), epoch);
+        assert_eq!(router.member_ids(), vec!["n0"]);
     }
 
     #[test]
@@ -813,12 +1546,13 @@ mod tests {
     }
 
     #[test]
-    fn metrics_display_mentions_every_node() {
+    fn metrics_display_mentions_every_node_and_the_epoch() {
         let router = Router::new(fast_cfg(), dead_nodes(3));
         let text = router.metrics().to_string();
         for id in ["n0", "n1", "n2"] {
             assert!(text.contains(id), "missing {id} in:\n{text}");
         }
         assert!(text.contains("p95"));
+        assert!(text.contains("epoch 1"));
     }
 }

@@ -4,12 +4,21 @@
 //! not reshuffle traffic, and losing (or adding) one node must only move
 //! the keys that node actually served.
 
-use fluid_router::ShardMap;
+use fluid_router::{Router, RouterConfig, ShardMap};
 use proptest::prelude::*;
 
 /// A strategy for small, unique node-id lists (2–8 nodes).
 fn node_ids() -> impl Strategy<Value = Vec<String>> {
     (2usize..=8).prop_map(|n| (0..n).map(|i| format!("node-{i}")).collect())
+}
+
+/// A dynamic router with the given table shape (no sockets involved —
+/// membership and shard assignment are pure state).
+fn dyn_router(shards: usize, replication: usize) -> Router {
+    let mut cfg = RouterConfig::default();
+    cfg.shards = shards;
+    cfg.replication = replication;
+    Router::new_dynamic(cfg)
 }
 
 proptest! {
@@ -143,5 +152,90 @@ proptest! {
         let small = ShardMap::new(&nodes[..2.min(nodes.len())], shards, 1);
         let large = ShardMap::new(&nodes, shards, 2);
         prop_assert_eq!(small.shard_of(key), large.shard_of(key));
+    }
+
+    /// Announced churn — an arbitrary interleaving of Join/Leave frames
+    /// applied through the router's membership API — lands on exactly the
+    /// shard table a *fresh* map over the surviving ids would build:
+    /// dynamic membership inherits every ShardMap property (restart
+    /// determinism, minimal remap) by construction, whatever order the
+    /// announcements arrived in.
+    fn announced_churn_matches_a_fresh_map(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..8), 1..24),
+        shards in 1usize..=64,
+        replication in 1usize..=3,
+    ) {
+        let router = dyn_router(shards, replication);
+        let mut alive = std::collections::BTreeSet::new();
+        let mut last_epoch = 0;
+        for (join, n) in ops {
+            let id = format!("node-{n}");
+            let epoch = if join {
+                alive.insert(id.clone());
+                router.join(&id, "127.0.0.1:1")
+            } else {
+                alive.remove(&id);
+                router.leave(&id)
+            };
+            prop_assert!(epoch >= last_epoch, "epochs must be monotonic");
+            last_epoch = epoch;
+        }
+        let ids: Vec<String> = alive.iter().cloned().collect();
+        prop_assert_eq!(router.member_ids(), ids.clone());
+        if ids.is_empty() {
+            for shard in 0..shards {
+                prop_assert!(router.shard_replicas(shard).is_empty());
+            }
+        } else {
+            let fresh = ShardMap::new(&ids, shards, replication);
+            for shard in 0..shards {
+                let want: Vec<String> = fresh
+                    .replicas(shard)
+                    .iter()
+                    .map(|&i| ids[i].clone())
+                    .collect();
+                prop_assert_eq!(
+                    router.shard_replicas(shard),
+                    want,
+                    "shard {} diverged from the fresh map",
+                    shard
+                );
+            }
+        }
+    }
+
+    /// An announced Leave remaps only the shards the departing node
+    /// served — the minimal-remap guarantee, asserted through the live
+    /// membership path (tombstone + rebuild) rather than on raw maps.
+    fn an_announced_leave_touches_only_the_victims_shards(
+        nodes in node_ids(),
+        shards in 1usize..=64,
+        replication in 1usize..=3,
+        victim in 0usize..8,
+    ) {
+        let router = dyn_router(shards, replication);
+        for id in &nodes {
+            router.join(id, "127.0.0.1:1");
+        }
+        let victim = nodes[victim % nodes.len()].clone();
+        let before: Vec<Vec<String>> =
+            (0..shards).map(|s| router.shard_replicas(s)).collect();
+        router.leave(&victim);
+        for (shard, names_before) in before.iter().enumerate() {
+            if names_before.contains(&victim) {
+                continue; // this shard is allowed (expected) to change
+            }
+            let names_after = router.shard_replicas(shard);
+            // When the survivor count no longer supports the requested
+            // replication the set legitimately shrinks; the preserved
+            // prefix must still match.
+            prop_assert_eq!(
+                &names_before[..names_after.len()],
+                &names_after[..],
+                "shard {} reshuffled although {} never served it",
+                shard,
+                &victim
+            );
+        }
     }
 }

@@ -88,6 +88,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod announce;
 mod autoscale;
 mod backend;
 mod error;
@@ -97,6 +98,7 @@ mod sched;
 mod server;
 mod tcp;
 
+pub use announce::{AnnounceConfig, Announcer};
 pub use autoscale::{AutoscaleConfig, Autoscaler, BackendFactory, ScaleAction, ScaleEvent};
 pub use backend::{Backend, EngineBackend, MasterBackend, QuantBackend};
 pub use error::ServeError;

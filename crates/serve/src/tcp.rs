@@ -6,7 +6,7 @@
 use crate::error::ServeError;
 use crate::loadgen::InferClient;
 use crate::server::ServerHandle;
-use fluid_dist::{Message, TcpTransport, Transport};
+use fluid_dist::{DistError, FaultedTransport, FaultyLink, Message, TcpTransport, Transport};
 use fluid_tensor::Tensor;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -176,9 +176,34 @@ fn serve_connection(
 /// ```
 #[derive(Debug)]
 pub struct TcpClient {
-    transport: TcpTransport,
+    transport: ClientWire,
     next_id: u64,
     timeout: Duration,
+}
+
+/// The client's link: plain TCP, or TCP under a fault-injection schedule
+/// ([`TcpClient::with_faults`]). An enum rather than a `Box<dyn Transport>`
+/// so the common plain path stays monomorphic.
+#[derive(Debug)]
+enum ClientWire {
+    Plain(TcpTransport),
+    Faulted(FaultedTransport<TcpTransport>),
+}
+
+impl Transport for ClientWire {
+    fn send(&mut self, msg: &Message) -> Result<(), DistError> {
+        match self {
+            ClientWire::Plain(t) => t.send(msg),
+            ClientWire::Faulted(t) => t.send(msg),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, DistError> {
+        match self {
+            ClientWire::Plain(t) => t.recv_timeout(timeout),
+            ClientWire::Faulted(t) => t.recv_timeout(timeout),
+        }
+    }
 }
 
 impl TcpClient {
@@ -209,15 +234,27 @@ impl TcpClient {
             .map_err(|e| ServeError::Transport(format!("resolve {addr}: {e}")))?
             .next()
             .ok_or_else(|| ServeError::Transport(format!("{addr} resolves to nothing")))?;
-        let stream = TcpStream::connect_timeout(&sockaddr, timeout)
-            .map_err(|e| ServeError::Transport(format!("connect {addr}: {e}")))?;
+        // Distinguish the two ways a connect dies: a *timeout* (black-holed
+        // or partitioned address — nothing answered at all) reads
+        // differently from a refusal/reset, and the failure matrix asserts
+        // on the wording.
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut
+                || e.kind() == std::io::ErrorKind::WouldBlock
+            {
+                ServeError::Transport(format!("connect to {addr} timed out after {timeout:?}"))
+            } else {
+                ServeError::Transport(format!("connect {addr}: {e}"))
+            }
+        })?;
         TcpClient::from_stream(stream)
     }
 
     fn from_stream(stream: TcpStream) -> Result<TcpClient, ServeError> {
         Ok(TcpClient {
-            transport: TcpTransport::new(stream)
-                .map_err(|e| ServeError::Transport(e.to_string()))?,
+            transport: ClientWire::Plain(
+                TcpTransport::new(stream).map_err(|e| ServeError::Transport(e.to_string()))?,
+            ),
             next_id: 1,
             timeout: Duration::from_secs(30),
         })
@@ -226,6 +263,19 @@ impl TcpClient {
     /// Sets the per-request reply timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> TcpClient {
         self.timeout = timeout;
+        self
+    }
+
+    /// Puts this client's link under a fault-injection schedule: sends and
+    /// receives flow through the [`FaultyLink`]'s deterministic drop /
+    /// delay / duplicate / partition decisions. The router wraps its
+    /// node connections with this when a `FaultPlan` is installed.
+    pub fn with_faults(mut self, link: FaultyLink) -> TcpClient {
+        self.transport = match self.transport {
+            ClientWire::Plain(t) => ClientWire::Faulted(link.wrap(t)),
+            // Re-wrapping replaces the old schedule's link with the new one.
+            ClientWire::Faulted(t) => ClientWire::Faulted(link.wrap(t.into_inner())),
+        };
         self
     }
 
@@ -293,8 +343,12 @@ impl TcpClient {
         loop {
             let now = Instant::now();
             if now >= deadline {
+                // Worded apart from the connect-timeout error on purpose:
+                // the link *was* established and the request *was* sent —
+                // the peer went silent mid-request. Different failure,
+                // different operator response (see docs/SERVING.md).
                 return Err(ServeError::Transport(format!(
-                    "no reply to request {id} within {:?}",
+                    "mid-request silence: no reply to request {id} within {:?}",
                     self.timeout
                 )));
             }

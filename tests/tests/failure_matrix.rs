@@ -168,7 +168,11 @@ fn static_split_halves_are_not_functions() {
 // ---------------------------------------------------------------------------
 // Router tier: the cluster's failure matrix. These rows use fake TCP nodes
 // with scripted misbehaviour, so each failure mode is exercised in
-// isolation rather than hoping chaos produces it.
+// isolation rather than hoping chaos produces it. The membership rows at
+// the end cover the replicated-router era: a dead router behind a client
+// retrying across the router list, a partitioned node covered by its
+// replica, and a router serving from a stale membership epoch until
+// anti-entropy gossip heals it.
 
 // ---------------------------------------------------------------------------
 // Tenancy tier: the multi-tenant scheduler's failure rows. A quota that
@@ -330,11 +334,13 @@ mod tenant_rows {
 }
 
 mod router_rows {
-    use fluid_dist::{Message, TcpTransport, Transport};
-    use fluid_router::{Router, RouterConfig};
-    use fluid_serve::ServeError;
+    use fluid_dist::{FaultPlan, FaultSpec, Message, PartitionWindow, TcpTransport, Transport};
+    use fluid_router::{Router, RouterConfig, RouterNode, ShardMap};
+    use fluid_serve::{ServeError, TcpClient};
     use fluid_tensor::Tensor;
     use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     fn x() -> Tensor {
@@ -376,8 +382,110 @@ mod router_rows {
         (addr, handle)
     }
 
+    /// Reads one request, then wedges: the socket stays open but no reply
+    /// ever comes. At the client this is indistinguishable from a node
+    /// that crashed *after* `recv` — the worst-timed failure, and the one
+    /// the reply deadline exists for.
+    fn read_then_wedge(mut transport: TcpTransport) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            match transport.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(_)) => break,
+                Ok(None) => continue,
+                Err(_) => return,
+            }
+        }
+        // Hold the connection open, replying to nothing, until the client
+        // gives up and hangs up.
+        while Instant::now() < deadline {
+            match transport.recv_timeout(Duration::from_millis(50)) {
+                Ok(_) => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// A fake node that *serves*: accepts connections until told to stop
+    /// and answers every inference frame with logits filled with `tag`,
+    /// so a completion can be traced back to the node that produced it.
+    fn serving_node(tag: f32) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conns = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let stop = Arc::clone(&stop);
+                            conns.push(std::thread::spawn(move || {
+                                let Ok(mut transport) = TcpTransport::new(stream) else {
+                                    return;
+                                };
+                                while !stop.load(Ordering::SeqCst) {
+                                    match transport.recv_timeout(Duration::from_millis(50)) {
+                                        Ok(Some(
+                                            Message::Infer { request_id, .. }
+                                            | Message::InferKeyed { request_id, .. },
+                                        )) => {
+                                            let logits = Tensor::from_fn(&[1, 10], |_| tag);
+                                            let reply = Message::Logits { request_id, logits };
+                                            if transport.send(&reply).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Ok(_) => continue,
+                                        Err(_) => return,
+                                    }
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for conn in conns {
+                    let _ = conn.join();
+                }
+            })
+        };
+        (addr, stop, handle)
+    }
+
+    /// The logits every request served by a `serving_node(tag)` carries.
+    fn tagged(tag: f32) -> Tensor {
+        Tensor::from_fn(&[1, 10], |_| tag)
+    }
+
+    /// Finds a key whose shard lists `ids[0]` as its first replica, so a
+    /// test can aim traffic at a specific node. `ids` must be sorted (the
+    /// membership order [`ShardMap`] builds from).
+    fn key_preferring_first(ids: &[String], shards: usize, replication: usize) -> u64 {
+        let map = ShardMap::new(ids, shards, replication);
+        (0u64..10_000)
+            .find(|&k| ids[map.replicas(map.shard_of(k))[0]] == ids[0])
+            .expect("some key must prefer the first node")
+    }
+
     #[test]
     fn dead_node_at_connect_is_a_fast_clean_verdict() {
+        // Client-level wording first: a connect-side failure names the
+        // connect and never claims "mid-request silence" — no request was
+        // ever sent, and the operator response differs (check the target,
+        // not the request path).
+        let dead = refused_addr();
+        let msg = TcpClient::connect_timeout(&dead, Duration::from_millis(250))
+            .expect_err("nothing listens there")
+            .to_string();
+        assert!(msg.contains("connect"), "{msg}");
+        assert!(!msg.contains("mid-request silence"), "{msg}");
+
         let router = Router::new(fast_cfg(), vec![("corpse".into(), refused_addr())]);
         let t0 = Instant::now();
         let err = router.infer(1, &x()).expect_err("nothing listens there");
@@ -392,18 +500,29 @@ mod router_rows {
 
     #[test]
     fn node_dying_between_infer_and_logits_is_reported_not_hung() {
-        // The node accepts, reads exactly one request, and drops the
-        // connection without answering — the worst-timed crash.
-        let (addr, node) = fake_node(|mut transport| {
-            let deadline = Instant::now() + Duration::from_secs(10);
-            while Instant::now() < deadline {
-                match transport.recv_timeout(Duration::from_millis(100)) {
-                    Ok(Some(_)) => return, // read the request, die on the spot
-                    Ok(None) => continue,
-                    Err(_) => return,
-                }
-            }
-        });
+        // Client-level wording first: the link *was* established and the
+        // request *was* sent before the node went silent, so the error
+        // names the silence and the request — worded apart from the
+        // connect-timeout error so an operator knows which half of the
+        // path to suspect.
+        let (addr, probe) = fake_node(read_then_wedge);
+        let mut client = TcpClient::connect_timeout(&addr, Duration::from_millis(250))
+            .expect("connect")
+            .with_timeout(Duration::from_millis(300));
+        let msg = client
+            .infer(&x())
+            .expect_err("no reply is coming")
+            .to_string();
+        assert!(
+            msg.contains("mid-request silence: no reply to request"),
+            "{msg}"
+        );
+        assert!(!msg.contains("connect"), "{msg}");
+        drop(client);
+        probe.join().expect("probe node");
+
+        // The router turns the same silence into a fast NoWorkers verdict.
+        let (addr, node) = fake_node(read_then_wedge);
         let router = Router::new(fast_cfg(), vec![("flaky".into(), addr)]);
         let t0 = Instant::now();
         let err = router
@@ -483,5 +602,196 @@ mod router_rows {
             t0.elapsed()
         );
         assert!(router.metrics().unroutable >= 1);
+    }
+
+    #[test]
+    fn a_dead_router_is_invisible_to_a_client_retrying_across_the_list() {
+        // Two independent router fronts over the same node. The client
+        // holds the *list* of routers, not one router — the replicated
+        // tier's contract is that any router serves any request, so a
+        // dead entry costs a reconnect, never a lost request.
+        let (node_addr, stop, node) = serving_node(1.0);
+        let mk = || Router::new(fast_cfg(), vec![("spine".into(), node_addr.clone())]);
+        let mut r0 = RouterNode::spawn(mk(), None).expect("router 0");
+        let r1 = RouterNode::spawn(mk(), None).expect("router 1");
+        let addrs = [r0.addr().to_string(), r1.addr().to_string()];
+
+        // The client protocol under test: walk the list, skipping entries
+        // that refuse or fail; a request is lost only if *every* router is.
+        let complete = |key: u64| -> Tensor {
+            for addr in &addrs {
+                if let Ok(client) = TcpClient::connect_timeout(addr, Duration::from_millis(250)) {
+                    if let Ok(out) = client
+                        .with_timeout(Duration::from_secs(1))
+                        .infer_keyed(key, &x())
+                    {
+                        return out;
+                    }
+                }
+            }
+            panic!("no router in the list answered");
+        };
+
+        assert!(complete(7).allclose(&tagged(1.0), 0.0));
+        r0.kill();
+        // The first list entry now refuses at connect; the retry lands on
+        // the survivor and the request completes — the kill is invisible
+        // in the response, and cheap.
+        let t0 = Instant::now();
+        assert!(complete(8).allclose(&tagged(1.0), 0.0));
+        assert!(
+            t0.elapsed() < Duration::from_secs(3),
+            "failover across the router list took {:?}",
+            t0.elapsed()
+        );
+        assert!(!r0.is_up() && r1.is_up());
+
+        drop(r1);
+        stop.store(true, Ordering::SeqCst);
+        node.join().expect("serving node");
+    }
+
+    #[test]
+    fn a_partitioned_node_is_covered_by_its_replica_until_the_window_heals() {
+        // Two serving nodes, replication 2, and a seeded fault plan that
+        // severs the router→node-a link for a 500 ms window. Inside the
+        // window the replica covers; after it heals, a probe returns
+        // traffic to the primary.
+        let (addr_a, stop_a, node_a) = serving_node(1.0);
+        let (addr_b, stop_b, node_b) = serving_node(2.0);
+        let mut cfg = fast_cfg();
+        cfg.probe_backoff = Duration::from_millis(50);
+        let shards = cfg.shards;
+        let replication = cfg.replication;
+        let router = Router::new(
+            cfg,
+            vec![("node-a".into(), addr_a), ("node-b".into(), addr_b)],
+        );
+        let ids = vec!["node-a".to_string(), "node-b".to_string()];
+        let key = key_preferring_first(&ids, shards, replication);
+
+        let plan = FaultPlan::new(
+            FaultSpec {
+                partitions: vec![PartitionWindow {
+                    from: Duration::ZERO,
+                    to: Duration::from_millis(500),
+                    peer_match: Some("node-a".into()),
+                }],
+                ..FaultSpec::default()
+            },
+            11,
+        );
+        router.set_fault_plan(Some(plan.clone()));
+        plan.arm();
+
+        // Inside the window: the primary is unreachable, the replica
+        // covers, the request completes — a partition is latency plus a
+        // health verdict, never a drop.
+        let out = router
+            .infer(key, &x())
+            .expect("the replica must cover the partitioned primary");
+        assert!(
+            out.allclose(&tagged(2.0), 0.0),
+            "the replica (node-b) must have answered"
+        );
+        // The router refuses a severed link *before* dialing (no transport
+        // op runs, so the plan's `severed` op counter stays 0 by design);
+        // the observable effects are the replica's link attaching and the
+        // primary's down verdict below.
+        assert!(plan.report().links >= 1, "{}", plan.report());
+        let node_a_status = |router: &Router| {
+            router
+                .metrics()
+                .nodes
+                .into_iter()
+                .find(|n| n.id == "node-a")
+                .expect("node-a row")
+        };
+        assert!(
+            !node_a_status(&router).up,
+            "the severed attempt must mark the primary down"
+        );
+
+        // After the window and the probe backoff, the next request probes
+        // the primary and traffic returns to it.
+        std::thread::sleep(Duration::from_millis(600));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let out = router.infer(key, &x()).expect("post-heal request");
+            if out.allclose(&tagged(1.0), 0.0) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "node-a never took traffic again after the partition healed"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(node_a_status(&router).up, "healed primary must be up");
+
+        drop(router);
+        stop_a.store(true, Ordering::SeqCst);
+        stop_b.store(true, Ordering::SeqCst);
+        node_a.join().expect("node-a");
+        node_b.join().expect("node-b");
+    }
+
+    #[test]
+    fn a_stale_epoch_router_serves_through_an_unseen_leave_then_gossip_heals_it() {
+        // node-a leaves through router A only: router B keeps serving
+        // from a stale membership epoch. Staleness must cost B a bounded
+        // link failure per request (the corpse refuses, the replica
+        // serves) — never an admitted request — and one anti-entropy
+        // exchange must heal the view entirely.
+        let (addr_b, stop_b, node_b) = serving_node(2.0);
+        let corpse = refused_addr();
+        let mk = |id: &str| {
+            let mut cfg = fast_cfg();
+            cfg.id = id.into();
+            Router::new_dynamic(cfg)
+        };
+        let a = mk("router-a");
+        let b = mk("router-b");
+        for router in [&a, &b] {
+            router.join("node-a", &corpse);
+            router.join("node-b", &addr_b);
+        }
+        b.gossip_with(&a);
+        assert_eq!(a.membership_epoch(), b.membership_epoch());
+
+        a.leave("node-a");
+        assert!(
+            a.membership_epoch() > b.membership_epoch(),
+            "the leave must advance A past B's stale epoch"
+        );
+
+        // A request through stale B aimed at the departed node: the
+        // corpse costs a connect refusal, the replica completes it.
+        let ids = vec!["node-a".to_string(), "node-b".to_string()];
+        let key = key_preferring_first(&ids, RouterConfig::default().shards, 2);
+        let out = b
+            .infer(key, &x())
+            .expect("a stale view must still complete requests");
+        assert!(out.allclose(&tagged(2.0), 0.0));
+        assert!(
+            b.member_ids().contains(&"node-a".to_string()),
+            "still stale"
+        );
+
+        // One push-pull exchange adopts the tombstone: epochs agree, the
+        // member list shrinks, and no shard lists the corpse anymore.
+        b.gossip_with(&a);
+        assert_eq!(b.membership_epoch(), a.membership_epoch());
+        assert_eq!(b.member_ids(), vec!["node-b".to_string()]);
+        for shard in 0..RouterConfig::default().shards {
+            assert!(
+                !b.shard_replicas(shard).contains(&"node-a".to_string()),
+                "shard {shard} still routes to the departed node"
+            );
+        }
+
+        drop((a, b));
+        stop_b.store(true, Ordering::SeqCst);
+        node_b.join().expect("node-b");
     }
 }
